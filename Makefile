@@ -1,0 +1,35 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all build test bench examples doc clean outputs
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/bill_of_materials.exe
+	dune exec examples/genealogy.exe
+	dune exec examples/corporate.exe
+	dune exec examples/network_dashboard.exe
+	dune exec bin/dbpl.exe -- run examples/cad_scene.dbpl
+	dune exec bin/dbpl.exe -- run examples/same_generation.dbpl
+	dune exec bin/dbpl.exe -- run examples/paper_walkthrough.dbpl
+
+doc:
+	dune build @doc
+
+# Regenerate the archived experiment records.
+outputs:
+	dune runtest --force --no-buffer 2>&1 | tee test_output.txt
+	dune exec bench/main.exe 2>&1 | tee bench_output.txt
+
+clean:
+	dune clean
