@@ -1,0 +1,204 @@
+(* dbpl — run DBPL programs with data constructors.
+
+   Usage:
+     dbpl run program.dbpl            execute, print QUERY/EXPLAIN output
+     dbpl check program.dbpl          parse + typecheck + positivity only
+     dbpl run --strategy naive ...    naive instead of semi-naive fixpoints
+     dbpl run --unchecked ...         disable the positivity check (§3.3)
+
+   See examples/*.dbpl for the surface syntax. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let strategy_conv =
+  Arg.enum [ ("seminaive", Dc_core.Fixpoint.Seminaive); ("naive", Dc_core.Fixpoint.Naive) ]
+
+let handle_errors f =
+  try f () with
+  | Dc_lang.Lexer.Lex_error msg | Dc_lang.Parser.Parse_error msg ->
+    Fmt.epr "syntax error: %s@." msg;
+    exit 1
+  | Dc_lang.Elaborate.Elab_error msg ->
+    Fmt.epr "elaboration error: %s@." msg;
+    exit 1
+  | Dc_core.Database.Error msg ->
+    Fmt.epr "error: %s@." msg;
+    exit 1
+  | Dc_calculus.Typecheck.Error msg ->
+    Fmt.epr "type error: %s@." msg;
+    exit 1
+  | Dc_core.Fixpoint.Divergence msg ->
+    Fmt.epr "divergence: %s@." msg;
+    exit 1
+
+let run_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"DBPL program")
+  in
+  let strategy =
+    Arg.(
+      value
+      & opt strategy_conv Dc_core.Fixpoint.Seminaive
+      & info [ "strategy" ] ~doc:"Fixpoint strategy: seminaive or naive")
+  in
+  let unchecked =
+    Arg.(
+      value & flag
+      & info [ "unchecked" ]
+          ~doc:"Disable the positivity check (allows non-monotone systems)")
+  in
+  let load_dir =
+    Arg.(
+      value
+      & opt (some dir) None
+      & info [ "load" ] ~docv:"DIR"
+          ~doc:"Load a saved database before running the program")
+  in
+  let save_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save" ] ~docv:"DIR"
+          ~doc:"Save the database (catalog + CSVs) after running")
+  in
+  let run file strategy unchecked load save =
+    handle_errors @@ fun () ->
+    let db =
+      Dc_core.Database.create ~strategy ~check_positivity:(not unchecked) ()
+    in
+    (match load with
+    | Some dir -> ignore (Dc_lang.Storage.load ~db dir)
+    | None -> ());
+    let _, out = Dc_lang.Elaborate.run_string ~db (read_file file) in
+    print_string out;
+    match save with
+    | Some dir -> Dc_lang.Storage.save db dir
+    | None -> ()
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Execute a DBPL program")
+    Term.(const run $ file $ strategy $ unchecked $ load_dir $ save_dir)
+
+let check_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"DBPL program")
+  in
+  let check file =
+    handle_errors @@ fun () ->
+    let program = Dc_lang.Parser.parse (read_file file) in
+    (* execute declarations but strip queries: checking only *)
+    let db = Dc_core.Database.create () in
+    let env = Dc_lang.Elaborate.create db in
+    let decls =
+      List.filter
+        (function
+          | Dc_lang.Surface.D_query _ | Dc_lang.Surface.D_print _
+          | Dc_lang.Surface.D_explain _ ->
+            false
+          | _ -> true)
+        program
+    in
+    ignore (Dc_lang.Elaborate.run env decls);
+    Fmt.pr "%s: OK (%d declarations)@." file (List.length program)
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Parse, typecheck, and positivity-check a program")
+    Term.(const check $ file)
+
+(* Interactive loop: statements are buffered until a line ends with ';'
+   (declarations using BEGIN ... END name; are therefore entered as one
+   logical statement), then parsed and executed against a persistent
+   database.  Errors keep the session alive. *)
+let repl_cmd =
+  let strategy =
+    Arg.(
+      value
+      & opt strategy_conv Dc_core.Fixpoint.Seminaive
+      & info [ "strategy" ] ~doc:"Fixpoint strategy: seminaive or naive")
+  in
+  let unchecked =
+    Arg.(
+      value & flag
+      & info [ "unchecked" ] ~doc:"Disable the positivity check")
+  in
+  let repl strategy unchecked =
+    let db =
+      Dc_core.Database.create ~strategy ~check_positivity:(not unchecked) ()
+    in
+    let env = Dc_lang.Elaborate.create db in
+    Fmt.pr
+      "dbpl — data constructors (VLDB 1985).  End statements with ';'; \
+       Ctrl-D exits.@.";
+    let buffer = Buffer.create 256 in
+    (* a buffered chunk is incomplete when parsing fails exactly at the
+       end of input (selector/constructor declarations continue past their
+       first ';'); any other outcome — success or a mid-input error — is
+       handed to the executor *)
+    let contains msg needle =
+      let nh = String.length msg and nn = String.length needle in
+      let rec probe i =
+        i + nn <= nh && (String.sub msg i nn = needle || probe (i + 1))
+      in
+      probe 0
+    in
+    let is_complete text =
+      match Dc_lang.Parser.parse text with
+      | _ -> true
+      | exception Dc_lang.Parser.Parse_error msg -> not (contains msg "<eof>")
+      | exception Dc_lang.Lexer.Lex_error msg ->
+        not (contains msg "unterminated")
+    in
+    let rec loop () =
+      Fmt.pr (if Buffer.length buffer = 0 then "dbpl> " else "  ... ");
+      Format.pp_print_flush Format.std_formatter ();
+      match In_channel.input_line stdin with
+      | None -> Fmt.pr "@."
+      | Some line ->
+        Buffer.add_string buffer line;
+        Buffer.add_char buffer '\n';
+        let text = Buffer.contents buffer in
+        let trimmed = String.trim text in
+        if trimmed = "" then begin
+          Buffer.clear buffer;
+          loop ()
+        end
+        else if
+          trimmed.[String.length trimmed - 1] = ';' && is_complete text
+        then begin
+          Buffer.clear buffer;
+          (try
+             let out = Dc_lang.Elaborate.run env (Dc_lang.Parser.parse text) in
+             print_string out
+           with
+          | Dc_lang.Lexer.Lex_error msg | Dc_lang.Parser.Parse_error msg ->
+            Fmt.pr "syntax error: %s@." msg
+          | Dc_lang.Elaborate.Elab_error msg ->
+            Fmt.pr "elaboration error: %s@." msg
+          | Dc_core.Database.Error msg -> Fmt.pr "error: %s@." msg
+          | Dc_calculus.Typecheck.Error msg -> Fmt.pr "type error: %s@." msg
+          | Dc_calculus.Eval.Runtime_error msg ->
+            Fmt.pr "runtime error: %s@." msg
+          | Dc_core.Selector.Selector_violation msg ->
+            Fmt.pr "selector violation: %s@." msg
+          | Dc_relation.Relation.Key_violation msg ->
+            Fmt.pr "key violation: %s@." msg
+          | Dc_core.Fixpoint.Divergence msg -> Fmt.pr "divergence: %s@." msg);
+          loop ()
+        end
+        else loop ()
+    in
+    loop ()
+  in
+  Cmd.v
+    (Cmd.info "repl" ~doc:"Interactive DBPL session")
+    Term.(const repl $ strategy $ unchecked)
+
+let () =
+  let doc = "DBPL with data constructors (Jarke, Linnemann & Schmidt, VLDB 1985)" in
+  exit (Cmd.eval (Cmd.group (Cmd.info "dbpl" ~doc) [ run_cmd; check_cmd; repl_cmd ]))

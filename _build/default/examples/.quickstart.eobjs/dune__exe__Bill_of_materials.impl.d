@@ -1,0 +1,1 @@
+examples/bill_of_materials.ml: Ast Bom_gen Database Dc_calculus Dc_compile Dc_core Dc_relation Dc_workload Defs Eval Fixpoint Fmt List Option Relation Tuple Value

@@ -1,0 +1,1 @@
+examples/corporate.ml: Ast Constructor Database Dc_calculus Dc_core Dc_relation Defs Fmt List Relation Schema Selector Tuple Value

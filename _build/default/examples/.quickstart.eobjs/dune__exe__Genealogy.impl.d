@@ -1,0 +1,1 @@
+examples/genealogy.ml: Ast Constructor Database Dc_calculus Dc_core Dc_datalog Dc_relation Fmt List Relation Tuple Value

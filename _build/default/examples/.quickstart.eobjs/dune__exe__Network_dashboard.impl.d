@@ -1,0 +1,1 @@
+examples/network_dashboard.ml: Algebra Ast Constructor Database Dc_calculus Dc_compile Dc_core Dc_relation Dc_workload Defs Eval Fixpoint Fmt Graph_gen List Relation Tuple Unix Value

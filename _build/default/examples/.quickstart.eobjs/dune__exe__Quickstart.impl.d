@@ -1,0 +1,1 @@
+examples/quickstart.ml: Ast Constructor Database Dc_calculus Dc_compile Dc_core Dc_relation Defs Fixpoint Fmt List Relation Tuple Value

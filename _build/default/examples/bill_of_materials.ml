@@ -1,0 +1,103 @@
+(* Bill-of-materials (parts explosion): the classic recursive database
+   workload, with quantities multiplied along derivation paths — exercising
+   computed target lists inside a recursive constructor.
+
+     dune exec examples/bill_of_materials.exe
+
+   The hierarchy is a small bicycle: assemblies contain components with
+   quantities; Contains{explode} derives every (assembly, part, path
+   quantity) triple.  A parameterized selector then serves "where used"
+   queries through a physical access path (paper §4). *)
+
+open Dc_relation
+open Dc_calculus
+open Dc_core
+open Dc_workload
+
+let str s = Value.Str s
+let int i = Value.Int i
+
+let () =
+  let db = Database.create () in
+  Database.declare db "Contains" Bom_gen.contains_schema;
+  Database.insert_all db "Contains"
+    (List.map
+       (fun (a, c, q) -> Tuple.of_list [ str a; str c; int q ])
+       [
+         ("bicycle", "frame", 1);
+         ("bicycle", "wheel", 2);
+         ("bicycle", "drivetrain", 1);
+         ("wheel", "rim", 1);
+         ("wheel", "spoke", 32);
+         ("wheel", "hub", 1);
+         ("drivetrain", "crank", 1);
+         ("drivetrain", "chain", 1);
+         ("crank", "bolt", 4);
+         ("hub", "bolt", 2);
+       ]);
+  Database.define_constructor db (Bom_gen.explode_constructor ());
+
+  Fmt.pr "=== Full parts explosion: Contains{explode} ===@.";
+  let exploded = Database.query db Ast.(Construct (Rel "Contains", "explode", [])) in
+  Fmt.pr "%a@." Relation.pp_table exploded;
+
+  (* every bolt requirement of the bicycle, with per-path quantities:
+     4 via crank (1 crank/drivetrain * 4 bolts) and 2*2=4 via the hubs *)
+  Fmt.pr "@.=== Bolts needed per derivation path of \"bicycle\" ===@.";
+  let bolts =
+    Database.query db
+      Ast.(
+        Comp
+          [
+            branch
+              [ ("r", Construct (Rel "Contains", "explode", [])) ]
+              ~where:
+                (conj
+                   (eq (field "r" "assembly") (Ast.str "bicycle"))
+                   (eq (field "r" "component") (Ast.str "bolt")));
+          ])
+  in
+  Fmt.pr "%a@." Relation.pp_table bolts;
+
+  (* where-used: a selector parameterized by the component *)
+  Database.define_selector db
+    {
+      Defs.sel_name = "uses";
+      sel_formal = "Rel";
+      sel_formal_schema = Bom_gen.contains_schema;
+      sel_params = [ Defs.Scalar_param ("Part", Value.TStr) ];
+      sel_var = "r";
+      sel_pred = Ast.(eq (field "r" "component") (Param "Part"));
+    };
+  Fmt.pr "@.=== Where is \"bolt\" used (direct + derived)? ===@.";
+  let where_used =
+    Database.query db
+      Ast.(
+        Select
+          ( Construct (Rel "Contains", "explode", []),
+            "uses",
+            [ Arg_scalar (Ast.str "bolt") ] ))
+  in
+  Fmt.pr "%a@." Relation.pp_table where_used;
+
+  (* the same lookup served by a physical access path (§4): partition the
+     exploded relation once, then answer by hash lookup *)
+  Fmt.pr "@.=== Same query through a physical access path ===@.";
+  let def = Option.get (Database.selector db "uses") in
+  let physical = Dc_compile.Access_path.Physical.build def exploded in
+  let via_index =
+    Dc_compile.Access_path.Physical.apply physical [ Eval.V_scalar (str "bolt") ]
+  in
+  Fmt.pr "%a@." Relation.pp_table via_index;
+  assert (Relation.equal where_used via_index);
+
+  (* scale check on a generated hierarchy *)
+  Fmt.pr "@.=== Generated hierarchy (5 levels x 6 parts, 2 uses each) ===@.";
+  let big = Bom_gen.hierarchy ~seed:42 ~levels:5 ~width:6 ~uses:2 in
+  Database.set db "Contains" big;
+  let exploded = Database.query db Ast.(Construct (Rel "Contains", "explode", [])) in
+  Fmt.pr "base %d tuples -> exploded %d tuples@." (Relation.cardinal big)
+    (Relation.cardinal exploded);
+  match Database.last_stats db with
+  | Some st -> Fmt.pr "fixpoint: %a@." Fixpoint.pp_stats st
+  | None -> ()

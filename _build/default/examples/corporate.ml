@@ -1,0 +1,112 @@
+(* Corporate hierarchy: reporting chains with selector-guarded updates and
+   negation under the closed-world reading (§3.3/§3.4).
+
+     dune exec examples/corporate.exe
+
+   Shows: a keyed Employee relation (§2.2), referential integrity as a
+   selector (the paper's refint example, §2.3), the reporting-chain
+   constructor, and a query with NOT over a constructed relation (legal:
+   the application is not recursive through the negation). *)
+
+open Dc_relation
+open Dc_calculus
+open Dc_core
+
+let s v = Value.Str v
+
+let () =
+  let db = Database.create () in
+
+  (* Employee(id is the key) *)
+  let employee_schema =
+    Schema.make ~key:[ "id" ] [ ("id", Value.TStr); ("dept", Value.TStr) ]
+  in
+  Database.declare db "Employee" employee_schema;
+  Database.insert_all db "Employee"
+    (List.map
+       (fun (i, d) -> Tuple.make2 (s i) (s d))
+       [
+         ("amy", "eng"); ("bea", "eng"); ("cal", "eng");
+         ("dot", "sales"); ("eli", "sales"); ("fay", "exec");
+       ]);
+
+  (* ReportsTo(worker, boss) with referential integrity into Employee —
+     the paper's refint selector (§2.3):
+       SELECTOR refint FOR Rel: reportsrel;
+       BEGIN EACH r IN Rel: SOME e1, e2 IN Employee
+         (r.worker = e1.id AND r.boss = e2.id)
+       END refint *)
+  let reports_schema = Schema.make [ ("worker", Value.TStr); ("boss", Value.TStr) ] in
+  Database.declare db "ReportsTo" reports_schema;
+  Database.declare db "Staging" reports_schema;
+  Database.define_selector db
+    {
+      Defs.sel_name = "refint";
+      sel_formal = "Rel";
+      sel_formal_schema = reports_schema;
+      sel_params = [];
+      sel_var = "r";
+      sel_pred =
+        Ast.(
+          Some_in
+            ( "e1",
+              Rel "Employee",
+              Some_in
+                ( "e2",
+                  Rel "Employee",
+                  conj
+                    (eq (field "r" "worker") (field "e1" "id"))
+                    (eq (field "r" "boss") (field "e2" "id")) ) ));
+    };
+
+  (* a legal update through the guarded assignment *)
+  Database.set db "Staging"
+    (Relation.of_list reports_schema
+       (List.map
+          (fun (w, b) -> Tuple.make2 (s w) (s b))
+          [ ("amy", "cal"); ("bea", "cal"); ("cal", "fay"); ("dot", "eli");
+            ("eli", "fay") ]));
+  Database.assign_selected db "ReportsTo" ~selector:"refint" ~args:[]
+    (Ast.Rel "Staging");
+  Fmt.pr "=== ReportsTo (after guarded assignment) ===@.%a@." Relation.pp_table
+    (Database.get db "ReportsTo");
+
+  (* an illegal one: "zed" is not an employee *)
+  Database.set db "Staging"
+    (Relation.of_list reports_schema [ Tuple.make2 (s "zed") (s "fay") ]);
+  (match
+     Database.assign_selected db "ReportsTo" ~selector:"refint" ~args:[]
+       (Ast.Rel "Staging")
+   with
+  | () -> assert false
+  | exception Selector.Selector_violation msg ->
+    Fmt.pr "@.referential integrity rejected the update:@.  %s@." msg);
+
+  (* chain of command = transitive closure of ReportsTo *)
+  Database.define_constructor db
+    (Constructor.transitive_closure ~name:"chain" ~src:"worker" ~dst:"boss" ());
+  let chain = Ast.(Construct (Rel "ReportsTo", "chain", [])) in
+  Fmt.pr "@.=== Chain of command: ReportsTo{chain} ===@.%a@." Relation.pp_table
+    (Database.query db chain);
+
+  (* negation over a constructed relation under the closed world (§3.4):
+     employees with no boss at all — NOT SOME c IN ReportsTo{chain} (...).
+     Legal: the application is complete before the negation applies. *)
+  Fmt.pr "@.=== Top of the hierarchy (closed-world negation) ===@.";
+  let tops =
+    Database.query db
+      Ast.(
+        Comp
+          [
+            branch
+              [ ("e", Rel "Employee") ]
+              ~target:[ field "e" "id" ]
+              ~where:
+                (Not
+                   (Some_in
+                      ( "c",
+                        Construct (Rel "ReportsTo", "chain", []),
+                        eq (field "c" "worker") (field "e" "id") )));
+          ])
+  in
+  Fmt.pr "%a@." Relation.pp_table tops

@@ -1,0 +1,1 @@
+lib/calculus/ast.ml: Dc_relation Fmt List Value

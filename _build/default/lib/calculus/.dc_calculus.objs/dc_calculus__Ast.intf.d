@@ -1,0 +1,1 @@
+lib/calculus/ast.mli: Dc_relation Fmt Value

@@ -1,0 +1,1 @@
+lib/calculus/defs.ml: Ast Dc_relation Fmt Schema Value

@@ -1,0 +1,1 @@
+lib/calculus/defs.mli: Ast Dc_relation Fmt Schema Value

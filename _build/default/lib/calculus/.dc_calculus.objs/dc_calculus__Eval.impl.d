@@ -1,0 +1,1 @@
+lib/calculus/eval.ml: Ast Dc_relation Defs Either Fmt Hashtbl Index List Map Relation Schema String Tuple Value Vars

@@ -1,0 +1,1 @@
+lib/calculus/eval.mli: Ast Dc_relation Defs Format Map Relation Schema Tuple Value

@@ -1,0 +1,1 @@
+lib/calculus/morph.ml: Ast List

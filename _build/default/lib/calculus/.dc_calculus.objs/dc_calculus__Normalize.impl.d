@@ -1,0 +1,1 @@
+lib/calculus/normalize.ml: Ast List Morph Positivity

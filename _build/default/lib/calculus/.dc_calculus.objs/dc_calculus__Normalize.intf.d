@@ -1,0 +1,1 @@
+lib/calculus/normalize.mli: Ast Positivity

@@ -1,0 +1,1 @@
+lib/calculus/positivity.ml: Ast Defs Fmt Hashtbl List String

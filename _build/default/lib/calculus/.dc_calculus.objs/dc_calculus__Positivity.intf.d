@@ -1,0 +1,1 @@
+lib/calculus/positivity.mli: Ast Defs Fmt

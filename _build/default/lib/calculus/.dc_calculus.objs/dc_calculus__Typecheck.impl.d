@@ -1,0 +1,1 @@
+lib/calculus/typecheck.ml: Ast Dc_relation Defs Fmt Hashtbl List Schema String Value

@@ -1,0 +1,1 @@
+lib/calculus/typecheck.mli: Ast Dc_relation Defs Schema Value

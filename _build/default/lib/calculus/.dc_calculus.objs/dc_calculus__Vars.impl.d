@@ -1,0 +1,1 @@
+lib/calculus/vars.ml: Ast List Set String

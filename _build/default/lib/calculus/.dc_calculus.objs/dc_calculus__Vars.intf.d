@@ -1,0 +1,1 @@
+lib/calculus/vars.mli: Ast Set

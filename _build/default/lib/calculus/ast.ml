@@ -1,0 +1,183 @@
+(* Abstract syntax of the DBPL tuple relational calculus (paper §2–3).
+
+   The calculus is the common core shared by queries, selector bodies and
+   constructor bodies.  A {e comprehension} is a union of {e branches}; each
+   branch binds tuple variables over range expressions, filters with a
+   first-order formula, and projects through a target list:
+
+     <f.front, b.back> OF EACH f IN Rel, EACH b IN Rel{ahead}: f.back = b.head
+
+   Range expressions name base relations and may apply selectors
+   ([Rel[s(args)]]) and constructors ([Rel{c(args)}]) — the two abstraction
+   mechanisms of the paper — or nest a comprehension (range nesting,
+   [JaKo 83]). *)
+
+open Dc_relation
+
+type var = string
+
+type cmpop =
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+
+type term =
+  | Const of Value.t
+  | Field of var * string (* r.front *)
+  | Param of string (* scalar parameter of a selector/constructor *)
+  | Binop of binop * term * term
+
+type formula =
+  | True
+  | False
+  | Cmp of cmpop * term * term
+  | Not of formula
+  | And of formula * formula
+  | Or of formula * formula
+  | Some_in of var * range * formula (* SOME r IN range (p) *)
+  | All_in of var * range * formula (* ALL r IN range (p)  *)
+  | In_rel of var * range (* r IN range              *)
+  | Member of term list * range (* <t1, ..., tk> IN range *)
+
+and range =
+  | Rel of string (* named relation (global, formal, or parameter) *)
+  | Select of range * string * arg list (* Rel[s(args)]  *)
+  | Construct of range * string * arg list (* Rel{c(args)}  *)
+  | Comp of branch list (* nested comprehension (union of branches) *)
+
+and arg =
+  | Arg_scalar of term
+  | Arg_range of range
+
+and branch = {
+  binders : (var * range) list; (* EACH v IN range, ... *)
+  target : term list; (* [] = identity projection of the sole binder *)
+  where : formula;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Smart constructors *)
+
+let conj a b =
+  match a, b with
+  | True, f | f, True -> f
+  | False, _ | _, False -> False
+  | _ -> And (a, b)
+
+let disj a b =
+  match a, b with
+  | False, f | f, False -> f
+  | True, _ | _, True -> True
+  | _ -> Or (a, b)
+
+let neg = function
+  | True -> False
+  | False -> True
+  | Not f -> f
+  | f -> Not f
+
+let conj_list = List.fold_left conj True
+
+let field v a = Field (v, a)
+
+let int i = Const (Value.Int i)
+let str s = Const (Value.Str s)
+
+let eq a b = Cmp (Eq, a, b)
+
+let branch ?(where = True) ?(target = []) binders = { binders; target; where }
+
+(* A branch that copies a range verbatim: EACH r IN range: TRUE *)
+let identity_branch ?(v = "r") range = branch [ (v, range) ]
+
+(* Negate a comparison operator (used when pushing NOT inward). *)
+let negate_cmpop = function
+  | Eq -> Ne
+  | Ne -> Eq
+  | Lt -> Ge
+  | Le -> Gt
+  | Gt -> Le
+  | Ge -> Lt
+
+(* Split a formula into its top-level conjuncts. *)
+let rec conjuncts = function
+  | And (a, b) -> conjuncts a @ conjuncts b
+  | True -> []
+  | f -> [ f ]
+
+(* ------------------------------------------------------------------ *)
+(* Pretty-printing in the paper's concrete syntax *)
+
+let pp_cmpop ppf op =
+  Fmt.string ppf
+    (match op with
+    | Eq -> "="
+    | Ne -> "#"
+    | Lt -> "<"
+    | Le -> "<="
+    | Gt -> ">"
+    | Ge -> ">=")
+
+let pp_binop ppf op =
+  Fmt.string ppf
+    (match op with
+    | Add -> "+"
+    | Sub -> "-"
+    | Mul -> "*")
+
+let rec pp_term ppf = function
+  | Const v -> Value.pp ppf v
+  | Field (v, a) -> Fmt.pf ppf "%s.%s" v a
+  | Param p -> Fmt.string ppf p
+  | Binop (op, a, b) -> Fmt.pf ppf "(%a %a %a)" pp_term a pp_binop op pp_term b
+
+let rec pp_formula ppf = function
+  | True -> Fmt.string ppf "TRUE"
+  | False -> Fmt.string ppf "FALSE"
+  | Cmp (op, a, b) -> Fmt.pf ppf "%a %a %a" pp_term a pp_cmpop op pp_term b
+  | Not f -> Fmt.pf ppf "NOT (%a)" pp_formula f
+  | And (a, b) -> Fmt.pf ppf "(%a AND %a)" pp_formula a pp_formula b
+  | Or (a, b) -> Fmt.pf ppf "(%a OR %a)" pp_formula a pp_formula b
+  | Some_in (v, r, f) ->
+    Fmt.pf ppf "SOME %s IN %a (%a)" v pp_range r pp_formula f
+  | All_in (v, r, f) ->
+    Fmt.pf ppf "ALL %s IN %a (%a)" v pp_range r pp_formula f
+  | In_rel (v, r) -> Fmt.pf ppf "%s IN %a" v pp_range r
+  | Member (ts, r) ->
+    Fmt.pf ppf "<%a> IN %a" Fmt.(list ~sep:(any ", ") pp_term) ts pp_range r
+
+and pp_range ppf = function
+  | Rel name -> Fmt.string ppf name
+  | Select (r, s, args) -> Fmt.pf ppf "%a[%s%a]" pp_range r s pp_args args
+  | Construct (r, c, args) -> Fmt.pf ppf "%a{%s%a}" pp_range r c pp_args args
+  | Comp branches ->
+    Fmt.pf ppf "{@[<hov>%a@]}" Fmt.(list ~sep:(any ",@ ") pp_branch) branches
+
+and pp_args ppf = function
+  | [] -> ()
+  | args -> Fmt.pf ppf "(%a)" Fmt.(list ~sep:(any ", ") pp_arg) args
+
+and pp_arg ppf = function
+  | Arg_scalar t -> pp_term ppf t
+  | Arg_range r -> pp_range ppf r
+
+and pp_branch ppf { binders; target; where } =
+  let pp_binder ppf (v, r) = Fmt.pf ppf "EACH %s IN %a" v pp_range r in
+  (match target with
+  | [] -> ()
+  | ts -> Fmt.pf ppf "<%a> OF " Fmt.(list ~sep:(any ", ") pp_term) ts);
+  Fmt.pf ppf "%a: %a"
+    Fmt.(list ~sep:(any ", ") pp_binder)
+    binders pp_formula where
+
+let term_to_string t = Fmt.str "%a" pp_term t
+let formula_to_string f = Fmt.str "%a" pp_formula f
+let range_to_string r = Fmt.str "%a" pp_range r

@@ -1,0 +1,108 @@
+(** Abstract syntax of the DBPL tuple relational calculus (paper §2–3).
+
+    A {e comprehension} is a union of {e branches}; each branch binds tuple
+    variables over range expressions, filters with a first-order formula,
+    and projects through a target list:
+
+    {v <f.front, b.back> OF EACH f IN Rel, EACH b IN Rel{ahead}: f.back = b.head v}
+
+    Range expressions name base relations and may apply selectors
+    ([Rel[s(args)]]) and constructors ([Rel{c(args)}]) — the paper's two
+    abstraction mechanisms — or nest a comprehension (range nesting,
+    [JaKo 83]). *)
+
+open Dc_relation
+
+type var = string
+(** Tuple variables (bound by [EACH], [SOME], [ALL]). *)
+
+type cmpop =
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+
+type binop =
+  | Add (** addition; string concatenation on [Str] *)
+  | Sub
+  | Mul
+
+(** Scalar terms. *)
+type term =
+  | Const of Value.t
+  | Field of var * string  (** [r.front] *)
+  | Param of string  (** scalar parameter of a selector/constructor *)
+  | Binop of binop * term * term
+
+(** First-order formulas with range-coupled quantifiers. *)
+type formula =
+  | True
+  | False
+  | Cmp of cmpop * term * term
+  | Not of formula
+  | And of formula * formula
+  | Or of formula * formula
+  | Some_in of var * range * formula  (** [SOME r IN range (p)] *)
+  | All_in of var * range * formula  (** [ALL r IN range (p)] *)
+  | In_rel of var * range  (** [r IN range] *)
+  | Member of term list * range  (** [<t1, ..., tk> IN range] *)
+
+(** Range expressions. *)
+and range =
+  | Rel of string  (** named relation (global, formal, or parameter) *)
+  | Select of range * string * arg list  (** [Rel[s(args)]] *)
+  | Construct of range * string * arg list  (** [Rel{c(args)}] *)
+  | Comp of branch list  (** nested comprehension (union of branches) *)
+
+and arg =
+  | Arg_scalar of term
+  | Arg_range of range
+
+and branch = {
+  binders : (var * range) list;  (** [EACH v IN range, ...] *)
+  target : term list;  (** [[]] = identity projection of the sole binder *)
+  where : formula;
+}
+
+(** {1 Smart constructors} *)
+
+val conj : formula -> formula -> formula
+(** Conjunction with unit/absorption simplification. *)
+
+val disj : formula -> formula -> formula
+
+val neg : formula -> formula
+(** Negation with double-negation elimination. *)
+
+val conj_list : formula list -> formula
+
+val field : var -> string -> term
+val int : int -> term
+val str : string -> term
+val eq : term -> term -> formula
+
+val branch : ?where:formula -> ?target:term list -> (var * range) list -> branch
+
+val identity_branch : ?v:var -> range -> branch
+(** [EACH r IN range: TRUE] — copies the range verbatim. *)
+
+val negate_cmpop : cmpop -> cmpop
+
+val conjuncts : formula -> formula list
+(** Top-level conjuncts; [True] yields []. *)
+
+(** {1 Pretty-printing in the paper's concrete syntax} *)
+
+val pp_cmpop : cmpop Fmt.t
+val pp_binop : binop Fmt.t
+val pp_term : term Fmt.t
+val pp_formula : formula Fmt.t
+val pp_range : range Fmt.t
+val pp_arg : arg Fmt.t
+val pp_branch : branch Fmt.t
+
+val term_to_string : term -> string
+val formula_to_string : formula -> string
+val range_to_string : range -> string

@@ -1,0 +1,57 @@
+(* Selector and constructor definitions (paper §2.3, §3).
+
+   These are syntactic objects — abstractions over "conditional patterns"
+   (selectors) and "expressional patterns" (constructors).  Their semantics
+   lives in [Dc_core]: selectors filter, constructors take least fixpoints. *)
+
+open Dc_relation
+
+type param =
+  | Scalar_param of string * Value.ty
+  | Rel_param of string * Schema.t
+
+let param_name = function
+  | Scalar_param (n, _) -> n
+  | Rel_param (n, _) -> n
+
+(* SELECTOR name (params) FOR Rel: reltype;
+   BEGIN EACH v IN Rel: pred END name *)
+type selector_def = {
+  sel_name : string;
+  sel_formal : string; (* the FOR formal, conventionally "Rel" *)
+  sel_formal_schema : Schema.t;
+  sel_params : param list;
+  sel_var : Ast.var; (* the EACH variable of the body *)
+  sel_pred : Ast.formula;
+}
+
+(* CONSTRUCTOR name FOR Rel: reltype (params): resulttype;
+   BEGIN branch, branch, ... END name *)
+type constructor_def = {
+  con_name : string;
+  con_formal : string;
+  con_formal_schema : Schema.t;
+  con_params : param list;
+  con_result : Schema.t;
+  con_body : Ast.branch list;
+}
+
+let pp_param ppf = function
+  | Scalar_param (n, ty) -> Fmt.pf ppf "%s: %s" n (Value.type_name ty)
+  | Rel_param (n, s) -> Fmt.pf ppf "%s: %a" n Schema.pp s
+
+let pp_params ppf = function
+  | [] -> ()
+  | ps -> Fmt.pf ppf " (%a)" Fmt.(list ~sep:(any "; ") pp_param) ps
+
+let pp_selector ppf s =
+  Fmt.pf ppf "@[<v2>SELECTOR %s%a FOR %s: %a;@ BEGIN EACH %s IN %s: %a@]@ END %s"
+    s.sel_name pp_params s.sel_params s.sel_formal Schema.pp s.sel_formal_schema
+    s.sel_var s.sel_formal Ast.pp_formula s.sel_pred s.sel_name
+
+let pp_constructor ppf c =
+  Fmt.pf ppf "@[<v2>CONSTRUCTOR %s FOR %s: %a%a: %a;@ BEGIN %a@]@ END %s"
+    c.con_name c.con_formal Schema.pp c.con_formal_schema pp_params
+    c.con_params Schema.pp c.con_result
+    Fmt.(list ~sep:(any ",@ ") Ast.pp_branch)
+    c.con_body c.con_name

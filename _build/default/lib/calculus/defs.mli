@@ -1,0 +1,40 @@
+(** Selector and constructor definitions (paper §2.3, §3).
+
+    Syntactic objects abstracting "conditional patterns" (selectors) and
+    "expressional patterns" (constructors); their semantics lives in
+    [Dc_core] (filtering and least fixpoints respectively). *)
+
+open Dc_relation
+
+(** Formal parameters of a definition. *)
+type param =
+  | Scalar_param of string * Value.ty
+  | Rel_param of string * Schema.t
+
+val param_name : param -> string
+
+(** [SELECTOR name (params) FOR Rel: reltype;
+     BEGIN EACH v IN Rel: pred END name] *)
+type selector_def = {
+  sel_name : string;
+  sel_formal : string;  (** the [FOR] formal, conventionally ["Rel"] *)
+  sel_formal_schema : Schema.t;
+  sel_params : param list;
+  sel_var : Ast.var;  (** the [EACH] variable of the body *)
+  sel_pred : Ast.formula;
+}
+
+(** [CONSTRUCTOR name FOR Rel: reltype (params): resulttype;
+     BEGIN branch, branch, ... END name] *)
+type constructor_def = {
+  con_name : string;
+  con_formal : string;
+  con_formal_schema : Schema.t;
+  con_params : param list;
+  con_result : Schema.t;
+  con_body : Ast.branch list;
+}
+
+val pp_param : param Fmt.t
+val pp_selector : selector_def Fmt.t
+val pp_constructor : constructor_def Fmt.t

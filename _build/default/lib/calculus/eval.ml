@@ -1,0 +1,345 @@
+(* Set-oriented evaluation of calculus expressions.
+
+   This is the paper's "set-construction framework": branches are executed
+   as pipelined scans with hash-index lookups for equi-join conjuncts, not
+   tuple-at-a-time resolution.  The evaluator is parameterized by hooks for
+   selector and constructor application so that [Dc_core] can install the
+   fixpoint semantics without a dependency cycle.
+
+   Join scheduling: for each branch we take the binders in program order;
+   every top-level conjunct of the WHERE formula is attached to the first
+   binder position at which all its tuple variables are bound.  Conjuncts of
+   shape [v.a = t] (with [t] closed under earlier binders) become hash-index
+   keys for binder [v]; everything else becomes a filter at its position.
+   Uncorrelated binder ranges are evaluated and indexed once per branch. *)
+
+open Dc_relation
+open Ast
+
+exception Runtime_error of string
+
+let runtime_error fmt = Fmt.kstr (fun s -> raise (Runtime_error s)) fmt
+
+module SM = Map.Make (String)
+
+type arg_value =
+  | V_scalar of Value.t
+  | V_rel of Relation.t
+
+type binding = { b_tuple : Tuple.t; b_schema : Schema.t }
+
+type env = {
+  rels : Relation.t SM.t;
+  vars : binding SM.t;
+  scalars : Value.t SM.t;
+  hooks : hooks;
+}
+
+and hooks = {
+  selector_def : string -> Defs.selector_def option;
+  constructor_def : string -> Defs.constructor_def option;
+  on_select : env -> Relation.t -> Defs.selector_def -> arg_value list -> Relation.t;
+  on_construct :
+    env -> Relation.t -> Defs.constructor_def -> arg_value list -> Relation.t;
+}
+
+let no_hooks =
+  {
+    selector_def = (fun _ -> None);
+    constructor_def = (fun _ -> None);
+    on_select = (fun _ _ def _ -> runtime_error "no semantics for selector %s" def.Defs.sel_name);
+    on_construct =
+      (fun _ _ def _ -> runtime_error "no semantics for constructor %s" def.Defs.con_name);
+  }
+
+let make_env ?(vars = []) ?(scalars = []) ?(hooks = no_hooks) rels =
+  {
+    rels = SM.of_seq (List.to_seq rels);
+    vars =
+      SM.of_seq
+        (List.to_seq
+           (List.map (fun (v, t, s) -> (v, { b_tuple = t; b_schema = s })) vars));
+    scalars = SM.of_seq (List.to_seq scalars);
+    hooks;
+  }
+
+let bind_rel env name rel = { env with rels = SM.add name rel env.rels }
+
+(* Drop all tuple-variable bindings (used when a definition body is
+   evaluated in a fresh scope: bodies never reference outer tuple vars). *)
+let clear_vars env = { env with vars = SM.empty }
+
+let bind_var env v tuple schema =
+  { env with vars = SM.add v { b_tuple = tuple; b_schema = schema } env.vars }
+
+let bind_scalar env name v = { env with scalars = SM.add name v env.scalars }
+
+let lookup_rel env n =
+  match SM.find_opt n env.rels with
+  | Some r -> r
+  | None -> runtime_error "unknown relation %s" n
+
+let selector_def env s =
+  match env.hooks.selector_def s with
+  | Some d -> d
+  | None -> runtime_error "unknown selector %s" s
+
+let constructor_def env c =
+  match env.hooks.constructor_def c with
+  | Some d -> d
+  | None -> runtime_error "unknown constructor %s" c
+
+(* ------------------------------------------------------------------ *)
+(* Schema of a range expression, computed without evaluating it. *)
+
+let rec range_schema env ctx = function
+  | Rel n -> Relation.schema (lookup_rel env n)
+  | Select (r, _, _) -> range_schema env ctx r
+  | Construct (_, c, _) -> (constructor_def env c).Defs.con_result
+  | Comp [] -> runtime_error "empty comprehension"
+  | Comp (b :: _) -> branch_schema env ctx b
+
+and branch_schema env ctx { binders; target; _ } =
+  let ctx' =
+    List.fold_left
+      (fun ctx' (v, r) -> (v, range_schema env ctx' r) :: ctx')
+      ctx binders
+  in
+  match target with
+  | [] -> (
+    match binders with
+    | [ (_, r) ] -> range_schema env ctx r
+    | _ -> runtime_error "identity branch must have exactly one binder")
+  | ts ->
+    let used = Hashtbl.create 8 in
+    let attr i t =
+      let base =
+        match t with
+        | Field (_, a) -> a
+        | _ -> Fmt.str "c%d" i
+      in
+      let name =
+        if Hashtbl.mem used base then Fmt.str "%s_%d" base i else base
+      in
+      Hashtbl.replace used name ();
+      (name, term_ty env ctx' t)
+    in
+    Schema.make (List.mapi attr ts)
+
+and term_ty env ctx = function
+  | Const v -> Value.type_of v
+  | Param p -> (
+    match SM.find_opt p env.scalars with
+    | Some v -> Value.type_of v
+    | None -> runtime_error "unknown scalar parameter %s" p)
+  | Field (v, a) -> (
+    let schema =
+      match List.assoc_opt v ctx with
+      | Some s -> s
+      | None -> (
+        match SM.find_opt v env.vars with
+        | Some b -> b.b_schema
+        | None -> runtime_error "unbound tuple variable %s" v)
+    in
+    match Schema.find_attr schema a with
+    | Some i -> Schema.attr_ty schema i
+    | None -> runtime_error "no attribute %s on %s" a v)
+  | Binop (_, a, _) -> term_ty env ctx a
+
+(* ------------------------------------------------------------------ *)
+(* Terms and formulas *)
+
+let rec eval_term env = function
+  | Const v -> v
+  | Param p -> (
+    match SM.find_opt p env.scalars with
+    | Some v -> v
+    | None -> runtime_error "unknown scalar parameter %s" p)
+  | Field (v, a) -> (
+    match SM.find_opt v env.vars with
+    | None -> runtime_error "unbound tuple variable %s" v
+    | Some b -> Tuple.get b.b_tuple (Schema.attr_index b.b_schema a))
+  | Binop (op, a, b) -> (
+    let va = eval_term env a and vb = eval_term env b in
+    match op with
+    | Add -> Value.add va vb
+    | Sub -> Value.sub va vb
+    | Mul -> Value.mul va vb)
+
+let eval_cmp op a b =
+  let c = Value.compare a b in
+  match op with
+  | Eq -> c = 0
+  | Ne -> c <> 0
+  | Lt -> c < 0
+  | Le -> c <= 0
+  | Gt -> c > 0
+  | Ge -> c >= 0
+
+let rec eval_formula env = function
+  | True -> true
+  | False -> false
+  | Cmp (op, a, b) -> eval_cmp op (eval_term env a) (eval_term env b)
+  | Not f -> not (eval_formula env f)
+  | And (a, b) -> eval_formula env a && eval_formula env b
+  | Or (a, b) -> eval_formula env a || eval_formula env b
+  | Some_in (v, r, f) ->
+    let rel = eval_range env r in
+    let schema = Relation.schema rel in
+    Relation.exists (fun t -> eval_formula (bind_var env v t schema) f) rel
+  | All_in (v, r, f) ->
+    let rel = eval_range env r in
+    let schema = Relation.schema rel in
+    Relation.for_all (fun t -> eval_formula (bind_var env v t schema) f) rel
+  | In_rel (v, r) -> (
+    match SM.find_opt v env.vars with
+    | None -> runtime_error "unbound tuple variable %s" v
+    | Some b -> Relation.mem b.b_tuple (eval_range env r))
+  | Member (ts, r) ->
+    let t = Tuple.of_list (List.map (eval_term env) ts) in
+    Relation.mem t (eval_range env r)
+
+(* ------------------------------------------------------------------ *)
+(* Ranges and branches *)
+
+and eval_range env = function
+  | Rel n -> lookup_rel env n
+  | Select (r, s, args) ->
+    let base = eval_range env r in
+    let def = selector_def env s in
+    env.hooks.on_select env base def (eval_args env args)
+  | Construct (r, c, args) ->
+    let base = eval_range env r in
+    let def = constructor_def env c in
+    env.hooks.on_construct env base def (eval_args env args)
+  | Comp branches -> eval_comp env branches
+
+and eval_args env args =
+  List.map
+    (function
+      | Arg_scalar t -> V_scalar (eval_term env t)
+      | Arg_range r -> V_rel (eval_range env r))
+    args
+
+and eval_comp ?schema env branches =
+  match branches with
+  | [] -> runtime_error "empty comprehension"
+  | first :: _ ->
+    (* The result schema may be imposed from outside (a constructor's
+       declared result type); branches are positionally compatible. *)
+    let schema =
+      match schema with
+      | Some s -> s
+      | None -> branch_schema env [] first
+    in
+    List.fold_left
+      (fun acc b ->
+        eval_branch env b ~emit:(fun acc t -> Relation.add_unchecked t acc) acc)
+      (Relation.empty schema) branches
+
+(* Evaluate one branch, folding [emit] over the produced tuples. *)
+and eval_branch : 'a. env -> branch -> emit:('a -> Tuple.t -> 'a) -> 'a -> 'a =
+  fun env { binders; target; where } ~emit acc ->
+  let conjs = conjuncts where in
+  (* Variables already bound in the enclosing env count as position 0. *)
+  let outer = SM.fold (fun v _ s -> Vars.S.add v s) env.vars Vars.S.empty in
+  (* Assign each conjunct to the earliest binder index after which it is
+     closed; conjuncts closed by the outer env alone are checked first. *)
+  let binder_vars = List.map fst binders in
+  let position_of_conj f =
+    let fv = Vars.free_vars_formula f in
+    let needed = Vars.S.diff fv outer in
+    let rec last_index i best = function
+      | [] -> best
+      | v :: rest ->
+        last_index (i + 1) (if Vars.S.mem v needed then i else best) rest
+    in
+    last_index 0 (-1) binder_vars
+  in
+  let tagged = List.map (fun f -> (position_of_conj f, f)) conjs in
+  let pre = List.filter_map (fun (i, f) -> if i < 0 then Some f else None) tagged in
+  if not (List.for_all (eval_formula env) pre) then acc
+  else begin
+    (* Per-binder plan: index keys + residual filters. *)
+    let bound_before i =
+      List.filteri (fun j _ -> j < i) binder_vars
+      |> List.fold_left (fun s v -> Vars.S.add v s) outer
+    in
+    let plan_for i (v, range) =
+      let here = List.filter_map (fun (j, f) -> if j = i then Some f else None) tagged in
+      let closed_term t = Vars.S.subset (Vars.free_vars_term t) (bound_before i) in
+      let keys, filters =
+        List.partition_map
+          (fun f ->
+            match f with
+            | Cmp (Eq, Field (v', a), t) when v' = v && closed_term t ->
+              Either.Left (a, t)
+            | Cmp (Eq, t, Field (v', a)) when v' = v && closed_term t ->
+              Either.Left (a, t)
+            | _ -> Either.Right f)
+          here
+      in
+      let correlated =
+        not (Vars.S.subset (Vars.free_vars_range range) outer)
+      in
+      (v, range, correlated, keys, filters)
+    in
+    let plans = List.mapi plan_for binders in
+    (* Pre-evaluate and index uncorrelated ranges. *)
+    let prepared =
+      List.map
+        (fun (v, range, correlated, keys, filters) ->
+          if correlated then `Correlated (v, range, keys, filters)
+          else begin
+            let rel = eval_range env range in
+            let schema = Relation.schema rel in
+            match keys with
+            | [] -> `Scan (v, rel, schema, filters)
+            | _ ->
+              let positions =
+                List.map (fun (a, _) -> Schema.attr_index schema a) keys
+              in
+              let idx = Index.build positions rel in
+              let key_terms = List.map snd keys in
+              `Indexed (v, schema, idx, key_terms, filters)
+          end)
+        plans
+    in
+    let rec go env acc = function
+      | [] ->
+        let t =
+          match target with
+          | [] -> (
+            match binders with
+            | [ (v, _) ] -> (SM.find v env.vars).b_tuple
+            | _ -> runtime_error "identity branch must have exactly one binder")
+          | ts -> Tuple.of_list (List.map (eval_term env) ts)
+        in
+        emit acc t
+      | step :: rest -> (
+        let try_tuple schema filters v acc t =
+          let env' = bind_var env v t schema in
+          if List.for_all (eval_formula env') filters then go env' acc rest
+          else acc
+        in
+        match step with
+        | `Scan (v, rel, schema, filters) ->
+          Relation.fold (fun t acc -> try_tuple schema filters v acc t) rel acc
+        | `Indexed (v, schema, idx, key_terms, filters) ->
+          let key = List.map (eval_term env) key_terms in
+          List.fold_left (try_tuple schema filters v) acc
+            (Index.lookup_values idx key)
+        | `Correlated (v, range, keys, filters) ->
+          (* Key conjuncts degrade to filters on a correlated range. *)
+          let rel = eval_range env range in
+          let schema = Relation.schema rel in
+          let filters =
+            List.map (fun (a, t) -> Cmp (Eq, Field (v, a), t)) keys @ filters
+          in
+          Relation.fold (fun t acc -> try_tuple schema filters v acc t) rel acc)
+    in
+    go env acc prepared
+  end
+
+(* Convenience: evaluate a query range to a relation. *)
+let query env range = eval_range env range

@@ -1,0 +1,90 @@
+(** Set-oriented evaluation of calculus expressions — the paper's
+    "set-construction framework".
+
+    Branches execute as pipelined scans with hash-index lookups for
+    equi-join conjuncts (each WHERE conjunct is attached to the first
+    binder position at which its variables are bound; conjuncts of shape
+    [v.a = closed-term] become index keys).  Selector and constructor
+    applications are delegated to {!hooks}, which [Dc_core] instantiates
+    with the filtering and fixpoint semantics — keeping this module free of
+    a dependency on the engine. *)
+
+open Dc_relation
+
+exception Runtime_error of string
+
+val runtime_error : ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** Raise {!Runtime_error} with a formatted message. *)
+
+module SM : Map.S with type key = string
+
+(** Evaluated actual arguments. *)
+type arg_value =
+  | V_scalar of Value.t
+  | V_rel of Relation.t
+
+type binding = {
+  b_tuple : Tuple.t;
+  b_schema : Schema.t;
+}
+
+(** Evaluation environment. *)
+type env = {
+  rels : Relation.t SM.t;  (** named relations in scope *)
+  vars : binding SM.t;  (** bound tuple variables *)
+  scalars : Value.t SM.t;  (** scalar parameter values *)
+  hooks : hooks;
+}
+
+and hooks = {
+  selector_def : string -> Defs.selector_def option;
+  constructor_def : string -> Defs.constructor_def option;
+  on_select :
+    env -> Relation.t -> Defs.selector_def -> arg_value list -> Relation.t;
+  on_construct :
+    env -> Relation.t -> Defs.constructor_def -> arg_value list -> Relation.t;
+}
+
+val no_hooks : hooks
+(** Hooks that resolve no definitions (applications raise). *)
+
+val make_env :
+  ?vars:(Ast.var * Tuple.t * Schema.t) list ->
+  ?scalars:(string * Value.t) list ->
+  ?hooks:hooks ->
+  (string * Relation.t) list ->
+  env
+
+val bind_rel : env -> string -> Relation.t -> env
+val bind_var : env -> Ast.var -> Tuple.t -> Schema.t -> env
+val bind_scalar : env -> string -> Value.t -> env
+
+val clear_vars : env -> env
+(** Drop all tuple-variable bindings (definition bodies evaluate in a
+    fresh variable scope). *)
+
+val lookup_rel : env -> string -> Relation.t
+(** @raise Runtime_error if unknown. *)
+
+val range_schema : env -> (Ast.var * Schema.t) list -> Ast.range -> Schema.t
+(** Schema of a range, computed without evaluating it (constructor
+    applications contribute their declared result type). *)
+
+val eval_term : env -> Ast.term -> Value.t
+val eval_cmp : Ast.cmpop -> Value.t -> Value.t -> bool
+val eval_formula : env -> Ast.formula -> bool
+val eval_range : env -> Ast.range -> Relation.t
+val eval_args : env -> Ast.arg list -> arg_value list
+
+val eval_comp : ?schema:Schema.t -> env -> Ast.branch list -> Relation.t
+(** Evaluate a comprehension. [schema] imposes the result schema (used for
+    constructor bodies, whose result type is declared); otherwise it is
+    inferred from the first branch. *)
+
+val eval_branch :
+  env -> Ast.branch -> emit:('a -> Tuple.t -> 'a) -> 'a -> 'a
+(** Fold [emit] over the tuples one branch produces (after join
+    scheduling); used directly by the semi-naive fixpoint engine. *)
+
+val query : env -> Ast.range -> Relation.t
+(** Alias of {!eval_range}. *)

@@ -1,0 +1,111 @@
+(* Generic bottom-up rewriting over the calculus AST.
+
+   [map_*] applies a range transformer everywhere a range occurs; the
+   transformer sees each rewritten-children range and may replace it.  Used
+   by the semi-naive fixpoint engine (substituting delta relations for one
+   recursive occurrence) and by the N1–N3 range-nesting rewrites of
+   [Dc_compile.Rewrite]. *)
+
+open Ast
+
+let rec map_formula f = function
+  | (True | False | Cmp _) as x -> x
+  | Not x -> Not (map_formula f x)
+  | And (a, b) -> And (map_formula f a, map_formula f b)
+  | Or (a, b) -> Or (map_formula f a, map_formula f b)
+  | Some_in (v, r, x) -> Some_in (v, map_range f r, map_formula f x)
+  | All_in (v, r, x) -> All_in (v, map_range f r, map_formula f x)
+  | In_rel (v, r) -> In_rel (v, map_range f r)
+  | Member (ts, r) -> Member (ts, map_range f r)
+
+and map_range f r =
+  let r' =
+    match r with
+    | Rel _ -> r
+    | Select (base, s, args) -> Select (map_range f base, s, List.map (map_arg f) args)
+    | Construct (base, c, args) ->
+      Construct (map_range f base, c, List.map (map_arg f) args)
+    | Comp branches -> Comp (List.map (map_branch f) branches)
+  in
+  f r'
+
+and map_arg f = function
+  | Arg_scalar t -> Arg_scalar t
+  | Arg_range r -> Arg_range (map_range f r)
+
+and map_branch f { binders; target; where } =
+  {
+    binders = List.map (fun (v, r) -> (v, map_range f r)) binders;
+    target;
+    where = map_formula f where;
+  }
+
+let map_branches f bs = List.map (map_branch f) bs
+
+(* Substitute terms for scalar parameters (closing a definition over actual
+   scalar arguments at compile time, §4 "logical access paths" with dummy
+   constants). *)
+let rec subst_params_term bindings = function
+  | Const _ as t -> t
+  | Field _ as t -> t
+  | Param p as t -> (
+    match List.assoc_opt p bindings with
+    | Some t' -> t'
+    | None -> t)
+  | Binop (op, a, b) ->
+    Binop (op, subst_params_term bindings a, subst_params_term bindings b)
+
+let rec subst_params_formula bindings = function
+  | (True | False) as f -> f
+  | Cmp (op, a, b) ->
+    Cmp (op, subst_params_term bindings a, subst_params_term bindings b)
+  | Not f -> Not (subst_params_formula bindings f)
+  | And (a, b) ->
+    And (subst_params_formula bindings a, subst_params_formula bindings b)
+  | Or (a, b) ->
+    Or (subst_params_formula bindings a, subst_params_formula bindings b)
+  | Some_in (v, r, f) ->
+    Some_in (v, subst_params_range bindings r, subst_params_formula bindings f)
+  | All_in (v, r, f) ->
+    All_in (v, subst_params_range bindings r, subst_params_formula bindings f)
+  | In_rel (v, r) -> In_rel (v, subst_params_range bindings r)
+  | Member (ts, r) ->
+    Member
+      (List.map (subst_params_term bindings) ts, subst_params_range bindings r)
+
+and subst_params_range bindings = function
+  | Rel _ as r -> r
+  | Select (base, s, args) ->
+    Select
+      (subst_params_range bindings base, s, List.map (subst_params_arg bindings) args)
+  | Construct (base, c, args) ->
+    Construct
+      (subst_params_range bindings base, c, List.map (subst_params_arg bindings) args)
+  | Comp branches -> Comp (List.map (subst_params_branch bindings) branches)
+
+and subst_params_arg bindings = function
+  | Arg_scalar t -> Arg_scalar (subst_params_term bindings t)
+  | Arg_range r -> Arg_range (subst_params_range bindings r)
+
+and subst_params_branch bindings { binders; target; where } =
+  {
+    binders = List.map (fun (v, r) -> (v, subst_params_range bindings r)) binders;
+    target = List.map (subst_params_term bindings) target;
+    where = subst_params_formula bindings where;
+  }
+
+(* Rename relation names (closing formals over actual relation names). *)
+let rename_rels mapping =
+  map_range (function
+    | Rel n as r -> (
+      match List.assoc_opt n mapping with
+      | Some n' -> Rel n'
+      | None -> r)
+    | r -> r)
+
+let rename_rels_branch mapping = map_branch (function
+  | Rel n as r -> (
+    match List.assoc_opt n mapping with
+    | Some n' -> Rel n'
+    | None -> r)
+  | r -> r)

@@ -1,0 +1,27 @@
+(** Generic bottom-up rewriting over the calculus AST.
+
+    [map_*] applies a range transformer everywhere a range occurs (the
+    transformer sees each range after its children were rewritten); the
+    [subst_params_*] family closes definitions over actual scalar
+    arguments; [rename_rels*] renames relation names. *)
+
+open Ast
+
+val map_formula : (range -> range) -> formula -> formula
+val map_range : (range -> range) -> range -> range
+val map_arg : (range -> range) -> arg -> arg
+val map_branch : (range -> range) -> branch -> branch
+val map_branches : (range -> range) -> branch list -> branch list
+
+val subst_params_term : (string * term) list -> term -> term
+(** Substitute terms for scalar parameter names. *)
+
+val subst_params_formula : (string * term) list -> formula -> formula
+val subst_params_range : (string * term) list -> range -> range
+val subst_params_arg : (string * term) list -> arg -> arg
+val subst_params_branch : (string * term) list -> branch -> branch
+
+val rename_rels : (string * string) list -> range -> range
+(** Rename relation names per the mapping (unmapped names unchanged). *)
+
+val rename_rels_branch : (string * string) list -> branch -> branch

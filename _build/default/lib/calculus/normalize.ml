@@ -1,0 +1,111 @@
+(* Negation normal form and polarity analysis.
+
+   Implements the transformation from the proof sketch of the §3.3 lemma:
+   replace range-coupled quantifiers by their duals and push negations
+   inward with generalized deMorgan and double-negation laws, so that NOT
+   remains only on atomic membership literals.  On the resulting form,
+   monotonicity is syntactically visible: an expression is monotone in a
+   relation name iff every occurrence of the name has positive polarity
+   (ALL-range positions and negated literals flip polarity). *)
+
+open Ast
+
+(* NNF: push NOT down to atoms, using the dual-quantifier laws
+     NOT (SOME r IN R (p))  =  ALL r IN R (NOT p)
+     NOT (ALL r IN R (p))   =  SOME r IN R (NOT p)
+   (ranges are untouched — they keep their polarity role). *)
+let rec nnf = function
+  | (True | False | Cmp _ | In_rel _ | Member _) as f -> f
+  | Not f -> nnf_neg f
+  | And (a, b) -> conj (nnf a) (nnf b)
+  | Or (a, b) -> disj (nnf a) (nnf b)
+  | Some_in (v, r, f) -> Some_in (v, r, nnf f)
+  | All_in (v, r, f) -> All_in (v, r, nnf f)
+
+and nnf_neg = function
+  | True -> False
+  | False -> True
+  | Cmp (op, a, b) -> Cmp (negate_cmpop op, a, b)
+  | Not f -> nnf f
+  | And (a, b) -> disj (nnf_neg a) (nnf_neg b)
+  | Or (a, b) -> conj (nnf_neg a) (nnf_neg b)
+  | Some_in (v, r, f) -> All_in (v, r, nnf_neg f)
+  | All_in (v, r, f) -> Some_in (v, r, nnf_neg f)
+  | (In_rel _ | Member _) as atom -> Not atom
+
+let rec is_nnf = function
+  | True | False | Cmp _ | In_rel _ | Member _ -> true
+  | Not (In_rel _ | Member _) -> true
+  | Not _ -> false
+  | And (a, b) | Or (a, b) -> is_nnf a && is_nnf b
+  | Some_in (_, _, f) | All_in (_, _, f) -> is_nnf f
+
+(* ------------------------------------------------------------------ *)
+(* Polarity of relation-name occurrences. *)
+
+type polarity =
+  | Positive
+  | Negative
+
+let flip = function
+  | Positive -> Negative
+  | Negative -> Positive
+
+type polar_occurrence = {
+  po_target : Positivity.target;
+  po_polarity : polarity;
+}
+
+let rec formula_pol pol acc f =
+  match nnf f with
+  | True | False | Cmp _ -> acc
+  | Not (In_rel (_, r)) | Not (Member (_, r)) -> range_pol (flip pol) acc r
+  | Not _ -> assert false (* nnf leaves NOT only on atoms *)
+  | And (a, b) | Or (a, b) -> formula_pol pol (formula_pol pol acc a) b
+  | Some_in (_, r, f) -> formula_pol pol (range_pol pol acc r) f
+  | All_in (_, r, f) ->
+    (* bigger range => more instances to satisfy => antitone in the range *)
+    formula_pol pol (range_pol (flip pol) acc r) f
+  | In_rel (_, r) | Member (_, r) -> range_pol pol acc r
+
+and range_pol pol acc = function
+  | Rel n -> { po_target = Positivity.Rel_name n; po_polarity = pol } :: acc
+  | Select (r, _, args) ->
+    List.fold_left (arg_pol pol) (range_pol pol acc r) args
+  | Construct (r, c, args) ->
+    let acc = { po_target = Positivity.App c; po_polarity = pol } :: acc in
+    List.fold_left (arg_pol pol) (range_pol pol acc r) args
+  | Comp branches -> List.fold_left (branch_pol pol) acc branches
+
+and arg_pol pol acc = function
+  | Arg_scalar _ -> acc
+  | Arg_range r -> range_pol pol acc r
+
+and branch_pol pol acc { binders; where; _ } =
+  let acc =
+    List.fold_left (fun acc (_, r) -> range_pol pol acc r) acc binders
+  in
+  formula_pol pol acc where
+
+let polarities_formula f = List.rev (formula_pol Positive [] f)
+let polarities_branches bs = List.rev (List.fold_left (branch_pol Positive) [] bs)
+
+(* Syntactic monotonicity: every occurrence of the target is positive after
+   normalization.  By the §3.3 lemma this follows from positivity, and the
+   test suite checks that implication on both hand-written and generated
+   constructor systems. *)
+let monotone_in_branches bs target =
+  List.for_all
+    (fun o -> o.po_target <> target || o.po_polarity = Positive)
+    (polarities_branches bs)
+
+let monotone_in_formula f target =
+  List.for_all
+    (fun o -> o.po_target <> target || o.po_polarity = Positive)
+    (polarities_formula f)
+
+(* Normalize every formula inside a branch (binder ranges included, via the
+   generic rewriter). *)
+let nnf_branch (b : branch) =
+  let b = Morph.map_branch (fun r -> r) b in
+  { b with where = nnf b.where }

@@ -1,0 +1,193 @@
+(* The positivity constraint of paper §3.3.
+
+   Definitions (verbatim from the paper):
+   - a name appears under ALL if the expression is
+     [ALL r IN exp (p)] and the name appears in [exp] — names appearing
+     only in [p] are NOT under that ALL;
+   - a name appears under NOT if it appears in a negated factor;
+   - an expression [f(Rel_1, ..., Rel_n)] satisfies the positivity
+     constraint if every occurrence of each [Rel_i] appears under an even
+     total number of negations and universal quantifiers.
+
+   The DBPL compiler accepts only constructor systems whose recursive
+   applications satisfy positivity; by the §3.3 lemma such systems are
+   monotonic, so the §3.2 least fixpoint exists and is reached in finitely
+   many steps. *)
+
+open Ast
+
+type target =
+  | Rel_name of string (* occurrence of a named relation *)
+  | App of string (* occurrence of a constructor application *)
+
+type occurrence = {
+  occ_target : target;
+  occ_depth : int; (* total number of enclosing NOTs and ALL-ranges *)
+}
+
+let rec formula_occ depth acc = function
+  | True | False | Cmp _ -> acc
+  | Not f -> formula_occ (depth + 1) acc f
+  | And (a, b) | Or (a, b) -> formula_occ depth (formula_occ depth acc a) b
+  | Some_in (_, r, f) ->
+    (* existential range is not under the quantifier *)
+    formula_occ depth (range_occ depth acc r) f
+  | All_in (_, r, f) ->
+    (* names in the range ARE under the ALL; names in the body are not *)
+    formula_occ depth (range_occ (depth + 1) acc r) f
+  | In_rel (_, r) | Member (_, r) -> range_occ depth acc r
+
+and range_occ depth acc = function
+  | Rel n -> { occ_target = Rel_name n; occ_depth = depth } :: acc
+  | Select (r, _, args) ->
+    List.fold_left (arg_occ depth) (range_occ depth acc r) args
+  | Construct (r, c, args) ->
+    let acc = { occ_target = App c; occ_depth = depth } :: acc in
+    List.fold_left (arg_occ depth) (range_occ depth acc r) args
+  | Comp branches -> List.fold_left (branch_occ depth) acc branches
+
+and arg_occ depth acc = function
+  | Arg_scalar _ -> acc
+  | Arg_range r -> range_occ depth acc r
+
+and branch_occ depth acc { binders; where; _ } =
+  let acc =
+    List.fold_left (fun acc (_, r) -> range_occ depth acc r) acc binders
+  in
+  formula_occ depth acc where
+
+let occurrences_formula f = List.rev (formula_occ 0 [] f)
+let occurrences_range r = List.rev (range_occ 0 [] r)
+let occurrences_branches bs = List.rev (List.fold_left (branch_occ 0) [] bs)
+
+(* A formula/expression is positive in [name] if every occurrence of that
+   relation name has even depth. *)
+let positive_in_formula f name =
+  List.for_all
+    (fun o -> o.occ_target <> Rel_name name || o.occ_depth mod 2 = 0)
+    (occurrences_formula f)
+
+let positive_in_branches bs name =
+  List.for_all
+    (fun o -> o.occ_target <> Rel_name name || o.occ_depth mod 2 = 0)
+    (occurrences_branches bs)
+
+(* ------------------------------------------------------------------ *)
+(* Checking a constructor system *)
+
+type violation = {
+  v_constructor : string; (* the definition containing the occurrence *)
+  v_occurrence : string; (* recursive application (or name) at fault  *)
+  v_depth : int;
+}
+
+let pp_violation ppf v =
+  Fmt.pf ppf
+    "constructor %s: recursive occurrence of %s under %d NOT/ALL(s) (odd)"
+    v.v_constructor v.v_occurrence v.v_depth
+
+(* Check that every recursive application inside the given (mutually
+   recursive) system of definitions satisfies positivity.  [defs] is the
+   full system; occurrences of constructors outside the system are
+   applications of already-checked, fully-computable relations and are
+   exempt (they behave as constants during this system's iteration). *)
+let check_system (defs : Defs.constructor_def list) =
+  let in_system c =
+    List.exists (fun (d : Defs.constructor_def) -> d.con_name = c) defs
+  in
+  let violations =
+    List.concat_map
+      (fun (d : Defs.constructor_def) ->
+        List.filter_map
+          (fun o ->
+            match o.occ_target with
+            | App c when in_system c && o.occ_depth mod 2 <> 0 ->
+              Some
+                {
+                  v_constructor = d.con_name;
+                  v_occurrence = c;
+                  v_depth = o.occ_depth;
+                }
+            | App _ | Rel_name _ -> None)
+          (occurrences_branches d.con_body))
+      defs
+  in
+  if violations = [] then Ok () else Error violations
+
+(* ------------------------------------------------------------------ *)
+(* Whole-program check: partition constructors into strongly connected
+   components of their application-dependency graph (Tarjan) and apply the
+   positivity check to each component separately, so that a *non-recursive*
+   use of another, independently computable constructor under NOT/ALL
+   remains legal (it acts as a constant during this system's iteration). *)
+
+let dependencies (d : Defs.constructor_def) =
+  List.filter_map
+    (fun o ->
+      match o.occ_target with
+      | App c -> Some c
+      | Rel_name _ -> None)
+    (occurrences_branches d.con_body)
+
+let sccs (defs : Defs.constructor_def list) =
+  let find name =
+    List.find_opt (fun (d : Defs.constructor_def) -> d.con_name = name) defs
+  in
+  let index = Hashtbl.create 16 in
+  let lowlink = Hashtbl.create 16 in
+  let on_stack = Hashtbl.create 16 in
+  let stack = ref [] in
+  let next = ref 0 in
+  let components = ref [] in
+  let rec strongconnect (d : Defs.constructor_def) =
+    let v = d.con_name in
+    Hashtbl.replace index v !next;
+    Hashtbl.replace lowlink v !next;
+    incr next;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v true;
+    List.iter
+      (fun w ->
+        match find w with
+        | None -> () (* unknown constructor: typechecking reports it *)
+        | Some dw ->
+          if not (Hashtbl.mem index w) then begin
+            strongconnect dw;
+            Hashtbl.replace lowlink v
+              (min (Hashtbl.find lowlink v) (Hashtbl.find lowlink w))
+          end
+          else if Hashtbl.mem on_stack w && Hashtbl.find on_stack w then
+            Hashtbl.replace lowlink v
+              (min (Hashtbl.find lowlink v) (Hashtbl.find index w)))
+      (dependencies d);
+    if Hashtbl.find lowlink v = Hashtbl.find index v then begin
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | w :: rest ->
+          stack := rest;
+          Hashtbl.replace on_stack w false;
+          if String.equal w v then w :: acc else pop (w :: acc)
+      in
+      let comp = pop [] in
+      components :=
+        List.filter_map find comp :: !components
+    end
+  in
+  List.iter
+    (fun (d : Defs.constructor_def) ->
+      if not (Hashtbl.mem index d.con_name) then strongconnect d)
+    defs;
+  List.rev !components
+
+(* Per-SCC positivity for a whole program of constructor definitions. *)
+let check_program defs =
+  let violations =
+    List.concat_map
+      (fun comp ->
+        match check_system comp with
+        | Ok () -> []
+        | Error vs -> vs)
+      (sccs defs)
+  in
+  if violations = [] then Ok () else Error violations

@@ -1,0 +1,56 @@
+(** The positivity constraint of paper §3.3.
+
+    Definitions (paper, verbatim): a name appears {e under ALL} if the
+    expression is [ALL r IN exp (p)] and the name appears in [exp] (names
+    appearing only in [p] are not under that ALL); a name appears
+    {e under NOT} if it appears in a negated factor.  An expression
+    satisfies the positivity constraint when every occurrence of each
+    argument relation sits under an {b even} total number of negations and
+    universal quantifiers — which implies monotonicity (§3.3 lemma), so the
+    §3.2 fixpoint iteration converges. *)
+
+(** What an occurrence refers to. *)
+type target =
+  | Rel_name of string  (** occurrence of a named relation *)
+  | App of string  (** occurrence of a constructor application *)
+
+type occurrence = {
+  occ_target : target;
+  occ_depth : int;  (** number of enclosing NOTs and ALL-range positions *)
+}
+
+val occurrences_formula : Ast.formula -> occurrence list
+val occurrences_range : Ast.range -> occurrence list
+val occurrences_branches : Ast.branch list -> occurrence list
+
+val positive_in_formula : Ast.formula -> string -> bool
+(** Every occurrence of the named relation has even depth. *)
+
+val positive_in_branches : Ast.branch list -> string -> bool
+
+(** {1 Checking constructor systems} *)
+
+type violation = {
+  v_constructor : string;  (** the definition containing the occurrence *)
+  v_occurrence : string;  (** the recursive application at fault *)
+  v_depth : int;
+}
+
+val pp_violation : violation Fmt.t
+
+val check_system :
+  Defs.constructor_def list -> (unit, violation list) result
+(** Check one (mutually recursive) system: every application of an
+    in-system constructor must satisfy positivity. *)
+
+val dependencies : Defs.constructor_def -> string list
+(** Constructors applied in a definition's body (with repetitions). *)
+
+val sccs : Defs.constructor_def list -> Defs.constructor_def list list
+(** Strongly connected components of the application-dependency graph
+    (Tarjan), in dependency order. *)
+
+val check_program :
+  Defs.constructor_def list -> (unit, violation list) result
+(** Per-SCC positivity for a whole program: non-recursive uses of other,
+    independently computable constructors under NOT/ALL remain legal. *)

@@ -1,0 +1,66 @@
+(** Static type checking of calculus expressions against relation schemas —
+    the DBPL compiler's type-checking level (paper §4).
+
+    The checker infers a schema for every range expression (nested
+    comprehensions included; selector applications are type-preserving,
+    constructor applications take their declared result type) and validates
+    terms, comparisons, quantifiers, memberships, and argument lists. *)
+
+open Dc_relation
+
+exception Error of string
+
+(** Checking environment: name resolution for relations, selectors,
+    constructors, and scalar parameters in scope. *)
+type env = {
+  schema_of_rel : string -> Schema.t option;
+  selector_of : string -> Defs.selector_def option;
+  constructor_of : string -> Defs.constructor_def option;
+  scalar_params : (string * Value.ty) list;
+}
+
+val env :
+  ?selectors:Defs.selector_def list ->
+  ?constructors:Defs.constructor_def list ->
+  ?scalar_params:(string * Value.ty) list ->
+  (string * Schema.t) list ->
+  env
+(** Build an environment from association lists. *)
+
+val with_rel : env -> string -> Schema.t -> env
+(** Bind one more relation name (e.g. a definition's formal). *)
+
+val with_scalar_params : env -> (string * Value.ty) list -> env
+
+type ctx = (Ast.var * Schema.t) list
+(** Tuple-variable context: variable → schema of its range. *)
+
+val infer_term : env -> ctx -> Ast.term -> Value.ty
+(** @raise Error on unbound variables, unknown attributes/parameters, or
+    operator/operand mismatches. *)
+
+val check_formula : env -> ctx -> Ast.formula -> unit
+
+val infer_range : env -> ctx -> Ast.range -> Schema.t
+(** Schema of a range expression.
+    @raise Error on unknown names or arity/type mismatches. *)
+
+val infer_branch : env -> ctx -> Ast.branch -> Schema.t
+(** Output schema of one branch (attribute names from [Field] targets,
+    positional names otherwise). *)
+
+val infer_branches : env -> ctx -> Ast.branch list -> Schema.t
+(** Schema of a comprehension; all branches must be positionally
+    compatible with the first. *)
+
+val check_args :
+  env -> ctx -> string -> Defs.param list -> Ast.arg list -> unit
+(** Arguments against formal parameters (arity, kind, type). *)
+
+val check_selector_def : env -> Defs.selector_def -> unit
+val check_constructor_def : env -> Defs.constructor_def -> unit
+
+val check_query : env -> Ast.range -> unit
+
+val result_of : (unit -> 'a) -> ('a, string) result
+(** Run a checking thunk, capturing {!Error} as [Error msg]. *)

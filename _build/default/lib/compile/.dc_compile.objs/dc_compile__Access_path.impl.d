@@ -1,0 +1,1 @@
+lib/compile/access_path.ml: Ast Dc_calculus Dc_core Dc_relation Defs Eval Fmt Index List Relation Schema String

@@ -1,0 +1,1 @@
+lib/compile/access_path.mli: Dc_calculus Dc_relation Defs Eval Relation

@@ -1,0 +1,1 @@
+lib/compile/depgraph.ml: Dc_calculus Defs Fmt List Positivity String

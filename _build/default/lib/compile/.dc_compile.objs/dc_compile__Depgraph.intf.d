@@ -1,0 +1,1 @@
+lib/compile/depgraph.mli: Dc_calculus Defs Fmt

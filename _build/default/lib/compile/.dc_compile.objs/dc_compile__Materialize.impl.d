@@ -1,0 +1,1 @@
+lib/compile/materialize.ml: Ast Database Dc_calculus Dc_core Dc_relation Defs Eval Fixpoint Fmt List Relation String Vars

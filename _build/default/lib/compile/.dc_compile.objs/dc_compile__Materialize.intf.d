@@ -1,0 +1,1 @@
+lib/compile/materialize.mli: Ast Database Dc_calculus Dc_core Dc_relation Fixpoint Relation Tuple

@@ -1,0 +1,1 @@
+lib/compile/plan.ml: Ast Dc_calculus Dc_relation Either Eval Fmt Hashtbl Index List Relation Schema Tuple Value Vars

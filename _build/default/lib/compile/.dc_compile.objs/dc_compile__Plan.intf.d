@@ -1,0 +1,1 @@
+lib/compile/plan.mli: Ast Dc_calculus Dc_relation Eval Fmt Relation Schema

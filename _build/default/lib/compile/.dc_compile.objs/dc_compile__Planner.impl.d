@@ -1,0 +1,1 @@
+lib/compile/planner.ml: Ast Database Dc_calculus Dc_core Dc_datalog Dc_relation Defs Depgraph Eval Fmt List Plan Positivity Pushdown Quant_graph Relation Rewrite Schema String Typecheck Vars

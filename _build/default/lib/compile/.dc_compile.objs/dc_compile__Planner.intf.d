@@ -1,0 +1,1 @@
+lib/compile/planner.mli: Ast Database Dc_calculus Dc_core Dc_datalog Dc_relation Fmt Plan Quant_graph Relation Schema

@@ -1,0 +1,1 @@
+lib/compile/pushdown.ml: Ast Dc_calculus Dc_datalog Dc_relation Defs Either Fmt List Positivity Relation Rewrite Schema String Value

@@ -1,0 +1,1 @@
+lib/compile/pushdown.mli: Ast Dc_calculus Dc_datalog Dc_relation Defs Relation Schema Value

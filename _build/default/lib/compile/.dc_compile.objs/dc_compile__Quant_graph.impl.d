@@ -1,0 +1,1 @@
+lib/compile/quant_graph.ml: Array Ast Dc_calculus Defs Fmt List String Vars

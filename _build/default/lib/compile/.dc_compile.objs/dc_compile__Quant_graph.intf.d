@@ -1,0 +1,1 @@
+lib/compile/quant_graph.mli: Ast Dc_calculus Defs Fmt

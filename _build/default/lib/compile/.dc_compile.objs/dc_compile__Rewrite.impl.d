@@ -1,0 +1,1 @@
+lib/compile/rewrite.ml: Ast Dc_calculus Dc_relation Defs Fmt List Morph Option String

@@ -1,0 +1,1 @@
+lib/compile/rewrite.mli: Ast Dc_calculus Dc_relation Defs

@@ -1,0 +1,98 @@
+(* Logical and physical access paths for parameterized selectors (paper §4,
+   runtime level).
+
+   "A logical access path is a compiled procedure with dummy constants.  A
+   physical access path actually materializes a relation corresponding to
+   the query with the constants used as variables, and partitions it
+   according to the different constant values.  Obviously, a physical
+   access path would be generated only in case of heavy query usage."
+
+   [Logical.apply] re-filters the base relation on every call;
+   [Physical.apply] answers from a hash partition built once.  Experiment
+   E7 measures the crossover. *)
+
+open Dc_relation
+open Dc_calculus
+
+exception Unsupported of string
+
+let unsupported fmt = Fmt.kstr (fun s -> raise (Unsupported s)) fmt
+
+module Logical = struct
+  type t = {
+    def : Defs.selector_def;
+    base : Relation.t;
+    env : Eval.env;
+  }
+
+  let create env (def : Defs.selector_def) base = { def; base; env }
+
+  let apply t args = Dc_core.Selector.apply t.env t.def t.base args
+end
+
+module Physical = struct
+  type t = {
+    def : Defs.selector_def;
+    base_schema : Schema.t;
+    index : Index.t;
+    empty : Relation.t;
+  }
+
+  (* The selector predicate must be a conjunction of equalities between an
+     attribute of the selected tuple and a scalar parameter, each parameter
+     used exactly once — the partitionable class of §4. *)
+  let partition_attrs (def : Defs.selector_def) =
+    let param_names =
+      List.filter_map
+        (function
+          | Defs.Scalar_param (n, _) -> Some n
+          | Defs.Rel_param _ -> None)
+        def.sel_params
+    in
+    if List.length param_names <> List.length def.sel_params then
+      unsupported "selector %s has relation parameters" def.sel_name;
+    let bindings =
+      List.map
+        (fun conj ->
+          match conj with
+          | Ast.Cmp (Ast.Eq, Ast.Field (v, a), Ast.Param p)
+          | Ast.Cmp (Ast.Eq, Ast.Param p, Ast.Field (v, a))
+            when String.equal v def.sel_var ->
+            (p, a)
+          | f ->
+            unsupported "selector %s: conjunct %a is not attr = param"
+              def.sel_name Ast.pp_formula f)
+        (Ast.conjuncts def.sel_pred)
+    in
+    List.map
+      (fun p ->
+        match List.assoc_opt p bindings with
+        | Some a -> a
+        | None -> unsupported "selector %s: parameter %s unused" def.sel_name p)
+      param_names
+
+  let build (def : Defs.selector_def) base =
+    let attrs = partition_attrs def in
+    let schema = Relation.schema base in
+    let positions = List.map (Schema.attr_index schema) attrs in
+    {
+      def;
+      base_schema = schema;
+      index = Index.build positions base;
+      empty = Relation.empty schema;
+    }
+
+  let apply t args =
+    let values =
+      List.map
+        (function
+          | Eval.V_scalar v -> v
+          | Eval.V_rel _ ->
+            unsupported "physical path %s: relation argument" t.def.sel_name)
+        args
+    in
+    List.fold_left
+      (fun acc tuple -> Relation.add_unchecked tuple acc)
+      t.empty
+      (Index.lookup_values t.index values)
+end

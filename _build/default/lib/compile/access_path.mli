@@ -1,0 +1,34 @@
+(** Logical and physical access paths for parameterized selectors (paper
+    §4, runtime level): a logical path is a compiled procedure re-filtering
+    per call; a physical path materializes the partition of the base
+    relation by the parameter values — "generated only in case of heavy
+    query usage". *)
+
+open Dc_relation
+open Dc_calculus
+
+exception Unsupported of string
+
+module Logical : sig
+  type t
+
+  val create : Eval.env -> Defs.selector_def -> Relation.t -> t
+  val apply : t -> Eval.arg_value list -> Relation.t
+  (** Filter the base per call. *)
+end
+
+module Physical : sig
+  type t
+
+  val partition_attrs : Defs.selector_def -> string list
+  (** The attributes the selector equates with its parameters, in parameter
+      order.  @raise Unsupported unless the predicate is a conjunction of
+      [attr = param] with every scalar parameter used exactly once. *)
+
+  val build : Defs.selector_def -> Relation.t -> t
+  (** Materialize the partition (hash index on the parameter-bound
+      attributes). @raise Unsupported *)
+
+  val apply : t -> Eval.arg_value list -> Relation.t
+  (** Answer one parameter combination by index lookup. *)
+end

@@ -1,0 +1,71 @@
+(* The type-checking-level analysis of paper §4: the dependency graph of
+   constructor definitions and its partition into strongly connected
+   components ("a preliminary partitioning of the set of constructor
+   definitions in disconnected graphs", refined to SCCs).
+
+   The planner consults this graph to decide, per application, whether a
+   definition can be inlined as a view (acyclic) or needs a fixpoint plan
+   (recursive cycle). *)
+
+open Dc_calculus
+
+type t = {
+  defs : Defs.constructor_def list;
+  components : Defs.constructor_def list list; (* SCCs, dependency order *)
+}
+
+let build (defs : Defs.constructor_def list) =
+  { defs; components = Positivity.sccs defs }
+
+let components g = g.components
+
+(* A constructor is recursive when its SCC has more than one member or it
+   applies itself directly. *)
+let is_recursive g name =
+  List.exists
+    (fun comp ->
+      List.exists (fun (d : Defs.constructor_def) -> d.con_name = name) comp
+      && (List.length comp > 1
+         || List.exists
+              (fun (d : Defs.constructor_def) ->
+                d.con_name = name
+                && List.mem name (Positivity.dependencies d))
+              comp))
+    g.components
+
+let component_of g name =
+  List.find_opt
+    (fun comp ->
+      List.exists (fun (d : Defs.constructor_def) -> d.con_name = name) comp)
+    g.components
+
+let find g name =
+  List.find_opt (fun (d : Defs.constructor_def) -> d.con_name = name) g.defs
+
+(* Direct dependencies of a constructor (other constructors it applies). *)
+let dependencies g name =
+  match find g name with
+  | None -> []
+  | Some d -> List.sort_uniq String.compare (Positivity.dependencies d)
+
+let pp ppf g =
+  List.iteri
+    (fun i comp ->
+      let names = List.map (fun (d : Defs.constructor_def) -> d.con_name) comp in
+      let recursive =
+        match names with
+        | [ n ] -> is_recursive g n
+        | _ -> true
+      in
+      Fmt.pf ppf "component %d%s: %s@." i
+        (if recursive then " (recursive)" else "")
+        (String.concat ", " names);
+      List.iter
+        (fun (d : Defs.constructor_def) ->
+          match Positivity.dependencies d with
+          | [] -> ()
+          | deps ->
+            Fmt.pf ppf "  %s -> %s@." d.con_name
+              (String.concat ", " (List.sort_uniq String.compare deps)))
+        comp)
+    g.components

@@ -1,0 +1,24 @@
+(** The type-checking-level analysis of paper §4: the dependency graph of
+    constructor definitions partitioned into strongly connected components.
+    The planner consults it to decide, per application, between inlining
+    (acyclic) and a fixpoint plan (recursive cycle). *)
+
+open Dc_calculus
+
+type t
+
+val build : Defs.constructor_def list -> t
+
+val components : t -> Defs.constructor_def list list
+(** SCCs in dependency order. *)
+
+val is_recursive : t -> string -> bool
+(** In a multi-member SCC, or applies itself directly. *)
+
+val component_of : t -> string -> Defs.constructor_def list option
+val find : t -> string -> Defs.constructor_def option
+
+val dependencies : t -> string -> string list
+(** Distinct constructors a definition applies. *)
+
+val pp : t Fmt.t

@@ -1,0 +1,175 @@
+(* Materialized constructed relations with incremental maintenance under
+   base insertions (paper §4: "Maintenance for such access paths is
+   discussed in [ShTZ 84]").
+
+   A materialized view caches the value of one constructor application
+   Base{c(args)}.  On insertion of Δ into the base, the view is maintained
+   by the classic delta derivation: evaluate, per branch and per occurrence
+   of the base, a variant with that occurrence bound to Δ (recursive
+   occurrences bound to the cached value, other base occurrences to the
+   grown base); whatever is new seeds a delta-initialized fixpoint run
+   ([Fixpoint.apply ~seed ~seed_delta]) that propagates only consequences.
+
+   The delta derivation applies to definitions in the semi-naive class
+   whose self-recursion is the root application itself (no scalar/relation
+   parameters feeding the recursion) and whose base occurrences are binder
+   ranges; anything else falls back to a seeded (still sound, merely less
+   incremental) or full recomputation.  Deletions always recompute —
+   monotone seeding is unsound under shrinkage. *)
+
+open Dc_relation
+open Dc_calculus
+open Dc_core
+
+type t = {
+  db : Database.t;
+  constructor : string;
+  base : string; (* base relation variable *)
+  args : Ast.arg list;
+  mutable value : Relation.t;
+  mutable stats : Fixpoint.stats; (* of the last (re)computation *)
+}
+
+let application m = Ast.Construct (Ast.Rel m.base, m.constructor, m.args)
+
+let value m = m.value
+let last_stats m = m.stats
+
+let def_of db constructor =
+  match Database.constructor db constructor with
+  | Some d -> d
+  | None ->
+    raise (Database.Error (Fmt.str "unknown constructor %s" constructor))
+
+let compute ?seed ?seed_delta m =
+  let def = def_of m.db m.constructor in
+  let env = Database.eval_env m.db in
+  let base = Database.get m.db m.base in
+  let args = Eval.eval_args env m.args in
+  let stats = Fixpoint.fresh_stats () in
+  m.value <-
+    Fixpoint.apply ~strategy:(Database.strategy m.db) ~stats ?seed ?seed_delta
+      env def base args;
+  m.stats <- stats
+
+let create db ~constructor ~base ~args =
+  let m =
+    {
+      db;
+      constructor;
+      base;
+      args;
+      value = Relation.empty (def_of db constructor).Defs.con_result;
+      stats = Fixpoint.fresh_stats ();
+    }
+  in
+  Database.check_query db (application m);
+  compute m;
+  m
+
+let refresh m = compute m
+
+(* ------------------------------------------------------------------ *)
+(* The delta derivation *)
+
+exception Fallback
+
+(* The definition is delta-maintainable when: no parameters (so the only
+   self application is the root), every occurrence of the formal is a
+   binder range, and every Construct occurrence is a binder-range
+   application of the definition itself to the bare formal. *)
+let check_maintainable (def : Defs.constructor_def) =
+  if def.con_params <> [] then raise Fallback;
+  let formal = def.con_formal in
+  List.iter
+    (fun (b : Ast.branch) ->
+      (* the formal must not appear outside binder ranges *)
+      if Vars.S.mem formal (Vars.rel_names_formula b.where) then raise Fallback;
+      List.iter
+        (fun (_, r) ->
+          match r with
+          | Ast.Rel _ -> ()
+          | Ast.Construct (Ast.Rel n, c, [])
+            when String.equal n formal && String.equal c def.con_name ->
+            ()
+          | _ -> raise Fallback)
+        b.binders)
+    def.con_body
+
+(* Evaluate the delta variants: per branch, one variant per binder over the
+   bare formal, with that binder bound to [delta_base], other formal
+   binders to the grown base, and recursive applications to [old]. *)
+let delta_candidates m (def : Defs.constructor_def) ~old ~delta_base =
+  let env0 = Database.eval_env m.db in
+  let base = Database.get m.db m.base in
+  let delta_name = "__delta_base" in
+  let hooks =
+    {
+      env0.Eval.hooks with
+      Eval.on_construct =
+        (fun env b d args ->
+          if String.equal d.Defs.con_name def.Defs.con_name then
+            Relation.with_schema def.con_result old
+          else env0.Eval.hooks.Eval.on_construct env b d args);
+    }
+  in
+  let env =
+    Eval.bind_rel
+      (Eval.bind_rel { env0 with Eval.hooks } def.con_formal
+         (Relation.with_schema def.con_formal_schema base))
+      delta_name
+      (Relation.with_schema def.con_formal_schema delta_base)
+  in
+  let acc = ref (Relation.empty def.con_result) in
+  List.iter
+    (fun (b : Ast.branch) ->
+      List.iteri
+        (fun i (_, r) ->
+          match r with
+          | Ast.Rel n when String.equal n def.con_formal ->
+            let binders =
+              List.mapi
+                (fun j (v, r) ->
+                  if j = i then (v, Ast.Rel delta_name) else (v, r))
+                b.binders
+            in
+            acc :=
+              Eval.eval_branch env { b with binders }
+                ~emit:(fun acc t -> Relation.add_unchecked t acc)
+                !acc
+          | _ -> ())
+        b.binders)
+    def.con_body;
+  !acc
+
+(* Insert tuples into the base relation and maintain the view. *)
+let insert m tuples =
+  let def = def_of m.db m.constructor in
+  let old_base = Database.get m.db m.base in
+  let fresh =
+    List.filter (fun t -> not (Relation.mem t old_base)) tuples
+  in
+  Database.insert_all m.db m.base fresh;
+  if fresh = [] then ()
+  else
+    match check_maintainable def with
+    | () ->
+      let delta_base =
+        List.fold_left
+          (fun r t -> Relation.add_unchecked t r)
+          (Relation.empty (Relation.schema old_base))
+          fresh
+      in
+      let candidates =
+        delta_candidates m def ~old:m.value ~delta_base
+      in
+      let seed_delta = Relation.diff candidates m.value in
+      compute ~seed:m.value ~seed_delta m
+    | exception Fallback ->
+      (* still sound: inflationary iteration from the old value *)
+      compute ~seed:m.value m
+
+(* Delete a tuple from the base; the seed is invalid, recompute. *)
+let delete m tuple =
+  Database.delete m.db m.base tuple;
+  compute m

@@ -1,0 +1,37 @@
+(** Materialized constructed relations with incremental maintenance under
+    base insertions — the access-path maintenance paper §4 refers to
+    ([ShTZ 84]).  Insertions seed the next fixpoint with the cached value
+    (sound for monotone systems under base growth); deletions force a
+    recomputation. *)
+
+open Dc_relation
+open Dc_calculus
+open Dc_core
+
+type t
+
+val create :
+  Database.t -> constructor:string -> base:string -> args:Ast.arg list -> t
+(** Materialize [base{constructor(args)}] (typechecked, then computed).
+    @raise Database.Error on unknown names. *)
+
+val application : t -> Ast.range
+(** The application this view caches. *)
+
+val value : t -> Relation.t
+(** Current cached value. *)
+
+val last_stats : t -> Fixpoint.stats
+(** Fixpoint statistics of the last (re)computation — incremental runs
+    show few rounds / small deltas. *)
+
+val refresh : t -> unit
+(** Recompute from bottom. *)
+
+val insert : t -> Tuple.t list -> unit
+(** Insert into the base relation and maintain the view incrementally
+    (seeded fixpoint). *)
+
+val delete : t -> Tuple.t -> unit
+(** Delete from the base; recomputes (seeding is unsound under
+    shrinkage). *)

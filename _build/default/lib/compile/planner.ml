@@ -1,0 +1,348 @@
+(* The query-compilation level of paper §4: given a query form over
+   selected/constructed relations, choose an evaluation method.
+
+   The decision procedure follows the paper:
+   1. build the constructor dependency graph (type-checking level) and the
+      augmented quant graph of the query;
+   2. acyclic applications are decompiled into subqueries on base relations
+      (view optimization, rules N1–N3, Cases 1–3 pushdown);
+   3. cyclic subgraphs get a fixpoint plan; when the query restricts the
+      constructed relation by constants, the capture-rule path (magic
+      sets over the translated Horn program) propagates the constants into
+      the fixpoint. *)
+
+open Dc_relation
+open Dc_calculus
+open Dc_core
+
+type method_ =
+  | Direct (* evaluate as written: LFP of the application system *)
+  | Decompiled of Ast.range (* inlined as a view (acyclic) *)
+  | Pushed of Ast.range (* restriction distributed over branches *)
+  | Magic of {
+      program : Dc_datalog.Syntax.program;
+      query : Dc_datalog.Syntax.atom;
+      schema : Schema.t;
+      residual : Ast.formula; (* conjuncts magic could not absorb *)
+      var : Ast.var;
+    }
+
+type decision = {
+  d_query : Ast.range;
+  d_method : method_;
+  d_plan : Plan.t option; (* physical plan for Decompiled/Pushed methods *)
+  d_quant_graph : Quant_graph.t;
+  d_recursive : bool;
+  d_notes : string list;
+}
+
+let method_name = function
+  | Direct -> "direct fixpoint"
+  | Decompiled _ -> "decompiled view"
+  | Pushed _ -> "pushed restriction"
+  | Magic _ -> "magic (capture rule)"
+
+(* ------------------------------------------------------------------ *)
+
+let translate_ctx db =
+  {
+    Dc_datalog.Translate.lookup_constructor = Database.constructor db;
+    schema_of =
+      (fun n ->
+        match Database.get db n with
+        | r -> Some (Relation.schema r)
+        | exception Database.Error _ -> None);
+  }
+
+let plan db (query : Ast.range) =
+  Database.check_query db query;
+  let defs =
+    List.filter_map (Database.constructor db)
+      (List.sort_uniq String.compare
+         (List.map (fun (a : Vars.app) -> a.app_con) (Vars.apps_of_range query)
+         @ List.concat_map
+             (fun (a : Vars.app) ->
+               match Database.constructor db a.app_con with
+               | Some d ->
+                 List.map
+                   (fun (a' : Vars.app) -> a'.app_con)
+                   (Vars.apps_of_branches d.con_body)
+               | None -> [])
+             (Vars.apps_of_range query)))
+  in
+  (* close over transitive dependencies *)
+  let rec closure acc =
+    let more =
+      List.concat_map
+        (fun (d : Defs.constructor_def) ->
+          List.filter_map
+            (fun c ->
+              if List.exists (fun (d : Defs.constructor_def) -> d.con_name = c) acc
+              then None
+              else Database.constructor db c)
+            (Positivity.dependencies d))
+        acc
+    in
+    if more = [] then acc else closure (acc @ more)
+  in
+  let defs = closure defs in
+  let dep = Depgraph.build defs in
+  let graph = Quant_graph.build ~lookup:(Database.constructor db) query in
+  let recursive = Quant_graph.is_recursive graph in
+  let notes = ref [] in
+  let note fmt = Fmt.kstr (fun s -> notes := s :: !notes) fmt in
+  let schema_of_range r =
+    (* used by pushdown Case 1 to map attributes positionally *)
+    Eval.range_schema (Database.eval_env db) [] r
+  in
+  let method_ =
+    match Pushdown.restricted_application query with
+    | Some (v, (Ast.Construct (_, c, _) as app), where) -> (
+      let bindings, residual = Pushdown.constant_bindings v where in
+      if not (Depgraph.is_recursive dep c) then begin
+        (* acyclic application: decompile + push the whole restriction *)
+        match
+          Pushdown.push_nonrecursive
+            ~constructor_of:(Database.constructor db)
+            ~schema_of_range v app where
+        with
+        | pushed ->
+          note "constructor %s acyclic: decompiled, restriction pushed" c;
+          Pushed (Rewrite.flatten_range pushed)
+        | exception Pushdown.Not_applicable msg ->
+          note "pushdown not applicable (%s): decompiling only" msg;
+          Decompiled
+            (Rewrite.decompile ~schema_of:schema_of_range
+               ~selector_of:(Database.selector db)
+               ~constructor_of:(Database.constructor db)
+               ~is_recursive:(Depgraph.is_recursive dep)
+               query)
+      end
+      else if bindings <> [] then begin
+        match Database.constructor db c with
+        | None -> Direct
+        | Some def -> (
+          match
+            Pushdown.magic_query ~ctx:(translate_ctx db)
+              ~schema:def.con_result app bindings
+          with
+          | program, q ->
+            note
+              "recursive cycle through %s with %d constant binding(s): \
+               capture rule (magic sets)"
+              c (List.length bindings);
+            Magic
+              {
+                program;
+                query = q;
+                schema = def.con_result;
+                residual = Ast.conj_list residual;
+                var = v;
+              }
+          | exception Dc_datalog.Translate.Unsupported msg ->
+            note "translation unsupported (%s): direct fixpoint" msg;
+            Direct)
+      end
+      else begin
+        note "recursive application without constant restriction: fixpoint";
+        Direct
+      end)
+    | Some (_, _, _) | None ->
+      if recursive then begin
+        note "recursive quant graph: fixpoint evaluation";
+        Direct
+      end
+      else begin
+        let has_defs =
+          Vars.apps_of_range query <> []
+          ||
+          match query with
+          | Ast.Select _ -> true
+          | _ -> Rewrite.flatten_range query <> query
+        in
+        if has_defs then begin
+          note "acyclic query: full decompilation and view optimization";
+          Decompiled
+            (Rewrite.decompile ~schema_of:schema_of_range
+               ~selector_of:(Database.selector db)
+               ~constructor_of:(Database.constructor db)
+               ~is_recursive:(Depgraph.is_recursive dep)
+               query)
+        end
+        else Direct
+      end
+  in
+  let plan_of_method =
+    match method_ with
+    | Decompiled q | Pushed q -> (
+      let schema_of_rel n =
+        match Database.get db n with
+        | r -> Relation.schema r
+        | exception Database.Error msg -> raise (Plan.Not_compilable msg)
+      in
+      match Plan.of_range ~schema_of_rel q with
+      | p ->
+        note "compiled to a physical plan (%d branch pipeline(s))"
+          (List.length p.Plan.p_branches);
+        Some p
+      | exception Plan.Not_compilable msg ->
+        note "not compilable to a static plan (%s): interpreting" msg;
+        None)
+    | Direct | Magic _ -> None
+  in
+  {
+    d_query = query;
+    d_method = method_;
+    d_plan = plan_of_method;
+    d_quant_graph = graph;
+    d_recursive = recursive;
+    d_notes = List.rev !notes;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Runtime level: execute a decision. *)
+
+let edb_for db program =
+  Dc_datalog.Syntax.SS.fold
+    (fun pred edb ->
+      match Database.get db pred with
+      | rel -> Dc_datalog.Facts.of_relation pred rel edb
+      | exception Database.Error _ -> edb)
+    (Dc_datalog.Syntax.edb_preds program)
+    (Dc_datalog.Facts.empty ())
+
+let execute ?use_indexes db (d : decision) =
+  match d.d_method, d.d_plan with
+  | (Decompiled _ | Pushed _), Some plan ->
+    Database.coerce
+      (Dc_calculus.Eval.range_schema (Database.eval_env db) [] d.d_query)
+      (Plan.run ?use_indexes (Database.eval_env db) plan)
+  | Direct, _ -> Database.query db d.d_query
+  | (Decompiled q | Pushed q), None -> Database.query db q
+  | Magic { program; query; schema; residual; var }, _ ->
+    let edb = edb_for db program in
+    let result = Pushdown.run_magic ~edb ~schema program query in
+    if residual = Ast.True then result
+    else
+      let env = Database.eval_env db in
+      Relation.filter
+        (fun t ->
+          Eval.eval_formula (Eval.bind_var env var t schema) residual)
+        result
+
+let plan_and_execute db query = execute db (plan db query)
+
+(* ------------------------------------------------------------------ *)
+(* Prepared query forms.
+
+   "Database programming languages are frequently used to implement
+   higher-level interfaces and therefore contain only incompletely
+   specified query forms" (§4).  A prepared form is a query with scalar
+   parameter placeholders, compiled once — the paper's logical access
+   path: "a compiled procedure with dummy constants" — and executed many
+   times with actual values. *)
+
+type prepared = {
+  pr_params : (string * Dc_relation.Value.ty) list;
+  pr_run : Dc_relation.Value.t list -> Relation.t;
+  pr_description : string;
+}
+
+let prepared_description p = p.pr_description
+
+let prepare db ~params (query : Ast.range) =
+  (* typecheck the form once, parameters in scope *)
+  Typecheck.check_query
+    (Typecheck.with_scalar_params (Database.typecheck_env db) params)
+    query;
+  let bind_scalars env values =
+    if List.length values <> List.length params then
+      Dc_calculus.Eval.runtime_error "prepared form expects %d argument(s)"
+        (List.length params);
+    List.fold_left2
+      (fun env (name, ty) v ->
+        if Dc_relation.Value.type_of v <> ty then
+          Dc_calculus.Eval.runtime_error
+            "prepared form: argument %s expects %s" name
+            (Dc_relation.Value.type_name ty);
+        Eval.bind_scalar env name v)
+      env params values
+  in
+  (* dummy constants close the form for schema inference *)
+  let dummies =
+    List.map
+      (fun (_, ty) ->
+        match (ty : Dc_relation.Value.ty) with
+        | TInt -> Dc_relation.Value.Int 0
+        | TStr -> Dc_relation.Value.Str ""
+        | TBool -> Dc_relation.Value.Bool false
+        | TFloat -> Dc_relation.Value.Float 0.)
+      params
+  in
+  let dep =
+    Depgraph.build
+      (List.filter_map (Database.constructor db)
+         (Database.constructor_names db))
+  in
+  (* compile what we can: decompile acyclic applications, then a static
+     plan (Param placeholders act as closed index keys) *)
+  let compiled =
+    match
+      Rewrite.decompile
+        ~schema_of:(fun r ->
+          Eval.range_schema
+            (bind_scalars (Database.eval_env db) dummies)
+            [] r)
+        ~selector_of:(Database.selector db)
+        ~constructor_of:(Database.constructor db)
+        ~is_recursive:(Depgraph.is_recursive dep)
+        query
+    with
+    | q -> (
+      let schema_of_rel n =
+        match Database.get db n with
+        | r -> Relation.schema r
+        | exception Database.Error msg -> raise (Plan.Not_compilable msg)
+      in
+      match Plan.of_range ~schema_of_rel q with
+      | p -> Some p
+      | exception Plan.Not_compilable _ -> None)
+    | exception _ -> None
+  in
+  match compiled with
+  | Some plan ->
+    {
+      pr_params = params;
+      pr_run =
+        (fun values ->
+          Plan.run (bind_scalars (Database.eval_env db) values) plan);
+      pr_description = Fmt.str "compiled plan:@.%a" Plan.pp plan;
+    }
+  | None ->
+    (* recursive or otherwise uncompilable: interpret per call with the
+       parameters bound (the paper's "partial logical access paths") *)
+    {
+      pr_params = params;
+      pr_run =
+        (fun values ->
+          Eval.eval_range (bind_scalars (Database.eval_env db) values) query);
+      pr_description = "interpreted form (recursive application)";
+    }
+
+let run_prepared p values = p.pr_run values
+
+let explain ppf (d : decision) =
+  Fmt.pf ppf "query: %a@." Ast.pp_range d.d_query;
+  Fmt.pf ppf "method: %s@." (method_name d.d_method);
+  List.iter (fun n -> Fmt.pf ppf "note: %s@." n) d.d_notes;
+  (match d.d_method with
+  | Decompiled q | Pushed q ->
+    Fmt.pf ppf "rewritten: %a@." Ast.pp_range q;
+    (match d.d_plan with
+    | Some plan -> Fmt.pf ppf "plan:@.%a@." Plan.pp plan
+    | None -> ())
+  | Magic { program; query; _ } ->
+    Fmt.pf ppf "translated program:@.%a@." Dc_datalog.Syntax.pp_program program;
+    Fmt.pf ppf "magic query: %a@." Dc_datalog.Syntax.pp_atom query
+  | Direct -> ());
+  Quant_graph.pp ppf d.d_quant_graph

@@ -1,0 +1,77 @@
+(** The query-compilation level of paper §4: choose an evaluation method
+    per query form, following the paper's three-level strategy — dependency
+    graph (type-checking level), augmented quant graph + decompilation or
+    fixpoint plan (query compilation level), execution (runtime level). *)
+
+open Dc_relation
+open Dc_calculus
+open Dc_core
+
+(** Chosen evaluation method. *)
+type method_ =
+  | Direct  (** evaluate as written: LFP of the application system *)
+  | Decompiled of Ast.range  (** inlined as a view (acyclic) *)
+  | Pushed of Ast.range  (** restriction distributed over branches *)
+  | Magic of {
+      program : Dc_datalog.Syntax.program;
+      query : Dc_datalog.Syntax.atom;
+      schema : Schema.t;
+      residual : Ast.formula;  (** conjuncts magic could not absorb *)
+      var : Ast.var;
+    }  (** the recursive capture rule *)
+
+type decision = {
+  d_query : Ast.range;
+  d_method : method_;
+  d_plan : Plan.t option;
+      (** physical plan for [Decompiled]/[Pushed] methods (when the
+          rewritten query compiles to a static pipeline) *)
+  d_quant_graph : Quant_graph.t;
+  d_recursive : bool;
+  d_notes : string list;  (** human-readable planning notes *)
+}
+
+val method_name : method_ -> string
+
+val translate_ctx : Database.t -> Dc_datalog.Translate.context
+
+val plan : Database.t -> Ast.range -> decision
+(** Typecheck and plan a query. *)
+
+val edb_for : Database.t -> Dc_datalog.Syntax.program -> Dc_datalog.Facts.t
+(** Collect the EDB relations a translated program references. *)
+
+val execute : ?use_indexes:bool -> Database.t -> decision -> Relation.t
+(** Runtime level: run the decision.  [use_indexes:false] forces full
+    scans in compiled plans (the E11 ablation). *)
+
+val plan_and_execute : Database.t -> Ast.range -> Relation.t
+
+(** {1 Prepared query forms}
+
+    §4: "database programming languages ... contain only incompletely
+    specified query forms"; a prepared form is compiled once with its
+    scalar parameters as dummy constants (the paper's logical access path)
+    and executed many times with actual values. *)
+
+type prepared
+
+val prepare :
+  Database.t ->
+  params:(string * Dc_relation.Value.ty) list ->
+  Ast.range ->
+  prepared
+(** Typecheck and compile a query form whose [Ast.Param] placeholders are
+    listed in [params].  Non-recursive forms become static plans with the
+    parameters as index keys; recursive forms fall back to per-call
+    interpretation. *)
+
+val run_prepared : prepared -> Dc_relation.Value.t list -> Relation.t
+(** @raise Dc_calculus.Eval.Runtime_error on arity/type mismatch. *)
+
+val prepared_description : prepared -> string
+(** How the form was compiled (shown by diagnostics). *)
+
+val explain : decision Fmt.t
+(** Query, method, notes, rewritten form / translated program, and the
+    augmented quant graph. *)

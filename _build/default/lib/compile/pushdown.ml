@@ -1,0 +1,156 @@
+(* Constraint propagation into constructor definitions (paper §4,
+   Cases 1–3), including the recursive case via capture rules.
+
+   The query under consideration is the canonical restricted application
+
+     { EACH r IN Base{c(args)}: pred(r) }
+
+   - If [c] is non-recursive, the application is decompiled and the
+     predicate distributed over the resulting branches:
+       Case 1 (selector): single expression, single variable — conjoin;
+       Case 2 (join): substitute r.f by the target term in position f;
+       Case 3 (union): treat each branch separately, provided pred
+       satisfies the positivity constraint w.r.t. the application.
+   - If [c] is recursive and the restriction binds attributes to constants,
+     the paper points at capture rules ([Ullm 84]); we implement the
+     general such rule: translate the application to Horn clauses
+     ({!Dc_datalog.Translate}) and evaluate with the magic-sets transform,
+     which propagates the constants into the fixpoint so that only
+     relevant tuples are constructed. *)
+
+open Dc_relation
+open Dc_calculus
+open Ast
+
+exception Not_applicable of string
+
+let not_applicable fmt = Fmt.kstr (fun s -> raise (Not_applicable s)) fmt
+
+(* The canonical restricted-application shape, if the query has it. *)
+let restricted_application = function
+  | Comp [ { binders = [ (v, (Construct _ as app)) ]; target = []; where } ] ->
+    Some (v, app, where)
+  | Construct _ as app -> Some ("r", app, True)
+  | _ -> None
+
+(* Constant restrictions of the shape  v.attr = const  among the top-level
+   conjuncts; returns (bindings, residual conjuncts). *)
+let constant_bindings v where =
+  List.partition_map
+    (fun conj ->
+      match conj with
+      | Cmp (Eq, Field (v', a), Const c) when v' = v -> Either.Left (a, c)
+      | Cmp (Eq, Const c, Field (v', a)) when v' = v -> Either.Left (a, c)
+      | f -> Either.Right f)
+    (conjuncts where)
+
+(* Substitute occurrences of [v.<result attr>] in [pred] by per-branch
+   replacement terms; [replace attr] yields the term for a result
+   attribute.  Stops at quantifiers that shadow [v]. *)
+let substitute_result v replace pred =
+  let rec subst_term = function
+    | Field (v', a) when v' = v -> replace a
+    | Binop (op, a, b) -> Binop (op, subst_term a, subst_term b)
+    | t -> t
+  in
+  let rec subst_formula = function
+    | (True | False) as f -> f
+    | Cmp (op, a, b) -> Cmp (op, subst_term a, subst_term b)
+    | Not f -> Not (subst_formula f)
+    | And (a, b) -> And (subst_formula a, subst_formula b)
+    | Or (a, b) -> Or (subst_formula a, subst_formula b)
+    | Some_in (x, r, f) ->
+      if String.equal x v then Some_in (x, r, f)
+      else Some_in (x, r, subst_formula f)
+    | All_in (x, r, f) ->
+      if String.equal x v then All_in (x, r, f)
+      else All_in (x, r, subst_formula f)
+    | In_rel _ as f -> f
+    | Member (ms, r) -> Member (List.map subst_term ms, r)
+  in
+  subst_formula pred
+
+(* Distribute a restriction over the branches of a decompiled application.
+   [result] is the constructor's declared result schema (the type of the
+   tuple variable [v]); [schema_of_range] resolves binder-range schemas for
+   identity branches. *)
+let push_into_branches ~result ~schema_of_range v pred branches =
+  List.map
+    (fun (b : branch) ->
+      match b.target, b.binders with
+      | [], [ (bv, range) ] ->
+        (* Case 1: the branch copies its binder; map result attributes to
+           the binder's positionally corresponding attributes *)
+        let base_schema = schema_of_range range in
+        let replace a =
+          let i = Schema.attr_index result a in
+          Field (bv, Schema.attr_name base_schema i)
+        in
+        { b with where = conj b.where (substitute_result v replace pred) }
+      | [], _ -> not_applicable "identity branch with several binders"
+      | ts, _ ->
+        (* Case 2: substitute r.f by the target term in position f *)
+        let replace a =
+          let i = Schema.attr_index result a in
+          match List.nth_opt ts i with
+          | Some t -> t
+          | None -> not_applicable "no target term for attribute %s" a
+        in
+        { b with where = conj b.where (substitute_result v replace pred) })
+    branches
+
+(* Case 3 side condition: pred must be positive in the application being
+   pushed into (else the constructed relation has to be computed fully
+   before pred can be evaluated, [JaKo 83]). *)
+let positive_in_application pred con =
+  List.for_all
+    (fun (o : Positivity.occurrence) ->
+      match o.occ_target with
+      | Positivity.App c when String.equal c con -> o.occ_depth mod 2 = 0
+      | _ -> true)
+    (Positivity.occurrences_formula pred)
+
+(* Push a restriction into a *non-recursive* application by decompiling
+   and distributing (Cases 1–3).  Returns the rewritten query range. *)
+let push_nonrecursive ~constructor_of ~schema_of_range v app pred =
+  match app with
+  | Construct (base, c, args) -> (
+    match constructor_of c with
+    | None -> not_applicable "unknown constructor %s" c
+    | Some (def : Defs.constructor_def) -> (
+      if not (positive_in_application pred c) then
+        not_applicable "restriction not positive in %s" c;
+      match
+        Rewrite.instantiate_constructor ~schema_of:schema_of_range def base args
+      with
+      | Comp branches ->
+        Comp
+          (push_into_branches ~result:def.con_result ~schema_of_range v pred
+             branches)
+      | _ -> assert false))
+  | _ -> not_applicable "not a constructor application"
+
+(* ------------------------------------------------------------------ *)
+(* The recursive capture rule *)
+
+(* Build the Horn program and adorned query for evaluating
+   {EACH r IN app: r.a1 = c1 AND ...} through magic sets.  [schema] is the
+   constructor's result schema. *)
+let magic_query ~ctx ~schema app (bindings : (string * Value.t) list) =
+  let program, query_pred = Dc_datalog.Translate.of_application ctx app in
+  let query_args =
+    List.mapi
+      (fun i name ->
+        ignore name;
+        let attr = Schema.attr_name schema i in
+        match List.assoc_opt attr bindings with
+        | Some c -> Dc_datalog.Syntax.Const c
+        | None -> Dc_datalog.Syntax.Var (Fmt.str "Q%d" i))
+      (Schema.attr_names schema)
+  in
+  (program, Dc_datalog.Syntax.atom query_pred query_args)
+
+let run_magic ?stats ~edb ~schema program query =
+  let answers = Dc_datalog.Magic.answer ?stats program edb query in
+  Dc_datalog.Facts.TS.fold Relation.add_unchecked answers
+    (Relation.empty schema)

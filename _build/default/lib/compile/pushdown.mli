@@ -1,0 +1,65 @@
+(** Constraint propagation into constructor definitions (paper §4,
+    Cases 1–3), including the recursive case via capture rules (magic sets
+    over the §3.4 translation). *)
+
+open Dc_relation
+open Dc_calculus
+open Ast
+
+exception Not_applicable of string
+
+val restricted_application : range -> (var * range * formula) option
+(** Recognize [{EACH r IN Base{c(args)}: pred}] (or a bare application);
+    returns (variable, application, restriction). *)
+
+val constant_bindings :
+  var -> formula -> (string * Value.t) list * formula list
+(** Split the top-level conjuncts into [v.attr = const] bindings and the
+    residual conjuncts. *)
+
+val substitute_result : var -> (string -> term) -> formula -> formula
+(** Replace [v.<attr>] by per-attribute replacement terms (stops at
+    quantifiers shadowing [v]). *)
+
+val push_into_branches :
+  result:Schema.t ->
+  schema_of_range:(range -> Schema.t) ->
+  var ->
+  formula ->
+  branch list ->
+  branch list
+(** Distribute a restriction over decompiled branches: Case 1 (identity
+    branch — conjoin, attributes mapped positionally), Case 2 (join —
+    substitute by target terms). @raise Not_applicable *)
+
+val positive_in_application : formula -> string -> bool
+(** Case 3 side condition: the restriction is positive in the application
+    being pushed into. *)
+
+val push_nonrecursive :
+  constructor_of:(string -> Defs.constructor_def option) ->
+  schema_of_range:(range -> Schema.t) ->
+  var ->
+  range ->
+  formula ->
+  range
+(** Decompile a non-recursive application and push the restriction
+    (Cases 1–3). @raise Not_applicable *)
+
+val magic_query :
+  ctx:Dc_datalog.Translate.context ->
+  schema:Schema.t ->
+  range ->
+  (string * Value.t) list ->
+  Dc_datalog.Syntax.program * Dc_datalog.Syntax.atom
+(** The recursive capture rule: translate the application to Horn clauses
+    and build the adorned query for the constant bindings. *)
+
+val run_magic :
+  ?stats:Dc_datalog.Seminaive.stats ->
+  edb:Dc_datalog.Facts.t ->
+  schema:Schema.t ->
+  Dc_datalog.Syntax.program ->
+  Dc_datalog.Syntax.atom ->
+  Relation.t
+(** Evaluate a magic query and convert the answers back to a relation. *)

@@ -1,0 +1,82 @@
+(** Range-nesting rewrites (paper §4, rules N1–N3 of [JaKo 83]) and
+    definition inlining ("decompilation"):
+
+    {v
+    N1: {EACH r IN R: p1 AND p2}  <=> {EACH r IN {EACH r' IN R: p1}: p2}
+    N2: SOME r IN R (p1 AND p2)   <=> SOME r IN {EACH r' IN R: p1} (p2)
+    N3: ALL r IN R (NOT p1 OR p2) <=> ALL r IN {EACH r' IN R: p1} (p2)
+    v}
+
+    The optimizer uses the [<==] direction: selector and (acyclic)
+    constructor applications are replaced by their instantiated
+    definitions, then single-branch nested comprehensions are flattened
+    back into the surrounding predicate. *)
+
+open Dc_calculus
+open Ast
+
+val fresh_var : var -> var
+(** Globally fresh variant of a variable name. *)
+
+val rename_formula : (var * var) list -> formula -> formula
+(** Rename free tuple variables (capture-avoiding w.r.t. binders). *)
+
+val rename_range : (var * var) list -> range -> range
+val rename_branch : (var * var) list -> branch -> branch
+
+val standardize_apart : branch -> branch
+(** Fresh names for all the branch's binders. *)
+
+val retype_branch :
+  (string -> (Dc_relation.Schema.t * Dc_relation.Schema.t) option) ->
+  (var * (Dc_relation.Schema.t * Dc_relation.Schema.t)) list ->
+  branch ->
+  branch
+(** Positional attribute retyping: [info name] gives the (formal, actual)
+    schema pair for names about to be substituted; field references through
+    variables bound over such names are renamed to the actual attribute at
+    the same position. *)
+
+val retype_formula :
+  (string -> (Dc_relation.Schema.t * Dc_relation.Schema.t) option) ->
+  (var * (Dc_relation.Schema.t * Dc_relation.Schema.t)) list ->
+  formula ->
+  formula
+
+val instantiate_selector :
+  schema_of:(range -> Dc_relation.Schema.t) ->
+  Defs.selector_def ->
+  range ->
+  arg list ->
+  range
+(** Close a selector over an actual base and arguments:
+    [Rel[s(args)] ~> {EACH v IN base: pred[params := args]}] (§4 Case 1). *)
+
+val instantiate_constructor :
+  schema_of:(range -> Dc_relation.Schema.t) ->
+  Defs.constructor_def ->
+  range ->
+  arg list ->
+  range
+(** Close a constructor over an actual base and arguments (§4 Cases 2–3):
+    its body with formal/parameters substituted, attributes retyped, and
+    binders standardized apart.  Only sound to {e inline} for acyclic
+    definitions — the caller guards recursion. *)
+
+val flatten_branch : branch -> branch
+(** N1 [<==]: merge single-binder identity comprehension ranges into the
+    surrounding branch. *)
+
+val flatten_range : range -> range
+val flatten_formula : formula -> formula
+(** N2/N3 [<==] inside quantifier ranges. *)
+
+val decompile :
+  schema_of:(range -> Dc_relation.Schema.t) ->
+  selector_of:(string -> Defs.selector_def option) ->
+  constructor_of:(string -> Defs.constructor_def option) ->
+  is_recursive:(string -> bool) ->
+  range ->
+  range
+(** Inline every selector application and every acyclic constructor
+    application, then flatten, to a fixed point. *)

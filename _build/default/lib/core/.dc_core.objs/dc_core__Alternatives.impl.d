@@ -1,0 +1,1 @@
+lib/core/alternatives.ml: Algebra Dc_relation Hashtbl Index List Relation Tuple Value

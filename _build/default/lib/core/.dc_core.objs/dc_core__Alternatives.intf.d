@@ -1,0 +1,1 @@
+lib/core/alternatives.mli: Dc_relation Relation Value

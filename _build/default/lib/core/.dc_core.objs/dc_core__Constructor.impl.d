@@ -1,0 +1,1 @@
+lib/core/constructor.ml: Ast Dc_calculus Dc_relation Defs Fmt List Schema Value

@@ -1,0 +1,1 @@
+lib/core/constructor.mli: Dc_calculus Dc_relation Defs Schema Value

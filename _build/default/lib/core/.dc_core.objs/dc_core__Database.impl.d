@@ -1,0 +1,1 @@
+lib/core/database.ml: Dc_calculus Dc_relation Defs Eval Fixpoint Fmt List Map Positivity Relation Schema Selector String Typecheck

@@ -1,0 +1,1 @@
+lib/core/database.mli: Ast Dc_calculus Dc_relation Defs Eval Fixpoint Relation Schema Tuple Typecheck

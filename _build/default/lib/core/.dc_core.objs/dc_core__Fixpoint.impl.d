@@ -1,0 +1,1 @@
+lib/core/fixpoint.ml: Ast Dc_calculus Dc_relation Defs Eval Fmt Fun List Map Option Relation Selector Set String Value

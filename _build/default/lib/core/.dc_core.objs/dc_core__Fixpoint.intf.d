@@ -1,0 +1,1 @@
+lib/core/fixpoint.mli: Dc_calculus Dc_relation Defs Eval Fmt Relation

@@ -1,0 +1,1 @@
+lib/core/selector.ml: Dc_calculus Dc_relation Defs Eval Fmt List Relation Schema Tuple

@@ -1,0 +1,1 @@
+lib/core/selector.mli: Dc_calculus Dc_relation Defs Eval Relation Tuple

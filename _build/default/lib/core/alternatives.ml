@@ -1,0 +1,107 @@
+(* The six "options for fixpoint enhancements in database programming" the
+   paper enumerates in §3.4, instantiated on transitive closure so the
+   experiments can compare them against the constructor approach (the
+   "seventh alternative"):
+
+   1. program iteration            — the REPEAT loop of §3.1, verbatim;
+   2. recursive boolean functions  — tuple-at-a-time membership testing;
+      and recursive relation-valued functions — the §3.4 FUNCTION ahead
+      listing;
+   3. specialized LFP operators    — a built-in transitive-closure
+      operator, QBE/QUEL* style;
+   4. equational relation definition — a generic inflationary least-
+      fixpoint combinator applied to the defining equation;
+   5. views as relation-valued functions — same as the recursive function,
+      used as a parameterized view;
+   6. logic programming            — the Horn-clause engines of
+      [Dc_datalog].
+
+   The paper's criticisms are recorded with each implementation: options 1
+   and 2 "share the problem of too much generality since the programmer
+   can write anything into the loop or the function body; this severely
+   limits query optimization"; option 3 "is essentially procedural and
+   does not seem to fit well into a calculus-oriented language". *)
+
+open Dc_relation
+
+(* ------------------------------------------------------------------ *)
+(* 1. Program iteration: the §3.1 loop
+     Ahead := {};
+     REPEAT Oldahead := Ahead;
+            Ahead := {EACH r IN Infront: TRUE,
+                      <f.front, b.tail> OF EACH f IN Infront,
+                                           EACH b IN Ahead: f.back = b.head}
+     UNTIL Ahead = Oldahead
+   Opaque to any optimizer: the loop body is ordinary program text. *)
+let program_iteration rel =
+  let ahead = ref (Relation.empty (Relation.schema rel)) in
+  let continue = ref true in
+  while !continue do
+    let oldahead = !ahead in
+    ahead := Relation.union rel (Algebra.compose rel oldahead);
+    continue := not (Relation.equal !ahead oldahead)
+  done;
+  !ahead
+
+(* ------------------------------------------------------------------ *)
+(* 2a. Recursive boolean function: test membership tuple-at-a-time (DFS
+   over the base relation).  No set-orientation at all; every test
+   re-traverses, and cyclic data needs an explicit visited set — the
+   bookkeeping bottom-up evaluation gets for free. *)
+let membership_function rel x y =
+  let visited = Hashtbl.create 16 in
+  let idx = Index.build [ 0 ] rel in
+  let rec reaches src =
+    if Hashtbl.mem visited src then false
+    else begin
+      Hashtbl.replace visited src ();
+      List.exists
+        (fun t ->
+          Value.equal (Tuple.get t 1) y || reaches (Tuple.get t 1))
+        (Index.lookup_values idx [ src ])
+    end
+  in
+  reaches x
+
+(* 2b/5. Recursive relation-valued function — the §3.4 listing:
+     FUNCTION ahead (Current: aheadrel): aheadrel;
+     BEGIN New := {...}; IF New = Current THEN RETURN Current
+                         ELSE RETURN ahead(New) END
+   As a view it is a parameterized relation-valued function; "functions
+   are too general to be optimized efficiently". *)
+let recursive_function rel =
+  let rec ahead current =
+    let next = Relation.union rel (Algebra.compose rel current) in
+    if Relation.equal next current then current else ahead next
+  in
+  ahead (Relation.empty (Relation.schema rel))
+
+(* ------------------------------------------------------------------ *)
+(* 3. Specialized LFP operator: a built-in transitive-closure operator in
+   the style of QBE's closure or QUEL's '*' commands — efficient
+   (semi-naive underneath) but closed: only the shapes the operator
+   anticipates can use it. *)
+let specialized_operator = Algebra.transitive_closure
+
+(* ------------------------------------------------------------------ *)
+(* 4. Equational relation definition:
+       Ahead | Ahead = Infront ∪ (Infront ; Ahead)
+   expressed through a generic inflationary least-fixpoint combinator over
+   a monotone step function. *)
+let lfp ~bottom step =
+  let rec loop x =
+    let x' = Relation.union x (step x) in
+    if Relation.equal x' x then x else loop x'
+  in
+  loop bottom
+
+let equational rel =
+  lfp
+    ~bottom:(Relation.empty (Relation.schema rel))
+    (fun ahead -> Relation.union rel (Algebra.compose rel ahead))
+
+(* ------------------------------------------------------------------ *)
+(* 6. Logic programming: see [Dc_datalog] (SLD for the proof-oriented
+   reading, Naive/Seminaive for the bottom-up one); the benchmarks wire it
+   in directly.  The seventh alternative — constructors — lives in
+   [Constructor]/[Fixpoint]. *)

@@ -1,0 +1,30 @@
+(** The six "options for fixpoint enhancements in database programming"
+    of paper §3.4, instantiated on transitive closure as comparison points
+    for the constructor approach (experiment E12).  Each implementation's
+    doc records the paper's assessment of the option. *)
+
+open Dc_relation
+
+val program_iteration : Relation.t -> Relation.t
+(** Option 1 — the §3.1 REPEAT loop, verbatim.  "The programmer can write
+    anything into the loop ...; this severely limits query optimization." *)
+
+val membership_function : Relation.t -> Value.t -> Value.t -> bool
+(** Option 2a — recursive boolean function: tuple-at-a-time membership by
+    DFS (needs its own visited set on cyclic data). *)
+
+val recursive_function : Relation.t -> Relation.t
+(** Options 2b/5 — the §3.4 [FUNCTION ahead] listing; as a parameterized
+    view, a relation-valued function.  "Functions are too general to be
+    optimized efficiently." *)
+
+val specialized_operator : Relation.t -> Relation.t
+(** Option 3 — a built-in transitive-closure operator (QBE closure /
+    QUEL [*] style): efficient but closed, "essentially procedural". *)
+
+val lfp : bottom:Relation.t -> (Relation.t -> Relation.t) -> Relation.t
+(** Generic inflationary least fixpoint of a monotone step function. *)
+
+val equational : Relation.t -> Relation.t
+(** Option 4 — equational relation definition
+    [Ahead | Ahead = Infront ∪ (Infront ; Ahead)] through {!lfp}. *)

@@ -1,0 +1,293 @@
+(* Ready-made constructor definitions: the paper's running examples (§2.3,
+   §3.1, §3.3) plus generic recursion patterns used by tests and benches.
+
+   All builders produce plain {!Dc_calculus.Defs.constructor_def} values;
+   nothing here extends the semantics. *)
+
+open Dc_relation
+open Dc_calculus
+open Ast
+
+let binary_schema ?(a = "src") ?(b = "dst") ty =
+  Schema.make [ (a, ty); (b, ty) ]
+
+(* ------------------------------------------------------------------ *)
+(* Transitive closure (the generalized "ahead" of §3.1):
+
+   CONSTRUCTOR tc FOR Rel: binrel (): binrel;
+   BEGIN EACH r IN Rel: TRUE,
+         <f.src, b.dst> OF EACH f IN Rel, EACH b IN Rel{tc}:
+           f.dst = b.src
+   END tc
+
+   [linear] selects where the recursive occurrence sits:
+   - `Right : pairs join Rel with Rel{tc}   (right-linear, the paper's)
+   - `Left  : pairs join Rel{tc} with Rel   (left-linear)
+   - `Non   : joins Rel{tc} with Rel{tc}    (non-linear: converges in
+              O(log diameter) rounds, used by the iteration benches) *)
+
+type linearity =
+  [ `Right
+  | `Left
+  | `Non
+  ]
+
+let transitive_closure ?(name = "tc") ?(src = "src") ?(dst = "dst")
+    ?(ty = Value.TStr) ?(linear = `Right) () : Defs.constructor_def =
+  let schema = binary_schema ~a:src ~b:dst ty in
+  let self = Construct (Rel "Rel", name, []) in
+  let f_range, b_range =
+    match linear with
+    | `Right -> (Rel "Rel", self)
+    | `Left -> (self, Rel "Rel")
+    | `Non -> (self, self)
+  in
+  let step =
+    branch
+      [ ("f", f_range); ("b", b_range) ]
+      ~target:[ field "f" src; field "b" dst ]
+      ~where:(eq (field "f" dst) (field "b" src))
+  in
+  {
+    con_name = name;
+    con_formal = "Rel";
+    con_formal_schema = schema;
+    con_params = [];
+    con_result = schema;
+    con_body = [ identity_branch (Rel "Rel"); step ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* The bounded family ahead-1 ... ahead-n of §3.1: ahead-1 is the identity
+   constructor; ahead-k joins Rel with Rel{ahead-(k-1)}.  Returns the
+   definitions in dependency order; apply the last one. *)
+
+let ahead_n ?(prefix = "ahead") ?(ty = Value.TStr) n : Defs.constructor_def list
+    =
+  if n < 1 then invalid_arg "ahead_n: n must be >= 1";
+  let schema = binary_schema ~a:"front" ~b:"back" ty in
+  let result = binary_schema ~a:"head" ~b:"tail" ty in
+  let def k =
+    let body =
+      if k = 1 then [ identity_branch (Rel "Rel") ]
+      else
+        [
+          identity_branch (Rel "Rel");
+          branch
+            [
+              ("f", Rel "Rel");
+              ("b", Construct (Rel "Rel", Fmt.str "%s_%d" prefix (k - 1), []));
+            ]
+            ~target:[ field "f" "front"; field "b" "tail" ]
+            ~where:(eq (field "f" "back") (field "b" "head"));
+        ]
+    in
+    {
+      Defs.con_name = Fmt.str "%s_%d" prefix k;
+      con_formal = "Rel";
+      con_formal_schema = schema;
+      con_params = [];
+      con_result = result;
+      con_body = body;
+    }
+  in
+  List.init n (fun i -> def (i + 1))
+
+(* ------------------------------------------------------------------ *)
+(* The mutually recursive pair of §3.1.  Types:
+
+     infrontrel = RELATION OF RECORD front, back: parttype END
+     ontoprel   = RELATION OF RECORD top, base: parttype END
+     aheadrel   = RELATION OF RECORD head, tail: parttype END
+     aboverel   = RELATION OF RECORD high, low: parttype END
+
+   CONSTRUCTOR ahead FOR Rel: infrontrel (Ontop: ontoprel): aheadrel;
+   BEGIN EACH r IN Rel: TRUE,
+         <r.front, ah.tail> OF EACH r IN Rel,
+                               EACH ah IN Rel{ahead(Ontop)}:
+           r.back = ah.head,
+         <r.front, ab.low> OF EACH r IN Rel,
+                              EACH ab IN Ontop{above(Rel)}:
+           r.back = ab.high
+   END ahead   (and symmetrically for above). *)
+
+let infront_schema ty = Schema.make [ ("front", ty); ("back", ty) ]
+let ontop_schema ty = Schema.make [ ("top", ty); ("base", ty) ]
+let ahead_schema ty = Schema.make [ ("head", ty); ("tail", ty) ]
+let above_schema ty = Schema.make [ ("high", ty); ("low", ty) ]
+
+let ahead_above ?(ty = Value.TStr) () :
+    Defs.constructor_def * Defs.constructor_def =
+  let infront = infront_schema ty
+  and ontop = ontop_schema ty
+  and aheadrel = ahead_schema ty
+  and aboverel = above_schema ty in
+  let ahead =
+    {
+      Defs.con_name = "ahead";
+      con_formal = "Rel";
+      con_formal_schema = infront;
+      con_params = [ Defs.Rel_param ("Ontop", ontop) ];
+      con_result = aheadrel;
+      con_body =
+        [
+          identity_branch (Rel "Rel");
+          branch
+            [
+              ("r", Rel "Rel");
+              ( "ah",
+                Construct (Rel "Rel", "ahead", [ Arg_range (Rel "Ontop") ]) );
+            ]
+            ~target:[ field "r" "front"; field "ah" "tail" ]
+            ~where:(eq (field "r" "back") (field "ah" "head"));
+          branch
+            [
+              ("r", Rel "Rel");
+              ( "ab",
+                Construct (Rel "Ontop", "above", [ Arg_range (Rel "Rel") ]) );
+            ]
+            ~target:[ field "r" "front"; field "ab" "low" ]
+            ~where:(eq (field "r" "back") (field "ab" "high"));
+        ];
+    }
+  in
+  let above =
+    {
+      Defs.con_name = "above";
+      con_formal = "Rel";
+      con_formal_schema = ontop;
+      con_params = [ Defs.Rel_param ("Infront", infront) ];
+      con_result = aboverel;
+      con_body =
+        [
+          identity_branch (Rel "Rel");
+          branch
+            [
+              ("r", Rel "Rel");
+              ( "ab",
+                Construct (Rel "Rel", "above", [ Arg_range (Rel "Infront") ])
+              );
+            ]
+            ~target:[ field "r" "top"; field "ab" "low" ]
+            ~where:(eq (field "r" "base") (field "ab" "high"));
+          branch
+            [
+              ("r", Rel "Rel");
+              ( "ah",
+                Construct
+                  (Rel "Infront", "ahead", [ Arg_range (Rel "Rel") ]) );
+            ]
+            ~target:[ field "r" "top"; field "ah" "tail" ]
+            ~where:(eq (field "r" "base") (field "ah" "head"));
+        ];
+    }
+  in
+  (ahead, above)
+
+(* ------------------------------------------------------------------ *)
+(* The ahead-2 constructor of §2.3. *)
+
+let ahead_2 ?(ty = Value.TStr) () : Defs.constructor_def =
+  let infront = infront_schema ty and aheadrel = ahead_schema ty in
+  {
+    con_name = "ahead2";
+    con_formal = "Rel";
+    con_formal_schema = infront;
+    con_params = [];
+    con_result = aheadrel;
+    con_body =
+      [
+        identity_branch (Rel "Rel");
+        branch
+          [ ("f", Rel "Rel"); ("b", Rel "Rel") ]
+          ~target:[ field "f" "front"; field "b" "back" ]
+          ~where:(eq (field "f" "back") (field "b" "front"));
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* The non-monotone examples of §3.3.  Both violate positivity; they can
+   only be evaluated with positivity checking disabled.
+
+   nonsense:  EACH r IN Rel: NOT (r IN Rel{nonsense})     (oscillates)
+   strange:   EACH r IN Baserel:
+                NOT SOME s IN Baserel{strange} (r.number = s.number + 1)
+              (non-monotone, but its iteration happens to converge) *)
+
+let nonsense ?(ty = Value.TStr) () : Defs.constructor_def =
+  let schema = Schema.make [ ("x", ty) ] in
+  {
+    con_name = "nonsense";
+    con_formal = "Rel";
+    con_formal_schema = schema;
+    con_params = [];
+    con_result = schema;
+    con_body =
+      [
+        branch
+          [ ("r", Rel "Rel") ]
+          ~target:[ field "r" "x" ]
+          ~where:(Not (In_rel ("r", Construct (Rel "Rel", "nonsense", []))));
+      ];
+  }
+
+let strange () : Defs.constructor_def =
+  let schema = Schema.make [ ("number", Value.TInt) ] in
+  {
+    con_name = "strange";
+    con_formal = "Baserel";
+    con_formal_schema = schema;
+    con_params = [];
+    con_result = schema;
+    con_body =
+      [
+        branch
+          [ ("r", Rel "Baserel") ]
+          ~target:[ field "r" "number" ]
+          ~where:
+            (Not
+               (Some_in
+                  ( "s",
+                    Construct (Rel "Baserel", "strange", []),
+                    eq (field "r" "number")
+                      (Binop (Add, field "s" "number", int 1)) )));
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Same-generation: the classic deductive-database benchmark; exercises a
+   quadratic recursive rule the paper's framework must handle.
+
+     sg(x, y) <- flat(x, y)
+     sg(x, y) <- up(x, u), sg(u, v), down(v, y)
+
+   Base relation: Up (child-to-parent edges); parameters: Flat, Down. *)
+
+let same_generation ?(ty = Value.TStr) () : Defs.constructor_def =
+  let edge = binary_schema ty in
+  {
+    con_name = "same_generation";
+    con_formal = "Up";
+    con_formal_schema = edge;
+    con_params = [ Defs.Rel_param ("Flat", edge); Defs.Rel_param ("Down", edge) ];
+    con_result = edge;
+    con_body =
+      [
+        identity_branch (Rel "Flat");
+        branch
+          [
+            ("u", Rel "Up");
+            ( "s",
+              Construct
+                ( Rel "Up",
+                  "same_generation",
+                  [ Arg_range (Rel "Flat"); Arg_range (Rel "Down") ] ) );
+            ("d", Rel "Down");
+          ]
+          ~target:[ field "u" "src"; field "d" "dst" ]
+          ~where:
+            (conj
+               (eq (field "u" "dst") (field "s" "src"))
+               (eq (field "s" "dst") (field "d" "src")));
+      ];
+  }

@@ -1,0 +1,58 @@
+(** Ready-made constructor definitions: the paper's running examples
+    (§2.3, §3.1, §3.3) and generic recursion patterns used across tests,
+    examples, and benchmarks. *)
+
+open Dc_relation
+open Dc_calculus
+
+val binary_schema : ?a:string -> ?b:string -> Value.ty -> Schema.t
+(** Two attributes of one type; defaults [src]/[dst]. *)
+
+(** Position of the recursive occurrence in the transitive-closure step
+    rule. *)
+type linearity =
+  [ `Right  (** Rel ⋈ Rel{tc} — the paper's ahead form *)
+  | `Left  (** Rel{tc} ⋈ Rel *)
+  | `Non  (** Rel{tc} ⋈ Rel{tc} — converges in O(log diameter) rounds *)
+  ]
+
+val transitive_closure :
+  ?name:string ->
+  ?src:string ->
+  ?dst:string ->
+  ?ty:Value.ty ->
+  ?linear:linearity ->
+  unit ->
+  Defs.constructor_def
+(** The generalized "ahead" of §3.1 over a binary relation. *)
+
+val ahead_n :
+  ?prefix:string -> ?ty:Value.ty -> int -> Defs.constructor_def list
+(** The bounded family ahead-1 … ahead-n of §3.1 (pairs separated by at
+    most k steps), in dependency order. *)
+
+val infront_schema : Value.ty -> Schema.t
+val ontop_schema : Value.ty -> Schema.t
+val ahead_schema : Value.ty -> Schema.t
+val above_schema : Value.ty -> Schema.t
+
+val ahead_above :
+  ?ty:Value.ty -> unit -> Defs.constructor_def * Defs.constructor_def
+(** The mutually recursive pair of §3.1 ([ahead], [above]); define them as
+    one group. *)
+
+val ahead_2 : ?ty:Value.ty -> unit -> Defs.constructor_def
+(** The two-step constructor of §2.3. *)
+
+val nonsense : ?ty:Value.ty -> unit -> Defs.constructor_def
+(** §3.3: [EACH r IN Rel: NOT (r IN Rel{nonsense})] — violates positivity;
+    its unchecked iteration oscillates with period 2. *)
+
+val strange : unit -> Defs.constructor_def
+(** §3.3 ([Hehn 84]): non-monotone, rejected by positivity, yet its
+    unchecked iteration converges (on [{0..6}] to [{0,2,4,6}]). *)
+
+val same_generation : ?ty:Value.ty -> unit -> Defs.constructor_def
+(** The classic deductive-database benchmark:
+    [sg(x,y) <- flat(x,y); sg(x,y) <- up(x,u), sg(u,v), down(v,y)].
+    Base relation: Up; parameters: Flat, Down. *)

@@ -1,0 +1,193 @@
+(* The database programming environment: named relation variables plus the
+   registries of selector and constructor definitions, with DBPL's checks
+   wired in:
+
+   - relation assignment re-validates the §2.2 key constraint;
+   - assignment through a selected variable re-validates the selector
+     predicate (§2.3);
+   - constructor definition runs the static type checker and the §3.3
+     positivity check (per dependency SCC), as the DBPL compiler's
+     type-checking level does;
+   - query evaluation installs the fixpoint semantics for constructor
+     applications (§3.2). *)
+
+open Dc_relation
+open Dc_calculus
+
+module SM = Map.Make (String)
+
+exception Error of string
+
+let error fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
+
+type t = {
+  mutable rels : Relation.t SM.t;
+  mutable selectors : Defs.selector_def SM.t;
+  mutable constructors : Defs.constructor_def SM.t;
+  mutable strategy : Fixpoint.strategy;
+  mutable check_positivity : bool;
+  mutable max_rounds : int;
+  mutable last_stats : Fixpoint.stats option;
+}
+
+let create ?(strategy = Fixpoint.Seminaive) ?(check_positivity = true)
+    ?(max_rounds = Fixpoint.default_max_rounds) () =
+  {
+    rels = SM.empty;
+    selectors = SM.empty;
+    constructors = SM.empty;
+    strategy;
+    check_positivity;
+    max_rounds;
+    last_stats = None;
+  }
+
+let set_strategy db s = db.strategy <- s
+let strategy db = db.strategy
+let set_check_positivity db b = db.check_positivity <- b
+let last_stats db = db.last_stats
+
+(* ------------------------------------------------------------------ *)
+(* Relation variables *)
+
+let declare db name schema =
+  if SM.mem name db.rels then error "relation %s already declared" name;
+  db.rels <- SM.add name (Relation.empty schema) db.rels
+
+let get db name =
+  match SM.find_opt name db.rels with
+  | Some r -> r
+  | None -> error "unknown relation %s" name
+
+let set db name rel =
+  match SM.find_opt name db.rels with
+  | None -> db.rels <- SM.add name rel db.rels
+  | Some old ->
+    if not (Schema.compatible (Relation.schema old) (Relation.schema rel)) then
+      error "assignment to %s: incompatible relation type" name;
+    db.rels <- SM.add name rel db.rels
+
+let relation_names db = List.map fst (SM.bindings db.rels)
+
+let insert db name tuple = set db name (Relation.add tuple (get db name))
+
+let insert_all db name tuples =
+  set db name (List.fold_left (fun r t -> Relation.add t r) (get db name) tuples)
+
+let delete db name tuple = set db name (Relation.remove tuple (get db name))
+
+(* ------------------------------------------------------------------ *)
+(* Static environments *)
+
+let typecheck_env db =
+  Typecheck.env
+    ~selectors:(List.map snd (SM.bindings db.selectors))
+    ~constructors:(List.map snd (SM.bindings db.constructors))
+    (List.map (fun (n, r) -> (n, Relation.schema r)) (SM.bindings db.rels))
+
+(* Evaluation environment with the full constructor/selector semantics. *)
+let eval_env db =
+  let hooks =
+    {
+      Eval.selector_def = (fun n -> SM.find_opt n db.selectors);
+      Eval.constructor_def = (fun n -> SM.find_opt n db.constructors);
+      Eval.on_select = (fun env base def args -> Selector.apply env def base args);
+      Eval.on_construct =
+        (fun env base def args ->
+          let stats = Fixpoint.fresh_stats () in
+          let value =
+            Fixpoint.apply ~strategy:db.strategy ~max_rounds:db.max_rounds
+              ~stats env def base args
+          in
+          db.last_stats <- Some stats;
+          value);
+    }
+  in
+  Eval.make_env ~hooks (SM.bindings db.rels)
+
+(* ------------------------------------------------------------------ *)
+(* Definitions *)
+
+let define_selector db (def : Defs.selector_def) =
+  (try Typecheck.check_selector_def (typecheck_env db) def
+   with Typecheck.Error msg -> error "selector %s: %s" def.sel_name msg);
+  db.selectors <- SM.add def.sel_name def db.selectors
+
+(* Constructors may be mutually recursive, so groups are registered
+   atomically: all signatures become visible, then every body is checked,
+   then the §3.3 positivity check runs over the whole program. *)
+let define_constructors db (defs : Defs.constructor_def list) =
+  let saved = db.constructors in
+  db.constructors <-
+    List.fold_left
+      (fun m (d : Defs.constructor_def) -> SM.add d.con_name d m)
+      db.constructors defs;
+  try
+    List.iter
+      (fun (d : Defs.constructor_def) ->
+        try Typecheck.check_constructor_def (typecheck_env db) d
+        with Typecheck.Error msg -> error "constructor %s: %s" d.con_name msg)
+      defs;
+    if db.check_positivity then begin
+      let all = List.map snd (SM.bindings db.constructors) in
+      match Positivity.check_program all with
+      | Ok () -> ()
+      | Error (v :: _) -> error "%a" Positivity.pp_violation v
+      | Error [] -> assert false
+    end
+  with e ->
+    db.constructors <- saved;
+    raise e
+
+let define_constructor db def = define_constructors db [ def ]
+
+let selector db name = SM.find_opt name db.selectors
+let constructor db name = SM.find_opt name db.constructors
+
+let selector_names db = List.map fst (SM.bindings db.selectors)
+let constructor_names db = List.map fst (SM.bindings db.constructors)
+
+(* ------------------------------------------------------------------ *)
+(* Queries and assignment *)
+
+let check_query db range = Typecheck.check_query (typecheck_env db) range
+
+let query db range =
+  check_query db range;
+  Eval.eval_range (eval_env db) range
+
+let eval_formula db formula =
+  Typecheck.check_formula (typecheck_env db) [] formula;
+  Eval.eval_formula (eval_env db) formula
+
+(* Re-impose a target schema (names, key) on a computed relation, re-running
+   the key check — the relational type checker of §2.2. *)
+let coerce schema rel =
+  if not (Schema.compatible schema (Relation.schema rel)) then
+    error "value of type %a cannot be assigned at type %a" Schema.pp
+      (Relation.schema rel) Schema.pp schema;
+  Relation.of_list schema (Relation.to_list rel)
+
+(* Rel := <range expression> *)
+let assign db name range =
+  let target = get db name in
+  let value = query db range in
+  set db name (coerce (Relation.schema target) value)
+
+(* Rel[s(args)] := <range expression>  — the §2.3 selector-guarded
+   assignment: every tuple of the right-hand side must satisfy the
+   selector predicate. *)
+let assign_selected db name ~selector:sel_name ~args range =
+  let target = get db name in
+  let def =
+    match selector db sel_name with
+    | Some d -> d
+    | None -> error "unknown selector %s" sel_name
+  in
+  let value = coerce (Relation.schema target) (query db range) in
+  let env = eval_env db in
+  let arg_values = Eval.eval_args env args in
+  let checked =
+    Selector.check_assignment env def ~current:target arg_values value
+  in
+  set db name checked

@@ -1,0 +1,96 @@
+(** The database programming environment: named relation variables plus
+    registries of selector and constructor definitions, with DBPL's checks
+    wired in — key constraints on assignment (§2.2), selector-guarded
+    assignment (§2.3), static typing and positivity at definition time
+    (§3.3, §4), fixpoint semantics at query time (§3.2). *)
+
+open Dc_relation
+open Dc_calculus
+
+exception Error of string
+
+type t
+
+val create :
+  ?strategy:Fixpoint.strategy ->
+  ?check_positivity:bool ->
+  ?max_rounds:int ->
+  unit ->
+  t
+(** Fresh database. Defaults: [Seminaive], positivity checked,
+    {!Fixpoint.default_max_rounds}. *)
+
+val set_strategy : t -> Fixpoint.strategy -> unit
+val strategy : t -> Fixpoint.strategy
+val set_check_positivity : t -> bool -> unit
+
+val last_stats : t -> Fixpoint.stats option
+(** Statistics of the most recent top-level constructor application. *)
+
+(** {1 Relation variables} *)
+
+val declare : t -> string -> Schema.t -> unit
+(** @raise Error if the name is taken. *)
+
+val get : t -> string -> Relation.t
+(** @raise Error if unknown. *)
+
+val set : t -> string -> Relation.t -> unit
+(** Bind or update; updating requires a compatible schema. *)
+
+val relation_names : t -> string list
+
+val insert : t -> string -> Tuple.t -> unit
+(** @raise Relation.Key_violation / Relation.Type_mismatch per §2.2. *)
+
+val insert_all : t -> string -> Tuple.t list -> unit
+val delete : t -> string -> Tuple.t -> unit
+
+(** {1 Definitions} *)
+
+val define_selector : t -> Defs.selector_def -> unit
+(** Typechecks the body. @raise Error on failure. *)
+
+val define_constructors : t -> Defs.constructor_def list -> unit
+(** Register a (possibly mutually recursive) group atomically: all
+    signatures become visible, every body is typechecked, then the §3.3
+    positivity check runs per dependency SCC.  On failure nothing is
+    registered. @raise Error *)
+
+val define_constructor : t -> Defs.constructor_def -> unit
+
+val selector : t -> string -> Defs.selector_def option
+val constructor : t -> string -> Defs.constructor_def option
+
+val selector_names : t -> string list
+val constructor_names : t -> string list
+
+(** {1 Environments} *)
+
+val typecheck_env : t -> Typecheck.env
+val eval_env : t -> Eval.env
+(** Evaluation environment with selector filtering and constructor
+    fixpoint semantics installed. *)
+
+(** {1 Queries and assignment} *)
+
+val check_query : t -> Ast.range -> unit
+val query : t -> Ast.range -> Relation.t
+(** Typecheck, then evaluate (constructor applications run to their least
+    fixpoint). *)
+
+val eval_formula : t -> Ast.formula -> bool
+(** Closed formulas only. *)
+
+val coerce : Schema.t -> Relation.t -> Relation.t
+(** Re-impose a target schema on a computed relation, re-running the key
+    check — the §2.2 relational type checker. @raise Error on
+    incompatibility. *)
+
+val assign : t -> string -> Ast.range -> unit
+(** [Rel := range], with the §2.2 checks. *)
+
+val assign_selected :
+  t -> string -> selector:string -> args:Ast.arg list -> Ast.range -> unit
+(** [Rel[s(args)] := range] — the §2.3 guarded assignment.
+    @raise Selector.Selector_violation if any tuple fails the predicate. *)

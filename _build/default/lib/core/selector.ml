@@ -1,0 +1,77 @@
+(* Selector semantics (paper §2.3, Fig 1).
+
+   A selector names the sub-relation of its base satisfying a predicate:
+
+     SELECTOR refint FOR Rel: infrontrel ();
+     BEGIN EACH r IN Rel: SOME r1, r2 IN Objects (...) END refint
+
+   Application filters; assignment through a selected relation variable
+   checks that every incoming tuple satisfies the predicate, i.e. it is the
+   abstraction of the conditional-assignment pattern of §2.3. *)
+
+open Dc_relation
+open Dc_calculus
+
+exception Selector_violation of string
+
+let violation fmt = Fmt.kstr (fun s -> raise (Selector_violation s)) fmt
+
+(* Environment for evaluating the selector body: the formal bound to the
+   actual base, parameters bound to their argument values. *)
+let body_env env (def : Defs.selector_def) base args =
+  if List.length args <> List.length def.sel_params then
+    violation "selector %s expects %d argument(s), got %d" def.sel_name
+      (List.length def.sel_params) (List.length args);
+  (* Actual base and relation arguments are viewed at the formal types, so
+     the body's attribute names resolve regardless of the actual names. *)
+  let env =
+    Eval.bind_rel env def.sel_formal
+      (Relation.with_schema def.sel_formal_schema base)
+  in
+  List.fold_left2
+    (fun env param arg ->
+      match param, arg with
+      | Defs.Scalar_param (n, _), Eval.V_scalar v -> Eval.bind_scalar env n v
+      | Defs.Rel_param (n, schema), Eval.V_rel r ->
+        Eval.bind_rel env n (Relation.with_schema schema r)
+      | Defs.Scalar_param (n, _), Eval.V_rel _ ->
+        violation "selector %s: parameter %s expects a scalar" def.sel_name n
+      | Defs.Rel_param (n, _), Eval.V_scalar _ ->
+        violation "selector %s: parameter %s expects a relation" def.sel_name n)
+    env def.sel_params args
+
+(* Does one tuple satisfy the selector predicate? *)
+let satisfies env (def : Defs.selector_def) base args tuple =
+  let env = body_env env def base args in
+  let env = Eval.bind_var env def.sel_var tuple def.sel_formal_schema in
+  Eval.eval_formula env def.sel_pred
+
+(* Rel[s(args)]: the selected sub-relation (keeps the actual schema). *)
+let apply env (def : Defs.selector_def) base args =
+  let env = body_env env def base args in
+  Relation.filter
+    (fun t ->
+      Eval.eval_formula
+        (Eval.bind_var env def.sel_var t def.sel_formal_schema)
+        def.sel_pred)
+    base
+
+(* The §2.3 guarded assignment: check that the whole right-hand side lies
+   inside the selected sub-relation before allowing the assignment.
+
+     IF ALL x IN rex (pred(x)) THEN Rel := rex ELSE <exception>
+
+   Returns the checked value; the caller stores it. *)
+let check_assignment env (def : Defs.selector_def) ~current args rhs =
+  if not (Schema.compatible (Relation.schema current) (Relation.schema rhs)) then
+    violation "selector %s: assignment of incompatible relation type"
+      def.sel_name;
+  (match
+     Relation.choose_opt
+       (Relation.filter (fun t -> not (satisfies env def rhs args t)) rhs)
+   with
+  | Some t ->
+    violation "selector %s: tuple %a violates the selection predicate"
+      def.sel_name Tuple.pp t
+  | None -> ());
+  rhs

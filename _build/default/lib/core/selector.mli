@@ -1,0 +1,39 @@
+(** Selector semantics (paper §2.3, Fig 1): a selector names the
+    sub-relation of its base satisfying a predicate; assignment through a
+    selected relation variable re-validates the predicate. *)
+
+open Dc_relation
+open Dc_calculus
+
+exception Selector_violation of string
+
+val satisfies :
+  Eval.env ->
+  Defs.selector_def ->
+  Relation.t ->
+  Eval.arg_value list ->
+  Tuple.t ->
+  bool
+(** Does one tuple of the base satisfy the selector predicate under the
+    given arguments? *)
+
+val apply :
+  Eval.env ->
+  Defs.selector_def ->
+  Relation.t ->
+  Eval.arg_value list ->
+  Relation.t
+(** [Rel[s(args)]]: the selected sub-relation (keeps the actual schema).
+    @raise Selector_violation on arity/kind mismatch of the arguments. *)
+
+val check_assignment :
+  Eval.env ->
+  Defs.selector_def ->
+  current:Relation.t ->
+  Eval.arg_value list ->
+  Relation.t ->
+  Relation.t
+(** The §2.3 guarded assignment
+    [IF ALL x IN rex (pred(x)) THEN Rel := rex ELSE <exception>]:
+    returns the right-hand side if every tuple satisfies the predicate.
+    @raise Selector_violation naming the offending tuple otherwise. *)

@@ -1,0 +1,1 @@
+lib/datalog/engine.ml: Dc_calculus Dc_relation Facts List Map String Syntax Tuple Value

@@ -1,0 +1,1 @@
+lib/datalog/engine.mli: Dc_relation Facts Map Syntax Tuple Value

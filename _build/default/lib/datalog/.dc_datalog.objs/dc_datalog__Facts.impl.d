@@ -1,0 +1,1 @@
+lib/datalog/facts.ml: Dc_relation Fmt Hashtbl List Map Option Relation Set String Tuple

@@ -1,0 +1,1 @@
+lib/datalog/facts.mli: Dc_relation Fmt Relation Schema Set Tuple

@@ -1,0 +1,1 @@
+lib/datalog/magic.ml: Dc_relation Facts Fmt Hashtbl List Seminaive String Syntax

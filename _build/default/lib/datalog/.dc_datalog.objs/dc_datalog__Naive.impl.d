@@ -1,0 +1,1 @@
+lib/datalog/naive.ml: Engine Facts Hashtbl List Option Stratify Syntax

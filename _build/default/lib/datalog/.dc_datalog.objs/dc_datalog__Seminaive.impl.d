@@ -1,0 +1,1 @@
+lib/datalog/seminaive.ml: Engine Facts Fun Hashtbl List Option Set Stratify String Syntax

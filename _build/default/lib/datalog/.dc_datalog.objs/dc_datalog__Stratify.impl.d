@@ -1,0 +1,1 @@
+lib/datalog/stratify.ml: Fmt List Map Option String Syntax

@@ -1,0 +1,1 @@
+lib/datalog/syntax.ml: Dc_calculus Dc_relation Fmt List Set String Value

@@ -1,0 +1,1 @@
+lib/datalog/syntax.mli: Dc_calculus Dc_relation Fmt Set Value

@@ -1,0 +1,1 @@
+lib/datalog/tabled.ml: Dc_calculus Dc_relation Engine Facts Fmt Hashtbl List Option SS String Syntax Tuple Value

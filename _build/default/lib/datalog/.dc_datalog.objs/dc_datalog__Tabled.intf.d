@@ -1,0 +1,1 @@
+lib/datalog/tabled.mli: Facts Syntax

@@ -1,0 +1,1 @@
+lib/datalog/topdown.ml: Dc_calculus Dc_relation Facts Fmt List Map Option String Syntax Tuple Value

@@ -1,0 +1,1 @@
+lib/datalog/topdown.mli: Dc_relation Facts Syntax Tuple

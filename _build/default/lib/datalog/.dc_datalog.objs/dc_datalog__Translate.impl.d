@@ -1,0 +1,1 @@
+lib/datalog/translate.ml: Ast Dc_calculus Dc_relation Defs Fmt Hashtbl List SS Schema String Syntax Value

@@ -1,0 +1,1 @@
+lib/datalog/translate.mli: Ast Dc_calculus Dc_relation Defs Schema Syntax Value

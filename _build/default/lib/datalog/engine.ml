@@ -1,0 +1,135 @@
+(* Shared machinery of the bottom-up engines: substitutions, indexed atom
+   matching, and set-at-a-time rule evaluation.
+
+   Body evaluation is left-to-right over the positive atoms with index
+   lookups on already-bound argument positions; negated atoms and built-in
+   tests fire as soon as their variables are bound (safety guarantees they
+   eventually are). *)
+
+open Dc_relation
+open Syntax
+
+module Subst = Map.Make (String)
+
+type subst = Value.t Subst.t
+
+let term_value subst = function
+  | Const c -> Some c
+  | Var v -> Subst.find_opt v subst
+
+(* Extend [subst] by matching [args] against a ground [tuple]. *)
+let match_tuple subst args tuple =
+  let rec loop subst i = function
+    | [] -> Some subst
+    | arg :: rest -> (
+      let v = Tuple.get tuple i in
+      match arg with
+      | Const c -> if Value.equal c v then loop subst (i + 1) rest else None
+      | Var x -> (
+        match Subst.find_opt x subst with
+        | Some w -> if Value.equal w v then loop subst (i + 1) rest else None
+        | None -> loop (Subst.add x v subst) (i + 1) rest))
+  in
+  loop subst 0 args
+
+(* Iterate all extensions of [subst] matching [atom] in [store], using an
+   index on the positions bound by the current substitution. *)
+let solve_atom store subst (atom : atom) k =
+  let positions, key_values =
+    List.fold_right
+      (fun (i, arg) (ps, vs) ->
+        match term_value subst arg with
+        | Some v -> (i :: ps, v :: vs)
+        | None -> (ps, vs))
+      (List.mapi (fun i a -> (i, a)) atom.args)
+      ([], [])
+  in
+  let candidates =
+    Facts.lookup store atom.pred positions (Tuple.of_list key_values)
+  in
+  List.iter
+    (fun t ->
+      match match_tuple subst atom.args t with
+      | Some s -> k s
+      | None -> ())
+    candidates
+
+let lit_is_ready subst = function
+  | Pos _ -> true
+  | Neg a -> List.for_all (fun v -> Subst.mem v subst) (atom_vars a)
+  | Test (_, x, y) ->
+    term_value subst x <> None && term_value subst y <> None
+
+let eval_constraint store subst = function
+  | Neg a -> (
+    let tuple =
+      Tuple.of_list
+        (List.map
+           (fun arg ->
+             match term_value subst arg with
+             | Some v -> v
+             | None -> invalid_arg "eval_constraint: non-ground negation")
+           a.args)
+    in
+    not (Facts.mem store a.pred tuple))
+  | Test (op, x, y) -> (
+    match term_value subst x, term_value subst y with
+    | Some a, Some b -> Dc_calculus.Eval.eval_cmp op a b
+    | _ -> invalid_arg "eval_constraint: non-ground test")
+  | Pos _ -> invalid_arg "eval_constraint: positive literal"
+
+let ground_head subst (head : atom) =
+  Tuple.of_list
+    (List.map
+       (fun arg ->
+         match term_value subst arg with
+         | Some v -> v
+         | None -> invalid_arg "ground_head: unsafe rule (unbound head var)")
+       head.args)
+
+(* Evaluate one rule.  [store_for i atom] chooses the store each positive
+   atom reads from ([i] is the index of the atom among the positive body
+   atoms, left to right) — the semi-naive engine substitutes deltas this
+   way.  [neg_store] resolves negated atoms (the completed lower strata).
+   [emit] receives each derived head tuple. *)
+let eval_rule ~store_for ~neg_store rule emit =
+  let positives =
+    List.filter_map
+      (function
+        | Pos a -> Some a
+        | Neg _ | Test _ -> None)
+      rule.body
+  in
+  let constraints =
+    List.filter
+      (function
+        | Pos _ -> false
+        | Neg _ | Test _ -> true)
+      rule.body
+  in
+  let rec fire subst pending =
+    (* run every constraint that has become ground *)
+    let ready, still = List.partition (lit_is_ready subst) pending in
+    if List.for_all (eval_constraint neg_store subst) ready then Some still
+    else None
+  and go subst pending i = function
+    | [] ->
+      (* all positives done: remaining constraints must be ground *)
+      (match fire subst pending with
+      | Some [] -> emit (ground_head subst rule.head)
+      | Some (_ :: _) -> invalid_arg "eval_rule: unsafe rule"
+      | None -> ())
+    | a :: rest -> (
+      match fire subst pending with
+      | None -> ()
+      | Some pending ->
+        solve_atom (store_for i a) subst a (fun s -> go s pending (i + 1) rest))
+  in
+  go Subst.empty constraints 0 positives
+
+(* Evaluate all rules against a single store (naive round). *)
+let eval_program_round ~store ~neg_store program emit =
+  List.iter
+    (fun rule -> eval_rule ~store_for:(fun _ _ -> store) ~neg_store rule
+        (emit rule))
+    program

@@ -1,0 +1,41 @@
+(** Shared machinery of the bottom-up engines: substitutions, indexed atom
+    matching, and set-at-a-time rule evaluation (left-to-right over the
+    positive atoms; negations and tests fire as soon as ground). *)
+
+open Dc_relation
+
+module Subst : Map.S with type key = string
+
+type subst = Value.t Subst.t
+
+val term_value : subst -> Syntax.term -> Value.t option
+
+val match_tuple : subst -> Syntax.term list -> Tuple.t -> subst option
+(** Extend the substitution by matching argument terms against a ground
+    tuple. *)
+
+val solve_atom : Facts.t -> subst -> Syntax.atom -> (subst -> unit) -> unit
+(** Iterate all matching extensions, using an index on the positions bound
+    by the current substitution. *)
+
+val ground_head : subst -> Syntax.atom -> Tuple.t
+(** Instantiate a head atom (total by safety). *)
+
+val eval_rule :
+  store_for:(int -> Syntax.atom -> Facts.t) ->
+  neg_store:Facts.t ->
+  Syntax.rule ->
+  (Tuple.t -> unit) ->
+  unit
+(** Evaluate one rule. [store_for i atom] chooses the store each positive
+    atom reads from ([i] counts positive atoms left to right — the
+    semi-naive engine substitutes deltas this way); [neg_store] resolves
+    negated atoms. *)
+
+val eval_program_round :
+  store:Facts.t ->
+  neg_store:Facts.t ->
+  Syntax.program ->
+  (Syntax.rule -> Tuple.t -> unit) ->
+  unit
+(** Evaluate every rule against a single store (one naive round). *)

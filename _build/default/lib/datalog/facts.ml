@@ -1,0 +1,96 @@
+(* Fact store for the bottom-up Datalog engines: a map from predicate name
+   to a set of ground tuples, with hash indexes per (predicate, bound
+   positions) built lazily and dropped whenever the store grows. *)
+
+open Dc_relation
+
+module TS = Set.Make (Tuple)
+module SM = Map.Make (String)
+
+module HK = Hashtbl.Make (struct
+  type t = Tuple.t
+
+  let equal = Tuple.equal
+  let hash = Tuple.hash
+end)
+
+type t = {
+  tuples : TS.t SM.t;
+  index_cache : (string * int list, Tuple.t list HK.t) Hashtbl.t;
+}
+
+let empty () = { tuples = SM.empty; index_cache = Hashtbl.create 16 }
+
+let find store pred =
+  Option.value (SM.find_opt pred store.tuples) ~default:TS.empty
+
+let cardinal store pred = TS.cardinal (find store pred)
+
+let total store = SM.fold (fun _ s n -> n + TS.cardinal s) store.tuples 0
+
+let mem store pred tuple = TS.mem tuple (find store pred)
+
+let add store pred tuple =
+  let set = find store pred in
+  if TS.mem tuple set then store
+  else
+    {
+      tuples = SM.add pred (TS.add tuple set) store.tuples;
+      index_cache = Hashtbl.create 16;
+    }
+
+let add_set store pred set =
+  if TS.is_empty set then store
+  else
+    {
+      tuples = SM.add pred (TS.union set (find store pred)) store.tuples;
+      index_cache = Hashtbl.create 16;
+    }
+
+let singleton_set pred set = add_set (empty ()) pred set
+
+let of_list l =
+  List.fold_left (fun st (pred, tuple) -> add st pred tuple) (empty ()) l
+
+let preds store = List.map fst (SM.bindings store.tuples)
+
+let iter f store = SM.iter (fun pred set -> TS.iter (f pred) set) store.tuples
+
+let equal a b = SM.equal TS.equal a.tuples b.tuples
+
+(* Tuples of [pred] whose projection onto [positions] equals [key]. *)
+let lookup store pred positions key =
+  match positions with
+  | [] -> TS.elements (find store pred)
+  | _ -> (
+    let cache_key = (pred, positions) in
+    let index =
+      match Hashtbl.find_opt store.index_cache cache_key with
+      | Some idx -> idx
+      | None ->
+        let idx = HK.create 64 in
+        TS.iter
+          (fun t ->
+            let k = Tuple.project t positions in
+            let prev = Option.value (HK.find_opt idx k) ~default:[] in
+            HK.replace idx k (t :: prev))
+          (find store pred);
+        Hashtbl.replace store.index_cache cache_key idx;
+        idx
+    in
+    match HK.find_opt index key with
+    | Some l -> l
+    | None -> [])
+
+(* Conversions to/from {!Dc_relation.Relation}. *)
+let to_relation schema store pred =
+  TS.fold Relation.add_unchecked (find store pred) (Relation.empty schema)
+
+let of_relation pred rel store =
+  Relation.fold (fun t st -> add st pred t) rel store
+
+let pp ppf store =
+  SM.iter
+    (fun pred set ->
+      TS.iter (fun t -> Fmt.pf ppf "%s%a@." pred Tuple.pp t) set)
+    store.tuples

@@ -1,0 +1,34 @@
+(** Fact store for the bottom-up Datalog engines: predicate name → set of
+    ground tuples, with lazily built hash indexes per (predicate, bound
+    positions).  Values are persistent; indexes are dropped on growth, so
+    engines batch their updates per round. *)
+
+open Dc_relation
+
+module TS : Set.S with type elt = Tuple.t
+
+type t
+
+val empty : unit -> t
+val find : t -> string -> TS.t
+val cardinal : t -> string -> int
+val total : t -> int
+val mem : t -> string -> Tuple.t -> bool
+
+val add : t -> string -> Tuple.t -> t
+val add_set : t -> string -> TS.t -> t
+val singleton_set : string -> TS.t -> t
+val of_list : (string * Tuple.t) list -> t
+
+val preds : t -> string list
+val iter : (string -> Tuple.t -> unit) -> t -> unit
+val equal : t -> t -> bool
+
+val lookup : t -> string -> int list -> Tuple.t -> Tuple.t list
+(** [lookup store pred positions key]: tuples of [pred] whose projection
+    onto [positions] equals [key] (indexed; [positions = []] returns all). *)
+
+val to_relation : Schema.t -> t -> string -> Relation.t
+val of_relation : string -> Relation.t -> t -> t
+
+val pp : t Fmt.t

@@ -1,0 +1,151 @@
+(* Magic-sets transformation: the "capture rules" style optimization the
+   paper's §4 points at ([Ullm 84]) for propagating query constants into
+   recursive definitions.
+
+   Given a positive, safe program and a query atom with some constant
+   arguments, the transformation produces an adorned program with magic
+   predicates so that bottom-up evaluation only derives facts relevant to
+   the query bindings.  Sideways information passing is left-to-right.
+
+   This is the general form of the paper's §4 "Case" rules: the pushed
+   selection of experiment E4 is exactly what magic sets achieves on the
+   parameterized transitive-closure query. *)
+
+open Syntax
+
+module SS = Syntax.SS
+
+exception Unsupported of string
+
+type adornment = bool list (* true = bound *)
+
+let adornment_string ad =
+  String.concat "" (List.map (fun b -> if b then "b" else "f") ad)
+
+let adorned_name p ad = Fmt.str "%s__%s" p (adornment_string ad)
+let magic_name p ad = Fmt.str "m_%s__%s" p (adornment_string ad)
+
+(* bound arguments of an atom under an adornment *)
+let bound_args (a : atom) (ad : adornment) =
+  List.filteri (fun i _ -> List.nth ad i) a.args
+
+let atom_adornment bound_vars (a : atom) : adornment =
+  List.map
+    (function
+      | Const _ -> true
+      | Var v -> SS.mem v bound_vars)
+    a.args
+
+(* Transform [program] for [query]; returns the transformed program, the
+   seed fact, and the adorned name of the query predicate. *)
+let transform (program : program) (query : atom) =
+  List.iter
+    (fun r ->
+      if
+        List.exists
+          (function
+            | Neg _ -> true
+            | Pos _ | Test _ -> false)
+          r.body
+      then raise (Unsupported "magic sets: negation not supported"))
+    program;
+  let idb = idb_preds program in
+  let query_ad =
+    List.map
+      (function
+        | Const _ -> true
+        | Var _ -> false)
+      query.args
+  in
+  let out = ref [] in
+  let emitted = Hashtbl.create 16 in
+  (* Process one (pred, adornment) pair: adorn all rules for pred. *)
+  let rec process pred (ad : adornment) =
+    if not (Hashtbl.mem emitted (pred, ad)) then begin
+      Hashtbl.replace emitted (pred, ad) ();
+      List.iter
+        (fun rule ->
+          if String.equal rule.head.pred pred then adorn_rule rule ad)
+        program
+    end
+  and adorn_rule rule (ad : adornment) =
+    (* variables bound on entry: head vars in bound positions *)
+    let entry_bound =
+      List.fold_left2
+        (fun s arg b ->
+          match arg with
+          | Var v when b -> SS.add v s
+          | Var _ | Const _ -> s)
+        SS.empty rule.head.args ad
+    in
+    let magic_head_atom =
+      { pred = magic_name rule.head.pred ad; args = bound_args rule.head ad }
+    in
+    (* walk the body left-to-right, accumulating bound vars and emitting
+       magic rules for IDB atoms *)
+    let rec walk bound prefix_rev = function
+      | [] -> List.rev prefix_rev
+      | Test (op, x, y) :: rest ->
+        let bound =
+          List.fold_left (fun s v -> SS.add v s) bound
+            (term_vars x @ term_vars y)
+        in
+        walk bound (Test (op, x, y) :: prefix_rev) rest
+      | Neg _ :: _ -> assert false
+      | Pos a :: rest ->
+        let lit, bound' =
+          if SS.mem a.pred idb then begin
+            let a_ad = atom_adornment bound a in
+            process a.pred a_ad;
+            (* magic rule: m_a^ad(bound args) :- m_head^ad(...), prefix *)
+            out :=
+              {
+                head = { pred = magic_name a.pred a_ad; args = bound_args a a_ad };
+                body = Pos magic_head_atom :: List.rev prefix_rev;
+              }
+              :: !out;
+            ( Pos { a with pred = adorned_name a.pred a_ad },
+              List.fold_left (fun s v -> SS.add v s) bound (atom_vars a) )
+          end
+          else
+            (Pos a, List.fold_left (fun s v -> SS.add v s) bound (atom_vars a))
+        in
+        walk bound' (lit :: prefix_rev) rest
+    in
+    let body = walk entry_bound [] rule.body in
+    out :=
+      {
+        head = { rule.head with pred = adorned_name rule.head.pred ad };
+        body = Pos magic_head_atom :: body;
+      }
+      :: !out
+  in
+  if not (SS.mem query.pred idb) then
+    raise (Unsupported "magic sets: query predicate is not IDB");
+  process query.pred query_ad;
+  let seed =
+    {
+      head =
+        { pred = magic_name query.pred query_ad; args = bound_args query query_ad };
+      body = [];
+    }
+  in
+  (seed :: List.rev !out, adorned_name query.pred query_ad)
+
+(* Evaluate [query] against [program]/[edb] through the magic transform
+   with semi-naive evaluation; returns the set of query-matching tuples of
+   the original predicate. *)
+let answer ?stats (program : program) (edb : Facts.t) (query : atom) =
+  let transformed, adorned_query = transform program query in
+  let store = Seminaive.run ?stats transformed edb in
+  let matching = Facts.find store adorned_query in
+  (* keep only tuples agreeing with the query constants *)
+  Facts.TS.filter
+    (fun t ->
+      List.for_all2
+        (fun arg v ->
+          match arg with
+          | Const c -> Dc_relation.Value.equal c v
+          | Var _ -> true)
+        query.args (Dc_relation.Tuple.to_list t))
+    matching

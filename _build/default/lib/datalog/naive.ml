@@ -1,0 +1,53 @@
+(* Naive bottom-up evaluation: every stratum iterates all of its rules
+   against the whole current store until nothing changes.  The reference
+   engine: trivially correct, used as oracle for the others and as the
+   unoptimized baseline in the iteration benchmarks.
+
+   New facts are accumulated per round and applied at round end, so the
+   store read by the joins is immutable during a round. *)
+
+open Syntax
+
+module TS = Facts.TS
+
+type stats = {
+  mutable rounds : int;
+  mutable derivations : int; (* head tuples produced, duplicates included *)
+}
+
+let fresh_stats () = { rounds = 0; derivations = 0 }
+
+let run ?stats (program : program) (edb : Facts.t) =
+  check_safe program;
+  let stats = Option.value stats ~default:(fresh_stats ()) in
+  let eval_layer store layer =
+    let current = ref store in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      stats.rounds <- stats.rounds + 1;
+      let acc : (string, TS.t ref) Hashtbl.t = Hashtbl.create 8 in
+      Engine.eval_program_round ~store:!current ~neg_store:!current layer
+        (fun rule tuple ->
+          stats.derivations <- stats.derivations + 1;
+          if not (Facts.mem !current rule.head.pred tuple) then begin
+            (match Hashtbl.find_opt acc rule.head.pred with
+            | Some set ->
+              if not (TS.mem tuple !set) then begin
+                set := TS.add tuple !set;
+                changed := true
+              end
+            | None ->
+              Hashtbl.replace acc rule.head.pred (ref (TS.singleton tuple));
+              changed := true)
+          end);
+      current :=
+        Hashtbl.fold (fun pred set st -> Facts.add_set st pred !set) acc !current
+    done;
+    !current
+  in
+  List.fold_left eval_layer edb (Stratify.layers program)
+
+(* Convenience: all facts of one predicate after evaluation. *)
+let query ?stats program edb pred =
+  Facts.find (run ?stats program edb) pred

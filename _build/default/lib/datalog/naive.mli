@@ -1,0 +1,17 @@
+(** Naive bottom-up evaluation: per stratum, iterate all rules against the
+    whole current store until fixpoint.  The reference engine and the
+    unoptimized baseline of experiment E3. *)
+
+type stats = {
+  mutable rounds : int;
+  mutable derivations : int;  (** head tuples produced, with duplicates *)
+}
+
+val fresh_stats : unit -> stats
+
+val run : ?stats:stats -> Syntax.program -> Facts.t -> Facts.t
+(** Evaluate the (stratified) program over the EDB; returns the full store.
+    @raise Syntax.Unsafe_rule / Stratify.Not_stratifiable *)
+
+val query : ?stats:stats -> Syntax.program -> Facts.t -> string -> Facts.TS.t
+(** All facts of one predicate after evaluation. *)

@@ -1,0 +1,118 @@
+(* Semi-naive bottom-up evaluation with stratified negation.
+
+   Within a stratum, each round evaluates one variant per rule and per
+   positive occurrence of a same-stratum IDB predicate, with that occurrence
+   reading the previous round's delta and all others the full store; rules
+   without same-stratum IDB body atoms fire only in the first round.
+   Negated atoms always read the completed lower strata (stratification
+   guarantees they are stable).
+
+   New facts are accumulated per round and applied at round end, so the
+   stores the joins read stay immutable during a round (their lookup
+   indexes survive the whole round). *)
+
+open Syntax
+
+module SS = Set.Make (String)
+module TS = Facts.TS
+
+type stats = {
+  mutable rounds : int;
+  mutable derivations : int;
+}
+
+let fresh_stats () = { rounds = 0; derivations = 0 }
+
+(* Per-round accumulator of new facts. *)
+module Acc = struct
+  type t = (string, TS.t ref) Hashtbl.t
+
+  let create () : t = Hashtbl.create 8
+
+  let add (acc : t) pred tuple =
+    match Hashtbl.find_opt acc pred with
+    | Some set -> set := TS.add tuple !set
+    | None -> Hashtbl.replace acc pred (ref (TS.singleton tuple))
+
+  let mem (acc : t) pred tuple =
+    match Hashtbl.find_opt acc pred with
+    | Some set -> TS.mem tuple !set
+    | None -> false
+
+  let is_empty (acc : t) =
+    Hashtbl.fold (fun _ s e -> e && TS.is_empty !s) acc true
+
+  let apply (acc : t) store =
+    Hashtbl.fold (fun pred set st -> Facts.add_set st pred !set) acc store
+
+  let to_store (acc : t) =
+    Hashtbl.fold
+      (fun pred set st -> Facts.add_set st pred !set)
+      acc (Facts.empty ())
+end
+
+let run ?stats (program : program) (edb : Facts.t) =
+  check_safe program;
+  let stats = Option.value stats ~default:(fresh_stats ()) in
+  let eval_layer store layer =
+    let layer_preds =
+      List.fold_left (fun s r -> SS.add r.head.pred s) SS.empty layer
+    in
+    (* positions (among positive atoms) of same-stratum IDB occurrences,
+       precomputed per rule *)
+    let recursive_positions rule =
+      List.filter_map Fun.id
+        (List.mapi
+           (fun i (a : atom) -> if SS.mem a.pred layer_preds then Some i else None)
+           (List.filter_map
+              (function
+                | Pos a -> Some a
+                | Neg _ | Test _ -> None)
+              rule.body))
+    in
+    let with_positions = List.map (fun r -> (r, recursive_positions r)) layer in
+    let full = ref store in
+    let delta = ref (Facts.empty ()) in
+    (* Round 1: all rules against the full store. *)
+    stats.rounds <- stats.rounds + 1;
+    let acc = Acc.create () in
+    Engine.eval_program_round ~store:!full ~neg_store:!full layer
+      (fun rule tuple ->
+        stats.derivations <- stats.derivations + 1;
+        if
+          (not (Facts.mem !full rule.head.pred tuple))
+          && not (Acc.mem acc rule.head.pred tuple)
+        then Acc.add acc rule.head.pred tuple);
+    delta := Acc.to_store acc;
+    full := Acc.apply acc !full;
+    (* Subsequent rounds: delta variants only. *)
+    let continue = ref (not (Acc.is_empty acc)) in
+    while !continue do
+      stats.rounds <- stats.rounds + 1;
+      let acc = Acc.create () in
+      let full_now = !full and delta_now = !delta in
+      List.iter
+        (fun (rule, positions) ->
+          List.iter
+            (fun dpos ->
+              Engine.eval_rule
+                ~store_for:(fun i _ -> if i = dpos then delta_now else full_now)
+                ~neg_store:full_now rule
+                (fun tuple ->
+                  stats.derivations <- stats.derivations + 1;
+                  if
+                    (not (Facts.mem full_now rule.head.pred tuple))
+                    && not (Acc.mem acc rule.head.pred tuple)
+                  then Acc.add acc rule.head.pred tuple))
+            positions)
+        with_positions;
+      delta := Acc.to_store acc;
+      full := Acc.apply acc !full;
+      continue := not (Acc.is_empty acc)
+    done;
+    !full
+  in
+  List.fold_left eval_layer edb (Stratify.layers program)
+
+let query ?stats program edb pred =
+  Facts.find (run ?stats program edb) pred

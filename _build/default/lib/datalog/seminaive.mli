@@ -1,0 +1,16 @@
+(** Semi-naive bottom-up evaluation with stratified negation: per round,
+    one variant per rule and same-stratum IDB occurrence, that occurrence
+    reading the previous round's delta.  New facts are applied at round
+    end, keeping the stores (and their indexes) immutable within a round. *)
+
+type stats = {
+  mutable rounds : int;
+  mutable derivations : int;
+}
+
+val fresh_stats : unit -> stats
+
+val run : ?stats:stats -> Syntax.program -> Facts.t -> Facts.t
+(** @raise Syntax.Unsafe_rule / Stratify.Not_stratifiable *)
+
+val query : ?stats:stats -> Syntax.program -> Facts.t -> string -> Facts.TS.t

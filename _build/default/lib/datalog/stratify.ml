@@ -1,0 +1,66 @@
+(* Stratification of Datalog programs with negation.
+
+   Builds the predicate dependency graph (positive and negative edges) and
+   assigns each IDB predicate a stratum such that positive dependencies are
+   non-decreasing and negative dependencies strictly increase.  Programs
+   with a negative cycle are rejected — they correspond exactly to the
+   constructor definitions the paper's positivity constraint rules out
+   (§3.3). *)
+
+open Syntax
+
+module SM = Map.Make (String)
+module SS = Syntax.SS
+
+exception Not_stratifiable of string
+
+(* stratum of each IDB predicate, by iterated relaxation (Ullman's
+   algorithm); raises if a stratum exceeds the predicate count. *)
+let strata (program : program) =
+  let idb = idb_preds program in
+  let npreds = SS.cardinal idb in
+  let stratum = ref (SS.fold (fun p m -> SM.add p 0 m) idb SM.empty) in
+  let get p = Option.value (SM.find_opt p !stratum) ~default:0 in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun rule ->
+        let h = rule.head.pred in
+        List.iter
+          (fun lit ->
+            let bump target =
+              if get h < target then begin
+                if target > npreds then
+                  raise
+                    (Not_stratifiable
+                       (Fmt.str
+                          "predicate %s depends negatively on itself \
+                           (through a cycle)"
+                          h));
+                stratum := SM.add h target !stratum;
+                changed := true
+              end
+            in
+            match lit with
+            | Pos a when SS.mem a.pred idb -> bump (get a.pred)
+            | Neg a when SS.mem a.pred idb -> bump (get a.pred + 1)
+            | Pos _ | Neg _ | Test _ -> ())
+          rule.body)
+      program
+  done;
+  !stratum
+
+(* Rules grouped by the stratum of their head predicate, lowest first. *)
+let layers program =
+  let strata = strata program in
+  let get p = Option.value (SM.find_opt p strata) ~default:0 in
+  let max_stratum = SM.fold (fun _ s acc -> max s acc) strata 0 in
+  List.init (max_stratum + 1) (fun i ->
+      List.filter (fun r -> get r.head.pred = i) program)
+  |> List.filter (fun l -> l <> [])
+
+let is_stratifiable program =
+  match strata program with
+  | _ -> true
+  | exception Not_stratifiable _ -> false

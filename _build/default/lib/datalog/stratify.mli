@@ -1,0 +1,17 @@
+(** Stratification of Datalog programs with negation: assign each IDB
+    predicate a stratum such that positive dependencies are non-decreasing
+    and negative dependencies strictly increase.  Programs with a negative
+    cycle — the Horn-side counterpart of the definitions the paper's
+    positivity constraint rules out (§3.3) — are rejected. *)
+
+module SM : Map.S with type key = string
+
+exception Not_stratifiable of string
+
+val strata : Syntax.program -> int SM.t
+(** Stratum of each IDB predicate. @raise Not_stratifiable *)
+
+val layers : Syntax.program -> Syntax.program list
+(** Rules grouped by head stratum, lowest first (empty layers dropped). *)
+
+val is_stratifiable : Syntax.program -> bool

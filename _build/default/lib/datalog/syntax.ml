@@ -1,0 +1,136 @@
+(* Function-free Horn clauses (Datalog), the comparison formalism of paper
+   §3.4: "the constructor mechanism is as powerful as function-free PROLOG
+   without cut, fail, and negation".
+
+   We implement the common extensions needed by the experiments: built-in
+   comparison literals and stratified negation (the latter mirrors the
+   closed-world reading the paper adopts). *)
+
+open Dc_relation
+
+type term =
+  | Var of string
+  | Const of Value.t
+
+type cmpop = Dc_calculus.Ast.cmpop
+
+type atom = {
+  pred : string;
+  args : term list;
+}
+
+type lit =
+  | Pos of atom
+  | Neg of atom
+  | Test of cmpop * term * term (* built-in comparison *)
+
+type rule = {
+  head : atom;
+  body : lit list;
+}
+
+type program = rule list
+
+let var v = Var v
+let const c = Const c
+let cint i = Const (Value.Int i)
+let cstr s = Const (Value.Str s)
+
+let atom pred args = { pred; args }
+
+let rule head body = { head; body }
+
+let fact pred values = { head = atom pred (List.map const values); body = [] }
+
+(* ------------------------------------------------------------------ *)
+
+let term_vars = function
+  | Var v -> [ v ]
+  | Const _ -> []
+
+let atom_vars a = List.concat_map term_vars a.args
+
+let lit_vars = function
+  | Pos a | Neg a -> atom_vars a
+  | Test (_, a, b) -> term_vars a @ term_vars b
+
+let rule_vars r = atom_vars r.head @ List.concat_map lit_vars r.body
+
+let is_ground_atom a = List.for_all (function Const _ -> true | Var _ -> false) a.args
+
+(* Range restriction (safety): every variable of the head, of a negated
+   atom, and of a built-in test must occur in some positive body atom. *)
+let unsafe_vars r =
+  let positive =
+    List.concat_map
+      (function
+        | Pos a -> atom_vars a
+        | Neg _ | Test _ -> [])
+      r.body
+  in
+  let required =
+    atom_vars r.head
+    @ List.concat_map
+        (function
+          | Neg a -> atom_vars a
+          | Test (_, a, b) -> term_vars a @ term_vars b
+          | Pos _ -> [])
+        r.body
+  in
+  List.sort_uniq String.compare
+    (List.filter (fun v -> not (List.mem v positive)) required)
+
+let is_safe r = unsafe_vars r = []
+
+exception Unsafe_rule of rule
+
+let check_safe program =
+  List.iter (fun r -> if not (is_safe r) then raise (Unsafe_rule r)) program
+
+(* Predicates defined by rule heads (IDB) vs. referenced only in bodies
+   (EDB). *)
+module SS = Set.Make (String)
+
+let idb_preds program =
+  List.fold_left (fun s r -> SS.add r.head.pred s) SS.empty program
+
+let body_preds r =
+  List.filter_map
+    (function
+      | Pos a | Neg a -> Some a.pred
+      | Test _ -> None)
+    r.body
+
+let edb_preds program =
+  let idb = idb_preds program in
+  List.fold_left
+    (fun s r ->
+      List.fold_left
+        (fun s p -> if SS.mem p idb then s else SS.add p s)
+        s (body_preds r))
+    SS.empty program
+
+(* ------------------------------------------------------------------ *)
+
+let pp_term ppf = function
+  | Var v -> Fmt.string ppf v
+  | Const c -> Value.pp ppf c
+
+let pp_atom ppf a =
+  Fmt.pf ppf "%s(%a)" a.pred Fmt.(list ~sep:(any ", ") pp_term) a.args
+
+let pp_lit ppf = function
+  | Pos a -> pp_atom ppf a
+  | Neg a -> Fmt.pf ppf "not %a" pp_atom a
+  | Test (op, a, b) ->
+    Fmt.pf ppf "%a %a %a" pp_term a Dc_calculus.Ast.pp_cmpop op pp_term b
+
+let pp_rule ppf r =
+  match r.body with
+  | [] -> Fmt.pf ppf "%a." pp_atom r.head
+  | body ->
+    Fmt.pf ppf "%a :- %a." pp_atom r.head
+      Fmt.(list ~sep:(any ", ") pp_lit)
+      body
+
+let pp_program ppf p = Fmt.(list ~sep:(any "@.") pp_rule) ppf p

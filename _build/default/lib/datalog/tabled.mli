@@ -1,0 +1,37 @@
+(** Tabled top-down evaluation (OLDT / QSQ style) for positive programs:
+    memoized subgoal tables iterated to a goal-directed least fixpoint —
+    the proof-oriented world's eventual answer to the weaknesses the paper
+    attributes to it (terminates on cyclic data, shares subproofs, explores
+    only query-relevant subgoals).  Experiment E2b compares it against
+    plain SLD and bottom-up construction. *)
+
+type stats = {
+  mutable rounds : int;
+  mutable calls : int;  (** distinct call patterns tabled *)
+  mutable derivations : int;  (** answers produced, duplicates included *)
+}
+
+val fresh_stats : unit -> stats
+
+val solve :
+  ?stats:stats ->
+  ?max_rounds:int ->
+  Syntax.program ->
+  Facts.t ->
+  Syntax.atom ->
+  Facts.TS.t
+(** All ground instances of the goal derivable from program + EDB.
+    IDB subgoals resolve only through rules and tables: facts stored in
+    the EDB under an IDB predicate name are not consulted (keep base facts
+    under EDB-only predicates, as the bottom-up engines' workloads do).
+    @raise Invalid_argument on negation or budget exhaustion. *)
+
+val query :
+  ?stats:stats ->
+  ?max_rounds:int ->
+  Syntax.program ->
+  Facts.t ->
+  string ->
+  int ->
+  Facts.TS.t
+(** Open query on a predicate of the given arity. *)

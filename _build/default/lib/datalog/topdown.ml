@@ -1,0 +1,178 @@
+(* Top-down SLD resolution: the "proof-oriented, tuple-at-a-time" evaluator
+   the paper contrasts with set-oriented construction (§1, §4 closing
+   paragraph).
+
+   Faithful to 1985 PROLOG's declarative core for function-free programs:
+   depth-first search, leftmost literal selection, clauses tried in program
+   order, no memoization.  Consequences the experiments exhibit:
+   - repeated subgoals are re-proved (exponential duplicated work on DAGs);
+   - cyclic data makes the search space infinite — only a resource budget
+     stops it, which is precisely the "problem of endless loops" the
+     paper's positivity + fixpoint approach eliminates (§3.4).
+
+   Negation as failure is provided for ground negative literals. *)
+
+open Dc_relation
+open Syntax
+
+module Subst = Map.Make (String)
+
+exception Budget_exhausted of string
+
+type stats = {
+  mutable resolution_steps : int; (* clause/fact resolution attempts *)
+  mutable solutions : int;
+  mutable max_goal_depth : int;
+}
+
+let fresh_stats () = { resolution_steps = 0; solutions = 0; max_goal_depth = 0 }
+
+(* ------------------------------------------------------------------ *)
+(* Unification (function-free: terms are variables or constants) *)
+
+let rec walk subst t =
+  match t with
+  | Var v -> (
+    match Subst.find_opt v subst with
+    | Some t' -> walk subst t'
+    | None -> t)
+  | Const _ -> t
+
+let unify_term subst a b =
+  let a = walk subst a and b = walk subst b in
+  match a, b with
+  | Const x, Const y -> if Value.equal x y then Some subst else None
+  | Var v, t | t, Var v -> Some (Subst.add v t subst)
+
+let unify_args subst args1 args2 =
+  let rec loop subst = function
+    | [], [] -> Some subst
+    | a :: r1, b :: r2 -> (
+      match unify_term subst a b with
+      | Some s -> loop s (r1, r2)
+      | None -> None)
+    | _ -> None
+  in
+  loop subst (args1, args2)
+
+(* ------------------------------------------------------------------ *)
+(* Standardizing apart: fresh variable names per clause use. *)
+
+let rename_counter = ref 0
+
+let rename_rule (r : rule) =
+  incr rename_counter;
+  let suffix = Fmt.str "#%d" !rename_counter in
+  let rn = function
+    | Var v -> Var (v ^ suffix)
+    | Const _ as t -> t
+  in
+  let rn_atom a = { a with args = List.map rn a.args } in
+  {
+    head = rn_atom r.head;
+    body =
+      List.map
+        (function
+          | Pos a -> Pos (rn_atom a)
+          | Neg a -> Neg (rn_atom a)
+          | Test (op, x, y) -> Test (op, rn x, rn y))
+        r.body;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* The resolution loop *)
+
+type budget = {
+  max_steps : int;
+  max_depth : int;
+}
+
+let default_budget = { max_steps = 10_000_000; max_depth = 100_000 }
+
+let solve ?(budget = default_budget) ?stats (program : program)
+    (edb : Facts.t) (goal : atom) =
+  let stats = Option.value stats ~default:(fresh_stats ()) in
+  let solutions = ref [] in
+  let step () =
+    stats.resolution_steps <- stats.resolution_steps + 1;
+    if stats.resolution_steps > budget.max_steps then
+      raise
+        (Budget_exhausted
+           (Fmt.str "SLD search exceeded %d resolution steps"
+              budget.max_steps))
+  in
+  let rec prove subst depth goals k =
+    if depth > stats.max_goal_depth then stats.max_goal_depth <- depth;
+    if depth > budget.max_depth then
+      raise
+        (Budget_exhausted
+           (Fmt.str "SLD search exceeded depth %d" budget.max_depth));
+    match goals with
+    | [] -> k subst
+    | Test (op, x, y) :: rest -> (
+      match walk subst x, walk subst y with
+      | Const a, Const b ->
+        if Dc_calculus.Eval.eval_cmp op a b then prove subst depth rest k
+      | _ -> invalid_arg "topdown: non-ground comparison")
+    | Neg a :: rest ->
+      (* negation as failure on ground literals *)
+      let ground = { a with args = List.map (walk subst) a.args } in
+      if not (is_ground_atom ground) then
+        invalid_arg "topdown: floundering (non-ground negation)";
+      let found = ref false in
+      (try prove subst depth [ Pos ground ] (fun _ -> found := true; raise Exit)
+       with Exit -> ());
+      if not !found then prove subst depth rest k
+    | Pos a :: rest ->
+      (* EDB facts first (as a PROLOG database would), with argument
+         indexing on the positions already bound, then rules. *)
+      let positions, key =
+        List.fold_right
+          (fun (i, arg) (ps, vs) ->
+            match walk subst arg with
+            | Const v -> (i :: ps, v :: vs)
+            | Var _ -> (ps, vs))
+          (List.mapi (fun i t -> (i, t)) a.args)
+          ([], [])
+      in
+      let fact_candidates = Facts.lookup edb a.pred positions (Tuple.of_list key) in
+      List.iter
+        (fun tuple ->
+          step ();
+          match
+            unify_args subst a.args
+              (List.map (fun v -> Const v) (Tuple.to_list tuple))
+          with
+          | Some s -> prove s depth rest k
+          | None -> ())
+        fact_candidates;
+      List.iter
+        (fun rule ->
+          if String.equal rule.head.pred a.pred then begin
+            step ();
+            let rule = rename_rule rule in
+            match unify_args subst a.args rule.head.args with
+            | Some s -> prove s (depth + 1) (rule.body @ rest) k
+            | None -> ()
+          end)
+        program
+  in
+  prove Subst.empty 0
+    [ Pos goal ]
+    (fun subst ->
+      let answer =
+        List.map
+          (fun t ->
+            match walk subst t with
+            | Const v -> v
+            | Var _ -> invalid_arg "topdown: non-ground answer")
+          goal.args
+      in
+      stats.solutions <- stats.solutions + 1;
+      solutions := Tuple.of_list answer :: !solutions);
+  List.sort_uniq Tuple.compare !solutions
+
+(* All derivable tuples of [pred] with the given arity (open query). *)
+let query ?budget ?stats program edb pred arity =
+  let goal = atom pred (List.init arity (fun i -> Var (Fmt.str "Q%d" i))) in
+  solve ?budget ?stats program edb goal

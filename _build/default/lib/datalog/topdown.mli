@@ -1,0 +1,48 @@
+(** Top-down SLD resolution — the "proof-oriented, tuple-at-a-time"
+    evaluator the paper contrasts with set-oriented construction (§1, §4).
+
+    Faithful to 1985 PROLOG's declarative core for function-free programs:
+    depth-first search, leftmost selection, clauses in program order,
+    argument indexing on bound positions, no memoization.  Hence: repeated
+    subgoals are re-proved, and cyclic data makes the search infinite —
+    only the resource budget stops it (the "endless loops" the paper's
+    approach eliminates, §3.4).  Negation as failure on ground literals. *)
+
+open Dc_relation
+
+exception Budget_exhausted of string
+
+type stats = {
+  mutable resolution_steps : int;  (** clause/fact resolution attempts *)
+  mutable solutions : int;
+  mutable max_goal_depth : int;
+}
+
+val fresh_stats : unit -> stats
+
+type budget = {
+  max_steps : int;
+  max_depth : int;
+}
+
+val default_budget : budget
+
+val solve :
+  ?budget:budget ->
+  ?stats:stats ->
+  Syntax.program ->
+  Facts.t ->
+  Syntax.atom ->
+  Tuple.t list
+(** All ground instances of the goal atom derivable from program + EDB,
+    sorted and deduplicated. @raise Budget_exhausted *)
+
+val query :
+  ?budget:budget ->
+  ?stats:stats ->
+  Syntax.program ->
+  Facts.t ->
+  string ->
+  int ->
+  Tuple.t list
+(** Open query: all derivable tuples of a predicate of the given arity. *)

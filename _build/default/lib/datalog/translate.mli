@@ -1,0 +1,46 @@
+(** Translations between constructor systems and Horn-clause programs —
+    the §3.4 lemma ("the constructor mechanism is as powerful as
+    function-free PROLOG without cut, fail, and negation") in both
+    directions. *)
+
+open Dc_relation
+open Dc_calculus
+
+exception Unsupported of string
+(** Raised on constructs outside the Horn fragment (negation, universal
+    quantification, computed targets, non-name arguments, ...). *)
+
+(** Resolution context for the constructor → Horn direction. *)
+type context = {
+  lookup_constructor : string -> Defs.constructor_def option;
+  schema_of : string -> Schema.t option;  (** global (EDB) relations *)
+}
+
+(** A constructor instance closed over actual names/values. *)
+type instance = {
+  inst_con : string;
+  inst_base : string;
+  inst_args : inst_arg list;
+}
+
+and inst_arg =
+  | IA_rel of string
+  | IA_scalar of Value.t
+
+val instance_pred : instance -> string
+(** Predicate name of an instance, e.g. ["ahead__Infront__Ontop"]. *)
+
+val of_application : context -> Ast.range -> Syntax.program * string
+(** Translate an application [Base{c(args)}] over named relations: one IDB
+    predicate per reachable instance, one rule per branch.  Returns the
+    program and the query predicate. @raise Unsupported *)
+
+val to_constructors :
+  (string -> Schema.t) ->
+  Syntax.program ->
+  Defs.constructor_def list * (string * Schema.t) list
+(** [to_constructors schema_of program] builds one constructor per IDB
+    predicate, each grown from an empty base relation named
+    ["__bottom_<pred>"] (cf. the paper's end-of-§3.1 remark).  Returns the
+    definitions and the bottom relations the caller must declare (empty).
+    @raise Unsupported on negation or ground fact rules. *)

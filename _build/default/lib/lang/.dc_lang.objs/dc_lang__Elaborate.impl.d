@@ -1,0 +1,1 @@
+lib/lang/elaborate.ml: Ast Buffer Database Dc_calculus Dc_compile Dc_core Dc_relation Defs Fmt List Option Parser Relation Schema String Surface Tuple Value

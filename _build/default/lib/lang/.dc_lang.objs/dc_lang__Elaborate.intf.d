@@ -1,0 +1,1 @@
+lib/lang/elaborate.mli: Database Dc_calculus Dc_core Surface

@@ -1,0 +1,1 @@
+lib/lang/parser.ml: Array Dc_calculus Fmt Lexer List String Surface Token

@@ -1,0 +1,1 @@
+lib/lang/storage.ml: Ast Buffer Csv Database Dc_calculus Dc_core Dc_relation Defs Elaborate Filename Fmt In_channel List Out_channel Parser Positivity Relation Schema String Sys Value

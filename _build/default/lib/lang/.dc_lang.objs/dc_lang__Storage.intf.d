@@ -1,0 +1,1 @@
+lib/lang/storage.mli: Database Dc_core

@@ -1,0 +1,1 @@
+lib/lang/surface.mli: Dc_calculus

@@ -1,0 +1,271 @@
+(* Elaboration: resolve surface type names, lower the surface syntax onto
+   the calculus AST of [Dc_calculus], and execute declarations against a
+   [Dc_core.Database].
+
+   This plays the front half of the DBPL compiler: after elaboration,
+   everything is checked by [Typecheck] (via [Database]) and evaluated by
+   the fixpoint machinery; EXPLAIN goes through [Dc_compile.Planner]. *)
+
+open Dc_relation
+open Dc_calculus
+open Dc_core
+open Surface
+
+exception Elab_error of string
+
+let elab_error fmt = Fmt.kstr (fun s -> raise (Elab_error s)) fmt
+
+type env = {
+  db : Database.t;
+  mutable scalar_types : (string * (Value.ty * Schema.refinement)) list;
+  mutable relation_types : (string * Schema.t) list;
+  buffer : Buffer.t; (* QUERY/PRINT/EXPLAIN output *)
+}
+
+let create db =
+  { db; scalar_types = []; relation_types = []; buffer = Buffer.create 256 }
+
+let output env fmt = Fmt.kstr (fun s -> Buffer.add_string env.buffer s) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Types *)
+
+(* A surface scalar resolves to a value type plus the 2.1 domain
+   refinement it carries (RANGE subtypes, possibly through aliases). *)
+let resolve_scalar env = function
+  | S_integer -> (Value.TInt, Schema.No_refinement)
+  | S_string -> (Value.TStr, Schema.No_refinement)
+  | S_boolean -> (Value.TBool, Schema.No_refinement)
+  | S_real -> (Value.TFloat, Schema.No_refinement)
+  | S_range (lo, hi) -> (Value.TInt, Schema.Int_range (lo, hi))
+  | S_named n -> (
+    match List.assoc_opt n env.scalar_types with
+    | Some pair -> pair
+    | None -> elab_error "unknown scalar type %s" n)
+
+let resolve_relation_type env n =
+  match List.assoc_opt n env.relation_types with
+  | Some s -> s
+  | None -> elab_error "unknown relation type %s" n
+
+let elaborate_type env name = function
+  | T_scalar s ->
+    env.scalar_types <- (name, resolve_scalar env s) :: env.scalar_types
+  | T_relation { key; fields } ->
+    let resolved =
+      List.concat_map
+        (fun (names, ty) ->
+          let ty, refine = resolve_scalar env ty in
+          List.map (fun n -> (n, ty, refine)) names)
+        fields
+    in
+    let attrs = List.map (fun (n, ty, _) -> (n, ty)) resolved in
+    let refinements =
+      List.filter_map
+        (fun (n, _, r) -> if r = Schema.No_refinement then None else Some (n, r))
+        resolved
+    in
+    let key = if key = [] then None else Some key in
+    env.relation_types <-
+      (name, Schema.make ?key ~refinements attrs) :: env.relation_types
+
+(* Parameter types: relation type name wins, then scalar. *)
+let elaborate_param env { p_name; p_type } =
+  match p_type with
+  | S_named n when List.mem_assoc n env.relation_types ->
+    Defs.Rel_param (p_name, resolve_relation_type env n)
+  | s -> Defs.Scalar_param (p_name, fst (resolve_scalar env s))
+
+(* ------------------------------------------------------------------ *)
+(* Scopes: names usable as relations vs. scalar parameters while lowering
+   ranges inside definitions. *)
+
+type scope = {
+  rel_names : string list; (* formal + relation parameters *)
+  scalar_names : string list; (* scalar parameters *)
+}
+
+let empty_scope = { rel_names = []; scalar_names = [] }
+
+let rec lower_term env scope = function
+  | T_int i -> Ast.Const (Value.Int i)
+  | T_float f -> Ast.Const (Value.Float f)
+  | T_string s -> Ast.Const (Value.Str s)
+  | T_field (v, a) -> Ast.Field (v, a)
+  | T_name n ->
+    if List.mem n scope.scalar_names then Ast.Param n
+    else elab_error "unknown name %s (not a scalar parameter)" n
+  | T_binop (op, a, b) ->
+    Ast.Binop (op, lower_term env scope a, lower_term env scope b)
+
+let rec lower_formula env scope = function
+  | F_true -> Ast.True
+  | F_false -> Ast.False
+  | F_cmp (op, a, b) ->
+    Ast.Cmp (op, lower_term env scope a, lower_term env scope b)
+  | F_not f -> Ast.Not (lower_formula env scope f)
+  | F_and (a, b) -> Ast.And (lower_formula env scope a, lower_formula env scope b)
+  | F_or (a, b) -> Ast.Or (lower_formula env scope a, lower_formula env scope b)
+  | F_some (v, r, f) ->
+    Ast.Some_in (v, lower_range env scope r, lower_formula env scope f)
+  | F_all (v, r, f) ->
+    Ast.All_in (v, lower_range env scope r, lower_formula env scope f)
+  | F_in (v, r) -> Ast.In_rel (v, lower_range env scope r)
+  | F_member (ts, r) ->
+    Ast.Member (List.map (lower_term env scope) ts, lower_range env scope r)
+
+and lower_range env scope = function
+  | R_name n -> Ast.Rel n
+  | R_select (r, s, args) ->
+    Ast.Select (lower_range env scope r, s, List.map (lower_arg env scope) args)
+  | R_construct (r, c, args) ->
+    Ast.Construct (lower_range env scope r, c, List.map (lower_arg env scope) args)
+  | R_comp bs -> Ast.Comp (List.map (lower_branch env scope) bs)
+
+and lower_arg env scope = function
+  | A_term t -> Ast.Arg_scalar (lower_term env scope t)
+  | A_range r -> Ast.Arg_range (lower_range env scope r)
+  | A_name n ->
+    (* relation name (global, formal, or parameter) wins over scalar *)
+    let is_rel =
+      List.mem n scope.rel_names
+      || List.exists (String.equal n) (Database.relation_names env.db)
+    in
+    if is_rel then Ast.Arg_range (Ast.Rel n)
+    else if List.mem n scope.scalar_names then Ast.Arg_scalar (Ast.Param n)
+    else elab_error "unknown argument name %s" n
+
+and lower_branch env scope (b : branch) =
+  {
+    Ast.binders = List.map (fun (v, r) -> (v, lower_range env scope r)) b.b_binders;
+    target = List.map (lower_term env scope) b.b_target;
+    where = lower_formula env scope b.b_where;
+  }
+
+let scope_of_params params =
+  List.fold_left
+    (fun scope p ->
+      match p with
+      | Defs.Rel_param (n, _) -> { scope with rel_names = n :: scope.rel_names }
+      | Defs.Scalar_param (n, _) ->
+        { scope with scalar_names = n :: scope.scalar_names })
+    empty_scope params
+
+(* ------------------------------------------------------------------ *)
+(* Constant rows for INSERT/DELETE *)
+
+let constant env = function
+  | T_int i -> Value.Int i
+  | T_float f -> Value.Float f
+  | T_string s -> Value.Str s
+  | t ->
+    ignore env;
+    elab_error "INSERT/DELETE rows must be constants (got %s)"
+      (match t with
+      | T_field (v, a) -> v ^ "." ^ a
+      | T_name n -> n
+      | _ -> "expression")
+
+let row env ts = Tuple.of_list (List.map (constant env) ts)
+
+(* ------------------------------------------------------------------ *)
+(* Declaration execution *)
+
+let lower_constructor env
+    ({ c_name; c_formal; c_formal_type; c_params; c_result_type; c_body } :
+      constructor_decl) =
+  let params = List.map (elaborate_param env) c_params in
+  let scope =
+    let s = scope_of_params params in
+    { s with rel_names = c_formal :: s.rel_names }
+  in
+  {
+    Defs.con_name = c_name;
+    con_formal = c_formal;
+    con_formal_schema = resolve_relation_type env c_formal_type;
+    con_params = params;
+    con_result = resolve_relation_type env c_result_type;
+    con_body = List.map (lower_branch env scope) c_body;
+  }
+
+let execute_decl env = function
+  | D_type (name, ty) -> elaborate_type env name ty
+  | D_var (name, tyname) ->
+    Database.declare env.db name (resolve_relation_type env tyname)
+  | D_selector { s_name; s_params; s_formal; s_formal_type; s_var; s_range; s_pred }
+    ->
+    if not (String.equal s_range s_formal) then
+      elab_error "selector %s: body ranges over %s, not the formal %s" s_name
+        s_range s_formal;
+    let params = List.map (elaborate_param env) s_params in
+    let scope =
+      let s = scope_of_params params in
+      { s with rel_names = s_formal :: s.rel_names }
+    in
+    Database.define_selector env.db
+      {
+        Defs.sel_name = s_name;
+        sel_formal = s_formal;
+        sel_formal_schema = resolve_relation_type env s_formal_type;
+        sel_params = params;
+        sel_var = s_var;
+        sel_pred = lower_formula env scope s_pred;
+      }
+  | D_constructor c -> Database.define_constructor env.db (lower_constructor env c)
+  | D_insert (name, rows) ->
+    Database.insert_all env.db name (List.map (row env) rows)
+  | D_delete (name, rows) ->
+    List.iter (fun r -> Database.delete env.db name (row env r)) rows
+  | D_assign (name, None, _, r) ->
+    Database.assign env.db name (lower_range env empty_scope r)
+  | D_assign (name, Some sel, args, r) ->
+    let args = List.map (lower_arg env empty_scope) args in
+    Database.assign_selected env.db name ~selector:sel ~args
+      (lower_range env empty_scope r)
+  | D_query r | D_print r ->
+    let range = lower_range env empty_scope r in
+    let result = Database.query env.db range in
+    output env "QUERY %s@\n%a@\n@\n"
+      (Ast.range_to_string range)
+      Relation.pp_table result
+  | D_explain r ->
+    let range = lower_range env empty_scope r in
+    let decision = Dc_compile.Planner.plan env.db range in
+    output env "EXPLAIN %s@\n%a@\n"
+      (Ast.range_to_string range)
+      Dc_compile.Planner.explain decision
+
+(* Run a whole surface program; returns accumulated QUERY/EXPLAIN output.
+   Consecutive CONSTRUCTOR declarations are defined as one group, so
+   mutually recursive constructors typecheck — write them adjacently, as
+   the paper's listings do. *)
+let run env (p : program) =
+  let flush pending =
+    match pending with
+    | [] -> ()
+    | group ->
+      Database.define_constructors env.db
+        (List.rev_map (lower_constructor env) group)
+  in
+  let pending =
+    List.fold_left
+      (fun pending decl ->
+        match decl with
+        | D_constructor c -> c :: pending
+        | d ->
+          flush pending;
+          execute_decl env d;
+          [])
+      [] p
+  in
+  flush pending;
+  Buffer.contents env.buffer
+
+(* Lower a standalone query range (no definition parameters in scope). *)
+let lower_query env r = lower_range env empty_scope r
+
+let run_string ?db src =
+  let db = Option.value db ~default:(Database.create ()) in
+  let env = create db in
+  let out = run env (Parser.parse src) in
+  (db, out)

@@ -1,0 +1,33 @@
+(** Elaboration: resolve surface type names, lower the surface syntax onto
+    the calculus AST, and execute declarations against a
+    [Dc_core.Database] (the front half of the DBPL compiler). *)
+
+open Dc_core
+open Surface
+
+exception Elab_error of string
+
+type env
+(** Elaboration state: the database plus type-alias tables and the
+    accumulated QUERY/PRINT/EXPLAIN output. *)
+
+val create : Database.t -> env
+
+val lower_constructor : env -> constructor_decl -> Dc_calculus.Defs.constructor_def
+(** Lower one constructor declaration (types resolved, body lowered). *)
+
+val execute_decl : env -> decl -> unit
+(** Execute one declaration/statement.  Note: [D_constructor] is defined
+    individually here; use {!run} for programs with mutual recursion. *)
+
+val run : env -> program -> string
+(** Execute a whole program; consecutive CONSTRUCTOR declarations are
+    defined as one group (so mutually recursive constructors typecheck —
+    write them adjacently, as the paper's listings do).  Returns the
+    accumulated QUERY/PRINT/EXPLAIN output. *)
+
+val lower_query : env -> Surface.range -> Dc_calculus.Ast.range
+(** Lower a standalone query range (no definition parameters in scope). *)
+
+val run_string : ?db:Database.t -> string -> Database.t * string
+(** Parse and run source text against a fresh (or given) database. *)

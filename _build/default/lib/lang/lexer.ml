@@ -1,0 +1,182 @@
+(* Hand-written lexer for the DBPL surface language.
+
+   Supports MODULA-2 style nested comments [(* ... *)], double-quoted
+   string literals with backslash escapes, integers, reals, identifiers
+   (case-sensitive; keywords are upper case as in the paper). *)
+
+exception Lex_error of string
+
+let lex_error line col fmt =
+  Fmt.kstr (fun s -> raise (Lex_error (Fmt.str "%d:%d: %s" line col s))) fmt
+
+type state = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let peek2 st =
+  if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+    st.line <- st.line + 1;
+    st.col <- 1
+  | Some _ -> st.col <- st.col + 1
+  | None -> ());
+  st.pos <- st.pos + 1
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let is_digit c = c >= '0' && c <= '9'
+
+let rec skip_comment st depth start_line start_col =
+  match peek st, peek2 st with
+  | Some '*', Some ')' ->
+    advance st;
+    advance st;
+    if depth > 1 then skip_comment st (depth - 1) start_line start_col
+  | Some '(', Some '*' ->
+    advance st;
+    advance st;
+    skip_comment st (depth + 1) start_line start_col
+  | Some _, _ ->
+    advance st;
+    skip_comment st depth start_line start_col
+  | None, _ -> lex_error start_line start_col "unterminated comment"
+
+let lex_string st =
+  let line = st.line and col = st.col in
+  advance st (* opening quote *);
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek st with
+    | None -> lex_error line col "unterminated string literal"
+    | Some '"' -> advance st
+    | Some '\\' -> (
+      advance st;
+      match peek st with
+      | Some 'n' ->
+        Buffer.add_char buf '\n';
+        advance st;
+        loop ()
+      | Some 't' ->
+        Buffer.add_char buf '\t';
+        advance st;
+        loop ()
+      | Some c ->
+        Buffer.add_char buf c;
+        advance st;
+        loop ()
+      | None -> lex_error line col "unterminated escape")
+    | Some c ->
+      Buffer.add_char buf c;
+      advance st;
+      loop ()
+  in
+  loop ();
+  Buffer.contents buf
+
+let lex_number st =
+  let start = st.pos in
+  while (match peek st with Some c when is_digit c -> true | _ -> false) do
+    advance st
+  done;
+  let is_float =
+    match peek st, peek2 st with
+    | Some '.', Some c when is_digit c -> true
+    | _ -> false
+  in
+  if is_float then begin
+    advance st;
+    while (match peek st with Some c when is_digit c -> true | _ -> false) do
+      advance st
+    done;
+    Token.Float_lit (float_of_string (String.sub st.src start (st.pos - start)))
+  end
+  else Token.Int_lit (int_of_string (String.sub st.src start (st.pos - start)))
+
+let lex_ident st =
+  let start = st.pos in
+  while (match peek st with Some c when is_ident_char c -> true | _ -> false) do
+    advance st
+  done;
+  let s = String.sub st.src start (st.pos - start) in
+  match List.assoc_opt s Token.keywords with
+  | Some kw -> kw
+  | None -> Token.Ident s
+
+let tokenize src =
+  let st = { src; pos = 0; line = 1; col = 1 } in
+  let tokens = ref [] in
+  let emit tok line col = tokens := { Token.tok; line; col } :: !tokens in
+  let rec loop () =
+    let line = st.line and col = st.col in
+    match peek st with
+    | None -> emit Token.Eof line col
+    | Some (' ' | '\t' | '\r' | '\n') ->
+      advance st;
+      loop ()
+    | Some '(' when peek2 st = Some '*' ->
+      advance st;
+      advance st;
+      skip_comment st 1 line col;
+      loop ()
+    | Some '"' ->
+      emit (Token.String_lit (lex_string st)) line col;
+      loop ()
+    | Some c when is_digit c ->
+      emit (lex_number st) line col;
+      loop ()
+    | Some c when is_ident_start c ->
+      emit (lex_ident st) line col;
+      loop ()
+    | Some ':' when peek2 st = Some '=' ->
+      advance st;
+      advance st;
+      emit Token.Assign line col;
+      loop ()
+    | Some '<' when peek2 st = Some '=' ->
+      advance st;
+      advance st;
+      emit Token.Le line col;
+      loop ()
+    | Some '>' when peek2 st = Some '=' ->
+      advance st;
+      advance st;
+      emit Token.Ge line col;
+      loop ()
+    | Some c ->
+      let tok =
+        match c with
+        | ';' -> Token.Semi
+        | ':' -> Token.Colon
+        | ',' -> Token.Comma
+        | '.' -> Token.Dot
+        | '(' -> Token.Lparen
+        | ')' -> Token.Rparen
+        | '[' -> Token.Lbracket
+        | ']' -> Token.Rbracket
+        | '{' -> Token.Lbrace
+        | '}' -> Token.Rbrace
+        | '<' -> Token.Lt
+        | '>' -> Token.Gt
+        | '=' -> Token.Eq
+        | '#' -> Token.Ne
+        | '+' -> Token.Plus
+        | '-' -> Token.Minus
+        | '*' -> Token.Star
+        | c -> lex_error line col "unexpected character %c" c
+      in
+      advance st;
+      emit tok line col;
+      loop ()
+  in
+  loop ();
+  List.rev !tokens

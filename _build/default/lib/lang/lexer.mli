@@ -1,0 +1,10 @@
+(** Lexer for the DBPL surface language: MODULA-2 style nested comments
+    [(* ... *)], double-quoted strings with backslash escapes, integers,
+    reals, case-sensitive identifiers (keywords upper case, as in the
+    paper's listings). *)
+
+exception Lex_error of string
+(** Message includes [line:col]. *)
+
+val tokenize : string -> Token.located list
+(** Whole input to tokens, ending with {!Token.Eof}. @raise Lex_error *)

@@ -1,0 +1,162 @@
+(* Database persistence: save a database as a directory containing one CSV
+   file per relation plus a catalog written in the DBPL surface syntax
+   (TYPE/VAR/SELECTOR/CONSTRUCTOR declarations).  Loading replays the
+   catalog through the ordinary front end — parser, elaborator, type
+   checker, positivity check — and then bulk-loads the CSVs, so a stored
+   database re-validates itself completely on the way in.
+
+   Layout:
+     <dir>/catalog.dbpl      declarations, parser-compatible
+     <dir>/<relation>.csv    one file per relation variable            *)
+
+open Dc_relation
+open Dc_core
+open Dc_calculus
+
+exception Storage_error of string
+
+let storage_error fmt = Fmt.kstr (fun s -> raise (Storage_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Rendering declarations in the surface grammar *)
+
+let scalar_keyword = function
+  | Value.TInt -> "INTEGER"
+  | Value.TStr -> "STRING"
+  | Value.TBool -> "BOOLEAN"
+  | Value.TFloat -> "REAL"
+
+(* a field's concrete type: the 2.1 refinement syntax when present *)
+let field_type ty = function
+  | Schema.No_refinement -> scalar_keyword ty
+  | Schema.Int_range (lo, hi) -> Fmt.str "RANGE %d..%d" lo hi
+
+(* TYPE t_<name> = RELATION k1, k2 OF RECORD a: T; b: T END; *)
+let render_type buf name schema =
+  let keys =
+    if Schema.key_is_whole_tuple schema then Schema.attr_names schema
+    else List.map (Schema.attr_name schema) (Schema.key_positions schema)
+  in
+  let fields =
+    String.concat "; "
+      (List.mapi
+         (fun i a ->
+           Fmt.str "%s: %s" a
+             (field_type (Schema.attr_ty schema i) (Schema.attr_refinement schema i)))
+         (Schema.attr_names schema))
+  in
+  Buffer.add_string buf
+    (Fmt.str "TYPE %s = RELATION %s OF RECORD %s END;\n" name
+       (String.concat ", " keys) fields)
+
+(* Stable type name per distinct schema. *)
+type type_table = {
+  mutable types : (string * Schema.t) list; (* name -> schema, insertion order *)
+  mutable counter : int;
+}
+
+let type_name_of table schema =
+  match
+    List.find_opt (fun (_, s) -> Schema.equal s schema) table.types
+  with
+  | Some (n, _) -> n
+  | None ->
+    table.counter <- table.counter + 1;
+    let n = Fmt.str "t%d" table.counter in
+    table.types <- table.types @ [ (n, schema) ];
+    n
+
+let render_params table params =
+  match params with
+  | [] -> ""
+  | ps ->
+    let one = function
+      | Defs.Scalar_param (n, ty) -> Fmt.str "%s: %s" n (scalar_keyword ty)
+      | Defs.Rel_param (n, schema) ->
+        Fmt.str "%s: %s" n (type_name_of table schema)
+    in
+    Fmt.str " (%s)" (String.concat "; " (List.map one ps))
+
+let render_selector table buf (d : Defs.selector_def) =
+  Buffer.add_string buf
+    (Fmt.str "SELECTOR %s%s FOR %s: %s;\nBEGIN EACH %s IN %s: %s END %s;\n"
+       d.sel_name
+       (render_params table d.sel_params)
+       d.sel_formal
+       (type_name_of table d.sel_formal_schema)
+       d.sel_var d.sel_formal
+       (Ast.formula_to_string d.sel_pred)
+       d.sel_name)
+
+let render_branch (b : Ast.branch) = Fmt.str "%a" Ast.pp_branch b
+
+let render_constructor table buf (d : Defs.constructor_def) =
+  Buffer.add_string buf
+    (Fmt.str "CONSTRUCTOR %s FOR %s: %s%s: %s;\nBEGIN %s END %s;\n" d.con_name
+       d.con_formal
+       (type_name_of table d.con_formal_schema)
+       (render_params table d.con_params)
+       (type_name_of table d.con_result)
+       (String.concat ",\n      " (List.map render_branch d.con_body))
+       d.con_name)
+
+(* ------------------------------------------------------------------ *)
+(* Save *)
+
+let save db dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+  else if not (Sys.is_directory dir) then
+    storage_error "%s exists and is not a directory" dir;
+  let table = { types = []; counter = 0 } in
+  let decls = Buffer.create 1024 in
+  (* relation variables (and their CSV payloads) *)
+  let vars = Buffer.create 256 in
+  List.iter
+    (fun name ->
+      let rel = Database.get db name in
+      let tname = type_name_of table (Relation.schema rel) in
+      Buffer.add_string vars (Fmt.str "VAR %s: %s;\n" name tname);
+      Csv.save rel (Filename.concat dir (name ^ ".csv")))
+    (Database.relation_names db);
+  (* definitions (type names for their schemas registered on the fly) *)
+  let defs = Buffer.create 256 in
+  List.iter
+    (fun name ->
+      match Database.selector db name with
+      | Some d -> render_selector table defs d
+      | None -> ())
+    (Database.selector_names db);
+  (* mutually recursive constructors must stay adjacent: emit in SCC
+     dependency order *)
+  let all_constructors =
+    List.filter_map (Database.constructor db) (Database.constructor_names db)
+  in
+  List.iter
+    (fun component -> List.iter (render_constructor table defs) component)
+    (Positivity.sccs all_constructors);
+  (* types first (collected while rendering), then vars, then defs *)
+  List.iter (fun (n, s) -> render_type decls n s) table.types;
+  Buffer.add_buffer decls vars;
+  Buffer.add_buffer decls defs;
+  Out_channel.with_open_text (Filename.concat dir "catalog.dbpl") (fun oc ->
+      Out_channel.output_string oc (Buffer.contents decls))
+
+(* ------------------------------------------------------------------ *)
+(* Load *)
+
+let load ?(db = Database.create ()) dir =
+  let catalog = Filename.concat dir "catalog.dbpl" in
+  if not (Sys.file_exists catalog) then
+    storage_error "%s: no catalog.dbpl" dir;
+  let source = In_channel.with_open_text catalog In_channel.input_all in
+  let env = Elaborate.create db in
+  ignore (Elaborate.run env (Parser.parse source));
+  List.iter
+    (fun name ->
+      let path = Filename.concat dir (name ^ ".csv") in
+      if Sys.file_exists path then begin
+        let schema = Relation.schema (Database.get db name) in
+        Database.set db name (Csv.load schema path)
+      end)
+    (Database.relation_names db);
+  db

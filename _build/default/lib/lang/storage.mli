@@ -1,0 +1,19 @@
+(** Database persistence: one CSV per relation plus a catalog of
+    declarations written in the DBPL surface syntax.  Loading replays the
+    catalog through the ordinary front end (parser, type checker,
+    positivity check), so a stored database re-validates itself. *)
+
+open Dc_core
+
+exception Storage_error of string
+
+val save : Database.t -> string -> unit
+(** [save db dir] writes [dir/catalog.dbpl] and [dir/<relation>.csv] files
+    (the directory is created if missing).  Mutually recursive
+    constructors are emitted adjacently, in dependency order.
+    @raise Storage_error *)
+
+val load : ?db:Database.t -> string -> Database.t
+(** Replay a saved database into a fresh (or given) database.
+    @raise Storage_error / parser / typechecking / positivity errors as
+    the catalog is re-elaborated. *)

@@ -1,0 +1,142 @@
+(* Tokens of the DBPL surface language.
+
+   Keywords follow the paper's listings (MODULA-2 style, upper case):
+   TYPE, VAR, SELECTOR, CONSTRUCTOR, FOR, BEGIN, END, EACH, IN, SOME, ALL,
+   NOT, AND, OR, TRUE, FALSE, RELATION, OF, RECORD, KEY, and the statement
+   keywords of our small command layer (INSERT, VALUES, QUERY, PRINT,
+   EXPLAIN, DELETE).  [#] is inequality, [:=] assignment, [(* ... *)]
+   comments — all as in the paper. *)
+
+type t =
+  (* literals and identifiers *)
+  | Ident of string
+  | Int_lit of int
+  | Float_lit of float
+  | String_lit of string
+  (* keywords *)
+  | Kw_type
+  | Kw_var
+  | Kw_selector
+  | Kw_constructor
+  | Kw_for
+  | Kw_begin
+  | Kw_end
+  | Kw_each
+  | Kw_in
+  | Kw_some
+  | Kw_all
+  | Kw_not
+  | Kw_and
+  | Kw_or
+  | Kw_true
+  | Kw_false
+  | Kw_relation
+  | Kw_of
+  | Kw_record
+  | Kw_key
+  | Kw_integer
+  | Kw_string
+  | Kw_boolean
+  | Kw_real
+  | Kw_range
+  | Kw_insert
+  | Kw_delete
+  | Kw_values
+  | Kw_query
+  | Kw_print
+  | Kw_explain
+  (* punctuation and operators *)
+  | Semi
+  | Colon
+  | Comma
+  | Dot
+  | Lparen
+  | Rparen
+  | Lbracket
+  | Rbracket
+  | Lbrace
+  | Rbrace
+  | Lt
+  | Gt
+  | Le
+  | Ge
+  | Eq
+  | Ne (* # *)
+  | Assign (* := *)
+  | Plus
+  | Minus
+  | Star
+  | Eof
+
+let keywords =
+  [
+    ("TYPE", Kw_type);
+    ("VAR", Kw_var);
+    ("SELECTOR", Kw_selector);
+    ("CONSTRUCTOR", Kw_constructor);
+    ("FOR", Kw_for);
+    ("BEGIN", Kw_begin);
+    ("END", Kw_end);
+    ("EACH", Kw_each);
+    ("IN", Kw_in);
+    ("SOME", Kw_some);
+    ("ALL", Kw_all);
+    ("NOT", Kw_not);
+    ("AND", Kw_and);
+    ("OR", Kw_or);
+    ("TRUE", Kw_true);
+    ("FALSE", Kw_false);
+    ("RELATION", Kw_relation);
+    ("OF", Kw_of);
+    ("RECORD", Kw_record);
+    ("KEY", Kw_key);
+    ("INTEGER", Kw_integer);
+    ("STRING", Kw_string);
+    ("BOOLEAN", Kw_boolean);
+    ("REAL", Kw_real);
+    ("RANGE", Kw_range);
+    ("INSERT", Kw_insert);
+    ("DELETE", Kw_delete);
+    ("VALUES", Kw_values);
+    ("QUERY", Kw_query);
+    ("PRINT", Kw_print);
+    ("EXPLAIN", Kw_explain);
+  ]
+
+let to_string = function
+  | Ident s -> s
+  | Int_lit i -> string_of_int i
+  | Float_lit f -> string_of_float f
+  | String_lit s -> Fmt.str "%S" s
+  | Semi -> ";"
+  | Colon -> ":"
+  | Comma -> ","
+  | Dot -> "."
+  | Lparen -> "("
+  | Rparen -> ")"
+  | Lbracket -> "["
+  | Rbracket -> "]"
+  | Lbrace -> "{"
+  | Rbrace -> "}"
+  | Lt -> "<"
+  | Gt -> ">"
+  | Le -> "<="
+  | Ge -> ">="
+  | Eq -> "="
+  | Ne -> "#"
+  | Assign -> ":="
+  | Plus -> "+"
+  | Minus -> "-"
+  | Star -> "*"
+  | Eof -> "<eof>"
+  | kw -> (
+    match List.find_opt (fun (_, t) -> t = kw) keywords with
+    | Some (s, _) -> s
+    | None -> "<token>")
+
+(* A token with its source position. *)
+type located = {
+  tok : t;
+  line : int;
+  col : int;
+}

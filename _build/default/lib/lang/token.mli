@@ -1,0 +1,72 @@
+(** Tokens of the DBPL surface language (keywords upper case, MODULA-2
+    style, following the paper's listings). *)
+
+type t =
+  | Ident of string
+  | Int_lit of int
+  | Float_lit of float
+  | String_lit of string
+  | Kw_type
+  | Kw_var
+  | Kw_selector
+  | Kw_constructor
+  | Kw_for
+  | Kw_begin
+  | Kw_end
+  | Kw_each
+  | Kw_in
+  | Kw_some
+  | Kw_all
+  | Kw_not
+  | Kw_and
+  | Kw_or
+  | Kw_true
+  | Kw_false
+  | Kw_relation
+  | Kw_of
+  | Kw_record
+  | Kw_key
+  | Kw_integer
+  | Kw_string
+  | Kw_boolean
+  | Kw_real
+  | Kw_range
+  | Kw_insert
+  | Kw_delete
+  | Kw_values
+  | Kw_query
+  | Kw_print
+  | Kw_explain
+  | Semi
+  | Colon
+  | Comma
+  | Dot
+  | Lparen
+  | Rparen
+  | Lbracket
+  | Rbracket
+  | Lbrace
+  | Rbrace
+  | Lt
+  | Gt
+  | Le
+  | Ge
+  | Eq
+  | Ne  (** [#], as in the paper *)
+  | Assign  (** [:=] *)
+  | Plus
+  | Minus
+  | Star
+  | Eof
+
+val keywords : (string * t) list
+(** Keyword spelling table. *)
+
+val to_string : t -> string
+
+(** A token with its source position (1-based line and column). *)
+type located = {
+  tok : t;
+  line : int;
+  col : int;
+}

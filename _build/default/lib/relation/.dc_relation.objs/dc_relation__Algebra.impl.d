@@ -1,0 +1,1 @@
+lib/relation/algebra.ml: Fmt Index List Relation Schema Tuple

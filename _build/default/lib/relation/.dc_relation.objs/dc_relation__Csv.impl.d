@@ -1,0 +1,1 @@
+lib/relation/csv.ml: Buffer Fmt In_channel List Relation Schema String Tuple Value

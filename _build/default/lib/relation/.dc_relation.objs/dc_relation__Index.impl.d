@@ -1,0 +1,1 @@
+lib/relation/index.ml: Hashtbl Option Relation Tuple

@@ -1,0 +1,1 @@
+lib/relation/relation.ml: Fmt List Schema Set String Tuple Value

@@ -1,0 +1,1 @@
+lib/relation/relation.mli: Fmt Schema Seq Tuple Value

@@ -1,0 +1,1 @@
+lib/relation/schema.ml: Array Fmt Fun Int List Option String Value

@@ -1,0 +1,104 @@
+(* Set-oriented relational algebra over {!Relation}.
+
+   These operators are the execution primitives of the "set-construction
+   framework" the paper contrasts with tuple-oriented theorem proving
+   (§1, §4).  The Datalog engines and the plan interpreter compile their
+   work down to these operations. *)
+
+let select p rel = Relation.filter p rel
+
+(* Projection discards the key: a projection of a keyed relation is in
+   general not keyed, so the result schema declares the whole tuple as key
+   (set semantics, duplicates eliminated). *)
+let project positions rel =
+  let schema = Schema.project (Relation.schema rel) positions ~key:None in
+  Relation.fold
+    (fun t acc -> Relation.add_unchecked (Tuple.project t positions) acc)
+    rel (Relation.empty schema)
+
+let rename names rel =
+  let schema = Schema.rename (Relation.schema rel) names in
+  Relation.fold (fun t acc -> Relation.add_unchecked t acc) rel
+    (Relation.empty schema)
+
+(* Concatenated schemas get positionally suffixed attribute names so that
+   self-joins never collide. *)
+let concat_schema sa sb =
+  let names = Schema.attr_names sa @ Schema.attr_names sb in
+  let types = Schema.attr_types sa @ Schema.attr_types sb in
+  let attrs =
+    List.mapi (fun i (n, ty) -> (Fmt.str "%s_%d" n i, ty))
+      (List.combine names types)
+  in
+  Schema.make attrs
+
+let product a b =
+  let schema = concat_schema (Relation.schema a) (Relation.schema b) in
+  Relation.fold
+    (fun ta acc ->
+      Relation.fold
+        (fun tb acc -> Relation.add_unchecked (Tuple.concat ta tb) acc)
+        b acc)
+    a (Relation.empty schema)
+
+(* Hash equi-join on position pairs [(ia, ib)]: result tuples are the
+   concatenation of the joined tuples. *)
+let join ~on a b =
+  let pos_a = List.map fst on and pos_b = List.map snd on in
+  let schema = concat_schema (Relation.schema a) (Relation.schema b) in
+  let small, big, swap =
+    if Relation.cardinal a <= Relation.cardinal b then (a, b, false)
+    else (b, a, true)
+  in
+  let small_pos = if swap then pos_b else pos_a in
+  let big_pos = if swap then pos_a else pos_b in
+  let idx = Index.build small_pos small in
+  Relation.fold
+    (fun tb acc ->
+      let k = Tuple.project tb big_pos in
+      List.fold_left
+        (fun acc ts ->
+          let left, right = if swap then (tb, ts) else (ts, tb) in
+          Relation.add_unchecked (Tuple.concat left right) acc)
+        acc (Index.lookup idx k))
+    big (Relation.empty schema)
+
+(* Semi-join: tuples of [a] that join with some tuple of [b]. *)
+let semijoin ~on a b =
+  let pos_a = List.map fst on and pos_b = List.map snd on in
+  let idx = Index.build pos_b b in
+  Relation.filter
+    (fun ta -> Index.lookup idx (Tuple.project ta pos_a) <> [])
+    a
+
+(* Composition of two binary relations: { <x, z> | <x, y> IN a, <y, z> IN b }.
+   This is the step function of the transitive-closure constructor and is
+   heavily exercised by the fixpoint benchmarks. *)
+let compose a b =
+  let sa = Relation.schema a in
+  if Schema.arity sa <> 2 || Schema.arity (Relation.schema b) <> 2 then
+    invalid_arg "Algebra.compose: binary relations expected";
+  let idx = Index.build [ 0 ] b in
+  Relation.fold
+    (fun ta acc ->
+      let y = Tuple.get ta 1 in
+      List.fold_left
+        (fun acc tb ->
+          Relation.add_unchecked (Tuple.make2 (Tuple.get ta 0) (Tuple.get tb 1)) acc)
+        acc
+        (Index.lookup_values idx [ y ]))
+    a
+    (Relation.empty (Schema.make (List.combine (Schema.attr_names sa) (Schema.attr_types sa))))
+
+(* Iterated composition: transitive closure by semi-naive differencing.
+   Serves as the hand-optimized reference implementation the generic
+   constructor fixpoint is validated against. *)
+let transitive_closure rel =
+  let rec loop acc delta =
+    if Relation.is_empty delta then acc
+    else
+      let step = compose delta rel in
+      let fresh = Relation.diff step acc in
+      loop (Relation.union acc fresh) fresh
+  in
+  loop rel rel

@@ -1,0 +1,112 @@
+(* Minimal CSV reader/writer for loading example data sets.
+
+   Understands double-quoted fields with doubled-quote escapes, which is
+   all the bundled examples need.  Values are parsed against an expected
+   schema so load errors surface as type mismatches, not silent strings. *)
+
+exception Parse_error of string
+
+let parse_error fmt = Fmt.kstr (fun s -> raise (Parse_error s)) fmt
+
+let split_line line =
+  let buf = Buffer.create 16 in
+  let fields = ref [] in
+  let flush () =
+    fields := Buffer.contents buf :: !fields;
+    Buffer.clear buf
+  in
+  let n = String.length line in
+  let rec plain i =
+    if i >= n then flush ()
+    else
+      match line.[i] with
+      | ',' ->
+        flush ();
+        plain (i + 1)
+      | '"' when Buffer.length buf = 0 -> quoted (i + 1)
+      | c ->
+        Buffer.add_char buf c;
+        plain (i + 1)
+  and quoted i =
+    if i >= n then parse_error "unterminated quoted field: %s" line
+    else
+      match line.[i] with
+      | '"' when i + 1 < n && line.[i + 1] = '"' ->
+        Buffer.add_char buf '"';
+        quoted (i + 2)
+      | '"' -> plain (i + 1)
+      | c ->
+        Buffer.add_char buf c;
+        quoted (i + 1)
+  in
+  plain 0;
+  List.rev !fields
+
+let parse_value ty s =
+  match (ty : Value.ty) with
+  | Value.TInt -> (
+    match int_of_string_opt (String.trim s) with
+    | Some i -> Value.Int i
+    | None -> parse_error "expected INTEGER, got %S" s)
+  | Value.TFloat -> (
+    match float_of_string_opt (String.trim s) with
+    | Some f -> Value.Float f
+    | None -> parse_error "expected REAL, got %S" s)
+  | Value.TBool -> (
+    match String.lowercase_ascii (String.trim s) with
+    | "true" -> Value.Bool true
+    | "false" -> Value.Bool false
+    | _ -> parse_error "expected BOOLEAN, got %S" s)
+  | Value.TStr -> Value.Str s
+
+let parse_row schema fields =
+  let types = Schema.attr_types schema in
+  if List.length fields <> List.length types then
+    parse_error "expected %d fields, got %d" (List.length types)
+      (List.length fields);
+  Tuple.of_list (List.map2 parse_value types fields)
+
+let of_lines ?(header = true) schema lines =
+  let lines = if header then List.tl lines else lines in
+  let rows =
+    List.filter_map
+      (fun line ->
+        if String.trim line = "" then None
+        else Some (parse_row schema (split_line line)))
+      lines
+  in
+  Relation.of_list schema rows
+
+let load ?header schema path =
+  let ic = open_in path in
+  let rec read acc =
+    match In_channel.input_line ic with
+    | Some l -> read (l :: acc)
+    | None -> List.rev acc
+  in
+  let lines = read [] in
+  close_in ic;
+  of_lines ?header schema lines
+
+let escape s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let cell = function
+  | Value.Str s -> escape s
+  | Value.Int i -> string_of_int i
+  | Value.Bool b -> string_of_bool b
+  | Value.Float f -> string_of_float f
+
+let save ?(header = true) rel path =
+  let oc = open_out path in
+  if header then
+    output_string oc
+      (String.concat "," (Schema.attr_names (Relation.schema rel)) ^ "\n");
+  Relation.iter
+    (fun t ->
+      output_string oc
+        (String.concat "," (List.map cell (Tuple.to_list t)) ^ "\n"))
+    rel;
+  close_out oc

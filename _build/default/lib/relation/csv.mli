@@ -1,0 +1,22 @@
+(** Minimal CSV I/O for relations, typed against a schema. *)
+
+exception Parse_error of string
+
+val split_line : string -> string list
+(** Split one CSV line; supports double-quoted fields with doubled-quote
+    escapes. *)
+
+val parse_value : Value.ty -> string -> Value.t
+(** @raise Parse_error if the text does not parse at the expected type. *)
+
+val parse_row : Schema.t -> string list -> Tuple.t
+
+val of_lines : ?header:bool -> Schema.t -> string list -> Relation.t
+(** Build a relation from CSV lines; [header] (default true) drops the
+    first line. *)
+
+val load : ?header:bool -> Schema.t -> string -> Relation.t
+(** Load a CSV file. *)
+
+val save : ?header:bool -> Relation.t -> string -> unit
+(** Write a relation as CSV, attribute names as header by default. *)

@@ -1,0 +1,40 @@
+(* Hash indexes on attribute positions.
+
+   The paper's §4 runtime level materializes "physical access paths" —
+   partitions of a relation by the values of selected attributes.  This
+   module is that partitioning primitive; it also backs the hash joins in
+   {!Algebra} and in the calculus evaluator. *)
+
+module Key = struct
+  type t = Tuple.t (* the projected key image *)
+
+  let equal = Tuple.equal
+  let hash = Tuple.hash
+end
+
+module H = Hashtbl.Make (Key)
+
+type t = {
+  positions : int list;
+  table : Tuple.t list H.t;
+}
+
+let build positions rel =
+  let table = H.create (max 16 (Relation.cardinal rel)) in
+  Relation.iter
+    (fun t ->
+      let k = Tuple.project t positions in
+      let prev = Option.value (H.find_opt table k) ~default:[] in
+      H.replace table k (t :: prev))
+    rel;
+  { positions; table }
+
+let positions idx = idx.positions
+
+let lookup idx key = Option.value (H.find_opt idx.table key) ~default:[]
+
+let lookup_values idx values = lookup idx (Tuple.of_list values)
+
+let buckets idx = H.length idx.table
+
+let iter f idx = H.iter f idx.table

@@ -1,0 +1,20 @@
+(** Hash indexes: partition a relation by the values of selected attribute
+    positions (the "physical access path" primitive of paper §4). *)
+
+type t
+
+val build : int list -> Relation.t -> t
+(** [build positions rel] hashes every tuple of [rel] under the projection
+    onto [positions]. *)
+
+val positions : t -> int list
+
+val lookup : t -> Tuple.t -> Tuple.t list
+(** Tuples whose projection equals the given key image. *)
+
+val lookup_values : t -> Value.t list -> Tuple.t list
+
+val buckets : t -> int
+(** Number of distinct key images. *)
+
+val iter : (Tuple.t -> Tuple.t list -> unit) -> t -> unit

@@ -1,0 +1,81 @@
+(** Relations: finite typed sets of tuples with the key constraint of
+    paper §2.2.
+
+    Values are persistent; every update returns a new relation. Operations
+    that admit a tuple enforce (a) schema conformance and (b) uniqueness of
+    the key image, raising {!Type_mismatch} / {!Key_violation} exactly where
+    DBPL's generated run-time checks would raise an exception. *)
+
+type t
+
+exception Key_violation of string
+exception Type_mismatch of string
+
+val schema : t -> Schema.t
+
+val empty : Schema.t -> t
+val singleton : Schema.t -> Tuple.t -> t
+
+val of_list : Schema.t -> Tuple.t list -> t
+(** @raise Key_violation / Type_mismatch per offending tuple. *)
+
+val of_pairs : Schema.t -> (Value.t * Value.t) list -> t
+(** Convenience for binary relations. *)
+
+val cardinal : t -> int
+val is_empty : t -> bool
+val mem : Tuple.t -> t -> bool
+
+val to_list : t -> Tuple.t list
+(** In increasing {!Tuple.compare} order. *)
+
+val to_seq : t -> Tuple.t Seq.t
+val fold : (Tuple.t -> 'a -> 'a) -> t -> 'a -> 'a
+val iter : (Tuple.t -> unit) -> t -> unit
+val exists : (Tuple.t -> bool) -> t -> bool
+val for_all : (Tuple.t -> bool) -> t -> bool
+val choose_opt : t -> Tuple.t option
+
+val add : Tuple.t -> t -> t
+(** Checked insertion.
+    @raise Type_mismatch if the tuple does not conform to the schema.
+    @raise Key_violation if a different tuple with the same key image is
+    already present. *)
+
+val add_unchecked : Tuple.t -> t -> t
+(** Insertion without the key check (asserts well-typedness); used by the
+    fixpoint engine on derived relations with whole-tuple keys. *)
+
+val remove : Tuple.t -> t -> t
+
+val violates_key : t -> Tuple.t -> bool
+(** Would adding this (absent) tuple violate the key constraint? *)
+
+val union : t -> t -> t
+(** Schema-compatible union (left schema wins).
+    @raise Key_violation if merging keyed relations collides. *)
+
+val inter : t -> t -> t
+val diff : t -> t -> t
+val filter : (Tuple.t -> bool) -> t -> t
+
+val with_schema : Schema.t -> t -> t
+(** Re-view the relation at a positionally compatible schema (attribute
+    names and keys taken from the new schema; tuples shared).
+    @raise Type_mismatch if the schemas are not compatible. *)
+
+val equal : t -> t -> bool
+(** Same tuple set under compatible schemas. *)
+
+val subset : t -> t -> bool
+val compare_tuples : t -> t -> int
+
+val content_hash : t -> int
+(** Deterministic hash of the tuple set (memoization of relation-valued
+    constructor arguments). *)
+
+val pp : t Fmt.t
+(** Set-brace rendering, e.g. [{<1, 2>, <2, 3>}]. *)
+
+val pp_table : t Fmt.t
+(** Aligned textual table with header, used by the CLI and examples. *)

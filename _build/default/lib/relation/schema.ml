@@ -1,0 +1,165 @@
+(* Relation schemas: attribute names/types plus the key constraint of
+   paper §2.2 ("RELATION key OF elementtype").
+
+   A schema corresponds to a DBPL relation type such as
+
+     infrontrel = RELATION front, back OF RECORD front, back: parttype END
+
+   The key is a subset of attributes whose values must be unique across the
+   relation (enforced by {!Relation}). *)
+
+(* Domain refinements (paper §2.1): currently prevalent languages "only
+   allow type definitions based on restricted propositional logic", e.g.
+   partidtype IS RANGE 1..100 — the domain predicate (1 <= p AND p <= 100).
+   Refinements are symbolic so schemas stay comparable values; the type
+   checker turns them into the generated run-time test of §2.1:
+   IF (1 <= ix) AND (ix <= 100) THEN p := ix ELSE <exception>. *)
+type refinement =
+  | No_refinement
+  | Int_range of int * int (* inclusive bounds *)
+
+let satisfies_refinement refinement v =
+  match refinement, (v : Value.t) with
+  | No_refinement, _ -> true
+  | Int_range (lo, hi), Value.Int i -> lo <= i && i <= hi
+  | Int_range _, _ -> false
+
+let pp_refinement ppf = function
+  | No_refinement -> ()
+  | Int_range (lo, hi) -> Fmt.pf ppf " RANGE %d..%d" lo hi
+
+type attr = {
+  attr_name : string;
+  attr_ty : Value.ty;
+  attr_refine : refinement;
+}
+
+type t = {
+  attrs : attr array;
+  key : int array; (* positions of the key attributes, strictly increasing *)
+}
+
+exception Schema_error of string
+
+let schema_error fmt = Fmt.kstr (fun s -> raise (Schema_error s)) fmt
+
+let arity s = Array.length s.attrs
+
+let attr_names s = Array.to_list (Array.map (fun a -> a.attr_name) s.attrs)
+
+let attr_types s = Array.to_list (Array.map (fun a -> a.attr_ty) s.attrs)
+
+let find_attr s name =
+  let rec loop i =
+    if i >= Array.length s.attrs then None
+    else if String.equal s.attrs.(i).attr_name name then Some i
+    else loop (i + 1)
+  in
+  loop 0
+
+let attr_index s name =
+  match find_attr s name with
+  | Some i -> i
+  | None -> schema_error "unknown attribute %s" name
+
+let attr_ty s i = s.attrs.(i).attr_ty
+
+let attr_name s i = s.attrs.(i).attr_name
+
+let attr_refinement s i = s.attrs.(i).attr_refine
+
+let refinements s =
+  List.filter_map
+    (fun a ->
+      if a.attr_refine = No_refinement then None
+      else Some (a.attr_name, a.attr_refine))
+    (Array.to_list s.attrs)
+
+let make ?key ?(refinements = []) attrs =
+  if attrs = [] then schema_error "a relation schema needs at least one attribute";
+  let names = List.map fst attrs in
+  let sorted = List.sort_uniq String.compare names in
+  if List.length sorted <> List.length names then
+    schema_error "duplicate attribute name in schema (%s)"
+      (String.concat ", " names);
+  let attrs =
+    Array.of_list
+      (List.map
+         (fun (attr_name, attr_ty) ->
+           {
+             attr_name;
+             attr_ty;
+             attr_refine =
+               Option.value
+                 (List.assoc_opt attr_name refinements)
+                 ~default:No_refinement;
+           })
+         attrs)
+  in
+  let s = { attrs; key = [||] } in
+  let key_positions =
+    match key with
+    | None | Some [] ->
+      (* DBPL: the whole tuple is the key when no key is declared, which
+         makes the key constraint vacuous for set-valued relations. *)
+      Array.init (Array.length attrs) Fun.id
+    | Some names -> Array.of_list (List.map (attr_index s) names)
+  in
+  let sorted_key = Array.copy key_positions in
+  Array.sort Int.compare sorted_key;
+  { s with key = sorted_key }
+
+let key_positions s = Array.to_list s.key
+
+let key_is_whole_tuple s = Array.length s.key = arity s
+
+(* Two schemas are compatible (union-compatible in Codd's sense) when the
+   attribute types agree positionally; names may differ as DBPL identifies
+   tuple components positionally across assignment. *)
+let compatible a b =
+  arity a = arity b
+  && Array.for_all2 (fun x y -> x.attr_ty = y.attr_ty) a.attrs b.attrs
+
+let equal a b =
+  arity a = arity b
+  && Array.for_all2
+       (fun x y -> x.attr_ty = y.attr_ty && String.equal x.attr_name y.attr_name)
+       a.attrs b.attrs
+  && a.key = b.key
+
+let project s positions ~key =
+  let attrs = List.map (fun i -> (attr_name s i, attr_ty s i)) positions in
+  let refinements =
+    List.filter_map
+      (fun i ->
+        match attr_refinement s i with
+        | No_refinement -> None
+        | r -> Some (attr_name s i, r))
+      positions
+  in
+  make ?key ~refinements attrs
+
+let rename s names =
+  if List.length names <> arity s then
+    schema_error "rename: expected %d attribute names, got %d" (arity s)
+      (List.length names);
+  let attrs =
+    List.map2 (fun name a -> (name, a.attr_ty)) names (Array.to_list s.attrs)
+  in
+  let refinements =
+    List.map2 (fun name a -> (name, a.attr_refine)) names (Array.to_list s.attrs)
+    |> List.filter (fun (_, r) -> r <> No_refinement)
+  in
+  let key = List.map (fun i -> List.nth names i) (key_positions s) in
+  make ~key ~refinements attrs
+
+let pp ppf s =
+  let pp_attr ppf a =
+    Fmt.pf ppf "%s: %s%a" a.attr_name (Value.type_name a.attr_ty) pp_refinement
+      a.attr_refine
+  in
+  let keys = List.map (attr_name s) (key_positions s) in
+  Fmt.pf ppf "RELATION %s OF RECORD %a END"
+    (String.concat ", " keys)
+    Fmt.(array ~sep:(any "; ") pp_attr)
+    s.attrs

@@ -1,0 +1,67 @@
+(* Tuples are immutable value arrays; the element type of a relation.
+
+   Tuples carry no schema of their own: schema conformance is checked when
+   a tuple enters a relation, mirroring DBPL's record values flowing into
+   typed relation variables. *)
+
+type t = Value.t array
+
+let arity = Array.length
+
+let of_list = Array.of_list
+
+let to_list = Array.to_list
+
+let get (t : t) i = t.(i)
+
+let make1 v : t = [| v |]
+
+let make2 a b : t = [| a; b |]
+
+let make3 a b c : t = [| a; b; c |]
+
+let compare (a : t) (b : t) =
+  let la = Array.length a and lb = Array.length b in
+  let c = Int.compare la lb in
+  if c <> 0 then c
+  else
+    let rec loop i =
+      if i >= la then 0
+      else
+        let c = Value.compare a.(i) b.(i) in
+        if c <> 0 then c else loop (i + 1)
+    in
+    loop 0
+
+let equal a b = compare a b = 0
+
+let hash (t : t) =
+  Array.fold_left (fun acc v -> (acc * 31) + Value.hash v) 17 t
+
+let project (t : t) positions : t =
+  Array.of_list (List.map (fun i -> t.(i)) positions)
+
+let well_typed schema (t : t) =
+  arity t = Schema.arity schema
+  && Array.for_all2
+       (fun v ty -> Value.type_of v = ty)
+       t
+       (Array.of_list (Schema.attr_types schema))
+
+(* Typing plus the §2.1 domain refinements — the full generated check. *)
+let in_domain schema (t : t) =
+  well_typed schema t
+  && (let ok = ref true in
+      Array.iteri
+        (fun i v ->
+          if not (Schema.satisfies_refinement (Schema.attr_refinement schema i) v)
+          then ok := false)
+        t;
+      !ok)
+
+let concat (a : t) (b : t) : t = Array.append a b
+
+let pp ppf (t : t) =
+  Fmt.pf ppf "<%a>" Fmt.(array ~sep:(any ", ") Value.pp) t
+
+let to_string t = Fmt.str "%a" pp t

@@ -1,0 +1,34 @@
+(** Tuples: immutable arrays of {!Value.t}, the elements of relations. *)
+
+type t = Value.t array
+
+val arity : t -> int
+
+val of_list : Value.t list -> t
+val to_list : t -> Value.t list
+
+val get : t -> int -> Value.t
+
+val make1 : Value.t -> t
+val make2 : Value.t -> Value.t -> t
+val make3 : Value.t -> Value.t -> Value.t -> t
+
+val compare : t -> t -> int
+(** Lexicographic order; shorter tuples sort first. *)
+
+val equal : t -> t -> bool
+val hash : t -> int
+
+val project : t -> int list -> t
+(** [project t positions] keeps the listed positions in the given order. *)
+
+val well_typed : Schema.t -> t -> bool
+(** Does the tuple conform to the schema (arity and per-position type)? *)
+
+val in_domain : Schema.t -> t -> bool
+(** {!well_typed} plus the §2.1 domain refinements of every attribute. *)
+
+val concat : t -> t -> t
+
+val pp : t Fmt.t
+val to_string : t -> string

@@ -1,0 +1,93 @@
+(* Atomic attribute values of the DBPL data model (paper §2.1).
+
+   DBPL is a strongly typed language; we mirror its scalar universe with a
+   dynamically tagged value type and enforce schema conformance at
+   elaboration time (see {!Dc_calculus.Typecheck}) plus runtime assertions
+   in {!Relation}. *)
+
+type t =
+  | Int of int
+  | Str of string
+  | Bool of bool
+  | Float of float
+
+type ty =
+  | TInt
+  | TStr
+  | TBool
+  | TFloat
+
+let type_of = function
+  | Int _ -> TInt
+  | Str _ -> TStr
+  | Bool _ -> TBool
+  | Float _ -> TFloat
+
+let type_name = function
+  | TInt -> "INTEGER"
+  | TStr -> "STRING"
+  | TBool -> "BOOLEAN"
+  | TFloat -> "REAL"
+
+let compare a b =
+  match a, b with
+  | Int x, Int y -> Int.compare x y
+  | Str x, Str y -> String.compare x y
+  | Bool x, Bool y -> Bool.compare x y
+  | Float x, Float y -> Float.compare x y
+  | Int _, (Str _ | Bool _ | Float _) -> -1
+  | (Str _ | Bool _ | Float _), Int _ -> 1
+  | Str _, (Bool _ | Float _) -> -1
+  | (Bool _ | Float _), Str _ -> 1
+  | Bool _, Float _ -> -1
+  | Float _, Bool _ -> 1
+
+let equal a b = compare a b = 0
+
+let hash = function
+  | Int x -> Hashtbl.hash (0, x)
+  | Str s -> Hashtbl.hash (1, s)
+  | Bool b -> Hashtbl.hash (2, b)
+  | Float f -> Hashtbl.hash (3, f)
+
+let pp ppf = function
+  | Int x -> Fmt.int ppf x
+  | Str s -> Fmt.pf ppf "%S" s
+  | Bool b -> Fmt.bool ppf b
+  | Float f -> Fmt.float ppf f
+
+let to_string v = Fmt.str "%a" pp v
+
+let pp_ty ppf ty = Fmt.string ppf (type_name ty)
+
+(* Arithmetic on values, used by computed terms in target lists
+   (e.g. quantity multiplication in bill-of-materials rules). *)
+
+exception Type_error of string
+
+let type_error fmt = Fmt.kstr (fun s -> raise (Type_error s)) fmt
+
+let add a b =
+  match a, b with
+  | Int x, Int y -> Int (x + y)
+  | Float x, Float y -> Float (x +. y)
+  | Str x, Str y -> Str (x ^ y)
+  | _ ->
+    type_error "cannot add %s and %s"
+      (type_name (type_of a)) (type_name (type_of b))
+
+let sub a b =
+  match a, b with
+  | Int x, Int y -> Int (x - y)
+  | Float x, Float y -> Float (x -. y)
+  | _ ->
+    type_error "cannot subtract %s from %s"
+      (type_name (type_of b)) (type_name (type_of a))
+
+let mul a b =
+  match a, b with
+  | Int x, Int y -> Int (x * y)
+  | Float x, Float y -> Float (x *. y)
+  | _ ->
+    type_error "cannot multiply %s and %s"
+      (type_name (type_of a)) (type_name (type_of b))

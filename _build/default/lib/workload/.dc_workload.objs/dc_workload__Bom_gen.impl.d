@@ -1,0 +1,1 @@
+lib/workload/bom_gen.ml: Ast Dc_calculus Dc_relation Defs Fmt Hashtbl Relation Rng Schema Tuple Value

@@ -1,0 +1,1 @@
+lib/workload/bom_gen.mli: Dc_calculus Dc_relation Defs Relation Schema Value

@@ -1,0 +1,1 @@
+lib/workload/graph_gen.ml: Constructor Dc_core Dc_relation Fmt Hashtbl List Relation Rng Tuple Value

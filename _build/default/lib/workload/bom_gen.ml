@@ -1,0 +1,72 @@
+(* Bill-of-materials workloads: a parts-explosion hierarchy, the classic
+   recursive database example the paper's CAD framing motivates.
+
+   [Contains] is a ternary relation (assembly, component, qty); the
+   generated hierarchy is a DAG: each part of level l uses parts of level
+   l+1 (shared subassemblies make it a DAG, not a tree). *)
+
+open Dc_relation
+open Dc_calculus
+
+let part i = Value.Str (Fmt.str "p%d" i)
+
+let contains_schema =
+  Schema.make
+    [ ("assembly", Value.TStr); ("component", Value.TStr); ("qty", Value.TInt) ]
+
+(* [levels] levels with [width] parts each; every part uses [uses] random
+   parts of the next level with quantity 1..4. *)
+let hierarchy ~seed ~levels ~width ~uses =
+  let rng = Rng.create seed in
+  let tuples = ref [] in
+  for l = 0 to levels - 2 do
+    for a = 0 to width - 1 do
+      let assembly = part ((l * width) + a) in
+      let chosen = Hashtbl.create 8 in
+      let made = ref 0 in
+      while !made < uses do
+        let c = Rng.int rng width in
+        if not (Hashtbl.mem chosen c) then begin
+          Hashtbl.replace chosen c ();
+          incr made;
+          let component = part (((l + 1) * width) + c) in
+          let qty = Value.Int (1 + Rng.int rng 4) in
+          tuples := Tuple.of_list [ assembly; component; qty ] :: !tuples
+        end
+      done
+    done
+  done;
+  Relation.of_list contains_schema !tuples
+
+(* The parts-explosion constructor: all (assembly, component, quantity)
+   triples reachable through the Contains hierarchy, quantities multiplied
+   along the path:
+
+     CONSTRUCTOR explode FOR Rel: containsrel (): containsrel;
+     BEGIN EACH r IN Rel: TRUE,
+           <d.assembly, u.component, d.qty * u.qty> OF
+             EACH d IN Rel, EACH u IN Rel{explode}:
+               d.component = u.assembly
+     END explode *)
+let explode_constructor () : Defs.constructor_def =
+  {
+    con_name = "explode";
+    con_formal = "Rel";
+    con_formal_schema = contains_schema;
+    con_params = [];
+    con_result = contains_schema;
+    con_body =
+      Ast.
+        [
+          identity_branch (Rel "Rel");
+          branch
+            [ ("d", Rel "Rel"); ("u", Construct (Rel "Rel", "explode", [])) ]
+            ~target:
+              [
+                field "d" "assembly";
+                field "u" "component";
+                Binop (Mul, field "d" "qty", field "u" "qty");
+              ]
+            ~where:(eq (field "d" "component") (field "u" "assembly"));
+        ];
+  }

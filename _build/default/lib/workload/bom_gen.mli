@@ -1,0 +1,20 @@
+(** Bill-of-materials workloads: parts-explosion hierarchies (layered DAGs
+    with shared subassemblies) and the explode constructor with quantity
+    multiplication along derivation paths. *)
+
+open Dc_relation
+open Dc_calculus
+
+val part : int -> Value.t
+
+val contains_schema : Schema.t
+(** (assembly: STRING, component: STRING, qty: INTEGER). *)
+
+val hierarchy : seed:int -> levels:int -> width:int -> uses:int -> Relation.t
+(** [levels] levels of [width] parts; every part uses [uses] distinct parts
+    of the next level with quantity 1–4.  Acyclic by construction. *)
+
+val explode_constructor : unit -> Defs.constructor_def
+(** All (assembly, component, path quantity) triples derivable through the
+    Contains hierarchy — a recursive constructor with a computed target
+    ([d.qty * u.qty]). *)

@@ -1,0 +1,46 @@
+(* Deterministic splittable PRNG (splitmix64).
+
+   All workload generators take an explicit seed so benchmark inputs are
+   reproducible across runs and machines — no global [Random] state. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* Uniform int in [0, bound).  The modulo is taken in Int64 before the
+   conversion: a 64-bit value does not fit OCaml's 63-bit native int. *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  Int64.to_int
+    (Int64.rem
+       (Int64.shift_right_logical (next_int64 t) 1)
+       (Int64.of_int bound))
+
+let float t =
+  Int64.to_float (Int64.shift_right_logical (next_int64 t) 11)
+  /. 9007199254740992.0 (* 2^53 *)
+
+let bool t p = float t < p
+
+(* A fresh generator split off deterministically. *)
+let split t = { state = next_int64 t }
+
+(* Fisher-Yates shuffle. *)
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let pick t l = List.nth l (int t (List.length l))

@@ -1,0 +1,25 @@
+(** Deterministic splittable PRNG (splitmix64).  All workload generators
+    take explicit seeds, so benchmark inputs are reproducible across runs
+    and machines. *)
+
+type t
+
+val create : int -> t
+val next_int64 : t -> int64
+
+val int : t -> int -> int
+(** Uniform in [\[0, bound)]. @raise Invalid_argument if [bound <= 0]. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val bool : t -> float -> bool
+(** [bool t p]: true with probability [p]. *)
+
+val split : t -> t
+(** A fresh generator split off deterministically. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates. *)
+
+val pick : t -> 'a list -> 'a

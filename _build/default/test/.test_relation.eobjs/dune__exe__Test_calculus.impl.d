@@ -1,0 +1,1 @@
+test/test_calculus.ml: Alcotest Ast Dc_calculus Dc_relation Defs Eval Gen List Normalize Positivity QCheck QCheck_alcotest Relation Schema Tuple Typecheck Value

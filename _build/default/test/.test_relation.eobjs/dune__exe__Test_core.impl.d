@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Algebra Alternatives Ast Constructor Database Dc_calculus Dc_core Dc_relation Defs Fixpoint Fmt List Option Relation Schema Selector String Tuple Value

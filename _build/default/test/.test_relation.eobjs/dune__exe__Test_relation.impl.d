@@ -1,0 +1,1 @@
+test/test_relation.ml: Alcotest Algebra Csv Dc_relation Filename Fmt Gen Index List QCheck QCheck_alcotest Relation Schema String Sys Tuple Value

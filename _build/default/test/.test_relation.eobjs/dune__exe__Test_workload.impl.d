@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Algebra Bom_gen Dc_relation Dc_workload Graph_gen List Relation Rng String Tuple Value

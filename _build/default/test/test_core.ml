@@ -1,0 +1,516 @@
+(* Tests for Dc_core: selectors, constructor fixpoints, database checks. *)
+
+open Dc_relation
+open Dc_calculus
+open Dc_core
+
+let s v = Value.Str v
+let pair a b = Tuple.make2 (s a) (s b)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec loop i =
+    i + nn <= nh && (String.sub haystack i nn = needle || loop (i + 1))
+  in
+  nn = 0 || loop 0
+
+let rel_testable = Alcotest.testable Relation.pp Relation.equal
+
+let edge_schema = Constructor.binary_schema Value.TStr
+
+let chain_rel n =
+  (* "n0" -> "n1" -> ... -> "n<n>" *)
+  Relation.of_list edge_schema
+    (List.init n (fun i -> pair (Fmt.str "n%d" i) (Fmt.str "n%d" (i + 1))))
+
+let db_with_chain ?strategy n =
+  let db = Database.create ?strategy () in
+  Database.declare db "Edge" edge_schema;
+  Database.set db "Edge" (chain_rel n);
+  Database.define_constructor db (Constructor.transitive_closure ());
+  db
+
+(* Expected transitive closure of the chain. *)
+let chain_tc n =
+  let tuples = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n do
+      tuples := pair (Fmt.str "n%d" i) (Fmt.str "n%d" j) :: !tuples
+    done
+  done;
+  Relation.of_list edge_schema !tuples
+
+let test_tc_chain () =
+  let db = db_with_chain 6 in
+  let result = Database.query db Ast.(Construct (Rel "Edge", "tc", [])) in
+  Alcotest.check rel_testable "closure of 6-chain" (chain_tc 6) result
+
+let test_tc_matches_algebra () =
+  List.iter
+    (fun n ->
+      let db = db_with_chain n in
+      let result = Database.query db Ast.(Construct (Rel "Edge", "tc", [])) in
+      let expected = Algebra.transitive_closure (chain_rel n) in
+      Alcotest.check rel_testable
+        (Fmt.str "tc(%d-chain) = Algebra.transitive_closure" n)
+        expected result)
+    [ 1; 2; 5; 9 ]
+
+let test_strategies_agree () =
+  List.iter
+    (fun linear ->
+      let edges =
+        Relation.of_list edge_schema
+          [
+            pair "a" "b"; pair "b" "c"; pair "c" "a"; (* cycle *)
+            pair "c" "d"; pair "d" "e"; pair "x" "y";
+          ]
+      in
+      let mk strategy =
+        let db = Database.create ~strategy () in
+        Database.declare db "Edge" edge_schema;
+        Database.set db "Edge" edges;
+        Database.define_constructor db
+          (Constructor.transitive_closure ~linear ());
+        Database.query db Ast.(Construct (Rel "Edge", "tc", []))
+      in
+      Alcotest.check rel_testable "naive = semi-naive" (mk Fixpoint.Naive)
+        (mk Fixpoint.Seminaive))
+    [ `Right; `Left; `Non ]
+
+let test_mutual_ahead_above () =
+  (* lamp in front of vase, vase on table, table in front of chair.
+     above: vase above chair   (vase on table, table ahead of chair)
+     ahead: lamp ahead of chair (lamp in front of vase, vase above chair) *)
+  let db = Database.create () in
+  Database.declare db "Infront" (Constructor.infront_schema Value.TStr);
+  Database.declare db "Ontop" (Constructor.ontop_schema Value.TStr);
+  Database.insert_all db "Infront" [ pair "lamp" "vase"; pair "table" "chair" ];
+  Database.insert_all db "Ontop" [ pair "vase" "table" ];
+  let ahead, above = Constructor.ahead_above () in
+  Database.define_constructors db [ ahead; above ];
+  let ahead_rel =
+    Database.query db
+      Ast.(Construct (Rel "Infront", "ahead", [ Arg_range (Rel "Ontop") ]))
+  in
+  let above_rel =
+    Database.query db
+      Ast.(Construct (Rel "Ontop", "above", [ Arg_range (Rel "Infront") ]))
+  in
+  Alcotest.check Alcotest.bool "vase above chair" true
+    (Relation.mem (pair "vase" "chair") above_rel);
+  Alcotest.check Alcotest.bool "lamp ahead of table" true
+    (Relation.mem (pair "lamp" "table") ahead_rel);
+  Alcotest.check Alcotest.bool "lamp ahead of chair" true
+    (Relation.mem (pair "lamp" "chair") ahead_rel);
+  Alcotest.check rel_testable "ahead exactly"
+    (Relation.of_list
+       (Constructor.ahead_schema Value.TStr)
+       [ pair "lamp" "vase"; pair "table" "chair"; pair "lamp" "table";
+         pair "lamp" "chair" ])
+    ahead_rel
+
+let test_positivity_rejects_nonsense () =
+  let db = Database.create () in
+  Database.declare db "R" (Schema.make [ ("x", Value.TStr) ]);
+  match Database.define_constructor db (Constructor.nonsense ()) with
+  | () -> Alcotest.fail "expected Database.Error"
+  | exception Database.Error msg ->
+    Alcotest.check Alcotest.bool "message names the violation" true
+      (contains msg "nonsense")
+
+let test_nonsense_oscillates () =
+  let db = Database.create ~check_positivity:false () in
+  Database.declare db "R" (Schema.make [ ("x", Value.TStr) ]);
+  Database.insert_all db "R" [ Tuple.make1 (s "a"); Tuple.make1 (s "b") ];
+  Database.define_constructor db (Constructor.nonsense ());
+  match Database.query db Ast.(Construct (Rel "R", "nonsense", [])) with
+  | _ -> Alcotest.fail "expected Divergence"
+  | exception Fixpoint.Divergence _ -> ()
+
+let test_strange_converges () =
+  (* Paper §3.3: Rel = {0..6}, Rel{strange} = {0,2,4,6} despite
+     non-monotonicity. *)
+  let db = Database.create ~check_positivity:false () in
+  let schema = Schema.make [ ("number", Value.TInt) ] in
+  Database.declare db "Card" schema;
+  Database.set db "Card"
+    (Relation.of_list schema (List.init 7 (fun i -> Tuple.make1 (Value.Int i))));
+  Database.define_constructor db (Constructor.strange ());
+  let result = Database.query db Ast.(Construct (Rel "Card", "strange", [])) in
+  let expected =
+    Relation.of_list schema
+      (List.map (fun i -> Tuple.make1 (Value.Int i)) [ 0; 2; 4; 6 ])
+  in
+  Alcotest.check rel_testable "strange = {0,2,4,6}" expected result
+
+let test_ahead_n_limit () =
+  (* lim ahead_n = ahead (§3.1): on a 5-chain, ahead_6 already equals tc. *)
+  let db = db_with_chain 5 in
+  Database.define_constructors db (Constructor.ahead_n 6);
+  let tc = Database.query db Ast.(Construct (Rel "Edge", "tc", [])) in
+  let a6 = Database.query db Ast.(Construct (Rel "Edge", "ahead_6", [])) in
+  Alcotest.check Alcotest.bool "ahead_6 = tc on 5-chain" true
+    (Relation.equal tc a6);
+  let a2 = Database.query db Ast.(Construct (Rel "Edge", "ahead_2", [])) in
+  Alcotest.check Alcotest.int "ahead_2 cardinality" (5 + 4)
+    (Relation.cardinal a2)
+
+let from_selector =
+  {
+    Defs.sel_name = "from";
+    sel_formal = "Rel";
+    sel_formal_schema = edge_schema;
+    sel_params = [ Defs.Scalar_param ("Obj", Value.TStr) ];
+    sel_var = "r";
+    sel_pred = Ast.(eq (field "r" "src") (Param "Obj"));
+  }
+
+let test_selector_filters () =
+  let db = db_with_chain 3 in
+  Database.define_selector db from_selector;
+  let result =
+    Database.query db
+      Ast.(Select (Rel "Edge", "from", [ Arg_scalar (str "n1") ]))
+  in
+  Alcotest.check rel_testable "Edge[from(n1)]"
+    (Relation.of_list edge_schema [ pair "n1" "n2" ])
+    result
+
+let test_selector_then_constructor () =
+  (* Rel[sel]{tc}: §3.1-style composition of the two mechanisms *)
+  let db = db_with_chain 4 in
+  Database.define_selector db from_selector;
+  let result =
+    Database.query db
+      Ast.(
+        Construct
+          (Select (Rel "Edge", "from", [ Arg_scalar (str "n2") ]), "tc", []))
+  in
+  Alcotest.check rel_testable "closure of selected subrelation"
+    (Relation.of_list edge_schema [ pair "n2" "n3" ])
+    result
+
+let test_guarded_assignment () =
+  let db = db_with_chain 2 in
+  let sel =
+    {
+      Defs.sel_name = "no_self_loop";
+      sel_formal = "Rel";
+      sel_formal_schema = edge_schema;
+      sel_params = [];
+      sel_var = "r";
+      sel_pred = Ast.(Cmp (Ne, field "r" "src", field "r" "dst"));
+    }
+  in
+  Database.define_selector db sel;
+  (* legal: closure of a chain has no self loops *)
+  Database.assign_selected db "Edge" ~selector:"no_self_loop" ~args:[]
+    Ast.(Construct (Rel "Edge", "tc", []));
+  Alcotest.check Alcotest.int "assigned closure" 3
+    (Relation.cardinal (Database.get db "Edge"));
+  (* illegal: a self loop violates the predicate *)
+  Database.set db "Loop" (Relation.of_list edge_schema [ pair "a" "a" ]);
+  match
+    Database.assign_selected db "Edge" ~selector:"no_self_loop" ~args:[]
+      Ast.(Rel "Loop")
+  with
+  | () -> Alcotest.fail "expected Selector_violation"
+  | exception Selector.Selector_violation _ -> ()
+
+let test_key_constraint () =
+  let schema =
+    Schema.make ~key:[ "id" ] [ ("id", Value.TInt); ("name", Value.TStr) ]
+  in
+  let r = Relation.of_list schema [ Tuple.make2 (Value.Int 1) (s "a") ] in
+  (match Relation.add (Tuple.make2 (Value.Int 1) (s "b")) r with
+  | _ -> Alcotest.fail "expected Key_violation"
+  | exception Relation.Key_violation _ -> ());
+  let r' = Relation.add (Tuple.make2 (Value.Int 1) (s "a")) r in
+  Alcotest.check Alcotest.int "idempotent add" 1 (Relation.cardinal r')
+
+let test_same_generation () =
+  let db = Database.create () in
+  List.iter (fun n -> Database.declare db n edge_schema) [ "Up"; "Flat"; "Down" ];
+  Database.insert_all db "Up" [ pair "c1" "p1"; pair "c2" "p2" ];
+  Database.insert_all db "Flat" [ pair "p1" "p2" ];
+  Database.insert_all db "Down" [ pair "p2" "c2" ];
+  Database.define_constructor db (Constructor.same_generation ());
+  let result =
+    Database.query db
+      Ast.(
+        Construct
+          ( Rel "Up",
+            "same_generation",
+            [ Arg_range (Rel "Flat"); Arg_range (Rel "Down") ] ))
+  in
+  Alcotest.check Alcotest.bool "c1 sg c2" true
+    (Relation.mem (pair "c1" "c2") result);
+  Alcotest.check Alcotest.bool "p1 sg p2" true
+    (Relation.mem (pair "p1" "p2") result)
+
+(* Scalar-parameterized constructors: the application key includes the
+   argument values, so Edge{reach_from("a")} and Edge{reach_from("b")} are
+   distinct applications of the same definition. *)
+let reach_from_def =
+  {
+    Defs.con_name = "reach_from";
+    con_formal = "Rel";
+    con_formal_schema = edge_schema;
+    con_params = [ Defs.Scalar_param ("Obj", Value.TStr) ];
+    con_result = edge_schema;
+    con_body =
+      Ast.
+        [
+          branch [ ("r", Rel "Rel") ] ~where:(eq (field "r" "src") (Param "Obj"));
+          branch
+            [
+              ( "f",
+                Construct (Rel "Rel", "reach_from", [ Arg_scalar (Param "Obj") ])
+              );
+              ("b", Rel "Rel");
+            ]
+            ~target:[ field "f" "src"; field "b" "dst" ]
+            ~where:(eq (field "f" "dst") (field "b" "src"));
+        ];
+  }
+
+let test_scalar_parameterized_constructor () =
+  let db = db_with_chain 5 in
+  Database.define_constructor db reach_from_def;
+  let query obj =
+    Database.query db
+      Ast.(Construct (Rel "Edge", "reach_from", [ Arg_scalar (str obj) ]))
+  in
+  Alcotest.check rel_testable "reachable from n1"
+    (Relation.of_list edge_schema
+       [ pair "n1" "n2"; pair "n1" "n3"; pair "n1" "n4"; pair "n1" "n5" ])
+    (query "n1");
+  Alcotest.check Alcotest.int "reachable from n3" 2
+    (Relation.cardinal (query "n3"));
+  Alcotest.check Alcotest.int "reachable from absent node" 0
+    (Relation.cardinal (query "zzz"));
+  (* one application per argument value in one system *)
+  match Database.last_stats db with
+  | Some st -> Alcotest.check Alcotest.int "single app" 1 st.Fixpoint.applications
+  | None -> Alcotest.fail "no stats"
+
+(* Stratified negation over constructors: a definition may apply a
+   constructor from a *lower* dependency SCC under NOT — it acts as a
+   constant during this system's iteration (closed-world reading, §3.4).
+   non_desc selects the pairs NOT in the closure. *)
+let test_stratified_negation_over_constructor () =
+  let db = db_with_chain 3 in
+  (* candidate pairs to classify *)
+  Database.declare db "Pairs" edge_schema;
+  Database.insert_all db "Pairs"
+    [ pair "n0" "n3"; pair "n3" "n0"; pair "n1" "n1" ];
+  let non_desc =
+    {
+      Defs.con_name = "non_desc";
+      con_formal = "Rel";
+      con_formal_schema = edge_schema;
+      con_params = [];
+      con_result = edge_schema;
+      con_body =
+        Ast.
+          [
+            branch
+              [ ("p", Rel "Rel") ]
+              ~where:
+                (Not
+                   (Member
+                      ( [ field "p" "src"; field "p" "dst" ],
+                        Construct (Rel "Edge", "tc", []) )));
+          ];
+    }
+  in
+  (* accepted: tc is in a lower SCC, so the odd-depth occurrence is legal *)
+  Database.define_constructor db non_desc;
+  let result = Database.query db Ast.(Construct (Rel "Pairs", "non_desc", [])) in
+  Alcotest.check rel_testable "pairs not in the closure"
+    (Relation.of_list edge_schema [ pair "n3" "n0"; pair "n1" "n1" ])
+    result
+
+(* The same shape with the negation *inside the recursion* is rejected. *)
+let test_negative_self_recursion_rejected () =
+  let db = db_with_chain 2 in
+  let bad =
+    {
+      Defs.con_name = "bad";
+      con_formal = "Rel";
+      con_formal_schema = edge_schema;
+      con_params = [];
+      con_result = edge_schema;
+      con_body =
+        Ast.
+          [
+            branch
+              [ ("p", Rel "Rel") ]
+              ~where:
+                (Not
+                   (Member
+                      ( [ field "p" "src"; field "p" "dst" ],
+                        Construct (Rel "Rel", "bad", []) )));
+          ];
+    }
+  in
+  match Database.define_constructor db bad with
+  | () -> Alcotest.fail "expected positivity rejection"
+  | exception Database.Error _ -> ()
+
+let test_group_definition_rollback () =
+  (* a failing group must leave the registry unchanged *)
+  let db = db_with_chain 2 in
+  let good = Constructor.ahead_2 () in
+  let bad =
+    { (Constructor.nonsense ()) with Defs.con_formal_schema = edge_schema }
+  in
+  (match Database.define_constructors db [ good; bad ] with
+  | () -> Alcotest.fail "expected rejection of the group"
+  | exception Database.Error _ -> ());
+  Alcotest.check Alcotest.bool "good def not registered either" true
+    (Database.constructor db "ahead2" = None);
+  Alcotest.check Alcotest.bool "tc still present" true
+    (Database.constructor db "tc" <> None)
+
+let test_closed_formula () =
+  let db = db_with_chain 3 in
+  Alcotest.check Alcotest.bool "membership formula" true
+    (Database.eval_formula db
+       Ast.(Member ([ str "n0"; str "n1" ], Rel "Edge")));
+  Alcotest.check Alcotest.bool "quantified formula" true
+    (Database.eval_formula db
+       Ast.(Some_in ("r", Rel "Edge", eq (field "r" "dst") (str "n3"))));
+  Alcotest.check Alcotest.bool "over a constructed relation" true
+    (Database.eval_formula db
+       Ast.(Member ([ str "n0"; str "n3" ], Construct (Rel "Edge", "tc", []))))
+
+(* The §3.4 alternatives all compute the same closure. *)
+let test_alternatives_agree () =
+  let edges =
+    Relation.of_list edge_schema
+      [ pair "a" "b"; pair "b" "c"; pair "c" "a"; pair "c" "d" ]
+  in
+  let reference = Algebra.transitive_closure edges in
+  List.iter
+    (fun (name, f) ->
+      Alcotest.check rel_testable name reference (f edges))
+    [
+      ("program iteration", Alternatives.program_iteration);
+      ("recursive function", Alternatives.recursive_function);
+      ("specialized operator", Alternatives.specialized_operator);
+      ("equational lfp", Alternatives.equational);
+    ];
+  (* membership function, incl. cyclic data and negative answers *)
+  Alcotest.check Alcotest.bool "a reaches d" true
+    (Alternatives.membership_function edges (s "a") (s "d"));
+  Alcotest.check Alcotest.bool "a reaches a (cycle)" true
+    (Alternatives.membership_function edges (s "a") (s "a"));
+  Alcotest.check Alcotest.bool "d reaches a" false
+    (Alternatives.membership_function edges (s "d") (s "a"))
+
+let test_lfp_combinator () =
+  (* lfp of a constant step is that constant *)
+  let r = Relation.of_list edge_schema [ pair "x" "y" ] in
+  let got = Alternatives.lfp ~bottom:(Relation.empty edge_schema) (fun _ -> r) in
+  Alcotest.check rel_testable "constant step" r got
+
+let test_round_budget () =
+  let db = Database.create ~max_rounds:3 () in
+  Database.declare db "Edge" edge_schema;
+  Database.set db "Edge" (chain_rel 10);
+  Database.define_constructor db (Constructor.transitive_closure ());
+  match Database.query db Ast.(Construct (Rel "Edge", "tc", [])) with
+  | _ -> Alcotest.fail "expected Divergence (budget)"
+  | exception Fixpoint.Divergence msg ->
+    Alcotest.check Alcotest.bool "mentions max_rounds" true
+      (contains msg "max_rounds")
+
+let test_coerce_rejects () =
+  let keyed =
+    Schema.make ~key:[ "src" ] [ ("src", Value.TStr); ("dst", Value.TStr) ]
+  in
+  let dupes =
+    Relation.of_list edge_schema [ pair "a" "b"; pair "a" "c" ]
+  in
+  match Database.coerce keyed dupes with
+  | _ -> Alcotest.fail "expected Key_violation via coerce"
+  | exception Relation.Key_violation _ -> ()
+
+let test_seeded_fixpoint () =
+  (* Fixpoint.apply ~seed from a sub-fixpoint converges to the same LFP *)
+  let db = db_with_chain 8 in
+  let def = Option.get (Database.constructor db "tc") in
+  let env = Database.eval_env db in
+  let base = Database.get db "Edge" in
+  let from_bottom = Fixpoint.apply env def base [] in
+  (* seed with a partial value: the base itself *)
+  let seeded =
+    Fixpoint.apply ~seed:(Relation.with_schema def.Defs.con_result base) env
+      def base []
+  in
+  Alcotest.check rel_testable "seeded = from bottom" from_bottom seeded
+
+let test_fixpoint_stats () =
+  let db = db_with_chain 8 in
+  ignore (Database.query db Ast.(Construct (Rel "Edge", "tc", [])));
+  match Database.last_stats db with
+  | None -> Alcotest.fail "no stats recorded"
+  | Some st ->
+    Alcotest.check Alcotest.bool "rounds > 2" true (st.Fixpoint.rounds > 2);
+    Alcotest.check Alcotest.int "single application system" 1
+      st.Fixpoint.applications
+
+let () =
+  Alcotest.run "dc_core"
+    [
+      ( "fixpoint",
+        [
+          Alcotest.test_case "tc of chain" `Quick test_tc_chain;
+          Alcotest.test_case "tc matches algebra" `Quick test_tc_matches_algebra;
+          Alcotest.test_case "naive = semi-naive" `Quick test_strategies_agree;
+          Alcotest.test_case "mutual ahead/above" `Quick test_mutual_ahead_above;
+          Alcotest.test_case "ahead_n limit" `Quick test_ahead_n_limit;
+          Alcotest.test_case "same generation" `Quick test_same_generation;
+          Alcotest.test_case "stats recorded" `Quick test_fixpoint_stats;
+          Alcotest.test_case "scalar-parameterized constructor" `Quick
+            test_scalar_parameterized_constructor;
+        ] );
+      ( "positivity",
+        [
+          Alcotest.test_case "nonsense rejected" `Quick
+            test_positivity_rejects_nonsense;
+          Alcotest.test_case "nonsense oscillates" `Quick
+            test_nonsense_oscillates;
+          Alcotest.test_case "strange converges" `Quick test_strange_converges;
+          Alcotest.test_case "stratified NOT over lower SCC" `Quick
+            test_stratified_negation_over_constructor;
+          Alcotest.test_case "negative self-recursion rejected" `Quick
+            test_negative_self_recursion_rejected;
+        ] );
+      ( "seeding",
+        [ Alcotest.test_case "seeded fixpoint" `Quick test_seeded_fixpoint ] );
+      ( "guards",
+        [
+          Alcotest.test_case "round budget" `Quick test_round_budget;
+          Alcotest.test_case "coerce re-checks keys" `Quick test_coerce_rejects;
+          Alcotest.test_case "group definition rollback" `Quick
+            test_group_definition_rollback;
+          Alcotest.test_case "closed formulas" `Quick test_closed_formula;
+        ] );
+      ( "alternatives (3.4)",
+        [
+          Alcotest.test_case "all agree" `Quick test_alternatives_agree;
+          Alcotest.test_case "lfp combinator" `Quick test_lfp_combinator;
+        ] );
+      ( "selectors",
+        [
+          Alcotest.test_case "filter" `Quick test_selector_filters;
+          Alcotest.test_case "compose with constructor" `Quick
+            test_selector_then_constructor;
+          Alcotest.test_case "guarded assignment" `Quick test_guarded_assignment;
+        ] );
+      ( "relation",
+        [ Alcotest.test_case "key constraint" `Quick test_key_constraint ] );
+    ]

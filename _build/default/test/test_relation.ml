@@ -1,0 +1,294 @@
+(* Tests for Dc_relation: values, schemas, tuples, relations, algebra. *)
+
+open Dc_relation
+
+let i n = Value.Int n
+let s v = Value.Str v
+
+let rel_testable = Alcotest.testable Relation.pp Relation.equal
+
+let bin = Schema.make [ ("src", Value.TInt); ("dst", Value.TInt) ]
+
+let pairs l = Relation.of_pairs bin (List.map (fun (a, b) -> (i a, i b)) l)
+
+let test_value_order () =
+  Alcotest.check Alcotest.bool "int order" true (Value.compare (i 1) (i 2) < 0);
+  Alcotest.check Alcotest.bool "str order" true
+    (Value.compare (s "a") (s "b") < 0);
+  Alcotest.check Alcotest.bool "cross-type total" true
+    (Value.compare (i 1) (s "a") <> 0)
+
+let test_value_arith () =
+  Alcotest.check Alcotest.bool "int add" true
+    (Value.equal (Value.add (i 2) (i 3)) (i 5));
+  Alcotest.check Alcotest.bool "str add" true
+    (Value.equal (Value.add (s "a") (s "b")) (s "ab"));
+  match Value.add (i 1) (s "x") with
+  | _ -> Alcotest.fail "expected Type_error"
+  | exception Value.Type_error _ -> ()
+
+let test_schema_key () =
+  let sch =
+    Schema.make ~key:[ "id" ] [ ("id", Value.TInt); ("v", Value.TStr) ]
+  in
+  Alcotest.check Alcotest.(list int) "key positions" [ 0 ]
+    (Schema.key_positions sch);
+  Alcotest.check Alcotest.bool "not whole tuple" false
+    (Schema.key_is_whole_tuple sch);
+  match Schema.make [ ("x", Value.TInt); ("x", Value.TStr) ] with
+  | _ -> Alcotest.fail "expected Schema_error"
+  | exception Schema.Schema_error _ -> ()
+
+let test_tuple_project () =
+  let t = Tuple.of_list [ i 1; i 2; i 3 ] in
+  Alcotest.check Alcotest.bool "project [2;0]" true
+    (Tuple.equal (Tuple.project t [ 2; 0 ]) (Tuple.of_list [ i 3; i 1 ]))
+
+let test_set_ops () =
+  let a = pairs [ (1, 2); (2, 3) ] and b = pairs [ (2, 3); (3, 4) ] in
+  Alcotest.check rel_testable "union"
+    (pairs [ (1, 2); (2, 3); (3, 4) ])
+    (Relation.union a b);
+  Alcotest.check rel_testable "inter" (pairs [ (2, 3) ]) (Relation.inter a b);
+  Alcotest.check rel_testable "diff" (pairs [ (1, 2) ]) (Relation.diff a b);
+  Alcotest.check Alcotest.bool "subset" true
+    (Relation.subset (Relation.inter a b) a)
+
+let test_type_check () =
+  let r = Relation.empty bin in
+  match Relation.add (Tuple.of_list [ i 1; s "x" ]) r with
+  | _ -> Alcotest.fail "expected Type_mismatch"
+  | exception Relation.Type_mismatch _ -> ()
+
+let test_join () =
+  let a = pairs [ (1, 2); (2, 3) ] and b = pairs [ (2, 9); (3, 7) ] in
+  let j = Algebra.join ~on:[ (1, 0) ] a b in
+  Alcotest.check Alcotest.int "join size" 2 (Relation.cardinal j);
+  Alcotest.check Alcotest.bool "join content" true
+    (Relation.mem (Tuple.of_list [ i 1; i 2; i 2; i 9 ]) j)
+
+let test_compose () =
+  let a = pairs [ (1, 2); (2, 3) ] and b = pairs [ (2, 5); (3, 6) ] in
+  Alcotest.check rel_testable "compose"
+    (pairs [ (1, 5); (2, 6) ])
+    (Algebra.compose a b)
+
+let test_tc () =
+  let edges = pairs [ (1, 2); (2, 3); (3, 1) ] in
+  let tc = Algebra.transitive_closure edges in
+  Alcotest.check Alcotest.int "cycle closure is complete" 9
+    (Relation.cardinal tc)
+
+let test_project_dedup () =
+  let r = pairs [ (1, 2); (1, 3) ] in
+  let p = Algebra.project [ 0 ] r in
+  Alcotest.check Alcotest.int "dedup" 1 (Relation.cardinal p)
+
+let test_index () =
+  let r = pairs [ (1, 2); (1, 3); (2, 4) ] in
+  let idx = Index.build [ 0 ] r in
+  Alcotest.check Alcotest.int "bucket count" 2 (Index.buckets idx);
+  Alcotest.check Alcotest.int "lookup 1" 2
+    (List.length (Index.lookup_values idx [ i 1 ]));
+  Alcotest.check Alcotest.int "lookup missing" 0
+    (List.length (Index.lookup_values idx [ i 9 ]))
+
+let test_csv_roundtrip () =
+  let sch = Schema.make [ ("name", Value.TStr); ("n", Value.TInt) ] in
+  let r =
+    Relation.of_list sch
+      [
+        Tuple.of_list [ s "plain"; i 1 ];
+        Tuple.of_list [ s "with,comma"; i 2 ];
+        Tuple.of_list [ s "with\"quote"; i 3 ];
+      ]
+  in
+  let path = Filename.temp_file "dc_csv" ".csv" in
+  Csv.save r path;
+  let r' = Csv.load sch path in
+  Sys.remove path;
+  Alcotest.check rel_testable "roundtrip" r r'
+
+let test_csv_types () =
+  let sch = Schema.make [ ("n", Value.TInt) ] in
+  match Csv.of_lines ~header:false sch [ "notanint" ] with
+  | _ -> Alcotest.fail "expected Parse_error"
+  | exception Csv.Parse_error _ -> ()
+
+let test_schema_project_rename () =
+  let sch =
+    Schema.make ~key:[ "id" ]
+      [ ("id", Value.TInt); ("name", Value.TStr); ("age", Value.TInt) ]
+  in
+  let p = Schema.project sch [ 2; 0 ] ~key:None in
+  Alcotest.check Alcotest.(list string) "projected names" [ "age"; "id" ]
+    (Schema.attr_names p);
+  let r = Schema.rename sch [ "k"; "n"; "a" ] in
+  Alcotest.check Alcotest.(list string) "renamed" [ "k"; "n"; "a" ]
+    (Schema.attr_names r);
+  Alcotest.check Alcotest.(list int) "key positions preserved" [ 0 ]
+    (Schema.key_positions r);
+  match Schema.rename sch [ "x" ] with
+  | _ -> Alcotest.fail "expected Schema_error"
+  | exception Schema.Schema_error _ -> ()
+
+let test_with_schema () =
+  let r = pairs [ (1, 2) ] in
+  let renamed =
+    Relation.with_schema (Schema.make [ ("a", Value.TInt); ("b", Value.TInt) ]) r
+  in
+  Alcotest.check Alcotest.(list string) "viewed names" [ "a"; "b" ]
+    (Schema.attr_names (Relation.schema renamed));
+  Alcotest.check Alcotest.bool "tuples shared" true (Relation.equal r renamed);
+  match
+    Relation.with_schema (Schema.make [ ("a", Value.TStr); ("b", Value.TInt) ]) r
+  with
+  | _ -> Alcotest.fail "expected Type_mismatch"
+  | exception Relation.Type_mismatch _ -> ()
+
+let test_refinements () =
+  let sch =
+    Schema.make
+      ~refinements:[ ("id", Schema.Int_range (1, 100)) ]
+      [ ("id", Value.TInt); ("v", Value.TStr) ]
+  in
+  Alcotest.check Alcotest.bool "in range" true
+    (Tuple.in_domain sch (Tuple.make2 (i 50) (s "x")));
+  Alcotest.check Alcotest.bool "out of range" false
+    (Tuple.in_domain sch (Tuple.make2 (i 0) (s "x")));
+  (* enforced by checked insertion *)
+  (match Relation.add (Tuple.make2 (i 101) (s "x")) (Relation.empty sch) with
+  | _ -> Alcotest.fail "expected Type_mismatch"
+  | exception Relation.Type_mismatch _ -> ());
+  (* survives project and rename *)
+  let p = Schema.project sch [ 0 ] ~key:None in
+  Alcotest.check Alcotest.bool "projection keeps refinement" true
+    (Schema.attr_refinement p 0 = Schema.Int_range (1, 100));
+  let r = Schema.rename sch [ "k"; "w" ] in
+  Alcotest.check Alcotest.bool "rename keeps refinement" true
+    (Schema.attr_refinement r 0 = Schema.Int_range (1, 100))
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec loop k =
+    k + nn <= nh && (String.sub haystack k nn = needle || loop (k + 1))
+  in
+  nn = 0 || loop 0
+
+let test_pp_table () =
+  let out = Fmt.str "%a" Relation.pp_table (pairs [ (1, 2); (10, 20) ]) in
+  Alcotest.check Alcotest.bool "has header" true (contains out "src");
+  Alcotest.check Alcotest.bool "has count" true (contains out "(2 tuples)")
+
+let test_semijoin () =
+  let a = pairs [ (1, 2); (3, 4); (5, 6) ] in
+  let b = pairs [ (2, 9); (6, 9) ] in
+  Alcotest.check rel_testable "semijoin"
+    (pairs [ (1, 2); (5, 6) ])
+    (Algebra.semijoin ~on:[ (1, 0) ] a b)
+
+let prop_join_is_filtered_product =
+  QCheck.Test.make ~name:"join = product + filter" ~count:60
+    (QCheck.pair
+       (QCheck.list_of_size (QCheck.Gen.int_bound 12)
+          (QCheck.pair (QCheck.int_bound 4) (QCheck.int_bound 4)))
+       (QCheck.list_of_size (QCheck.Gen.int_bound 12)
+          (QCheck.pair (QCheck.int_bound 4) (QCheck.int_bound 4))))
+    (fun (la, lb) ->
+      let a = pairs la and b = pairs lb in
+      let joined = Algebra.join ~on:[ (1, 0) ] a b in
+      let filtered =
+        Relation.filter
+          (fun t -> Value.equal (Tuple.get t 1) (Tuple.get t 2))
+          (Algebra.product a b)
+      in
+      Relation.equal joined filtered)
+
+(* Property tests on set-algebra laws. *)
+let arb_rel =
+  let open QCheck in
+  let gen_pair = Gen.(pair (int_bound 8) (int_bound 8)) in
+  make
+    Gen.(
+      map
+        (fun ps -> pairs (List.map (fun (a, b) -> (a, b)) ps))
+        (list_size (int_bound 30) gen_pair))
+    ~print:(fun r -> Fmt.str "%a" Relation.pp r)
+
+let prop_union_commutes =
+  QCheck.Test.make ~name:"union commutes" ~count:100
+    (QCheck.pair arb_rel arb_rel) (fun (a, b) ->
+      Relation.equal (Relation.union a b) (Relation.union b a))
+
+let prop_diff_union =
+  QCheck.Test.make ~name:"(a-b) ∪ (a∩b) = a" ~count:100
+    (QCheck.pair arb_rel arb_rel) (fun (a, b) ->
+      Relation.equal
+        (Relation.union (Relation.diff a b) (Relation.inter a b))
+        a)
+
+let prop_tc_idempotent =
+  QCheck.Test.make ~name:"tc(tc(r)) = tc(r)" ~count:50 arb_rel (fun r ->
+      let tc = Algebra.transitive_closure r in
+      Relation.equal tc (Algebra.transitive_closure tc))
+
+let prop_tc_contains =
+  QCheck.Test.make ~name:"r ⊆ tc(r)" ~count:100 arb_rel (fun r ->
+      Relation.subset r (Algebra.transitive_closure r))
+
+let prop_compose_assoc =
+  QCheck.Test.make ~name:"compose associative" ~count:60
+    (QCheck.triple arb_rel arb_rel arb_rel) (fun (a, b, c) ->
+      Relation.equal
+        (Algebra.compose (Algebra.compose a b) c)
+        (Algebra.compose a (Algebra.compose b c)))
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "dc_relation"
+    [
+      ( "value",
+        [
+          Alcotest.test_case "ordering" `Quick test_value_order;
+          Alcotest.test_case "arithmetic" `Quick test_value_arith;
+        ] );
+      ( "schema",
+        [
+          Alcotest.test_case "keys" `Quick test_schema_key;
+          Alcotest.test_case "tuple project" `Quick test_tuple_project;
+          Alcotest.test_case "project/rename" `Quick test_schema_project_rename;
+          Alcotest.test_case "with_schema view" `Quick test_with_schema;
+          Alcotest.test_case "pp_table" `Quick test_pp_table;
+          Alcotest.test_case "domain refinements (2.1)" `Quick test_refinements;
+        ] );
+      ( "relation",
+        [
+          Alcotest.test_case "set ops" `Quick test_set_ops;
+          Alcotest.test_case "type check" `Quick test_type_check;
+        ] );
+      ( "algebra",
+        [
+          Alcotest.test_case "join" `Quick test_join;
+          Alcotest.test_case "semijoin" `Quick test_semijoin;
+          Alcotest.test_case "compose" `Quick test_compose;
+          Alcotest.test_case "transitive closure" `Quick test_tc;
+          Alcotest.test_case "project dedup" `Quick test_project_dedup;
+          Alcotest.test_case "index" `Quick test_index;
+        ] );
+      ( "csv",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_csv_roundtrip;
+          Alcotest.test_case "type errors" `Quick test_csv_types;
+        ] );
+      ( "properties",
+        qcheck
+          [
+            prop_union_commutes;
+            prop_diff_union;
+            prop_tc_idempotent;
+            prop_tc_contains;
+            prop_compose_assoc;
+            prop_join_is_filtered_product;
+          ] );
+    ]
