@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench examples doc clean outputs
+.PHONY: all build test bench bench-smoke examples doc clean outputs
 
 all: build
 
@@ -12,6 +12,10 @@ test:
 
 bench:
 	dune exec bench/main.exe
+
+# Seconds-long sanity pass: the two cheapest recursive experiments.
+bench-smoke:
+	dune exec bench/main.exe -- smoke
 
 examples:
 	dune exec examples/quickstart.exe

@@ -1021,6 +1021,166 @@ let run_bechamel () =
     entries
 
 (* ------------------------------------------------------------------ *)
+(* JSON mode: machine-readable timings for the perf trajectory.
+
+   `dune exec bench/main.exe -- json BENCH_1.json` runs a fixed set of
+   recursive experiments and writes one record per experiment: name,
+   wall-clock milliseconds (best of three runs), fixpoint rounds, tuples
+   produced.  The workloads are deterministic, so successive snapshots
+   (BENCH_1.json, BENCH_2.json, ...) are directly comparable. *)
+
+type json_record = {
+  jr_name : string;
+  jr_wall_ms : float;
+  jr_rounds : int;
+  jr_tuples : int;
+}
+
+let best_of_3 f =
+  let results = List.init 3 (fun _ -> time f) in
+  let r = fst (List.hd results) in
+  (r, List.fold_left (fun m (_, t) -> min m t) infinity results)
+
+let json_experiments ?(only = []) () =
+  let keep name = only = [] || List.mem name only in
+  let record name f =
+    if not (keep name) then None
+    else
+      let (rounds, tuples), wall_ms = best_of_3 f in
+      Some
+        { jr_name = name; jr_wall_ms = wall_ms; jr_rounds = rounds;
+          jr_tuples = tuples }
+  in
+  List.filter_map Fun.id
+  [
+    (* e3: semi-naive chain closure through the constructor fixpoint *)
+    record "e3_chain_seminaive_512" (fun () ->
+        let _, st = run_tc (tc_db ~strategy:Fixpoint.Seminaive (Graph_gen.chain 512)) in
+        (st.Fixpoint.rounds, st.Fixpoint.tuples_produced));
+    (* e3: naive re-evaluation on a shorter chain (cubic work) *)
+    record "e3_chain_naive_128" (fun () ->
+        let _, st = run_tc (tc_db ~strategy:Fixpoint.Naive (Graph_gen.chain 128)) in
+        (st.Fixpoint.rounds, st.Fixpoint.tuples_produced));
+    (* e6: random Horn workload through the semi-naive Datalog engine *)
+    record "e6_random_horn_200_500" (fun () ->
+        let edges = Graph_gen.random_graph ~seed:7 ~nodes:200 ~edges:500 in
+        let stats = Dc_datalog.Seminaive.fresh_stats () in
+        let result =
+          Dc_datalog.Seminaive.query ~stats tc_program (edb_of edges) "path"
+        in
+        (stats.Dc_datalog.Seminaive.rounds, Dc_datalog.Facts.TS.cardinal result));
+    (* e5: mutually recursive ahead/above system *)
+    record "e5_mutual_scene_64" (fun () ->
+        let infront, ontop = Graph_gen.scene ~depth:64 ~stack:3 in
+        let db = Database.create ~strategy:Fixpoint.Seminaive () in
+        Database.declare db "Infront" (Constructor.infront_schema Value.TStr);
+        Database.declare db "Ontop" (Constructor.ontop_schema Value.TStr);
+        Database.set db "Infront" infront;
+        Database.set db "Ontop" ontop;
+        let ahead, above = Constructor.ahead_above () in
+        Database.define_constructors db [ ahead; above ];
+        let r =
+          Database.query db
+            Ast.(Construct (Rel "Infront", "ahead", [ Arg_range (Rel "Ontop") ]))
+        in
+        let st = Option.get (Database.last_stats db) in
+        ignore r;
+        (st.Fixpoint.rounds, st.Fixpoint.tuples_produced));
+    (* e5: mutually recursive system, deeper scene *)
+    record "e5_mutual_scene_256" (fun () ->
+        let infront, ontop = Graph_gen.scene ~depth:256 ~stack:3 in
+        let db = Database.create ~strategy:Fixpoint.Seminaive () in
+        Database.declare db "Infront" (Constructor.infront_schema Value.TStr);
+        Database.declare db "Ontop" (Constructor.ontop_schema Value.TStr);
+        Database.set db "Infront" infront;
+        Database.set db "Ontop" ontop;
+        let ahead, above = Constructor.ahead_above () in
+        Database.define_constructors db [ ahead; above ];
+        let r =
+          Database.query db
+            Ast.(Construct (Rel "Infront", "ahead", [ Arg_range (Rel "Ontop") ]))
+        in
+        let st = Option.get (Database.last_stats db) in
+        ignore r;
+        (st.Fixpoint.rounds, st.Fixpoint.tuples_produced));
+    (* e3: non-linear closure (path o path) — joins delta against the big
+       full value from both sides every round, the index-heaviest shape *)
+    record "e3_chain_nonlinear_256" (fun () ->
+        let _, st =
+          run_tc (tc_db ~strategy:Fixpoint.Seminaive ~linear:`Non (Graph_gen.chain 256))
+        in
+        (st.Fixpoint.rounds, st.Fixpoint.tuples_produced));
+    (* e6: denser random Horn workload *)
+    record "e6_random_horn_300_900" (fun () ->
+        let edges = Graph_gen.random_graph ~seed:11 ~nodes:300 ~edges:900 in
+        let stats = Dc_datalog.Seminaive.fresh_stats () in
+        let result =
+          Dc_datalog.Seminaive.query ~stats tc_program (edb_of edges) "path"
+        in
+        (stats.Dc_datalog.Seminaive.rounds, Dc_datalog.Facts.TS.cardinal result));
+    (* e4: magic-sets capture rule on the left-linear rule (Datalog path) *)
+    record "e4_magic_left_256" (fun () ->
+        let edges = Graph_gen.two_chains 256 in
+        let db = tc_db ~linear:`Left edges in
+        let restricted =
+          Ast.(
+            Comp
+              [
+                branch
+                  [ ("r", Construct (Rel "Edge", "tc", [])) ]
+                  ~where:(eq (field "r" "src") (str "n1"));
+              ])
+        in
+        let r = Dc_compile.Planner.plan_and_execute db restricted in
+        (0, Relation.cardinal r));
+    (* e4: same goal-directed shape, twice the chain length *)
+    record "e4_magic_left_512" (fun () ->
+        let edges = Graph_gen.two_chains 512 in
+        let db = tc_db ~linear:`Left edges in
+        let restricted =
+          Ast.(
+            Comp
+              [
+                branch
+                  [ ("r", Construct (Rel "Edge", "tc", [])) ]
+                  ~where:(eq (field "r" "src") (str "n1"));
+              ])
+        in
+        let r = Dc_compile.Planner.plan_and_execute db restricted in
+        (0, Relation.cardinal r));
+  ]
+
+let print_records records =
+  List.iter
+    (fun r ->
+      Fmt.pr "%-28s %10.2f ms  rounds=%-5d tuples=%d@." r.jr_name r.jr_wall_ms
+        r.jr_rounds r.jr_tuples)
+    records
+
+(* The two cheapest recursive experiments — a seconds-long sanity pass
+   (`make bench-smoke`) confirming the harness and the kernel still run. *)
+let run_smoke () =
+  print_records
+    (json_experiments ~only:[ "e5_mutual_scene_64"; "e4_magic_left_256" ] ())
+
+let run_json path =
+  let records = json_experiments () in
+  let oc = open_out path in
+  let field_sep = ref "" in
+  output_string oc "{\n  \"experiments\": [\n";
+  List.iter
+    (fun r ->
+      Printf.fprintf oc
+        "%s    { \"name\": %S, \"wall_ms\": %.3f, \"rounds\": %d, \"tuples\": %d }"
+        !field_sep r.jr_name r.jr_wall_ms r.jr_rounds r.jr_tuples;
+      field_sep := ",\n")
+    records;
+  output_string oc "\n  ]\n}\n";
+  close_out oc;
+  print_records records;
+  Fmt.pr "wrote %s@." path
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1043,6 +1203,8 @@ let () =
     List.iter (fun (_, f) -> f ()) experiments;
     run_bechamel ()
   | [ "bechamel" ] -> run_bechamel ()
+  | [ "json"; path ] -> run_json path
+  | [ "smoke" ] -> run_smoke ()
   | names ->
     List.iter
       (fun name ->

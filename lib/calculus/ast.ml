@@ -89,7 +89,7 @@ let conj_list = List.fold_left conj True
 let field v a = Field (v, a)
 
 let int i = Const (Value.Int i)
-let str s = Const (Value.Str s)
+let str s = Const (Value.str s)
 
 let eq a b = Cmp (Eq, a, b)
 

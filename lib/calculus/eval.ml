@@ -33,6 +33,7 @@ type env = {
   vars : binding SM.t;
   scalars : Value.t SM.t;
   hooks : hooks;
+  icache : Index_cache.t;
 }
 
 and hooks = {
@@ -61,6 +62,7 @@ let make_env ?(vars = []) ?(scalars = []) ?(hooks = no_hooks) rels =
            (List.map (fun (v, t, s) -> (v, { b_tuple = t; b_schema = s })) vars));
     scalars = SM.of_seq (List.to_seq scalars);
     hooks;
+    icache = Index_cache.create ();
   }
 
 let bind_rel env name rel = { env with rels = SM.add name rel env.rels }
@@ -246,7 +248,7 @@ and eval_branch : 'a. env -> branch -> emit:('a -> Tuple.t -> 'a) -> 'a -> 'a =
   (* Assign each conjunct to the earliest binder index after which it is
      closed; conjuncts closed by the outer env alone are checked first. *)
   let binder_vars = List.map fst binders in
-  let position_of_conj f =
+  let position_of_conj binder_vars f =
     let fv = Vars.free_vars_formula f in
     let needed = Vars.S.diff fv outer in
     let rec last_index i best = function
@@ -256,10 +258,38 @@ and eval_branch : 'a. env -> branch -> emit:('a -> Tuple.t -> 'a) -> 'a -> 'a =
     in
     last_index 0 (-1) binder_vars
   in
-  let tagged = List.map (fun f -> (position_of_conj f, f)) conjs in
+  let tagged = List.map (fun f -> (position_of_conj binder_vars f, f)) conjs in
   let pre = List.filter_map (fun (i, f) -> if i < 0 then Some f else None) tagged in
   if not (List.for_all (eval_formula env) pre) then acc
   else begin
+    (* Join reorder: when every binder range is closed under the outer env
+       (no binder range mentions another binder's variable), the branch is
+       a filtered cross product and binder order is semantically free.
+       Pre-evaluate the ranges and scan the smallest relation first — the
+       larger ones then become index probes, and their (stable) indexes
+       stay warm in [env.icache] across fixpoint rounds.  In a semi-naive
+       round this turns "scan the base, probe the delta" into "scan the
+       delta, probe the base". *)
+    let binders, binder_vars, tagged, pre_evaled =
+      let closed (_, r) = Vars.S.subset (Vars.free_vars_range r) outer in
+      if List.length binders > 1 && List.for_all closed binders then begin
+        let evaled =
+          List.map (fun (v, r) -> (v, r, eval_range env r)) binders
+        in
+        let by_card =
+          List.stable_sort
+            (fun (_, _, a) (_, _, b) ->
+              Int.compare (Relation.cardinal a) (Relation.cardinal b))
+            evaled
+        in
+        let binders = List.map (fun (v, r, _) -> (v, r)) by_card in
+        let binder_vars = List.map fst binders in
+        let tagged = List.map (fun f -> (position_of_conj binder_vars f, f)) conjs in
+        (binders, binder_vars, tagged,
+         List.map (fun (_, _, rel) -> Some rel) by_card)
+      end
+      else (binders, binder_vars, tagged, List.map (fun _ -> None) binders)
+    in
     (* Per-binder plan: index keys + residual filters. *)
     let bound_before i =
       List.filteri (fun j _ -> j < i) binder_vars
@@ -287,11 +317,13 @@ and eval_branch : 'a. env -> branch -> emit:('a -> Tuple.t -> 'a) -> 'a -> 'a =
     let plans = List.mapi plan_for binders in
     (* Pre-evaluate and index uncorrelated ranges. *)
     let prepared =
-      List.map
-        (fun (v, range, correlated, keys, filters) ->
+      List.map2
+        (fun (v, range, correlated, keys, filters) pre ->
           if correlated then `Correlated (v, range, keys, filters)
           else begin
-            let rel = eval_range env range in
+            let rel =
+              match pre with Some r -> r | None -> eval_range env range
+            in
             let schema = Relation.schema rel in
             match keys with
             | [] -> `Scan (v, rel, schema, filters)
@@ -299,11 +331,11 @@ and eval_branch : 'a. env -> branch -> emit:('a -> Tuple.t -> 'a) -> 'a -> 'a =
               let positions =
                 List.map (fun (a, _) -> Schema.attr_index schema a) keys
               in
-              let idx = Index.build positions rel in
+              let idx = Index_cache.get env.icache positions rel in
               let key_terms = List.map snd keys in
               `Indexed (v, schema, idx, key_terms, filters)
           end)
-        plans
+        plans pre_evaled
     in
     let rec go env acc = function
       | [] ->

@@ -34,6 +34,9 @@ type env = {
   vars : binding SM.t;  (** bound tuple variables *)
   scalars : Value.t SM.t;  (** scalar parameter values *)
   hooks : hooks;
+  icache : Index_cache.t;
+      (** per-evaluation index cache, keyed on relation identity +
+          positions; fixpoint drivers advance it with per-round deltas *)
 }
 
 and hooks = {

@@ -278,7 +278,11 @@ let run ?(use_indexes = true) env (plan : t) =
               let positions =
                 List.map (fun (a, _) -> Schema.attr_index schema a) keys
               in
-              `Indexed (step, schema, Index.build positions rel, List.map snd keys)
+              `Indexed
+                ( step,
+                  schema,
+                  Index_cache.get env.Eval.icache positions rel,
+                  List.map snd keys )
             | Index_lookup keys ->
               (* ablation: evaluate keys as per-tuple filters *)
               let filters =

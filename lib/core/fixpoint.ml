@@ -309,6 +309,21 @@ let eval_variant st app (rb : rec_branch) delta_pos acc =
     ~emit:(fun acc t -> Relation.add_unchecked t acc)
     acc
 
+(* Advance every distinct per-evaluation index cache reachable from the
+   registered applications.  The base environments usually all share the
+   caller's cache object (environment derivation copies the field), so
+   physical dedup keeps each index from being extended twice. *)
+let advance_caches st ~old_rel ~delta ~next =
+  let seen = ref [] in
+  KM.iter
+    (fun _ app ->
+      let c = app.base_env.Eval.icache in
+      if not (List.memq c !seen) then begin
+        seen := c :: !seen;
+        Index_cache.advance c ~old_rel ~delta ~next
+      end)
+    st.apps
+
 (* One Jacobi round over the applications registered at round start.
    Evaluations read the previous round's [st.full]/[st.delta]; updates are
    applied at the end (new registrations during the round keep their bottom
@@ -353,21 +368,35 @@ let round st =
             let delta = Relation.diff fresh full in
             (Relation.union full delta, delta)
         in
-        (match app.shape with
-        | Opaque ->
-          (* possibly non-monotone: watch for shrinking values *)
-          if not (Relation.subset full new_value) then st.saw_shrink <- true;
-          if not (Relation.equal new_value full) then changed := true
-        | Diffable _ ->
-          if not (Relation.is_empty delta) then changed := true);
+        let monotone =
+          match app.shape with
+          | Opaque ->
+            (* possibly non-monotone: watch for shrinking values *)
+            let grew = Relation.subset full new_value in
+            if not grew then st.saw_shrink <- true;
+            if not (Relation.equal new_value full) then changed := true;
+            grew
+          | Diffable _ ->
+            if not (Relation.is_empty delta) then changed := true;
+            true
+        in
         st.stats.tuples_produced <-
           st.stats.tuples_produced + Relation.cardinal delta;
         round_delta := !round_delta + Relation.cardinal delta;
-        (key, new_value, delta))
+        (key, new_value, delta, monotone))
       keys
   in
   List.iter
-    (fun (key, v, d) ->
+    (fun (key, v, d, monotone) ->
+      (* Delta-advance the cached access paths before the old full value
+         becomes unreachable: every index built on it is extended with the
+         round's delta and re-keyed to the new value, so next round's
+         evaluations hit warm indexes.  Sound only for monotone updates
+         (v = old ∪ d); shrinking Opaque values just fall out of the
+         cache and are rebuilt. *)
+      (if monotone then
+         let old_rel = KM.find key st.full in
+         advance_caches st ~old_rel ~delta:d ~next:v);
       st.initialized <- KS.add key st.initialized;
       st.full <- KM.add key v st.full;
       st.delta <- KM.add key d st.delta)

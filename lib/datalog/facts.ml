@@ -1,25 +1,49 @@
 (* Fact store for the bottom-up Datalog engines: a map from predicate name
    to a set of ground tuples, with hash indexes per (predicate, bound
-   positions) built lazily and dropped whenever the store grows. *)
+   positions).
+
+   Runtime kernel: indexes are maintained delta-incrementally instead of
+   being dropped on every insertion.  The tuple map is persistent, but a
+   mutable index cache is threaded along the linear chain of stores the
+   engines actually produce (each round's [add_set] yields the next
+   store).  A global version counter identifies which store in the chain
+   currently "owns" the cache:
+
+   - [add]/[add_set] on the owning store push just the new tuples into
+     every cached index of that predicate and hand ownership to the child
+     store, so semi-naive rounds extend indexes by their deltas;
+   - a store that lost ownership (an older snapshot that was branched
+     from) transparently falls back to rebuilding into a private cache on
+     its next lookup, so sharing is an optimization, never a correctness
+     concern. *)
 
 open Dc_relation
 
 module TS = Set.Make (Tuple)
 module SM = Map.Make (String)
 
-module HK = Hashtbl.Make (struct
-  type t = Tuple.t
-
-  let equal = Tuple.equal
-  let hash = Tuple.hash
-end)
+type cache = {
+  mutable owner : int; (* version of the store allowed to use/extend this *)
+  tables : (string * int list, Index.t) Hashtbl.t;
+}
 
 type t = {
   tuples : TS.t SM.t;
-  index_cache : (string * int list, Tuple.t list HK.t) Hashtbl.t;
+  version : int;
+  mutable cache : cache;
 }
 
-let empty () = { tuples = SM.empty; index_cache = Hashtbl.create 16 }
+let new_version =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    !counter
+
+let fresh_cache version = { owner = version; tables = Hashtbl.create 16 }
+
+let empty () =
+  let version = new_version () in
+  { tuples = SM.empty; version; cache = fresh_cache version }
 
 let find store pred =
   Option.value (SM.find_opt pred store.tuples) ~default:TS.empty
@@ -30,22 +54,43 @@ let total store = SM.fold (fun _ s n -> n + TS.cardinal s) store.tuples 0
 
 let mem store pred tuple = TS.mem tuple (find store pred)
 
+(* Push new tuples of [pred] into every cached index of that predicate. *)
+let extend_cached cache pred fresh =
+  Hashtbl.iter
+    (fun (p, _) idx -> if String.equal p pred then TS.iter (Index.add idx) fresh)
+    cache.tables
+
+let owns store = store.cache.owner = store.version
+
 let add store pred tuple =
   let set = find store pred in
   if TS.mem tuple set then store
   else
-    {
-      tuples = SM.add pred (TS.add tuple set) store.tuples;
-      index_cache = Hashtbl.create 16;
-    }
+    let version = new_version () in
+    let tuples = SM.add pred (TS.add tuple set) store.tuples in
+    if owns store then begin
+      let cache = store.cache in
+      extend_cached cache pred (TS.singleton tuple);
+      cache.owner <- version;
+      { tuples; version; cache }
+    end
+    else { tuples; version; cache = fresh_cache version }
 
 let add_set store pred set =
   if TS.is_empty set then store
   else
-    {
-      tuples = SM.add pred (TS.union set (find store pred)) store.tuples;
-      index_cache = Hashtbl.create 16;
-    }
+    let old = find store pred in
+    let version = new_version () in
+    let tuples = SM.add pred (TS.union set old) store.tuples in
+    if owns store then begin
+      let cache = store.cache in
+      (* Only the genuinely new tuples may enter the indexes: buckets hold
+         lists, so re-adding a known tuple would duplicate lookup rows. *)
+      extend_cached cache pred (TS.diff set old);
+      cache.owner <- version;
+      { tuples; version; cache }
+    end
+    else { tuples; version; cache = fresh_cache version }
 
 let singleton_set pred set = add_set (empty ()) pred set
 
@@ -58,29 +103,33 @@ let iter f store = SM.iter (fun pred set -> TS.iter (f pred) set) store.tuples
 
 let equal a b = SM.equal TS.equal a.tuples b.tuples
 
-(* Tuples of [pred] whose projection onto [positions] equals [key]. *)
+(* Tuples of [pred] whose projection onto [positions] equals [key].
+   [positions = []] degenerates to one bucket under the empty key image,
+   i.e. the full extent — cached like any other access path instead of
+   re-materializing [TS.elements] per call. *)
 let lookup store pred positions key =
-  match positions with
-  | [] -> TS.elements (find store pred)
-  | _ -> (
-    let cache_key = (pred, positions) in
-    let index =
-      match Hashtbl.find_opt store.index_cache cache_key with
-      | Some idx -> idx
-      | None ->
-        let idx = HK.create 64 in
-        TS.iter
-          (fun t ->
-            let k = Tuple.project t positions in
-            let prev = Option.value (HK.find_opt idx k) ~default:[] in
-            HK.replace idx k (t :: prev))
-          (find store pred);
-        Hashtbl.replace store.index_cache cache_key idx;
-        idx
-    in
-    match HK.find_opt index key with
-    | Some l -> l
-    | None -> [])
+  let cache =
+    if owns store then store.cache
+    else begin
+      (* this snapshot was branched away from the cache's owning chain;
+         rebuild into a private cache so stale readers stay correct *)
+      let c = fresh_cache store.version in
+      store.cache <- c;
+      c
+    end
+  in
+  let cache_key = (pred, positions) in
+  let index =
+    match Hashtbl.find_opt cache.tables cache_key with
+    | Some idx -> idx
+    | None ->
+      let set = find store pred in
+      let idx = Index.create ~size:(max 16 (TS.cardinal set)) positions in
+      TS.iter (Index.add idx) set;
+      Hashtbl.replace cache.tables cache_key idx;
+      idx
+  in
+  Index.lookup index key
 
 (* Conversions to/from {!Dc_relation.Relation}. *)
 let to_relation schema store pred =

@@ -1,7 +1,10 @@
 (** Fact store for the bottom-up Datalog engines: predicate name → set of
     ground tuples, with lazily built hash indexes per (predicate, bound
-    positions).  Values are persistent; indexes are dropped on growth, so
-    engines batch their updates per round. *)
+    positions).  Values are persistent; indexes are maintained
+    delta-incrementally along the linear chain of stores an engine
+    produces ([add]/[add_set] push just the new tuples into existing
+    indexes), and older snapshots transparently rebuild private indexes
+    on demand. *)
 
 open Dc_relation
 

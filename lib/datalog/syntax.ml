@@ -34,7 +34,7 @@ type program = rule list
 let var v = Var v
 let const c = Const c
 let cint i = Const (Value.Int i)
-let cstr s = Const (Value.Str s)
+let cstr s = Const (Value.str s)
 
 let atom pred args = { pred; args }
 

@@ -90,7 +90,7 @@ let empty_scope = { rel_names = []; scalar_names = [] }
 let rec lower_term env scope = function
   | T_int i -> Ast.Const (Value.Int i)
   | T_float f -> Ast.Const (Value.Float f)
-  | T_string s -> Ast.Const (Value.Str s)
+  | T_string s -> Ast.Const (Value.str s)
   | T_field (v, a) -> Ast.Field (v, a)
   | T_name n ->
     if List.mem n scope.scalar_names then Ast.Param n
@@ -157,7 +157,7 @@ let scope_of_params params =
 let constant env = function
   | T_int i -> Value.Int i
   | T_float f -> Value.Float f
-  | T_string s -> Value.Str s
+  | T_string s -> Value.str s
   | t ->
     ignore env;
     elab_error "INSERT/DELETE rows must be constants (got %s)"

@@ -57,7 +57,7 @@ let parse_value ty s =
     | "true" -> Value.Bool true
     | "false" -> Value.Bool false
     | _ -> parse_error "expected BOOLEAN, got %S" s)
-  | Value.TStr -> Value.Str s
+  | Value.TStr -> Value.str s
 
 let parse_row schema fields =
   let types = Schema.attr_types schema in

@@ -7,6 +7,20 @@ val build : int list -> Relation.t -> t
 (** [build positions rel] hashes every tuple of [rel] under the projection
     onto [positions]. *)
 
+val create : ?size:int -> int list -> t
+(** An empty index on [positions]; grow it with {!add}/{!extend}. *)
+
+val add : t -> Tuple.t -> unit
+(** Insert one tuple into its bucket. The caller is responsible for not
+    inserting the same tuple twice (indexes store lists, not sets). *)
+
+val extend : t -> Relation.t -> unit
+(** [extend idx delta] adds every tuple of [delta] — the delta-incremental
+    maintenance step: an index built on [r] then extended with
+    [diff r' r] answers lookups exactly as one freshly built on [r']. *)
+
+val extend_seq : t -> Tuple.t Seq.t -> unit
+
 val positions : t -> int list
 
 val lookup : t -> Tuple.t -> Tuple.t list

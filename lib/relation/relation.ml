@@ -99,7 +99,8 @@ let check_compatible op a b =
    keyed schemas. *)
 let union a b =
   check_compatible "union" a b;
-  if Schema.key_is_whole_tuple a.schema then
+  if Tuple_set.is_empty b.tuples then a
+  else if Schema.key_is_whole_tuple a.schema then
     { a with tuples = Tuple_set.union a.tuples b.tuples }
   else Tuple_set.fold add b.tuples a
 
@@ -109,7 +110,8 @@ let inter a b =
 
 let diff a b =
   check_compatible "diff" a b;
-  { a with tuples = Tuple_set.diff a.tuples b.tuples }
+  if Tuple_set.is_empty b.tuples then a
+  else { a with tuples = Tuple_set.diff a.tuples b.tuples }
 
 let filter p r = { r with tuples = Tuple_set.filter p r.tuples }
 

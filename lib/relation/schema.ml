@@ -37,6 +37,9 @@ type attr = {
 type t = {
   attrs : attr array;
   key : int array; (* positions of the key attributes, strictly increasing *)
+  types : Value.ty array;
+      (* attr_ty of each attribute, precomputed so per-tuple type checks
+         ([Tuple.well_typed]) don't re-derive the array on every call *)
 }
 
 exception Schema_error of string
@@ -47,7 +50,9 @@ let arity s = Array.length s.attrs
 
 let attr_names s = Array.to_list (Array.map (fun a -> a.attr_name) s.attrs)
 
-let attr_types s = Array.to_list (Array.map (fun a -> a.attr_ty) s.attrs)
+let attr_types s = Array.to_list s.types
+
+let attr_types_array s = s.types
 
 let find_attr s name =
   let rec loop i =
@@ -96,7 +101,8 @@ let make ?key ?(refinements = []) attrs =
            })
          attrs)
   in
-  let s = { attrs; key = [||] } in
+  let types = Array.map (fun a -> a.attr_ty) attrs in
+  let s = { attrs; key = [||]; types } in
   let key_positions =
     match key with
     | None | Some [] ->

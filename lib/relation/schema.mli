@@ -40,6 +40,10 @@ val arity : t -> int
 val attr_names : t -> string list
 val attr_types : t -> Value.ty list
 
+val attr_types_array : t -> Value.ty array
+(** Positional attribute types as an array, precomputed at [make] time.
+    The returned array is owned by the schema — do not mutate. *)
+
 val find_attr : t -> string -> int option
 (** Position of a named attribute, if any. *)
 

@@ -2,66 +2,132 @@
 
    Tuples carry no schema of their own: schema conformance is checked when
    a tuple enters a relation, mirroring DBPL's record values flowing into
-   typed relation variables. *)
+   typed relation variables.
 
-type t = Value.t array
+   Runtime kernel: a tuple caches its structural hash in the record so
+   [Tuple_set] balancing, [Hashtbl.Make] instances, and index lookups stop
+   re-walking the cell array.  The cache fills lazily on first use — most
+   derived tuples only ever flow through ordered sets (pure comparisons),
+   and hashing their cells eagerly at construction measurably slows the
+   fixpoint emit path. *)
 
-let arity = Array.length
+type t = {
+  cells : Value.t array;
+  mutable h : int; (* cached hash; negative = not yet computed *)
+}
 
-let of_list = Array.of_list
+let hash_seed = 17
 
-let to_list = Array.to_list
+let hash_cells cells =
+  Array.fold_left (fun acc v -> (acc * 31) + Value.hash v) hash_seed cells
 
-let get (t : t) i = t.(i)
+(* [make] takes ownership of [cells]: every caller below passes a freshly
+   allocated array that is never mutated afterwards. *)
+let make cells = { cells; h = -1 }
 
-let make1 v : t = [| v |]
+let hash t =
+  let h = t.h in
+  if h >= 0 then h
+  else begin
+    let h = hash_cells t.cells land max_int in
+    t.h <- h;
+    h
+  end
 
-let make2 a b : t = [| a; b |]
+let empty = make [||]
 
-let make3 a b c : t = [| a; b; c |]
+let arity t = Array.length t.cells
 
-let compare (a : t) (b : t) =
-  let la = Array.length a and lb = Array.length b in
-  let c = Int.compare la lb in
-  if c <> 0 then c
+let of_list l = make (Array.of_list l)
+
+let to_list t = Array.to_list t.cells
+
+let get t i = t.cells.(i)
+
+let make1 v = make [| v |]
+
+let make2 a b = make [| a; b |]
+
+let make3 a b c = make [| a; b; c |]
+
+let compare a b =
+  if a == b then 0
   else
-    let rec loop i =
-      if i >= la then 0
-      else
-        let c = Value.compare a.(i) b.(i) in
-        if c <> 0 then c else loop (i + 1)
-    in
-    loop 0
+    let xa = a.cells and xb = b.cells in
+    let la = Array.length xa and lb = Array.length xb in
+    let c = Int.compare la lb in
+    if c <> 0 then c
+    else
+      let rec loop i =
+        if i >= la then 0
+        else
+          let c = Value.compare xa.(i) xb.(i) in
+          if c <> 0 then c else loop (i + 1)
+      in
+      loop 0
 
-let equal a b = compare a b = 0
+let equal a b =
+  a == b
+  || ((a.h < 0 || b.h < 0 || a.h = b.h)
+     &&
+     let xa = a.cells and xb = b.cells in
+     let la = Array.length xa in
+     la = Array.length xb
+     &&
+     let rec loop i = i >= la || (Value.equal xa.(i) xb.(i) && loop (i + 1)) in
+     loop 0)
 
-let hash (t : t) =
-  Array.fold_left (fun acc v -> (acc * 31) + Value.hash v) 17 t
+let project t positions =
+  match positions with
+  | [] -> empty
+  | _ ->
+    let n = List.length positions in
+    let src = t.cells in
+    let cells = Array.make n src.(List.hd positions) in
+    List.iteri (fun i p -> Array.unsafe_set cells i src.(p)) positions;
+    make cells
 
-let project (t : t) positions : t =
-  Array.of_list (List.map (fun i -> t.(i)) positions)
+let project_arr t positions =
+  let n = Array.length positions in
+  if n = 0 then empty
+  else begin
+    let src = t.cells in
+    let cells = Array.make n src.(Array.unsafe_get positions 0) in
+    for i = 1 to n - 1 do
+      Array.unsafe_set cells i src.(Array.unsafe_get positions i)
+    done;
+    make cells
+  end
 
-let well_typed schema (t : t) =
-  arity t = Schema.arity schema
-  && Array.for_all2
-       (fun v ty -> Value.type_of v = ty)
-       t
-       (Array.of_list (Schema.attr_types schema))
+let well_typed schema t =
+  let tys = Schema.attr_types_array schema in
+  let cells = t.cells in
+  Array.length cells = Array.length tys
+  &&
+  let rec loop i =
+    i >= Array.length tys
+    || (Value.type_of (Array.unsafe_get cells i) = Array.unsafe_get tys i
+       && loop (i + 1))
+  in
+  loop 0
 
 (* Typing plus the §2.1 domain refinements — the full generated check. *)
-let in_domain schema (t : t) =
+let in_domain schema t =
   well_typed schema t
-  && (let ok = ref true in
-      Array.iteri
-        (fun i v ->
-          if not (Schema.satisfies_refinement (Schema.attr_refinement schema i) v)
-          then ok := false)
-        t;
-      !ok)
+  &&
+  let cells = t.cells in
+  let rec loop i =
+    i >= Array.length cells
+    || (Schema.satisfies_refinement
+          (Schema.attr_refinement schema i)
+          (Array.unsafe_get cells i)
+       && loop (i + 1))
+  in
+  loop 0
 
-let concat (a : t) (b : t) : t = Array.append a b
+let concat a b = make (Array.append a.cells b.cells)
 
-let pp ppf (t : t) =
-  Fmt.pf ppf "<%a>" Fmt.(array ~sep:(any ", ") Value.pp) t
+let pp ppf t =
+  Fmt.pf ppf "<%a>" Fmt.(array ~sep:(any ", ") Value.pp) t.cells
 
 let to_string t = Fmt.str "%a" pp t

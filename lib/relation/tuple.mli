@@ -1,6 +1,10 @@
-(** Tuples: immutable arrays of {!Value.t}, the elements of relations. *)
+(** Tuples: immutable sequences of {!Value.t}, the elements of relations.
 
-type t = Value.t array
+    The representation is abstract; it caches the structural hash at
+    construction so set and hash-table operations over tuples cost an
+    integer read instead of an array walk. *)
+
+type t
 
 val arity : t -> int
 
@@ -17,10 +21,17 @@ val compare : t -> t -> int
 (** Lexicographic order; shorter tuples sort first. *)
 
 val equal : t -> t -> bool
+(** Structural equality with a cached-hash fast path. *)
+
 val hash : t -> int
+(** Memoized in the tuple on first use; the 31-polynomial over
+    {!Value.hash} of the cells. *)
 
 val project : t -> int list -> t
 (** [project t positions] keeps the listed positions in the given order. *)
+
+val project_arr : t -> int array -> t
+(** Like {!project} with precompiled positions — the index hot path. *)
 
 val well_typed : Schema.t -> t -> bool
 (** Does the tuple conform to the schema (arity and per-position type)? *)

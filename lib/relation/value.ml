@@ -29,26 +29,80 @@ let type_name = function
   | TBool -> "BOOLEAN"
   | TFloat -> "REAL"
 
+(* ------------------------------------------------------------------ *)
+(* Interning (runtime kernel).
+
+   The fixpoint hot path compares and hashes the same small population of
+   strings (node names, part identifiers) millions of times.  The intern
+   pool hash-conses them: [str]/[intern] return a canonical, physically
+   unique string per content, mapped to a dense integer id.  Comparison
+   fast paths then decide equality of interned values by pointer identity
+   alone; the dense ids give downstream layers an integer key space.
+
+   Interning is optional — [Str] built directly from a raw string is still
+   a legal value and all operations remain correct on it; it merely misses
+   the fast paths. *)
+
+let intern_pool : (string, string * int) Hashtbl.t = Hashtbl.create 4096
+
+let intern_string s =
+  match Hashtbl.find_opt intern_pool s with
+  | Some (canonical, _) -> canonical
+  | None ->
+    Hashtbl.add intern_pool s (s, Hashtbl.length intern_pool);
+    s
+
+let intern_id s =
+  match Hashtbl.find_opt intern_pool s with
+  | Some (_, id) -> id
+  | None ->
+    let id = Hashtbl.length intern_pool in
+    Hashtbl.add intern_pool s (s, id);
+    id
+
+let interned_count () = Hashtbl.length intern_pool
+
+let str s = Str (intern_string s)
+
+let intern = function
+  | Str s as v ->
+    let c = intern_string s in
+    if c == s then v else Str c
+  | v -> v
+
 let compare a b =
+  if a == b then 0
+  else
+    match a, b with
+    | Int x, Int y -> Int.compare x y
+    | Str x, Str y -> if x == y then 0 else String.compare x y
+    | Bool x, Bool y -> Bool.compare x y
+    | Float x, Float y -> Float.compare x y
+    | Int _, (Str _ | Bool _ | Float _) -> -1
+    | (Str _ | Bool _ | Float _), Int _ -> 1
+    | Str _, (Bool _ | Float _) -> -1
+    | (Bool _ | Float _), Str _ -> 1
+    | Bool _, Float _ -> -1
+    | Float _, Bool _ -> 1
+
+let equal a b =
+  a == b
+  ||
   match a, b with
-  | Int x, Int y -> Int.compare x y
-  | Str x, Str y -> String.compare x y
-  | Bool x, Bool y -> Bool.compare x y
-  | Float x, Float y -> Float.compare x y
-  | Int _, (Str _ | Bool _ | Float _) -> -1
-  | (Str _ | Bool _ | Float _), Int _ -> 1
-  | Str _, (Bool _ | Float _) -> -1
-  | (Bool _ | Float _), Str _ -> 1
-  | Bool _, Float _ -> -1
-  | Float _, Bool _ -> 1
+  | Int x, Int y -> Int.equal x y
+  | Str x, Str y -> x == y || String.equal x y
+  | Bool x, Bool y -> Bool.equal x y
+  | Float x, Float y -> Float.compare x y = 0
+  | _ -> false
 
-let equal a b = compare a b = 0
-
+(* Allocation-free: tuples hash every cell at construction, so this runs
+   on the hottest path of the engine.  Values of different types may
+   collide; [equal] disambiguates. *)
 let hash = function
-  | Int x -> Hashtbl.hash (0, x)
-  | Str s -> Hashtbl.hash (1, s)
-  | Bool b -> Hashtbl.hash (2, b)
-  | Float f -> Hashtbl.hash (3, f)
+  | Int x -> Hashtbl.hash x
+  | Str s -> Hashtbl.hash s
+  | Bool b -> Bool.to_int b + 0x2cf5
+  | Float f -> Hashtbl.hash f
 
 let pp ppf = function
   | Int x -> Fmt.int ppf x

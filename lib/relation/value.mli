@@ -26,6 +26,29 @@ val equal : t -> t -> bool
 
 val hash : t -> int
 
+(** {1 Interning}
+
+    The runtime kernel hash-conses strings: [str]/[intern] return values
+    whose payload is the canonical, physically unique string for its
+    content, so [equal]/[compare] on two interned values decide string
+    equality by pointer identity. Interning is optional — a [Str] built
+    directly from a raw string remains fully supported, it merely skips
+    the fast path. *)
+
+val str : string -> t
+(** [str s] is [Str c] where [c] is the canonical interned copy of [s].
+    Preferred constructor for strings on hot paths. *)
+
+val intern : t -> t
+(** Canonicalize the payload of a [Str]; identity on other values. *)
+
+val intern_id : string -> int
+(** Dense integer id of an interned string (interning it if needed).
+    Ids are assigned in first-intern order, starting at 0. *)
+
+val interned_count : unit -> int
+(** Number of distinct strings in the intern pool. *)
+
 val pp : t Fmt.t
 val pp_ty : ty Fmt.t
 val to_string : t -> string

@@ -8,7 +8,7 @@
 open Dc_relation
 open Dc_calculus
 
-let part i = Value.Str (Fmt.str "p%d" i)
+let part i = Value.str (Fmt.str "p%d" i)
 
 let contains_schema =
   Schema.make

@@ -17,7 +17,7 @@
 open Dc_relation
 open Dc_core
 
-let node i = Value.Str (Fmt.str "n%d" i)
+let node i = Value.str (Fmt.str "n%d" i)
 
 let node_name i = Fmt.str "n%d" i
 
@@ -89,7 +89,7 @@ let scene ~depth ~stack =
   for i = 0 to depth - 1 do
     if i mod 2 = 0 then
       for s = 0 to stack - 1 do
-        let item k = Value.Str (Fmt.str "s%d_%d" i k) in
+        let item k = Value.str (Fmt.str "s%d_%d" i k) in
         let below = if s = 0 then node i else item (s - 1) in
         ontop_pairs := Tuple.make2 (item s) below :: !ontop_pairs
       done

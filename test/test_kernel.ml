@@ -1,0 +1,254 @@
+(* Randomized oracle tests for the runtime access-path kernel:
+
+   - indexes grown delta-incrementally ([Index.create]/[extend] batch by
+     batch, and [Index_cache.advance] along a chain of growing relations)
+     must answer every lookup exactly like an index freshly built on the
+     final relation;
+   - [Facts] stores extended through [add]/[add_set] must answer [lookup]
+     like a store built in one shot;
+   - relations built from interned values ([Value.str]) must be
+     [Relation.equal] to the same relations built from raw [Value.Str]
+     constructors, and interning must preserve compare/equal/hash.
+
+   Each generator is driven by a fixed-seed [Random.State], so failures
+   reproduce. *)
+
+open Dc_relation
+module Facts = Dc_datalog.Facts
+
+let tuple_list_testable =
+  let pp ppf ts = Fmt.pf ppf "[%a]" (Fmt.list ~sep:Fmt.comma Tuple.pp) ts
+  and eq a b = List.equal Tuple.equal a b in
+  Alcotest.testable pp eq
+
+let sorted ts = List.sort Tuple.compare ts
+
+(* A random relation of random arity 1-4 over small int/str domains, with
+   enough collisions that index buckets hold several tuples. *)
+let random_relation rng =
+  let arity = 1 + Random.State.int rng 4 in
+  let attrs =
+    List.init arity (fun i ->
+        (Printf.sprintf "a%d" i,
+         if Random.State.bool rng then Value.TInt else Value.TStr))
+  in
+  let schema = Schema.make attrs in
+  let cell ty =
+    match ty with
+    | Value.TInt -> Value.Int (Random.State.int rng 12)
+    | _ -> Value.str (Printf.sprintf "v%d" (Random.State.int rng 12))
+  in
+  let n = Random.State.int rng 80 in
+  let tuples =
+    List.init n (fun _ ->
+        Tuple.of_list (List.map (fun (_, ty) -> cell ty) attrs))
+  in
+  List.fold_left
+    (fun r t -> if Relation.mem t r then r else Relation.add t r)
+    (Relation.empty schema) tuples
+
+let random_positions rng arity =
+  List.filter (fun _ -> Random.State.bool rng) (List.init arity Fun.id)
+
+(* Split a relation into a chain of growing prefixes r0 ⊆ r1 ⊆ ... ⊆ r. *)
+let random_batches rng rel =
+  let ts = Relation.to_list rel in
+  let batches = ref [] and current = ref [] in
+  List.iter
+    (fun t ->
+      current := t :: !current;
+      if Random.State.int rng 4 = 0 then begin
+        batches := List.rev !current :: !batches;
+        current := []
+      end)
+    ts;
+  if !current <> [] then batches := List.rev !current :: !batches;
+  List.rev !batches
+
+let check_same_lookups ~what fresh_rel positions lookup_incremental =
+  let fresh = Index.build positions fresh_rel in
+  (* every present key image, plus a key that is absent *)
+  Relation.iter
+    (fun t ->
+      let key = Tuple.project t positions in
+      Alcotest.check tuple_list_testable what
+        (sorted (Index.lookup fresh key))
+        (sorted (lookup_incremental key)))
+    fresh_rel;
+  let absent = Tuple.make1 (Value.Int max_int) in
+  let absent =
+    if List.length positions = 1 then absent
+    else
+      Tuple.of_list
+        (List.init (List.length positions) (fun _ -> Value.Int max_int))
+  in
+  Alcotest.check tuple_list_testable (what ^ " absent key")
+    (sorted (Index.lookup fresh absent))
+    (sorted (lookup_incremental absent))
+
+(* Oracle 1: Index.create + extend batch-by-batch = Index.build on the
+   final relation. *)
+let test_index_extend_oracle () =
+  let rng = Random.State.make [| 0x5eed; 1 |] in
+  for _ = 1 to 60 do
+    let rel = random_relation rng in
+    let arity = List.length (Schema.attr_names (Relation.schema rel)) in
+    let positions = random_positions rng arity in
+    let idx = Index.create positions in
+    List.iter
+      (fun batch -> List.iter (Index.add idx) batch)
+      (random_batches rng rel);
+    check_same_lookups ~what:"extend = build" rel positions
+      (Index.lookup idx)
+  done
+
+(* Oracle 2: an index advanced through Index_cache along a chain of
+   monotonically growing relations = one built fresh on the last link. *)
+let test_index_cache_advance_oracle () =
+  let rng = Random.State.make [| 0x5eed; 2 |] in
+  for _ = 1 to 60 do
+    let rel = random_relation rng in
+    let schema = Relation.schema rel in
+    let arity = List.length (Schema.attr_names schema) in
+    let positions = random_positions rng arity in
+    let cache = Index_cache.create () in
+    let grown =
+      List.fold_left
+        (fun prev batch ->
+          (* probe the cache at every link so entries stay warm, exactly
+             like a fixpoint round touching its access paths *)
+          ignore (Index_cache.get cache positions prev);
+          let delta = Relation.of_list schema batch in
+          let next = Relation.union prev delta in
+          Index_cache.advance cache ~old_rel:prev
+            ~delta:(Relation.diff delta prev) ~next;
+          next)
+        (Relation.empty schema) (random_batches rng rel)
+    in
+    Alcotest.check Alcotest.bool "chain rebuilt the input" true
+      (Relation.equal grown rel);
+    let idx = Index_cache.get cache positions grown in
+    check_same_lookups ~what:"advance = build" rel positions
+      (Index.lookup idx)
+  done
+
+(* Oracle 3: Facts stores grown with add/add_set answer lookups like a
+   store built in one shot (both the owning tip and stale snapshots). *)
+let test_facts_incremental_oracle () =
+  let rng = Random.State.make [| 0x5eed; 3 |] in
+  for _ = 1 to 40 do
+    let rel = random_relation rng in
+    let arity = List.length (Schema.attr_names (Relation.schema rel)) in
+    let positions = random_positions rng arity in
+    let batches = random_batches rng rel in
+    let snapshots, tip =
+      List.fold_left
+        (fun (snaps, store) batch ->
+          let store' =
+            if Random.State.bool rng then
+              Facts.add_set store "p" (Facts.TS.of_list batch)
+            else List.fold_left (fun s t -> Facts.add s "p" t) store batch
+          in
+          (store' :: snaps, store'))
+        ([], Facts.empty ()) batches
+    in
+    let oneshot =
+      Facts.add_set (Facts.empty ()) "p"
+        (Facts.TS.of_list (Relation.to_list rel))
+    in
+    let check oracle store t =
+      let key = Tuple.project t positions in
+      Alcotest.check tuple_list_testable "facts incremental = oneshot"
+        (sorted (Facts.lookup oracle "p" positions key))
+        (sorted (Facts.lookup store "p" positions key))
+    in
+    Relation.iter (check oneshot tip) rel;
+    (* a stale snapshot answers for its own (smaller) contents *)
+    match snapshots with
+    | [] -> ()
+    | _ :: _ ->
+      let stale =
+        List.nth snapshots (Random.State.int rng (List.length snapshots))
+      in
+      let stale_oneshot =
+        Facts.add_set (Facts.empty ()) "p" (Facts.find stale "p")
+      in
+      Facts.TS.iter (check stale_oneshot stale) (Facts.find stale "p")
+  done
+
+(* Oracle 4: interned construction is observationally equal to raw
+   construction. Strings are built at runtime so physical equality cannot
+   hold by accident. *)
+let test_intern_relation_oracle () =
+  let rng = Random.State.make [| 0x5eed; 4 |] in
+  let schema = Schema.make [ ("src", Value.TStr); ("dst", Value.TStr) ] in
+  for _ = 1 to 100 do
+    let n = 1 + Random.State.int rng 40 in
+    let pairs =
+      List.init n (fun _ ->
+          (Random.State.int rng 15, Random.State.int rng 15))
+    in
+    let name i = "n" ^ string_of_int i in
+    let interned =
+      Relation.of_list schema
+        (List.filter_map
+           (fun (a, b) ->
+             let t = Tuple.make2 (Value.str (name a)) (Value.str (name b)) in
+             Some t)
+           pairs
+        |> List.sort_uniq Tuple.compare)
+    in
+    let raw =
+      Relation.of_list schema
+        (List.map
+           (fun (a, b) ->
+             Tuple.make2 (Value.Str (name a)) (Value.Str (name b)))
+           pairs
+        |> List.sort_uniq Tuple.compare)
+    in
+    Alcotest.check Alcotest.bool "interned = raw construction" true
+      (Relation.equal interned raw);
+    Alcotest.check Alcotest.bool "raw = interned construction" true
+      (Relation.equal raw interned)
+  done
+
+(* Value-level laws under interning: compare/equal agree with the raw
+   representation, equal values hash identically, [intern] is idempotent. *)
+let test_intern_value_laws () =
+  let rng = Random.State.make [| 0x5eed; 5 |] in
+  for _ = 1 to 200 do
+    let s1 = "k" ^ string_of_int (Random.State.int rng 30) in
+    let s2 = "k" ^ string_of_int (Random.State.int rng 30) in
+    let raw1 = Value.Str s1 and raw2 = Value.Str s2 in
+    let int1 = Value.str s1 and int2 = Value.str s2 in
+    Alcotest.check Alcotest.int "compare agrees"
+      (compare (Value.compare raw1 raw2) 0)
+      (compare (Value.compare int1 int2) 0);
+    Alcotest.check Alcotest.bool "equal agrees"
+      (Value.equal raw1 raw2) (Value.equal int1 int2);
+    Alcotest.check Alcotest.bool "mixed equal agrees"
+      (Value.equal raw1 raw2) (Value.equal raw1 int2);
+    if Value.equal raw1 int1 then
+      Alcotest.check Alcotest.int "equal values hash equal"
+        (Value.hash raw1) (Value.hash int1);
+    Alcotest.check Alcotest.bool "intern idempotent" true
+      (Value.intern int1 == int1)
+  done
+
+let () =
+  Alcotest.run "kernel"
+    [
+      ( "oracle",
+        [
+          Alcotest.test_case "index extend = fresh build" `Quick
+            test_index_extend_oracle;
+          Alcotest.test_case "index-cache advance = fresh build" `Quick
+            test_index_cache_advance_oracle;
+          Alcotest.test_case "facts incremental = one-shot" `Quick
+            test_facts_incremental_oracle;
+          Alcotest.test_case "interned relations = raw relations" `Quick
+            test_intern_relation_oracle;
+          Alcotest.test_case "value laws under interning" `Quick
+            test_intern_value_laws;
+        ] );
+    ]
