@@ -6,12 +6,17 @@
    selector and constructor application so that [Dc_core] can install the
    fixpoint semantics without a dependency cycle.
 
-   Join scheduling: for each branch we take the binders in program order;
-   every top-level conjunct of the WHERE formula is attached to the first
-   binder position at which all its tuple variables are bound.  Conjuncts of
-   shape [v.a = t] (with [t] closed under earlier binders) become hash-index
-   keys for binder [v]; everything else becomes a filter at its position.
-   Uncorrelated binder ranges are evaluated and indexed once per branch. *)
+   Branch evaluation is a *lowering* onto the shared physical operator IR
+   ({!Dc_exec.Ir}): binders become scans / keyed probes, WHERE conjuncts
+   become index keys or filter operators at the earliest position where
+   they are closed, and the resulting pipeline runs on the one executor
+   all engines share.  The row threaded through the pipeline is the
+   environment itself, so terms and formulas evaluate unchanged.  Join
+   order is delegated to the IR-level rewrite ({!Dc_exec.Join_order}):
+   keyed probes first, then smallest pre-evaluated range — which in a
+   semi-naive fixpoint round turns "scan the base, probe the delta" into
+   "scan the delta, probe the base", with the probed indexes staying warm
+   in [env.icache] across rounds. *)
 
 open Dc_relation
 open Ast
@@ -34,6 +39,7 @@ type env = {
   scalars : Value.t SM.t;
   hooks : hooks;
   icache : Index_cache.t;
+  trace : Dc_exec.Ir.trace option;
 }
 
 and hooks = {
@@ -53,7 +59,7 @@ let no_hooks =
       (fun _ _ def _ -> runtime_error "no semantics for constructor %s" def.Defs.con_name);
   }
 
-let make_env ?(vars = []) ?(scalars = []) ?(hooks = no_hooks) rels =
+let make_env ?(vars = []) ?(scalars = []) ?(hooks = no_hooks) ?trace rels =
   {
     rels = SM.of_seq (List.to_seq rels);
     vars =
@@ -63,7 +69,10 @@ let make_env ?(vars = []) ?(scalars = []) ?(hooks = no_hooks) rels =
     scalars = SM.of_seq (List.to_seq scalars);
     hooks;
     icache = Index_cache.create ();
+    trace;
   }
+
+let with_trace env trace = { env with trace = Some trace }
 
 let bind_rel env name rel = { env with rels = SM.add name rel env.rels }
 
@@ -239,15 +248,17 @@ and eval_comp ?schema env branches =
         eval_branch env b ~emit:(fun acc t -> Relation.add_unchecked t acc) acc)
       (Relation.empty schema) branches
 
-(* Evaluate one branch, folding [emit] over the produced tuples. *)
-and eval_branch : 'a. env -> branch -> emit:('a -> Tuple.t -> 'a) -> 'a -> 'a =
-  fun env { binders; target; where } ~emit acc ->
+(* Lower one branch onto the operator IR (no execution): binders become
+   scan/probe operators in the order the shared {!Dc_exec.Join_order}
+   rewrite picks, WHERE conjuncts become index keys or filter operators at
+   the earliest closed position.  Uncorrelated ranges are evaluated once,
+   here, and wrapped as fixed extents over [env.icache]-backed indexes;
+   correlated ranges become correlated scans re-evaluated per outer row. *)
+and lower_branch env { binders; target; where } =
+  let module Ir = Dc_exec.Ir in
   let conjs = conjuncts where in
   (* Variables already bound in the enclosing env count as position 0. *)
   let outer = SM.fold (fun v _ s -> Vars.S.add v s) env.vars Vars.S.empty in
-  (* Assign each conjunct to the earliest binder index after which it is
-     closed; conjuncts closed by the outer env alone are checked first. *)
-  let binder_vars = List.map fst binders in
   let position_of_conj binder_vars f =
     let fv = Vars.free_vars_formula f in
     let needed = Vars.S.diff fv outer in
@@ -258,119 +269,221 @@ and eval_branch : 'a. env -> branch -> emit:('a -> Tuple.t -> 'a) -> 'a -> 'a =
     in
     last_index 0 (-1) binder_vars
   in
+  let binder_vars = List.map fst binders in
+  (* Join reorder (IR rewrite rule): keyed probes first, then the smallest
+     pre-evaluated range; ranges mentioning earlier binders impose
+     dependencies.  Pre-evaluation of closed ranges happens once here (it
+     was due anyway) and doubles as the cardinality estimate. *)
+  let binder_arr = Array.of_list binders in
+  let evaled =
+    Array.map
+      (fun (_, r) ->
+        if Vars.S.subset (Vars.free_vars_range r) outer then
+          Some (eval_range env r)
+        else None)
+      binder_arr
+  in
+  let order =
+    if Array.length binder_arr <= 1 then
+      List.init (Array.length binder_arr) Fun.id
+    else begin
+      let var_pos = List.mapi (fun i v -> (v, i)) binder_vars in
+      let key_conjs =
+        (* (binder var, term that must be closed) per equality conjunct *)
+        List.filter_map
+          (function
+            | Cmp (Eq, Field (v, _), t) when List.mem_assoc v var_pos ->
+              Some (v, t)
+            | Cmp (Eq, t, Field (v, _)) when List.mem_assoc v var_pos ->
+              Some (v, t)
+            | _ -> None)
+          conjs
+      in
+      let candidates =
+        Array.to_list
+          (Array.mapi
+             (fun i (v, r) ->
+               let deps =
+                 Vars.S.fold
+                   (fun fv deps ->
+                     match List.assoc_opt fv var_pos with
+                     | Some j when j <> i -> j :: deps
+                     | _ -> deps)
+                   (Vars.free_vars_range r) []
+               in
+               let card =
+                 Option.map Relation.cardinal evaled.(i)
+               in
+               let keys_given placed =
+                 let bound =
+                   List.fold_left
+                     (fun s j -> Vars.S.add (fst binder_arr.(j)) s)
+                     outer placed
+                 in
+                 List.length
+                   (List.filter
+                      (fun (v', t) ->
+                        v' = v
+                        && Vars.S.subset (Vars.free_vars_term t) bound)
+                      key_conjs)
+               in
+               { Dc_exec.Join_order.deps; card; keys_given })
+             binder_arr)
+      in
+      Dc_exec.Join_order.order candidates
+    end
+  in
+  let binders = List.map (fun i -> binder_arr.(i)) order in
+  let evaled = List.map (fun i -> evaled.(i)) order in
+  let binder_vars = List.map fst binders in
   let tagged = List.map (fun f -> (position_of_conj binder_vars f, f)) conjs in
-  let pre = List.filter_map (fun (i, f) -> if i < 0 then Some f else None) tagged in
-  if not (List.for_all (eval_formula env) pre) then acc
-  else begin
-    (* Join reorder: when every binder range is closed under the outer env
-       (no binder range mentions another binder's variable), the branch is
-       a filtered cross product and binder order is semantically free.
-       Pre-evaluate the ranges and scan the smallest relation first — the
-       larger ones then become index probes, and their (stable) indexes
-       stay warm in [env.icache] across fixpoint rounds.  In a semi-naive
-       round this turns "scan the base, probe the delta" into "scan the
-       delta, probe the base". *)
-    let binders, binder_vars, tagged, pre_evaled =
-      let closed (_, r) = Vars.S.subset (Vars.free_vars_range r) outer in
-      if List.length binders > 1 && List.for_all closed binders then begin
-        let evaled =
-          List.map (fun (v, r) -> (v, r, eval_range env r)) binders
+  let bound_before i =
+    List.filteri (fun j _ -> j < i) binder_vars
+    |> List.fold_left (fun s v -> Vars.S.add v s) outer
+  in
+  (* Build the pipeline bottom-up; the row is the environment itself. *)
+  let schemas_so_far = ref [] in
+  let add_filters filters node =
+    List.fold_left
+      (fun node f ->
+        Ir.filter
+          ~label:(lazy (Fmt.str "%a" Ast.pp_formula f))
+          ~pred:(fun env -> eval_formula env f)
+          node)
+      node filters
+  in
+  let node =
+    List.fold_left
+      (fun (i, node) ((v, range), pre_rel) ->
+        let here =
+          List.filter_map (fun (j, f) -> if j = i then Some f else None) tagged
         in
-        let by_card =
-          List.stable_sort
-            (fun (_, _, a) (_, _, b) ->
-              Int.compare (Relation.cardinal a) (Relation.cardinal b))
-            evaled
+        let closed_term t =
+          Vars.S.subset (Vars.free_vars_term t) (bound_before i)
         in
-        let binders = List.map (fun (v, r, _) -> (v, r)) by_card in
-        let binder_vars = List.map fst binders in
-        let tagged = List.map (fun f -> (position_of_conj binder_vars f, f)) conjs in
-        (binders, binder_vars, tagged,
-         List.map (fun (_, _, rel) -> Some rel) by_card)
-      end
-      else (binders, binder_vars, tagged, List.map (fun _ -> None) binders)
-    in
-    (* Per-binder plan: index keys + residual filters. *)
-    let bound_before i =
-      List.filteri (fun j _ -> j < i) binder_vars
-      |> List.fold_left (fun s v -> Vars.S.add v s) outer
-    in
-    let plan_for i (v, range) =
-      let here = List.filter_map (fun (j, f) -> if j = i then Some f else None) tagged in
-      let closed_term t = Vars.S.subset (Vars.free_vars_term t) (bound_before i) in
-      let keys, filters =
-        List.partition_map
-          (fun f ->
-            match f with
-            | Cmp (Eq, Field (v', a), t) when v' = v && closed_term t ->
-              Either.Left (a, t)
-            | Cmp (Eq, t, Field (v', a)) when v' = v && closed_term t ->
-              Either.Left (a, t)
-            | _ -> Either.Right f)
-          here
-      in
-      let correlated =
-        not (Vars.S.subset (Vars.free_vars_range range) outer)
-      in
-      (v, range, correlated, keys, filters)
-    in
-    let plans = List.mapi plan_for binders in
-    (* Pre-evaluate and index uncorrelated ranges. *)
-    let prepared =
-      List.map2
-        (fun (v, range, correlated, keys, filters) pre ->
-          if correlated then `Correlated (v, range, keys, filters)
+        let keys, filters =
+          List.partition_map
+            (fun f ->
+              match f with
+              | Cmp (Eq, Field (v', a), t) when v' = v && closed_term t ->
+                Either.Left (a, t)
+              | Cmp (Eq, t, Field (v', a)) when v' = v && closed_term t ->
+                Either.Left (a, t)
+              | _ -> Either.Right f)
+            here
+        in
+        let correlated =
+          not (Vars.S.subset (Vars.free_vars_range range) outer)
+        in
+        let node =
+          if correlated then begin
+            (* Key conjuncts degrade to filters on a correlated range. *)
+            let schema = range_schema env !schemas_so_far range in
+            schemas_so_far := (v, schema) :: !schemas_so_far;
+            let filters =
+              List.map (fun (a, t) -> Cmp (Eq, Field (v, a), t)) keys @ filters
+            in
+            let gen env =
+              Dc_exec.Extent.of_relation ~label:v ~cache:env.icache
+                (eval_range env range)
+            in
+            let bind env t = Some (bind_var env v t schema) in
+            add_filters filters
+              (Ir.correlated_scan
+                 ~label:(lazy (v ^ " IN ..."))
+                 ~gen ~bind node)
+          end
           else begin
             let rel =
-              match pre with Some r -> r | None -> eval_range env range
+              match pre_rel with
+              | Some r -> r
+              | None -> eval_range env range
             in
             let schema = Relation.schema rel in
-            match keys with
-            | [] -> `Scan (v, rel, schema, filters)
-            | _ ->
-              let positions =
-                List.map (fun (a, _) -> Schema.attr_index schema a) keys
-              in
-              let idx = Index_cache.get env.icache positions rel in
-              let key_terms = List.map snd keys in
-              `Indexed (v, schema, idx, key_terms, filters)
-          end)
-        plans pre_evaled
-    in
-    let rec go env acc = function
-      | [] ->
-        let t =
-          match target with
-          | [] -> (
-            match binders with
-            | [ (v, _) ] -> (SM.find v env.vars).b_tuple
-            | _ -> runtime_error "identity branch must have exactly one binder")
-          | ts -> Tuple.of_list (List.map (eval_term env) ts)
+            schemas_so_far := (v, schema) :: !schemas_so_far;
+            let src_label =
+              match range with
+              | Rel n -> n
+              | _ -> "<computed>"
+            in
+            let ext =
+              Dc_exec.Extent.of_relation ~label:src_label ~cache:env.icache
+                rel
+            in
+            let bind env t = Some (bind_var env v t schema) in
+            let node =
+              match keys with
+              | [] ->
+                Ir.scan
+                  ~label:(lazy (v ^ " IN " ^ src_label))
+                  ~src:(Ir.Fixed ext) ~bind node
+              | _ ->
+                let positions =
+                  List.map (fun (a, _) -> Schema.attr_index schema a) keys
+                in
+                let key_terms = List.map snd keys in
+                let key env = List.map (eval_term env) key_terms in
+                Ir.lookup
+                  ~label:
+                    (lazy
+                      (Fmt.str "%s IN %s on (%s)" v src_label
+                         (String.concat ", " (List.map fst keys))))
+                  ~src:(Ir.Fixed ext) ~positions ~key ~bind node
+            in
+            add_filters filters node
+          end
         in
-        emit acc t
-      | step :: rest -> (
-        let try_tuple schema filters v acc t =
-          let env' = bind_var env v t schema in
-          if List.for_all (eval_formula env') filters then go env' acc rest
-          else acc
-        in
-        match step with
-        | `Scan (v, rel, schema, filters) ->
-          Relation.fold (fun t acc -> try_tuple schema filters v acc t) rel acc
-        | `Indexed (v, schema, idx, key_terms, filters) ->
-          let key = List.map (eval_term env) key_terms in
-          List.fold_left (try_tuple schema filters v) acc
-            (Index.lookup_values idx key)
-        | `Correlated (v, range, keys, filters) ->
-          (* Key conjuncts degrade to filters on a correlated range. *)
-          let rel = eval_range env range in
-          let schema = Relation.schema rel in
-          let filters =
-            List.map (fun (a, t) -> Cmp (Eq, Field (v, a), t)) keys @ filters
-          in
-          Relation.fold (fun t acc -> try_tuple schema filters v acc t) rel acc)
-    in
-    go env acc prepared
+        (i + 1, node))
+      (0, Ir.seed ())
+      (List.combine binders evaled)
+    |> snd
+  in
+  let tuple =
+    match target with
+    | [] -> (
+      match binders with
+      | [ (v, _) ] -> fun env -> (SM.find v env.vars).b_tuple
+      | _ -> runtime_error "identity branch must have exactly one binder")
+    | ts -> fun env -> Tuple.of_list (List.map (eval_term env) ts)
+  in
+  let label =
+    lazy
+      (match target with
+      | [] -> Fmt.str "[%s]" (String.concat ", " binder_vars)
+      | ts ->
+        Fmt.str "<%s>"
+          (String.concat ", "
+             (List.map (fun t -> Fmt.str "%a" Ast.pp_term t) ts)))
+  in
+  Ir.project ~label ~init:(fun () -> env) ~tuple node
+
+(* Evaluate one branch, folding [emit] over the produced tuples.
+   Conjuncts closed by the outer env alone gate the whole branch before
+   any range is evaluated or lowered. *)
+and eval_branch : 'a. env -> branch -> emit:('a -> Tuple.t -> 'a) -> 'a -> 'a =
+  fun env branch ~emit acc ->
+  let module Ir = Dc_exec.Ir in
+  let outer = SM.fold (fun v _ s -> Vars.S.add v s) env.vars Vars.S.empty in
+  let binder_vars = List.map fst branch.binders in
+  let pre =
+    (* conjuncts needing no binder variable (same rule as the lowering's
+       position assignment, which puts them at position -1) *)
+    List.filter
+      (fun f ->
+        let needed = Vars.S.diff (Vars.free_vars_formula f) outer in
+        not (List.exists (fun v -> Vars.S.mem v needed) binder_vars))
+      (conjuncts branch.where)
+  in
+  if not (List.for_all (eval_formula env) pre) then acc
+  else begin
+    let pipeline = lower_branch env branch in
+    (match env.trace with
+    | Some tr ->
+      Ir.Trace.record tr ~label:(Lazy.force pipeline.Ir.tlabel) pipeline
+    | None -> ());
+    let acc = ref acc in
+    Ir.run Ir.empty_ctx pipeline (fun t -> acc := emit !acc t);
+    !acc
   end
 
 (* Convenience: evaluate a query range to a relation. *)

@@ -37,6 +37,9 @@ type env = {
   icache : Index_cache.t;
       (** per-evaluation index cache, keyed on relation identity +
           positions; fixpoint drivers advance it with per-round deltas *)
+  trace : Dc_exec.Ir.trace option;
+      (** when set, every lowered physical pipeline is recorded here with
+          its post-run operator counters (EXPLAIN) *)
 }
 
 and hooks = {
@@ -55,8 +58,12 @@ val make_env :
   ?vars:(Ast.var * Tuple.t * Schema.t) list ->
   ?scalars:(string * Value.t) list ->
   ?hooks:hooks ->
+  ?trace:Dc_exec.Ir.trace ->
   (string * Relation.t) list ->
   env
+
+val with_trace : env -> Dc_exec.Ir.trace -> env
+(** Enable pipeline tracing on an existing environment. *)
 
 val bind_rel : env -> string -> Relation.t -> env
 val bind_var : env -> Ast.var -> Tuple.t -> Schema.t -> env

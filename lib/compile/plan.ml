@@ -103,46 +103,51 @@ and branch_schema _cenv (b : branch) binder_schemas =
     in
     Schema.make (List.mapi attr ts)
 
-(* Greedy binder reordering: prefer, at each position, the binder with the
+(* Binder reordering: delegated to the shared IR-level rewrite rule
+   ({!Dc_exec.Join_order}) — prefer, at each position, the binder with the
    most equality conjuncts usable as index keys given what is already
-   bound (constants first, then join keys), respecting the dependency
-   order correlated ranges impose.  Conjunctive WHERE semantics is
-   order-independent, so this is always sound. *)
+   bound (cardinalities are unknown at compile time, so the key count
+   decides alone), respecting the dependency order correlated ranges
+   impose.  Conjunctive WHERE semantics is order-independent, so this is
+   always sound. *)
 and reorder_binders cenv (b : branch) =
-  let conjs = conjuncts b.where in
-  let rec pick chosen_rev bound remaining =
-    match remaining with
-    | [] -> List.rev chosen_rev
-    | _ ->
-      let eligible =
-        List.filter
-          (fun (_, range) ->
-            Vars.S.subset (Vars.free_vars_range range) bound)
-          remaining
-      in
-      let candidates = if eligible = [] then remaining else eligible in
-      let score (v, _) =
-        List.length
-          (List.filter
-             (fun f ->
-               match f with
-               | Cmp (Eq, Field (v', _), t) | Cmp (Eq, t, Field (v', _)) ->
-                 v' = v && Vars.S.subset (Vars.free_vars_term t) bound
-               | _ -> false)
-             conjs)
-      in
-      let best =
-        List.fold_left
-          (fun acc c -> if score c > score acc then c else acc)
-          (List.hd candidates) (List.tl candidates)
-      in
-      pick (best :: chosen_rev)
-        (Vars.S.add (fst best) bound)
-        (List.filter (fun (v, _) -> v <> fst best) remaining)
-  in
   match b.binders with
   | [] | [ _ ] -> b
-  | binders -> { b with binders = pick [] cenv.bound binders }
+  | binders ->
+    let conjs = conjuncts b.where in
+    let arr = Array.of_list binders in
+    let var_pos = List.mapi (fun i (v, _) -> (v, i)) binders in
+    let candidates =
+      List.mapi
+        (fun i (v, range) ->
+          let deps =
+            Vars.S.fold
+              (fun fv deps ->
+                match List.assoc_opt fv var_pos with
+                | Some j when j <> i -> j :: deps
+                | _ -> deps)
+              (Vars.free_vars_range range) []
+          in
+          let keys_given placed =
+            let bound =
+              List.fold_left
+                (fun s j -> Vars.S.add (fst arr.(j)) s)
+                cenv.bound placed
+            in
+            List.length
+              (List.filter
+                 (fun f ->
+                   match f with
+                   | Cmp (Eq, Field (v', _), t) | Cmp (Eq, t, Field (v', _)) ->
+                     v' = v && Vars.S.subset (Vars.free_vars_term t) bound
+                   | _ -> false)
+                 conjs)
+          in
+          { Dc_exec.Join_order.deps; card = None; keys_given })
+        binders
+    in
+    let order = Dc_exec.Join_order.order candidates in
+    { b with binders = List.map (fun i -> arr.(i)) order }
 
 and compile_branch cenv (b : branch) =
   let b = if b.target = [] then b else reorder_binders cenv b in
@@ -249,96 +254,152 @@ let of_range ~schema_of_rel (range : Ast.range) =
   | r -> not_compilable "unresolved application in %a" Ast.pp_range r
 
 (* ------------------------------------------------------------------ *)
-(* Execution *)
+(* Execution: lower the plan onto the shared operator IR and run it on
+   the one physical executor.  A [Plan.t] is thereby a thin, printable
+   wrapper over IR construction — the compile-time record of decisions,
+   with the runtime shared with the calculus evaluator and the Datalog
+   engines. *)
+
+module Ir = Dc_exec.Ir
 
 (* [use_indexes = false] forces full scans (the E11 ablation: what the
    paper's range-nested evaluation buys over tuple-wise filtering). *)
-let run ?(use_indexes = true) env (plan : t) =
-  let rec run_plan env (plan : t) =
-    List.fold_left
-      (fun acc bp -> run_branch env bp acc)
-      (Relation.empty plan.p_schema)
-      plan.p_branches
-  and source_rel env = function
-    | Src_rel n -> Eval.lookup_rel env n
-    | Src_comp p -> run_plan env p
-  and run_branch env (bp : branch_plan) acc =
-    if not (List.for_all (Eval.eval_formula env) bp.bp_prefilters) then acc
-    else begin
-      (* pre-evaluate uncorrelated sources and build their indexes once *)
-      let prepared =
-        List.map
-          (fun step ->
-            if step.s_correlated then `Correlated step
-            else
-            let rel = source_rel env step.s_source in
-            let schema = Relation.schema rel in
-            match step.s_access with
-            | Index_lookup keys when use_indexes ->
-              let positions =
-                List.map (fun (a, _) -> Schema.attr_index schema a) keys
-              in
-              `Indexed
-                ( step,
-                  schema,
-                  Index_cache.get env.Eval.icache positions rel,
-                  List.map snd keys )
-            | Index_lookup keys ->
-              (* ablation: evaluate keys as per-tuple filters *)
-              let filters =
-                List.map (fun (a, t) -> Cmp (Eq, Field (step.s_var, a), t)) keys
-              in
-              `Scan ({ step with s_filters = filters @ step.s_filters }, schema, rel)
-            | Full_scan -> `Scan (step, schema, rel))
-          bp.bp_steps
-      in
-      let rec go env acc = function
-        | [] ->
-          let t =
-            match bp.bp_target with
-            | [] -> (
-              match bp.bp_steps with
-              | [ step ] -> (
-                match Eval.SM.find_opt step.s_var env.Eval.vars with
-                | Some b -> b.Eval.b_tuple
-                | None -> assert false)
-              | _ -> assert false)
-            | ts -> Tuple.of_list (List.map (Eval.eval_term env) ts)
-          in
-          Relation.add_unchecked t acc
-        | `Scan (step, schema, rel) :: rest ->
-          Relation.fold
-            (fun t acc ->
-              let env' = Eval.bind_var env step.s_var t schema in
-              if List.for_all (Eval.eval_formula env') step.s_filters then
-                go env' acc rest
-              else acc)
-            rel acc
-        | `Correlated step :: rest ->
-          let rel = source_rel env step.s_source in
-          let schema = Relation.schema rel in
-          Relation.fold
-            (fun t acc ->
-              let env' = Eval.bind_var env step.s_var t schema in
-              if List.for_all (Eval.eval_formula env') step.s_filters then
-                go env' acc rest
-              else acc)
-            rel acc
-        | `Indexed (step, schema, idx, key_terms) :: rest ->
-          let key = List.map (Eval.eval_term env) key_terms in
-          List.fold_left
-            (fun acc t ->
-              let env' = Eval.bind_var env step.s_var t schema in
-              if List.for_all (Eval.eval_formula env') step.s_filters then
-                go env' acc rest
-              else acc)
-            acc
-            (Index.lookup_values idx key)
-      in
-      go env acc prepared
-    end
+let rec lower ~use_indexes env (plan : t) : Ir.t =
+  let static_schema env = function
+    | Src_rel n -> Relation.schema (Eval.lookup_rel env n)
+    | Src_comp p -> p.p_schema
   in
-  run_plan env plan
+  let lower_branch (bp : branch_plan) : Ir.t =
+    let fmt_formula f = Fmt.str "%a" Ast.pp_formula f in
+    let add_filters filters node =
+      List.fold_left
+        (fun node f ->
+          Ir.filter ~label:(lazy (fmt_formula f))
+            ~pred:(fun env -> Eval.eval_formula env f)
+            node)
+        node filters
+    in
+    (* branch prefilters gate the whole pipeline: a filter on the seed.
+       They are closed before any binding, so they are also decidable at
+       lowering time — a dead branch skips source evaluation entirely. *)
+    let node = add_filters bp.bp_prefilters (Ir.seed ()) in
+    if not (List.for_all (Eval.eval_formula env) bp.bp_prefilters) then
+      Ir.project ~label:(lazy "<dead branch>") ~init:(fun () -> env)
+        ~tuple:(fun _ -> assert false)
+        node
+    else
+    let node =
+      List.fold_left
+        (fun node step ->
+          if step.s_correlated then
+            let schema = static_schema env step.s_source in
+            let gen env =
+              Dc_exec.Extent.of_relation ~label:step.s_var
+                ~cache:env.Eval.icache
+                (source_rel ~use_indexes env step.s_source)
+            in
+            let bind env t =
+              Some (Eval.bind_var env step.s_var t schema)
+            in
+            add_filters step.s_filters
+              (Ir.correlated_scan
+                 ~label:(lazy (Fmt.str "%s IN ..." step.s_var))
+                 ~gen ~bind node)
+          else begin
+            let rel = source_rel ~use_indexes env step.s_source in
+            let schema = Relation.schema rel in
+            let src_label =
+              match step.s_source with
+              | Src_rel n -> n
+              | Src_comp _ -> "<subquery>"
+            in
+            let ext =
+              Dc_exec.Extent.of_relation ~label:src_label
+                ~cache:env.Eval.icache rel
+            in
+            let bind env t = Some (Eval.bind_var env step.s_var t schema) in
+            let node =
+              match step.s_access with
+              | Index_lookup keys when use_indexes ->
+                let positions =
+                  List.map (fun (a, _) -> Schema.attr_index schema a) keys
+                in
+                let key_terms = List.map snd keys in
+                let key env = List.map (Eval.eval_term env) key_terms in
+                Ir.lookup
+                  ~label:
+                    (lazy
+                      (Fmt.str "%s IN %s on (%s)" step.s_var src_label
+                         (String.concat ", " (List.map fst keys))))
+                  ~src:(Ir.Fixed ext) ~positions ~key ~bind node
+              | Index_lookup keys ->
+                (* ablation: evaluate keys as per-tuple filters *)
+                let filters =
+                  List.map
+                    (fun (a, t) -> Cmp (Eq, Field (step.s_var, a), t))
+                    keys
+                in
+                add_filters filters
+                  (Ir.scan
+                     ~label:(lazy (Fmt.str "%s IN %s" step.s_var src_label))
+                     ~src:(Ir.Fixed ext) ~bind node)
+              | Full_scan ->
+                Ir.scan
+                  ~label:(lazy (Fmt.str "%s IN %s" step.s_var src_label))
+                  ~src:(Ir.Fixed ext) ~bind node
+            in
+            add_filters step.s_filters node
+          end)
+        node bp.bp_steps
+    in
+    let tuple =
+      match bp.bp_target with
+      | [] -> (
+        match bp.bp_steps with
+        | [ step ] ->
+          fun env ->
+            (match Eval.SM.find_opt step.s_var env.Eval.vars with
+            | Some b -> b.Eval.b_tuple
+            | None -> assert false)
+        | _ -> assert false)
+      | ts -> fun env -> Tuple.of_list (List.map (Eval.eval_term env) ts)
+    in
+    let label =
+      lazy
+        (match bp.bp_target with
+        | [] ->
+          Fmt.str "[%s]"
+            (String.concat ", " (List.map (fun s -> s.s_var) bp.bp_steps))
+        | ts ->
+          Fmt.str "<%s>"
+            (String.concat ", " (List.map (fun t -> Fmt.str "%a" Ast.pp_term t) ts)))
+    in
+    Ir.project ~label ~init:(fun () -> env) ~tuple node
+  in
+  match List.map lower_branch plan.p_branches with
+  | [ one ] -> one
+  | branches -> Ir.union ~label:(lazy "branches") branches
+
+and source_rel ~use_indexes env = function
+  | Src_rel n -> Eval.lookup_rel env n
+  | Src_comp p -> exec ~use_indexes env p
+
+and exec ~use_indexes env (plan : t) =
+  let pipeline = lower ~use_indexes env plan in
+  let acc = ref (Relation.empty plan.p_schema) in
+  Ir.run Ir.empty_ctx pipeline (fun t -> acc := Relation.add_unchecked t !acc);
+  !acc
+
+(* Public entry: lower, record the pipeline for EXPLAIN when the
+   environment traces, execute. *)
+let run ?(use_indexes = true) env (plan : t) =
+  let pipeline = lower ~use_indexes env plan in
+  (match env.Eval.trace with
+  | Some tr -> Ir.Trace.record tr ~label:"compiled plan" pipeline
+  | None -> ());
+  let acc = ref (Relation.empty plan.p_schema) in
+  Ir.run Ir.empty_ctx pipeline (fun t -> acc := Relation.add_unchecked t !acc);
+  !acc
 
 (* ------------------------------------------------------------------ *)
 (* Printing *)

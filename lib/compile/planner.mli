@@ -41,9 +41,16 @@ val plan : Database.t -> Ast.range -> decision
 val edb_for : Database.t -> Dc_datalog.Syntax.program -> Dc_datalog.Facts.t
 (** Collect the EDB relations a translated program references. *)
 
-val execute : ?use_indexes:bool -> Database.t -> decision -> Relation.t
+val execute :
+  ?use_indexes:bool ->
+  ?trace:Dc_exec.Ir.trace ->
+  Database.t ->
+  decision ->
+  Relation.t
 (** Runtime level: run the decision.  [use_indexes:false] forces full
-    scans in compiled plans (the E11 ablation). *)
+    scans in compiled plans (the E11 ablation).  [trace] records every
+    physical pipeline the execution lowers and runs, whatever the method
+    — compiled plan, direct fixpoint, or magic-sets Datalog rounds. *)
 
 val plan_and_execute : Database.t -> Ast.range -> Relation.t
 

@@ -57,6 +57,7 @@ val magic_query :
 
 val run_magic :
   ?stats:Dc_datalog.Seminaive.stats ->
+  ?trace:Dc_exec.Ir.trace ->
   edb:Dc_datalog.Facts.t ->
   schema:Schema.t ->
   Dc_datalog.Syntax.program ->

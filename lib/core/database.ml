@@ -85,8 +85,10 @@ let typecheck_env db =
     ~constructors:(List.map snd (SM.bindings db.constructors))
     (List.map (fun (n, r) -> (n, Relation.schema r)) (SM.bindings db.rels))
 
-(* Evaluation environment with the full constructor/selector semantics. *)
-let eval_env db =
+(* Evaluation environment with the full constructor/selector semantics.
+   [trace], when given, records every physical pipeline the evaluation
+   lowers and runs (EXPLAIN). *)
+let eval_env ?trace db =
   let hooks =
     {
       Eval.selector_def = (fun n -> SM.find_opt n db.selectors);
@@ -103,7 +105,7 @@ let eval_env db =
           value);
     }
   in
-  Eval.make_env ~hooks (SM.bindings db.rels)
+  Eval.make_env ~hooks ?trace (SM.bindings db.rels)
 
 (* ------------------------------------------------------------------ *)
 (* Definitions *)
@@ -152,9 +154,9 @@ let constructor_names db = List.map fst (SM.bindings db.constructors)
 
 let check_query db range = Typecheck.check_query (typecheck_env db) range
 
-let query db range =
+let query ?trace db range =
   check_query db range;
-  Eval.eval_range (eval_env db) range
+  Eval.eval_range (eval_env ?trace db) range
 
 let eval_formula db formula =
   Typecheck.check_formula (typecheck_env db) [] formula;

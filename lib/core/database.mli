@@ -68,14 +68,17 @@ val constructor_names : t -> string list
 (** {1 Environments} *)
 
 val typecheck_env : t -> Typecheck.env
-val eval_env : t -> Eval.env
+
+val eval_env : ?trace:Dc_exec.Ir.trace -> t -> Eval.env
 (** Evaluation environment with selector filtering and constructor
-    fixpoint semantics installed. *)
+    fixpoint semantics installed.  [trace] records every physical
+    pipeline the evaluation lowers and runs (EXPLAIN). *)
 
 (** {1 Queries and assignment} *)
 
 val check_query : t -> Ast.range -> unit
-val query : t -> Ast.range -> Relation.t
+
+val query : ?trace:Dc_exec.Ir.trace -> t -> Ast.range -> Relation.t
 (** Typecheck, then evaluate (constructor applications run to their least
     fixpoint). *)
 

@@ -275,12 +275,21 @@ let key_of_construct st env = function
   | r ->
     Eval.runtime_error "not a constructor application: %a" Ast.pp_range r
 
+(* Scope trace entries to the application under evaluation, so EXPLAIN
+   groups the recorded pipelines per constructor. *)
+let traced (env : Eval.env) (app : app) f =
+  match env.Eval.trace with
+  | Some tr ->
+    Dc_exec.Ir.Trace.scoped tr (Fmt.str "fixpoint %s" app.def.con_name) f
+  | None -> f ()
+
 (* Naive evaluation of one application's whole body. *)
 let eval_full st app =
   let env = with_engine_hooks st app.base_env in
   st.stats.body_evaluations <-
     st.stats.body_evaluations + List.length app.def.con_body;
-  Eval.eval_comp ~schema:app.def.con_result env app.def.con_body
+  traced env app (fun () ->
+      Eval.eval_comp ~schema:app.def.con_result env app.def.con_body)
 
 (* One semi-naive variant: branch [rb] with the construct binder at
    [delta_pos] bound to the delta of its key, the others to full. *)
@@ -305,9 +314,10 @@ let eval_variant st app (rb : rec_branch) delta_pos acc =
   in
   st.stats.body_evaluations <- st.stats.body_evaluations + 1;
   let branch = { rb.rb_branch with binders } in
-  Eval.eval_branch !env branch
-    ~emit:(fun acc t -> Relation.add_unchecked t acc)
-    acc
+  traced !env app (fun () ->
+      Eval.eval_branch !env branch
+        ~emit:(fun acc t -> Relation.add_unchecked t acc)
+        acc)
 
 (* Advance every distinct per-evaluation index cache reachable from the
    registered applications.  The base environments usually all share the

@@ -1,104 +1,116 @@
-(* Shared machinery of the bottom-up engines: substitutions, indexed atom
-   matching, and set-at-a-time rule evaluation.
+(* The Datalog rule compiler: shared machinery of the engines, now a
+   lowering onto the physical operator IR instead of a tuple-at-a-time
+   substitution interpreter.
 
-   Body evaluation is left-to-right over the positive atoms with index
-   lookups on already-bound argument positions; negated atoms and built-in
-   tests fire as soon as their variables are bound (safety guarantees they
-   eventually are). *)
+   One rule body becomes one pipeline: positive atoms compile to scans or
+   keyed probes (argument positions holding constants or already-bound
+   variables form the index key), negated atoms to anti-joins, built-in
+   tests to filters attached at the earliest point their variables are
+   bound.  The row threaded through the pipeline is a [Value.t array] with
+   one slot per rule variable, written in place — the executor's
+   depth-first traversal makes the reuse safe, so a rule evaluation
+   allocates one row per run, not one substitution per binding step.
+
+   Delta-awareness comes from the IR's named sources: an atom occurrence
+   reads "pred" (the full store) or "Δpred" (the round's delta), and the
+   per-round context swaps the stores under an unchanged pipeline — the
+   semi-naive engine rebuilds nothing between rounds. *)
 
 open Dc_relation
 open Syntax
 
-module Subst = Map.Make (String)
+module Ir = Dc_exec.Ir
+module Extent = Dc_exec.Extent
+module Join_order = Dc_exec.Join_order
 
-type subst = Value.t Subst.t
+type row = Value.t array
 
-let term_value subst = function
-  | Const c -> Some c
-  | Var v -> Subst.find_opt v subst
+let dummy = Value.Bool false
 
-(* Extend [subst] by matching [args] against a ground [tuple]. *)
-let match_tuple subst args tuple =
-  let rec loop subst i = function
-    | [] -> Some subst
-    | arg :: rest -> (
-      let v = Tuple.get tuple i in
-      match arg with
-      | Const c -> if Value.equal c v then loop subst (i + 1) rest else None
-      | Var x -> (
-        match Subst.find_opt x subst with
-        | Some w -> if Value.equal w v then loop subst (i + 1) rest else None
-        | None -> loop (Subst.add x v subst) (i + 1) rest))
-  in
-  loop subst 0 args
+(* ------------------------------------------------------------------ *)
+(* Extents over fact stores, and the naming convention that lets one
+   pipeline read either the full store or a semi-naive delta. *)
 
-(* Iterate all extensions of [subst] matching [atom] in [store], using an
-   index on the positions bound by the current substitution. *)
-let solve_atom store subst (atom : atom) k =
-  let positions, key_values =
-    List.fold_right
-      (fun (i, arg) (ps, vs) ->
-        match term_value subst arg with
-        | Some v -> (i :: ps, v :: vs)
-        | None -> (ps, vs))
-      (List.mapi (fun i a -> (i, a)) atom.args)
-      ([], [])
-  in
-  let candidates =
-    Facts.lookup store atom.pred positions (Tuple.of_list key_values)
-  in
+let store_extent ?label (store : Facts.t) pred =
+  let label = Option.value label ~default:pred in
+  {
+    Extent.label;
+    cardinal = (fun () -> Some (Facts.cardinal store pred));
+    iter = (fun f -> Facts.TS.iter f (Facts.find store pred));
+    lookup =
+      (fun positions values ->
+        Facts.lookup store pred positions (Tuple.of_list values));
+    mem = (fun t -> Facts.mem store pred t);
+  }
+
+let delta_prefix = "\xce\x94" (* UTF-8 Δ *)
+
+let delta_name pred = delta_prefix ^ pred
+
+let split_delta name =
+  let n = String.length delta_prefix in
+  if String.length name > n && String.equal (String.sub name 0 n) delta_prefix
+  then Some (String.sub name n (String.length name - n))
+  else None
+
+let store_ctx store : Ir.ctx = fun name -> store_extent store name
+
+let delta_ctx ~full ~delta : Ir.ctx =
+ fun name ->
+  match split_delta name with
+  | Some pred -> store_extent ~label:name delta pred
+  | None -> store_extent full name
+
+(* Rules grouped by head predicate, both orders preserved (predicates by
+   first appearance, rules by program order). *)
+let group_by_head (rules : program) =
+  let order = ref [] in
+  let tbl = Hashtbl.create 8 in
   List.iter
-    (fun t ->
-      match match_tuple subst atom.args t with
-      | Some s -> k s
-      | None -> ())
-    candidates
+    (fun r ->
+      match Hashtbl.find_opt tbl r.head.pred with
+      | Some l -> l := r :: !l
+      | None ->
+        Hashtbl.replace tbl r.head.pred (ref [ r ]);
+        order := r.head.pred :: !order)
+    rules;
+  List.rev_map (fun p -> (p, List.rev !(Hashtbl.find tbl p))) !order
 
-let lit_is_ready subst = function
-  | Pos _ -> true
-  | Neg a -> List.for_all (fun v -> Subst.mem v subst) (atom_vars a)
-  | Test (_, x, y) ->
-    term_value subst x <> None && term_value subst y <> None
+(* ------------------------------------------------------------------ *)
+(* Rule compilation *)
 
-let eval_constraint store subst = function
-  | Neg a -> (
-    let tuple =
-      Tuple.of_list
-        (List.map
-           (fun arg ->
-             match term_value subst arg with
-             | Some v -> v
-             | None -> invalid_arg "eval_constraint: non-ground negation")
-           a.args)
-    in
-    not (Facts.mem store a.pred tuple))
-  | Test (op, x, y) -> (
-    match term_value subst x, term_value subst y with
-    | Some a, Some b -> Dc_calculus.Eval.eval_cmp op a b
-    | _ -> invalid_arg "eval_constraint: non-ground test")
-  | Pos _ -> invalid_arg "eval_constraint: positive literal"
+type src_spec =
+  | Static of Ir.source
+  | Dynamic of ((row -> term list) -> row -> Extent.t)
+      (* correlated consult (the tabled engine's subgoal tables): receives
+         [inst], which instantiates the atom's arguments from the current
+         row, and returns the extent to scan *)
 
-let ground_head subst (head : atom) =
-  Tuple.of_list
-    (List.map
-       (fun arg ->
-         match term_value subst arg with
-         | Some v -> v
-         | None -> invalid_arg "ground_head: unsafe rule (unbound head var)")
-       head.args)
+type compiled = {
+  pipeline : Ir.t;
+  n_slots : int;
+  slot : string -> int;
+  set_init : (unit -> row) -> unit;
+      (* override the initial-row thunk (tabled seeds call constants) *)
+}
 
-(* Evaluate one rule.  [store_for i atom] chooses the store each positive
-   atom reads from ([i] is the index of the atom among the positive body
-   atoms, left to right) — the semi-naive engine substitutes deltas this
-   way.  [neg_store] resolves negated atoms (the completed lower strata).
-   [emit] receives each derived head tuple. *)
-let eval_rule ~store_for ~neg_store rule emit =
+(* Position-wise classification of one atom's arguments, given the
+   variables bound before the atom. *)
+type arg_action =
+  | Key_const of Value.t (* constant: part of the index key *)
+  | Key_slot of int (* bound variable: part of the index key *)
+  | Write of int (* first occurrence: bind the slot *)
+  | Check of int (* repeated within the atom: equality check *)
+
+let compile_rule ?(reorder = true) ?(card = fun _ _ -> None) ?(bound = [])
+    ~source ~neg_source ~label rule =
   let positives =
-    List.filter_map
-      (function
-        | Pos a -> Some a
-        | Neg _ | Test _ -> None)
-      rule.body
+    Array.of_list
+      (List.filter_map
+         (function
+           | Pos a -> Some a
+           | Neg _ | Test _ -> None)
+         rule.body)
   in
   let constraints =
     List.filter
@@ -107,29 +119,190 @@ let eval_rule ~store_for ~neg_store rule emit =
         | Neg _ | Test _ -> true)
       rule.body
   in
-  let rec fire subst pending =
-    (* run every constraint that has become ground *)
-    let ready, still = List.partition (lit_is_ready subst) pending in
-    if List.for_all (eval_constraint neg_store subst) ready then Some still
-    else None
-  and go subst pending i = function
-    | [] ->
-      (* all positives done: remaining constraints must be ground *)
-      (match fire subst pending with
-      | Some [] -> emit (ground_head subst rule.head)
-      | Some (_ :: _) -> invalid_arg "eval_rule: unsafe rule"
-      | None -> ())
-    | a :: rest -> (
-      match fire subst pending with
-      | None -> ()
-      | Some pending ->
-        solve_atom (store_for i a) subst a (fun s -> go s pending (i + 1) rest))
+  let n = Array.length positives in
+  let bound0 = SS.of_list bound in
+  (* Body atoms of a conjunctive rule commute, so placement goes through
+     the shared join-order rule: most usable index keys first, cardinality
+     hint (the semi-naive delta) second, program order last. *)
+  let order =
+    if not reorder then List.init n Fun.id
+    else begin
+      let pos_vars = Array.map (fun a -> SS.of_list (atom_vars a)) positives in
+      Join_order.order
+        (List.init n (fun i ->
+             {
+               Join_order.deps = [];
+               card = card i positives.(i);
+               keys_given =
+                 (fun placed ->
+                   let bnd =
+                     List.fold_left
+                       (fun s j -> SS.union s pos_vars.(j))
+                       bound0 placed
+                   in
+                   List.length
+                     (List.filter
+                        (function
+                          | Const _ -> true
+                          | Var v -> SS.mem v bnd)
+                        positives.(i).args));
+             }))
+    end
   in
-  go Subst.empty constraints 0 positives
-
-(* Evaluate all rules against a single store (naive round). *)
-let eval_program_round ~store ~neg_store program emit =
+  (* Slot allocation, in placement order. *)
+  let slots = Hashtbl.create 8 in
+  let nslots = ref 0 in
+  let alloc v =
+    match Hashtbl.find_opt slots v with
+    | Some s -> s
+    | None ->
+      let s = !nslots in
+      incr nslots;
+      Hashtbl.replace slots v s;
+      s
+  in
+  let slot v =
+    match Hashtbl.find_opt slots v with
+    | Some s -> s
+    | None -> invalid_arg ("compile_rule: unbound variable " ^ v)
+  in
+  List.iter (fun v -> ignore (alloc v)) bound;
+  let getter = function
+    | Const c -> fun (_ : row) -> c
+    | Var v ->
+      let s = slot v in
+      fun row -> row.(s)
+  in
+  (* Negations and tests attach at the earliest prefix where they are
+     ground (safety guarantees they eventually are). *)
+  let bound_now = ref bound0 in
+  let lit_ready = function
+    | Pos _ -> true
+    | Neg a -> List.for_all (fun v -> SS.mem v !bound_now) (atom_vars a)
+    | Test (_, x, y) ->
+      List.for_all (fun v -> SS.mem v !bound_now) (term_vars x @ term_vars y)
+  in
+  let attach lit node =
+    match lit with
+    | Test (op, x, y) ->
+      let gx = getter x and gy = getter y in
+      Ir.filter
+        ~label:(lazy (Fmt.str "%a" pp_lit lit))
+        ~pred:(fun row -> Dc_calculus.Eval.eval_cmp op (gx row) (gy row))
+        node
+    | Neg a ->
+      let getters = List.map getter a.args in
+      Ir.anti_join
+        ~label:(lazy (Fmt.str "%a" pp_lit lit))
+        ~src:(neg_source a)
+        ~key:(fun row -> Tuple.of_list (List.map (fun g -> g row) getters))
+        node
+    | Pos _ -> assert false
+  in
+  let pending = ref constraints in
+  let node = ref (Ir.seed ()) in
+  let attach_ready () =
+    let ready, still = List.partition lit_ready !pending in
+    pending := still;
+    List.iter (fun lit -> node := attach lit !node) ready
+  in
+  attach_ready ();
   List.iter
-    (fun rule -> eval_rule ~store_for:(fun _ _ -> store) ~neg_store rule
-        (emit rule))
-    program
+    (fun i ->
+      let a = positives.(i) in
+      let actions =
+        List.mapi
+          (fun p arg ->
+            ( p,
+              match arg with
+              | Const c -> Key_const c
+              | Var v ->
+                if SS.mem v !bound_now then Key_slot (slot v)
+                else (
+                  match Hashtbl.find_opt slots v with
+                  | Some s -> Check s (* repeated within this atom *)
+                  | None -> Write (alloc v)) ))
+          a.args
+      in
+      (* Compile a list of per-position actions into the bind closure run
+         on each candidate tuple. *)
+      let bind_of items =
+        let acts = Array.of_list items in
+        let m = Array.length acts in
+        fun row t ->
+          let rec go k =
+            k = m
+            ||
+            match acts.(k) with
+            | p, Write s ->
+              row.(s) <- Tuple.get t p;
+              go (k + 1)
+            | p, Check s -> Value.equal row.(s) (Tuple.get t p) && go (k + 1)
+            | p, Key_const c -> Value.equal c (Tuple.get t p) && go (k + 1)
+            | p, Key_slot s -> Value.equal row.(s) (Tuple.get t p) && go (k + 1)
+          in
+          if go 0 then Some row else None
+      in
+      let alabel = lazy (Fmt.str "%a" pp_atom a) in
+      (match source i a with
+      | Dynamic mk ->
+        (* Correlated consult: key positions degrade to checks (the
+           generated extent has no access path), and [inst] rebuilds the
+           atom's arguments with bound variables instantiated. *)
+        let inst_items =
+          List.map
+            (fun arg ->
+              match arg with
+              | Const c -> fun (_ : row) -> Const c
+              | Var v ->
+                if SS.mem v !bound_now then begin
+                  let s = slot v in
+                  fun row -> Const row.(s)
+                end
+                else fun _ -> Var v)
+            a.args
+        in
+        let inst row = List.map (fun f -> f row) inst_items in
+        node :=
+          Ir.correlated_scan ~label:alabel ~gen:(mk inst) ~bind:(bind_of actions)
+            !node
+      | Static src -> (
+        let keys =
+          List.filter_map
+            (fun (p, act) ->
+              match act with
+              | Key_const c -> Some (p, fun (_ : row) -> c)
+              | Key_slot s -> Some (p, fun row -> row.(s))
+              | Write _ | Check _ -> None)
+            actions
+        in
+        match keys with
+        | [] -> node := Ir.scan ~label:alabel ~src ~bind:(bind_of actions) !node
+        | keys ->
+          let positions = List.map fst keys in
+          let kgetters = List.map snd keys in
+          let rest =
+            List.filter
+              (fun (_, act) ->
+                match act with
+                | Write _ | Check _ -> true
+                | Key_const _ | Key_slot _ -> false)
+              actions
+          in
+          node :=
+            Ir.lookup ~label:alabel ~src ~positions
+              ~key:(fun row -> List.map (fun g -> g row) kgetters)
+              ~bind:(bind_of rest) !node));
+      bound_now := SS.union !bound_now (SS.of_list (atom_vars a));
+      attach_ready ())
+    order;
+  if !pending <> [] then
+    invalid_arg
+      (Fmt.str "compile_rule: unsafe rule (ungroundable constraint): %a"
+         pp_rule rule);
+  let head_getters = List.map getter rule.head.args in
+  let tuple row = Tuple.of_list (List.map (fun g -> g row) head_getters) in
+  let n_slots = !nslots in
+  let init_ref = ref (fun () -> Array.make n_slots dummy) in
+  let pipeline = Ir.project ~label ~init:(fun () -> !init_ref ()) ~tuple !node in
+  { pipeline; n_slots; slot; set_init = (fun f -> init_ref := f) }

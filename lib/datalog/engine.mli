@@ -1,41 +1,79 @@
-(** Shared machinery of the bottom-up engines: substitutions, indexed atom
-    matching, and set-at-a-time rule evaluation (left-to-right over the
-    positive atoms; negations and tests fire as soon as ground). *)
+(** The Datalog rule compiler: shared machinery of the engines, lowering
+    each rule body onto the physical operator IR ({!Dc_exec.Ir}).
+
+    Positive atoms become scans or keyed probes (constants and
+    already-bound variables form the index key), negated atoms anti-joins,
+    built-in tests filters attached at the earliest point their variables
+    are bound.  The row threaded through a pipeline is a [Value.t array]
+    with one slot per rule variable, mutated in place. *)
 
 open Dc_relation
 
-module Subst : Map.S with type key = string
+type row = Value.t array
 
-type subst = Value.t Subst.t
+val dummy : Value.t
+(** Placeholder filling unbound slots of a fresh row. *)
 
-val term_value : subst -> Syntax.term -> Value.t option
+(** {1 Extents over fact stores} *)
 
-val match_tuple : subst -> Syntax.term list -> Tuple.t -> subst option
-(** Extend the substitution by matching argument terms against a ground
-    tuple. *)
+val store_extent : ?label:string -> Facts.t -> string -> Dc_exec.Extent.t
+(** One predicate's tuples as a physical extent; keyed lookups go through
+    the store's delta-incremental index cache. *)
 
-val solve_atom : Facts.t -> subst -> Syntax.atom -> (subst -> unit) -> unit
-(** Iterate all matching extensions, using an index on the positions bound
-    by the current substitution. *)
+val delta_name : string -> string
+(** ["Δpred"] — the named source under which a pipeline reads the
+    semi-naive delta of [pred] instead of the full store. *)
 
-val ground_head : subst -> Syntax.atom -> Tuple.t
-(** Instantiate a head atom (total by safety). *)
+val store_ctx : Facts.t -> Dc_exec.Ir.ctx
+(** Resolve every named source against one store (naive rounds). *)
 
-val eval_rule :
-  store_for:(int -> Syntax.atom -> Facts.t) ->
-  neg_store:Facts.t ->
+val delta_ctx : full:Facts.t -> delta:Facts.t -> Dc_exec.Ir.ctx
+(** Resolve ["pred"] against [full] and ["Δpred"] against [delta]
+    (semi-naive rounds swap stores under an unchanged pipeline). *)
+
+val group_by_head : Syntax.program -> (string * Syntax.rule list) list
+(** Rules grouped by head predicate; predicates ordered by first
+    appearance, rules by program order. *)
+
+(** {1 Rule compilation} *)
+
+(** How one positive atom occurrence reads its tuples. *)
+type src_spec =
+  | Static of Dc_exec.Ir.source
+      (** a fixed or named extent: scans and keyed probes apply *)
+  | Dynamic of ((row -> Syntax.term list) -> row -> Dc_exec.Extent.t)
+      (** correlated consult (the tabled engine's subgoal tables): the
+          callback receives [inst], which instantiates the atom's
+          arguments from the current row (bound variables become
+          constants), and returns the extent to scan for that row *)
+
+type compiled = {
+  pipeline : Dc_exec.Ir.t;  (** [Project] over the compiled body *)
+  n_slots : int;
+  slot : string -> int;  (** slot of a rule variable (raises if unbound) *)
+  set_init : (unit -> row) -> unit;
+      (** override the initial-row thunk (the tabled engine seeds call
+          constants into head-variable slots) *)
+}
+
+val compile_rule :
+  ?reorder:bool ->
+  ?card:(int -> Syntax.atom -> int option) ->
+  ?bound:string list ->
+  source:(int -> Syntax.atom -> src_spec) ->
+  neg_source:(Syntax.atom -> Dc_exec.Ir.source) ->
+  label:string Lazy.t ->
   Syntax.rule ->
-  (Tuple.t -> unit) ->
-  unit
-(** Evaluate one rule. [store_for i atom] chooses the store each positive
-    atom reads from ([i] counts positive atoms left to right — the
-    semi-naive engine substitutes deltas this way); [neg_store] resolves
-    negated atoms. *)
+  compiled
+(** Compile one rule body into a pipeline producing head tuples.
 
-val eval_program_round :
-  store:Facts.t ->
-  neg_store:Facts.t ->
-  Syntax.program ->
-  (Syntax.rule -> Tuple.t -> unit) ->
-  unit
-(** Evaluate every rule against a single store (one naive round). *)
+    [source i atom] chooses how positive atom [i] (program order, the
+    semi-naive engine substitutes delta names this way) reads its tuples;
+    [neg_source] resolves negated atoms.  [card i atom] is an optional
+    cardinality hint for the join-order rewrite ([Some 0] marks the
+    delta); [reorder:false] keeps program order (the tabled engine's
+    sideways information passing depends on it).  [bound] lists variables
+    pre-bound in the initial row (slots allocated first, in order).
+
+    @raise Invalid_argument if a negation or test can never be grounded
+    (unsafe rule). *)

@@ -22,6 +22,7 @@ val transform : Syntax.program -> Syntax.atom -> Syntax.program * string
 
 val answer :
   ?stats:Seminaive.stats ->
+  ?trace:Dc_exec.Ir.trace ->
   Syntax.program ->
   Facts.t ->
   Syntax.atom ->

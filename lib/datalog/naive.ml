@@ -3,12 +3,19 @@
    engine: trivially correct, used as oracle for the others and as the
    unoptimized baseline in the iteration benchmarks.
 
-   New facts are accumulated per round and applied at round end, so the
-   store read by the joins is immutable during a round. *)
+   Each stratum compiles, once, to one pipeline per head predicate —
+   Diff(Union of the rules' bodies), the Diff dropping already-known
+   tuples — whose named sources are re-resolved against the grown store
+   every round; the operator counters therefore accumulate whole-fixpoint
+   totals.  The per-round sink set dedups the survivors, so no Distinct
+   operator is needed.  New facts are collected per round and applied at
+   round end, so the store read by the joins is immutable during a
+   round. *)
 
 open Syntax
 
 module TS = Facts.TS
+module Ir = Dc_exec.Ir
 
 type stats = {
   mutable rounds : int;
@@ -17,37 +24,69 @@ type stats = {
 
 let fresh_stats () = { rounds = 0; derivations = 0 }
 
-let run ?stats (program : program) (edb : Facts.t) =
+let run ?stats ?trace (program : program) (edb : Facts.t) =
   check_safe program;
   let stats = Option.value stats ~default:(fresh_stats ()) in
+  let stratum = ref 0 in
   let eval_layer store layer =
+    incr stratum;
+    let pipelines =
+      List.map
+        (fun (pred, rules) ->
+          let bodies =
+            List.map
+              (fun r ->
+                (Engine.compile_rule
+                   ~source:(fun _ (a : atom) -> Engine.Static (Ir.Named a.pred))
+                   ~neg_source:(fun a -> Ir.Named a.pred)
+                   ~label:(lazy (Fmt.str "%a" pp_rule r))
+                   r)
+                  .Engine.pipeline)
+              rules
+          in
+          let u = Ir.union ~label:(lazy pred) bodies in
+          (pred, Ir.diff ~label:(lazy pred) ~except:(Ir.Named pred) u, u))
+        (Engine.group_by_head layer)
+    in
     let current = ref store in
     let changed = ref true in
     while !changed do
       changed := false;
       stats.rounds <- stats.rounds + 1;
-      let acc : (string, TS.t ref) Hashtbl.t = Hashtbl.create 8 in
-      Engine.eval_program_round ~store:!current ~neg_store:!current layer
-        (fun rule tuple ->
-          stats.derivations <- stats.derivations + 1;
-          if not (Facts.mem !current rule.head.pred tuple) then begin
-            (match Hashtbl.find_opt acc rule.head.pred with
-            | Some set ->
-              if not (TS.mem tuple !set) then begin
-                set := TS.add tuple !set;
-                changed := true
-              end
-            | None ->
-              Hashtbl.replace acc rule.head.pred (ref (TS.singleton tuple));
-              changed := true)
-          end);
+      let ctx = Engine.store_ctx !current in
+      let news =
+        List.map
+          (fun (pred, pipe, u) ->
+            let before = u.Ir.tc.Ir.rows in
+            let fresh = ref TS.empty in
+            Ir.run ctx pipe (fun t -> fresh := TS.add t !fresh);
+            stats.derivations <- stats.derivations + u.Ir.tc.Ir.rows - before;
+            (pred, !fresh))
+          pipelines
+      in
       current :=
-        Hashtbl.fold (fun pred set st -> Facts.add_set st pred !set) acc !current
+        List.fold_left
+          (fun st (pred, set) ->
+            if TS.is_empty set then st
+            else begin
+              changed := true;
+              Facts.add_set st pred set
+            end)
+          !current news
     done;
+    Option.iter
+      (fun tr ->
+        List.iter
+          (fun (pred, pipe, _) ->
+            Ir.Trace.record tr
+              ~label:(Fmt.str "stratum %d: %s" !stratum pred)
+              pipe)
+          pipelines)
+      trace;
     !current
   in
   List.fold_left eval_layer edb (Stratify.layers program)
 
 (* Convenience: all facts of one predicate after evaluation. *)
-let query ?stats program edb pred =
-  Facts.find (run ?stats program edb) pred
+let query ?stats ?trace program edb pred =
+  Facts.find (run ?stats ?trace program edb) pred

@@ -9,9 +9,18 @@ type stats = {
 
 val fresh_stats : unit -> stats
 
-val run : ?stats:stats -> Syntax.program -> Facts.t -> Facts.t
+val run :
+  ?stats:stats -> ?trace:Dc_exec.Ir.trace -> Syntax.program -> Facts.t -> Facts.t
 (** Evaluate the (stratified) program over the EDB; returns the full store.
+    [trace] records each stratum's compiled pipeline with whole-fixpoint
+    operator counters (EXPLAIN).
     @raise Syntax.Unsafe_rule / Stratify.Not_stratifiable *)
 
-val query : ?stats:stats -> Syntax.program -> Facts.t -> string -> Facts.TS.t
+val query :
+  ?stats:stats ->
+  ?trace:Dc_exec.Ir.trace ->
+  Syntax.program ->
+  Facts.t ->
+  string ->
+  Facts.TS.t
 (** All facts of one predicate after evaluation. *)

@@ -7,14 +7,28 @@
    Negated atoms always read the completed lower strata (stratification
    guarantees they are stable).
 
-   New facts are accumulated per round and applied at round end, so the
-   stores the joins read stay immutable during a round (their lookup
-   indexes survive the whole round). *)
+   The variants are where the IR's delta-awareness pays off: each stratum
+   compiles once to one round-1 pipeline and one delta pipeline per head
+   predicate, the delta occurrence reading the named source "Δpred"; a
+   round runs the same pipelines under a context that maps "pred" to the
+   full store and "Δpred" to the delta — nothing is rebuilt between
+   rounds, and the operator counters accumulate whole-fixpoint totals.
+   The delta atom carries a zero-cardinality hint so the join-order
+   rewrite scans it first and probes the (indexed) full stores.
+
+   Each per-predicate pipeline is Diff(Union of the rule variants): the
+   Diff drops already-known tuples per derivation — the interpreted
+   engine's [Facts.mem] guard — and the per-round sink set dedups the
+   survivors, so no Distinct operator is needed.  New facts are
+   accumulated per round and applied at round end, so the stores the
+   joins read stay immutable during a round (their lookup indexes survive
+   the whole round). *)
 
 open Syntax
 
 module SS = Set.Make (String)
 module TS = Facts.TS
+module Ir = Dc_exec.Ir
 
 type stats = {
   mutable rounds : int;
@@ -23,98 +37,120 @@ type stats = {
 
 let fresh_stats () = { rounds = 0; derivations = 0 }
 
-(* Per-round accumulator of new facts. *)
-module Acc = struct
-  type t = (string, TS.t ref) Hashtbl.t
-
-  let create () : t = Hashtbl.create 8
-
-  (* Insert, reporting whether the fact is new to the accumulator — the
-     [Set.add] physical-equality shortcut doubles as the membership test,
-     saving a separate [mem] descent per derivation. *)
-  let add (acc : t) pred tuple =
-    match Hashtbl.find_opt acc pred with
-    | Some set ->
-      let s' = TS.add tuple !set in
-      if s' == !set then false
-      else begin
-        set := s';
-        true
-      end
-    | None ->
-      Hashtbl.replace acc pred (ref (TS.singleton tuple));
-      true
-
-  let is_empty (acc : t) =
-    Hashtbl.fold (fun _ s e -> e && TS.is_empty !s) acc true
-
-  let apply (acc : t) store =
-    Hashtbl.fold (fun pred set st -> Facts.add_set st pred !set) acc store
-
-  let to_store (acc : t) =
-    Hashtbl.fold
-      (fun pred set st -> Facts.add_set st pred !set)
-      acc (Facts.empty ())
-end
-
-let run ?stats (program : program) (edb : Facts.t) =
+let run ?stats ?trace (program : program) (edb : Facts.t) =
   check_safe program;
   let stats = Option.value stats ~default:(fresh_stats ()) in
+  let stratum = ref 0 in
   let eval_layer store layer =
+    incr stratum;
     let layer_preds =
       List.fold_left (fun s r -> SS.add r.head.pred s) SS.empty layer
     in
-    (* positions (among positive atoms) of same-stratum IDB occurrences,
-       precomputed per rule *)
+    (* positions (among positive atoms) of same-stratum IDB occurrences *)
     let recursive_positions rule =
       List.filter_map Fun.id
         (List.mapi
-           (fun i (a : atom) -> if SS.mem a.pred layer_preds then Some i else None)
+           (fun i (a : atom) ->
+             if SS.mem a.pred layer_preds then Some i else None)
            (List.filter_map
               (function
                 | Pos a -> Some a
                 | Neg _ | Test _ -> None)
               rule.body))
     in
-    let with_positions = List.map (fun r -> (r, recursive_positions r)) layer in
+    let compile ?card ~source r =
+      (Engine.compile_rule ?card ~source
+         ~neg_source:(fun a -> Ir.Named a.pred)
+         ~label:(lazy (Fmt.str "%a" pp_rule r))
+         r)
+        .Engine.pipeline
+    in
+    let per_pred groups =
+      List.map
+        (fun (pred, bodies) ->
+          let u = Ir.union ~label:(lazy pred) bodies in
+          (pred, Ir.diff ~label:(lazy pred) ~except:(Ir.Named pred) u, u))
+        groups
+    in
+    let round1 =
+      per_pred
+        (List.map
+           (fun (pred, rules) ->
+             ( pred,
+               List.map
+                 (compile ~source:(fun _ (a : atom) ->
+                      Engine.Static (Ir.Named a.pred)))
+                 rules ))
+           (Engine.group_by_head layer))
+    in
+    let delta_variants r =
+      List.map
+        (fun dpos ->
+          compile
+            ~card:(fun i _ -> if i = dpos then Some 0 else None)
+            ~source:(fun i (a : atom) ->
+              Engine.Static
+                (Ir.Named
+                   (if i = dpos then Engine.delta_name a.pred else a.pred)))
+            r)
+        (recursive_positions r)
+    in
+    let deltas =
+      per_pred
+        (List.filter_map
+           (fun (pred, rules) ->
+             match List.concat_map delta_variants rules with
+             | [] -> None
+             | bodies -> Some (pred, bodies))
+           (Engine.group_by_head layer))
+    in
+    let run_round pipes ctx =
+      List.map
+        (fun (pred, pipe, u) ->
+          let before = u.Ir.tc.Ir.rows in
+          let fresh = ref TS.empty in
+          Ir.run ctx pipe (fun t -> fresh := TS.add t !fresh);
+          stats.derivations <- stats.derivations + u.Ir.tc.Ir.rows - before;
+          (pred, !fresh))
+        pipes
+    in
+    let apply news st =
+      List.fold_left (fun st (pred, set) -> Facts.add_set st pred set) st news
+    in
+    let nonempty news = List.exists (fun (_, s) -> not (TS.is_empty s)) news in
     let full = ref store in
-    let delta = ref (Facts.empty ()) in
     (* Round 1: all rules against the full store. *)
     stats.rounds <- stats.rounds + 1;
-    let acc = Acc.create () in
-    Engine.eval_program_round ~store:!full ~neg_store:!full layer
-      (fun rule tuple ->
-        stats.derivations <- stats.derivations + 1;
-        if not (Facts.mem !full rule.head.pred tuple) then
-          ignore (Acc.add acc rule.head.pred tuple));
-    delta := Acc.to_store acc;
-    full := Acc.apply acc !full;
+    let news = run_round round1 (Engine.store_ctx !full) in
+    let delta = ref (apply news (Facts.empty ())) in
+    full := apply news !full;
     (* Subsequent rounds: delta variants only. *)
-    let continue = ref (not (Acc.is_empty acc)) in
+    let continue = ref (nonempty news) in
     while !continue do
       stats.rounds <- stats.rounds + 1;
-      let acc = Acc.create () in
-      let full_now = !full and delta_now = !delta in
-      List.iter
-        (fun (rule, positions) ->
-          List.iter
-            (fun dpos ->
-              Engine.eval_rule
-                ~store_for:(fun i _ -> if i = dpos then delta_now else full_now)
-                ~neg_store:full_now rule
-                (fun tuple ->
-                  stats.derivations <- stats.derivations + 1;
-                  if not (Facts.mem full_now rule.head.pred tuple) then
-                    ignore (Acc.add acc rule.head.pred tuple)))
-            positions)
-        with_positions;
-      delta := Acc.to_store acc;
-      full := Acc.apply acc !full;
-      continue := not (Acc.is_empty acc)
+      let news = run_round deltas (Engine.delta_ctx ~full:!full ~delta:!delta) in
+      delta := apply news (Facts.empty ());
+      full := apply news !full;
+      continue := nonempty news
     done;
+    Option.iter
+      (fun tr ->
+        List.iter
+          (fun (pred, pipe, _) ->
+            Ir.Trace.record tr
+              ~label:(Fmt.str "stratum %d: %s (round 1)" !stratum pred)
+              pipe)
+          round1;
+        List.iter
+          (fun (pred, pipe, _) ->
+            Ir.Trace.record tr
+              ~label:(Fmt.str "stratum %d: %s (delta rounds)" !stratum pred)
+              pipe)
+          deltas)
+      trace;
     !full
   in
   List.fold_left eval_layer edb (Stratify.layers program)
 
-let query ?stats program edb pred =
-  Facts.find (run ?stats program edb) pred
+let query ?stats ?trace program edb pred =
+  Facts.find (run ?stats ?trace program edb) pred

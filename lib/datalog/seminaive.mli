@@ -10,7 +10,16 @@ type stats = {
 
 val fresh_stats : unit -> stats
 
-val run : ?stats:stats -> Syntax.program -> Facts.t -> Facts.t
-(** @raise Syntax.Unsafe_rule / Stratify.Not_stratifiable *)
+val run :
+  ?stats:stats -> ?trace:Dc_exec.Ir.trace -> Syntax.program -> Facts.t -> Facts.t
+(** [trace] records each stratum's round-1 and delta pipelines with
+    whole-fixpoint operator counters (EXPLAIN).
+    @raise Syntax.Unsafe_rule / Stratify.Not_stratifiable *)
 
-val query : ?stats:stats -> Syntax.program -> Facts.t -> string -> Facts.TS.t
+val query :
+  ?stats:stats ->
+  ?trace:Dc_exec.Ir.trace ->
+  Syntax.program ->
+  Facts.t ->
+  string ->
+  Facts.TS.t

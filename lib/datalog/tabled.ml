@@ -15,6 +15,16 @@
      a least fixpoint over exactly the subgoals relevant to the query,
      i.e. the top-down counterpart of magic sets.
 
+   Rule bodies execute as pipelines of the shared operator IR, compiled
+   once per (rule, adornment) — the adornment being which call positions
+   are bound — and reused across every call of that shape: EDB atoms read
+   the fact store's indexed extents, IDB atoms are correlated scans that
+   canonicalize the instantiated subgoal, register its table and consume
+   the answers.  Body atom order is preserved (no join reordering): it is
+   the rule's sideways information passing, which decides which call
+   patterns get tabled.  Call constants are seeded into the initial row's
+   head-variable slots.
+
    Consequences measured in experiment E2b: termination on cyclic data
    (where plain SLD loops), no duplicated subproofs (tables are shared),
    and goal-directed work bounded by the relevant subgoals. *)
@@ -23,7 +33,8 @@ open Dc_relation
 open Syntax
 
 module TS = Facts.TS
-module Subst = Engine.Subst
+module Ir = Dc_exec.Ir
+module Extent = Dc_exec.Extent
 
 type stats = {
   mutable rounds : int;
@@ -57,10 +68,25 @@ let canonicalize (pred : string) (args : term list) =
   in
   { c_pred = pred; c_args }
 
+(* The adornment of a call: which argument positions carry constants.
+   Pipelines depend only on this shape — the constants themselves flow in
+   through the initial row. *)
+let adornment (call : call) =
+  String.concat ""
+    (List.map
+       (function
+         | Const _ -> "b"
+         | Var _ -> "f")
+       call.c_args)
+
 type state = {
-  program : program;
+  program : rule array;
+  idb : SS.t;
   edb : Facts.t;
   tables : (call, TS.t ref) Hashtbl.t;
+  compiled : (int * string, Engine.compiled) Hashtbl.t;
+      (* per (rule index, adornment) *)
+  mutable compiled_order : Engine.compiled list; (* reverse, for EXPLAIN *)
   mutable order : call list; (* registration order *)
   mutable changed : bool;
   stats : stats;
@@ -77,78 +103,105 @@ let ensure_call st call =
     st.changed <- true;
     t
 
+(* Compile (or fetch) rule [ri]'s pipeline for the call's adornment. *)
+let compile_for st ri rule call =
+  let adn = adornment call in
+  let key = (ri, adn) in
+  match Hashtbl.find_opt st.compiled key with
+  | Some c -> c
+  | None ->
+    let bound =
+      List.rev
+        (List.fold_left2
+           (fun acc head_arg call_arg ->
+             match head_arg, call_arg with
+             | Var v, Const _ -> if List.mem v acc then acc else v :: acc
+             | _ -> acc)
+           [] rule.head.args call.c_args)
+    in
+    let source _ (a : atom) =
+      if SS.mem a.pred st.idb then
+        Engine.Dynamic
+          (fun inst row ->
+            (* consult (and register) the instantiated subgoal's table *)
+            let answers = ensure_call st (canonicalize a.pred (inst row)) in
+            {
+              Extent.label = Fmt.str "table %s" a.pred;
+              cardinal = (fun () -> Some (TS.cardinal !answers));
+              iter = (fun f -> TS.iter f !answers);
+              lookup = (fun _ _ -> invalid_arg "tabled: keyed table lookup");
+              mem = (fun t -> TS.mem t !answers);
+            })
+      else Engine.Static (Ir.Fixed (Engine.store_extent st.edb a.pred))
+    in
+    let c =
+      Engine.compile_rule ~reorder:false ~bound ~source
+        ~neg_source:(fun _ -> invalid_arg "tabled: negation not supported")
+        ~label:(lazy (Fmt.str "%a  [%s/%s]" pp_rule rule call.c_pred adn))
+        rule
+    in
+    Hashtbl.replace st.compiled key c;
+    st.compiled_order <- c :: st.compiled_order;
+    c
+
 (* Evaluate the rules for one call pattern, adding new answers. *)
 let evaluate_call st (call : call) =
-  let idb = idb_preds st.program in
   let table = Hashtbl.find st.tables call in
-  List.iter
-    (fun rule ->
+  Array.iteri
+    (fun ri rule ->
       if String.equal rule.head.pred call.c_pred then begin
-        (* bind the head against the call pattern: constants flow in *)
-        match
-          List.fold_left2
-            (fun subst head_arg call_arg ->
-              match subst, head_arg, call_arg with
-              | None, _, _ -> None
-              | Some s, arg, Const c -> (
-                match arg with
-                | Const c' -> if Value.equal c c' then Some s else None
-                | Var v -> (
-                  match Subst.find_opt v s with
-                  | Some w -> if Value.equal w c then Some s else None
-                  | None -> Some (Subst.add v c s)))
-              | Some s, _, Var _ -> Some s)
-            (Some Subst.empty) rule.head.args call.c_args
-        with
-        | None -> ()
-        | Some subst ->
-          let rec body subst = function
-            | [] ->
-              let answer = Engine.ground_head subst rule.head in
+        let compiled = compile_for st ri rule call in
+        (* bind the head against the call pattern: constants flow into the
+           initial row's slots; a clash means the rule cannot serve it *)
+        let ok = ref true in
+        let writes = ref [] in
+        let seen = Hashtbl.create 4 in
+        List.iter2
+          (fun head_arg call_arg ->
+            match head_arg, call_arg with
+            | _, Var _ -> ()
+            | Const c', Const c -> if not (Value.equal c c') then ok := false
+            | Var v, Const c -> (
+              let s = compiled.Engine.slot v in
+              match Hashtbl.find_opt seen s with
+              | Some w -> if not (Value.equal w c) then ok := false
+              | None ->
+                Hashtbl.replace seen s c;
+                writes := (s, c) :: !writes))
+          rule.head.args call.c_args;
+        if !ok then begin
+          let writes = !writes in
+          let n = compiled.Engine.n_slots in
+          compiled.Engine.set_init (fun () ->
+              let row = Array.make n Engine.dummy in
+              List.iter (fun (s, v) -> row.(s) <- v) writes;
+              row);
+          Ir.run Ir.empty_ctx compiled.Engine.pipeline (fun answer ->
               st.stats.derivations <- st.stats.derivations + 1;
               if not (TS.mem answer !table) then begin
                 table := TS.add answer !table;
                 st.changed <- true
-              end
-            | Test (op, x, y) :: rest -> (
-              match Engine.term_value subst x, Engine.term_value subst y with
-              | Some a, Some b ->
-                if Dc_calculus.Eval.eval_cmp op a b then body subst rest
-              | _ -> invalid_arg "tabled: non-ground comparison")
-            | Neg _ :: _ -> invalid_arg "tabled: negation not supported"
-            | Pos a :: rest ->
-              if SS.mem a.pred idb then begin
-                (* IDB: consult (and register) the subgoal's table *)
-                let inst_args =
-                  List.map
-                    (fun t ->
-                      match Engine.term_value subst t with
-                      | Some v -> Const v
-                      | None -> t)
-                    a.args
-                in
-                let subcall = canonicalize a.pred inst_args in
-                let answers = ensure_call st subcall in
-                TS.iter
-                  (fun tuple ->
-                    match Engine.match_tuple subst a.args tuple with
-                    | Some s -> body s rest
-                    | None -> ())
-                  !answers
-              end
-              else
-                Engine.solve_atom st.edb subst a (fun s -> body s rest)
-          in
-          body subst rule.body
+              end)
+        end
       end)
     st.program
 
-let solve ?stats ?(max_rounds = 100_000) (program : program) (edb : Facts.t)
-    (goal : atom) =
+let solve ?stats ?trace ?(max_rounds = 100_000) (program : program)
+    (edb : Facts.t) (goal : atom) =
   check_safe program;
   let stats = Option.value stats ~default:(fresh_stats ()) in
   let st =
-    { program; edb; tables = Hashtbl.create 64; order = []; changed = false; stats }
+    {
+      program = Array.of_list program;
+      idb = idb_preds program;
+      edb;
+      tables = Hashtbl.create 64;
+      compiled = Hashtbl.create 64;
+      compiled_order = [];
+      order = [];
+      changed = false;
+      stats;
+    }
   in
   let root = canonicalize goal.pred goal.args in
   let root_table = ensure_call st root in
@@ -160,6 +213,15 @@ let solve ?stats ?(max_rounds = 100_000) (program : program) (edb : Facts.t)
     if st.changed then loop (n + 1)
   in
   loop 1;
+  Option.iter
+    (fun tr ->
+      List.iter
+        (fun (c : Engine.compiled) ->
+          Ir.Trace.record tr
+            ~label:(Lazy.force c.Engine.pipeline.Ir.tlabel)
+            c.Engine.pipeline)
+        (List.rev st.compiled_order))
+    trace;
   (* keep only answers matching the goal's constants and repeated-variable
      equalities (tables over-approximate repeated-variable patterns) *)
   let matches t =
@@ -178,6 +240,6 @@ let solve ?stats ?(max_rounds = 100_000) (program : program) (edb : Facts.t)
   in
   TS.filter matches !root_table
 
-let query ?stats ?max_rounds program edb pred arity =
-  solve ?stats ?max_rounds program edb
+let query ?stats ?trace ?max_rounds program edb pred arity =
+  solve ?stats ?trace ?max_rounds program edb
     (atom pred (List.init arity (fun i -> Var (Fmt.str "Q%d" i))))

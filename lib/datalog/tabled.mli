@@ -15,6 +15,7 @@ val fresh_stats : unit -> stats
 
 val solve :
   ?stats:stats ->
+  ?trace:Dc_exec.Ir.trace ->
   ?max_rounds:int ->
   Syntax.program ->
   Facts.t ->
@@ -28,6 +29,7 @@ val solve :
 
 val query :
   ?stats:stats ->
+  ?trace:Dc_exec.Ir.trace ->
   ?max_rounds:int ->
   Syntax.program ->
   Facts.t ->

@@ -1,0 +1,51 @@
+(* A physical extent: the runtime face of one stored or computed relation
+   as the operator IR sees it — iteration, keyed lookup through an access
+   path, membership, and an (optional) cardinality estimate.
+
+   Everything is a closure record so the executor is agnostic about where
+   tuples live: [Dc_relation.Relation] values, the Datalog fact store's
+   per-predicate tuple sets, or a tabled engine's growing answer tables
+   all wrap into the same shape.  Keyed lookups go through whatever index
+   structure the producer maintains ({!Dc_relation.Index_cache} for
+   relations, the fact store's own per-(predicate, positions) cache for
+   Datalog), so the delta-incremental index maintenance of the runtime
+   kernel keeps paying off underneath the shared executor. *)
+
+open Dc_relation
+
+type t = {
+  label : string;  (* for EXPLAIN *)
+  cardinal : unit -> int option;  (* None: unknown without work *)
+  iter : (Tuple.t -> unit) -> unit;
+  lookup : int list -> Value.t list -> Tuple.t list;
+      (* tuples whose projection on the positions equals the key *)
+  mem : Tuple.t -> bool;
+}
+
+(* Wrap a relation.  [cache] supplies the per-evaluation index cache so
+   lookups hit indexes that stay warm across fixpoint rounds; without one,
+   a private cache still amortizes index builds within this extent. *)
+let of_relation ?label ?cache rel =
+  let cache =
+    match cache with
+    | Some c -> c
+    | None -> Index_cache.create ()
+  in
+  {
+    label = Option.value label ~default:(Schema.attr_names (Relation.schema rel) |> String.concat ",");
+    cardinal = (fun () -> Some (Relation.cardinal rel));
+    iter = (fun f -> Relation.iter f rel);
+    lookup =
+      (fun positions values ->
+        Index.lookup_values (Index_cache.get cache positions rel) values);
+    mem = (fun t -> Relation.mem t rel);
+  }
+
+let empty ~label =
+  {
+    label;
+    cardinal = (fun () -> Some 0);
+    iter = (fun _ -> ());
+    lookup = (fun _ _ -> []);
+    mem = (fun _ -> false);
+  }

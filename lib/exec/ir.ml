@@ -1,0 +1,454 @@
+(* The physical operator IR: one pull/push executor under the calculus
+   evaluator, the compiled query plans, the constructor fixpoint, and the
+   bottom-up Datalog engines (paper §4's single runtime level).
+
+   Two layers:
+
+   - row operators ('row node) thread an engine-specific row through a
+     pipeline of scans, index probes, filters and anti-joins.  The row type
+     is the engine's choice — the calculus evaluator threads its
+     environment (persistent variable bindings), the Datalog engines a
+     mutable [Value.t array] with one slot per rule variable — so the IR
+     imposes no common tuple format on the hot path;
+   - tuple operators (t) sit on top: [Project] grounds a row to an output
+     tuple (packing the row type existentially, so whole pipelines are a
+     monomorphic value), [Union]/[Diff]/[Distinct] combine tuple streams.
+
+   Delta-awareness: a pipeline names its inputs ([Named] sources) and is
+   executed against a [ctx] that resolves names to {!Extent.t}s.  A
+   semi-naive round substitutes the delta for one occurrence by running
+   the same pipeline under a different ctx — nothing is rebuilt, and the
+   per-operator counters keep accumulating across rounds.
+
+   Every operator carries mutable counters (rows emitted, lookups/probes
+   performed); {!pp} renders the operator tree with the counters, which is
+   what EXPLAIN prints after running a query. *)
+
+open Dc_relation
+
+exception Exec_error of string
+
+let exec_error fmt = Fmt.kstr (fun s -> raise (Exec_error s)) fmt
+
+type counters = {
+  mutable rows : int;  (* rows/tuples emitted downstream *)
+  mutable probes : int;  (* index lookups / membership tests performed *)
+}
+
+let fresh_counters () = { rows = 0; probes = 0 }
+
+(* ------------------------------------------------------------------ *)
+(* Sources and execution contexts *)
+
+type source =
+  | Fixed of Extent.t  (* resolved at build time *)
+  | Named of string  (* resolved per run through the ctx *)
+
+type ctx = string -> Extent.t
+
+let empty_ctx : ctx = fun n -> exec_error "unresolved source %s" n
+
+let ctx_of_list l : ctx =
+ fun n ->
+  match List.assoc_opt n l with
+  | Some e -> e
+  | None -> exec_error "unresolved source %s" n
+
+let resolve (ctx : ctx) = function
+  | Fixed e -> e
+  | Named n -> ctx n
+
+let source_label = function
+  | Fixed e -> e.Extent.label
+  | Named n -> n
+
+(* ------------------------------------------------------------------ *)
+(* Row operators *)
+
+(* Labels are lazy: they exist only for EXPLAIN, and the calculus
+   evaluator lowers pipelines per fixpoint round — formatting an operator
+   label eagerly would put [Fmt.str] on the fixpoint hot path. *)
+type 'row node = {
+  op : 'row op;
+  label : string Lazy.t;
+  c : counters;
+}
+
+and 'row op =
+  | Seed  (* emit the run's initial row once *)
+  | Scan of 'row access  (* leaf: iterate the source, bind each tuple *)
+  | Nested_loop_join of 'row access  (* per input row, iterate the source *)
+  | Index_lookup of 'row keyed  (* leaf: one keyed probe on the seed row *)
+  | Hash_join of 'row keyed  (* per input row, probe the source's index *)
+  | Correlated_scan of {
+      cs_input : 'row node;
+      cs_gen : 'row -> Extent.t;  (* source depends on the current row *)
+      cs_bind : 'row -> Tuple.t -> 'row option;
+    }
+  | Filter of {
+      f_input : 'row node;
+      f_pred : 'row -> bool;
+    }
+  | Anti_join of {
+      aj_input : 'row node;
+      aj_src : source;
+      aj_key : 'row -> Tuple.t;  (* drop rows whose key is in the source *)
+    }
+
+and 'row access = {
+  a_input : 'row node;
+  a_src : source;
+  a_bind : 'row -> Tuple.t -> 'row option;  (* None: tuple rejected *)
+}
+
+and 'row keyed = {
+  k_input : 'row node;
+  k_src : source;
+  k_positions : int list;  (* key positions in the source's tuples *)
+  k_key : 'row -> Value.t list;  (* key values from the current row *)
+  k_bind : 'row -> Tuple.t -> 'row option;
+}
+
+(* Smart constructors: the scan/probe of a seed row is a leaf access; fed
+   by a non-trivial input it is a join.  The executor treats the pair
+   identically — the split exists so EXPLAIN names operators honestly. *)
+
+let seed () = { op = Seed; label = lazy "seed"; c = fresh_counters () }
+
+let scan ~label ~src ~bind input =
+  let acc = { a_input = input; a_src = src; a_bind = bind } in
+  match input.op with
+  | Seed -> { op = Scan acc; label; c = fresh_counters () }
+  | _ -> { op = Nested_loop_join acc; label; c = fresh_counters () }
+
+let lookup ~label ~src ~positions ~key ~bind input =
+  let k =
+    { k_input = input; k_src = src; k_positions = positions; k_key = key;
+      k_bind = bind }
+  in
+  match input.op with
+  | Seed -> { op = Index_lookup k; label; c = fresh_counters () }
+  | _ -> { op = Hash_join k; label; c = fresh_counters () }
+
+let correlated_scan ~label ~gen ~bind input =
+  { op = Correlated_scan { cs_input = input; cs_gen = gen; cs_bind = bind };
+    label; c = fresh_counters () }
+
+let filter ~label ~pred input =
+  { op = Filter { f_input = input; f_pred = pred }; label;
+    c = fresh_counters () }
+
+let anti_join ~label ~src ~key input =
+  { op = Anti_join { aj_input = input; aj_src = src; aj_key = key }; label;
+    c = fresh_counters () }
+
+(* ------------------------------------------------------------------ *)
+(* Tuple operators *)
+
+type t = {
+  top : top;
+  tlabel : string Lazy.t;
+  tc : counters;
+}
+
+and top =
+  | Project : {
+      p_input : 'row node;
+      p_init : unit -> 'row;  (* fresh initial row for one run *)
+      p_tuple : 'row -> Tuple.t;
+    }
+      -> top
+  | Union of t list
+  | Diff of {
+      d_input : t;
+      d_except : source;  (* drop tuples present in the source *)
+    }
+  | Distinct of t  (* emit each tuple once per run *)
+
+let project ~label ~init ~tuple input =
+  { top = Project { p_input = input; p_init = init; p_tuple = tuple };
+    tlabel = label; tc = fresh_counters () }
+
+let union ~label ts = { top = Union ts; tlabel = label; tc = fresh_counters () }
+
+let diff ~label ~except t =
+  { top = Diff { d_input = t; d_except = except }; tlabel = label;
+    tc = fresh_counters () }
+
+let distinct ~label t =
+  { top = Distinct t; tlabel = label; tc = fresh_counters () }
+
+(* ------------------------------------------------------------------ *)
+(* Execution.  Push-based internally: each operator folds its input and
+   calls the continuation per row — no closure of the whole pipeline into
+   an intermediate structure, no per-tuple allocation beyond what the
+   row representation itself requires. *)
+
+let rec run_node : 'row. ctx -> 'row node -> 'row -> ('row -> unit) -> unit =
+  fun (type row) ctx (node : row node) (init : row) (k : row -> unit) ->
+   let c = node.c in
+   match node.op with
+   | Seed ->
+     c.rows <- c.rows + 1;
+     k init
+   | Scan a | Nested_loop_join a ->
+     let ext = resolve ctx a.a_src in
+     let bind = a.a_bind in
+     run_node ctx a.a_input init (fun row ->
+         ext.Extent.iter (fun t ->
+             match bind row t with
+             | Some row' ->
+               c.rows <- c.rows + 1;
+               k row'
+             | None -> ()))
+   | Index_lookup kd | Hash_join kd ->
+     let ext = resolve ctx kd.k_src in
+     let bind = kd.k_bind in
+     run_node ctx kd.k_input init (fun row ->
+         c.probes <- c.probes + 1;
+         let matches = ext.Extent.lookup kd.k_positions (kd.k_key row) in
+         List.iter
+           (fun t ->
+             match bind row t with
+             | Some row' ->
+               c.rows <- c.rows + 1;
+               k row'
+             | None -> ())
+           matches)
+   | Correlated_scan cs ->
+     run_node ctx cs.cs_input init (fun row ->
+         let ext = cs.cs_gen row in
+         ext.Extent.iter (fun t ->
+             match cs.cs_bind row t with
+             | Some row' ->
+               c.rows <- c.rows + 1;
+               k row'
+             | None -> ()))
+   | Filter f ->
+     run_node ctx f.f_input init (fun row ->
+         if f.f_pred row then begin
+           c.rows <- c.rows + 1;
+           k row
+         end)
+   | Anti_join aj ->
+     let ext = resolve ctx aj.aj_src in
+     run_node ctx aj.aj_input init (fun row ->
+         c.probes <- c.probes + 1;
+         if not (ext.Extent.mem (aj.aj_key row)) then begin
+           c.rows <- c.rows + 1;
+           k row
+         end)
+
+module TH = Hashtbl.Make (struct
+  type t = Tuple.t
+
+  let equal = Tuple.equal
+  let hash = Tuple.hash
+end)
+
+let rec run (ctx : ctx) (t : t) (k : Tuple.t -> unit) =
+  let c = t.tc in
+  match t.top with
+  | Project p ->
+    run_node ctx p.p_input (p.p_init ()) (fun row ->
+        c.rows <- c.rows + 1;
+        k (p.p_tuple row))
+  | Union ts ->
+    List.iter
+      (fun sub ->
+        run ctx sub (fun tuple ->
+            c.rows <- c.rows + 1;
+            k tuple))
+      ts
+  | Diff d ->
+    let ext = resolve ctx d.d_except in
+    run ctx d.d_input (fun tuple ->
+        c.probes <- c.probes + 1;
+        if not (ext.Extent.mem tuple) then begin
+          c.rows <- c.rows + 1;
+          k tuple
+        end)
+  | Distinct sub ->
+    let seen = TH.create 64 in
+    run ctx sub (fun tuple ->
+        if not (TH.mem seen tuple) then begin
+          TH.replace seen tuple ();
+          c.rows <- c.rows + 1;
+          k tuple
+        end)
+
+(* Run a pipeline and collect its output into a relation. *)
+let collect ?(ctx = empty_ctx) ~schema t =
+  let acc = ref (Relation.empty schema) in
+  run ctx t (fun tuple -> acc := Relation.add_unchecked tuple !acc);
+  !acc
+
+(* ------------------------------------------------------------------ *)
+(* Printing: the operator tree with post-run counters. *)
+
+let pp_counters ppf (c : counters) =
+  if c.probes = 0 then Fmt.pf ppf "[rows=%d]" c.rows
+  else Fmt.pf ppf "[rows=%d probes=%d]" c.rows c.probes
+
+let op_name : type row. row op -> string = function
+  | Seed -> "seed"
+  | Scan _ -> "scan"
+  | Nested_loop_join _ -> "nested-loop-join"
+  | Index_lookup _ -> "index-lookup"
+  | Hash_join _ -> "hash-join"
+  | Correlated_scan _ -> "correlated-scan"
+  | Filter _ -> "filter"
+  | Anti_join _ -> "anti-join"
+
+let top_name = function
+  | Project _ -> "project"
+  | Union _ -> "union"
+  | Diff _ -> "diff"
+  | Distinct _ -> "distinct"
+
+let rec pp_node : type row. row node Fmt.t =
+ fun ppf node ->
+  (match node.op with
+  | Seed -> Fmt.pf ppf "%s %a" (op_name node.op) pp_counters node.c
+  | _ ->
+    Fmt.pf ppf "%s %s %a" (op_name node.op) (Lazy.force node.label) pp_counters
+      node.c);
+  let child : row node option =
+    match node.op with
+    | Seed -> None
+    | Scan a | Nested_loop_join a -> Some a.a_input
+    | Index_lookup k | Hash_join k -> Some k.k_input
+    | Correlated_scan cs -> Some cs.cs_input
+    | Filter f -> Some f.f_input
+    | Anti_join aj -> Some aj.aj_input
+  in
+  match child with
+  | None | Some { op = Seed; _ } -> ()  (* elide the seed leaf *)
+  | Some input -> Fmt.pf ppf "@,%a" pp_node input
+
+let rec pp ppf (t : t) =
+  match t.top with
+  | Project p ->
+    Fmt.pf ppf "@[<v2>%s %s %a@,%a@]" (top_name t.top) (Lazy.force t.tlabel)
+      pp_counters t.tc pp_node p.p_input
+  | Union ts ->
+    Fmt.pf ppf "@[<v2>%s %s %a" (top_name t.top) (Lazy.force t.tlabel)
+      pp_counters t.tc;
+    List.iter (fun sub -> Fmt.pf ppf "@,%a" pp sub) ts;
+    Fmt.pf ppf "@]"
+  | Diff d ->
+    Fmt.pf ppf "@[<v2>%s (except %s) %s %a@,%a@]" (top_name t.top)
+      (source_label d.d_except) (Lazy.force t.tlabel) pp_counters t.tc pp
+      d.d_input
+  | Distinct sub ->
+    Fmt.pf ppf "@[<v2>%s %s %a@,%a@]" (top_name t.top) (Lazy.force t.tlabel)
+      pp_counters t.tc pp sub
+
+(* ------------------------------------------------------------------ *)
+(* Traces: the EXPLAIN-facing record of every pipeline a query execution
+   lowered and ran.  Pipelines are registered under a label; re-running
+   the same label (fixpoint rounds re-lowering a variant, semi-naive
+   rounds re-running a stratum) merges counters into the stored tree when
+   the shapes agree, so EXPLAIN shows totals over the whole execution. *)
+
+module Trace = struct
+  type entry = {
+    e_label : string;
+    mutable e_pipeline : t;
+    mutable e_runs : int;
+  }
+
+  type trace = {
+    mutable entries : entry list;  (* reverse registration order *)
+    mutable scope : string;  (* label prefix set by the current driver *)
+  }
+
+  let create () = { entries = []; scope = "query" }
+
+  let scoped tr scope f =
+    let saved = tr.scope in
+    tr.scope <- scope;
+    Fun.protect ~finally:(fun () -> tr.scope <- saved) f
+
+  exception Shape_mismatch
+
+  (* Fold the counters of [fresh] into [stored], requiring equal shape. *)
+  let rec merge_node : type row sow. row node -> sow node -> unit =
+   fun stored fresh ->
+    if
+      op_name stored.op <> op_name fresh.op
+      || Lazy.force stored.label <> Lazy.force fresh.label
+    then raise Shape_mismatch;
+    stored.c.rows <- stored.c.rows + fresh.c.rows;
+    stored.c.probes <- stored.c.probes + fresh.c.probes;
+    let child : type r. r node -> r node option =
+     fun n ->
+      match n.op with
+      | Seed -> None
+      | Scan a | Nested_loop_join a -> Some a.a_input
+      | Index_lookup k | Hash_join k -> Some k.k_input
+      | Correlated_scan cs -> Some cs.cs_input
+      | Filter f -> Some f.f_input
+      | Anti_join aj -> Some aj.aj_input
+    in
+    match child stored, child fresh with
+    | None, None -> ()
+    | Some s, Some f -> merge_node s f
+    | _ -> raise Shape_mismatch
+
+  let rec merge stored fresh =
+    if
+      top_name stored.top <> top_name fresh.top
+      || Lazy.force stored.tlabel <> Lazy.force fresh.tlabel
+    then raise Shape_mismatch;
+    stored.tc.rows <- stored.tc.rows + fresh.tc.rows;
+    stored.tc.probes <- stored.tc.probes + fresh.tc.probes;
+    match stored.top, fresh.top with
+    | Project s, Project f -> merge_node s.p_input f.p_input
+    | Union ss, Union fs ->
+      if List.length ss <> List.length fs then raise Shape_mismatch;
+      List.iter2 merge ss fs
+    | Diff s, Diff f -> merge s.d_input f.d_input
+    | Distinct s, Distinct f -> merge s f
+    | _ -> raise Shape_mismatch
+
+  (* Register a pipeline (before or after running it: counters are read
+     at print time).  The label is prefixed by the current scope. *)
+  let record tr ?label pipeline =
+    let label =
+      match label with
+      | Some l -> Fmt.str "%s: %s" tr.scope l
+      | None -> tr.scope
+    in
+    match List.find_opt (fun e -> String.equal e.e_label label) tr.entries with
+    | None ->
+      tr.entries <-
+        { e_label = label; e_pipeline = pipeline; e_runs = 1 } :: tr.entries
+    | Some e ->
+      e.e_runs <- e.e_runs + 1;
+      (* the same (prebuilt) pipeline re-registered across rounds already
+         accumulates in place; a freshly lowered tree of the same shape
+         has the stored totals folded in; a changed shape (e.g. a
+         cardinality-driven reorder flipped between rounds) keeps the
+         latest tree *)
+      if not (pipeline == e.e_pipeline) then (
+        (match merge pipeline e.e_pipeline with
+        | () -> ()
+        | exception Shape_mismatch -> ());
+        e.e_pipeline <- pipeline)
+
+  let entries tr = List.rev tr.entries
+
+  let is_empty tr = tr.entries = []
+
+  let pp ppf tr =
+    List.iter
+      (fun e ->
+        if e.e_runs = 1 then Fmt.pf ppf "@[<v2>%s:@,%a@]@." e.e_label pp e.e_pipeline
+        else
+          Fmt.pf ppf "@[<v2>%s (%d runs, counters totalled):@,%a@]@." e.e_label
+            e.e_runs pp e.e_pipeline)
+      (entries tr)
+end
+
+type trace = Trace.trace

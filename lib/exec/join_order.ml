@@ -1,0 +1,76 @@
+(* The IR-level join-order rewrite: one greedy rule shared by the calculus
+   evaluator, the compiled planner, and the Datalog rule compiler, where
+   previously each kept its own heuristic (smallest-range-first in Eval,
+   most-index-keys-first in the planner).
+
+   At each position pick, among the candidates whose dependencies are
+   already placed, the one with
+
+   1. the most equality conjuncts usable as index keys given what is
+      bound so far (constants and earlier binders) — a keyed probe beats
+      any scan;
+   2. on a tie, the smallest known cardinality (unknown sorts last) —
+      scan the small side, probe the large one.  In a semi-naive round the
+      delta is the small side, so this is "scan the delta, probe the
+      base";
+   3. on a tie, the original position (stability: program order is the
+      programmer's hint).
+
+   Conjunctive WHERE/body semantics is order-independent, so the rewrite
+   is always sound; dependencies (a correlated range mentioning an earlier
+   binder's variable) are respected as hard constraints.  If at some step
+   no candidate's dependencies are satisfiable (mutual correlation), the
+   remaining candidates are emitted in original order — the executor's
+   correlated scans still evaluate them correctly. *)
+
+type candidate = {
+  deps : int list;  (* candidate indices that must be placed first *)
+  card : int option;  (* known cardinality of the source, if cheap *)
+  keys_given : int list -> int;
+      (* usable equality-key count, given the placed candidate indices *)
+}
+
+let order (cands : candidate list) : int list =
+  let cands = Array.of_list cands in
+  let n = Array.length cands in
+  if n <= 1 then List.init n Fun.id
+  else begin
+    let placed = ref [] (* reverse placement order *) in
+    let placed_set = Array.make n false in
+    let remaining = ref (List.init n Fun.id) in
+    let result = ref [] in
+    let eff_card i =
+      match cands.(i).card with
+      | Some c -> c
+      | None -> max_int
+    in
+    while !remaining <> [] do
+      let available =
+        List.filter
+          (fun i -> List.for_all (fun d -> placed_set.(d)) cands.(i).deps)
+          !remaining
+      in
+      match available with
+      | [] ->
+        (* unsatisfiable dependencies: give up, keep program order *)
+        result := List.rev !remaining @ !result;
+        List.iter (fun i -> placed_set.(i) <- true) !remaining;
+        remaining := []
+      | first :: rest ->
+        let score i = cands.(i).keys_given (List.rev !placed) in
+        let best =
+          List.fold_left
+            (fun best i ->
+              let sb = score best and si = score i in
+              if si > sb then i
+              else if si = sb && eff_card i < eff_card best then i
+              else best)
+            first rest
+        in
+        result := best :: !result;
+        placed := best :: !placed;
+        placed_set.(best) <- true;
+        remaining := List.filter (fun i -> i <> best) !remaining
+    done;
+    List.rev !result
+  end

@@ -231,9 +231,16 @@ let execute_decl env = function
   | D_explain r ->
     let range = lower_range env empty_scope r in
     let decision = Dc_compile.Planner.plan env.db range in
-    output env "EXPLAIN %s@\n%a@\n"
+    (* run the decision under a trace: EXPLAIN shows the physical operator
+       pipelines actually executed, with their row/probe counters *)
+    let trace = Dc_exec.Ir.Trace.create () in
+    ignore (Dc_compile.Planner.execute ~trace env.db decision);
+    output env "EXPLAIN %s@\n%a"
       (Ast.range_to_string range)
-      Dc_compile.Planner.explain decision
+      Dc_compile.Planner.explain decision;
+    if not (Dc_exec.Ir.Trace.is_empty trace) then
+      output env "physical:@\n%a" Dc_exec.Ir.Trace.pp trace;
+    output env "@\n"
 
 (* Run a whole surface program; returns accumulated QUERY/EXPLAIN output.
    Consecutive CONSTRUCTOR declarations are defined as one group, so

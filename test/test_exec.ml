@@ -1,0 +1,420 @@
+(* Tests for Dc_exec: the shared physical operator IR.
+
+   - unit tests for the join-order rewrite (the one greedy rule that
+     replaced the per-engine heuristics);
+   - executor semantics: union/distinct/diff counters, anti-joins,
+     delta substitution by running one pipeline under different contexts;
+   - differential tests: naive, semi-naive, magic, tabled and a
+     hand-rolled direct-IR fixpoint must agree on recursive programs over
+     random EDBs (the engines share the rule compiler, so the oracle is
+     their independent round/driver logic);
+   - EXPLAIN golden output for examples/same_generation.dbpl. *)
+
+open Dc_relation
+open Dc_datalog
+open Syntax
+
+module Ir = Dc_exec.Ir
+module Join_order = Dc_exec.Join_order
+module TS = Facts.TS
+
+let i n = Value.Int n
+let tuple2 a b = Tuple.make2 (i a) (i b)
+
+let facts_testable =
+  Alcotest.testable
+    (fun ppf s -> Facts.TS.iter (Tuple.pp ppf) s)
+    Facts.TS.equal
+
+(* ------------------------------------------------------------------ *)
+(* Join_order *)
+
+let cand ?(deps = []) ?card keys_given = { Join_order.deps; card; keys_given }
+
+let no_keys _ = 0
+
+let check_order msg expected cands =
+  Alcotest.(check (list int)) msg expected (Join_order.order cands)
+
+let test_order_smallest_card_first () =
+  check_order "smallest known cardinality first" [ 1; 0; 2 ]
+    [
+      cand ~card:100 no_keys;
+      cand ~card:5 no_keys;
+      cand no_keys (* unknown sorts last *);
+    ]
+
+let test_order_keys_beat_card () =
+  (* once 2 (tiny) is placed, 1 can probe an index: the keyed probe wins
+     over 0's smaller cardinality *)
+  check_order "keyed probe beats smaller scan" [ 2; 1; 0 ]
+    [
+      cand ~card:10 no_keys;
+      cand ~card:1000 (fun placed -> if List.mem 2 placed then 1 else 0);
+      cand ~card:2 no_keys;
+    ]
+
+let test_order_delta_hint_first () =
+  (* the semi-naive delta is marked card 0: scanned first, fulls probed *)
+  check_order "delta scanned first" [ 1; 0; 2 ]
+    [
+      cand ~card:50 (fun placed -> List.length placed);
+      cand ~card:0 no_keys;
+      cand ~card:50 (fun placed -> List.length placed);
+    ]
+
+let test_order_stable_on_ties () =
+  check_order "program order on full tie" [ 0; 1; 2 ]
+    [ cand ~card:7 no_keys; cand ~card:7 no_keys;
+      cand ~card:7 no_keys ]
+
+let test_order_respects_deps () =
+  check_order "dependencies are hard constraints" [ 1; 0 ]
+    [ cand ~deps:[ 1 ] ~card:1 no_keys; cand ~card:100 no_keys ]
+
+let test_order_unsatisfiable_deps () =
+  (* mutual correlation: fall back to program order *)
+  check_order "mutual deps keep program order" [ 0; 1 ]
+    [ cand ~deps:[ 1 ] no_keys; cand ~deps:[ 0 ] no_keys ]
+
+(* ------------------------------------------------------------------ *)
+(* Executor semantics through the rule compiler *)
+
+let compile ?reorder ?card ?bound rule =
+  Engine.compile_rule ?reorder ?card ?bound
+    ~source:(fun _ (a : atom) -> Engine.Static (Ir.Named a.pred))
+    ~neg_source:(fun (a : atom) -> Ir.Named a.pred)
+    ~label:(lazy (Fmt.str "%a" pp_rule rule))
+    rule
+
+let unary_facts pred l = List.map (fun n -> (pred, Tuple.make1 (i n))) l
+
+let test_union_distinct_diff_counters () =
+  (* a(X) :- r(X).  a(X) :- s(X).   Diff(Distinct(Union)) except t *)
+  let r1 = (compile (rule (atom "a" [ var "X" ]) [ Pos (atom "r" [ var "X" ]) ])).Engine.pipeline in
+  let r2 = (compile (rule (atom "a" [ var "X" ]) [ Pos (atom "s" [ var "X" ]) ])).Engine.pipeline in
+  let u = Ir.union ~label:(lazy "a") [ r1; r2 ] in
+  let d = Ir.distinct ~label:(lazy "a") u in
+  let pipe = Ir.diff ~label:(lazy "a") ~except:(Ir.Named "t") d in
+  let store =
+    Facts.of_list
+      (unary_facts "r" [ 1; 2 ] @ unary_facts "s" [ 2; 3 ] @ unary_facts "t" [ 3 ])
+  in
+  let out = ref TS.empty in
+  Ir.run (Engine.store_ctx store) pipe (fun t -> out := TS.add t !out);
+  Alcotest.check facts_testable "diff(distinct(union)) result"
+    (TS.of_list [ Tuple.make1 (i 1); Tuple.make1 (i 2) ])
+    !out;
+  Alcotest.(check int) "union emits duplicates" 4 u.Ir.tc.Ir.rows;
+  Alcotest.(check int) "distinct dedups" 3 d.Ir.tc.Ir.rows;
+  Alcotest.(check int) "diff probes per distinct tuple" 3 pipe.Ir.tc.Ir.probes;
+  Alcotest.(check int) "diff drops the known tuple" 2 pipe.Ir.tc.Ir.rows
+
+let test_negation_anti_join () =
+  (* q(X) :- r(X), not t(X). *)
+  let c =
+    compile
+      (rule (atom "q" [ var "X" ])
+         [ Pos (atom "r" [ var "X" ]); Neg (atom "t" [ var "X" ]) ])
+  in
+  let store = Facts.of_list (unary_facts "r" [ 1; 2; 3 ] @ unary_facts "t" [ 2 ]) in
+  let out = ref TS.empty in
+  Ir.run (Engine.store_ctx store) c.Engine.pipeline (fun t -> out := TS.add t !out);
+  Alcotest.check facts_testable "anti-join"
+    (TS.of_list [ Tuple.make1 (i 1); Tuple.make1 (i 3) ])
+    !out
+
+let test_delta_substitution () =
+  (* q(X,Z) :- e(X,Y), e(Y,Z): one pipeline, two contexts.  The delta run
+     reads Δe for the first occurrence without rebuilding anything. *)
+  let joined =
+    Engine.compile_rule ~reorder:false
+      ~source:(fun idx (a : atom) ->
+        Engine.Static
+          (Ir.Named (if idx = 0 then Engine.delta_name a.pred else a.pred)))
+      ~neg_source:(fun (a : atom) -> Ir.Named a.pred)
+      ~label:(lazy "q(X,Z) :- Δe(X,Y), e(Y,Z)")
+      (rule
+         (atom "q" [ var "X"; var "Z" ])
+         [
+           Pos (atom "e" [ var "X"; var "Y" ]);
+           Pos (atom "e" [ var "Y"; var "Z" ]);
+         ])
+  in
+  let full = Facts.of_list [ ("e", tuple2 1 2); ("e", tuple2 2 3); ("e", tuple2 3 4) ] in
+  let run_with delta =
+    let out = ref TS.empty in
+    Ir.run
+      (Engine.delta_ctx ~full ~delta)
+      joined.Engine.pipeline
+      (fun t -> out := TS.add t !out);
+    !out
+  in
+  (* delta = {3→4}: only pairs starting from the delta edge *)
+  Alcotest.check facts_testable "first delta"
+    TS.empty
+    (run_with (Facts.of_list [ ("e", tuple2 3 4) ]));
+  (* delta = {1→2}: 1→2 joined with full 2→3 *)
+  Alcotest.check facts_testable "second delta"
+    (TS.of_list [ tuple2 1 3 ])
+    (run_with (Facts.of_list [ ("e", tuple2 1 2) ]));
+  (* counters accumulated across both runs of the same pipeline *)
+  Alcotest.(check int) "project counts both runs" 1
+    joined.Engine.pipeline.Ir.tc.Ir.rows
+
+(* ------------------------------------------------------------------ *)
+(* Differential: all engines against each other *)
+
+(* A fifth implementation: drive the compiled rule pipelines with a
+   hand-rolled naive fixpoint, independent of the engines' drivers. *)
+let direct_ir (program : program) (edb : Facts.t) pred =
+  let pipelines =
+    List.map
+      (fun (p, rules) ->
+        (p, List.map (fun r -> (compile r).Engine.pipeline) rules))
+      (Engine.group_by_head program)
+  in
+  let store = ref edb in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let ctx = Engine.store_ctx !store in
+    let news =
+      List.map
+        (fun (p, pipes) ->
+          let fresh = ref TS.empty in
+          List.iter
+            (fun pipe -> Ir.run ctx pipe (fun t -> fresh := TS.add t !fresh))
+            pipes;
+          (p, TS.diff !fresh (Facts.find !store p)))
+        pipelines
+    in
+    List.iter
+      (fun (p, s) ->
+        if not (TS.is_empty s) then begin
+          changed := true;
+          store := Facts.add_set !store p s
+        end)
+      news
+  done;
+  Facts.find !store pred
+
+let tc_linear =
+  [
+    rule (atom "path" [ var "X"; var "Y" ]) [ Pos (atom "edge" [ var "X"; var "Y" ]) ];
+    rule
+      (atom "path" [ var "X"; var "Z" ])
+      [ Pos (atom "edge" [ var "X"; var "Y" ]); Pos (atom "path" [ var "Y"; var "Z" ]) ];
+  ]
+
+let tc_left_linear =
+  [
+    rule (atom "path" [ var "X"; var "Y" ]) [ Pos (atom "edge" [ var "X"; var "Y" ]) ];
+    rule
+      (atom "path" [ var "X"; var "Z" ])
+      [ Pos (atom "path" [ var "X"; var "Y" ]); Pos (atom "edge" [ var "Y"; var "Z" ]) ];
+  ]
+
+let tc_nonlinear =
+  [
+    rule (atom "path" [ var "X"; var "Y" ]) [ Pos (atom "edge" [ var "X"; var "Y" ]) ];
+    rule
+      (atom "path" [ var "X"; var "Z" ])
+      [ Pos (atom "path" [ var "X"; var "Y" ]); Pos (atom "path" [ var "Y"; var "Z" ]) ];
+  ]
+
+(* sg(X,Y) :- flat(X,Y).
+   sg(X,Y) :- up(X,U), sg(U,V), down(V,Y). *)
+let sg_program =
+  [
+    rule (atom "sg" [ var "X"; var "Y" ]) [ Pos (atom "flat" [ var "X"; var "Y" ]) ];
+    rule
+      (atom "sg" [ var "X"; var "Y" ])
+      [
+        Pos (atom "up" [ var "X"; var "U" ]);
+        Pos (atom "sg" [ var "U"; var "V" ]);
+        Pos (atom "down" [ var "V"; var "Y" ]);
+      ];
+  ]
+
+(* mutual recursion: even/odd reachability from a start node *)
+let mutual_program =
+  [
+    rule (atom "even" [ var "X" ]) [ Pos (atom "start" [ var "X" ]) ];
+    rule
+      (atom "even" [ var "Y" ])
+      [ Pos (atom "odd" [ var "X" ]); Pos (atom "edge" [ var "X"; var "Y" ]) ];
+    rule
+      (atom "odd" [ var "Y" ])
+      [ Pos (atom "even" [ var "X" ]); Pos (atom "edge" [ var "X"; var "Y" ]) ];
+  ]
+
+let edb_of_relation pred rel = Facts.of_relation pred rel (Facts.empty ())
+
+let check_engines_agree ~msg program edb pred arity =
+  let reference = Naive.query program edb pred in
+  Alcotest.check facts_testable (msg ^ ": seminaive = naive") reference
+    (Seminaive.query program edb pred);
+  Alcotest.check facts_testable (msg ^ ": direct IR = naive") reference
+    (direct_ir program edb pred);
+  (* magic with an all-free query must still return everything *)
+  (match
+     Magic.answer program edb
+       (atom pred (List.init arity (fun k -> Var (Fmt.str "Q%d" k))))
+   with
+  | answers ->
+    Alcotest.check facts_testable (msg ^ ": magic = naive") reference answers
+  | exception Magic.Unsupported _ -> ());
+  reference
+
+(* bound goal: first argument fixed to a node present in the EDB *)
+let check_bound_goal_engines ~msg program edb pred start reference =
+  let goal = atom pred [ Const start; var "Y" ] in
+  let expected =
+    TS.filter (fun t -> Value.equal (Tuple.get t 0) start) reference
+  in
+  Alcotest.check facts_testable (msg ^ ": tabled = restricted naive") expected
+    (Tabled.solve program edb goal);
+  Alcotest.check facts_testable (msg ^ ": magic = restricted naive") expected
+    (Magic.answer program edb goal)
+
+let graph_edb ~seed ~nodes ~edges =
+  edb_of_relation "edge" (Dc_workload.Graph_gen.random_graph ~seed ~nodes ~edges)
+
+let test_differential_fixed () =
+  List.iter
+    (fun (msg, program) ->
+      let edb = graph_edb ~seed:42 ~nodes:12 ~edges:24 in
+      let reference = check_engines_agree ~msg program edb "path" 2 in
+      (* pick a start node that actually reaches something *)
+      match TS.choose_opt reference with
+      | Some t ->
+        check_bound_goal_engines ~msg program edb "path" (Tuple.get t 0)
+          reference
+      | None -> ())
+    [
+      ("linear tc", tc_linear);
+      ("left-linear tc", tc_left_linear);
+      ("nonlinear tc", tc_nonlinear);
+    ]
+
+let test_differential_same_generation () =
+  let up, flat, down = Dc_workload.Graph_gen.same_generation_tree 4 in
+  let edb =
+    Facts.of_relation "up" up
+      (Facts.of_relation "flat" flat (Facts.of_relation "down" down (Facts.empty ())))
+  in
+  let reference = check_engines_agree ~msg:"same generation" sg_program edb "sg" 2 in
+  match TS.choose_opt reference with
+  | Some t ->
+    check_bound_goal_engines ~msg:"same generation" sg_program edb "sg"
+      (Tuple.get t 0) reference
+  | None -> Alcotest.fail "same-generation tree produced no pairs"
+
+let test_differential_mutual () =
+  let edb =
+    Facts.add
+      (graph_edb ~seed:3 ~nodes:10 ~edges:20)
+      "start"
+      (Tuple.make1 (Dc_workload.Graph_gen.node 0))
+  in
+  ignore (check_engines_agree ~msg:"mutual even" mutual_program edb "even" 1);
+  ignore (check_engines_agree ~msg:"mutual odd" mutual_program edb "odd" 1)
+
+(* Randomized: engines agree on arbitrary random graphs for every
+   recursion shape. *)
+let prop_engines_agree =
+  QCheck.Test.make ~count:30 ~name:"engines agree on random graphs"
+    QCheck.(triple (int_bound 1000) (int_range 4 16) (int_bound 40))
+    (fun (seed, nodes, extra) ->
+      let edb = graph_edb ~seed ~nodes ~edges:(nodes + extra) in
+      List.for_all
+        (fun program ->
+          let reference = Naive.query program edb "path" in
+          let semi = Seminaive.query program edb "path" in
+          let direct = direct_ir program edb "path" in
+          let magic =
+            Magic.answer program edb (atom "path" [ var "QX"; var "QY" ])
+          in
+          let tabled_ok =
+            match TS.choose_opt reference with
+            | None -> true
+            | Some t ->
+              let start = Tuple.get t 0 in
+              TS.equal
+                (Tabled.solve program edb (atom "path" [ Const start; var "Y" ]))
+                (TS.filter (fun u -> Value.equal (Tuple.get u 0) start) reference)
+          in
+          TS.equal reference semi && TS.equal reference direct
+          && TS.equal reference magic && tabled_ok)
+        [ tc_linear; tc_left_linear; tc_nonlinear ])
+
+(* ------------------------------------------------------------------ *)
+(* EXPLAIN golden output *)
+
+let find_file candidates =
+  match List.find_opt Sys.file_exists candidates with
+  | Some p -> p
+  | None -> Alcotest.fail (Fmt.str "not found: %s" (List.hd candidates))
+
+let read_file path = In_channel.with_open_text path In_channel.input_all
+
+let test_explain_golden () =
+  let program =
+    find_file
+      [
+        "../examples/same_generation.dbpl"; "examples/same_generation.dbpl";
+        "../../examples/same_generation.dbpl";
+        "../../../examples/same_generation.dbpl";
+        "/root/repo/examples/same_generation.dbpl";
+      ]
+  in
+  let expected =
+    find_file
+      [
+        "explain_same_generation.expected"; "test/explain_same_generation.expected";
+        "../test/explain_same_generation.expected";
+        "/root/repo/test/explain_same_generation.expected";
+      ]
+  in
+  let _, out = Dc_lang.Elaborate.run_string (read_file program) in
+  Alcotest.(check string) "EXPLAIN output on same_generation.dbpl"
+    (read_file expected) out
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "dc_exec"
+    [
+      ( "join order",
+        [
+          Alcotest.test_case "smallest card first" `Quick
+            test_order_smallest_card_first;
+          Alcotest.test_case "keys beat card" `Quick test_order_keys_beat_card;
+          Alcotest.test_case "delta hint first" `Quick
+            test_order_delta_hint_first;
+          Alcotest.test_case "stable on ties" `Quick test_order_stable_on_ties;
+          Alcotest.test_case "respects deps" `Quick test_order_respects_deps;
+          Alcotest.test_case "unsatisfiable deps" `Quick
+            test_order_unsatisfiable_deps;
+        ] );
+      ( "executor",
+        [
+          Alcotest.test_case "union/distinct/diff counters" `Quick
+            test_union_distinct_diff_counters;
+          Alcotest.test_case "negation as anti-join" `Quick
+            test_negation_anti_join;
+          Alcotest.test_case "delta substitution" `Quick test_delta_substitution;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "fixed graphs, three tc shapes" `Quick
+            test_differential_fixed;
+          Alcotest.test_case "same generation" `Quick
+            test_differential_same_generation;
+          Alcotest.test_case "mutual recursion" `Quick test_differential_mutual;
+          QCheck_alcotest.to_alcotest prop_engines_agree;
+        ] );
+      ( "explain",
+        [ Alcotest.test_case "golden output" `Quick test_explain_golden ] );
+    ]
