@@ -1181,6 +1181,62 @@ let run_json path =
   Fmt.pr "wrote %s@." path
 
 (* ------------------------------------------------------------------ *)
+(* Guard overhead: interleaved A/B of the same workloads with no guard
+   (the shared never-tripping [Guard.none]) versus an active guard with
+   generous limits — the difference is the cost of the per-emission tick
+   plus the limit compares.  Interleaving (A B A B ...) instead of
+   back-to-back blocks keeps allocator and cache drift out of the
+   comparison.  `guard-overhead` exits non-zero above a lenient CI bound
+   (noise on shared runners dwarfs the real cost, which BENCH/EXPERIMENTS
+   track more precisely). *)
+
+let guard_overhead_bound = 15.0 (* percent; CI sanity bound, not the claim *)
+
+let run_guard_overhead () =
+  let module Guard = Dc_guard.Guard in
+  let workloads =
+    [
+      ( "e3_chain_seminaive_512",
+        fun guard ->
+          let db = tc_db ~strategy:Fixpoint.Seminaive (Graph_gen.chain 512) in
+          ignore (Database.query ?guard db tc_query) );
+      ( "e6_random_horn_200_500",
+        fun guard ->
+          let edges = Graph_gen.random_graph ~seed:7 ~nodes:200 ~edges:500 in
+          let guard = Option.value guard ~default:Guard.none in
+          ignore
+            (Dc_datalog.Seminaive.query ~guard tc_program (edb_of edges) "path")
+      );
+    ]
+  in
+  let rounds = 7 in
+  let generous () =
+    Guard.create ~rows:max_int ~rounds:max_int ~millis:86_400_000 ()
+  in
+  let worst = ref 0.0 in
+  List.iter
+    (fun (name, f) ->
+      f None;
+      (* warm-up *)
+      let base = ref infinity and guarded = ref infinity in
+      for _ = 1 to rounds do
+        let (), t_base = time (fun () -> f None) in
+        let (), t_guard = time (fun () -> f (Some (generous ()))) in
+        base := min !base t_base;
+        guarded := min !guarded t_guard
+      done;
+      let overhead = (!guarded -. !base) /. !base *. 100.0 in
+      if overhead > !worst then worst := overhead;
+      Fmt.pr "%-28s none=%sms guarded=%sms overhead=%+.1f%%@." name (ms !base)
+        (ms !guarded) overhead)
+    workloads;
+  Fmt.pr "worst overhead %+.1f%% (bound %.0f%%)@." !worst guard_overhead_bound;
+  if !worst > guard_overhead_bound then begin
+    Fmt.epr "guard overhead above bound@.";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1205,6 +1261,7 @@ let () =
   | [ "bechamel" ] -> run_bechamel ()
   | [ "json"; path ] -> run_json path
   | [ "smoke" ] -> run_smoke ()
+  | [ "guard-overhead" ] -> run_guard_overhead ()
   | names ->
     List.iter
       (fun name ->

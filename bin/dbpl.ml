@@ -20,6 +20,35 @@ let read_file path =
 let strategy_conv =
   Arg.enum [ ("seminaive", Dc_core.Fixpoint.Seminaive); ("naive", Dc_core.Fixpoint.Naive) ]
 
+(* --limit-* flags shared by run and repl: initial declarative limits,
+   adjustable from inside the program with SET LIMIT. *)
+let limit_flags =
+  let rows =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "limit-rows" ] ~docv:"N"
+          ~doc:"Abort any evaluation after producing $(docv) operator rows")
+  in
+  let rounds =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "limit-rounds" ] ~docv:"N"
+          ~doc:"Abort any fixpoint after $(docv) rounds")
+  in
+  let millis =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "limit-millis" ] ~docv:"MS"
+          ~doc:"Abort any evaluation running longer than $(docv) milliseconds")
+  in
+  Term.(
+    const (fun rows rounds millis ->
+        Dc_guard.Guard.limits ?millis ?rows ?rounds ())
+    $ rows $ rounds $ millis)
+
 let handle_errors f =
   try f () with
   | Dc_lang.Lexer.Lex_error msg | Dc_lang.Parser.Parse_error msg ->
@@ -37,6 +66,9 @@ let handle_errors f =
   | Dc_core.Fixpoint.Divergence msg ->
     Fmt.epr "divergence: %s@." msg;
     exit 1
+  | Dc_guard.Guard.Exhausted (reason, progress) ->
+    Fmt.epr "%a@." Dc_guard.Guard.pp_report (reason, progress);
+    exit 2
 
 let run_cmd =
   let file =
@@ -68,10 +100,11 @@ let run_cmd =
       & info [ "save" ] ~docv:"DIR"
           ~doc:"Save the database (catalog + CSVs) after running")
   in
-  let run file strategy unchecked load save =
+  let run file strategy unchecked limits load save =
     handle_errors @@ fun () ->
     let db =
-      Dc_core.Database.create ~strategy ~check_positivity:(not unchecked) ()
+      Dc_core.Database.create ~strategy ~check_positivity:(not unchecked)
+        ~limits ()
     in
     (match load with
     | Some dir -> ignore (Dc_lang.Storage.load ~db dir)
@@ -83,7 +116,9 @@ let run_cmd =
     | None -> ()
   in
   Cmd.v (Cmd.info "run" ~doc:"Execute a DBPL program")
-    Term.(const run $ file $ strategy $ unchecked $ load_dir $ save_dir)
+    Term.(
+      const run $ file $ strategy $ unchecked $ limit_flags $ load_dir
+      $ save_dir)
 
 let check_cmd =
   let file =
@@ -127,9 +162,10 @@ let repl_cmd =
       value & flag
       & info [ "unchecked" ] ~doc:"Disable the positivity check")
   in
-  let repl strategy unchecked =
+  let repl strategy unchecked limits =
     let db =
-      Dc_core.Database.create ~strategy ~check_positivity:(not unchecked) ()
+      Dc_core.Database.create ~strategy ~check_positivity:(not unchecked)
+        ~limits ()
     in
     let env = Dc_lang.Elaborate.create db in
     Fmt.pr
@@ -188,7 +224,9 @@ let repl_cmd =
             Fmt.pr "selector violation: %s@." msg
           | Dc_relation.Relation.Key_violation msg ->
             Fmt.pr "key violation: %s@." msg
-          | Dc_core.Fixpoint.Divergence msg -> Fmt.pr "divergence: %s@." msg);
+          | Dc_core.Fixpoint.Divergence msg -> Fmt.pr "divergence: %s@." msg
+          | Dc_guard.Guard.Exhausted (reason, progress) ->
+            Fmt.pr "%a@." Dc_guard.Guard.pp_report (reason, progress));
           loop ()
         end
         else loop ()
@@ -197,7 +235,7 @@ let repl_cmd =
   in
   Cmd.v
     (Cmd.info "repl" ~doc:"Interactive DBPL session")
-    Term.(const repl $ strategy $ unchecked)
+    Term.(const repl $ strategy $ unchecked $ limit_flags)
 
 let () =
   let doc = "DBPL with data constructors (Jarke, Linnemann & Schmidt, VLDB 1985)" in

@@ -20,6 +20,7 @@
 
 open Dc_relation
 open Ast
+module Guard = Dc_guard.Guard
 
 exception Runtime_error of string
 
@@ -40,6 +41,7 @@ type env = {
   hooks : hooks;
   icache : Index_cache.t;
   trace : Dc_exec.Ir.trace option;
+  guard : Guard.t;
 }
 
 and hooks = {
@@ -59,7 +61,8 @@ let no_hooks =
       (fun _ _ def _ -> runtime_error "no semantics for constructor %s" def.Defs.con_name);
   }
 
-let make_env ?(vars = []) ?(scalars = []) ?(hooks = no_hooks) ?trace rels =
+let make_env ?(vars = []) ?(scalars = []) ?(hooks = no_hooks) ?trace
+    ?(guard = Guard.none) rels =
   {
     rels = SM.of_seq (List.to_seq rels);
     vars =
@@ -70,9 +73,12 @@ let make_env ?(vars = []) ?(scalars = []) ?(hooks = no_hooks) ?trace rels =
     hooks;
     icache = Index_cache.create ();
     trace;
+    guard;
   }
 
 let with_trace env trace = { env with trace = Some trace }
+
+let with_guard env guard = { env with guard }
 
 let bind_rel env name rel = { env with rels = SM.add name rel env.rels }
 
@@ -476,13 +482,15 @@ and eval_branch : 'a. env -> branch -> emit:('a -> Tuple.t -> 'a) -> 'a -> 'a =
   in
   if not (List.for_all (eval_formula env) pre) then acc
   else begin
+    if !Guard.Failpoint.armed then
+      Guard.Failpoint.hit ~guard:env.guard "eval.branch";
     let pipeline = lower_branch env branch in
     (match env.trace with
     | Some tr ->
       Ir.Trace.record tr ~label:(Lazy.force pipeline.Ir.tlabel) pipeline
     | None -> ());
     let acc = ref acc in
-    Ir.run Ir.empty_ctx pipeline (fun t -> acc := emit !acc t);
+    Ir.run ~guard:env.guard Ir.empty_ctx pipeline (fun t -> acc := emit !acc t);
     !acc
   end
 

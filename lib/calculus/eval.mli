@@ -40,6 +40,9 @@ type env = {
   trace : Dc_exec.Ir.trace option;
       (** when set, every lowered physical pipeline is recorded here with
           its post-run operator counters (EXPLAIN) *)
+  guard : Dc_guard.Guard.t;
+      (** resource governor ticked by every pipeline this environment
+          runs; defaults to [Guard.none] (no limits) *)
 }
 
 and hooks = {
@@ -59,11 +62,15 @@ val make_env :
   ?scalars:(string * Value.t) list ->
   ?hooks:hooks ->
   ?trace:Dc_exec.Ir.trace ->
+  ?guard:Dc_guard.Guard.t ->
   (string * Relation.t) list ->
   env
 
 val with_trace : env -> Dc_exec.Ir.trace -> env
 (** Enable pipeline tracing on an existing environment. *)
+
+val with_guard : env -> Dc_guard.Guard.t -> env
+(** Install a resource governor on an existing environment. *)
 
 val bind_rel : env -> string -> Relation.t -> env
 val bind_var : env -> Ast.var -> Tuple.t -> Schema.t -> env

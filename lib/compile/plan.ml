@@ -387,7 +387,8 @@ and source_rel ~use_indexes env = function
 and exec ~use_indexes env (plan : t) =
   let pipeline = lower ~use_indexes env plan in
   let acc = ref (Relation.empty plan.p_schema) in
-  Ir.run Ir.empty_ctx pipeline (fun t -> acc := Relation.add_unchecked t !acc);
+  Ir.run ~guard:env.Eval.guard Ir.empty_ctx pipeline (fun t ->
+      acc := Relation.add_unchecked t !acc);
   !acc
 
 (* Public entry: lower, record the pipeline for EXPLAIN when the
@@ -398,7 +399,8 @@ let run ?(use_indexes = true) env (plan : t) =
   | Some tr -> Ir.Trace.record tr ~label:"compiled plan" pipeline
   | None -> ());
   let acc = ref (Relation.empty plan.p_schema) in
-  Ir.run Ir.empty_ctx pipeline (fun t -> acc := Relation.add_unchecked t !acc);
+  Ir.run ~guard:env.Eval.guard Ir.empty_ctx pipeline (fun t ->
+      acc := Relation.add_unchecked t !acc);
   !acc
 
 (* ------------------------------------------------------------------ *)

@@ -211,17 +211,22 @@ let edb_for db program =
     (Dc_datalog.Syntax.edb_preds program)
     (Dc_datalog.Facts.empty ())
 
-let execute ?use_indexes ?trace db (d : decision) =
+let execute ?use_indexes ?trace ?guard db (d : decision) =
   match d.d_method, d.d_plan with
   | (Decompiled _ | Pushed _), Some plan ->
     Database.coerce
       (Dc_calculus.Eval.range_schema (Database.eval_env db) [] d.d_query)
-      (Plan.run ?use_indexes (Database.eval_env ?trace db) plan)
-  | Direct, _ -> Database.query ?trace db d.d_query
-  | (Decompiled q | Pushed q), None -> Database.query ?trace db q
+      (Plan.run ?use_indexes (Database.eval_env ?trace ?guard db) plan)
+  | Direct, _ -> Database.query ?trace ?guard db d.d_query
+  | (Decompiled q | Pushed q), None -> Database.query ?trace ?guard db q
   | Magic { program; query; schema; residual; var }, _ ->
     let edb = edb_for db program in
-    let result = Pushdown.run_magic ?trace ~edb ~schema program query in
+    let guard =
+      match guard with
+      | Some g -> g
+      | None -> Dc_guard.Guard.of_limits (Database.limits db)
+    in
+    let result = Pushdown.run_magic ~guard ?trace ~edb ~schema program query in
     if residual = Ast.True then result
     else
       let env = Database.eval_env db in

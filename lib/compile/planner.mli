@@ -44,13 +44,17 @@ val edb_for : Database.t -> Dc_datalog.Syntax.program -> Dc_datalog.Facts.t
 val execute :
   ?use_indexes:bool ->
   ?trace:Dc_exec.Ir.trace ->
+  ?guard:Dc_guard.Guard.t ->
   Database.t ->
   decision ->
   Relation.t
 (** Runtime level: run the decision.  [use_indexes:false] forces full
     scans in compiled plans (the E11 ablation).  [trace] records every
     physical pipeline the execution lowers and runs, whatever the method
-    — compiled plan, direct fixpoint, or magic-sets Datalog rounds. *)
+    — compiled plan, direct fixpoint, or magic-sets Datalog rounds.
+    [guard] (default: a fresh guard over the database's limits) governs
+    the execution whatever the method.
+    @raise Dc_guard.Guard.Exhausted when the guard trips *)
 
 val plan_and_execute : Database.t -> Ast.range -> Relation.t
 

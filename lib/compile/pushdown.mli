@@ -56,6 +56,7 @@ val magic_query :
     and build the adorned query for the constant bindings. *)
 
 val run_magic :
+  ?guard:Dc_guard.Guard.t ->
   ?stats:Dc_datalog.Seminaive.stats ->
   ?trace:Dc_exec.Ir.trace ->
   edb:Dc_datalog.Facts.t ->

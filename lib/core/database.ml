@@ -13,6 +13,7 @@
 
 open Dc_relation
 open Dc_calculus
+module Guard = Dc_guard.Guard
 
 module SM = Map.Make (String)
 
@@ -27,11 +28,12 @@ type t = {
   mutable strategy : Fixpoint.strategy;
   mutable check_positivity : bool;
   mutable max_rounds : int;
+  mutable limits : Guard.limits;
   mutable last_stats : Fixpoint.stats option;
 }
 
 let create ?(strategy = Fixpoint.Seminaive) ?(check_positivity = true)
-    ?(max_rounds = Fixpoint.default_max_rounds) () =
+    ?(max_rounds = Fixpoint.default_max_rounds) ?(limits = Guard.no_limits) () =
   {
     rels = SM.empty;
     selectors = SM.empty;
@@ -39,12 +41,15 @@ let create ?(strategy = Fixpoint.Seminaive) ?(check_positivity = true)
     strategy;
     check_positivity;
     max_rounds;
+    limits;
     last_stats = None;
   }
 
 let set_strategy db s = db.strategy <- s
 let strategy db = db.strategy
 let set_check_positivity db b = db.check_positivity <- b
+let set_limits db l = db.limits <- l
+let limits db = db.limits
 let last_stats db = db.last_stats
 
 (* ------------------------------------------------------------------ *)
@@ -87,8 +92,15 @@ let typecheck_env db =
 
 (* Evaluation environment with the full constructor/selector semantics.
    [trace], when given, records every physical pipeline the evaluation
-   lowers and runs (EXPLAIN). *)
-let eval_env ?trace db =
+   lowers and runs (EXPLAIN).  [guard] defaults to a fresh guard over the
+   database's declarative limits (SET LIMIT): each evaluation gets its own
+   budgets.  Constructor fixpoints pick the guard up from the environment. *)
+let eval_env ?trace ?guard db =
+  let guard =
+    match guard with
+    | Some g -> g
+    | None -> Guard.of_limits db.limits
+  in
   let hooks =
     {
       Eval.selector_def = (fun n -> SM.find_opt n db.selectors);
@@ -105,7 +117,7 @@ let eval_env ?trace db =
           value);
     }
   in
-  Eval.make_env ~hooks ?trace (SM.bindings db.rels)
+  Eval.make_env ~hooks ?trace ~guard (SM.bindings db.rels)
 
 (* ------------------------------------------------------------------ *)
 (* Definitions *)
@@ -154,9 +166,9 @@ let constructor_names db = List.map fst (SM.bindings db.constructors)
 
 let check_query db range = Typecheck.check_query (typecheck_env db) range
 
-let query ?trace db range =
+let query ?trace ?guard db range =
   check_query db range;
-  Eval.eval_range (eval_env ?trace db) range
+  Eval.eval_range (eval_env ?trace ?guard db) range
 
 let eval_formula db formula =
   Typecheck.check_formula (typecheck_env db) [] formula;

@@ -15,14 +15,21 @@ val create :
   ?strategy:Fixpoint.strategy ->
   ?check_positivity:bool ->
   ?max_rounds:int ->
+  ?limits:Dc_guard.Guard.limits ->
   unit ->
   t
 (** Fresh database. Defaults: [Seminaive], positivity checked,
-    {!Fixpoint.default_max_rounds}. *)
+    {!Fixpoint.default_max_rounds}, no resource limits. *)
 
 val set_strategy : t -> Fixpoint.strategy -> unit
 val strategy : t -> Fixpoint.strategy
 val set_check_positivity : t -> bool -> unit
+
+val set_limits : t -> Dc_guard.Guard.limits -> unit
+(** Declarative resource limits (the surface language's [SET LIMIT]):
+    every subsequent evaluation runs under a fresh guard over these. *)
+
+val limits : t -> Dc_guard.Guard.limits
 
 val last_stats : t -> Fixpoint.stats option
 (** Statistics of the most recent top-level constructor application. *)
@@ -69,18 +76,22 @@ val constructor_names : t -> string list
 
 val typecheck_env : t -> Typecheck.env
 
-val eval_env : ?trace:Dc_exec.Ir.trace -> t -> Eval.env
+val eval_env : ?trace:Dc_exec.Ir.trace -> ?guard:Dc_guard.Guard.t -> t -> Eval.env
 (** Evaluation environment with selector filtering and constructor
     fixpoint semantics installed.  [trace] records every physical
-    pipeline the evaluation lowers and runs (EXPLAIN). *)
+    pipeline the evaluation lowers and runs (EXPLAIN).  [guard] defaults
+    to a fresh guard over {!limits}. *)
 
 (** {1 Queries and assignment} *)
 
 val check_query : t -> Ast.range -> unit
 
-val query : ?trace:Dc_exec.Ir.trace -> t -> Ast.range -> Relation.t
+val query :
+  ?trace:Dc_exec.Ir.trace -> ?guard:Dc_guard.Guard.t -> t -> Ast.range -> Relation.t
 (** Typecheck, then evaluate (constructor applications run to their least
-    fixpoint). *)
+    fixpoint) under [guard] (default: a fresh guard over {!limits}).
+    @raise Dc_guard.Guard.Exhausted when a limit trips; aborted
+    constructor expansions leave the database and caches unchanged. *)
 
 val eval_formula : t -> Ast.formula -> bool
 (** Closed formulas only. *)

@@ -35,6 +35,7 @@
 
 open Dc_relation
 open Dc_calculus
+module Guard = Dc_guard.Guard
 
 exception Divergence of string
 
@@ -190,6 +191,7 @@ type state = {
   mutable saw_shrink : bool; (* a value shrank: non-monotone system *)
   strategy : strategy;
   max_rounds : int;
+  guard : Guard.t;
   stats : stats;
   lookup_constructor : string -> Defs.constructor_def option;
 }
@@ -398,6 +400,8 @@ let round st =
   in
   List.iter
     (fun (key, v, d, monotone) ->
+      if !Guard.Failpoint.armed then
+        Guard.Failpoint.hit ~guard:st.guard "fixpoint.commit";
       (* Delta-advance the cached access paths before the old full value
          becomes unreachable: every index built on it is extended with the
          round's delta and re-keyed to the new value, so next round's
@@ -423,6 +427,7 @@ let run st root_key =
     if st.stats.rounds >= st.max_rounds then
       divergence "no fixpoint after %d rounds (max_rounds exceeded)"
         st.max_rounds;
+    Guard.round st.guard ~site:"fixpoint.round";
     let before = st.full in
     st.discovered_this_round <- false;
     let changed = round st in
@@ -460,9 +465,14 @@ let default_max_rounds = 100_000
    any point below it, and the previous value of the application is below
    the new fixpoint whenever the base only grew.  Seeding an unrelated or
    shrunken base is unsound — the caller guarantees growth. *)
-let apply ?(strategy = Seminaive) ?(max_rounds = default_max_rounds) ?stats
-    ?seed ?seed_delta env (def : Defs.constructor_def) base args =
+let apply ?(strategy = Seminaive) ?(max_rounds = default_max_rounds) ?guard
+    ?stats ?seed ?seed_delta env (def : Defs.constructor_def) base args =
   let stats = Option.value stats ~default:(fresh_stats ()) in
+  (* The governor defaults to the environment's own guard, so a limited
+     Database evaluation bounds its constructor expansions without every
+     hook having to thread the guard explicitly. *)
+  let guard = Option.value guard ~default:env.Eval.guard in
+  let env = if guard == env.Eval.guard then env else Eval.with_guard env guard in
   let st =
     {
       apps = KM.empty;
@@ -474,6 +484,7 @@ let apply ?(strategy = Seminaive) ?(max_rounds = default_max_rounds) ?stats
       saw_shrink = false;
       strategy;
       max_rounds;
+      guard;
       stats;
       lookup_constructor = env.Eval.hooks.Eval.constructor_def;
     }
@@ -496,4 +507,8 @@ let apply ?(strategy = Seminaive) ?(max_rounds = default_max_rounds) ?stats
     st.delta <- KM.add app.key delta st.delta;
     st.initialized <- KS.add app.key st.initialized
   | None -> ());
-  run st app.key
+  (* Atomicity of constructor expansion: the rounds mutate the shared
+     index cache in place ([advance_caches]); if any guard, failpoint, or
+     evaluation error aborts the fixpoint, the cache transaction rolls
+     every such mutation back, so callers observe all-or-nothing. *)
+  Index_cache.protect env.Eval.icache (fun () -> run st app.key)

@@ -49,6 +49,7 @@ val default_max_rounds : int
 val apply :
   ?strategy:strategy ->
   ?max_rounds:int ->
+  ?guard:Dc_guard.Guard.t ->
   ?stats:stats ->
   ?seed:Relation.t ->
   ?seed_delta:Relation.t ->
@@ -62,6 +63,14 @@ val apply :
     supplies global relations plus selector/constructor lookups through its
     hooks; nested applications discovered during evaluation join the
     system.  Defaults: [Seminaive], {!default_max_rounds}.
+
+    [guard] (default: the environment's own guard) governs the expansion:
+    every round ticks its round budget and every pipeline row its row
+    budget/deadline.  The expansion is {e atomic}: when the guard trips —
+    or any other exception aborts the fixpoint — the shared index cache is
+    rolled back to its pre-call state before the exception propagates, and
+    no database state has been touched.
+    @raise Dc_guard.Guard.Exhausted when the guard trips.
 
     [seed] starts the root application from that value instead of bottom —
     incremental maintenance under base growth ([ShTZ 84]): sound because

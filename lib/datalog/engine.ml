@@ -25,6 +25,29 @@ module Join_order = Dc_exec.Join_order
 
 type row = Value.t array
 
+(* Structured errors: one taxonomy for the whole Datalog layer instead of
+   ad-hoc [invalid_arg]s, so drivers can distinguish user mistakes
+   (unsafe rules) from engine limitations and internal invariants. *)
+type error_kind =
+  | Unsafe_rule
+  | Unbound_variable
+  | Unsupported
+  | Internal
+
+let error_kind_name = function
+  | Unsafe_rule -> "unsafe rule"
+  | Unbound_variable -> "unbound variable"
+  | Unsupported -> "unsupported"
+  | Internal -> "internal"
+
+exception Error of error_kind * string
+
+let error kind fmt =
+  Fmt.kstr (fun s -> raise (Error (kind, s))) fmt
+
+let pp_error ppf (kind, msg) =
+  Fmt.pf ppf "%s: %s" (error_kind_name kind) msg
+
 let dummy = Value.Bool false
 
 (* ------------------------------------------------------------------ *)
@@ -164,7 +187,7 @@ let compile_rule ?(reorder = true) ?(card = fun _ _ -> None) ?(bound = [])
   let slot v =
     match Hashtbl.find_opt slots v with
     | Some s -> s
-    | None -> invalid_arg ("compile_rule: unbound variable " ^ v)
+    | None -> error Unbound_variable "compile_rule: unbound variable %s" v
   in
   List.iter (fun v -> ignore (alloc v)) bound;
   let getter = function
@@ -297,9 +320,8 @@ let compile_rule ?(reorder = true) ?(card = fun _ _ -> None) ?(bound = [])
       attach_ready ())
     order;
   if !pending <> [] then
-    invalid_arg
-      (Fmt.str "compile_rule: unsafe rule (ungroundable constraint): %a"
-         pp_rule rule);
+    error Unsafe_rule "compile_rule: unsafe rule (ungroundable constraint): %a"
+      pp_rule rule;
   let head_getters = List.map getter rule.head.args in
   let tuple row = Tuple.of_list (List.map (fun g -> g row) head_getters) in
   let n_slots = !nslots in

@@ -11,6 +11,24 @@ open Dc_relation
 
 type row = Value.t array
 
+(** {1 Errors}
+
+    One structured taxonomy for the whole Datalog layer (compiler and
+    engines), replacing ad-hoc [Invalid_argument]s. *)
+
+type error_kind =
+  | Unsafe_rule  (** negation/test can never be grounded, floundering *)
+  | Unbound_variable  (** a variable was consulted before any binding *)
+  | Unsupported  (** the engine does not implement this feature *)
+  | Internal  (** broken engine invariant — a bug *)
+
+exception Error of error_kind * string
+
+val error : error_kind -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** Raise {!Error} with a formatted message. *)
+
+val pp_error : (error_kind * string) Fmt.t
+
 val dummy : Value.t
 (** Placeholder filling unbound slots of a fresh row. *)
 
@@ -75,5 +93,5 @@ val compile_rule :
     sideways information passing depends on it).  [bound] lists variables
     pre-bound in the initial row (slots allocated first, in order).
 
-    @raise Invalid_argument if a negation or test can never be grounded
-    (unsafe rule). *)
+    @raise Error ([Unsafe_rule]) if a negation or test can never be
+    grounded. *)

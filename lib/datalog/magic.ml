@@ -135,9 +135,10 @@ let transform (program : program) (query : atom) =
 (* Evaluate [query] against [program]/[edb] through the magic transform
    with semi-naive evaluation; returns the set of query-matching tuples of
    the original predicate. *)
-let answer ?stats ?trace (program : program) (edb : Facts.t) (query : atom) =
+let answer ?guard ?stats ?trace (program : program) (edb : Facts.t)
+    (query : atom) =
   let transformed, adorned_query = transform program query in
-  let store = Seminaive.run ?stats ?trace transformed edb in
+  let store = Seminaive.run ?guard ?stats ?trace transformed edb in
   let matching = Facts.find store adorned_query in
   (* keep only tuples agreeing with the query constants *)
   Facts.TS.filter

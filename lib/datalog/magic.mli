@@ -21,6 +21,7 @@ val transform : Syntax.program -> Syntax.atom -> Syntax.program * string
     @raise Unsupported on negation or non-IDB queries. *)
 
 val answer :
+  ?guard:Dc_guard.Guard.t ->
   ?stats:Seminaive.stats ->
   ?trace:Dc_exec.Ir.trace ->
   Syntax.program ->
@@ -29,4 +30,5 @@ val answer :
   Facts.TS.t
 (** Evaluate the query through the transform with semi-naive evaluation;
     returns the tuples of the original predicate matching the query
-    constants. *)
+    constants.  [guard] is passed through to the semi-naive engine.
+    @raise Dc_guard.Guard.Exhausted when the guard trips *)

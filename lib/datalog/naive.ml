@@ -16,6 +16,7 @@ open Syntax
 
 module TS = Facts.TS
 module Ir = Dc_exec.Ir
+module Guard = Dc_guard.Guard
 
 type stats = {
   mutable rounds : int;
@@ -24,7 +25,7 @@ type stats = {
 
 let fresh_stats () = { rounds = 0; derivations = 0 }
 
-let run ?stats ?trace (program : program) (edb : Facts.t) =
+let run ?(guard = Guard.none) ?stats ?trace (program : program) (edb : Facts.t) =
   check_safe program;
   let stats = Option.value stats ~default:(fresh_stats ()) in
   let stratum = ref 0 in
@@ -52,6 +53,7 @@ let run ?stats ?trace (program : program) (edb : Facts.t) =
     let changed = ref true in
     while !changed do
       changed := false;
+      Guard.round guard ~site:"datalog.round";
       stats.rounds <- stats.rounds + 1;
       let ctx = Engine.store_ctx !current in
       let news =
@@ -59,7 +61,7 @@ let run ?stats ?trace (program : program) (edb : Facts.t) =
           (fun (pred, pipe, u) ->
             let before = u.Ir.tc.Ir.rows in
             let fresh = ref TS.empty in
-            Ir.run ctx pipe (fun t -> fresh := TS.add t !fresh);
+            Ir.run ~guard ctx pipe (fun t -> fresh := TS.add t !fresh);
             stats.derivations <- stats.derivations + u.Ir.tc.Ir.rows - before;
             (pred, !fresh))
           pipelines
@@ -88,5 +90,5 @@ let run ?stats ?trace (program : program) (edb : Facts.t) =
   List.fold_left eval_layer edb (Stratify.layers program)
 
 (* Convenience: all facts of one predicate after evaluation. *)
-let query ?stats ?trace program edb pred =
-  Facts.find (run ?stats ?trace program edb) pred
+let query ?guard ?stats ?trace program edb pred =
+  Facts.find (run ?guard ?stats ?trace program edb) pred

@@ -10,13 +10,21 @@ type stats = {
 val fresh_stats : unit -> stats
 
 val run :
-  ?stats:stats -> ?trace:Dc_exec.Ir.trace -> Syntax.program -> Facts.t -> Facts.t
+  ?guard:Dc_guard.Guard.t ->
+  ?stats:stats ->
+  ?trace:Dc_exec.Ir.trace ->
+  Syntax.program ->
+  Facts.t ->
+  Facts.t
 (** Evaluate the (stratified) program over the EDB; returns the full store.
-    [trace] records each stratum's compiled pipeline with whole-fixpoint
-    operator counters (EXPLAIN).
-    @raise Syntax.Unsafe_rule / Stratify.Not_stratifiable *)
+    [guard] bounds the evaluation (rounds tick its round budget, emitted
+    rows its row budget/deadline).  [trace] records each stratum's
+    compiled pipeline with whole-fixpoint operator counters (EXPLAIN).
+    @raise Syntax.Unsafe_rule / Stratify.Not_stratifiable
+    @raise Dc_guard.Guard.Exhausted when the guard trips *)
 
 val query :
+  ?guard:Dc_guard.Guard.t ->
   ?stats:stats ->
   ?trace:Dc_exec.Ir.trace ->
   Syntax.program ->

@@ -29,6 +29,7 @@ open Syntax
 module SS = Set.Make (String)
 module TS = Facts.TS
 module Ir = Dc_exec.Ir
+module Guard = Dc_guard.Guard
 
 type stats = {
   mutable rounds : int;
@@ -37,7 +38,7 @@ type stats = {
 
 let fresh_stats () = { rounds = 0; derivations = 0 }
 
-let run ?stats ?trace (program : program) (edb : Facts.t) =
+let run ?(guard = Guard.none) ?stats ?trace (program : program) (edb : Facts.t) =
   check_safe program;
   let stats = Option.value stats ~default:(fresh_stats ()) in
   let stratum = ref 0 in
@@ -109,7 +110,7 @@ let run ?stats ?trace (program : program) (edb : Facts.t) =
         (fun (pred, pipe, u) ->
           let before = u.Ir.tc.Ir.rows in
           let fresh = ref TS.empty in
-          Ir.run ctx pipe (fun t -> fresh := TS.add t !fresh);
+          Ir.run ~guard ctx pipe (fun t -> fresh := TS.add t !fresh);
           stats.derivations <- stats.derivations + u.Ir.tc.Ir.rows - before;
           (pred, !fresh))
         pipes
@@ -120,6 +121,7 @@ let run ?stats ?trace (program : program) (edb : Facts.t) =
     let nonempty news = List.exists (fun (_, s) -> not (TS.is_empty s)) news in
     let full = ref store in
     (* Round 1: all rules against the full store. *)
+    Guard.round guard ~site:"datalog.round";
     stats.rounds <- stats.rounds + 1;
     let news = run_round round1 (Engine.store_ctx !full) in
     let delta = ref (apply news (Facts.empty ())) in
@@ -127,6 +129,7 @@ let run ?stats ?trace (program : program) (edb : Facts.t) =
     (* Subsequent rounds: delta variants only. *)
     let continue = ref (nonempty news) in
     while !continue do
+      Guard.round guard ~site:"datalog.round";
       stats.rounds <- stats.rounds + 1;
       let news = run_round deltas (Engine.delta_ctx ~full:!full ~delta:!delta) in
       delta := apply news (Facts.empty ());
@@ -152,5 +155,5 @@ let run ?stats ?trace (program : program) (edb : Facts.t) =
   in
   List.fold_left eval_layer edb (Stratify.layers program)
 
-let query ?stats ?trace program edb pred =
-  Facts.find (run ?stats ?trace program edb) pred
+let query ?guard ?stats ?trace program edb pred =
+  Facts.find (run ?guard ?stats ?trace program edb) pred

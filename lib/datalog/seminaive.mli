@@ -11,12 +11,21 @@ type stats = {
 val fresh_stats : unit -> stats
 
 val run :
-  ?stats:stats -> ?trace:Dc_exec.Ir.trace -> Syntax.program -> Facts.t -> Facts.t
-(** [trace] records each stratum's round-1 and delta pipelines with
-    whole-fixpoint operator counters (EXPLAIN).
-    @raise Syntax.Unsafe_rule / Stratify.Not_stratifiable *)
+  ?guard:Dc_guard.Guard.t ->
+  ?stats:stats ->
+  ?trace:Dc_exec.Ir.trace ->
+  Syntax.program ->
+  Facts.t ->
+  Facts.t
+(** [guard] bounds the evaluation (rounds tick its round budget, emitted
+    rows its row budget/deadline).  [trace] records each stratum's
+    round-1 and delta pipelines with whole-fixpoint operator counters
+    (EXPLAIN).
+    @raise Syntax.Unsafe_rule / Stratify.Not_stratifiable
+    @raise Dc_guard.Guard.Exhausted when the guard trips *)
 
 val query :
+  ?guard:Dc_guard.Guard.t ->
   ?stats:stats ->
   ?trace:Dc_exec.Ir.trace ->
   Syntax.program ->

@@ -35,6 +35,7 @@ open Syntax
 module TS = Facts.TS
 module Ir = Dc_exec.Ir
 module Extent = Dc_exec.Extent
+module Guard = Dc_guard.Guard
 
 type stats = {
   mutable rounds : int;
@@ -89,6 +90,7 @@ type state = {
   mutable compiled_order : Engine.compiled list; (* reverse, for EXPLAIN *)
   mutable order : call list; (* registration order *)
   mutable changed : bool;
+  guard : Guard.t;
   stats : stats;
 }
 
@@ -129,14 +131,17 @@ let compile_for st ri rule call =
               Extent.label = Fmt.str "table %s" a.pred;
               cardinal = (fun () -> Some (TS.cardinal !answers));
               iter = (fun f -> TS.iter f !answers);
-              lookup = (fun _ _ -> invalid_arg "tabled: keyed table lookup");
+              lookup =
+                (fun _ _ ->
+                  Engine.error Internal "tabled: keyed table lookup");
               mem = (fun t -> TS.mem t !answers);
             })
       else Engine.Static (Ir.Fixed (Engine.store_extent st.edb a.pred))
     in
     let c =
       Engine.compile_rule ~reorder:false ~bound ~source
-        ~neg_source:(fun _ -> invalid_arg "tabled: negation not supported")
+        ~neg_source:(fun _ ->
+          Engine.error Unsupported "tabled: negation not supported")
         ~label:(lazy (Fmt.str "%a  [%s/%s]" pp_rule rule call.c_pred adn))
         rule
     in
@@ -176,7 +181,8 @@ let evaluate_call st (call : call) =
               let row = Array.make n Engine.dummy in
               List.iter (fun (s, v) -> row.(s) <- v) writes;
               row);
-          Ir.run Ir.empty_ctx compiled.Engine.pipeline (fun answer ->
+          Ir.run ~guard:st.guard Ir.empty_ctx compiled.Engine.pipeline
+            (fun answer ->
               st.stats.derivations <- st.stats.derivations + 1;
               if not (TS.mem answer !table) then begin
                 table := TS.add answer !table;
@@ -186,10 +192,19 @@ let evaluate_call st (call : call) =
       end)
     st.program
 
-let solve ?stats ?trace ?(max_rounds = 100_000) (program : program)
-    (edb : Facts.t) (goal : atom) =
+let default_max_rounds = 100_000
+
+let solve ?guard ?stats ?trace ?(max_rounds = default_max_rounds)
+    (program : program) (edb : Facts.t) (goal : atom) =
   check_safe program;
   let stats = Option.value stats ~default:(fresh_stats ()) in
+  (* The hard-coded round fuse is now just a default guard: callers can
+     pass their own guard (any budget mix) or a custom [max_rounds]. *)
+  let guard =
+    match guard with
+    | Some g -> g
+    | None -> Guard.create ~rounds:max_rounds ()
+  in
   let st =
     {
       program = Array.of_list program;
@@ -200,19 +215,20 @@ let solve ?stats ?trace ?(max_rounds = 100_000) (program : program)
       compiled_order = [];
       order = [];
       changed = false;
+      guard;
       stats;
     }
   in
   let root = canonicalize goal.pred goal.args in
   let root_table = ensure_call st root in
-  let rec loop n =
-    if n > max_rounds then invalid_arg "tabled: round budget exceeded";
+  let rec loop () =
+    Guard.round guard ~site:"tabled.round";
     st.changed <- false;
     stats.rounds <- stats.rounds + 1;
     List.iter (evaluate_call st) st.order;
-    if st.changed then loop (n + 1)
+    if st.changed then loop ()
   in
-  loop 1;
+  loop ();
   Option.iter
     (fun tr ->
       List.iter
@@ -240,6 +256,6 @@ let solve ?stats ?trace ?(max_rounds = 100_000) (program : program)
   in
   TS.filter matches !root_table
 
-let query ?stats ?trace ?max_rounds program edb pred arity =
-  solve ?stats ?trace ?max_rounds program edb
+let query ?guard ?stats ?trace ?max_rounds program edb pred arity =
+  solve ?guard ?stats ?trace ?max_rounds program edb
     (atom pred (List.init arity (fun i -> Var (Fmt.str "Q%d" i))))

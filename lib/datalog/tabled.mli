@@ -13,7 +13,10 @@ type stats = {
 
 val fresh_stats : unit -> stats
 
+val default_max_rounds : int
+
 val solve :
+  ?guard:Dc_guard.Guard.t ->
   ?stats:stats ->
   ?trace:Dc_exec.Ir.trace ->
   ?max_rounds:int ->
@@ -25,9 +28,15 @@ val solve :
     IDB subgoals resolve only through rules and tables: facts stored in
     the EDB under an IDB predicate name are not consulted (keep base facts
     under EDB-only predicates, as the bottom-up engines' workloads do).
-    @raise Invalid_argument on negation or budget exhaustion. *)
+
+    The round fuse is a guard round budget: [guard] (full budget mix)
+    takes precedence, otherwise a fresh guard over [max_rounds] (default
+    {!default_max_rounds}) is used.
+    @raise Dc_guard.Guard.Exhausted when the budget trips
+    @raise Engine.Error ([Unsupported]) on negation *)
 
 val query :
+  ?guard:Dc_guard.Guard.t ->
   ?stats:stats ->
   ?trace:Dc_exec.Ir.trace ->
   ?max_rounds:int ->

@@ -16,6 +16,7 @@ open Dc_relation
 open Syntax
 
 module Subst = Map.Make (String)
+module Guard = Dc_guard.Guard
 
 exception Budget_exhausted of string
 
@@ -89,17 +90,25 @@ type budget = {
 
 let default_budget = { max_steps = 10_000_000; max_depth = 100_000 }
 
-let solve ?(budget = default_budget) ?stats (program : program)
-    (edb : Facts.t) (goal : atom) =
+let step_label = lazy "sld resolution step"
+
+let solve ?(budget = default_budget) ?(guard = Guard.none) ?stats
+    (program : program) (edb : Facts.t) (goal : atom) =
   let stats = Option.value stats ~default:(fresh_stats ()) in
   let solutions = ref [] in
+  (* The step budget is a thin alias over a guard row budget: an internal
+     guard enforces [budget.max_steps] under the legacy [Budget_exhausted]
+     exception, while the caller's [guard] (deadline, cancellation, row
+     budget) trips with the structured [Guard.Exhausted]. *)
+  let ig = Guard.create ~rows:budget.max_steps () in
   let step () =
     stats.resolution_steps <- stats.resolution_steps + 1;
-    if stats.resolution_steps > budget.max_steps then
+    (try Guard.tick ig step_label with
+    | Guard.Exhausted (Guard.Rows_exhausted n, _) ->
       raise
         (Budget_exhausted
-           (Fmt.str "SLD search exceeded %d resolution steps"
-              budget.max_steps))
+           (Fmt.str "SLD search exceeded %d resolution steps" n)));
+    Guard.tick guard step_label
   in
   let rec prove subst depth goals k =
     if depth > stats.max_goal_depth then stats.max_goal_depth <- depth;
@@ -113,12 +122,12 @@ let solve ?(budget = default_budget) ?stats (program : program)
       match walk subst x, walk subst y with
       | Const a, Const b ->
         if Dc_calculus.Eval.eval_cmp op a b then prove subst depth rest k
-      | _ -> invalid_arg "topdown: non-ground comparison")
+      | _ -> Engine.error Unsafe_rule "topdown: non-ground comparison")
     | Neg a :: rest ->
       (* negation as failure on ground literals *)
       let ground = { a with args = List.map (walk subst) a.args } in
       if not (is_ground_atom ground) then
-        invalid_arg "topdown: floundering (non-ground negation)";
+        Engine.error Unsafe_rule "topdown: floundering (non-ground negation)";
       let found = ref false in
       (try prove subst depth [ Pos ground ] (fun _ -> found := true; raise Exit)
        with Exit -> ());
@@ -165,7 +174,7 @@ let solve ?(budget = default_budget) ?stats (program : program)
           (fun t ->
             match walk subst t with
             | Const v -> v
-            | Var _ -> invalid_arg "topdown: non-ground answer")
+            | Var _ -> Engine.error Internal "topdown: non-ground answer")
           goal.args
       in
       stats.solutions <- stats.solutions + 1;
@@ -173,6 +182,6 @@ let solve ?(budget = default_budget) ?stats (program : program)
   List.sort_uniq Tuple.compare !solutions
 
 (* All derivable tuples of [pred] with the given arity (open query). *)
-let query ?budget ?stats program edb pred arity =
+let query ?budget ?guard ?stats program edb pred arity =
   let goal = atom pred (List.init arity (fun i -> Var (Fmt.str "Q%d" i))) in
-  solve ?budget ?stats program edb goal
+  solve ?budget ?guard ?stats program edb goal

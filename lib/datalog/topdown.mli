@@ -29,16 +29,22 @@ val default_budget : budget
 
 val solve :
   ?budget:budget ->
+  ?guard:Dc_guard.Guard.t ->
   ?stats:stats ->
   Syntax.program ->
   Facts.t ->
   Syntax.atom ->
   Tuple.t list
 (** All ground instances of the goal atom derivable from program + EDB,
-    sorted and deduplicated. @raise Budget_exhausted *)
+    sorted and deduplicated.  [budget] is enforced as a guard row budget
+    under the legacy exception; [guard] adds caller-side limits
+    (deadline, cancellation, row budget) with the structured error.
+    @raise Budget_exhausted when [budget] trips
+    @raise Dc_guard.Guard.Exhausted when [guard] trips *)
 
 val query :
   ?budget:budget ->
+  ?guard:Dc_guard.Guard.t ->
   ?stats:stats ->
   Syntax.program ->
   Facts.t ->

@@ -25,6 +25,7 @@
    what EXPLAIN prints after running a query. *)
 
 open Dc_relation
+module Guard = Dc_guard.Guard
 
 exception Exec_error of string
 
@@ -182,29 +183,39 @@ let distinct ~label t =
 (* Execution.  Push-based internally: each operator folds its input and
    calls the continuation per row — no closure of the whole pipeline into
    an intermediate structure, no per-tuple allocation beyond what the
-   row representation itself requires. *)
+   row representation itself requires.
 
-let rec run_node : 'row. ctx -> 'row node -> 'row -> ('row -> unit) -> unit =
-  fun (type row) ctx (node : row node) (init : row) (k : row -> unit) ->
+   The guard is ticked on exactly the emissions that bump [c.rows]: the
+   row counters and the governor share hot-path hooks, so a pipeline
+   with no limits pays one increment and one compare per row.  [guard]
+   is a plain parameter here (not optional) because the polymorphic
+   recursion annotation doesn't admit optional arguments. *)
+
+let rec run_node :
+    'row. Guard.t -> ctx -> 'row node -> 'row -> ('row -> unit) -> unit =
+  fun (type row) guard ctx (node : row node) (init : row) (k : row -> unit) ->
    let c = node.c in
+   let label = node.label in
    match node.op with
    | Seed ->
      c.rows <- c.rows + 1;
+     Guard.tick guard label;
      k init
    | Scan a | Nested_loop_join a ->
      let ext = resolve ctx a.a_src in
      let bind = a.a_bind in
-     run_node ctx a.a_input init (fun row ->
+     run_node guard ctx a.a_input init (fun row ->
          ext.Extent.iter (fun t ->
              match bind row t with
              | Some row' ->
                c.rows <- c.rows + 1;
+               Guard.tick guard label;
                k row'
              | None -> ()))
    | Index_lookup kd | Hash_join kd ->
      let ext = resolve ctx kd.k_src in
      let bind = kd.k_bind in
-     run_node ctx kd.k_input init (fun row ->
+     run_node guard ctx kd.k_input init (fun row ->
          c.probes <- c.probes + 1;
          let matches = ext.Extent.lookup kd.k_positions (kd.k_key row) in
          List.iter
@@ -212,30 +223,34 @@ let rec run_node : 'row. ctx -> 'row node -> 'row -> ('row -> unit) -> unit =
              match bind row t with
              | Some row' ->
                c.rows <- c.rows + 1;
+               Guard.tick guard label;
                k row'
              | None -> ())
            matches)
    | Correlated_scan cs ->
-     run_node ctx cs.cs_input init (fun row ->
+     run_node guard ctx cs.cs_input init (fun row ->
          let ext = cs.cs_gen row in
          ext.Extent.iter (fun t ->
              match cs.cs_bind row t with
              | Some row' ->
                c.rows <- c.rows + 1;
+               Guard.tick guard label;
                k row'
              | None -> ()))
    | Filter f ->
-     run_node ctx f.f_input init (fun row ->
+     run_node guard ctx f.f_input init (fun row ->
          if f.f_pred row then begin
            c.rows <- c.rows + 1;
+           Guard.tick guard label;
            k row
          end)
    | Anti_join aj ->
      let ext = resolve ctx aj.aj_src in
-     run_node ctx aj.aj_input init (fun row ->
+     run_node guard ctx aj.aj_input init (fun row ->
          c.probes <- c.probes + 1;
          if not (ext.Extent.mem (aj.aj_key row)) then begin
            c.rows <- c.rows + 1;
+           Guard.tick guard label;
            k row
          end)
 
@@ -246,41 +261,46 @@ module TH = Hashtbl.Make (struct
   let hash = Tuple.hash
 end)
 
-let rec run (ctx : ctx) (t : t) (k : Tuple.t -> unit) =
+let rec run ?(guard = Guard.none) (ctx : ctx) (t : t) (k : Tuple.t -> unit) =
   let c = t.tc in
+  let label = t.tlabel in
   match t.top with
   | Project p ->
-    run_node ctx p.p_input (p.p_init ()) (fun row ->
+    run_node guard ctx p.p_input (p.p_init ()) (fun row ->
         c.rows <- c.rows + 1;
+        Guard.tick guard label;
         k (p.p_tuple row))
   | Union ts ->
     List.iter
       (fun sub ->
-        run ctx sub (fun tuple ->
+        run ~guard ctx sub (fun tuple ->
             c.rows <- c.rows + 1;
+            Guard.tick guard label;
             k tuple))
       ts
   | Diff d ->
     let ext = resolve ctx d.d_except in
-    run ctx d.d_input (fun tuple ->
+    run ~guard ctx d.d_input (fun tuple ->
         c.probes <- c.probes + 1;
         if not (ext.Extent.mem tuple) then begin
           c.rows <- c.rows + 1;
+          Guard.tick guard label;
           k tuple
         end)
   | Distinct sub ->
     let seen = TH.create 64 in
-    run ctx sub (fun tuple ->
+    run ~guard ctx sub (fun tuple ->
         if not (TH.mem seen tuple) then begin
           TH.replace seen tuple ();
           c.rows <- c.rows + 1;
+          Guard.tick guard label;
           k tuple
         end)
 
 (* Run a pipeline and collect its output into a relation. *)
-let collect ?(ctx = empty_ctx) ~schema t =
+let collect ?(ctx = empty_ctx) ?guard ~schema t =
   let acc = ref (Relation.empty schema) in
-  run ctx t (fun tuple -> acc := Relation.add_unchecked tuple !acc);
+  run ?guard ctx t (fun tuple -> acc := Relation.add_unchecked tuple !acc);
   !acc
 
 (* ------------------------------------------------------------------ *)

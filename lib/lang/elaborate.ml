@@ -10,6 +10,7 @@ open Dc_relation
 open Dc_calculus
 open Dc_core
 open Surface
+module Guard = Dc_guard.Guard
 
 exception Elab_error of string
 
@@ -222,25 +223,52 @@ let execute_decl env = function
     let args = List.map (lower_arg env empty_scope) args in
     Database.assign_selected env.db name ~selector:sel ~args
       (lower_range env empty_scope r)
-  | D_query r | D_print r ->
+  | D_limit items ->
+    (* SET LIMIT merges the listed budgets into the database's declarative
+       limits; SET LIMIT NONE (an empty item list) clears them all. *)
+    let limits =
+      match items with
+      | [] -> Guard.no_limits
+      | items ->
+        List.fold_left
+          (fun l (kind, n) ->
+            match kind with
+            | L_rows -> { l with Guard.l_rows = Some n }
+            | L_rounds -> { l with Guard.l_rounds = Some n }
+            | L_millis -> { l with Guard.l_millis = Some n })
+          (Database.limits env.db) items
+    in
+    Database.set_limits env.db limits
+  | D_query r | D_print r -> (
     let range = lower_range env empty_scope r in
-    let result = Database.query env.db range in
-    output env "QUERY %s@\n%a@\n@\n"
-      (Ast.range_to_string range)
-      Relation.pp_table result
-  | D_explain r ->
+    match Database.query env.db range with
+    | result ->
+      output env "QUERY %s@\n%a@\n@\n"
+        (Ast.range_to_string range)
+        Relation.pp_table result
+    | exception Guard.Exhausted (reason, progress) ->
+      output env "QUERY %s@\n%a@\n@\n"
+        (Ast.range_to_string range)
+        Guard.pp_report (reason, progress))
+  | D_explain r -> (
     let range = lower_range env empty_scope r in
     let decision = Dc_compile.Planner.plan env.db range in
     (* run the decision under a trace: EXPLAIN shows the physical operator
        pipelines actually executed, with their row/probe counters *)
     let trace = Dc_exec.Ir.Trace.create () in
-    ignore (Dc_compile.Planner.execute ~trace env.db decision);
-    output env "EXPLAIN %s@\n%a"
-      (Ast.range_to_string range)
-      Dc_compile.Planner.explain decision;
-    if not (Dc_exec.Ir.Trace.is_empty trace) then
-      output env "physical:@\n%a" Dc_exec.Ir.Trace.pp trace;
-    output env "@\n"
+    match Dc_compile.Planner.execute ~trace env.db decision with
+    | _ ->
+      output env "EXPLAIN %s@\n%a"
+        (Ast.range_to_string range)
+        Dc_compile.Planner.explain decision;
+      if not (Dc_exec.Ir.Trace.is_empty trace) then
+        output env "physical:@\n%a" Dc_exec.Ir.Trace.pp trace;
+      output env "@\n"
+    | exception Guard.Exhausted (reason, progress) ->
+      output env "EXPLAIN %s@\n%a"
+        (Ast.range_to_string range)
+        Dc_compile.Planner.explain decision;
+      output env "%a@\n@\n" Guard.pp_report (reason, progress))
 
 (* Run a whole surface program; returns accumulated QUERY/EXPLAIN output.
    Consecutive CONSTRUCTOR declarations are defined as one group, so

@@ -503,6 +503,34 @@ let decl st =
     let r = range st in
     eat st Token.Semi;
     D_explain r
+  | Token.Kw_set ->
+    (* SET LIMIT ROWS n, ROUNDS n, MILLIS n;   or   SET LIMIT NONE; *)
+    advance st;
+    eat st Token.Kw_limit;
+    let kind st =
+      match ident st with
+      | "ROWS" -> L_rows
+      | "ROUNDS" -> L_rounds
+      | "MILLIS" -> L_millis
+      | k -> error st "expected ROWS, ROUNDS, MILLIS or NONE, got %s" k
+    in
+    let items =
+      match peek st with
+      | Token.Ident "NONE" ->
+        advance st;
+        []
+      | _ ->
+        let rec loop acc =
+          let k = kind st in
+          let n = int_literal st in
+          if n < 0 then error st "limit value must be non-negative";
+          let acc = (k, n) :: acc in
+          if accept st Token.Comma then loop acc else List.rev acc
+        in
+        loop []
+    in
+    eat st Token.Semi;
+    D_limit items
   | Token.Ident _ -> (
     let name = ident st in
     match peek st with

@@ -80,6 +80,11 @@ type constructor_decl = {
   c_body : branch list;
 }
 
+type limit_kind =
+  | L_rows
+  | L_rounds
+  | L_millis
+
 type decl =
   | D_type of string * type_expr
   | D_var of string * string (* var name : relation type name *)
@@ -92,5 +97,7 @@ type decl =
   | D_query of range
   | D_print of range
   | D_explain of range
+  | D_limit of (limit_kind * int) list
+    (* SET LIMIT ROWS n, ROUNDS n, MILLIS n;  empty = SET LIMIT NONE *)
 
 type program = decl list

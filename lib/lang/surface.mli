@@ -79,6 +79,12 @@ type constructor_decl = {
   c_body : branch list;
 }
 
+(** A [SET LIMIT] budget kind. *)
+type limit_kind =
+  | L_rows
+  | L_rounds
+  | L_millis
+
 type decl =
   | D_type of string * type_expr
   | D_var of string * string  (** [VAR name : relation-type-name] *)
@@ -91,5 +97,8 @@ type decl =
   | D_query of range
   | D_print of range
   | D_explain of range
+  | D_limit of (limit_kind * int) list
+      (** [SET LIMIT ROWS n, ROUNDS n, MILLIS n;] merged into the current
+          limits; the empty list ([SET LIMIT NONE;]) clears them all *)
 
 type program = decl list

@@ -45,6 +45,8 @@ type t =
   | Kw_query
   | Kw_print
   | Kw_explain
+  | Kw_set
+  | Kw_limit
   (* punctuation and operators *)
   | Semi
   | Colon
@@ -101,6 +103,8 @@ let keywords =
     ("QUERY", Kw_query);
     ("PRINT", Kw_print);
     ("EXPLAIN", Kw_explain);
+    ("SET", Kw_set);
+    ("LIMIT", Kw_limit);
   ]
 
 let to_string = function

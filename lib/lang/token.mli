@@ -37,6 +37,8 @@ type t =
   | Kw_query
   | Kw_print
   | Kw_explain
+  | Kw_set
+  | Kw_limit
   | Semi
   | Colon
   | Comma

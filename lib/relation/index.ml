@@ -36,6 +36,21 @@ let add idx t =
 
 let extend idx rel = Relation.iter (add idx) rel
 
+let remove idx t =
+  let k = Tuple.project_arr t idx.pos_arr in
+  match H.find_opt idx.table k with
+  | None -> ()
+  | Some bucket ->
+      (* Drop the first occurrence only: [add] stores one entry per
+         insertion, so remove must undo exactly one insertion. *)
+      let rec drop = function
+        | [] -> []
+        | x :: rest -> if Tuple.equal x t then rest else x :: drop rest
+      in
+      (match drop bucket with
+      | [] -> H.remove idx.table k
+      | bucket' -> H.replace idx.table k bucket')
+
 let extend_seq idx seq = Seq.iter (add idx) seq
 
 let build positions rel =

@@ -21,6 +21,10 @@ val extend : t -> Relation.t -> unit
 
 val extend_seq : t -> Tuple.t Seq.t -> unit
 
+val remove : t -> Tuple.t -> unit
+(** Undo one insertion of the tuple (first occurrence in its bucket);
+    no-op when absent. Used to roll back {!extend} on abort. *)
+
 val positions : t -> int list
 
 val lookup : t -> Tuple.t -> Tuple.t list

@@ -29,3 +29,20 @@ val clear : t -> unit
 
 val length : t -> int
 (** Current number of cached entries. *)
+
+val protect : t -> (unit -> 'a) -> 'a
+(** [protect c f] runs [f] in a cache transaction: if [f] raises, every
+    mutation the cache saw meanwhile — entries added or evicted by
+    {!get}, and the in-place index extensions and re-keyings done by
+    {!advance} — is rolled back, leaving the cache observationally
+    identical to its state before the call, and the exception is
+    re-raised.  Nested calls join the outermost transaction.  This is
+    what makes an aborted constructor expansion atomic. *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+(** Deep observational capture of the cache (entry order, keyed
+    relations, index contents, warm flags) — for atomicity tests. *)
+
+val snapshot_equal : snapshot -> snapshot -> bool
