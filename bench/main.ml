@@ -1163,8 +1163,94 @@ let run_smoke () =
   print_records
     (json_experiments ~only:[ "e5_mutual_scene_64"; "e4_magic_left_256" ] ())
 
+(* Observability overhead: interleaved A/B of the same workload with
+   metrics collection disabled versus enabled — the difference is the
+   cost of the [Obs.on ()] checks plus the per-round clock reads and
+   histogram updates (operator-level profiling is EXPLAIN ANALYZE only
+   and never on this path).  Interleaving (A B A B ...) keeps allocator
+   and cache drift out of the comparison, exactly like `guard-overhead`. *)
+
+let obs_overhead_bound = 10.0 (* percent; CI sanity bound, not the claim *)
+
+type obs_overhead = {
+  oo_name : string;
+  oo_base_ms : float; (* metrics disabled, min over rounds *)
+  oo_obs_ms : float; (* metrics enabled, min over rounds *)
+}
+
+let oo_pct r = (r.oo_obs_ms -. r.oo_base_ms) /. r.oo_base_ms *. 100.0
+
+let obs_overhead_records () =
+  let module Obs = Dc_obs.Obs in
+  let saved = Obs.on () in
+  let workloads =
+    [
+      ( "e3_chain_seminaive_512",
+        fun () ->
+          let db = tc_db ~strategy:Fixpoint.Seminaive (Graph_gen.chain 512) in
+          ignore (Database.query db tc_query) );
+      ( "e6_random_horn_200_500",
+        fun () ->
+          let edges = Graph_gen.random_graph ~seed:7 ~nodes:200 ~edges:500 in
+          ignore (Dc_datalog.Seminaive.query tc_program (edb_of edges) "path")
+      );
+    ]
+  in
+  let rounds = 7 in
+  let records =
+    List.map
+      (fun (name, f) ->
+        Obs.set_enabled false;
+        f ();
+        (* warm-up *)
+        let base = ref infinity and obs = ref infinity in
+        for _ = 1 to rounds do
+          Obs.set_enabled false;
+          let (), t_base = time f in
+          Obs.set_enabled true;
+          let (), t_obs = time f in
+          base := min !base t_base;
+          obs := min !obs t_obs
+        done;
+        { oo_name = name; oo_base_ms = !base; oo_obs_ms = !obs })
+      workloads
+  in
+  Obs.set_enabled saved;
+  records
+
+(* Aggregate overhead: total enabled time vs total disabled time — the
+   number the issue bounds at 2% and BENCH_4.json records. *)
+let oo_aggregate records =
+  let b = List.fold_left (fun a r -> a +. r.oo_base_ms) 0. records in
+  let o = List.fold_left (fun a r -> a +. r.oo_obs_ms) 0. records in
+  (o -. b) /. b *. 100.0
+
+let print_obs_overhead records =
+  List.iter
+    (fun r ->
+      Fmt.pr "%-28s off=%sms on=%sms overhead=%+.1f%%@." r.oo_name
+        (ms r.oo_base_ms) (ms r.oo_obs_ms) (oo_pct r))
+    records;
+  Fmt.pr "aggregate overhead %+.1f%% (bound %.0f%%)@." (oo_aggregate records)
+    obs_overhead_bound
+
+let run_obs_overhead () =
+  let records = obs_overhead_records () in
+  print_obs_overhead records;
+  if oo_aggregate records > obs_overhead_bound then begin
+    Fmt.epr "obs overhead above bound@.";
+    exit 1
+  end
+
 let run_json path =
+  (* Experiments run with metrics enabled so the snapshot embeds per-phase
+     breakdowns (span histograms, per-round fixpoint/Datalog series). *)
+  Dc_obs.Obs.reset ();
+  Dc_obs.Obs.set_enabled true;
   let records = json_experiments () in
+  let metrics_json = Dc_obs.Obs.to_json () in
+  Dc_obs.Obs.set_enabled false;
+  let overhead = obs_overhead_records () in
   let oc = open_out path in
   let field_sep = ref "" in
   output_string oc "{\n  \"experiments\": [\n";
@@ -1175,9 +1261,22 @@ let run_json path =
         !field_sep r.jr_name r.jr_wall_ms r.jr_rounds r.jr_tuples;
       field_sep := ",\n")
     records;
-  output_string oc "\n  ]\n}\n";
+  output_string oc "\n  ],\n  \"obs_overhead\": {\n    \"workloads\": [\n";
+  field_sep := "";
+  List.iter
+    (fun r ->
+      Printf.fprintf oc
+        "%s      { \"name\": %S, \"base_ms\": %.3f, \"metrics_ms\": %.3f, \
+         \"overhead_pct\": %.2f }"
+        !field_sep r.oo_name r.oo_base_ms r.oo_obs_ms (oo_pct r);
+      field_sep := ",\n")
+    overhead;
+  Printf.fprintf oc "\n    ],\n    \"aggregate_pct\": %.2f\n  },\n"
+    (oo_aggregate overhead);
+  Printf.fprintf oc "  \"metrics\": %s\n}\n" metrics_json;
   close_out oc;
   print_records records;
+  print_obs_overhead overhead;
   Fmt.pr "wrote %s@." path
 
 (* ------------------------------------------------------------------ *)
@@ -1262,6 +1361,7 @@ let () =
   | [ "json"; path ] -> run_json path
   | [ "smoke" ] -> run_smoke ()
   | [ "guard-overhead" ] -> run_guard_overhead ()
+  | [ "obs-overhead" ] -> run_obs_overhead ()
   | names ->
     List.iter
       (fun name ->

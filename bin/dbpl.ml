@@ -100,8 +100,19 @@ let run_cmd =
       & info [ "save" ] ~docv:"DIR"
           ~doc:"Save the database (catalog + CSVs) after running")
   in
-  let run file strategy unchecked limits load save =
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:
+            "Enable metrics collection and dump the registry to $(docv) \
+             after the run — JSON when $(docv) ends in .json, Prometheus \
+             text otherwise")
+  in
+  let run file strategy unchecked limits load save metrics_out =
     handle_errors @@ fun () ->
+    if Option.is_some metrics_out then Dc_obs.Obs.set_enabled true;
     let db =
       Dc_core.Database.create ~strategy ~check_positivity:(not unchecked)
         ~limits ()
@@ -111,6 +122,16 @@ let run_cmd =
     | None -> ());
     let _, out = Dc_lang.Elaborate.run_string ~db (read_file file) in
     print_string out;
+    (match metrics_out with
+    | Some path ->
+      let body =
+        if Filename.check_suffix path ".json" then Dc_obs.Obs.to_json ()
+        else Dc_obs.Obs.to_prometheus ()
+      in
+      let oc = open_out path in
+      output_string oc body;
+      close_out oc
+    | None -> ());
     match save with
     | Some dir -> Dc_lang.Storage.save db dir
     | None -> ()
@@ -118,7 +139,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Execute a DBPL program")
     Term.(
       const run $ file $ strategy $ unchecked $ limit_flags $ load_dir
-      $ save_dir)
+      $ save_dir $ metrics_out)
 
 let check_cmd =
   let file =
@@ -134,7 +155,8 @@ let check_cmd =
       List.filter
         (function
           | Dc_lang.Surface.D_query _ | Dc_lang.Surface.D_print _
-          | Dc_lang.Surface.D_explain _ ->
+          | Dc_lang.Surface.D_explain _ | Dc_lang.Surface.D_explain_analyze _
+          | Dc_lang.Surface.D_show_metrics ->
             false
           | _ -> true)
         program

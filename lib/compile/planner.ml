@@ -55,6 +55,7 @@ let translate_ctx db =
   }
 
 let plan db (query : Ast.range) =
+  Dc_obs.Obs.Span.timed "plan" @@ fun () ->
   Database.check_query db query;
   let defs =
     List.filter_map (Database.constructor db)
@@ -211,7 +212,7 @@ let edb_for db program =
     (Dc_datalog.Syntax.edb_preds program)
     (Dc_datalog.Facts.empty ())
 
-let execute ?use_indexes ?trace ?guard db (d : decision) =
+let execute ?use_indexes ?trace ?guard ?datalog_stats db (d : decision) =
   match d.d_method, d.d_plan with
   | (Decompiled _ | Pushed _), Some plan ->
     Database.coerce
@@ -226,7 +227,10 @@ let execute ?use_indexes ?trace ?guard db (d : decision) =
       | Some g -> g
       | None -> Dc_guard.Guard.of_limits (Database.limits db)
     in
-    let result = Pushdown.run_magic ~guard ?trace ~edb ~schema program query in
+    let result =
+      Pushdown.run_magic ~guard ?stats:datalog_stats ?trace ~edb ~schema
+        program query
+    in
     if residual = Ast.True then result
     else
       let env = Database.eval_env db in

@@ -45,6 +45,7 @@ val execute :
   ?use_indexes:bool ->
   ?trace:Dc_exec.Ir.trace ->
   ?guard:Dc_guard.Guard.t ->
+  ?datalog_stats:Dc_datalog.Seminaive.stats ->
   Database.t ->
   decision ->
   Relation.t
@@ -53,7 +54,9 @@ val execute :
     physical pipeline the execution lowers and runs, whatever the method
     — compiled plan, direct fixpoint, or magic-sets Datalog rounds.
     [guard] (default: a fresh guard over the database's limits) governs
-    the execution whatever the method.
+    the execution whatever the method.  [datalog_stats], when given,
+    receives the semi-naive round statistics of a [Magic] execution
+    (EXPLAIN ANALYZE's per-round series for that method).
     @raise Dc_guard.Guard.Exhausted when the guard trips *)
 
 val plan_and_execute : Database.t -> Ast.range -> Relation.t

@@ -51,6 +51,7 @@ let set_check_positivity db b = db.check_positivity <- b
 let set_limits db l = db.limits <- l
 let limits db = db.limits
 let last_stats db = db.last_stats
+let reset_last_stats db = db.last_stats <- None
 
 (* ------------------------------------------------------------------ *)
 (* Relation variables *)
@@ -164,11 +165,14 @@ let constructor_names db = List.map fst (SM.bindings db.constructors)
 (* ------------------------------------------------------------------ *)
 (* Queries and assignment *)
 
-let check_query db range = Typecheck.check_query (typecheck_env db) range
+let check_query db range =
+  Dc_obs.Obs.Span.timed "typecheck" (fun () ->
+      Typecheck.check_query (typecheck_env db) range)
 
 let query ?trace ?guard db range =
   check_query db range;
-  Eval.eval_range (eval_env ?trace ?guard db) range
+  Dc_obs.Obs.Span.timed "execute" (fun () ->
+      Eval.eval_range (eval_env ?trace ?guard db) range)
 
 let eval_formula db formula =
   Typecheck.check_formula (typecheck_env db) [] formula;

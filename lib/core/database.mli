@@ -34,6 +34,11 @@ val limits : t -> Dc_guard.Guard.limits
 val last_stats : t -> Fixpoint.stats option
 (** Statistics of the most recent top-level constructor application. *)
 
+val reset_last_stats : t -> unit
+(** Forget the last fixpoint statistics, so a subsequent read reflects
+    only the next evaluation (EXPLAIN ANALYZE uses this to avoid showing
+    a previous query's rounds for a non-recursive query). *)
+
 (** {1 Relation variables} *)
 
 val declare : t -> string -> Schema.t -> unit

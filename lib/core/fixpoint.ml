@@ -36,6 +36,7 @@
 open Dc_relation
 open Dc_calculus
 module Guard = Dc_guard.Guard
+module Obs = Dc_obs.Obs
 
 exception Divergence of string
 
@@ -52,6 +53,7 @@ type stats = {
   mutable tuples_produced : int; (* sum of delta sizes over all rounds *)
   mutable tuples_derived : int; (* tuples computed incl. rediscoveries *)
   mutable round_deltas : int list; (* new tuples per round, latest first *)
+  mutable round_times : float list; (* wall ms per round, latest first *)
 }
 
 let fresh_stats () =
@@ -62,7 +64,18 @@ let fresh_stats () =
     tuples_produced = 0;
     tuples_derived = 0;
     round_deltas = [];
+    round_times = [];
   }
+
+(* Registry instruments (lazy: looked up once, shared by every run).
+   Counters/histograms only ever grow; the two gauges mirror the live
+   database state and are restored on an aborted [apply] so SHOW METRICS
+   stays consistent with the journaled index-cache rollback. *)
+let m_rounds = lazy (Obs.Counter.make "dc_fixpoint_rounds_total")
+let m_round_ms = lazy (Obs.Histogram.make "dc_fixpoint_round_ms")
+let m_round_delta = lazy (Obs.Histogram.make "dc_fixpoint_round_delta")
+let g_apps = lazy (Obs.Gauge.make "dc_fixpoint_applications")
+let g_tuples = lazy (Obs.Gauge.make "dc_fixpoint_tuples")
 
 let pp_stats ppf s =
   Fmt.pf ppf "rounds=%d apps=%d body_evals=%d tuples=%d derived=%d" s.rounds
@@ -248,6 +261,7 @@ let register st env (def : Defs.constructor_def) base args =
     st.delta <- KM.add key (Relation.empty def.con_result) st.delta;
     st.discovered_this_round <- true;
     st.stats.applications <- st.stats.applications + 1;
+    if Obs.on () then Obs.Gauge.add (Lazy.force g_apps) 1.;
     app
 
 (* Hooks installed while evaluating bodies: selector applications filter;
@@ -430,7 +444,20 @@ let run st root_key =
     Guard.round st.guard ~site:"fixpoint.round";
     let before = st.full in
     st.discovered_this_round <- false;
+    let observing = Obs.on () in
+    let t0 = if observing then Obs.now_ms () else 0. in
     let changed = round st in
+    if observing then begin
+      let dt = Obs.now_ms () -. t0 in
+      st.stats.round_times <- dt :: st.stats.round_times;
+      let delta =
+        match st.stats.round_deltas with d :: _ -> d | [] -> 0
+      in
+      Obs.Counter.inc (Lazy.force m_rounds);
+      Obs.Histogram.observe (Lazy.force m_round_ms) dt;
+      Obs.Histogram.observe (Lazy.force m_round_delta) (float_of_int delta);
+      Obs.Gauge.add (Lazy.force g_tuples) (float_of_int delta)
+    end;
     st.stats.rounds <- st.stats.rounds + 1;
     if changed || st.discovered_this_round then begin
       if st.saw_shrink then begin
@@ -489,6 +516,22 @@ let apply ?(strategy = Seminaive) ?(max_rounds = default_max_rounds) ?guard
       lookup_constructor = env.Eval.hooks.Eval.constructor_def;
     }
   in
+  (* Snapshot the live gauges before this application registers anything:
+     an aborted expansion rolls the database back (index-cache journal
+     below), so the gauges must roll back with it or SHOW METRICS after a
+     [Guard.Exhausted] trip would report tuples the database no longer
+     holds (satellite fix of issue 4). *)
+  let restore_gauges =
+    if not (Obs.on ()) then Fun.id
+    else begin
+      let apps0 = Obs.Gauge.value (Lazy.force g_apps) in
+      let tuples0 = Obs.Gauge.value (Lazy.force g_tuples) in
+      fun () ->
+        Obs.Gauge.set (Lazy.force g_apps) apps0;
+        Obs.Gauge.set (Lazy.force g_tuples) tuples0
+    end
+  in
+  try
   let app = register st env def base args in
   (match seed with
   | Some value ->
@@ -512,3 +555,6 @@ let apply ?(strategy = Seminaive) ?(max_rounds = default_max_rounds) ?guard
      evaluation error aborts the fixpoint, the cache transaction rolls
      every such mutation back, so callers observe all-or-nothing. *)
   Index_cache.protect env.Eval.icache (fun () -> run st app.key)
+  with e ->
+    restore_gauges ();
+    raise e

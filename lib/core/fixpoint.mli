@@ -39,6 +39,10 @@ type stats = {
   mutable round_deltas : int list;
       (** new tuples per round across all applications, latest round
           first — the convergence series of experiment E1 *)
+  mutable round_times : float list;
+      (** wall milliseconds per round, latest round first; only populated
+          when metrics are enabled ({!Dc_obs.Obs.on}) — EXPLAIN ANALYZE
+          zips this with [round_deltas] *)
 }
 
 val fresh_stats : unit -> stats

@@ -17,13 +17,21 @@ open Syntax
 module TS = Facts.TS
 module Ir = Dc_exec.Ir
 module Guard = Dc_guard.Guard
+module Obs = Dc_obs.Obs
 
 type stats = {
   mutable rounds : int;
   mutable derivations : int; (* head tuples produced, duplicates included *)
+  mutable round_log : (int * float) list;
+      (* (new tuples, wall ms) per round, latest first; only populated
+         when metrics are enabled *)
 }
 
-let fresh_stats () = { rounds = 0; derivations = 0 }
+let fresh_stats () = { rounds = 0; derivations = 0; round_log = [] }
+
+let m_rounds = lazy (Obs.Counter.make ~labels:[ ("engine", "naive") ] "dc_datalog_rounds_total")
+let m_round_ms = lazy (Obs.Histogram.make ~labels:[ ("engine", "naive") ] "dc_datalog_round_ms")
+let m_round_delta = lazy (Obs.Histogram.make ~labels:[ ("engine", "naive") ] "dc_datalog_round_delta")
 
 let run ?(guard = Guard.none) ?stats ?trace (program : program) (edb : Facts.t) =
   check_safe program;
@@ -55,6 +63,8 @@ let run ?(guard = Guard.none) ?stats ?trace (program : program) (edb : Facts.t) 
       changed := false;
       Guard.round guard ~site:"datalog.round";
       stats.rounds <- stats.rounds + 1;
+      let observing = Obs.on () in
+      let t0 = if observing then Obs.now_ms () else 0. in
       let ctx = Engine.store_ctx !current in
       let news =
         List.map
@@ -66,6 +76,16 @@ let run ?(guard = Guard.none) ?stats ?trace (program : program) (edb : Facts.t) 
             (pred, !fresh))
           pipelines
       in
+      if observing then begin
+        let delta =
+          List.fold_left (fun n (_, s) -> n + TS.cardinal s) 0 news
+        in
+        let dt = Obs.now_ms () -. t0 in
+        stats.round_log <- (delta, dt) :: stats.round_log;
+        Obs.Counter.inc (Lazy.force m_rounds);
+        Obs.Histogram.observe (Lazy.force m_round_ms) dt;
+        Obs.Histogram.observe (Lazy.force m_round_delta) (float_of_int delta)
+      end;
       current :=
         List.fold_left
           (fun st (pred, set) ->

@@ -5,6 +5,9 @@
 type stats = {
   mutable rounds : int;
   mutable derivations : int;  (** head tuples produced, with duplicates *)
+  mutable round_log : (int * float) list;
+      (** (new tuples, wall ms) per round, latest first; only populated
+          when metrics are enabled ({!Dc_obs.Obs.on}) *)
 }
 
 val fresh_stats : unit -> stats

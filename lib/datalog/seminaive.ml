@@ -30,13 +30,30 @@ module SS = Set.Make (String)
 module TS = Facts.TS
 module Ir = Dc_exec.Ir
 module Guard = Dc_guard.Guard
+module Obs = Dc_obs.Obs
 
 type stats = {
   mutable rounds : int;
   mutable derivations : int;
+  mutable round_log : (int * float) list;
+      (* (new tuples, wall ms) per round, latest first; only populated
+         when metrics are enabled *)
 }
 
-let fresh_stats () = { rounds = 0; derivations = 0 }
+let fresh_stats () = { rounds = 0; derivations = 0; round_log = [] }
+
+let m_rounds = lazy (Obs.Counter.make ~labels:[ ("engine", "seminaive") ] "dc_datalog_rounds_total")
+let m_round_ms = lazy (Obs.Histogram.make ~labels:[ ("engine", "seminaive") ] "dc_datalog_round_ms")
+let m_round_delta = lazy (Obs.Histogram.make ~labels:[ ("engine", "seminaive") ] "dc_datalog_round_delta")
+
+let observe_round stats ~delta ~t0 ~observing =
+  if observing then begin
+    let dt = Obs.now_ms () -. t0 in
+    stats.round_log <- (delta, dt) :: stats.round_log;
+    Obs.Counter.inc (Lazy.force m_rounds);
+    Obs.Histogram.observe (Lazy.force m_round_ms) dt;
+    Obs.Histogram.observe (Lazy.force m_round_delta) (float_of_int delta)
+  end
 
 let run ?(guard = Guard.none) ?stats ?trace (program : program) (edb : Facts.t) =
   check_safe program;
@@ -119,11 +136,17 @@ let run ?(guard = Guard.none) ?stats ?trace (program : program) (edb : Facts.t) 
       List.fold_left (fun st (pred, set) -> Facts.add_set st pred set) st news
     in
     let nonempty news = List.exists (fun (_, s) -> not (TS.is_empty s)) news in
+    let new_count news =
+      List.fold_left (fun n (_, s) -> n + TS.cardinal s) 0 news
+    in
     let full = ref store in
     (* Round 1: all rules against the full store. *)
     Guard.round guard ~site:"datalog.round";
     stats.rounds <- stats.rounds + 1;
+    let observing = Obs.on () in
+    let t0 = if observing then Obs.now_ms () else 0. in
     let news = run_round round1 (Engine.store_ctx !full) in
+    observe_round stats ~delta:(new_count news) ~t0 ~observing;
     let delta = ref (apply news (Facts.empty ())) in
     full := apply news !full;
     (* Subsequent rounds: delta variants only. *)
@@ -131,7 +154,10 @@ let run ?(guard = Guard.none) ?stats ?trace (program : program) (edb : Facts.t) 
     while !continue do
       Guard.round guard ~site:"datalog.round";
       stats.rounds <- stats.rounds + 1;
+      let observing = Obs.on () in
+      let t0 = if observing then Obs.now_ms () else 0. in
       let news = run_round deltas (Engine.delta_ctx ~full:!full ~delta:!delta) in
+      observe_round stats ~delta:(new_count news) ~t0 ~observing;
       delta := apply news (Facts.empty ());
       full := apply news !full;
       continue := nonempty news

@@ -6,6 +6,9 @@
 type stats = {
   mutable rounds : int;
   mutable derivations : int;
+  mutable round_log : (int * float) list;
+      (** (new tuples, wall ms) per round, latest first; only populated
+          when metrics are enabled ({!Dc_obs.Obs.on}) *)
 }
 
 val fresh_stats : unit -> stats

@@ -36,14 +36,22 @@ module TS = Facts.TS
 module Ir = Dc_exec.Ir
 module Extent = Dc_exec.Extent
 module Guard = Dc_guard.Guard
+module Obs = Dc_obs.Obs
 
 type stats = {
   mutable rounds : int;
   mutable calls : int; (* distinct call patterns tabled *)
   mutable derivations : int; (* answers produced, duplicates included *)
+  mutable round_log : (int * float) list;
+      (* (new answers across all tables, wall ms) per round, latest
+         first; only populated when metrics are enabled *)
 }
 
-let fresh_stats () = { rounds = 0; calls = 0; derivations = 0 }
+let fresh_stats () = { rounds = 0; calls = 0; derivations = 0; round_log = [] }
+
+let m_rounds = lazy (Obs.Counter.make ~labels:[ ("engine", "tabled") ] "dc_datalog_rounds_total")
+let m_round_ms = lazy (Obs.Histogram.make ~labels:[ ("engine", "tabled") ] "dc_datalog_round_ms")
+let m_round_delta = lazy (Obs.Histogram.make ~labels:[ ("engine", "tabled") ] "dc_datalog_round_delta")
 
 (* Canonical call pattern: ground args kept, variables numbered in order
    of first occurrence. *)
@@ -221,11 +229,26 @@ let solve ?guard ?stats ?trace ?(max_rounds = default_max_rounds)
   in
   let root = canonicalize goal.pred goal.args in
   let root_table = ensure_call st root in
+  let table_sizes () =
+    Hashtbl.fold (fun _ t acc -> acc + TS.cardinal !t) st.tables 0
+  in
   let rec loop () =
     Guard.round guard ~site:"tabled.round";
     st.changed <- false;
     stats.rounds <- stats.rounds + 1;
-    List.iter (evaluate_call st) st.order;
+    let observing = Obs.on () in
+    if not observing then List.iter (evaluate_call st) st.order
+    else begin
+      let t0 = Obs.now_ms () in
+      let before = table_sizes () in
+      List.iter (evaluate_call st) st.order;
+      let delta = table_sizes () - before in
+      let dt = Obs.now_ms () -. t0 in
+      stats.round_log <- (delta, dt) :: stats.round_log;
+      Obs.Counter.inc (Lazy.force m_rounds);
+      Obs.Histogram.observe (Lazy.force m_round_ms) dt;
+      Obs.Histogram.observe (Lazy.force m_round_delta) (float_of_int delta)
+    end;
     if st.changed then loop ()
   in
   loop ();

@@ -9,6 +9,10 @@ type stats = {
   mutable rounds : int;
   mutable calls : int;  (** distinct call patterns tabled *)
   mutable derivations : int;  (** answers produced, duplicates included *)
+  mutable round_log : (int * float) list;
+      (** (new answers across all tables, wall ms) per round, latest
+          first; only populated when metrics are enabled
+          ({!Dc_obs.Obs.on}) *)
 }
 
 val fresh_stats : unit -> stats

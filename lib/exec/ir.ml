@@ -26,6 +26,7 @@
 
 open Dc_relation
 module Guard = Dc_guard.Guard
+module Obs = Dc_obs.Obs
 
 exception Exec_error of string
 
@@ -34,9 +35,33 @@ let exec_error fmt = Fmt.kstr (fun s -> raise (Exec_error s)) fmt
 type counters = {
   mutable rows : int;  (* rows/tuples emitted downstream *)
   mutable probes : int;  (* index lookups / membership tests performed *)
+  mutable ms : float;  (* attributed wall time, only under {!profiled} *)
 }
 
-let fresh_counters () = { rows = 0; probes = 0 }
+let fresh_counters () = { rows = 0; probes = 0; ms = 0. }
+
+(* EXPLAIN ANALYZE profiling.  Reading the clock per emitted row would
+   cost more than many operators' own work, so it never happens in normal
+   runs (including metrics-enabled runs: the registry gets per-round and
+   per-phase timings, operators only row counts).  Inside [profiled] each
+   emission charges the elapsed time since the previous emission to the
+   emitting operator — attribution by "who produced the next row", the
+   classic sampling-free approximation for push pipelines. *)
+let profiling = ref false
+let prof_last = ref 0.
+
+let[@inline] prof_tick (c : counters) =
+  if !profiling then begin
+    let t = Obs.now_ms () in
+    c.ms <- c.ms +. (t -. !prof_last);
+    prof_last := t
+  end
+
+let profiled f =
+  let saved = !profiling in
+  profiling := true;
+  prof_last := Obs.now_ms ();
+  Fun.protect ~finally:(fun () -> profiling := saved) f
 
 (* ------------------------------------------------------------------ *)
 (* Sources and execution contexts *)
@@ -200,6 +225,7 @@ let rec run_node :
    | Seed ->
      c.rows <- c.rows + 1;
      Guard.tick guard label;
+     prof_tick c;
      k init
    | Scan a | Nested_loop_join a ->
      let ext = resolve ctx a.a_src in
@@ -210,6 +236,7 @@ let rec run_node :
              | Some row' ->
                c.rows <- c.rows + 1;
                Guard.tick guard label;
+               prof_tick c;
                k row'
              | None -> ()))
    | Index_lookup kd | Hash_join kd ->
@@ -224,6 +251,7 @@ let rec run_node :
              | Some row' ->
                c.rows <- c.rows + 1;
                Guard.tick guard label;
+               prof_tick c;
                k row'
              | None -> ())
            matches)
@@ -235,6 +263,7 @@ let rec run_node :
              | Some row' ->
                c.rows <- c.rows + 1;
                Guard.tick guard label;
+               prof_tick c;
                k row'
              | None -> ()))
    | Filter f ->
@@ -242,6 +271,7 @@ let rec run_node :
          if f.f_pred row then begin
            c.rows <- c.rows + 1;
            Guard.tick guard label;
+           prof_tick c;
            k row
          end)
    | Anti_join aj ->
@@ -251,6 +281,7 @@ let rec run_node :
          if not (ext.Extent.mem (aj.aj_key row)) then begin
            c.rows <- c.rows + 1;
            Guard.tick guard label;
+           prof_tick c;
            k row
          end)
 
@@ -269,6 +300,7 @@ let rec run ?(guard = Guard.none) (ctx : ctx) (t : t) (k : Tuple.t -> unit) =
     run_node guard ctx p.p_input (p.p_init ()) (fun row ->
         c.rows <- c.rows + 1;
         Guard.tick guard label;
+        prof_tick c;
         k (p.p_tuple row))
   | Union ts ->
     List.iter
@@ -276,6 +308,7 @@ let rec run ?(guard = Guard.none) (ctx : ctx) (t : t) (k : Tuple.t -> unit) =
         run ~guard ctx sub (fun tuple ->
             c.rows <- c.rows + 1;
             Guard.tick guard label;
+            prof_tick c;
             k tuple))
       ts
   | Diff d ->
@@ -285,6 +318,7 @@ let rec run ?(guard = Guard.none) (ctx : ctx) (t : t) (k : Tuple.t -> unit) =
         if not (ext.Extent.mem tuple) then begin
           c.rows <- c.rows + 1;
           Guard.tick guard label;
+          prof_tick c;
           k tuple
         end)
   | Distinct sub ->
@@ -294,6 +328,7 @@ let rec run ?(guard = Guard.none) (ctx : ctx) (t : t) (k : Tuple.t -> unit) =
           TH.replace seen tuple ();
           c.rows <- c.rows + 1;
           Guard.tick guard label;
+          prof_tick c;
           k tuple
         end)
 
@@ -306,9 +341,16 @@ let collect ?(ctx = empty_ctx) ?guard ~schema t =
 (* ------------------------------------------------------------------ *)
 (* Printing: the operator tree with post-run counters. *)
 
-let pp_counters ppf (c : counters) =
-  if c.probes = 0 then Fmt.pf ppf "[rows=%d]" c.rows
+(* [times:true] is the EXPLAIN ANALYZE rendering; plain EXPLAIN keeps the
+   historical counter-only form (and its golden test) byte-identical. *)
+let pp_counters_gen ~times ppf (c : counters) =
+  if times then
+    if c.probes = 0 then Fmt.pf ppf "[rows=%d time=%.2fms]" c.rows c.ms
+    else Fmt.pf ppf "[rows=%d probes=%d time=%.2fms]" c.rows c.probes c.ms
+  else if c.probes = 0 then Fmt.pf ppf "[rows=%d]" c.rows
   else Fmt.pf ppf "[rows=%d probes=%d]" c.rows c.probes
+
+let pp_counters = pp_counters_gen ~times:false
 
 let op_name : type row. row op -> string = function
   | Seed -> "seed"
@@ -326,8 +368,9 @@ let top_name = function
   | Diff _ -> "diff"
   | Distinct _ -> "distinct"
 
-let rec pp_node : type row. row node Fmt.t =
- fun ppf node ->
+let rec pp_node_gen : type row. bool -> row node Fmt.t =
+ fun times ppf node ->
+  let pp_counters = pp_counters_gen ~times in
   (match node.op with
   | Seed -> Fmt.pf ppf "%s %a" (op_name node.op) pp_counters node.c
   | _ ->
@@ -344,25 +387,31 @@ let rec pp_node : type row. row node Fmt.t =
   in
   match child with
   | None | Some { op = Seed; _ } -> ()  (* elide the seed leaf *)
-  | Some input -> Fmt.pf ppf "@,%a" pp_node input
+  | Some input -> Fmt.pf ppf "@,%a" (pp_node_gen times) input
 
-let rec pp ppf (t : t) =
+let pp_node ppf node = pp_node_gen false ppf node
+
+let rec pp_gen times ppf (t : t) =
+  let pp_counters = pp_counters_gen ~times in
   match t.top with
   | Project p ->
     Fmt.pf ppf "@[<v2>%s %s %a@,%a@]" (top_name t.top) (Lazy.force t.tlabel)
-      pp_counters t.tc pp_node p.p_input
+      pp_counters t.tc (pp_node_gen times) p.p_input
   | Union ts ->
     Fmt.pf ppf "@[<v2>%s %s %a" (top_name t.top) (Lazy.force t.tlabel)
       pp_counters t.tc;
-    List.iter (fun sub -> Fmt.pf ppf "@,%a" pp sub) ts;
+    List.iter (fun sub -> Fmt.pf ppf "@,%a" (pp_gen times) sub) ts;
     Fmt.pf ppf "@]"
   | Diff d ->
     Fmt.pf ppf "@[<v2>%s (except %s) %s %a@,%a@]" (top_name t.top)
-      (source_label d.d_except) (Lazy.force t.tlabel) pp_counters t.tc pp
-      d.d_input
+      (source_label d.d_except) (Lazy.force t.tlabel) pp_counters t.tc
+      (pp_gen times) d.d_input
   | Distinct sub ->
     Fmt.pf ppf "@[<v2>%s %s %a@,%a@]" (top_name t.top) (Lazy.force t.tlabel)
-      pp_counters t.tc pp sub
+      pp_counters t.tc (pp_gen times) sub
+
+let pp ppf t = pp_gen false ppf t
+let pp_analyze ppf t = pp_gen true ppf t
 
 (* ------------------------------------------------------------------ *)
 (* Traces: the EXPLAIN-facing record of every pipeline a query execution
@@ -401,6 +450,7 @@ module Trace = struct
     then raise Shape_mismatch;
     stored.c.rows <- stored.c.rows + fresh.c.rows;
     stored.c.probes <- stored.c.probes + fresh.c.probes;
+    stored.c.ms <- stored.c.ms +. fresh.c.ms;
     let child : type r. r node -> r node option =
      fun n ->
       match n.op with
@@ -423,6 +473,7 @@ module Trace = struct
     then raise Shape_mismatch;
     stored.tc.rows <- stored.tc.rows + fresh.tc.rows;
     stored.tc.probes <- stored.tc.probes + fresh.tc.probes;
+    stored.tc.ms <- stored.tc.ms +. fresh.tc.ms;
     match stored.top, fresh.top with
     | Project s, Project f -> merge_node s.p_input f.p_input
     | Union ss, Union fs ->
@@ -461,14 +512,64 @@ module Trace = struct
 
   let is_empty tr = tr.entries = []
 
-  let pp ppf tr =
+  let pp_with times ppf tr =
     List.iter
       (fun e ->
-        if e.e_runs = 1 then Fmt.pf ppf "@[<v2>%s:@,%a@]@." e.e_label pp e.e_pipeline
+        if e.e_runs = 1 then
+          Fmt.pf ppf "@[<v2>%s:@,%a@]@." e.e_label (pp_gen times) e.e_pipeline
         else
           Fmt.pf ppf "@[<v2>%s (%d runs, counters totalled):@,%a@]@." e.e_label
-            e.e_runs pp e.e_pipeline)
+            e.e_runs (pp_gen times) e.e_pipeline)
       (entries tr)
+
+  let pp ppf tr = pp_with false ppf tr
+  let pp_analyze ppf tr = pp_with true ppf tr
+
+  (* Flatten every operator of every entry into
+     (entry label, operator name, operator label, counters) — the data
+     behind [register_metrics] and the conservation property tests. *)
+  let counters tr =
+    let acc = ref [] in
+    let push entry op lbl c = acc := (entry, op, lbl, c) :: !acc in
+    let rec walk_node : type row. string -> row node -> unit =
+     fun entry n ->
+      push entry (op_name n.op) (Lazy.force n.label) n.c;
+      match n.op with
+      | Seed -> ()
+      | Scan a | Nested_loop_join a -> walk_node entry a.a_input
+      | Index_lookup k | Hash_join k -> walk_node entry k.k_input
+      | Correlated_scan cs -> walk_node entry cs.cs_input
+      | Filter f -> walk_node entry f.f_input
+      | Anti_join aj -> walk_node entry aj.aj_input
+    in
+    let rec walk entry (t : t) =
+      push entry (top_name t.top) (Lazy.force t.tlabel) t.tc;
+      match t.top with
+      | Project p -> walk_node entry p.p_input
+      | Union ts -> List.iter (walk entry) ts
+      | Diff d -> walk entry d.d_input
+      | Distinct s -> walk entry s
+    in
+    List.iter (fun e -> walk e.e_label e.e_pipeline) (entries tr);
+    List.rev !acc
+
+  (* Publish a completed trace's per-operator totals into the metrics
+     registry (dc_operator_rows_total / dc_operator_probes_total, labelled
+     by entry, operator and operator label).  Repeated occurrences of the
+     same labelled operator accumulate. *)
+  let register_metrics tr =
+    if Obs.on () then
+      List.iter
+        (fun (entry, op, lbl, c) ->
+          let labels = [ ("entry", entry); ("label", lbl); ("op", op) ] in
+          Obs.Counter.add
+            (Obs.Counter.make ~labels "dc_operator_rows_total")
+            c.rows;
+          if c.probes > 0 then
+            Obs.Counter.add
+              (Obs.Counter.make ~labels "dc_operator_probes_total")
+              c.probes)
+        (counters tr)
 end
 
 type trace = Trace.trace

@@ -11,6 +11,7 @@ open Dc_calculus
 open Dc_core
 open Surface
 module Guard = Dc_guard.Guard
+module Obs = Dc_obs.Obs
 
 exception Elab_error of string
 
@@ -241,8 +242,14 @@ let execute_decl env = function
     Database.set_limits env.db limits
   | D_query r | D_print r -> (
     let range = lower_range env empty_scope r in
-    match Database.query env.db range with
+    (* under metrics, queries run traced so the registry accumulates
+       per-operator row totals even without EXPLAIN *)
+    let trace =
+      if Obs.on () then Some (Dc_exec.Ir.Trace.create ()) else None
+    in
+    match Database.query ?trace env.db range with
     | result ->
+      Option.iter Dc_exec.Ir.Trace.register_metrics trace;
       output env "QUERY %s@\n%a@\n@\n"
         (Ast.range_to_string range)
         Relation.pp_table result
@@ -258,6 +265,7 @@ let execute_decl env = function
     let trace = Dc_exec.Ir.Trace.create () in
     match Dc_compile.Planner.execute ~trace env.db decision with
     | _ ->
+      Dc_exec.Ir.Trace.register_metrics trace;
       output env "EXPLAIN %s@\n%a"
         (Ast.range_to_string range)
         Dc_compile.Planner.explain decision;
@@ -269,12 +277,79 @@ let execute_decl env = function
         (Ast.range_to_string range)
         Dc_compile.Planner.explain decision;
       output env "%a@\n@\n" Guard.pp_report (reason, progress))
+  | D_explain_analyze r -> (
+    let range = lower_range env empty_scope r in
+    let decision = Dc_compile.Planner.plan env.db range in
+    let trace = Dc_exec.Ir.Trace.create () in
+    (* per-round series: a Magic decision runs the translated program
+       through the semi-naive engine (these stats), everything else that
+       recurses runs the constructor fixpoint (the database's last stats) *)
+    let dstats = Dc_datalog.Seminaive.fresh_stats () in
+    Database.reset_last_stats env.db;
+    let header () =
+      output env "EXPLAIN ANALYZE %s@\n%a"
+        (Ast.range_to_string range)
+        Dc_compile.Planner.explain decision
+    in
+    let rounds () =
+      let log =
+        match decision.Dc_compile.Planner.d_method with
+        | Dc_compile.Planner.Magic _ -> List.rev dstats.Dc_datalog.Seminaive.round_log
+        | _ -> (
+          match Database.last_stats env.db with
+          | Some st ->
+            (* both latest-first; zip defensively (times are only
+               recorded while metrics are enabled) *)
+            let rec zip acc ds ts =
+              match ds, ts with
+              | d :: ds, t :: ts -> zip ((d, t) :: acc) ds ts
+              | _ -> acc
+            in
+            zip [] st.Fixpoint.round_deltas st.Fixpoint.round_times
+          | None -> [])
+      in
+      match log with
+      | [] -> ()
+      | log ->
+        output env "fixpoint rounds:@\n";
+        List.iteri
+          (fun i (delta, ms) ->
+            output env "  round %d: delta=%d time=%.2fms@\n" (i + 1) delta ms)
+          log
+    in
+    match
+      Dc_exec.Ir.profiled (fun () ->
+          Dc_compile.Planner.execute ~trace ~datalog_stats:dstats env.db
+            decision)
+    with
+    | _ ->
+      Dc_exec.Ir.Trace.register_metrics trace;
+      header ();
+      if not (Dc_exec.Ir.Trace.is_empty trace) then
+        output env "physical:@\n%a" Dc_exec.Ir.Trace.pp_analyze trace;
+      rounds ();
+      output env "@\n"
+    | exception Guard.Exhausted (reason, progress) ->
+      header ();
+      output env "%a@\n@\n" Guard.pp_report (reason, progress))
+  | D_show_metrics ->
+    output env "SHOW METRICS@\n%s@\n" (Obs.to_prometheus ())
 
 (* Run a whole surface program; returns accumulated QUERY/EXPLAIN output.
    Consecutive CONSTRUCTOR declarations are defined as one group, so
    mutually recursive constructors typecheck — write them adjacently, as
    the paper's listings do. *)
 let run env (p : program) =
+  (* Observability directives imply observability: a program that asks for
+     EXPLAIN ANALYZE or SHOW METRICS gets the registry populated without
+     needing DC_METRICS in the environment.  Enabling is sticky — the
+     registry keeps accumulating for later SHOW METRICS in the session. *)
+  if
+    (not (Obs.on ()))
+    && List.exists
+         (function D_explain_analyze _ | D_show_metrics -> true | _ -> false)
+         p
+  then Obs.set_enabled true;
   let flush pending =
     match pending with
     | [] -> ()
@@ -302,5 +377,6 @@ let lower_query env r = lower_range env empty_scope r
 let run_string ?db src =
   let db = Option.value db ~default:(Database.create ()) in
   let env = create db in
-  let out = run env (Parser.parse src) in
+  let program = Obs.Span.timed "parse" (fun () -> Parser.parse src) in
+  let out = run env program in
   (db, out)

@@ -500,9 +500,15 @@ let decl st =
     D_print r
   | Token.Kw_explain ->
     advance st;
+    let analyze = accept st Token.Kw_analyze in
     let r = range st in
     eat st Token.Semi;
-    D_explain r
+    if analyze then D_explain_analyze r else D_explain r
+  | Token.Kw_show ->
+    advance st;
+    eat st Token.Kw_metrics;
+    eat st Token.Semi;
+    D_show_metrics
   | Token.Kw_set ->
     (* SET LIMIT ROWS n, ROUNDS n, MILLIS n;   or   SET LIMIT NONE; *)
     advance st;

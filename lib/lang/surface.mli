@@ -97,6 +97,10 @@ type decl =
   | D_query of range
   | D_print of range
   | D_explain of range
+  | D_explain_analyze of range
+      (** [EXPLAIN ANALYZE r;] — the EXPLAIN tree with per-operator wall
+          time and per-round fixpoint statistics *)
+  | D_show_metrics  (** [SHOW METRICS;] — dump the observability registry *)
   | D_limit of (limit_kind * int) list
       (** [SET LIMIT ROWS n, ROUNDS n, MILLIS n;] merged into the current
           limits; the empty list ([SET LIMIT NONE;]) clears them all *)

@@ -45,8 +45,11 @@ type t =
   | Kw_query
   | Kw_print
   | Kw_explain
+  | Kw_analyze
   | Kw_set
   | Kw_limit
+  | Kw_show
+  | Kw_metrics
   (* punctuation and operators *)
   | Semi
   | Colon
@@ -103,8 +106,11 @@ let keywords =
     ("QUERY", Kw_query);
     ("PRINT", Kw_print);
     ("EXPLAIN", Kw_explain);
+    ("ANALYZE", Kw_analyze);
     ("SET", Kw_set);
     ("LIMIT", Kw_limit);
+    ("SHOW", Kw_show);
+    ("METRICS", Kw_metrics);
   ]
 
 let to_string = function

@@ -37,8 +37,11 @@ type t =
   | Kw_query
   | Kw_print
   | Kw_explain
+  | Kw_analyze
   | Kw_set
   | Kw_limit
+  | Kw_show
+  | Kw_metrics
   | Semi
   | Colon
   | Comma

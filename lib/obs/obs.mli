@@ -1,0 +1,118 @@
+(** Process-wide observability: a registry of counters, gauges and
+    histograms plus timed spans, surfaced as Prometheus-style text and
+    JSON ([SHOW METRICS], [dbpl --metrics-out], [bench -- json]).
+
+    Design constraints (see DESIGN.md "Observability"):
+
+    - Hot-path friendly: every instrument is a preallocated mutable cell;
+      [Counter.inc], [Gauge.add] and [Histogram.observe] allocate nothing.
+      Instrument lookup ([make]) allocates and should be done once, at
+      module initialisation or per phase — never per row.
+    - Off by default: when [on () = false] the instrumented code is
+      expected to skip its observations entirely (one [bool] read), so a
+      metrics-disabled run pays a branch, not a clock read.  Enabled with
+      the [DC_METRICS] environment variable ([1]/[true]/[on]) or
+      [set_enabled].
+    - The clock is [Unix.gettimeofday] — the best monotonic approximation
+      available without C stubs or new dependencies; all durations are in
+      milliseconds. *)
+
+val on : unit -> bool
+(** Is metrics collection enabled? *)
+
+val set_enabled : bool -> unit
+(** Enable/disable collection at runtime (e.g. for [SHOW METRICS] or the
+    interleaved A/B bench). *)
+
+val now_ms : unit -> float
+(** Wall-clock time in milliseconds. *)
+
+val reset : unit -> unit
+(** Zero every registered instrument and clear the span log.  Instruments
+    stay registered (handles remain valid). *)
+
+(** Monotonically increasing integer counts (rows, rounds, tuples). *)
+module Counter : sig
+  type t
+
+  val make : ?labels:(string * string) list -> string -> t
+  (** Find-or-create the counter [name] with [labels]; idempotent, so
+      repeated [make] calls return the same cell. *)
+
+  val inc : t -> unit
+  val add : t -> int -> unit
+  val value : t -> int
+end
+
+(** Current-level values (live fixpoint applications, derived tuples held
+    by the database) — can go down, e.g. on transactional rollback. *)
+module Gauge : sig
+  type t
+
+  val make : ?labels:(string * string) list -> string -> t
+  val set : t -> float -> unit
+  val add : t -> float -> unit
+  val value : t -> float
+end
+
+(** Distributions over fixed log-scale buckets (durations in ms, per-round
+    delta sizes).  Observation is an array increment — no allocation. *)
+module Histogram : sig
+  type t
+
+  val make : ?labels:(string * string) list -> string -> t
+
+  val observe : t -> float -> unit
+  (** Record one observation (bucketed by upper bound, cumulative at
+      render time following the Prometheus convention). *)
+
+  val count : t -> int
+  val sum : t -> float
+
+  val bucket_counts : t -> int array
+  (** Per-bucket (non-cumulative) counts; the last bucket is +Inf. *)
+
+  val bucket_bounds : float array
+  (** Upper bounds of the finite buckets (log scale, shared by all
+      histograms); [bucket_counts] has one extra +Inf slot. *)
+end
+
+(** Timed spans for the compilation/evaluation phases (parse, typecheck,
+    plan, execute, fixpoint rounds).  Each completed span records a
+    [dc_span_ms{span="<name>"}] histogram observation and an event in a
+    bounded in-memory log used by the nesting property tests. *)
+module Span : sig
+  type event = {
+    sp_name : string;
+    sp_depth : int;  (** nesting depth at entry (0 = top level) *)
+    sp_start_ms : float;
+    sp_stop_ms : float;
+    sp_seq_start : int;  (** global sequence number at entry *)
+    sp_seq_stop : int;  (** global sequence number at exit *)
+  }
+
+  val timed : string -> (unit -> 'a) -> 'a
+  (** [timed name f] runs [f ()]; when metrics are enabled the elapsed
+      time is recorded under [name] (also on exception). *)
+
+  val events : unit -> event list
+  (** Completed spans, most recently finished first.  The log is bounded;
+      once full, further spans still feed histograms but drop their
+      events. *)
+
+  val well_nested : unit -> bool
+  (** Spans form a forest: any two span intervals (over the global
+      sequence counter) are disjoint or nested, and recorded depths match
+      the reconstruction. *)
+
+  val clear : unit -> unit
+end
+
+val to_prometheus : unit -> string
+(** Render the registry in the Prometheus text exposition format
+    ([# TYPE] comments, [_bucket]/[_sum]/[_count] for histograms), sorted
+    by name then labels for determinism. *)
+
+val to_json : unit -> string
+(** Render the registry as a JSON object [{"metrics": [...]}] carrying
+    exactly the same instruments and values as {!to_prometheus}. *)

@@ -4,10 +4,9 @@
      replaced the per-engine heuristics);
    - executor semantics: union/distinct/diff counters, anti-joins,
      delta substitution by running one pipeline under different contexts;
-   - differential tests: naive, semi-naive, magic, tabled and a
-     hand-rolled direct-IR fixpoint must agree on recursive programs over
-     random EDBs (the engines share the rule compiler, so the oracle is
-     their independent round/driver logic);
+   - differential tests via the shared seeded oracle (test/oracle.ml):
+     naive, semi-naive, magic, tabled and a hand-rolled direct-IR
+     fixpoint must agree on recursive programs over random EDBs;
    - EXPLAIN golden output for examples/same_generation.dbpl. *)
 
 open Dc_relation
@@ -20,11 +19,7 @@ module TS = Facts.TS
 
 let i n = Value.Int n
 let tuple2 a b = Tuple.make2 (i a) (i b)
-
-let facts_testable =
-  Alcotest.testable
-    (fun ppf s -> Facts.TS.iter (Tuple.pp ppf) s)
-    Facts.TS.equal
+let facts_testable = Oracle.facts_testable
 
 (* ------------------------------------------------------------------ *)
 (* Join_order *)
@@ -80,12 +75,7 @@ let test_order_unsatisfiable_deps () =
 (* ------------------------------------------------------------------ *)
 (* Executor semantics through the rule compiler *)
 
-let compile ?reorder ?card ?bound rule =
-  Engine.compile_rule ?reorder ?card ?bound
-    ~source:(fun _ (a : atom) -> Engine.Static (Ir.Named a.pred))
-    ~neg_source:(fun (a : atom) -> Ir.Named a.pred)
-    ~label:(lazy (Fmt.str "%a" pp_rule rule))
-    rule
+let compile = Oracle.compile
 
 let unary_facts pred l = List.map (fun n -> (pred, Tuple.make1 (i n))) l
 
@@ -163,120 +153,9 @@ let test_delta_substitution () =
     joined.Engine.pipeline.Ir.tc.Ir.rows
 
 (* ------------------------------------------------------------------ *)
-(* Differential: all engines against each other *)
-
-(* A fifth implementation: drive the compiled rule pipelines with a
-   hand-rolled naive fixpoint, independent of the engines' drivers. *)
-let direct_ir (program : program) (edb : Facts.t) pred =
-  let pipelines =
-    List.map
-      (fun (p, rules) ->
-        (p, List.map (fun r -> (compile r).Engine.pipeline) rules))
-      (Engine.group_by_head program)
-  in
-  let store = ref edb in
-  let changed = ref true in
-  while !changed do
-    changed := false;
-    let ctx = Engine.store_ctx !store in
-    let news =
-      List.map
-        (fun (p, pipes) ->
-          let fresh = ref TS.empty in
-          List.iter
-            (fun pipe -> Ir.run ctx pipe (fun t -> fresh := TS.add t !fresh))
-            pipes;
-          (p, TS.diff !fresh (Facts.find !store p)))
-        pipelines
-    in
-    List.iter
-      (fun (p, s) ->
-        if not (TS.is_empty s) then begin
-          changed := true;
-          store := Facts.add_set !store p s
-        end)
-      news
-  done;
-  Facts.find !store pred
-
-let tc_linear =
-  [
-    rule (atom "path" [ var "X"; var "Y" ]) [ Pos (atom "edge" [ var "X"; var "Y" ]) ];
-    rule
-      (atom "path" [ var "X"; var "Z" ])
-      [ Pos (atom "edge" [ var "X"; var "Y" ]); Pos (atom "path" [ var "Y"; var "Z" ]) ];
-  ]
-
-let tc_left_linear =
-  [
-    rule (atom "path" [ var "X"; var "Y" ]) [ Pos (atom "edge" [ var "X"; var "Y" ]) ];
-    rule
-      (atom "path" [ var "X"; var "Z" ])
-      [ Pos (atom "path" [ var "X"; var "Y" ]); Pos (atom "edge" [ var "Y"; var "Z" ]) ];
-  ]
-
-let tc_nonlinear =
-  [
-    rule (atom "path" [ var "X"; var "Y" ]) [ Pos (atom "edge" [ var "X"; var "Y" ]) ];
-    rule
-      (atom "path" [ var "X"; var "Z" ])
-      [ Pos (atom "path" [ var "X"; var "Y" ]); Pos (atom "path" [ var "Y"; var "Z" ]) ];
-  ]
-
-(* sg(X,Y) :- flat(X,Y).
-   sg(X,Y) :- up(X,U), sg(U,V), down(V,Y). *)
-let sg_program =
-  [
-    rule (atom "sg" [ var "X"; var "Y" ]) [ Pos (atom "flat" [ var "X"; var "Y" ]) ];
-    rule
-      (atom "sg" [ var "X"; var "Y" ])
-      [
-        Pos (atom "up" [ var "X"; var "U" ]);
-        Pos (atom "sg" [ var "U"; var "V" ]);
-        Pos (atom "down" [ var "V"; var "Y" ]);
-      ];
-  ]
-
-(* mutual recursion: even/odd reachability from a start node *)
-let mutual_program =
-  [
-    rule (atom "even" [ var "X" ]) [ Pos (atom "start" [ var "X" ]) ];
-    rule
-      (atom "even" [ var "Y" ])
-      [ Pos (atom "odd" [ var "X" ]); Pos (atom "edge" [ var "X"; var "Y" ]) ];
-    rule
-      (atom "odd" [ var "Y" ])
-      [ Pos (atom "even" [ var "X" ]); Pos (atom "edge" [ var "X"; var "Y" ]) ];
-  ]
+(* Differential: all engines against each other, via the shared oracle *)
 
 let edb_of_relation pred rel = Facts.of_relation pred rel (Facts.empty ())
-
-let check_engines_agree ~msg program edb pred arity =
-  let reference = Naive.query program edb pred in
-  Alcotest.check facts_testable (msg ^ ": seminaive = naive") reference
-    (Seminaive.query program edb pred);
-  Alcotest.check facts_testable (msg ^ ": direct IR = naive") reference
-    (direct_ir program edb pred);
-  (* magic with an all-free query must still return everything *)
-  (match
-     Magic.answer program edb
-       (atom pred (List.init arity (fun k -> Var (Fmt.str "Q%d" k))))
-   with
-  | answers ->
-    Alcotest.check facts_testable (msg ^ ": magic = naive") reference answers
-  | exception Magic.Unsupported _ -> ());
-  reference
-
-(* bound goal: first argument fixed to a node present in the EDB *)
-let check_bound_goal_engines ~msg program edb pred start reference =
-  let goal = atom pred [ Const start; var "Y" ] in
-  let expected =
-    TS.filter (fun t -> Value.equal (Tuple.get t 0) start) reference
-  in
-  Alcotest.check facts_testable (msg ^ ": tabled = restricted naive") expected
-    (Tabled.solve program edb goal);
-  Alcotest.check facts_testable (msg ^ ": magic = restricted naive") expected
-    (Magic.answer program edb goal)
 
 let graph_edb ~seed ~nodes ~edges =
   edb_of_relation "edge" (Dc_workload.Graph_gen.random_graph ~seed ~nodes ~edges)
@@ -285,17 +164,17 @@ let test_differential_fixed () =
   List.iter
     (fun (msg, program) ->
       let edb = graph_edb ~seed:42 ~nodes:12 ~edges:24 in
-      let reference = check_engines_agree ~msg program edb "path" 2 in
+      let reference = Oracle.check_engines_agree ~msg program edb "path" 2 in
       (* pick a start node that actually reaches something *)
       match TS.choose_opt reference with
       | Some t ->
-        check_bound_goal_engines ~msg program edb "path" (Tuple.get t 0)
+        Oracle.check_bound_goal_engines ~msg program edb "path" (Tuple.get t 0)
           reference
       | None -> ())
     [
-      ("linear tc", tc_linear);
-      ("left-linear tc", tc_left_linear);
-      ("nonlinear tc", tc_nonlinear);
+      ("linear tc", Oracle.tc_linear);
+      ("left-linear tc", Oracle.tc_left_linear);
+      ("nonlinear tc", Oracle.tc_nonlinear);
     ]
 
 let test_differential_same_generation () =
@@ -304,11 +183,13 @@ let test_differential_same_generation () =
     Facts.of_relation "up" up
       (Facts.of_relation "flat" flat (Facts.of_relation "down" down (Facts.empty ())))
   in
-  let reference = check_engines_agree ~msg:"same generation" sg_program edb "sg" 2 in
+  let reference =
+    Oracle.check_engines_agree ~msg:"same generation" Oracle.sg_program edb "sg" 2
+  in
   match TS.choose_opt reference with
   | Some t ->
-    check_bound_goal_engines ~msg:"same generation" sg_program edb "sg"
-      (Tuple.get t 0) reference
+    Oracle.check_bound_goal_engines ~msg:"same generation" Oracle.sg_program edb
+      "sg" (Tuple.get t 0) reference
   | None -> Alcotest.fail "same-generation tree produced no pairs"
 
 let test_differential_mutual () =
@@ -318,36 +199,29 @@ let test_differential_mutual () =
       "start"
       (Tuple.make1 (Dc_workload.Graph_gen.node 0))
   in
-  ignore (check_engines_agree ~msg:"mutual even" mutual_program edb "even" 1);
-  ignore (check_engines_agree ~msg:"mutual odd" mutual_program edb "odd" 1)
+  ignore
+    (Oracle.check_engines_agree ~msg:"mutual even" Oracle.mutual_program edb
+       "even" 1);
+  ignore
+    (Oracle.check_engines_agree ~msg:"mutual odd" Oracle.mutual_program edb
+       "odd" 1)
 
-(* Randomized: engines agree on arbitrary random graphs for every
-   recursion shape. *)
-let prop_engines_agree =
-  QCheck.Test.make ~count:30 ~name:"engines agree on random graphs"
-    QCheck.(triple (int_bound 1000) (int_range 4 16) (int_bound 40))
-    (fun (seed, nodes, extra) ->
-      let edb = graph_edb ~seed ~nodes ~edges:(nodes + extra) in
-      List.for_all
-        (fun program ->
-          let reference = Naive.query program edb "path" in
-          let semi = Seminaive.query program edb "path" in
-          let direct = direct_ir program edb "path" in
-          let magic =
-            Magic.answer program edb (atom "path" [ var "QX"; var "QY" ])
-          in
-          let tabled_ok =
-            match TS.choose_opt reference with
-            | None -> true
-            | Some t ->
-              let start = Tuple.get t 0 in
-              TS.equal
-                (Tabled.solve program edb (atom "path" [ Const start; var "Y" ]))
-                (TS.filter (fun u -> Value.equal (Tuple.get u 0) start) reference)
-          in
-          TS.equal reference semi && TS.equal reference direct
-          && TS.equal reference magic && tabled_ok)
-        [ tc_linear; tc_left_linear; tc_nonlinear ])
+(* Fixed seeds through the full seeded-case generator: every shape the
+   oracle can draw is exercised deterministically on every run. *)
+let test_oracle_fixed_seeds () =
+  for seed = 0 to 47 do
+    Oracle.check_seed seed
+  done
+
+(* Randomized: the same seeded oracle over arbitrary seeds.  On failure
+   QCheck reports the seed as the counterexample, and every Alcotest
+   message inside [check_seed] carries it too. *)
+let prop_oracle_seeds =
+  QCheck.Test.make ~count:60 ~name:"seeded oracle: engines agree"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      Oracle.check_seed seed;
+      true)
 
 (* ------------------------------------------------------------------ *)
 (* EXPLAIN golden output *)
@@ -381,6 +255,90 @@ let test_explain_golden () =
   Alcotest.(check string) "EXPLAIN output on same_generation.dbpl"
     (read_file expected) out
 
+(* Wall-clock readings make EXPLAIN ANALYZE output nondeterministic; the
+   golden comparison replaces every [<digits>[.<digits>]ms] with [<N>ms]
+   and keeps everything else (tree shape, rows, probes, round deltas)
+   byte-exact. *)
+let normalize_times s =
+  let b = Buffer.create (String.length s) in
+  let n = String.length s in
+  let is_digit c = c >= '0' && c <= '9' in
+  let i = ref 0 in
+  while !i < n do
+    if is_digit s.[!i] then begin
+      let j = ref !i in
+      while !j < n && is_digit s.[!j] do incr j done;
+      if !j < n && s.[!j] = '.' then begin
+        incr j;
+        while !j < n && is_digit s.[!j] do incr j done
+      end;
+      if !j + 1 < n && s.[!j] = 'm' && s.[!j + 1] = 's' then begin
+        Buffer.add_string b "<N>ms";
+        i := !j + 2
+      end
+      else begin
+        Buffer.add_string b (String.sub s !i (!j - !i));
+        i := !j
+      end
+    end
+    else begin
+      Buffer.add_char b s.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents b
+
+(* Substring replace, leftmost-first. *)
+let replace_all ~sub ~by s =
+  let ls = String.length sub in
+  let b = Buffer.create (String.length s) in
+  let i = ref 0 in
+  let n = String.length s in
+  while !i < n do
+    if !i + ls <= n && String.sub s !i ls = sub then begin
+      Buffer.add_string b by;
+      i := !i + ls
+    end
+    else begin
+      Buffer.add_char b s.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents b
+
+let test_explain_analyze_golden () =
+  let program =
+    find_file
+      [
+        "../examples/same_generation.dbpl"; "examples/same_generation.dbpl";
+        "../../examples/same_generation.dbpl";
+        "../../../examples/same_generation.dbpl";
+        "/root/repo/examples/same_generation.dbpl";
+      ]
+  in
+  let expected =
+    find_file
+      [
+        "explain_analyze_same_generation.expected";
+        "test/explain_analyze_same_generation.expected";
+        "../test/explain_analyze_same_generation.expected";
+        "/root/repo/test/explain_analyze_same_generation.expected";
+      ]
+  in
+  let src =
+    replace_all ~sub:"EXPLAIN " ~by:"EXPLAIN ANALYZE " (read_file program)
+  in
+  (* EXPLAIN ANALYZE sticky-enables metrics collection: restore so the
+     remaining tests in this binary see the configured state *)
+  let saved = Dc_obs.Obs.on () in
+  let _, out =
+    Fun.protect
+      ~finally:(fun () -> Dc_obs.Obs.set_enabled saved)
+      (fun () -> Dc_lang.Elaborate.run_string src)
+  in
+  Alcotest.(check string) "EXPLAIN ANALYZE output, times normalized"
+    (read_file expected) (normalize_times out)
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -413,8 +371,14 @@ let () =
           Alcotest.test_case "same generation" `Quick
             test_differential_same_generation;
           Alcotest.test_case "mutual recursion" `Quick test_differential_mutual;
-          QCheck_alcotest.to_alcotest prop_engines_agree;
+          Alcotest.test_case "seeded oracle, fixed seeds" `Quick
+            test_oracle_fixed_seeds;
+          QCheck_alcotest.to_alcotest prop_oracle_seeds;
         ] );
       ( "explain",
-        [ Alcotest.test_case "golden output" `Quick test_explain_golden ] );
+        [
+          Alcotest.test_case "golden output" `Quick test_explain_golden;
+          Alcotest.test_case "analyze golden output" `Quick
+            test_explain_analyze_golden;
+        ] );
     ]

@@ -215,6 +215,34 @@ let test_run_explain () =
   Alcotest.check Alcotest.bool "prints the quant graph" true
     (contains out "quant graph")
 
+let test_run_explain_analyze_and_metrics () =
+  (* both directives sticky-enable collection: restore the configured
+     state for the rest of this binary *)
+  let saved = Dc_obs.Obs.on () in
+  Fun.protect ~finally:(fun () -> Dc_obs.Obs.set_enabled saved) @@ fun () ->
+  let out =
+    run
+      {|TYPE e = RELATION src, dst OF RECORD src, dst: STRING END;
+        VAR Edge: e;
+        CONSTRUCTOR tc FOR Rel: e (): e;
+        BEGIN EACH r IN Rel: TRUE,
+              <f.src, b.dst> OF EACH f IN Rel, EACH b IN Rel{tc}: f.dst = b.src
+        END tc;
+        INSERT Edge VALUES ("a", "b"), ("b", "c"), ("c", "d");
+        EXPLAIN ANALYZE Edge{tc};
+        SHOW METRICS;|}
+  in
+  Alcotest.check Alcotest.bool "per-operator timings" true
+    (contains out "time=");
+  Alcotest.check Alcotest.bool "per-round fixpoint stats" true
+    (contains out "fixpoint rounds:");
+  Alcotest.check Alcotest.bool "round deltas shown" true
+    (contains out "delta=");
+  Alcotest.check Alcotest.bool "registry dumped as Prometheus text" true
+    (contains out "# TYPE dc_fixpoint_rounds_total counter");
+  Alcotest.check Alcotest.bool "trace totals folded into the registry" true
+    (contains out "dc_operator_rows_total")
+
 let test_run_arith_and_delete () =
   let out =
     run
@@ -579,6 +607,8 @@ let () =
           Alcotest.test_case "cad scene (mutual recursion)" `Quick
             test_run_mutual_recursion;
           Alcotest.test_case "explain" `Quick test_run_explain;
+          Alcotest.test_case "explain analyze + show metrics" `Quick
+            test_run_explain_analyze_and_metrics;
           Alcotest.test_case "arith + delete" `Quick test_run_arith_and_delete;
           Alcotest.test_case "arith precedence" `Quick
             test_parse_arith_precedence;

@@ -1,0 +1,342 @@
+(* Tests for Dc_obs: conservation properties tying the metrics registry
+   to the structures it observes, span well-nesting, agreement between
+   the Prometheus and JSON renderers, and the abort-consistency
+   regression — SHOW METRICS after Guard.Exhausted must reflect the
+   rolled-back state, not the aborted fixpoint's partial progress. *)
+
+open Dc_relation
+open Dc_datalog
+
+module Obs = Dc_obs.Obs
+module Ir = Dc_exec.Ir
+module Rng = Dc_workload.Rng
+module Guard = Dc_guard.Guard
+module Database = Dc_core.Database
+module Ast = Dc_calculus.Ast
+
+(* Collection may already be on (DC_METRICS=1 in CI): save and restore. *)
+let with_metrics f =
+  let saved = Obs.on () in
+  Obs.reset ();
+  Obs.set_enabled true;
+  Fun.protect ~finally:(fun () -> Obs.set_enabled saved) f
+
+(* ------------------------------------------------------------------ *)
+(* Registry row counts = EXPLAIN trace counters *)
+
+(* Sum trace counters per (entry, label, op) — repeated occurrences of
+   the same labelled operator accumulate in the registry. *)
+let group_counters cs =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (entry, op, lbl, (c : Ir.counters)) ->
+      let key = (entry, lbl, op) in
+      let rows, probes =
+        Option.value ~default:(0, 0) (Hashtbl.find_opt tbl key)
+      in
+      Hashtbl.replace tbl key (rows + c.Ir.rows, probes + c.Ir.probes))
+    cs;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+
+let check_registry_matches_trace seed =
+  Obs.reset ();
+  let edb =
+    Facts.of_relation "edge"
+      (Dc_workload.Graph_gen.random_graph ~seed ~nodes:10 ~edges:20)
+      (Facts.empty ())
+  in
+  let trace = Ir.Trace.create () in
+  ignore (Seminaive.query ~trace Oracle.tc_linear edb "path");
+  Ir.Trace.register_metrics trace;
+  List.iter
+    (fun ((entry, lbl, op), (rows, probes)) ->
+      let labels = [ ("entry", entry); ("label", lbl); ("op", op) ] in
+      Alcotest.(check int)
+        (Fmt.str "rows of %s/%s %S (seed %d)" entry op lbl seed)
+        rows
+        (Obs.Counter.value (Obs.Counter.make ~labels "dc_operator_rows_total"));
+      if probes > 0 then
+        Alcotest.(check int)
+          (Fmt.str "probes of %s/%s %S (seed %d)" entry op lbl seed)
+          probes
+          (Obs.Counter.value
+             (Obs.Counter.make ~labels "dc_operator_probes_total")))
+    (group_counters (Ir.Trace.counters trace))
+
+let test_registry_matches_trace () =
+  with_metrics @@ fun () ->
+  List.iter check_registry_matches_trace [ 1; 7; 42; 1985 ]
+
+let prop_registry_matches_trace =
+  QCheck.Test.make ~count:25 ~name:"registry rows = trace counters"
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      with_metrics (fun () -> check_registry_matches_trace seed);
+      true)
+
+(* ------------------------------------------------------------------ *)
+(* Histogram conservation *)
+
+let prop_histogram_conservation =
+  QCheck.Test.make ~count:100 ~name:"histogram conserves observations"
+    QCheck.(list (float_range 0. 1e7))
+    (fun xs ->
+      Obs.reset ();
+      let h = Obs.Histogram.make "test_conservation_ms" in
+      List.iter (Obs.Histogram.observe h) xs;
+      let n = List.length xs in
+      let bucket_total =
+        Array.fold_left ( + ) 0 (Obs.Histogram.bucket_counts h)
+      in
+      let sum = List.fold_left ( +. ) 0. xs in
+      if Obs.Histogram.count h <> n then
+        QCheck.Test.fail_reportf "count %d <> %d observations"
+          (Obs.Histogram.count h) n;
+      if bucket_total <> n then
+        QCheck.Test.fail_reportf "bucket total %d <> count %d" bucket_total n;
+      if Float.abs (Obs.Histogram.sum h -. sum)
+         > 1e-6 *. (1. +. Float.abs sum)
+      then
+        QCheck.Test.fail_reportf "sum %g <> %g" (Obs.Histogram.sum h) sum;
+      true)
+
+let test_histogram_bucket_monotone () =
+  (* one observation per finite bound lands exactly one count in each
+     bucket (bounds are inclusive upper bounds) *)
+  Obs.reset ();
+  let h = Obs.Histogram.make "test_bounds_ms" in
+  Array.iter (fun b -> Obs.Histogram.observe h b) Obs.Histogram.bucket_bounds;
+  Obs.Histogram.observe h infinity;
+  let counts = Obs.Histogram.bucket_counts h in
+  Alcotest.(check (array int))
+    "each bound hits its own bucket; +Inf catches the rest"
+    (Array.make (Array.length counts) 1)
+    counts
+
+(* ------------------------------------------------------------------ *)
+(* Span well-nesting *)
+
+(* Run a random forest of nested spans; returns how many were opened. *)
+let rec span_tree rng depth =
+  let children = if depth >= 3 then 0 else Rng.int rng 4 in
+  Obs.Span.timed
+    (Fmt.str "s%d" depth)
+    (fun () ->
+      let n = ref 1 in
+      for _ = 1 to children do
+        n := !n + span_tree rng (depth + 1)
+      done;
+      !n)
+
+let prop_spans_well_nested =
+  QCheck.Test.make ~count:60 ~name:"span log is well-nested"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      with_metrics (fun () ->
+          let rng = Rng.create seed in
+          let total = ref 0 in
+          for _ = 1 to 1 + Rng.int rng 3 do
+            total := !total + span_tree rng 0
+          done;
+          if not (Obs.Span.well_nested ()) then
+            QCheck.Test.fail_reportf "spans not well-nested (seed %d)" seed;
+          let logged = List.length (Obs.Span.events ()) in
+          if logged <> !total then
+            QCheck.Test.fail_reportf "%d spans logged, %d run (seed %d)"
+              logged !total seed;
+          true))
+
+let test_span_depths () =
+  with_metrics @@ fun () ->
+  Obs.Span.timed "outer" (fun () ->
+      Obs.Span.timed "inner" (fun () -> ());
+      Obs.Span.timed "inner2" (fun () -> ()));
+  let depth_of name =
+    let e =
+      List.find (fun e -> e.Obs.Span.sp_name = name) (Obs.Span.events ())
+    in
+    e.Obs.Span.sp_depth
+  in
+  Alcotest.(check int) "outer at depth 0" 0 (depth_of "outer");
+  Alcotest.(check int) "inner at depth 1" 1 (depth_of "inner");
+  Alcotest.(check int) "inner2 at depth 1" 1 (depth_of "inner2");
+  Alcotest.(check bool) "well nested" true (Obs.Span.well_nested ())
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus and JSON render the same registry *)
+
+let prom_names text =
+  String.split_on_char '\n' text
+  |> List.filter_map (fun line ->
+         match String.split_on_char ' ' line with
+         | [ "#"; "TYPE"; name; _kind ] -> Some name
+         | _ -> None)
+
+let json_names text =
+  (* every instrument entry starts with {"name": "<name>" *)
+  let marker = "{\"name\": \"" in
+  let ml = String.length marker in
+  let out = ref [] in
+  let i = ref 0 in
+  let n = String.length text in
+  while !i + ml <= n do
+    if String.sub text !i ml = marker then begin
+      let j = ref (!i + ml) in
+      while !j < n && text.[!j] <> '"' do
+        incr j
+      done;
+      out := String.sub text (!i + ml) (!j - (!i + ml)) :: !out;
+      i := !j
+    end
+    else incr i
+  done;
+  List.sort_uniq String.compare !out
+
+let test_renderers_agree () =
+  with_metrics @@ fun () ->
+  (* populate a representative registry: operator counters, engine
+     rounds, spans *)
+  let edb =
+    Facts.of_relation "edge"
+      (Dc_workload.Graph_gen.random_graph ~seed:11 ~nodes:10 ~edges:24)
+      (Facts.empty ())
+  in
+  let trace = Ir.Trace.create () in
+  Obs.Span.timed "test" (fun () ->
+      ignore (Seminaive.query ~trace Oracle.tc_nonlinear edb "path"));
+  Ir.Trace.register_metrics trace;
+  let prom = Obs.to_prometheus () in
+  let json = Obs.to_json () in
+  Alcotest.(check (list string))
+    "both renderers expose the same instrument names"
+    (List.sort_uniq String.compare (prom_names prom))
+    (json_names json);
+  (* pin one concrete value to the exact same number in both *)
+  let rounds =
+    Obs.Counter.value
+      (Obs.Counter.make
+         ~labels:[ ("engine", "seminaive") ]
+         "dc_datalog_rounds_total")
+  in
+  Alcotest.(check bool) "query ran rounds" true (rounds > 0);
+  let prom_line =
+    Fmt.str "dc_datalog_rounds_total{engine=\"seminaive\"} %d" rounds
+  in
+  let json_frag =
+    Fmt.str
+      "{\"name\": \"dc_datalog_rounds_total\", \"labels\": {\"engine\": \
+       \"seminaive\"}, \"type\": \"counter\", \"value\": %d}"
+      rounds
+  in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec probe i = i + nn <= nh && (String.sub hay i nn = needle || probe (i + 1)) in
+    probe 0
+  in
+  Alcotest.(check bool) "prometheus carries the value" true
+    (contains prom prom_line);
+  Alcotest.(check bool) "json carries the value" true (contains json json_frag)
+
+(* ------------------------------------------------------------------ *)
+(* Abort consistency: gauges reflect the rolled-back state *)
+
+(* examples/same_generation.dbpl minus its queries: declarations only, so
+   the test controls every fixpoint run. *)
+let sg_text =
+  {|
+TYPE person = STRING;
+TYPE rel = RELATION a, b OF RECORD a, b: person END;
+
+VAR Up: rel;
+VAR Flat: rel;
+VAR Down: rel;
+
+CONSTRUCTOR sg FOR Up: rel (Flat: rel; Down: rel): rel;
+BEGIN EACH f IN Flat: TRUE,
+      <u.a, d.b> OF EACH u IN Up,
+                    EACH s IN Up{sg(Flat, Down)},
+                    EACH d IN Down:
+        u.b = s.a AND s.b = d.a
+END sg;
+
+INSERT Up VALUES
+  ("carol", "erika"), ("dan", "erika"),
+  ("alice", "carol"), ("bob", "carol"),
+  ("frank", "dan"),   ("gina", "frank");
+
+INSERT Flat VALUES ("carol", "dan");
+
+INSERT Down VALUES
+  ("erika", "carol"), ("erika", "dan"),
+  ("carol", "alice"), ("carol", "bob"),
+  ("dan", "frank"),   ("frank", "gina");
+|}
+
+let sg_range =
+  Ast.(
+    Construct (Rel "Up", "sg", [ Arg_range (Rel "Flat"); Arg_range (Rel "Down") ]))
+
+let fixpoint_gauge_lines () =
+  String.split_on_char '\n' (Obs.to_prometheus ())
+  |> List.filter (fun l ->
+         (not (String.length l > 0 && l.[0] = '#'))
+         && (String.length l >= 11 && String.sub l 0 11 = "dc_fixpoint"))
+
+let test_abort_keeps_gauges () =
+  with_metrics @@ fun () ->
+  Guard.Failpoint.reset ();
+  Fun.protect ~finally:Guard.Failpoint.reset @@ fun () ->
+  let db, _ = Dc_lang.Elaborate.run_string sg_text in
+  ignore (Database.query db sg_range);
+  let g_apps = Obs.Gauge.make "dc_fixpoint_applications" in
+  let g_tuples = Obs.Gauge.make "dc_fixpoint_tuples" in
+  let apps0 = Obs.Gauge.value g_apps in
+  let tuples0 = Obs.Gauge.value g_tuples in
+  Alcotest.(check bool) "successful run registered applications" true
+    (apps0 > 0.);
+  Alcotest.(check bool) "successful run registered tuples" true (tuples0 > 0.);
+  let lines0 = fixpoint_gauge_lines () in
+  Guard.Failpoint.arm "fixpoint.commit" 1;
+  (match Database.query db sg_range with
+  | (_ : Relation.t) -> Alcotest.fail "expected Guard.Exhausted"
+  | exception Guard.Exhausted _ -> ());
+  Alcotest.(check (float 0.)) "applications gauge rolled back" apps0
+    (Obs.Gauge.value g_apps);
+  Alcotest.(check (float 0.)) "tuples gauge rolled back" tuples0
+    (Obs.Gauge.value g_tuples);
+  (* the SHOW METRICS view of the same gauges is byte-identical *)
+  Alcotest.(check (list string)) "SHOW METRICS gauge lines unchanged" lines0
+    (fixpoint_gauge_lines ());
+  (* a clean re-run still works and moves the gauges again *)
+  ignore (Database.query db sg_range);
+  Alcotest.(check (float 0.)) "clean re-run increments applications"
+    (apps0 +. 1.)
+    (Obs.Gauge.value g_apps)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "dc_obs"
+    [
+      ( "conservation",
+        [
+          Alcotest.test_case "registry rows = trace counters" `Quick
+            test_registry_matches_trace;
+          QCheck_alcotest.to_alcotest prop_registry_matches_trace;
+          QCheck_alcotest.to_alcotest prop_histogram_conservation;
+          Alcotest.test_case "bucket bounds are inclusive" `Quick
+            test_histogram_bucket_monotone;
+        ] );
+      ( "spans",
+        [
+          QCheck_alcotest.to_alcotest prop_spans_well_nested;
+          Alcotest.test_case "depths recorded" `Quick test_span_depths;
+        ] );
+      ( "renderers",
+        [ Alcotest.test_case "prometheus = json" `Quick test_renderers_agree ] );
+      ( "abort consistency",
+        [
+          Alcotest.test_case "gauges survive aborted fixpoint" `Quick
+            test_abort_keeps_gauges;
+        ] );
+    ]
