@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-smoke examples doc clean outputs
+.PHONY: all build test bench bench-smoke bench-ivm examples doc clean outputs
 
 all: build
 
@@ -16,6 +16,10 @@ bench:
 # Seconds-long sanity pass: the two cheapest recursive experiments.
 bench-smoke:
 	dune exec bench/main.exe -- smoke
+
+# Maintained views vs recompute-per-update on the same update stream.
+bench-ivm:
+	dune exec bench/main.exe -- ivm
 
 examples:
 	dune exec examples/quickstart.exe

@@ -1242,6 +1242,91 @@ let run_obs_overhead () =
     exit 1
   end
 
+(* ------------------------------------------------------------------ *)
+(* IVM: maintained views vs recompute-per-update (the paper §4 remark
+   "Maintenance for such access paths is discussed in [ShTZ 84]", now
+   measurable).  One deterministic stream of single-edge inserts and
+   deletes runs against (a) a materialized transitive closure kept live
+   by the lib/ivm maintainer and (b) a database that refixpoints the
+   closure from scratch after every update.  Both sides end with the
+   same extent; the ratio is the maintenance win for small deltas. *)
+
+type ivm_record = {
+  ir_name : string;
+  ir_updates : int;
+  ir_maintained_ms : float;
+  ir_recompute_ms : float;
+}
+
+let ir_speedup r = r.ir_recompute_ms /. r.ir_maintained_ms
+
+(* step [i]: toggle one deterministic pseudo-random edge *)
+let ivm_step db i nodes =
+  let t =
+    Tuple.of_list
+      [ Graph_gen.node (i mod nodes); Graph_gen.node ((i * 7 + 3) mod nodes) ]
+  in
+  if Relation.mem t (Database.get db "Edge") then Database.delete db "Edge" t
+  else Database.insert db "Edge" t
+
+let ivm_records () =
+  let module Ivm = Dc_ivm.Ivm in
+  let run name ~edges ~nodes ~updates =
+    let maintained () =
+      let db = tc_db edges in
+      let view = Ivm.materialize db ~constructor:"tc" ~base:"Edge" ~args:[] in
+      let (), t =
+        time (fun () ->
+            for i = 0 to updates - 1 do
+              ivm_step db i nodes;
+              ignore (Ivm.cardinal view)
+            done)
+      in
+      (Ivm.cardinal view, t)
+    in
+    let recompute () =
+      let db = tc_db edges in
+      let card = ref 0 in
+      let (), t =
+        time (fun () ->
+            for i = 0 to updates - 1 do
+              ivm_step db i nodes;
+              card := Relation.cardinal (Database.query db tc_query)
+            done)
+      in
+      (!card, t)
+    in
+    let mc, mt = maintained () in
+    let rc, rt = recompute () in
+    if mc <> rc then
+      Fmt.failwith "ivm bench %s: maintained extent %d <> recomputed %d" name
+        mc rc;
+    {
+      ir_name = name;
+      ir_updates = updates;
+      ir_maintained_ms = mt;
+      ir_recompute_ms = rt;
+    }
+  in
+  [
+    run "ivm_tc_chain_128" ~edges:(Graph_gen.chain 128) ~nodes:129 ~updates:64;
+    run "ivm_tc_random_96_192"
+      ~edges:(Graph_gen.random_graph ~seed:5 ~nodes:96 ~edges:192)
+      ~nodes:96 ~updates:64;
+  ]
+
+let print_ivm records =
+  List.iter
+    (fun r ->
+      Fmt.pr
+        "%-24s %d updates: maintained=%sms recompute-per-update=%sms \
+         speedup=%.1fx@."
+        r.ir_name r.ir_updates (ms r.ir_maintained_ms) (ms r.ir_recompute_ms)
+        (ir_speedup r))
+    records
+
+let run_ivm () = print_ivm (ivm_records ())
+
 let run_json path =
   (* Experiments run with metrics enabled so the snapshot embeds per-phase
      breakdowns (span histograms, per-round fixpoint/Datalog series). *)
@@ -1251,6 +1336,7 @@ let run_json path =
   let metrics_json = Dc_obs.Obs.to_json () in
   Dc_obs.Obs.set_enabled false;
   let overhead = obs_overhead_records () in
+  let ivm = ivm_records () in
   let oc = open_out path in
   let field_sep = ref "" in
   output_string oc "{\n  \"experiments\": [\n";
@@ -1273,10 +1359,23 @@ let run_json path =
     overhead;
   Printf.fprintf oc "\n    ],\n    \"aggregate_pct\": %.2f\n  },\n"
     (oo_aggregate overhead);
+  output_string oc "  \"ivm\": [\n";
+  field_sep := "";
+  List.iter
+    (fun r ->
+      Printf.fprintf oc
+        "%s    { \"name\": %S, \"updates\": %d, \"maintained_ms\": %.3f, \
+         \"recompute_per_update_ms\": %.3f, \"speedup\": %.2f }"
+        !field_sep r.ir_name r.ir_updates r.ir_maintained_ms r.ir_recompute_ms
+        (ir_speedup r);
+      field_sep := ",\n")
+    ivm;
+  output_string oc "\n  ],\n";
   Printf.fprintf oc "  \"metrics\": %s\n}\n" metrics_json;
   close_out oc;
   print_records records;
   print_obs_overhead overhead;
+  print_ivm ivm;
   Fmt.pr "wrote %s@." path
 
 (* ------------------------------------------------------------------ *)
@@ -1360,6 +1459,7 @@ let () =
   | [ "bechamel" ] -> run_bechamel ()
   | [ "json"; path ] -> run_json path
   | [ "smoke" ] -> run_smoke ()
+  | [ "ivm" ] -> run_ivm ()
   | [ "guard-overhead" ] -> run_guard_overhead ()
   | [ "obs-overhead" ] -> run_obs_overhead ()
   | names ->

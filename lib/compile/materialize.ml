@@ -48,8 +48,13 @@ let compute ?seed ?seed_delta m =
   let args = Eval.eval_args env m.args in
   let stats = Fixpoint.fresh_stats () in
   m.value <-
-    Fixpoint.apply ~strategy:(Database.strategy m.db) ~stats ?seed ?seed_delta
-      env def base args;
+    (match seed with
+    | Some previous ->
+      Fixpoint.resume ~strategy:(Database.strategy m.db) ~stats ~previous
+        ?delta:seed_delta env def base args
+    | None ->
+      Fixpoint.apply ~strategy:(Database.strategy m.db) ~stats env def base
+        args);
   m.stats <- stats
 
 let create db ~constructor ~base ~args =

@@ -21,6 +21,27 @@ exception Error of string
 
 let error fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
 
+(* A registered view maintainer (the incremental-maintenance subsystem
+   lives in a higher layer, so it plugs in through closures).  [mt_serve]
+   answers a constructor application from the maintained extent (or
+   declines with [None]); [mt_update] applies one batch of net base
+   deltas; [mt_invalidate] marks the view stale (it will refresh on next
+   serve); [mt_snapshot] captures state and returns the restore thunk
+   used to make a failed maintenance step atomic. *)
+type maintainer = {
+  mt_name : string;
+  mt_depends : string list; (* base relations the view reads *)
+  mt_serve :
+    Defs.constructor_def ->
+    Relation.t ->
+    Eval.arg_value list ->
+    Relation.t option;
+  mt_update : (string * Tuple.t list * Tuple.t list) list -> unit;
+      (* (relation, net added, net removed) per base relation *)
+  mt_invalidate : unit -> unit;
+  mt_snapshot : unit -> unit -> unit;
+}
+
 type t = {
   mutable rels : Relation.t SM.t;
   mutable selectors : Defs.selector_def SM.t;
@@ -30,6 +51,10 @@ type t = {
   mutable max_rounds : int;
   mutable limits : Guard.limits;
   mutable last_stats : Fixpoint.stats option;
+  mutable maintainers : maintainer list;
+  mutable maintain : bool;
+      (* SET MAINTAIN ON|OFF: when off, updates invalidate maintained
+         views instead of propagating deltas into them *)
 }
 
 let create ?(strategy = Fixpoint.Seminaive) ?(check_positivity = true)
@@ -43,6 +68,8 @@ let create ?(strategy = Fixpoint.Seminaive) ?(check_positivity = true)
     max_rounds;
     limits;
     last_stats = None;
+    maintainers = [];
+    maintain = true;
   }
 
 let set_strategy db s = db.strategy <- s
@@ -52,6 +79,48 @@ let set_limits db l = db.limits <- l
 let limits db = db.limits
 let last_stats db = db.last_stats
 let reset_last_stats db = db.last_stats <- None
+
+(* ------------------------------------------------------------------ *)
+(* Maintained views *)
+
+let register_maintainer db m =
+  (* latest registration for a name wins (re-MATERIALIZE replaces) *)
+  db.maintainers <-
+    m :: List.filter (fun m' -> not (String.equal m'.mt_name m.mt_name)) db.maintainers
+
+let unregister_maintainer db name =
+  db.maintainers <-
+    List.filter (fun m -> not (String.equal m.mt_name name)) db.maintainers
+
+let maintainer_names db = List.map (fun m -> m.mt_name) db.maintainers
+let set_maintain db b = db.maintain <- b
+let maintain db = db.maintain
+
+(* Route one applied base-relation update to the maintainers that read it.
+   With maintenance on, every relevant view either absorbs the delta or —
+   if the propagation fails (guard exhaustion, injected fault) — is rolled
+   back to its pre-update state via the snapshot thunks; with maintenance
+   off the views are merely marked stale. *)
+let notify_update db name ~added ~removed =
+  if added <> [] || removed <> [] then begin
+    let relevant =
+      List.filter (fun m -> List.mem name m.mt_depends) db.maintainers
+    in
+    if relevant <> [] then
+      if db.maintain then begin
+        let restores = List.map (fun m -> m.mt_snapshot ()) relevant in
+        try List.iter (fun m -> m.mt_update [ (name, added, removed) ]) relevant
+        with e ->
+          List.iter (fun restore -> restore ()) restores;
+          raise e
+      end
+      else List.iter (fun m -> m.mt_invalidate ()) relevant
+  end
+
+let invalidate_dependents db name =
+  List.iter
+    (fun m -> if List.mem name m.mt_depends then m.mt_invalidate ())
+    db.maintainers
 
 (* ------------------------------------------------------------------ *)
 (* Relation variables *)
@@ -65,22 +134,53 @@ let get db name =
   | Some r -> r
   | None -> error "unknown relation %s" name
 
+(* Wholesale reassignment: no usable delta, so dependent maintained views
+   go stale and refresh on their next serve. *)
 let set db name rel =
-  match SM.find_opt name db.rels with
+  (match SM.find_opt name db.rels with
   | None -> db.rels <- SM.add name rel db.rels
   | Some old ->
     if not (Schema.compatible (Relation.schema old) (Relation.schema rel)) then
       error "assignment to %s: incompatible relation type" name;
-    db.rels <- SM.add name rel db.rels
+    db.rels <- SM.add name rel db.rels);
+  invalidate_dependents db name
 
 let relation_names db = List.map fst (SM.bindings db.rels)
 
-let insert db name tuple = set db name (Relation.add tuple (get db name))
+(* Point updates are transactional against maintained views: the binding
+   is updated first (so maintainers read post-update base relations), the
+   net delta is propagated, and if propagation fails both the binding and
+   every touched view roll back to the pre-update snapshot. *)
+let apply_update db name updated ~added ~removed =
+  let saved = db.rels in
+  db.rels <- SM.add name updated db.rels;
+  try notify_update db name ~added ~removed
+  with e ->
+    db.rels <- saved;
+    raise e
+
+let insert db name tuple =
+  let old = get db name in
+  let updated = Relation.add tuple old in
+  let added = if Relation.mem tuple old then [] else [ tuple ] in
+  apply_update db name updated ~added ~removed:[]
 
 let insert_all db name tuples =
-  set db name (List.fold_left (fun r t -> Relation.add t r) (get db name) tuples)
+  let old = get db name in
+  let updated, added_rev =
+    List.fold_left
+      (fun (r, acc) t ->
+        let acc = if Relation.mem t r then acc else t :: acc in
+        (Relation.add t r, acc))
+      (old, []) tuples
+  in
+  apply_update db name updated ~added:(List.rev added_rev) ~removed:[]
 
-let delete db name tuple = set db name (Relation.remove tuple (get db name))
+let delete db name tuple =
+  let old = get db name in
+  if Relation.mem tuple old then
+    apply_update db name (Relation.remove tuple old) ~added:[]
+      ~removed:[ tuple ]
 
 (* ------------------------------------------------------------------ *)
 (* Static environments *)
@@ -109,13 +209,21 @@ let eval_env ?trace ?guard db =
       Eval.on_select = (fun env base def args -> Selector.apply env def base args);
       Eval.on_construct =
         (fun env base def args ->
-          let stats = Fixpoint.fresh_stats () in
-          let value =
-            Fixpoint.apply ~strategy:db.strategy ~max_rounds:db.max_rounds
-              ~stats env def base args
-          in
-          db.last_stats <- Some stats;
-          value);
+          (* A maintained view that recognizes this application serves it
+             without running the fixpoint (refreshing itself first if an
+             unmaintained update left it stale). *)
+          match
+            List.find_map (fun m -> m.mt_serve def base args) db.maintainers
+          with
+          | Some value -> value
+          | None ->
+            let stats = Fixpoint.fresh_stats () in
+            let value =
+              Fixpoint.apply ~strategy:db.strategy ~max_rounds:db.max_rounds
+                ~stats env def base args
+            in
+            db.last_stats <- Some stats;
+            value);
     }
   in
   Eval.make_env ~hooks ?trace ~guard (SM.bindings db.rels)

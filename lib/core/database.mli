@@ -53,10 +53,51 @@ val set : t -> string -> Relation.t -> unit
 val relation_names : t -> string list
 
 val insert : t -> string -> Tuple.t -> unit
-(** @raise Relation.Key_violation / Relation.Type_mismatch per §2.2. *)
+(** @raise Relation.Key_violation / Relation.Type_mismatch per §2.2.
+    Point updates ([insert]/[insert_all]/[delete]) are transactional
+    against maintained views: net deltas propagate into every registered
+    maintainer reading the relation (or mark it stale when maintenance is
+    off), and a failed propagation rolls both the binding and the views
+    back to the pre-update snapshot before re-raising. *)
 
 val insert_all : t -> string -> Tuple.t list -> unit
 val delete : t -> string -> Tuple.t -> unit
+
+(** {1 Maintained views}
+
+    The incremental-maintenance subsystem ([Dc_ivm], a higher layer)
+    plugs in through closures: it registers a maintainer per materialized
+    constructor extent, and the database routes updates and constructor
+    applications through the registry. *)
+
+type maintainer = {
+  mt_name : string;
+  mt_depends : string list;  (** base relations the view reads *)
+  mt_serve :
+    Dc_calculus.Defs.constructor_def ->
+    Relation.t ->
+    Dc_calculus.Eval.arg_value list ->
+    Relation.t option;
+      (** serve a constructor application from the maintained extent, or
+          decline with [None] *)
+  mt_update : (string * Tuple.t list * Tuple.t list) list -> unit;
+      (** apply one batch of net base deltas: (relation, added, removed) *)
+  mt_invalidate : unit -> unit;  (** mark stale; refresh on next serve *)
+  mt_snapshot : unit -> unit -> unit;
+      (** capture state, returning the restore thunk (rollback) *)
+}
+
+val register_maintainer : t -> maintainer -> unit
+(** Latest registration for a name wins (re-MATERIALIZE replaces). *)
+
+val unregister_maintainer : t -> string -> unit
+val maintainer_names : t -> string list
+
+val set_maintain : t -> bool -> unit
+(** [SET MAINTAIN ON|OFF]: when off, updates invalidate maintained views
+    instead of propagating deltas into them. Default on. *)
+
+val maintain : t -> bool
 
 (** {1 Definitions} *)
 

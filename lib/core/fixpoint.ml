@@ -558,3 +558,15 @@ let apply ?(strategy = Seminaive) ?(max_rounds = default_max_rounds) ?guard
   with e ->
     restore_gauges ();
     raise e
+
+(* The delta-state reuse entry point: continue a converged fixpoint from
+   its previous value after the base grew.  [delta], when known, restarts
+   in fully incremental mode (first round runs only the delta variants);
+   without it the first round re-evaluates bodies against [previous] and
+   convergence is usually immediate.  The maintenance subsystems
+   ([Dc_ivm], [Dc_compile.Materialize]) call this instead of spelling the
+   seeding contract out at every site. *)
+let resume ?strategy ?max_rounds ?guard ?stats ~previous ?delta env def base
+    args =
+  apply ?strategy ?max_rounds ?guard ?stats ~seed:previous ?seed_delta:delta
+    env def base args

@@ -88,3 +88,23 @@ val apply :
     derivation not involving [seed_delta] (see [Dc_compile.Materialize] for
     the derivation of such a pair from a base insertion).
     @raise Divergence on oscillation or budget exhaustion. *)
+
+val resume :
+  ?strategy:strategy ->
+  ?max_rounds:int ->
+  ?guard:Dc_guard.Guard.t ->
+  ?stats:stats ->
+  previous:Relation.t ->
+  ?delta:Relation.t ->
+  Eval.env ->
+  Defs.constructor_def ->
+  Relation.t ->
+  Eval.arg_value list ->
+  Relation.t
+(** Continue a converged fixpoint from [previous] after the base grew —
+    the delta-state reuse entry point for the maintenance subsystems.
+    [delta], when known, restarts in fully incremental mode (the first
+    round runs only the delta variants); without it the first round
+    re-evaluates bodies against [previous], which is still sound under
+    growth and usually converges immediately.  Equivalent to
+    [apply ~seed:previous ?seed_delta:delta]. *)

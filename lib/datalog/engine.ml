@@ -76,6 +76,20 @@ let split_delta name =
   then Some (String.sub name n (String.length name - n))
   else None
 
+(* Second naming layer for the incremental-maintenance counting pass,
+   which telescopes a product of per-atom updates: positions left of the
+   delta read the post-update store ("⊕pred"), the delta position reads
+   "Δpred", positions right of it read the pre-update store ("pred"). *)
+let post_prefix = "\xe2\x8a\x95" (* UTF-8 ⊕ *)
+
+let post_name pred = post_prefix ^ pred
+
+let split_post name =
+  let n = String.length post_prefix in
+  if String.length name > n && String.equal (String.sub name 0 n) post_prefix
+  then Some (String.sub name n (String.length name - n))
+  else None
+
 let store_ctx store : Ir.ctx = fun name -> store_extent store name
 
 let delta_ctx ~full ~delta : Ir.ctx =
@@ -83,6 +97,15 @@ let delta_ctx ~full ~delta : Ir.ctx =
   match split_delta name with
   | Some pred -> store_extent ~label:name delta pred
   | None -> store_extent full name
+
+let tri_ctx ~pre ~post ~delta : Ir.ctx =
+ fun name ->
+  match split_delta name with
+  | Some pred -> store_extent ~label:name delta pred
+  | None -> (
+    match split_post name with
+    | Some pred -> store_extent ~label:name post pred
+    | None -> store_extent pre name)
 
 (* Rules grouped by head predicate, both orders preserved (predicates by
    first appearance, rules by program order). *)
@@ -328,3 +351,42 @@ let compile_rule ?(reorder = true) ?(card = fun _ _ -> None) ?(bound = [])
   let init_ref = ref (fun () -> Array.make n_slots dummy) in
   let pipeline = Ir.project ~label ~init:(fun () -> !init_ref ()) ~tuple !node in
   { pipeline; n_slots; slot; set_init = (fun f -> init_ref := f) }
+
+(* ------------------------------------------------------------------ *)
+(* Shared delta-rule derivation.
+
+   Every incremental evaluation scheme in this codebase — semi-naive
+   rounds, insert propagation, DRed over-deletion, the counting pass —
+   needs the same syntactic object: rule variants where one positive
+   occurrence of a "moving" predicate reads a delta while the others read
+   a full store.  The variants differ only in which named sources they
+   consult, so they are derived here once and specialized per engine by
+   the [names] function and the runtime context. *)
+
+(* Positions (among the positive atoms, in program order) whose predicate
+   satisfies [member] — the candidate delta positions of [rule]. *)
+let delta_positions ~member rule =
+  List.filter_map Fun.id
+    (List.mapi
+       (fun i (a : atom) -> if member a.pred then Some i else None)
+       (List.filter_map
+          (function
+            | Pos a -> Some a
+            | Neg _ | Test _ -> None)
+          rule.body))
+
+(* One variant of [rule]: positive atom [i] reads the named source
+   [names i atom] (so the caller decides which occurrences see a delta,
+   a post-update store, or the plain store), negations read the plain
+   predicate name.  [delta_pos] marks the delta occurrence with a
+   zero-cardinality hint so the join-order rewrite scans it first. *)
+let compile_variant ?reorder ?bound ?delta_pos ~names ~label rule =
+  let card =
+    match delta_pos with
+    | None -> fun _ _ -> None
+    | Some d -> fun i _ -> if i = d then Some 0 else None
+  in
+  compile_rule ?reorder ?bound ~card
+    ~source:(fun i a -> Static (Ir.Named (names i a)))
+    ~neg_source:(fun (a : atom) -> Ir.Named a.pred)
+    ~label rule

@@ -42,12 +42,27 @@ val delta_name : string -> string
 (** ["Δpred"] — the named source under which a pipeline reads the
     semi-naive delta of [pred] instead of the full store. *)
 
+val split_delta : string -> string option
+(** [Some pred] when the name is ["Δpred"], [None] otherwise. *)
+
+val post_name : string -> string
+(** ["⊕pred"] — the named source under which a pipeline reads the
+    post-update store of [pred]; used by the incremental-maintenance
+    counting pass, which telescopes a product of per-atom updates
+    (post stores left of the delta, pre stores right of it). *)
+
+val split_post : string -> string option
+
 val store_ctx : Facts.t -> Dc_exec.Ir.ctx
 (** Resolve every named source against one store (naive rounds). *)
 
 val delta_ctx : full:Facts.t -> delta:Facts.t -> Dc_exec.Ir.ctx
 (** Resolve ["pred"] against [full] and ["Δpred"] against [delta]
     (semi-naive rounds swap stores under an unchanged pipeline). *)
+
+val tri_ctx : pre:Facts.t -> post:Facts.t -> delta:Facts.t -> Dc_exec.Ir.ctx
+(** Resolve ["pred"] against [pre], ["⊕pred"] against [post] and
+    ["Δpred"] against [delta] (the counting pass's three layers). *)
 
 val group_by_head : Syntax.program -> (string * Syntax.rule list) list
 (** Rules grouped by head predicate; predicates ordered by first
@@ -95,3 +110,29 @@ val compile_rule :
 
     @raise Error ([Unsafe_rule]) if a negation or test can never be
     grounded. *)
+
+(** {1 Shared delta-rule derivation}
+
+    Semi-naive rounds, insert propagation, DRed over-deletion and the
+    counting pass all evaluate the same syntactic object: rule variants
+    where one positive occurrence of a "moving" predicate reads a delta
+    while the others read full stores.  These helpers derive the variants
+    once; engines specialize them through [names] and the runtime
+    context. *)
+
+val delta_positions : member:(string -> bool) -> Syntax.rule -> int list
+(** Positions (among positive atoms, program order) whose predicate
+    satisfies [member]. *)
+
+val compile_variant :
+  ?reorder:bool ->
+  ?bound:string list ->
+  ?delta_pos:int ->
+  names:(int -> Syntax.atom -> string) ->
+  label:string Lazy.t ->
+  Syntax.rule ->
+  compiled
+(** Compile one variant: positive atom [i] reads the named source
+    [names i atom]; negations read the plain predicate name.  [delta_pos]
+    marks the delta occurrence with a zero-cardinality hint so the
+    join-order rewrite scans it first. *)

@@ -60,6 +60,16 @@ let extend_cached cache pred fresh =
     (fun (p, _) idx -> if String.equal p pred then TS.iter (Index.add idx) fresh)
     cache.tables
 
+(* Drop departed tuples of [pred] from every cached index of that
+   predicate — the deletion mirror of [extend_cached].  [Index.remove]
+   undoes one insertion, which matches: the add path only ever pushes a
+   genuinely-new tuple once. *)
+let shrink_cached cache pred gone =
+  Hashtbl.iter
+    (fun (p, _) idx ->
+      if String.equal p pred then TS.iter (Index.remove idx) gone)
+    cache.tables
+
 let owns store = store.cache.owner = store.version
 
 let add store pred tuple =
@@ -91,6 +101,27 @@ let add_set store pred set =
       { tuples; version; cache }
     end
     else { tuples; version; cache = fresh_cache version }
+
+let remove_set store pred set =
+  let old = find store pred in
+  let gone = TS.inter set old in
+  if TS.is_empty gone then store
+  else
+    let version = new_version () in
+    let remaining = TS.diff old gone in
+    let tuples =
+      if TS.is_empty remaining then SM.remove pred store.tuples
+      else SM.add pred remaining store.tuples
+    in
+    if owns store then begin
+      let cache = store.cache in
+      shrink_cached cache pred gone;
+      cache.owner <- version;
+      { tuples; version; cache }
+    end
+    else { tuples; version; cache = fresh_cache version }
+
+let remove store pred tuple = remove_set store pred (TS.singleton tuple)
 
 let singleton_set pred set = add_set (empty ()) pred set
 

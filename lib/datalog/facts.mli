@@ -20,6 +20,14 @@ val mem : t -> string -> Tuple.t -> bool
 
 val add : t -> string -> Tuple.t -> t
 val add_set : t -> string -> TS.t -> t
+
+val remove : t -> string -> Tuple.t -> t
+(** Persistent deletion.  On the cache-owning store the departed tuple is
+    also dropped from every cached index of the predicate (the deletion
+    mirror of delta-incremental [add]); older snapshots rebuild private
+    indexes on demand as usual.  No-op when the tuple is absent. *)
+
+val remove_set : t -> string -> TS.t -> t
 val singleton_set : string -> TS.t -> t
 val of_list : (string * Tuple.t) list -> t
 

@@ -64,18 +64,6 @@ let run ?(guard = Guard.none) ?stats ?trace (program : program) (edb : Facts.t) 
     let layer_preds =
       List.fold_left (fun s r -> SS.add r.head.pred s) SS.empty layer
     in
-    (* positions (among positive atoms) of same-stratum IDB occurrences *)
-    let recursive_positions rule =
-      List.filter_map Fun.id
-        (List.mapi
-           (fun i (a : atom) ->
-             if SS.mem a.pred layer_preds then Some i else None)
-           (List.filter_map
-              (function
-                | Pos a -> Some a
-                | Neg _ | Test _ -> None)
-              rule.body))
-    in
     let compile ?card ~source r =
       (Engine.compile_rule ?card ~source
          ~neg_source:(fun a -> Ir.Named a.pred)
@@ -104,14 +92,15 @@ let run ?(guard = Guard.none) ?stats ?trace (program : program) (edb : Facts.t) 
     let delta_variants r =
       List.map
         (fun dpos ->
-          compile
-            ~card:(fun i _ -> if i = dpos then Some 0 else None)
-            ~source:(fun i (a : atom) ->
-              Engine.Static
-                (Ir.Named
-                   (if i = dpos then Engine.delta_name a.pred else a.pred)))
-            r)
-        (recursive_positions r)
+          (Engine.compile_variant ~delta_pos:dpos
+             ~names:(fun i (a : atom) ->
+               if i = dpos then Engine.delta_name a.pred else a.pred)
+             ~label:(lazy (Fmt.str "%a" pp_rule r))
+             r)
+            .Engine.pipeline)
+        (Engine.delta_positions
+           ~member:(fun p -> SS.mem p layer_preds)
+           r)
     in
     let deltas =
       per_pred

@@ -15,3 +15,13 @@ val layers : Syntax.program -> Syntax.program list
 (** Rules grouped by head stratum, lowest first (empty layers dropped). *)
 
 val is_stratifiable : Syntax.program -> bool
+
+val sccs : Syntax.program -> string list list
+(** Strongly connected components of the positive dependency graph over
+    IDB predicates, in topological (dependencies-first) order — the unit
+    of work for incremental maintenance. *)
+
+val recursive : Syntax.program -> string list -> bool
+(** Does some rule with a head in the component also consult the
+    component in a positive body atom?  (A singleton predicate without a
+    self-loop is not recursive.) *)

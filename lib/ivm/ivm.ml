@@ -1,0 +1,894 @@
+(* Incremental view maintenance for materialized constructor extents.
+
+   A materialized view caches the least fixpoint of one constructor
+   application Base{c(args)} as a Datalog fact store (the §3.4
+   translation), and keeps it correct across base-relation INSERT/DELETE
+   without refixpointing from scratch.  The maintenance plan is chosen
+   per strongly connected component of the translated program's positive
+   dependency graph, processed in topological order:
+
+   - non-recursive components use the counting algorithm [GuMS 93]: the
+     view tracks, per derived tuple, the number of rule derivations
+     currently producing it.  The count adjustment under an update is the
+     telescoped product difference — per rule and positive position i,
+     one variant reading post-update stores left of i ("⊕pred"), the
+     delta at i ("Δpred") and pre-update stores right of i — run once
+     against the insertion delta (+1 per emission) and once against the
+     deletion delta (−1).  A tuple leaves the extent exactly when its
+     count reaches zero and enters when it rises from zero.
+
+   - recursive components use DRed [GuMS 93]: over-delete everything
+     derivable from a deleted tuple (semi-naive rounds of the same delta
+     variants against the pre-update store), then rederive survivors —
+     each over-deleted tuple is probed for an alternative derivation from
+     the shrunken store via a head-bound early-exit pipeline
+     ([Ir.exists]), and surviving tuples are propagated semi-naively in
+     case they resurrect further casualties.  Insertions then propagate
+     through a standard semi-naive delta pass.  Counts are unsound here:
+     a cycle can keep a tuple's count positive through derivations that
+     depend on the deleted tuple itself.
+
+   Programs with stratified negation fall back to a full recompute per
+   update (still through the maintained store, so reads stay consistent);
+   updates arriving while maintenance is off just mark the view stale and
+   the next serve refreshes it.
+
+   All phases run under the database's resource governor; the driver in
+   [Database] snapshots each view before propagating and rolls back on
+   any failure, so an aborted maintenance step leaves the pre-update
+   snapshot. *)
+
+open Dc_relation
+open Dc_calculus
+open Dc_core
+open Dc_datalog
+module Ir = Dc_exec.Ir
+module Guard = Dc_guard.Guard
+module Obs = Dc_obs.Obs
+module TS = Facts.TS
+module SS = Syntax.SS
+
+exception Error of string
+
+let error fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Registry instruments *)
+
+let m_updates = lazy (Obs.Counter.make "dc_ivm_updates_total")
+let m_maintain_ms = lazy (Obs.Histogram.make "dc_ivm_maintain_ms")
+let m_delta_in = lazy (Obs.Histogram.make "dc_ivm_delta_in")
+let m_inserted = lazy (Obs.Counter.make "dc_ivm_inserted_total")
+let m_deleted = lazy (Obs.Counter.make "dc_ivm_deleted_total")
+let m_overdeleted = lazy (Obs.Counter.make "dc_ivm_overdeleted_total")
+let m_rederived = lazy (Obs.Counter.make "dc_ivm_rederived_total")
+let m_probes = lazy (Obs.Counter.make "dc_ivm_probes_total")
+let m_rounds = lazy (Obs.Counter.make "dc_ivm_rounds_total")
+let m_refresh = lazy (Obs.Counter.make "dc_ivm_refresh_total")
+let g_views = lazy (Obs.Gauge.make "dc_ivm_views")
+
+(* ------------------------------------------------------------------ *)
+(* Maintenance reports (EXPLAIN ANALYZE on an update) *)
+
+type phase = {
+  ph_label : string;
+  ph_tuples : int;
+  ph_ms : float;
+}
+
+type report = {
+  rp_view : string;
+  rp_mode : string; (* "incremental" | "recompute" | "stale" *)
+  rp_base : (string * int * int) list; (* relation, added, removed *)
+  mutable rp_phases : phase list; (* latest first while building *)
+  mutable rp_plus : int; (* net growth of the served extent *)
+  mutable rp_minus : int;
+  mutable rp_ms : float;
+}
+
+(* Only the most recent reports are retained — long update streams must
+   not accumulate per-update diagnostics without bound. *)
+let max_reports = 16
+let reports_acc : report list ref = ref []
+let n_reports = ref 0
+
+let push_report rp =
+  reports_acc := rp :: !reports_acc;
+  incr n_reports;
+  if !n_reports > max_reports then begin
+    reports_acc := List.filteri (fun i _ -> i < max_reports) !reports_acc;
+    n_reports := max_reports
+  end
+
+let reset_reports () =
+  reports_acc := [];
+  n_reports := 0
+
+let reports () = List.rev !reports_acc
+
+let pp_report ppf rp =
+  Fmt.pf ppf "@[<v>view %s (%s): %a; Δ⁺=%d Δ⁻=%d; %.2f ms" rp.rp_view
+    rp.rp_mode
+    Fmt.(
+      list ~sep:(any ", ") (fun ppf (r, a, d) -> pf ppf "%s +%d/-%d" r a d))
+    rp.rp_base rp.rp_plus rp.rp_minus rp.rp_ms;
+  List.iter
+    (fun ph ->
+      Fmt.pf ppf "@,  %-28s %6d tuples %8.2f ms" ph.ph_label ph.ph_tuples
+        ph.ph_ms)
+    (List.rev rp.rp_phases);
+  Fmt.pf ppf "@]"
+
+let timed rp label f =
+  let t0 = Obs.now_ms () in
+  let tuples = f () in
+  rp.rp_phases <-
+    { ph_label = label; ph_tuples = tuples; ph_ms = Obs.now_ms () -. t0 }
+    :: rp.rp_phases
+
+(* ------------------------------------------------------------------ *)
+(* Compiled maintenance plans *)
+
+(* One delta variant of one rule: the positive occurrence at the marked
+   position reads a delta, the rest read whatever the phase's context
+   maps plain names to. *)
+type variant = {
+  v_head : string;
+  v_delta_pred : string; (* predicate at the delta position *)
+  v_pipe : Ir.t;
+}
+
+(* Head-bound early-exit rederivation probe: [p_match candidate] checks
+   the head's constants and repeated variables against the candidate and,
+   when consistent, returns the initial-row thunk binding the head
+   variables; [Ir.exists] then asks whether the body has any witness. *)
+type probe = {
+  p_compiled : Engine.compiled;
+  p_match : Tuple.t -> (unit -> Engine.row) option;
+}
+
+type scc_kind =
+  | Counting of {
+      c_init : (string * Ir.t) list;
+          (* raw plain pipelines: emissions = derivations, used to
+             (re)build counts from a full store *)
+      c_variants : variant list;
+          (* tri-named: ⊕ left of the delta, plain right of it *)
+    }
+  | Dred of {
+      d_variants : variant list;
+      d_probes : (string * probe list) list; (* per component predicate *)
+    }
+
+type scc = {
+  s_preds : string list;
+  s_set : SS.t;
+  s_kind : scc_kind;
+}
+
+type plan =
+  | Incremental of scc list
+  | Recompute of string (* why the incremental path does not apply *)
+
+type status =
+  | Live
+  | Stale
+
+type t = {
+  db : Database.t;
+  name : string; (* instance predicate of the root application *)
+  con : string;
+  base : string;
+  args : Ast.arg list;
+  def : Defs.constructor_def;
+  program : Syntax.program;
+  query_pred : string;
+  depends : string list; (* EDB relations the translated program reads *)
+  plan : plan;
+  supports : Support.t; (* derivation counts of the counting predicates *)
+  mutable store : Facts.t; (* EDB ∪ IDB at the last synchronized state *)
+  mutable status : status;
+}
+
+let name v = v.name
+let constructor v = v.con
+let depends v = v.depends
+let is_stale v = v.status = Stale
+
+let plan_kind v =
+  match v.plan with
+  | Incremental sccs ->
+    Fmt.str "incremental (%s)"
+      (String.concat ", "
+         (List.map
+            (fun s ->
+              Fmt.str "%s:%s"
+                (String.concat "," s.s_preds)
+                (match s.s_kind with
+                | Counting _ -> "counting"
+                | Dred _ -> "dred"))
+            sccs))
+  | Recompute why -> Fmt.str "recompute (%s)" why
+
+(* ------------------------------------------------------------------ *)
+(* Plan compilation *)
+
+let positive_atoms (r : Syntax.rule) =
+  List.filter_map
+    (function
+      | Syntax.Pos a -> Some a
+      | Syntax.Neg _ | Syntax.Test _ -> None)
+    r.body
+
+let rule_label r = lazy (Fmt.str "%a" Syntax.pp_rule r)
+
+(* Delta variants of [rule], one per positive position; [names] decides
+   what the non-delta occurrences are called. *)
+let variants_of ~names rule =
+  let atoms = Array.of_list (positive_atoms rule) in
+  List.map
+    (fun dpos ->
+      {
+        v_head = rule.Syntax.head.pred;
+        v_delta_pred = atoms.(dpos).Syntax.pred;
+        v_pipe =
+          (Engine.compile_variant ~delta_pos:dpos
+             ~names:(fun i a -> names dpos i a)
+             ~label:(rule_label rule) rule)
+            .Engine.pipeline;
+      })
+    (Engine.delta_positions ~member:(fun _ -> true) rule)
+
+let compile_probe (rule : Syntax.rule) =
+  let head = Array.of_list rule.head.args in
+  (* first occurrence of each head variable, in order *)
+  let bound, _ =
+    Array.fold_left
+      (fun (acc, seen) t ->
+        match t with
+        | Syntax.Var v when not (SS.mem v seen) -> (v :: acc, SS.add v seen)
+        | Syntax.Var _ | Syntax.Const _ -> (acc, seen))
+      ([], SS.empty) head
+  in
+  let bound = List.rev bound in
+  let compiled =
+    Engine.compile_variant ~bound
+      ~names:(fun _ (a : Syntax.atom) -> a.pred)
+      ~label:(rule_label rule) rule
+  in
+  (* per head position: what to do with the candidate's value there *)
+  let actions =
+    let seen = Hashtbl.create 8 in
+    Array.mapi
+      (fun i t ->
+        match t with
+        | Syntax.Const c -> `Check_const c
+        | Syntax.Var v -> (
+          match Hashtbl.find_opt seen v with
+          | Some j -> `Check_eq j
+          | None ->
+            Hashtbl.replace seen v i;
+            `Bind (compiled.Engine.slot v)))
+      head
+  in
+  let n = Array.length actions in
+  let p_match tuple =
+    let rec consistent i =
+      i = n
+      ||
+      match actions.(i) with
+      | `Check_const c -> Value.equal c (Tuple.get tuple i) && consistent (i + 1)
+      | `Check_eq j ->
+        Value.equal (Tuple.get tuple j) (Tuple.get tuple i) && consistent (i + 1)
+      | `Bind _ -> consistent (i + 1)
+    in
+    if not (consistent 0) then None
+    else
+      Some
+        (fun () ->
+          let row = Array.make compiled.Engine.n_slots Engine.dummy in
+          Array.iteri
+            (fun i act ->
+              match act with
+              | `Bind s -> row.(s) <- Tuple.get tuple i
+              | `Check_const _ | `Check_eq _ -> ())
+            actions;
+          row)
+  in
+  { p_compiled = compiled; p_match }
+
+let compile_plan (program : Syntax.program) =
+  let has_neg =
+    List.exists
+      (fun (r : Syntax.rule) ->
+        List.exists
+          (function
+            | Syntax.Neg _ -> true
+            | Syntax.Pos _ | Syntax.Test _ -> false)
+          r.body)
+      program
+  in
+  if has_neg then Recompute "stratified negation"
+  else
+    Incremental
+      (List.map
+         (fun preds ->
+           let s_set = SS.of_list preds in
+           let rules =
+             List.filter
+               (fun (r : Syntax.rule) -> SS.mem r.head.pred s_set)
+               program
+           in
+           let s_kind =
+             if Stratify.recursive program preds then
+               Dred
+                 {
+                   d_variants =
+                     List.concat_map
+                       (variants_of ~names:(fun dpos i (a : Syntax.atom) ->
+                            if i = dpos then Engine.delta_name a.pred
+                            else a.pred))
+                       rules;
+                   d_probes =
+                     List.map
+                       (fun p ->
+                         ( p,
+                           List.filter_map
+                             (fun (r : Syntax.rule) ->
+                               if String.equal r.head.pred p then
+                                 Some (compile_probe r)
+                               else None)
+                             rules ))
+                       preds;
+                 }
+             else
+               Counting
+                 {
+                   c_init =
+                     List.map
+                       (fun (r : Syntax.rule) ->
+                         ( r.head.pred,
+                           (Engine.compile_variant
+                              ~names:(fun _ (a : Syntax.atom) -> a.pred)
+                              ~label:(rule_label r) r)
+                             .Engine.pipeline ))
+                       rules;
+                   c_variants =
+                     List.concat_map
+                       (variants_of ~names:(fun dpos i (a : Syntax.atom) ->
+                            if i < dpos then Engine.post_name a.pred
+                            else if i = dpos then Engine.delta_name a.pred
+                            else a.pred))
+                       rules;
+                 }
+           in
+           { s_preds = preds; s_set; s_kind })
+         (Stratify.sccs program))
+
+(* ------------------------------------------------------------------ *)
+(* Refresh (from-scratch synchronization) *)
+
+let fresh_edb view =
+  SS.fold
+    (fun p acc -> Facts.of_relation p (Database.get view.db p) acc)
+    (Syntax.edb_preds view.program)
+    (Facts.empty ())
+
+let init_supports view =
+  Support.reset view.supports;
+  match view.plan with
+  | Recompute _ -> ()
+  | Incremental sccs ->
+    List.iter
+      (fun s ->
+        match s.s_kind with
+        | Dred _ -> ()
+        | Counting { c_init; _ } ->
+          List.iter
+            (fun (head, pipe) ->
+              Ir.run (Engine.store_ctx view.store) pipe (fun t ->
+                  ignore (Support.add view.supports head t 1)))
+            c_init)
+      sccs
+
+let refresh view =
+  let guard = Guard.of_limits (Database.limits view.db) in
+  view.store <- Seminaive.run ~guard view.program (fresh_edb view);
+  init_supports view;
+  view.status <- Live;
+  if Obs.on () then Obs.Counter.inc (Lazy.force m_refresh)
+
+(* ------------------------------------------------------------------ *)
+(* The incremental update *)
+
+(* Per-update driver state: [pre] is the synchronized store before the
+   update; [mid] applies every net deletion committed so far (but no
+   insertion); [post] applies both; [dplus]/[dminus] accumulate the net
+   per-predicate deltas, EDB first, then each component in topological
+   order — so a component always sees finished pre/mid/post states and
+   deltas for everything below it. *)
+type update_state = {
+  pre : Facts.t;
+  mutable mid : Facts.t;
+  mutable post : Facts.t;
+  mutable dplus : Facts.t;
+  mutable dminus : Facts.t;
+  guard : Guard.t;
+  rp : report;
+}
+
+let round st =
+  Guard.round st.guard ~site:"ivm.round";
+  if Obs.on () then Obs.Counter.inc (Lazy.force m_rounds)
+
+(* Run the variants whose delta predicate is non-empty in [delta]. *)
+let run_variants st ~ctx ~delta variants emit =
+  List.iter
+    (fun v ->
+      if Facts.cardinal delta v.v_delta_pred > 0 then
+        Ir.run ~guard:st.guard ctx v.v_pipe (emit v.v_head))
+    variants
+
+let commit_pred st pred ~net_plus ~net_minus =
+  st.dminus <- Facts.add_set st.dminus pred net_minus;
+  st.dplus <- Facts.add_set st.dplus pred net_plus;
+  st.mid <- Facts.remove_set st.mid pred net_minus;
+  st.post <-
+    Facts.add_set (Facts.remove_set st.post pred net_minus) pred net_plus
+
+(* Counting pass over one non-recursive component: one telescoped run per
+   variant and delta sign, then zero-crossings of the adjusted counts
+   become the component's net delta. *)
+let counting_scc view st s c_variants =
+  round st;
+  let adjust : (string * Tuple.t, int) Hashtbl.t = Hashtbl.create 64 in
+  let record sign head t =
+    let key = (head, t) in
+    Hashtbl.replace adjust key
+      (sign + Option.value (Hashtbl.find_opt adjust key) ~default:0)
+  in
+  timed st.rp
+    (Fmt.str "count %s" (String.concat "," s.s_preds))
+    (fun () ->
+      run_variants st
+        ~ctx:(Engine.tri_ctx ~pre:st.pre ~post:st.post ~delta:st.dplus)
+        ~delta:st.dplus c_variants (record 1);
+      run_variants st
+        ~ctx:(Engine.tri_ctx ~pre:st.pre ~post:st.post ~delta:st.dminus)
+        ~delta:st.dminus c_variants (record (-1));
+      Hashtbl.length adjust);
+  let removed = Hashtbl.create 4 and added = Hashtbl.create 4 in
+  let bucket tbl pred t =
+    Hashtbl.replace tbl pred
+      (TS.add t (Option.value (Hashtbl.find_opt tbl pred) ~default:TS.empty))
+  in
+  Hashtbl.iter
+    (fun (pred, t) d ->
+      if d <> 0 then begin
+        let old, now = Support.add view.supports pred t d in
+        if now < 0 then
+          error "negative derivation count for %s%a (ivm bug)" pred Tuple.pp t;
+        if old > 0 && now = 0 then bucket removed pred t
+        else if old = 0 && now > 0 then bucket added pred t
+      end)
+    adjust;
+  List.iter
+    (fun pred ->
+      let net_minus =
+        Option.value (Hashtbl.find_opt removed pred) ~default:TS.empty
+      and net_plus =
+        Option.value (Hashtbl.find_opt added pred) ~default:TS.empty
+      in
+      commit_pred st pred ~net_plus ~net_minus)
+    s.s_preds
+
+(* DRed over one recursive component. *)
+let dred_scc st s d_variants d_probes =
+  let observing = Obs.on () in
+  (* --- over-deletion: everything whose derivation touched a deleted
+     tuple, fixpointed against the pre-update store (which still holds
+     every deleted tuple, so derivations using several are caught). *)
+  let overdeleted : (string, TS.t ref) Hashtbl.t = Hashtbl.create 4 in
+  let d_of pred =
+    match Hashtbl.find_opt overdeleted pred with
+    | Some r -> r
+    | None ->
+      let r = ref TS.empty in
+      Hashtbl.replace overdeleted pred r;
+      r
+  in
+  timed st.rp
+    (Fmt.str "overdelete %s" (String.concat "," s.s_preds))
+    (fun () ->
+      let delta = ref st.dminus in
+      let continue = ref true in
+      while !continue do
+        round st;
+        let fresh = ref [] in
+        let emitted = ref 0 in
+        run_variants st
+          ~ctx:(Engine.delta_ctx ~full:st.pre ~delta:!delta)
+          ~delta:!delta d_variants
+          (fun head t ->
+            let d = d_of head in
+            if Facts.mem st.pre head t && not (TS.mem t !d) then begin
+              d := TS.add t !d;
+              incr emitted;
+              fresh := (head, t) :: !fresh
+            end);
+        delta :=
+          List.fold_left
+            (fun acc (p, t) -> Facts.add acc p t)
+            (Facts.empty ()) !fresh;
+        continue := !fresh <> []
+      done;
+      let total =
+        Hashtbl.fold (fun _ r acc -> acc + TS.cardinal !r) overdeleted 0
+      in
+      if observing then
+        Obs.Counter.add (Lazy.force m_overdeleted) total;
+      total);
+  (* --- rederivation: probe each casualty against the shrunken store
+     (lower predicates at mid, this component minus the over-deletion);
+     survivors re-enter immediately so later probes can lean on them. *)
+  let work =
+    ref
+      (Hashtbl.fold
+         (fun pred d acc -> Facts.remove_set acc pred !d)
+         overdeleted st.mid)
+  in
+  let survivors = ref [] in
+  timed st.rp
+    (Fmt.str "rederive %s" (String.concat "," s.s_preds))
+    (fun () ->
+      let probes = ref 0 in
+      List.iter
+        (fun (pred, rules) ->
+          match Hashtbl.find_opt overdeleted pred with
+          | None -> ()
+          | Some d ->
+            TS.iter
+              (fun t ->
+                let derivable =
+                  List.exists
+                    (fun p ->
+                      match p.p_match t with
+                      | None -> false
+                      | Some init ->
+                        incr probes;
+                        p.p_compiled.Engine.set_init init;
+                        Ir.exists ~guard:st.guard (Engine.store_ctx !work)
+                          p.p_compiled.Engine.pipeline)
+                    rules
+                in
+                if derivable then begin
+                  work := Facts.add !work pred t;
+                  survivors := (pred, t) :: !survivors
+                end)
+              !d)
+        d_probes;
+      if observing then begin
+        Obs.Counter.add (Lazy.force m_probes) !probes;
+        Obs.Counter.add (Lazy.force m_rederived) (List.length !survivors)
+      end;
+      List.length !survivors);
+  (* --- propagate survivors: a rederived tuple can resurrect further
+     casualties; every emission still inside the over-deletion re-enters. *)
+  timed st.rp
+    (Fmt.str "propagate %s" (String.concat "," s.s_preds))
+    (fun () ->
+      let delta =
+        ref
+          (List.fold_left
+             (fun acc (p, t) -> Facts.add acc p t)
+             (Facts.empty ()) !survivors)
+      in
+      let resurrected = ref 0 in
+      let continue = ref (Facts.total !delta > 0) in
+      while !continue do
+        round st;
+        let w = !work in
+        let fresh = ref [] in
+        run_variants st
+          ~ctx:(Engine.delta_ctx ~full:w ~delta:!delta)
+          ~delta:!delta d_variants
+          (fun head t ->
+            if
+              (not (Facts.mem w head t))
+              && not (List.exists (fun (p, u) -> p = head && Tuple.equal u t) !fresh)
+            then fresh := (head, t) :: !fresh);
+        work :=
+          List.fold_left (fun acc (p, t) -> Facts.add acc p t) !work !fresh;
+        delta :=
+          List.fold_left
+            (fun acc (p, t) -> Facts.add acc p t)
+            (Facts.empty ()) !fresh;
+        resurrected := !resurrected + List.length !fresh;
+        continue := !fresh <> []
+      done;
+      !resurrected);
+  (* deletion-phase result per predicate: what stayed deleted *)
+  let deleted =
+    List.map
+      (fun pred ->
+        let d =
+          match Hashtbl.find_opt overdeleted pred with
+          | Some r -> !r
+          | None -> TS.empty
+        in
+        (pred, TS.filter (fun t -> not (Facts.mem !work pred t)) d))
+      s.s_preds
+  in
+  st.mid <-
+    List.fold_left
+      (fun acc (pred, gone) -> Facts.remove_set acc pred gone)
+      st.mid deleted;
+  (* --- insertion phase: semi-naive propagation of the lower components'
+     net insertions; plain sources read post-update lower stores and the
+     component's own evolving value. *)
+  let added : (string, TS.t ref) Hashtbl.t = Hashtbl.create 4 in
+  let a_of pred =
+    match Hashtbl.find_opt added pred with
+    | Some r -> r
+    | None ->
+      let r = ref TS.empty in
+      Hashtbl.replace added pred r;
+      r
+  in
+  (* the component's evolving store starts at its mid (deletion-phase)
+     state; other predicates resolve against the global post store *)
+  let work2 = ref st.mid in
+  timed st.rp
+    (Fmt.str "insert %s" (String.concat "," s.s_preds))
+    (fun () ->
+      let delta = ref st.dplus in
+      let continue = ref (Facts.total !delta > 0) in
+      let grown = ref 0 in
+      while !continue do
+        round st;
+        let w2 = !work2 and post = st.post in
+        let ctx name =
+          match Engine.split_delta name with
+          | Some p -> Engine.store_extent ~label:name !delta p
+          | None ->
+            if SS.mem name s.s_set then Engine.store_extent w2 name
+            else Engine.store_extent post name
+        in
+        let fresh = ref [] in
+        run_variants st ~ctx ~delta:!delta d_variants (fun head t ->
+            if
+              (not (Facts.mem w2 head t))
+              && not (List.exists (fun (p, u) -> p = head && Tuple.equal u t) !fresh)
+            then fresh := (head, t) :: !fresh);
+        List.iter
+          (fun (p, t) ->
+            let a = a_of p in
+            a := TS.add t !a)
+          !fresh;
+        work2 :=
+          List.fold_left (fun acc (p, t) -> Facts.add acc p t) !work2 !fresh;
+        delta :=
+          List.fold_left
+            (fun acc (p, t) -> Facts.add acc p t)
+            (Facts.empty ()) !fresh;
+        grown := !grown + List.length !fresh;
+        continue := !fresh <> []
+      done;
+      !grown);
+  (* net deltas: a tuple deleted then re-inserted cancels out *)
+  List.iter
+    (fun pred ->
+      let del = List.assoc pred deleted in
+      let add_ =
+        match Hashtbl.find_opt added pred with
+        | Some r -> !r
+        | None -> TS.empty
+      in
+      let net_minus = TS.diff del add_ and net_plus = TS.diff add_ del in
+      commit_pred st pred ~net_plus ~net_minus)
+    s.s_preds
+
+let incremental_update view sccs updates =
+  let guard = Guard.of_limits (Database.limits view.db) in
+  let rp =
+    {
+      rp_view = view.name;
+      rp_mode = "incremental";
+      rp_base = List.map (fun (r, a, d) -> (r, List.length a, List.length d)) updates;
+      rp_phases = [];
+      rp_plus = 0;
+      rp_minus = 0;
+      rp_ms = 0.;
+    }
+  in
+  let st =
+    {
+      pre = view.store;
+      mid = view.store;
+      post = view.store;
+      dplus = Facts.empty ();
+      dminus = Facts.empty ();
+      guard;
+      rp;
+    }
+  in
+  (* seed with the base-relation net deltas *)
+  List.iter
+    (fun (rel, add_l, rem_l) ->
+      let ad = TS.of_list add_l and rm = TS.of_list rem_l in
+      st.dminus <- Facts.add_set st.dminus rel rm;
+      st.dplus <- Facts.add_set st.dplus rel ad;
+      st.mid <- Facts.remove_set st.mid rel rm;
+      st.post <- Facts.add_set (Facts.remove_set st.post rel rm) rel ad)
+    updates;
+  List.iter
+    (fun s ->
+      match s.s_kind with
+      | Counting { c_variants; _ } -> counting_scc view st s c_variants
+      | Dred { d_variants; d_probes } -> dred_scc st s d_variants d_probes)
+    sccs;
+  if !Guard.Failpoint.armed then Guard.Failpoint.hit ~guard "ivm.commit";
+  rp.rp_plus <- Facts.cardinal st.dplus view.query_pred;
+  rp.rp_minus <- Facts.cardinal st.dminus view.query_pred;
+  view.store <- st.post;
+  rp
+
+let update view updates =
+  let t0 = Obs.now_ms () in
+  let rp =
+    match view.status with
+    | Stale ->
+      (* an unmaintained update already desynchronized the view; stay
+         stale and let the next serve refresh *)
+      {
+        rp_view = view.name;
+        rp_mode = "stale";
+        rp_base =
+          List.map (fun (r, a, d) -> (r, List.length a, List.length d)) updates;
+        rp_phases = [];
+        rp_plus = 0;
+        rp_minus = 0;
+        rp_ms = 0.;
+      }
+    | Live -> (
+      match view.plan with
+      | Incremental sccs -> incremental_update view sccs updates
+      | Recompute why ->
+        let rp =
+          {
+            rp_view = view.name;
+            rp_mode = Fmt.str "recompute: %s" why;
+            rp_base =
+              List.map
+                (fun (r, a, d) -> (r, List.length a, List.length d))
+                updates;
+            rp_phases = [];
+            rp_plus = 0;
+            rp_minus = 0;
+            rp_ms = 0.;
+          }
+        in
+        let before = Facts.cardinal view.store view.query_pred in
+        timed rp "refixpoint" (fun () ->
+            refresh view;
+            Facts.cardinal view.store view.query_pred - before);
+        rp)
+  in
+  rp.rp_ms <- Obs.now_ms () -. t0;
+  push_report rp;
+  if Obs.on () then begin
+    Obs.Counter.inc (Lazy.force m_updates);
+    Obs.Histogram.observe (Lazy.force m_maintain_ms) rp.rp_ms;
+    Obs.Histogram.observe
+      (Lazy.force m_delta_in)
+      (float_of_int
+         (List.fold_left
+            (fun n (_, a, d) -> n + List.length a + List.length d)
+            0 updates));
+    Obs.Counter.add (Lazy.force m_inserted) rp.rp_plus;
+    Obs.Counter.add (Lazy.force m_deleted) rp.rp_minus
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Serving *)
+
+let value view =
+  if view.status = Stale then refresh view;
+  Facts.to_relation view.def.Defs.con_result view.store view.query_pred
+
+(* Does a constructor application match this view?  Same constructor,
+   tuple-identical base, and each surface argument naming the same
+   relation value / scalar the view was materialized over. *)
+let matches view (def : Defs.constructor_def) base (args : Eval.arg_value list)
+    =
+  String.equal def.Defs.con_name view.con
+  && (match Database.get view.db view.base with
+     | rel -> Relation.compare_tuples rel base = 0
+     | exception Database.Error _ -> false)
+  && List.length args = List.length view.args
+  && List.for_all2
+       (fun a v ->
+         match (a, v) with
+         | Ast.Arg_scalar (Ast.Const c), Eval.V_scalar w -> Value.equal c w
+         | Ast.Arg_range (Ast.Rel n), Eval.V_rel r -> (
+           match Database.get view.db n with
+           | rel -> Relation.compare_tuples rel r = 0
+           | exception Database.Error _ -> false)
+         | _ -> false)
+       view.args args
+
+(* ------------------------------------------------------------------ *)
+(* Materialization *)
+
+let translate_ctx db =
+  {
+    Translate.lookup_constructor = Database.constructor db;
+    schema_of =
+      (fun n ->
+        match Database.get db n with
+        | r -> Some (Relation.schema r)
+        | exception Database.Error _ -> None);
+  }
+
+let maintainer_of view =
+  {
+    Database.mt_name = view.name;
+    mt_depends = view.depends;
+    mt_serve =
+      (fun def base args ->
+        if matches view def base args then Some (value view) else None);
+    mt_update = (fun updates -> update view updates);
+    mt_invalidate = (fun () -> view.status <- Stale);
+    mt_snapshot =
+      (fun () ->
+        let store = view.store and status = view.status in
+        let restore_supports = Support.snapshot view.supports in
+        fun () ->
+          view.store <- store;
+          view.status <- status;
+          restore_supports ());
+  }
+
+let materialize db ~constructor ~base ~args =
+  let def =
+    match Database.constructor db constructor with
+    | Some d -> d
+    | None -> error "unknown constructor %s" constructor
+  in
+  let range = Ast.Construct (Ast.Rel base, constructor, args) in
+  (try Database.check_query db range with
+  | Database.Error msg | Typecheck.Error msg -> error "MATERIALIZE: %s" msg);
+  let program, query_pred =
+    try Translate.of_application (translate_ctx db) range
+    with Translate.Unsupported msg ->
+      error "MATERIALIZE %s: not translatable to the Horn fragment (%s)"
+        constructor msg
+  in
+  let depends = SS.elements (Syntax.edb_preds program) in
+  let view =
+    {
+      db;
+      name = query_pred;
+      con = constructor;
+      base;
+      args;
+      def;
+      program;
+      query_pred;
+      depends;
+      plan = compile_plan program;
+      supports = Support.create ();
+      store = Facts.empty ();
+      status = Stale;
+    }
+  in
+  refresh view;
+  Database.register_maintainer db (maintainer_of view);
+  if Obs.on () then Obs.Gauge.add (Lazy.force g_views) 1.;
+  view
+
+let unregister view =
+  Database.unregister_maintainer view.db view.name;
+  if Obs.on () then Obs.Gauge.add (Lazy.force g_views) (-1.)
+
+let cardinal view = Facts.cardinal view.store view.query_pred

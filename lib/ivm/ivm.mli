@@ -1,0 +1,86 @@
+(** Incremental view maintenance for materialized constructor extents.
+
+    [materialize] translates one constructor application [Base{c(args)}]
+    to its Horn program (§3.4), computes the extent once, and registers a
+    maintainer with the database so subsequent INSERT/DELETE on the base
+    relations update the extent incrementally instead of refixpointing:
+    non-recursive components of the translated program by derivation
+    counting, recursive components by delete-and-rederive (DRed), both
+    driven through the shared delta-variant compiler of
+    {!Dc_datalog.Engine}.  Programs with stratified negation fall back to
+    a per-update recompute; updates arriving while maintenance is off
+    ([SET MAINTAIN OFF]) mark the view stale, and the next serve
+    refreshes it.
+
+    Maintenance runs under the database's resource governor; a failed
+    propagation (guard exhaustion, injected fault) rolls the view and the
+    triggering update back to the pre-update snapshot. *)
+
+open Dc_relation
+open Dc_calculus
+open Dc_core
+
+exception Error of string
+
+type t
+
+val materialize :
+  Database.t -> constructor:string -> base:string -> args:Ast.arg list -> t
+(** Translate, compute, and register.  @raise Error on unknown
+    constructors, ill-typed applications, or applications outside the
+    translatable Horn fragment. *)
+
+val unregister : t -> unit
+
+val name : t -> string
+(** The instance predicate of the root application, e.g. ["tc__edge"] —
+    also the maintainer name in the database registry. *)
+
+val constructor : t -> string
+
+val depends : t -> string list
+(** Base (EDB) relations the view reads; updates to these are routed to
+    the maintainer. *)
+
+val plan_kind : t -> string
+(** Human-readable maintenance plan, e.g.
+    ["incremental (tc__edge:dred)"] or ["recompute (stratified
+    negation)"]. *)
+
+val is_stale : t -> bool
+
+val value : t -> Relation.t
+(** The maintained extent (refreshes first when stale). *)
+
+val cardinal : t -> int
+
+val refresh : t -> unit
+(** From-scratch resynchronization (also rebuilds derivation counts). *)
+
+(** {1 Maintenance reports}
+
+    Every update appends a report; [EXPLAIN ANALYZE] on an INSERT/DELETE
+    resets the accumulator, performs the update, and prints what the
+    maintenance pipeline did. *)
+
+type phase = {
+  ph_label : string;
+  ph_tuples : int;
+  ph_ms : float;
+}
+
+type report = {
+  rp_view : string;
+  rp_mode : string;
+  rp_base : (string * int * int) list;
+  mutable rp_phases : phase list;
+  mutable rp_plus : int;
+  mutable rp_minus : int;
+  mutable rp_ms : float;
+}
+
+val reports : unit -> report list
+(** Reports since the last [reset_reports], oldest first (bounded). *)
+
+val reset_reports : unit -> unit
+val pp_report : report Fmt.t

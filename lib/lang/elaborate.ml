@@ -12,6 +12,7 @@ open Dc_core
 open Surface
 module Guard = Dc_guard.Guard
 module Obs = Dc_obs.Obs
+module Ivm = Dc_ivm.Ivm
 
 exception Elab_error of string
 
@@ -332,6 +333,47 @@ let execute_decl env = function
     | exception Guard.Exhausted (reason, progress) ->
       header ();
       output env "%a@\n@\n" Guard.pp_report (reason, progress))
+  | D_materialize r -> (
+    let range = lower_range env empty_scope r in
+    match range with
+    | Ast.Construct (Ast.Rel base, constructor, args) -> (
+      match Ivm.materialize env.db ~constructor ~base ~args with
+      | view ->
+        output env "MATERIALIZE %s@\nview %s: %s, %d tuples@\n@\n"
+          (Ast.range_to_string range)
+          (Ivm.name view) (Ivm.plan_kind view) (Ivm.cardinal view)
+      | exception Ivm.Error msg -> elab_error "%s" msg)
+    | _ ->
+      elab_error
+        "MATERIALIZE expects a constructor application Rel{con(args)}, got %s"
+        (Ast.range_to_string range))
+  | D_maintain on ->
+    Database.set_maintain env.db on;
+    output env "SET MAINTAIN %s@\n@\n" (if on then "ON" else "OFF")
+  | D_explain_update { eu_analyze; eu_delete; eu_rel; eu_rows } -> (
+    let rows = List.map (row env) eu_rows in
+    let verb = if eu_delete then "DELETE" else "INSERT" in
+    let header () =
+      output env "EXPLAIN%s %s %s@\n"
+        (if eu_analyze then " ANALYZE" else "")
+        verb eu_rel
+    in
+    Ivm.reset_reports ();
+    let apply () =
+      if eu_delete then List.iter (Database.delete env.db eu_rel) rows
+      else Database.insert_all env.db eu_rel rows
+    in
+    match apply () with
+    | () ->
+      header ();
+      (match Ivm.reports () with
+      | [] -> output env "no maintained views over %s@\n" eu_rel
+      | reports ->
+        List.iter (fun rp -> output env "%a@\n" Ivm.pp_report rp) reports);
+      output env "@\n"
+    | exception Guard.Exhausted (reason, progress) ->
+      header ();
+      output env "%a@\n@\n" Guard.pp_report (reason, progress))
   | D_show_metrics ->
     output env "SHOW METRICS@\n%s@\n" (Obs.to_prometheus ())
 
@@ -347,7 +389,11 @@ let run env (p : program) =
   if
     (not (Obs.on ()))
     && List.exists
-         (function D_explain_analyze _ | D_show_metrics -> true | _ -> false)
+         (function
+           | D_explain_analyze _ | D_show_metrics
+           | D_explain_update { eu_analyze = true; _ } ->
+             true
+           | _ -> false)
          p
   then Obs.set_enabled true;
   let flush pending =

@@ -498,17 +498,46 @@ let decl st =
     let r = range st in
     eat st Token.Semi;
     D_print r
-  | Token.Kw_explain ->
+  | Token.Kw_explain -> (
     advance st;
     let analyze = accept st Token.Kw_analyze in
+    match peek st with
+    | Token.Kw_insert | Token.Kw_delete ->
+      (* EXPLAIN [ANALYZE] INSERT/DELETE Rel VALUES (..): run the update
+         and show the view-maintenance pipeline *)
+      let eu_delete = peek st = Token.Kw_delete in
+      advance st;
+      let eu_rel = ident st in
+      eat st Token.Kw_values;
+      let eu_rows = tuple_literals st in
+      eat st Token.Semi;
+      D_explain_update { eu_analyze = analyze; eu_delete; eu_rel; eu_rows }
+    | _ ->
+      let r = range st in
+      eat st Token.Semi;
+      if analyze then D_explain_analyze r else D_explain r)
+  | Token.Kw_materialize ->
+    advance st;
     let r = range st in
     eat st Token.Semi;
-    if analyze then D_explain_analyze r else D_explain r
+    D_materialize r
   | Token.Kw_show ->
     advance st;
     eat st Token.Kw_metrics;
     eat st Token.Semi;
     D_show_metrics
+  | Token.Kw_set when peek2 st = Token.Ident "MAINTAIN" ->
+    (* SET MAINTAIN ON | OFF *)
+    advance st;
+    advance st;
+    let on =
+      match ident st with
+      | "ON" -> true
+      | "OFF" -> false
+      | s -> error st "expected ON or OFF, got %s" s
+    in
+    eat st Token.Semi;
+    D_maintain on
   | Token.Kw_set ->
     (* SET LIMIT ROWS n, ROUNDS n, MILLIS n;   or   SET LIMIT NONE; *)
     advance st;

@@ -103,5 +103,16 @@ type decl =
   | D_show_metrics (* SHOW METRICS: dump the observability registry *)
   | D_limit of (limit_kind * int) list
     (* SET LIMIT ROWS n, ROUNDS n, MILLIS n;  empty = SET LIMIT NONE *)
+  | D_materialize of range
+    (* MATERIALIZE Rel{con(args)}: register a maintained extent *)
+  | D_maintain of bool (* SET MAINTAIN ON | OFF *)
+  | D_explain_update of {
+      eu_analyze : bool;
+      eu_delete : bool;
+      eu_rel : string;
+      eu_rows : term list list;
+    }
+    (* EXPLAIN [ANALYZE] INSERT/DELETE Rel VALUES (..): perform the
+       update and print what the maintenance pipeline did *)
 
 type program = decl list

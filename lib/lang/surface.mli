@@ -104,5 +104,17 @@ type decl =
   | D_limit of (limit_kind * int) list
       (** [SET LIMIT ROWS n, ROUNDS n, MILLIS n;] merged into the current
           limits; the empty list ([SET LIMIT NONE;]) clears them all *)
+  | D_materialize of range
+      (** [MATERIALIZE Rel{con(args)};] — compute the extent once and keep
+          it incrementally maintained under INSERT/DELETE *)
+  | D_maintain of bool  (** [SET MAINTAIN ON;] / [SET MAINTAIN OFF;] *)
+  | D_explain_update of {
+      eu_analyze : bool;
+      eu_delete : bool;
+      eu_rel : string;
+      eu_rows : term list list;
+    }
+      (** [EXPLAIN [ANALYZE] INSERT/DELETE Rel VALUES (..);] — perform
+          the update and print the maintenance pipeline's report *)
 
 type program = decl list

@@ -50,6 +50,7 @@ type t =
   | Kw_limit
   | Kw_show
   | Kw_metrics
+  | Kw_materialize
   (* punctuation and operators *)
   | Semi
   | Colon
@@ -111,6 +112,7 @@ let keywords =
     ("LIMIT", Kw_limit);
     ("SHOW", Kw_show);
     ("METRICS", Kw_metrics);
+    ("MATERIALIZE", Kw_materialize);
   ]
 
 let to_string = function

@@ -42,6 +42,7 @@ type t =
   | Kw_limit
   | Kw_show
   | Kw_metrics
+  | Kw_materialize
   | Semi
   | Colon
   | Comma

@@ -1,0 +1,74 @@
+(* Derivation-count bookkeeping for incrementally maintained extents.
+
+   The counting algorithm for non-recursive predicates keeps, per derived
+   tuple, the number of distinct rule derivations that currently produce
+   it.  A base-relation update then translates into count adjustments:
+   a tuple leaves the extent exactly when its count drops to zero, and
+   enters it when the count rises from zero — no rederivation search
+   needed.  (Recursive components cannot use counts soundly — a cycle can
+   keep a tuple's count positive through derivations that themselves
+   depend on the deleted tuple — and fall back to DRed.)
+
+   One [t] holds the tables of every counted predicate of one maintained
+   view, keyed by predicate name.  Counts are plain mutable state; the
+   enclosing maintenance step is made atomic by [snapshot]/restore. *)
+
+module HT = Hashtbl.Make (Tuple)
+
+type t = (string, int HT.t) Hashtbl.t
+
+let create () : t = Hashtbl.create 8
+
+let table (s : t) pred =
+  match Hashtbl.find_opt s pred with
+  | Some tbl -> tbl
+  | None ->
+    let tbl = HT.create 64 in
+    Hashtbl.replace s pred tbl;
+    tbl
+
+let count (s : t) pred tuple =
+  match Hashtbl.find_opt s pred with
+  | None -> 0
+  | Some tbl -> Option.value (HT.find_opt tbl tuple) ~default:0
+
+let set (s : t) pred tuple n =
+  let tbl = table s pred in
+  if n = 0 then HT.remove tbl tuple else HT.replace tbl tuple n
+
+(* Adjust and return the (old, new) pair — the commit loop classifies
+   tuples by the zero-crossing direction. *)
+let add (s : t) pred tuple d =
+  let tbl = table s pred in
+  let old = Option.value (HT.find_opt tbl tuple) ~default:0 in
+  let now = old + d in
+  if now = 0 then HT.remove tbl tuple else HT.replace tbl tuple now;
+  (old, now)
+
+let clear_pred (s : t) pred = Hashtbl.remove s pred
+
+let reset (s : t) = Hashtbl.reset s
+
+let iter_pred (s : t) pred f =
+  match Hashtbl.find_opt s pred with
+  | None -> ()
+  | Some tbl -> HT.iter f tbl
+
+let total (s : t) =
+  Hashtbl.fold (fun _ tbl acc -> acc + HT.length tbl) s 0
+
+(* Capture the full current state; the returned thunk restores it (used
+   to roll a failed maintenance step back to the pre-update snapshot). *)
+let snapshot (s : t) =
+  let saved =
+    Hashtbl.fold (fun pred tbl acc -> (pred, HT.copy tbl) :: acc) s []
+  in
+  fun () ->
+    Hashtbl.reset s;
+    List.iter (fun (pred, tbl) -> Hashtbl.replace s pred tbl) saved
+
+let pp ppf (s : t) =
+  Hashtbl.iter
+    (fun pred tbl ->
+      HT.iter (fun t n -> Fmt.pf ppf "%s%a = %d@." pred Tuple.pp t n) tbl)
+    s

@@ -1,0 +1,34 @@
+(** Derivation-count bookkeeping for incrementally maintained extents:
+    per derived tuple, the number of distinct rule derivations currently
+    producing it.  Under an update a tuple leaves its extent exactly when
+    the count drops to zero and enters when it rises from zero — the
+    counting algorithm's fast path for non-recursive predicates (recursive
+    components fall back to delete-and-rederive, where counts are
+    unsound). *)
+
+type t
+
+val create : unit -> t
+
+val count : t -> string -> Tuple.t -> int
+(** Current count (0 when untracked). *)
+
+val set : t -> string -> Tuple.t -> int -> unit
+(** Overwrite a count; 0 untracks the tuple. *)
+
+val add : t -> string -> Tuple.t -> int -> int * int
+(** [add s pred tuple d] adjusts the count by [d] and returns
+    [(old, new)] — callers classify by the zero-crossing direction. *)
+
+val clear_pred : t -> string -> unit
+val reset : t -> unit
+val iter_pred : t -> string -> (Tuple.t -> int -> unit) -> unit
+
+val total : t -> int
+(** Number of tracked tuples across all predicates. *)
+
+val snapshot : t -> unit -> unit
+(** Capture the full state; the returned thunk restores it (rollback to
+    the pre-update snapshot on a failed maintenance step). *)
+
+val pp : t Fmt.t

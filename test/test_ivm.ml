@@ -1,0 +1,423 @@
+(* Differential update streams for the live-view subsystem (lib/ivm).
+
+   Each workload (transitive closure, same-generation, mutual recursion,
+   bill-of-materials) is set up through [Translate.to_constructors] over
+   the oracle program shapes, materialized with [Ivm.materialize], and
+   then driven by a seeded random stream of interleaved INSERT/DELETE
+   steps.  After every step the incrementally maintained extent must
+   equal a from-scratch semi-naive refixpoint of the original rules over
+   the mutated base relations.  Every failure message carries the seed,
+   so any divergence reproduces deterministically.
+
+   Also here: abort atomicity of maintenance under injected
+   [Guard.Exhausted] faults (the update and the view roll back to the
+   pre-update snapshot), the Facts deletion regression (cached indexes
+   must forget removed tuples), and the surface-DELETE stale-read
+   regression (maintenance off must not serve a stale extent). *)
+
+open Dc_relation
+open Dc_datalog
+module Ast = Dc_calculus.Ast
+module Database = Dc_core.Database
+module Ivm = Dc_ivm.Ivm
+module Guard = Dc_guard.Guard
+module Obs = Dc_obs.Obs
+module Rng = Dc_workload.Rng
+module Graph_gen = Dc_workload.Graph_gen
+module Bom_gen = Dc_workload.Bom_gen
+module TS = Facts.TS
+
+let ts_of_relation rel = Relation.fold TS.add rel TS.empty
+let unary_schema = Schema.make [ ("x", Value.TStr) ]
+
+(* ------------------------------------------------------------------ *)
+(* Workloads *)
+
+type workload = {
+  w_name : string;
+  w_program : Syntax.program; (* oracle rules, original predicate names *)
+  w_pred : string; (* root IDB predicate = constructor name *)
+  w_edb : (string * Schema.t) list; (* updatable base relations *)
+  w_idb : (string * Schema.t) list;
+  w_init : Rng.t -> (string * Relation.t) list;
+  w_random : Rng.t -> string -> Tuple.t; (* a random tuple for a base *)
+}
+
+let nodes = 10
+let rand_node rng = Graph_gen.node (Rng.int rng nodes)
+let rand_pair rng _ = Tuple.of_list [ rand_node rng; rand_node rng ]
+
+let graph_workload =
+  {
+    w_name = "graph";
+    w_program = Oracle.tc_nonlinear;
+    w_pred = "path";
+    w_edb = [ ("edge", Graph_gen.edge_schema) ];
+    w_idb = [ ("path", Graph_gen.edge_schema) ];
+    w_init =
+      (fun rng ->
+        let seed = Rng.int rng 1_000_000 in
+        [ ("edge", Graph_gen.random_graph ~seed ~nodes ~edges:(2 * nodes)) ]);
+    w_random = rand_pair;
+  }
+
+let sg_workload =
+  {
+    w_name = "sg";
+    w_program = Oracle.sg_program;
+    w_pred = "sg";
+    w_edb =
+      [
+        ("up", Graph_gen.edge_schema);
+        ("flat", Graph_gen.edge_schema);
+        ("down", Graph_gen.edge_schema);
+      ];
+    w_idb = [ ("sg", Graph_gen.edge_schema) ];
+    w_init =
+      (fun rng ->
+        let g () =
+          Graph_gen.random_graph ~seed:(Rng.int rng 1_000_000) ~nodes
+            ~edges:(nodes + Rng.int rng 6)
+        in
+        [ ("up", g ()); ("flat", g ()); ("down", g ()) ]);
+    w_random = rand_pair;
+  }
+
+let mutual_workload =
+  {
+    w_name = "mutual";
+    w_program = Oracle.mutual_program;
+    w_pred = "even";
+    w_edb = [ ("edge", Graph_gen.edge_schema); ("start", unary_schema) ];
+    w_idb = [ ("even", unary_schema); ("odd", unary_schema) ];
+    w_init =
+      (fun rng ->
+        let seed = Rng.int rng 1_000_000 in
+        [
+          ("edge", Graph_gen.random_graph ~seed ~nodes ~edges:(2 * nodes));
+          ( "start",
+            Relation.of_list unary_schema [ Tuple.make1 (rand_node rng) ] );
+        ]);
+    w_random =
+      (fun rng pred ->
+        if String.equal pred "start" then Tuple.make1 (rand_node rng)
+        else rand_pair rng pred);
+  }
+
+let parts = 9
+
+let bom_workload =
+  {
+    w_name = "bom";
+    w_program = Oracle.bom_program;
+    w_pred = "reach";
+    w_edb = [ ("contains", Bom_gen.contains_schema) ];
+    w_idb = [ ("reach", Graph_gen.edge_schema) ];
+    w_init =
+      (fun rng ->
+        [
+          ( "contains",
+            Bom_gen.hierarchy ~seed:(Rng.int rng 1_000_000) ~levels:3 ~width:3
+              ~uses:2 );
+        ]);
+    w_random =
+      (fun rng _ ->
+        Tuple.of_list
+          [
+            Bom_gen.part (Rng.int rng parts);
+            Bom_gen.part (Rng.int rng parts);
+            Value.Int (1 + Rng.int rng 4);
+          ]);
+  }
+
+let workloads = [ graph_workload; sg_workload; mutual_workload; bom_workload ]
+
+(* ------------------------------------------------------------------ *)
+(* Setup and the differential step driver *)
+
+let setup w init =
+  let db = Database.create () in
+  List.iter (fun (n, s) -> Database.declare db n s) w.w_edb;
+  List.iter (fun (n, rel) -> Database.set db n rel) init;
+  let schema_of p =
+    match List.assoc_opt p (w.w_edb @ w.w_idb) with
+    | Some s -> s
+    | None -> Alcotest.failf "no schema for predicate %s" p
+  in
+  let defs, bottoms = Translate.to_constructors schema_of w.w_program in
+  List.iter (fun (n, s) -> Database.declare db n s) bottoms;
+  Database.define_constructors db defs;
+  let view =
+    Ivm.materialize db ~constructor:w.w_pred
+      ~base:("__bottom_" ^ w.w_pred)
+      ~args:[]
+  in
+  (db, view)
+
+(* The independent oracle: semi-naive over the ORIGINAL rules and names,
+   against the base relations as the database currently holds them. *)
+let oracle db w =
+  let edb =
+    List.fold_left
+      (fun acc (p, _) -> Facts.of_relation p (Database.get db p) acc)
+      (Facts.empty ()) w.w_edb
+  in
+  Seminaive.query w.w_program edb w.w_pred
+
+type step = {
+  st_op : string; (* "INSERT" | "DELETE" *)
+  st_pred : string;
+  st_tuple : Tuple.t;
+}
+
+(* Pick and apply one random step; returns its description.  Deletions
+   target existing tuples, so nearly every step is a real change. *)
+let random_step rng db w =
+  let pred, _ = Rng.pick rng w.w_edb in
+  let rel = Database.get db pred in
+  if Relation.cardinal rel > 0 && Rng.bool rng 0.45 then begin
+    let ts = Relation.to_list rel in
+    let t = List.nth ts (Rng.int rng (List.length ts)) in
+    Database.delete db pred t;
+    { st_op = "DELETE"; st_pred = pred; st_tuple = t }
+  end
+  else begin
+    let t = w.w_random rng pred in
+    Database.insert db pred t;
+    { st_op = "INSERT"; st_pred = pred; st_tuple = t }
+  end
+
+let check_extent ~seed w view expected step i =
+  let got = ts_of_relation (Ivm.value view) in
+  if not (TS.equal expected got) then
+    Alcotest.failf
+      "seed %d %s: step %d (%s %s %a): maintained extent diverged: %d \
+       maintained vs %d refixpoint tuples"
+      seed w.w_name i step.st_op step.st_pred Tuple.pp step.st_tuple
+      (TS.cardinal got) (TS.cardinal expected)
+
+let run_stream ~seed ~steps w =
+  let rng = Rng.create seed in
+  let db, view = setup w (w.w_init rng) in
+  check_extent ~seed w view (oracle db w)
+    { st_op = "MATERIALIZE"; st_pred = w.w_pred; st_tuple = Tuple.of_list [] }
+    0;
+  for i = 1 to steps do
+    let step = random_step rng db w in
+    check_extent ~seed w view (oracle db w) step i
+  done
+
+(* >= 1000 interleaved INSERT/DELETE steps per workload *)
+let test_update_stream w () = run_stream ~seed:20260806 ~steps:1000 w
+
+(* qcheck variant: short streams over random seeds *)
+let prop_stream w =
+  QCheck.Test.make
+    ~name:(Fmt.str "ivm %s stream = refixpoint" w.w_name)
+    ~count:12 QCheck.small_nat
+    (fun seed ->
+      run_stream ~seed ~steps:25 w;
+      true)
+
+(* ------------------------------------------------------------------ *)
+(* Abort atomicity under injected faults *)
+
+let with_failpoints f =
+  Guard.Failpoint.reset ();
+  Fun.protect ~finally:Guard.Failpoint.reset f
+
+(* Arm a maintenance-pipeline failpoint, apply a real update, and verify
+   the abort left both the base relation and the maintained extent at
+   the pre-update snapshot — then that the stream keeps maintaining
+   correctly afterwards. *)
+let test_abort_atomicity w () =
+  with_failpoints @@ fun () ->
+  let seed = 77_2026 in
+  let rng = Rng.create seed in
+  let db, view = setup w (w.w_init rng) in
+  for i = 1 to 40 do
+    if i mod 4 = 0 then begin
+      (* inject: alternate between the commit point and mid-propagation *)
+      let site = if i mod 8 = 0 then "ivm.commit" else "ivm.round" in
+      let pred, _ = Rng.pick rng w.w_edb in
+      let before_base = ts_of_relation (Database.get db pred) in
+      let before_view = ts_of_relation (Ivm.value view) in
+      let rel = Database.get db pred in
+      let apply =
+        if Relation.cardinal rel > 0 && Rng.bool rng 0.5 then begin
+          let ts = Relation.to_list rel in
+          let t = List.nth ts (Rng.int rng (List.length ts)) in
+          fun () -> Database.delete db pred t
+        end
+        else begin
+          (* a guaranteed-fresh tuple, so the step is a real change and
+             the maintenance pipeline definitely runs *)
+          let rec fresh () =
+            let t = w.w_random rng pred in
+            if Relation.mem t rel then fresh () else t
+          in
+          let t = fresh () in
+          fun () -> Database.insert db pred t
+        end
+      in
+      Guard.Failpoint.arm site 1;
+      (match apply () with
+      | () ->
+        if !Guard.Failpoint.armed then
+          Alcotest.failf "seed %d %s: step %d: %s never hit" seed w.w_name i
+            site;
+        Guard.Failpoint.reset ()
+      | exception Guard.Exhausted (Guard.Fault_injected s, _) ->
+        Alcotest.(check string)
+          (Fmt.str "seed %d %s: step %d: fault site" seed w.w_name i)
+          site s;
+        let after_base = ts_of_relation (Database.get db pred) in
+        if not (TS.equal before_base after_base) then
+          Alcotest.failf
+            "seed %d %s: step %d: aborted %s left the base relation %s \
+             changed (%d -> %d tuples)"
+            seed w.w_name i site pred (TS.cardinal before_base)
+            (TS.cardinal after_base);
+        let after_view = ts_of_relation (Ivm.value view) in
+        if not (TS.equal before_view after_view) then
+          Alcotest.failf
+            "seed %d %s: step %d: aborted %s left the maintained extent \
+             changed (%d -> %d tuples)"
+            seed w.w_name i site (TS.cardinal before_view)
+            (TS.cardinal after_view));
+      Guard.Failpoint.reset ()
+    end
+    else begin
+      let step = random_step rng db w in
+      check_extent ~seed w view (oracle db w) step i
+    end
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Facts deletion regression (the delta-index maintenance fix) *)
+
+let t2 a b = Tuple.of_list [ Value.str a; Value.str b ]
+
+let test_facts_remove_indexes () =
+  let store =
+    Facts.of_list
+      [ ("e", t2 "a" "b"); ("e", t2 "a" "c"); ("e", t2 "b" "c") ]
+  in
+  (* force an index on position 0, then delete through the owning store *)
+  let probe st key =
+    List.length (Facts.lookup st "e" [ 0 ] (Tuple.make1 (Value.str key)))
+  in
+  Alcotest.(check int) "warm index: a" 2 (probe store "a");
+  let store' = Facts.remove store "e" (t2 "a" "c") in
+  Alcotest.(check int) "after remove: a" 1 (probe store' "a");
+  Alcotest.(check bool) "membership gone" false (Facts.mem store' "e" (t2 "a" "c"));
+  (* the older snapshot still sees the tuple (persistent value) *)
+  Alcotest.(check int) "old snapshot unchanged" 2 (probe store "a");
+  (* set removal, including keys that vanish entirely *)
+  let store'' = Facts.remove_set store' "e" (TS.of_list [ t2 "a" "b"; t2 "b" "c" ]) in
+  Alcotest.(check int) "after remove_set: a" 0 (probe store'' "a");
+  Alcotest.(check int) "after remove_set: b" 0 (probe store'' "b");
+  Alcotest.(check int) "cardinal" 0 (Facts.cardinal store'' "e");
+  (* removing an absent tuple is a no-op *)
+  let store3 = Facts.remove store'' "e" (t2 "z" "z") in
+  Alcotest.(check int) "no-op remove" 0 (Facts.cardinal store3 "e")
+
+(* ------------------------------------------------------------------ *)
+(* Surface wiring: MATERIALIZE / SET MAINTAIN / EXPLAIN ANALYZE DELETE *)
+
+let tc_surface =
+  {|
+TYPE node = STRING;
+TYPE edgerel = RELATION a, b OF RECORD a, b: node END;
+VAR Edge: edgerel;
+CONSTRUCTOR tc FOR Rel: edgerel (): edgerel;
+BEGIN EACH e IN Rel: TRUE,
+      <e.a, p.b> OF EACH e IN Rel, EACH p IN Rel{tc()}: e.b = p.a
+END tc;
+INSERT Edge VALUES ("a", "b"), ("b", "c"), ("c", "d");
+MATERIALIZE Edge{tc()};
+|}
+
+let run_more db src = snd (Dc_lang.Elaborate.run_string ~db src)
+
+let contains_s s sub =
+  let n = String.length s and m = String.length sub in
+  let rec loop i = i + m <= n && (String.sub s i m = sub || loop (i + 1)) in
+  m = 0 || loop 0
+
+let query_tc db =
+  ts_of_relation (Database.query db (Ast.Construct (Ast.Rel "Edge", "tc", [])))
+
+(* surface DELETE drives maintenance end-to-end *)
+let test_surface_materialize_output () =
+  let _db, out = Dc_lang.Elaborate.run_string tc_surface in
+  Alcotest.(check bool)
+    "materialize reported" true
+    (contains_s out "view tc__Edge")
+
+let test_surface_delete () =
+  let db, _ = Dc_lang.Elaborate.run_string tc_surface in
+  Alcotest.(check int) "initial extent" 6 (TS.cardinal (query_tc db));
+  let _ = run_more db {|DELETE Edge VALUES ("b", "c");|} in
+  Alcotest.check
+    (Alcotest.testable (Fmt.Dump.list Tuple.pp) (List.equal Tuple.equal))
+    "after DELETE"
+    [ t2 "a" "b"; t2 "c" "d" ]
+    (TS.elements (query_tc db))
+
+(* stale-read regression: with maintenance off, an update must not leave
+   the old extent being served *)
+let test_stale_read () =
+  let db, _ = Dc_lang.Elaborate.run_string tc_surface in
+  let _ = run_more db {|SET MAINTAIN OFF;
+DELETE Edge VALUES ("b", "c");|} in
+  Alcotest.(check int) "refreshed, not stale" 2 (TS.cardinal (query_tc db));
+  (* and turning maintenance back on resumes incremental updates *)
+  let _ = run_more db {|SET MAINTAIN ON;
+INSERT Edge VALUES ("b", "c");|} in
+  Alcotest.(check int) "maintained again" 6 (TS.cardinal (query_tc db))
+
+(* EXPLAIN ANALYZE on an update prints the maintenance pipeline *)
+let test_explain_analyze_update () =
+  let db, _ = Dc_lang.Elaborate.run_string tc_surface in
+  let out = run_more db {|EXPLAIN ANALYZE DELETE Edge VALUES ("b", "c");|} in
+  List.iter
+    (fun affix ->
+      Alcotest.(check bool)
+        (Fmt.str "report mentions %S" affix)
+        true (contains_s out affix))
+    [ "EXPLAIN ANALYZE DELETE Edge"; "view tc__Edge"; "overdelete"; "insert" ]
+
+(* ------------------------------------------------------------------ *)
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "dc_ivm"
+    [
+      ( "differential streams",
+        List.map
+          (fun w ->
+            Alcotest.test_case
+              (Fmt.str "%s: 1000 steps" w.w_name)
+              `Slow (test_update_stream w))
+          workloads );
+      ( "abort atomicity",
+        List.map
+          (fun w ->
+            Alcotest.test_case w.w_name `Quick (test_abort_atomicity w))
+          workloads );
+      ( "facts deletion",
+        [ Alcotest.test_case "cached indexes" `Quick test_facts_remove_indexes ] );
+      ( "surface",
+        [
+          Alcotest.test_case "MATERIALIZE output" `Quick
+            test_surface_materialize_output;
+          Alcotest.test_case "DELETE maintains" `Quick test_surface_delete;
+          Alcotest.test_case "stale read under MAINTAIN OFF" `Quick
+            test_stale_read;
+          Alcotest.test_case "EXPLAIN ANALYZE DELETE" `Quick
+            test_explain_analyze_update;
+        ] );
+      ("properties", qcheck (List.map prop_stream workloads));
+    ]
