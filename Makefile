@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-smoke bench-ivm examples doc clean outputs
+.PHONY: all build test bench bench-smoke bench-ivm bench-par examples doc clean outputs
 
 all: build
 
@@ -20,6 +20,11 @@ bench-smoke:
 # Maintained views vs recompute-per-update on the same update stream.
 bench-ivm:
 	dune exec bench/main.exe -- ivm
+
+# Parallel fixpoint scaling curve (P = 1, 2, 4, recommended; degrees
+# above the core count are dropped, so single-core runners report P=1).
+bench-par:
+	dune exec bench/main.exe -- parallel
 
 examples:
 	dune exec examples/quickstart.exe

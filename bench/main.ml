@@ -1327,6 +1327,80 @@ let print_ivm records =
 
 let run_ivm () = print_ivm (ivm_records ())
 
+(* ------------------------------------------------------------------ *)
+(* Parallel scaling: the heaviest two recursive workloads plus one
+   maintained-view update stream, each run at P = 1, 2, 4 and the
+   machine's recommended degree.  Degrees above the recommendation are
+   dropped (except P = 1, always kept), so a single-core runner degrades
+   to the sequential cell and the curve never fails — it just flattens.
+   Each cell's speedup is measured against the P = 1 cell of the same
+   workload. *)
+
+module Par = Dc_par.Par
+
+type par_record = {
+  pr_name : string;
+  pr_domains : int;
+  pr_wall_ms : float;
+  pr_speedup : float; (* vs this workload's P = 1 cell *)
+}
+
+let par_degrees () =
+  let top = Domain.recommended_domain_count () in
+  List.sort_uniq compare (List.filter (fun p -> p = 1 || p <= top) [ 1; 2; 4; top ])
+
+let par_records () =
+  let degrees = par_degrees () in
+  let run name f =
+    let cells =
+      List.map
+        (fun p ->
+          let (), wall = best_of_3 (fun () -> Par.with_domains p f) in
+          (p, wall))
+        degrees
+    in
+    let base = List.assoc 1 cells in
+    List.map
+      (fun (p, wall) ->
+        {
+          pr_name = name;
+          pr_domains = p;
+          pr_wall_ms = wall;
+          pr_speedup = base /. wall;
+        })
+      cells
+  in
+  let nonlinear () =
+    ignore
+      (run_tc
+         (tc_db ~strategy:Fixpoint.Seminaive ~linear:`Non (Graph_gen.chain 256)))
+  in
+  let horn () =
+    let edges = Graph_gen.random_graph ~seed:11 ~nodes:300 ~edges:900 in
+    ignore (Dc_datalog.Seminaive.query tc_program (edb_of edges) "path")
+  in
+  let ivm_stream () =
+    let module Ivm = Dc_ivm.Ivm in
+    let db = tc_db (Graph_gen.chain 128) in
+    let view = Ivm.materialize db ~constructor:"tc" ~base:"Edge" ~args:[] in
+    for i = 0 to 63 do
+      ivm_step db i 129;
+      ignore (Ivm.cardinal view)
+    done
+  in
+  run "e3_chain_nonlinear_256" nonlinear
+  @ run "e6_random_horn_300_900" horn
+  @ run "ivm_tc_chain_128_stream" ivm_stream
+
+let print_parallel records =
+  List.iter
+    (fun r ->
+      Fmt.pr "%-28s P=%-2d %10.2f ms  speedup=%.2fx@." r.pr_name r.pr_domains
+        r.pr_wall_ms r.pr_speedup)
+    records
+
+let run_parallel () = print_parallel (par_records ())
+
 let run_json path =
   (* Experiments run with metrics enabled so the snapshot embeds per-phase
      breakdowns (span histograms, per-round fixpoint/Datalog series). *)
@@ -1337,6 +1411,7 @@ let run_json path =
   Dc_obs.Obs.set_enabled false;
   let overhead = obs_overhead_records () in
   let ivm = ivm_records () in
+  let parallel = par_records () in
   let oc = open_out path in
   let field_sep = ref "" in
   output_string oc "{\n  \"experiments\": [\n";
@@ -1371,11 +1446,24 @@ let run_json path =
       field_sep := ",\n")
     ivm;
   output_string oc "\n  ],\n";
+  Printf.fprintf oc "  \"parallel\": {\n    \"degrees\": [%s],\n    \"cells\": [\n"
+    (String.concat ", " (List.map string_of_int (par_degrees ())));
+  field_sep := "";
+  List.iter
+    (fun r ->
+      Printf.fprintf oc
+        "%s      { \"name\": %S, \"domains\": %d, \"wall_ms\": %.3f, \
+         \"speedup\": %.2f }"
+        !field_sep r.pr_name r.pr_domains r.pr_wall_ms r.pr_speedup;
+      field_sep := ",\n")
+    parallel;
+  output_string oc "\n    ]\n  },\n";
   Printf.fprintf oc "  \"metrics\": %s\n}\n" metrics_json;
   close_out oc;
   print_records records;
   print_obs_overhead overhead;
   print_ivm ivm;
+  print_parallel parallel;
   Fmt.pr "wrote %s@." path
 
 (* ------------------------------------------------------------------ *)
@@ -1460,6 +1548,7 @@ let () =
   | [ "json"; path ] -> run_json path
   | [ "smoke" ] -> run_smoke ()
   | [ "ivm" ] -> run_ivm ()
+  | [ "parallel" ] -> run_parallel ()
   | [ "guard-overhead" ] -> run_guard_overhead ()
   | [ "obs-overhead" ] -> run_obs_overhead ()
   | names ->

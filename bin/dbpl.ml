@@ -49,6 +49,23 @@ let limit_flags =
         Dc_guard.Guard.limits ?millis ?rows ?rounds ())
     $ rows $ rounds $ millis)
 
+(* --domains flag shared by run and repl: initial fixpoint parallelism,
+   adjustable from inside the program with SET PARALLEL. *)
+let domains_flag =
+  let domains =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"P"
+          ~doc:
+            "Evaluate fixpoints on $(docv) domains (default: DC_DOMAINS, \
+             else one less than the recommended domain count; 1 = \
+             sequential)")
+  in
+  Term.(
+    const (fun d -> Option.iter Dc_par.Par.set_domains d)
+    $ domains)
+
 let handle_errors f =
   try f () with
   | Dc_lang.Lexer.Lex_error msg | Dc_lang.Parser.Parse_error msg ->
@@ -110,7 +127,7 @@ let run_cmd =
              after the run — JSON when $(docv) ends in .json, Prometheus \
              text otherwise")
   in
-  let run file strategy unchecked limits load save metrics_out =
+  let run file strategy unchecked limits () load save metrics_out =
     handle_errors @@ fun () ->
     if Option.is_some metrics_out then Dc_obs.Obs.set_enabled true;
     let db =
@@ -138,8 +155,8 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc:"Execute a DBPL program")
     Term.(
-      const run $ file $ strategy $ unchecked $ limit_flags $ load_dir
-      $ save_dir $ metrics_out)
+      const run $ file $ strategy $ unchecked $ limit_flags $ domains_flag
+      $ load_dir $ save_dir $ metrics_out)
 
 let check_cmd =
   let file =
@@ -184,7 +201,7 @@ let repl_cmd =
       value & flag
       & info [ "unchecked" ] ~doc:"Disable the positivity check")
   in
-  let repl strategy unchecked limits =
+  let repl strategy unchecked limits () =
     let db =
       Dc_core.Database.create ~strategy ~check_positivity:(not unchecked)
         ~limits ()
@@ -257,7 +274,7 @@ let repl_cmd =
   in
   Cmd.v
     (Cmd.info "repl" ~doc:"Interactive DBPL session")
-    Term.(const repl $ strategy $ unchecked $ limit_flags)
+    Term.(const repl $ strategy $ unchecked $ limit_flags $ domains_flag)
 
 let () =
   let doc = "DBPL with data constructors (Jarke, Linnemann & Schmidt, VLDB 1985)" in

@@ -37,6 +37,7 @@ open Dc_relation
 open Dc_calculus
 module Guard = Dc_guard.Guard
 module Obs = Dc_obs.Obs
+module Par = Dc_par.Par
 
 exception Divergence of string
 
@@ -207,6 +208,11 @@ type state = {
   guard : Guard.t;
   stats : stats;
   lookup_constructor : string -> Defs.constructor_def option;
+  domains : int; (* parallelism degree for Diffable variant evaluation *)
+  worker_caches : Index_cache.t array;
+      (* one private index cache per pool worker (length domains - 1);
+         fresh per [apply], so an aborted expansion just discards them —
+         only the caller's shared cache needs transactional rollback *)
 }
 
 let find_def st c =
@@ -307,11 +313,17 @@ let eval_full st app =
   traced env app (fun () ->
       Eval.eval_comp ~schema:app.def.con_result env app.def.con_body)
 
-(* One semi-naive variant: branch [rb] with the construct binder at
-   [delta_pos] bound to the delta of its key, the others to full. *)
-let eval_variant st app (rb : rec_branch) delta_pos acc =
+(* Main-domain half of one semi-naive variant: resolve the construct
+   binders' keys (this may [register] new applications — all state
+   mutation stays here), bind the non-delta occurrences to their full
+   values, and rewrite the branch so every construct binder ranges over a
+   synthetic [__fix_N] relation name.  The delta occurrence is left as a
+   named hole: the caller binds it to the whole delta (sequential) or to
+   one hash shard per domain (parallel). *)
+let prep_variant st app (rb : rec_branch) delta_pos =
   let env = ref (with_engine_hooks st app.base_env) in
   let counter = ref 0 in
+  let hole = ref None in
   let binders =
     List.mapi
       (fun i (v, r) ->
@@ -319,21 +331,75 @@ let eval_variant st app (rb : rec_branch) delta_pos acc =
           let key = key_of_construct st !env r in
           let name = Fmt.str "__fix_%d" !counter in
           incr counter;
-          let value =
-            if i = delta_pos then KM.find key st.delta else KM.find key st.full
-          in
-          env := Eval.bind_rel !env name value;
+          if i = delta_pos then hole := Some (name, KM.find key st.delta)
+          else env := Eval.bind_rel !env name (KM.find key st.full);
           (v, Ast.Rel name)
         end
         else (v, r))
       rb.rb_branch.binders
   in
+  let dname, drel =
+    match !hole with
+    | Some h -> h
+    | None -> Eval.runtime_error "delta position is not a construct binder"
+  in
+  (!env, { rb.rb_branch with binders }, dname, drel)
+
+(* Shard the variant's delta across the domain pool?  Only when a degree
+   is configured, the delta amortizes the partition/merge barrier, and
+   nothing forces single-domain execution (EXPLAIN traces and the
+   per-row profiler keep global state; a nested fixpoint on a worker
+   domain just runs inline). *)
+let par_ok st (app : app) drel =
+  st.domains > 1
+  && Domain.is_main_domain ()
+  && app.base_env.Eval.trace = None
+  && (not !Dc_exec.Ir.profiling)
+  && Relation.cardinal drel >= Par.seq_cutoff ()
+
+let prefer_real = function
+  | Guard.Exhausted (Guard.Cancelled, _) -> false
+  | _ -> true
+
+(* One semi-naive variant: branch [rb] with the construct binder at
+   [delta_pos] bound to the delta of its key, the others to full.
+
+   Parallel case: the delta is hash-partitioned, each domain evaluates
+   the branch over its shard — probing the *frozen* full values through
+   its private index cache — into a private output relation, and the
+   barrier unions the outputs (set union, so cross-shard duplicates
+   collapse; [classify_branch] guarantees the body is construct-free, so
+   workers never touch engine state). *)
+let eval_variant st app (rb : rec_branch) delta_pos acc =
+  let env, branch, dname, drel = prep_variant st app rb delta_pos in
   st.stats.body_evaluations <- st.stats.body_evaluations + 1;
-  let branch = { rb.rb_branch with binders } in
-  traced !env app (fun () ->
-      Eval.eval_branch !env branch
-        ~emit:(fun acc t -> Relation.add_unchecked t acc)
-        acc)
+  let emit acc t = Relation.add_unchecked t acc in
+  if not (par_ok st app drel) then
+    let env = Eval.bind_rel env dname drel in
+    traced env app (fun () -> Eval.eval_branch env branch ~emit acc)
+  else begin
+    let shards = Relation.partition_hash ~shards:st.domains drel in
+    let schema = app.def.con_result in
+    let outs =
+      Par.map ~shards:st.domains
+        ~on_first_error:(fun _ -> Guard.cancel st.guard)
+        ~prefer:prefer_real
+        (fun i ->
+          let env = Eval.bind_rel env dname shards.(i) in
+          let env =
+            if i = 0 then env
+            else { env with Eval.icache = st.worker_caches.(i - 1) }
+          in
+          Eval.eval_branch env branch ~emit (Relation.empty schema))
+    in
+    let t_merge = Obs.now_ms () in
+    let merged = Array.fold_left Relation.union acc outs in
+    if Obs.on () then
+      Par.observe_round
+        ~shard_sizes:(Array.map Relation.cardinal shards)
+        ~merge_ms:(Obs.now_ms () -. t_merge);
+    merged
+  end
 
 (* Advance every distinct per-evaluation index cache reachable from the
    registered applications.  The base environments usually all share the
@@ -348,7 +414,14 @@ let advance_caches st ~old_rel ~delta ~next =
         seen := c :: !seen;
         Index_cache.advance c ~old_rel ~delta ~next
       end)
-    st.apps
+    st.apps;
+  (* Worker caches advance too, or each parallel round would rebuild the
+     full-value indexes from scratch (the new full value is a fresh
+     physical record every round).  Safe outside the caller's cache
+     transaction: the worker caches live and die with this [apply]. *)
+  Array.iter
+    (fun c -> Index_cache.advance c ~old_rel ~delta ~next)
+    st.worker_caches
 
 (* One Jacobi round over the applications registered at round start.
    Evaluations read the previous round's [st.full]/[st.delta]; updates are
@@ -493,8 +566,12 @@ let default_max_rounds = 100_000
    the new fixpoint whenever the base only grew.  Seeding an unrelated or
    shrunken base is unsound — the caller guarantees growth. *)
 let apply ?(strategy = Seminaive) ?(max_rounds = default_max_rounds) ?guard
-    ?stats ?seed ?seed_delta env (def : Defs.constructor_def) base args =
+    ?stats ?seed ?seed_delta ?domains env (def : Defs.constructor_def) base
+    args =
   let stats = Option.value stats ~default:(fresh_stats ()) in
+  let domains =
+    match domains with Some d -> max 1 d | None -> Par.domains ()
+  in
   (* The governor defaults to the environment's own guard, so a limited
      Database evaluation bounds its constructor expansions without every
      hook having to thread the guard explicitly. *)
@@ -514,6 +591,9 @@ let apply ?(strategy = Seminaive) ?(max_rounds = default_max_rounds) ?guard
       guard;
       stats;
       lookup_constructor = env.Eval.hooks.Eval.constructor_def;
+      domains;
+      worker_caches =
+        Array.init (max 0 (domains - 1)) (fun _ -> Index_cache.create ());
     }
   in
   (* Snapshot the live gauges before this application registers anything:

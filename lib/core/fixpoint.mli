@@ -57,6 +57,7 @@ val apply :
   ?stats:stats ->
   ?seed:Relation.t ->
   ?seed_delta:Relation.t ->
+  ?domains:int ->
   Eval.env ->
   Defs.constructor_def ->
   Relation.t ->
@@ -87,6 +88,12 @@ val apply :
     fully incremental.  The caller certifies that [seed] accounts for every
     derivation not involving [seed_delta] (see [Dc_compile.Materialize] for
     the derivation of such a pair from a base insertion).
+
+    [domains] (default {!Dc_par.Par.domains}) > 1 hash-partitions each
+    semi-naive variant's delta across that many domains; shards evaluate
+    against the frozen previous-round full values and merge at the round
+    barrier.  Deltas under {!Dc_par.Par.seq_cutoff} stay sequential, as
+    do traced (EXPLAIN) evaluations.
     @raise Divergence on oscillation or budget exhaustion. *)
 
 val resume :

@@ -138,7 +138,7 @@ let equal a b = SM.equal TS.equal a.tuples b.tuples
    [positions = []] degenerates to one bucket under the empty key image,
    i.e. the full extent — cached like any other access path instead of
    re-materializing [TS.elements] per call. *)
-let lookup store pred positions key =
+let ensure_index store pred positions =
   let cache =
     if owns store then store.cache
     else begin
@@ -150,17 +150,60 @@ let lookup store pred positions key =
     end
   in
   let cache_key = (pred, positions) in
-  let index =
-    match Hashtbl.find_opt cache.tables cache_key with
-    | Some idx -> idx
-    | None ->
-      let set = find store pred in
-      let idx = Index.create ~size:(max 16 (TS.cardinal set)) positions in
-      TS.iter (Index.add idx) set;
-      Hashtbl.replace cache.tables cache_key idx;
-      idx
-  in
-  Index.lookup index key
+  match Hashtbl.find_opt cache.tables cache_key with
+  | Some idx -> idx
+  | None ->
+    let set = find store pred in
+    let idx = Index.create ~size:(max 16 (TS.cardinal set)) positions in
+    TS.iter (Index.add idx) set;
+    Hashtbl.replace cache.tables cache_key idx;
+    idx
+
+let lookup store pred positions key =
+  Index.lookup (ensure_index store pred positions) key
+
+(* Parallel-round support: build the (pred, positions) index now, on the
+   calling domain.  A round driver prewarms every keyed access path its
+   pipelines will probe before fanning out, after which concurrent
+   [lookup]s from worker domains only *read* the cache table and the
+   index — [lookup]'s lazy build and cache reassignment never fire off
+   the main domain. *)
+let prewarm store pred positions = ignore (ensure_index store pred positions)
+
+(* Hash-partition one tuple set into [shards] disjoint covering subsets
+   keyed on the cached structural tuple hash.  Deterministic for a fixed
+   shard count: the hash depends only on the tuple's values. *)
+let partition_set ~shards set =
+  if shards <= 1 then [| set |]
+  else begin
+    let out = Array.make shards TS.empty in
+    TS.iter
+      (fun t ->
+        let i = Tuple.hash t mod shards in
+        out.(i) <- TS.add t out.(i))
+      set;
+    out
+  end
+
+(* Partition a whole store predicate-wise with [partition_set].  Each
+   shard is a private store with a private (empty) index cache, so lazy
+   index builds over shard-local deltas stay single-domain. *)
+let partition ~shards store =
+  if shards <= 1 then [| store |]
+  else begin
+    let out = Array.init shards (fun _ -> ref SM.empty) in
+    SM.iter
+      (fun pred set ->
+        Array.iteri
+          (fun i s -> if not (TS.is_empty s) then out.(i) := SM.add pred s !(out.(i)))
+          (partition_set ~shards set))
+      store.tuples;
+    Array.map
+      (fun m ->
+        let version = new_version () in
+        { tuples = !m; version; cache = fresh_cache version })
+      out
+  end
 
 (* Conversions to/from {!Dc_relation.Relation}. *)
 let to_relation schema store pred =

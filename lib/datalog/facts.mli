@@ -39,6 +39,21 @@ val lookup : t -> string -> int list -> Tuple.t -> Tuple.t list
 (** [lookup store pred positions key]: tuples of [pred] whose projection
     onto [positions] equals [key] (indexed; [positions = []] returns all). *)
 
+val prewarm : t -> string -> int list -> unit
+(** Build the (pred, positions) index now, on the calling domain.
+    Parallel rounds prewarm every keyed access path of a shared store
+    before fanning out, so concurrent {!lookup}s from worker domains are
+    pure reads. *)
+
+val partition_set : shards:int -> TS.t -> TS.t array
+(** Hash-partition a tuple set into [shards] disjoint covering subsets by
+    the cached structural tuple hash; deterministic for a fixed shard
+    count.  [shards <= 1] returns the set unsplit. *)
+
+val partition : shards:int -> t -> t array
+(** Partition every predicate of a store with {!partition_set}; each
+    shard is a private store with a private index cache. *)
+
 val to_relation : Schema.t -> t -> string -> Relation.t
 val of_relation : string -> Relation.t -> t -> t
 

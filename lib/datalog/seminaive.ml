@@ -31,6 +31,7 @@ module TS = Facts.TS
 module Ir = Dc_exec.Ir
 module Guard = Dc_guard.Guard
 module Obs = Dc_obs.Obs
+module Par = Dc_par.Par
 
 type stats = {
   mutable rounds : int;
@@ -55,8 +56,18 @@ let observe_round stats ~delta ~t0 ~observing =
     Obs.Histogram.observe (Lazy.force m_round_delta) (float_of_int delta)
   end
 
-let run ?(guard = Guard.none) ?stats ?trace (program : program) (edb : Facts.t) =
+(* Prefer a real failure over the secondary [Cancelled] trips the
+   first-error hook induces in sibling shards. *)
+let prefer_real = function
+  | Guard.Exhausted (Guard.Cancelled, _) -> false
+  | _ -> true
+
+let run ?(guard = Guard.none) ?stats ?trace ?domains (program : program)
+    (edb : Facts.t) =
   check_safe program;
+  let domains =
+    match domains with Some d -> max 1 d | None -> Par.domains ()
+  in
   let stats = Option.value stats ~default:(fresh_stats ()) in
   let stratum = ref 0 in
   let eval_layer store layer =
@@ -111,15 +122,93 @@ let run ?(guard = Guard.none) ?stats ?trace (program : program) (edb : Facts.t) 
              | bodies -> Some (pred, bodies))
            (Engine.group_by_head layer))
     in
-    let run_round pipes ctx =
+    (* One evaluation of a pipeline list under [ctx]: (pred, fresh
+       tuples, derivation count) per head predicate.  Pure with respect
+       to [stats] so worker domains can run their private pipeline
+       copies through it — the caller folds the returned counts in. *)
+    let run_pipes pipes ctx =
       List.map
         (fun (pred, pipe, u) ->
           let before = u.Ir.tc.Ir.rows in
           let fresh = ref TS.empty in
           Ir.run ~guard ctx pipe (fun t -> fresh := TS.add t !fresh);
-          stats.derivations <- stats.derivations + u.Ir.tc.Ir.rows - before;
-          (pred, !fresh))
+          (pred, !fresh, u.Ir.tc.Ir.rows - before))
         pipes
+    in
+    let collect_round results =
+      List.map
+        (fun (pred, fresh, derived) ->
+          stats.derivations <- stats.derivations + derived;
+          (pred, fresh))
+        results
+    in
+    (* Parallel-round machinery, built lazily: a sequential run (P = 1,
+       or deltas forever under the cutoff) never compiles the worker
+       pipeline copies.  Copy 0 is the canonical [deltas] list (the one
+       the trace records); copies 1..P-1 are shape-identical private
+       trees so per-operator counters never race, folded back into the
+       canonical tree at stratum end. *)
+    let worker_deltas =
+      lazy
+        (Array.init (domains - 1) (fun _ ->
+             per_pred
+               (List.filter_map
+                  (fun (pred, rules) ->
+                    match List.concat_map delta_variants rules with
+                    | [] -> None
+                    | bodies -> Some (pred, bodies))
+                  (Engine.group_by_head layer))))
+    in
+    let keyed_paths =
+      lazy
+        (List.sort_uniq compare
+           (List.concat_map
+              (fun (_, pipe, _) -> Ir.keyed_sources pipe)
+              deltas))
+    in
+    let parallel_round ~full ~delta =
+      let shards = Facts.partition ~shards:domains delta in
+      (* Freeze protocol: build every keyed access path the pipelines
+         will probe *now*, on this domain — the shared full-store
+         indexes and each private delta shard's.  Workers then only read
+         index tables; the lazy build inside [Facts.lookup] never fires
+         off the main domain. *)
+      List.iter
+        (fun (name, positions) ->
+          match Engine.split_delta name with
+          | Some pred ->
+            Array.iter (fun s -> Facts.prewarm s pred positions) shards
+          | None -> Facts.prewarm full name positions)
+        (Lazy.force keyed_paths);
+      let workers = Lazy.force worker_deltas in
+      let results =
+        Par.map ~shards:domains
+          ~on_first_error:(fun _ -> Guard.cancel guard)
+          ~prefer:prefer_real
+          (fun i ->
+            let pipes = if i = 0 then deltas else workers.(i - 1) in
+            run_pipes pipes (Engine.delta_ctx ~full ~delta:shards.(i)))
+      in
+      let t_merge = Obs.now_ms () in
+      let merged =
+        List.mapi
+          (fun k (pred, _, _) ->
+            let fresh, derived =
+              Array.fold_left
+                (fun (acc, n) res ->
+                  let _, s, d = List.nth res k in
+                  (TS.union acc s, n + d))
+                (TS.empty, 0) results
+            in
+            stats.derivations <- stats.derivations + derived;
+            (pred, fresh))
+          deltas
+      in
+      if Obs.on () then
+        Par.observe_round
+          ~shard_sizes:(Array.map Facts.total shards)
+          ~merge_ms:(Obs.now_ms () -. t_merge);
+      merged
     in
     let apply news st =
       List.fold_left (fun st (pred, set) -> Facts.add_set st pred set) st news
@@ -134,23 +223,46 @@ let run ?(guard = Guard.none) ?stats ?trace (program : program) (edb : Facts.t) 
     stats.rounds <- stats.rounds + 1;
     let observing = Obs.on () in
     let t0 = if observing then Obs.now_ms () else 0. in
-    let news = run_round round1 (Engine.store_ctx !full) in
+    let news = collect_round (run_pipes round1 (Engine.store_ctx !full)) in
     observe_round stats ~delta:(new_count news) ~t0 ~observing;
     let delta = ref (apply news (Facts.empty ())) in
     full := apply news !full;
-    (* Subsequent rounds: delta variants only. *)
+    (* Subsequent rounds: delta variants only.  A round goes parallel
+       when a degree is configured, the delta is big enough to amortize
+       the partition/merge barrier, and the per-row profiler is off (its
+       clock state is global). *)
     let continue = ref (nonempty news) in
     while !continue do
       Guard.round guard ~site:"datalog.round";
       stats.rounds <- stats.rounds + 1;
       let observing = Obs.on () in
       let t0 = if observing then Obs.now_ms () else 0. in
-      let news = run_round deltas (Engine.delta_ctx ~full:!full ~delta:!delta) in
+      let news =
+        if
+          domains > 1
+          && (not !Ir.profiling)
+          && Domain.is_main_domain ()
+          && Facts.total !delta >= Par.seq_cutoff ()
+        then parallel_round ~full:!full ~delta:!delta
+        else
+          collect_round
+            (run_pipes deltas (Engine.delta_ctx ~full:!full ~delta:!delta))
+      in
       observe_round stats ~delta:(new_count news) ~t0 ~observing;
       delta := apply news (Facts.empty ());
       full := apply news !full;
       continue := nonempty news
     done;
+    (* Fold worker pipeline copies' counters into the canonical trees so
+       EXPLAIN and the conservation tests see whole-fixpoint totals. *)
+    if Lazy.is_val worker_deltas then
+      Array.iter
+        (fun copy ->
+          List.iter2
+            (fun (_, into, _) (_, fresh, _) ->
+              ignore (Ir.merge_counters ~into fresh))
+            deltas copy)
+        (Lazy.force worker_deltas);
     Option.iter
       (fun tr ->
         List.iter
@@ -170,5 +282,5 @@ let run ?(guard = Guard.none) ?stats ?trace (program : program) (edb : Facts.t) 
   in
   List.fold_left eval_layer edb (Stratify.layers program)
 
-let query ?guard ?stats ?trace program edb pred =
-  Facts.find (run ?guard ?stats ?trace program edb) pred
+let query ?guard ?stats ?trace ?domains program edb pred =
+  Facts.find (run ?guard ?stats ?trace ?domains program edb) pred

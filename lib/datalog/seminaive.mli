@@ -17,13 +17,18 @@ val run :
   ?guard:Dc_guard.Guard.t ->
   ?stats:stats ->
   ?trace:Dc_exec.Ir.trace ->
+  ?domains:int ->
   Syntax.program ->
   Facts.t ->
   Facts.t
 (** [guard] bounds the evaluation (rounds tick its round budget, emitted
     rows its row budget/deadline).  [trace] records each stratum's
     round-1 and delta pipelines with whole-fixpoint operator counters
-    (EXPLAIN).
+    (EXPLAIN).  [domains] (default {!Dc_par.Par.domains}) > 1 shards
+    each delta round across that many domains by tuple hash, each shard
+    evaluated against frozen full-store indexes with results merged at
+    the round barrier; deltas under {!Dc_par.Par.seq_cutoff} stay
+    sequential.
     @raise Syntax.Unsafe_rule / Stratify.Not_stratifiable
     @raise Dc_guard.Guard.Exhausted when the guard trips *)
 
@@ -31,6 +36,7 @@ val query :
   ?guard:Dc_guard.Guard.t ->
   ?stats:stats ->
   ?trace:Dc_exec.Ir.trace ->
+  ?domains:int ->
   Syntax.program ->
   Facts.t ->
   string ->

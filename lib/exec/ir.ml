@@ -585,3 +585,54 @@ module Trace = struct
 end
 
 type trace = Trace.trace
+
+(* ------------------------------------------------------------------ *)
+(* Parallel-round support.
+
+   A pipeline's counters are plain mutable ints on the hot path, so
+   worker domains never share one tree: each worker runs its own
+   freshly compiled copy, and the barrier folds the copies' counters
+   back into the canonical tree with [merge_counters].  [keyed_sources]
+   tells the round driver which (named source, key positions) access
+   paths the pipeline will probe, so shared build-side indexes can be
+   prewarmed on the main domain before the fan-out — workers then only
+   ever *read* the index tables. *)
+
+(* Fold [fresh]'s counters into [into]; [false] if the trees' shapes
+   disagree (counters are then simply not merged — EXPLAIN under a
+   shape-changing reorder already tolerates this). *)
+let merge_counters ~into fresh =
+  match Trace.merge into fresh with
+  | () -> true
+  | exception Trace.Shape_mismatch -> false
+
+(* Every (name, key positions) pair the pipeline probes through a keyed
+   access path on a [Named] source, deduplicated. *)
+let keyed_sources (t : t) =
+  let acc = ref [] in
+  let add src positions =
+    match src with
+    | Named n -> acc := (n, positions) :: !acc
+    | Fixed _ -> ()
+  in
+  let rec walk_node : type row. row node -> unit =
+   fun n ->
+    match n.op with
+    | Seed -> ()
+    | Scan a | Nested_loop_join a -> walk_node a.a_input
+    | Index_lookup k | Hash_join k ->
+      add k.k_src k.k_positions;
+      walk_node k.k_input
+    | Correlated_scan cs -> walk_node cs.cs_input
+    | Filter f -> walk_node f.f_input
+    | Anti_join aj -> walk_node aj.aj_input
+  in
+  let rec walk (t : t) =
+    match t.top with
+    | Project p -> walk_node p.p_input
+    | Union ts -> List.iter walk ts
+    | Diff d -> walk d.d_input
+    | Distinct s -> walk s
+  in
+  walk t;
+  List.sort_uniq compare !acc

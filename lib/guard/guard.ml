@@ -53,6 +53,13 @@ type progress = {
 
 exception Exhausted of reason * progress
 
+(* The consumed-budget cells are [Atomic.t]: one guard is shared by all
+   worker domains of a parallel round (lib/par), so the row budget is a
+   single process-wide pool and exhaustion trips as soon as the *global*
+   count crosses the limit — each domain may overshoot by at most its
+   in-flight tick, never by a per-domain budget.  Cancellation is an
+   atomic flag for the same reason: [cancel] from any domain (the pool's
+   first-error hook) is visible to every sibling's next tick. *)
 type t = {
   lim_rows : int;
   lim_rounds : int;
@@ -60,9 +67,9 @@ type t = {
   deadline : float;  (* absolute, Unix epoch seconds; +inf when unset *)
   has_deadline : bool;
   started : float;
-  mutable rows : int;
-  mutable rounds : int;
-  mutable cancelled : bool;
+  rows : int Atomic.t;
+  rounds : int Atomic.t;
+  cancelled : bool Atomic.t;
 }
 
 let now () = Unix.gettimeofday ()
@@ -75,9 +82,9 @@ let none =
     deadline = infinity;
     has_deadline = false;
     started = 0.;
-    rows = 0;
-    rounds = 0;
-    cancelled = false;
+    rows = Atomic.make 0;
+    rounds = Atomic.make 0;
+    cancelled = Atomic.make false;
   }
 
 let is_none g = g == none
@@ -95,9 +102,9 @@ let create ?millis ?rows ?rounds () =
       | Some ms -> started +. (float_of_int ms /. 1000.));
     has_deadline = millis <> None;
     started;
-    rows = 0;
-    rounds = 0;
-    cancelled = false;
+    rows = Atomic.make 0;
+    rounds = Atomic.make 0;
+    cancelled = Atomic.make false;
   }
 
 let of_limits l =
@@ -106,15 +113,15 @@ let of_limits l =
   | { l_millis; l_rows; l_rounds } ->
       create ?millis:l_millis ?rows:l_rows ?rounds:l_rounds ()
 
-let cancel g = if g != none then g.cancelled <- true
-let rows g = g.rows
-let rounds g = g.rounds
+let cancel g = if g != none then Atomic.set g.cancelled true
+let rows g = Atomic.get g.rows
+let rounds g = Atomic.get g.rounds
 let elapsed_ms g = if g == none then 0. else (now () -. g.started) *. 1000.
 
 let progress ?operator ?site g =
   {
-    pg_rows = g.rows;
-    pg_rounds = g.rounds;
+    pg_rows = Atomic.get g.rows;
+    pg_rounds = Atomic.get g.rounds;
     pg_elapsed_ms = elapsed_ms g;
     pg_operator = operator;
     pg_site = site;
@@ -126,9 +133,10 @@ let progress ?operator ?site g =
    that a cancelled guard reports [Cancelled] even at a budget edge. *)
 let trip ?operator ?site g =
   let reason =
-    if g.cancelled then Cancelled
-    else if g.rows > g.lim_rows then Rows_exhausted g.lim_rows
-    else if g.rounds > g.lim_rounds then Rounds_exhausted g.lim_rounds
+    if Atomic.get g.cancelled then Cancelled
+    else if Atomic.get g.rows > g.lim_rows then Rows_exhausted g.lim_rows
+    else if Atomic.get g.rounds > g.lim_rounds then
+      Rounds_exhausted g.lim_rounds
     else Deadline_exceeded g.lim_millis
   in
   raise (Exhausted (reason, progress ?operator ?site g))
@@ -154,6 +162,12 @@ module Failpoint = struct
     |> List.sort compare
 
   let hit ?guard site =
+    (* Failpoints fire deterministically on the main domain only: pool
+       workers hitting the same site neither decrement the schedule nor
+       race the table, so an armed count of N means N main-domain hits
+       regardless of the parallelism degree. *)
+    if not (Domain.is_main_domain ()) then ()
+    else
     match Hashtbl.find_opt table site with
     | None -> ()
     | Some r ->
@@ -206,25 +220,40 @@ end
 (* ------------------------------------------------------------------ *)
 (* Tick sites                                                          *)
 
+(* The [g != none] fast path matters doubly under parallelism: the
+   shared unlimited guard would otherwise be a cache line fought over by
+   every domain on every emitted row.  [none] can never trip (all limits
+   at max_int, no deadline, cancel is a no-op), so skipping its
+   bookkeeping is observationally neutral. *)
+
 let tick g label =
   if !Failpoint.armed then Failpoint.hit ~guard:g "exec.row";
-  let n = g.rows + 1 in
-  g.rows <- n;
-  if
-    n > g.lim_rows || g.cancelled
-    || (g.has_deadline && n land 255 = 0 && now () > g.deadline)
-  then trip ~operator:(Lazy.force label) g
+  if g != none then begin
+    let n = Atomic.fetch_and_add g.rows 1 + 1 in
+    if
+      n > g.lim_rows
+      || Atomic.get g.cancelled
+      || (g.has_deadline && n land 255 = 0 && now () > g.deadline)
+    then trip ~operator:(Lazy.force label) g
+  end
 
 let round g ~site =
   if !Failpoint.armed then Failpoint.hit ~guard:g site;
-  let n = g.rounds + 1 in
-  g.rounds <- n;
-  if n > g.lim_rounds || g.cancelled || (g.has_deadline && now () > g.deadline)
-  then trip ~site g
+  if g != none then begin
+    let n = Atomic.fetch_and_add g.rounds 1 + 1 in
+    if
+      n > g.lim_rounds
+      || Atomic.get g.cancelled
+      || (g.has_deadline && now () > g.deadline)
+    then trip ~site g
+  end
 
 let check g ~site =
   if !Failpoint.armed then Failpoint.hit ~guard:g site;
-  if g.cancelled || (g.has_deadline && now () > g.deadline) then trip ~site g
+  if
+    g != none
+    && (Atomic.get g.cancelled || (g.has_deadline && now () > g.deadline))
+  then trip ~site g
 
 (* ------------------------------------------------------------------ *)
 (* Reporting                                                           *)

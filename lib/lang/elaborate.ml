@@ -350,6 +350,11 @@ let execute_decl env = function
   | D_maintain on ->
     Database.set_maintain env.db on;
     output env "SET MAINTAIN %s@\n@\n" (if on then "ON" else "OFF")
+  | D_parallel d ->
+    (match d with
+    | Some n -> Dc_par.Par.set_domains n
+    | None -> Dc_par.Par.reset_domains ());
+    output env "SET PARALLEL %d@\n@\n" (Dc_par.Par.domains ())
   | D_explain_update { eu_analyze; eu_delete; eu_rel; eu_rows } -> (
     let rows = List.map (row env) eu_rows in
     let verb = if eu_delete then "DELETE" else "INSERT" in

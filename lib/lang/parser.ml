@@ -538,6 +538,22 @@ let decl st =
     in
     eat st Token.Semi;
     D_maintain on
+  | Token.Kw_set when peek2 st = Token.Ident "PARALLEL" ->
+    (* SET PARALLEL n | DEFAULT *)
+    advance st;
+    advance st;
+    let d =
+      match peek st with
+      | Token.Ident "DEFAULT" ->
+        advance st;
+        None
+      | _ ->
+        let n = int_literal st in
+        if n < 1 then error st "parallel degree must be at least 1";
+        Some n
+    in
+    eat st Token.Semi;
+    D_parallel d
   | Token.Kw_set ->
     (* SET LIMIT ROWS n, ROUNDS n, MILLIS n;   or   SET LIMIT NONE; *)
     advance st;

@@ -106,6 +106,9 @@ type decl =
   | D_materialize of range
     (* MATERIALIZE Rel{con(args)}: register a maintained extent *)
   | D_maintain of bool (* SET MAINTAIN ON | OFF *)
+  | D_parallel of int option
+    (* SET PARALLEL n | DEFAULT: fixpoint evaluation degree; DEFAULT
+       restores the environment-derived value *)
   | D_explain_update of {
       eu_analyze : bool;
       eu_delete : bool;

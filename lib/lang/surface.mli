@@ -108,6 +108,10 @@ type decl =
       (** [MATERIALIZE Rel{con(args)};] — compute the extent once and keep
           it incrementally maintained under INSERT/DELETE *)
   | D_maintain of bool  (** [SET MAINTAIN ON;] / [SET MAINTAIN OFF;] *)
+  | D_parallel of int option
+      (** [SET PARALLEL n;] — evaluate fixpoints on [n] domains;
+          [SET PARALLEL DEFAULT;] restores the environment-derived
+          degree *)
   | D_explain_update of {
       eu_analyze : bool;
       eu_delete : bool;

@@ -33,18 +33,42 @@ let bucket_bounds =
 
 let n_finite = Array.length bucket_bounds
 
+(* Domain-safe instruments: all hot-path cells are [Atomic.t], so
+   concurrent [Counter.inc] / [Histogram.observe] calls from pool worker
+   domains (lib/par) lose no updates.  Contention on a shared counter is
+   a fetch-and-add on one cache line — acceptable for round-granular and
+   merge-granular observations; per-row counters in lib/exec stay
+   per-domain (each worker runs its own pipeline copy) and are folded
+   with [Ir.Trace.merge_counters] at the barrier instead. *)
 type instrument = {
   i_name : string;
   i_labels : (string * string) list; (* sorted by label name *)
   i_kind : kind;
-  mutable i_count : int; (* counter value / histogram observation count *)
-  mutable i_sum : float; (* gauge value / histogram sum *)
-  i_buckets : int array; (* [||] unless histogram; last slot is +Inf *)
+  i_count : int Atomic.t; (* counter value / histogram observation count *)
+  i_sum : float Atomic.t; (* gauge value / histogram sum *)
+  i_buckets : int Atomic.t array; (* [||] unless histogram; last is +Inf *)
 }
 
+(* Lock-free float accumulate over an [Atomic.t] cell. *)
+let atomic_add_float cell v =
+  let rec loop () =
+    let cur = Atomic.get cell in
+    if not (Atomic.compare_and_set cell cur (cur +. v)) then loop ()
+  in
+  loop ()
+
 (* Registry keyed by name + rendered labels; [order] not kept — renderers
-   sort, so output is deterministic whatever the registration order. *)
+   sort, so output is deterministic whatever the registration order.
+   The table itself is guarded by [registry_mutex]: instrument creation
+   is cold-path ([make] at module init or per phase), so a lock there
+   costs nothing, and it keeps concurrent [make]/[reset]/[snapshot]
+   calls from racing the Hashtbl's internal resizing. *)
 let registry : (string, instrument) Hashtbl.t = Hashtbl.create 64
+let registry_mutex = Mutex.create ()
+
+let with_registry f =
+  Mutex.lock registry_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_mutex) f
 
 let key name labels =
   let b = Buffer.create 32 in
@@ -63,6 +87,7 @@ let find_or_create kind ?(labels = []) name =
     List.sort (fun (a, _) (b, _) -> String.compare a b) labels
   in
   let k = key name labels in
+  with_registry @@ fun () ->
   match Hashtbl.find_opt registry k with
   | Some i ->
     if i.i_kind <> kind then
@@ -76,10 +101,12 @@ let find_or_create kind ?(labels = []) name =
         i_name = name;
         i_labels = labels;
         i_kind = kind;
-        i_count = 0;
-        i_sum = 0.;
+        i_count = Atomic.make 0;
+        i_sum = Atomic.make 0.;
         i_buckets =
-          (if kind = KHistogram then Array.make (n_finite + 1) 0 else [||]);
+          (if kind = KHistogram then
+             Array.init (n_finite + 1) (fun _ -> Atomic.make 0)
+           else [||]);
       }
     in
     Hashtbl.add registry k i;
@@ -89,18 +116,18 @@ module Counter = struct
   type t = instrument
 
   let make ?labels name = find_or_create KCounter ?labels name
-  let inc c = c.i_count <- c.i_count + 1
-  let add c n = c.i_count <- c.i_count + n
-  let value c = c.i_count
+  let inc c = ignore (Atomic.fetch_and_add c.i_count 1)
+  let add c n = ignore (Atomic.fetch_and_add c.i_count n)
+  let value c = Atomic.get c.i_count
 end
 
 module Gauge = struct
   type t = instrument
 
   let make ?labels name = find_or_create KGauge ?labels name
-  let set g v = g.i_sum <- v
-  let add g v = g.i_sum <- g.i_sum +. v
-  let value g = g.i_sum
+  let set g v = Atomic.set g.i_sum v
+  let add g v = atomic_add_float g.i_sum v
+  let value g = Atomic.get g.i_sum
 end
 
 module Histogram = struct
@@ -114,13 +141,13 @@ module Histogram = struct
     while !i < n_finite && v > bucket_bounds.(!i) do
       incr i
     done;
-    h.i_buckets.(!i) <- h.i_buckets.(!i) + 1;
-    h.i_count <- h.i_count + 1;
-    h.i_sum <- h.i_sum +. v
+    ignore (Atomic.fetch_and_add h.i_buckets.(!i) 1);
+    ignore (Atomic.fetch_and_add h.i_count 1);
+    atomic_add_float h.i_sum v
 
-  let count h = h.i_count
-  let sum h = h.i_sum
-  let bucket_counts h = Array.copy h.i_buckets
+  let count h = Atomic.get h.i_count
+  let sum h = Atomic.get h.i_sum
+  let bucket_counts h = Array.map Atomic.get h.i_buckets
   let bucket_bounds = bucket_bounds
 end
 
@@ -227,19 +254,22 @@ end
 (* Reset *)
 
 let reset () =
-  Hashtbl.iter
-    (fun _ i ->
-      i.i_count <- 0;
-      i.i_sum <- 0.;
-      Array.fill i.i_buckets 0 (Array.length i.i_buckets) 0)
-    registry;
+  with_registry (fun () ->
+      Hashtbl.iter
+        (fun _ i ->
+          Atomic.set i.i_count 0;
+          Atomic.set i.i_sum 0.;
+          Array.iter (fun b -> Atomic.set b 0) i.i_buckets)
+        registry);
   Span.clear ()
 
 (* ------------------------------------------------------------------ *)
 (* Rendering *)
 
 let snapshot () =
-  let all = Hashtbl.fold (fun _ i acc -> i :: acc) registry [] in
+  let all =
+    with_registry (fun () -> Hashtbl.fold (fun _ i acc -> i :: acc) registry [])
+  in
   List.sort
     (fun a b ->
       match String.compare a.i_name b.i_name with
@@ -296,16 +326,16 @@ let to_prometheus () =
       | KCounter ->
         Buffer.add_string b
           (Printf.sprintf "%s%s %d\n" i.i_name (prom_labels i.i_labels)
-             i.i_count)
+             (Atomic.get i.i_count))
       | KGauge ->
         Buffer.add_string b
           (Printf.sprintf "%s%s %s\n" i.i_name (prom_labels i.i_labels)
-             (prom_float i.i_sum))
+             (prom_float (Atomic.get i.i_sum)))
       | KHistogram ->
         let cum = ref 0 in
         Array.iteri
           (fun bi n ->
-            cum := !cum + n;
+            cum := !cum + Atomic.get n;
             let le =
               if bi < n_finite then prom_float bucket_bounds.(bi) else "+Inf"
             in
@@ -316,10 +346,10 @@ let to_prometheus () =
           i.i_buckets;
         Buffer.add_string b
           (Printf.sprintf "%s_sum%s %s\n" i.i_name (prom_labels i.i_labels)
-             (prom_float i.i_sum));
+             (prom_float (Atomic.get i.i_sum)));
         Buffer.add_string b
           (Printf.sprintf "%s_count%s %d\n" i.i_name (prom_labels i.i_labels)
-             i.i_count))
+             (Atomic.get i.i_count)))
     (snapshot ());
   Buffer.contents b
 
@@ -358,19 +388,20 @@ let to_json () =
       (match i.i_kind with
       | KCounter ->
         Buffer.add_string b
-          (Printf.sprintf "\"type\": \"counter\", \"value\": %d" i.i_count)
+          (Printf.sprintf "\"type\": \"counter\", \"value\": %d"
+             (Atomic.get i.i_count))
       | KGauge ->
         Buffer.add_string b
           (Printf.sprintf "\"type\": \"gauge\", \"value\": %s"
-             (prom_float i.i_sum))
+             (prom_float (Atomic.get i.i_sum)))
       | KHistogram ->
         Buffer.add_string b
           (Printf.sprintf "\"type\": \"histogram\", \"count\": %d, \"sum\": %s, \"buckets\": ["
-             i.i_count (prom_float i.i_sum));
+             (Atomic.get i.i_count) (prom_float (Atomic.get i.i_sum)));
         let cum = ref 0 in
         Array.iteri
           (fun bi n ->
-            cum := !cum + n;
+            cum := !cum + Atomic.get n;
             if bi > 0 then Buffer.add_string b ", ";
             let le =
               if bi < n_finite then prom_float bucket_bounds.(bi)

@@ -132,6 +132,21 @@ let subset a b =
 
 let compare_tuples a b = Tuple_set.compare a.tuples b.tuples
 
+(* Hash-partition into [shards] disjoint covering relations keyed on the
+   cached structural tuple hash; deterministic for a fixed shard count.
+   Parallel fixpoint rounds split a delta this way before fanning out. *)
+let partition_hash ~shards r =
+  if shards <= 1 then [| r |]
+  else begin
+    let out = Array.make shards Tuple_set.empty in
+    Tuple_set.iter
+      (fun t ->
+        let i = Tuple.hash t mod shards in
+        out.(i) <- Tuple_set.add t out.(i))
+      r.tuples;
+    Array.map (fun tuples -> { r with tuples }) out
+  end
+
 (* Deterministic structural hash of the tuple set, used to memoize
    constructor applications on relation-valued arguments. *)
 let content_hash r =

@@ -70,6 +70,11 @@ val equal : t -> t -> bool
 val subset : t -> t -> bool
 val compare_tuples : t -> t -> int
 
+val partition_hash : shards:int -> t -> t array
+(** Hash-partition into [shards] disjoint covering relations keyed on the
+    cached structural tuple hash; deterministic for a fixed shard count.
+    [shards <= 1] returns the relation unsplit. *)
+
 val content_hash : t -> int
 (** Deterministic hash of the tuple set (memoization of relation-valued
     constructor arguments). *)

@@ -45,22 +45,43 @@ let type_name = function
 
 let intern_pool : (string, string * int) Hashtbl.t = Hashtbl.create 4096
 
+(* The pool is process-global mutable state; interning happens at parse
+   and load time, but worker domains may still construct [Str] values
+   (e.g. string concatenation in a parallel round), so pool access is
+   serialized.  Uncontended mutex acquisition is a few nanoseconds —
+   invisible next to the Hashtbl probe it guards. *)
+let intern_mutex = Mutex.create ()
+
 let intern_string s =
-  match Hashtbl.find_opt intern_pool s with
-  | Some (canonical, _) -> canonical
-  | None ->
-    Hashtbl.add intern_pool s (s, Hashtbl.length intern_pool);
-    s
+  Mutex.lock intern_mutex;
+  let c =
+    match Hashtbl.find_opt intern_pool s with
+    | Some (canonical, _) -> canonical
+    | None ->
+      Hashtbl.add intern_pool s (s, Hashtbl.length intern_pool);
+      s
+  in
+  Mutex.unlock intern_mutex;
+  c
 
 let intern_id s =
-  match Hashtbl.find_opt intern_pool s with
-  | Some (_, id) -> id
-  | None ->
-    let id = Hashtbl.length intern_pool in
-    Hashtbl.add intern_pool s (s, id);
-    id
+  Mutex.lock intern_mutex;
+  let id =
+    match Hashtbl.find_opt intern_pool s with
+    | Some (_, id) -> id
+    | None ->
+      let id = Hashtbl.length intern_pool in
+      Hashtbl.add intern_pool s (s, id);
+      id
+  in
+  Mutex.unlock intern_mutex;
+  id
 
-let interned_count () = Hashtbl.length intern_pool
+let interned_count () =
+  Mutex.lock intern_mutex;
+  let n = Hashtbl.length intern_pool in
+  Mutex.unlock intern_mutex;
+  n
 
 let str s = Str (intern_string s)
 

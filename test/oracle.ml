@@ -1,12 +1,13 @@
 (* Seeded differential oracle, shared by the test executables.
 
-   Five independent evaluators — naive, semi-naive, magic, tabled, and a
-   hand-rolled fixpoint driving the compiled IR pipelines directly — must
-   agree on every workload.  [case_of_seed] derives a complete test case
-   (program shape + randomized EDB from the lib/workload generators) from
-   one explicit {!Dc_workload.Rng} seed, and every assertion message
-   carries that seed, so any failure is reproducible with
-   [Oracle.check_seed <seed>]. *)
+   Six independent evaluators — naive, semi-naive, magic, tabled, a
+   hand-rolled fixpoint driving the compiled IR pipelines directly, and
+   the parallel semi-naive engine (forced onto the sharded code path at
+   P = 1 and P = 4 regardless of physical cores) — must agree on every
+   workload.  [case_of_seed] derives a complete test case (program shape
+   + randomized EDB from the lib/workload generators) from one explicit
+   {!Dc_workload.Rng} seed, and every assertion message carries that
+   seed, so any failure is reproducible with [Oracle.check_seed <seed>]. *)
 
 open Dc_relation
 open Dc_datalog
@@ -146,6 +147,17 @@ let check_engines_agree ~msg program edb pred arity =
     (Seminaive.query program edb pred);
   Alcotest.check facts_testable (msg ^ ": direct IR = naive") reference
     (direct_ir program edb pred);
+  (* the parallel engine, with the cutoff floored so even tiny generated
+     deltas take the sharded path; P = 1 exercises the single-shard
+     degeneration, P = 4 oversubscribes the pool when cores are few *)
+  List.iter
+    (fun p ->
+      Alcotest.check facts_testable
+        (Fmt.str "%s: parallel(P=%d) = naive" msg p)
+        reference
+        (Dc_par.Par.with_seq_cutoff 1 (fun () ->
+             Seminaive.query ~domains:p program edb pred)))
+    [ 1; 4 ];
   (* magic with an all-free query must still return everything *)
   (match
      Magic.answer program edb
