@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-smoke bench-ivm bench-par examples doc clean outputs
+.PHONY: all build test bench bench-smoke bench-ivm bench-par bench-serve examples doc clean outputs
 
 all: build
 
@@ -25,6 +25,11 @@ bench-ivm:
 # above the core count are dropped, so single-core runners report P=1).
 bench-par:
 	dune exec bench/main.exe -- parallel
+
+# Mixed read/write throughput through the serving layer at 1-64
+# simulated client sessions (snapshot reads + serialized writes).
+bench-serve:
+	dune exec bench/main.exe -- serve
 
 examples:
 	dune exec examples/quickstart.exe

@@ -1401,6 +1401,80 @@ let print_parallel records =
 
 let run_parallel () = print_parallel (par_records ())
 
+(* ------------------------------------------------------------------ *)
+(* Serving: mixed read/write throughput through the session layer at
+   1-64 simulated clients over one shared database (a maintained
+   transitive-closure view on a chain graph).  Each client is a thread
+   with its own session issuing a seeded 90/10 read/write mix: reads
+   evaluate on the client thread against published snapshots (the live
+   view served from its frozen extent), writes serialize through the
+   server's single writer and publish the next version. *)
+
+type serve_record = {
+  sv_clients : int;
+  sv_statements : int;
+  sv_reads : int;
+  sv_writes : int;
+  sv_wall_ms : float;
+  sv_per_s : float;
+}
+
+let serve_nodes = 96
+let serve_stmts_per_client = 50
+
+let serve_records () =
+  let module Server = Dc_server.Server in
+  let module Ivm = Dc_ivm.Ivm in
+  List.map
+    (fun clients ->
+      let db = tc_db (Graph_gen.chain serve_nodes) in
+      ignore (Ivm.materialize db ~constructor:"tc" ~base:"Edge" ~args:[]);
+      let srv = Server.create db in
+      let reads = Atomic.make 0 and writes = Atomic.make 0 in
+      let client c () =
+        let s = Server.open_session srv in
+        let rng = Rng.create (0x5EED + c) in
+        for _ = 1 to serve_stmts_per_client do
+          if Rng.bool rng 0.9 then begin
+            ignore (Server.query s tc_query);
+            Atomic.incr reads
+          end
+          else begin
+            let i = Rng.int rng 100_000 in
+            Server.submit srv (fun () -> ivm_step db i serve_nodes);
+            Atomic.incr writes
+          end
+        done;
+        Server.close_session s
+      in
+      let (), wall =
+        time (fun () ->
+            let ths = List.init clients (fun c -> Thread.create (client c) ()) in
+            List.iter Thread.join ths)
+      in
+      Server.shutdown srv;
+      let stmts = clients * serve_stmts_per_client in
+      {
+        sv_clients = clients;
+        sv_statements = stmts;
+        sv_reads = Atomic.get reads;
+        sv_writes = Atomic.get writes;
+        sv_wall_ms = wall;
+        sv_per_s = float_of_int stmts /. wall *. 1000.;
+      })
+    [ 1; 4; 16; 64 ]
+
+let print_serving records =
+  List.iter
+    (fun r ->
+      Fmt.pr
+        "serve C=%-3d %5d stmts (%d reads / %d writes) %10.2f ms  %8.0f stmt/s@."
+        r.sv_clients r.sv_statements r.sv_reads r.sv_writes r.sv_wall_ms
+        r.sv_per_s)
+    records
+
+let run_serve () = print_serving (serve_records ())
+
 let run_json path =
   (* Experiments run with metrics enabled so the snapshot embeds per-phase
      breakdowns (span histograms, per-round fixpoint/Datalog series). *)
@@ -1412,6 +1486,7 @@ let run_json path =
   let overhead = obs_overhead_records () in
   let ivm = ivm_records () in
   let parallel = par_records () in
+  let serving = serve_records () in
   let oc = open_out path in
   let field_sep = ref "" in
   output_string oc "{\n  \"experiments\": [\n";
@@ -1458,12 +1533,25 @@ let run_json path =
       field_sep := ",\n")
     parallel;
   output_string oc "\n    ]\n  },\n";
+  output_string oc "  \"serving\": [\n";
+  field_sep := "";
+  List.iter
+    (fun r ->
+      Printf.fprintf oc
+        "%s    { \"clients\": %d, \"statements\": %d, \"reads\": %d, \
+         \"writes\": %d, \"wall_ms\": %.3f, \"stmt_per_s\": %.0f }"
+        !field_sep r.sv_clients r.sv_statements r.sv_reads r.sv_writes
+        r.sv_wall_ms r.sv_per_s;
+      field_sep := ",\n")
+    serving;
+  output_string oc "\n  ],\n";
   Printf.fprintf oc "  \"metrics\": %s\n}\n" metrics_json;
   close_out oc;
   print_records records;
   print_obs_overhead overhead;
   print_ivm ivm;
   print_parallel parallel;
+  print_serving serving;
   Fmt.pr "wrote %s@." path
 
 (* ------------------------------------------------------------------ *)
@@ -1549,6 +1637,7 @@ let () =
   | [ "smoke" ] -> run_smoke ()
   | [ "ivm" ] -> run_ivm ()
   | [ "parallel" ] -> run_parallel ()
+  | [ "serve" ] -> run_serve ()
   | [ "guard-overhead" ] -> run_guard_overhead ()
   | [ "obs-overhead" ] -> run_obs_overhead ()
   | names ->

@@ -173,7 +173,8 @@ let check_cmd =
         (function
           | Dc_lang.Surface.D_query _ | Dc_lang.Surface.D_print _
           | Dc_lang.Surface.D_explain _ | Dc_lang.Surface.D_explain_analyze _
-          | Dc_lang.Surface.D_show_metrics ->
+          | Dc_lang.Surface.D_show_metrics | Dc_lang.Surface.D_show_snapshot
+          | Dc_lang.Surface.D_begin | Dc_lang.Surface.D_commit ->
             false
           | _ -> true)
         program
@@ -276,6 +277,135 @@ let repl_cmd =
     (Cmd.info "repl" ~doc:"Interactive DBPL session")
     Term.(const repl $ strategy $ unchecked $ limit_flags $ domains_flag)
 
+(* Multi-session serving: each FILE runs in its own session on its own
+   thread, all over one shared database behind the server's writer
+   thread; reads observe published snapshots.  With no FILE an
+   interactive single-session console is started instead. *)
+let serve_cmd =
+  let files =
+    Arg.(value & pos_all file [] & info [] ~docv:"FILE" ~doc:"DBPL programs, one session each")
+  in
+  let init_file =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "init" ] ~docv:"FILE"
+          ~doc:"Execute $(docv) through a session before the concurrent ones start")
+  in
+  let load_dir =
+    Arg.(
+      value
+      & opt (some dir) None
+      & info [ "load" ] ~docv:"DIR"
+          ~doc:"Load a saved database before serving")
+  in
+  let max_sessions =
+    Arg.(
+      value
+      & opt int 64
+      & info [ "max-sessions" ] ~docv:"N"
+          ~doc:"Admission control: at most $(docv) concurrently open sessions")
+  in
+  let serve files init load max_sessions limits () =
+    handle_errors @@ fun () ->
+    let db = Dc_core.Database.create ~limits () in
+    (match load with
+    | Some dir -> ignore (Dc_lang.Storage.load ~db dir)
+    | None -> ());
+    let srv = Dc_server.Server.create ~max_sessions ~limits db in
+    let run_session src =
+      let s = Dc_server.Server.open_session srv in
+      Fun.protect
+        ~finally:(fun () -> Dc_server.Server.close_session s)
+        (fun () -> Dc_server.Server.execute s src)
+    in
+    (match init with
+    | Some f -> print_string (run_session (read_file f))
+    | None -> ());
+    (match files with
+    | [] ->
+      (* interactive single-session console over the server *)
+      let s = Dc_server.Server.open_session srv in
+      Fmt.pr
+        "dbpl serve — session %d at snapshot version %d.  End statements \
+         with ';'; Ctrl-D exits.@."
+        (Dc_server.Server.session_id s)
+        (Dc_core.Database.version db);
+      let buffer = Buffer.create 256 in
+      let rec loop () =
+        Fmt.pr (if Buffer.length buffer = 0 then "dbpl> " else "  ... ");
+        Format.pp_print_flush Format.std_formatter ();
+        match In_channel.input_line stdin with
+        | None -> Fmt.pr "@."
+        | Some line ->
+          Buffer.add_string buffer line;
+          Buffer.add_char buffer '\n';
+          let text = Buffer.contents buffer in
+          let trimmed = String.trim text in
+          if trimmed = "" then begin
+            Buffer.clear buffer;
+            loop ()
+          end
+          else if trimmed.[String.length trimmed - 1] = ';' then begin
+            Buffer.clear buffer;
+            (try print_string (Dc_server.Server.execute s text) with
+            | Dc_lang.Lexer.Lex_error msg | Dc_lang.Parser.Parse_error msg ->
+              Fmt.pr "syntax error: %s@." msg
+            | Dc_lang.Elaborate.Elab_error msg ->
+              Fmt.pr "elaboration error: %s@." msg
+            | Dc_core.Database.Error msg -> Fmt.pr "error: %s@." msg
+            | Dc_server.Server.Error msg -> Fmt.pr "server error: %s@." msg
+            | Dc_calculus.Typecheck.Error msg -> Fmt.pr "type error: %s@." msg
+            | Dc_guard.Guard.Exhausted (reason, progress) ->
+              Fmt.pr "%a@." Dc_guard.Guard.pp_report (reason, progress));
+            loop ()
+          end
+          else loop ()
+      in
+      loop ();
+      Dc_server.Server.close_session s
+    | files ->
+      (* one session per file, all running concurrently; outputs are
+         collected per session and printed in file order once every
+         session has finished *)
+      let results =
+        files
+        |> List.map (fun f ->
+               let src = read_file f in
+               let cell = ref (Ok "") in
+               let th =
+                 Thread.create
+                   (fun () ->
+                     cell :=
+                       match run_session src with
+                       | out -> Ok out
+                       | exception e -> Error e)
+                   ()
+               in
+               (f, th, cell))
+      in
+      List.iter
+        (fun (f, th, cell) ->
+          Thread.join th;
+          Fmt.pr "-- session: %s@." f;
+          match !cell with
+          | Ok out -> print_string out
+          | Error e -> Fmt.pr "session failed: %s@." (Printexc.to_string e))
+        results);
+    Dc_server.Server.shutdown srv
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve one database to concurrent sessions (one per FILE, or an \
+          interactive console)")
+    Term.(
+      const serve $ files $ init_file $ load_dir $ max_sessions $ limit_flags
+      $ domains_flag)
+
 let () =
   let doc = "DBPL with data constructors (Jarke, Linnemann & Schmidt, VLDB 1985)" in
-  exit (Cmd.eval (Cmd.group (Cmd.info "dbpl" ~doc) [ run_cmd; check_cmd; repl_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "dbpl" ~doc)
+          [ run_cmd; check_cmd; repl_cmd; serve_cmd ]))

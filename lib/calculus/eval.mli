@@ -63,8 +63,12 @@ val make_env :
   ?hooks:hooks ->
   ?trace:Dc_exec.Ir.trace ->
   ?guard:Dc_guard.Guard.t ->
+  ?icache:Index_cache.t ->
   (string * Relation.t) list ->
   env
+(** [icache] installs an existing index cache instead of a fresh one —
+    typically a private cache created with a frozen [?shared] fallback so
+    the evaluation borrows a published snapshot's prewarmed indexes. *)
 
 val with_trace : env -> Dc_exec.Ir.trace -> env
 (** Enable pipeline tracing on an existing environment. *)

@@ -15,7 +15,8 @@ open Dc_relation
 open Dc_calculus
 module Guard = Dc_guard.Guard
 
-module SM = Map.Make (String)
+(* Shared with Snapshot so working-set maps publish without conversion. *)
+module SM = Snapshot.SM
 
 exception Error of string
 
@@ -27,7 +28,9 @@ let error fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
    declines with [None]); [mt_update] applies one batch of net base
    deltas; [mt_invalidate] marks the view stale (it will refresh on next
    serve); [mt_snapshot] captures state and returns the restore thunk
-   used to make a failed maintenance step atomic. *)
+   used to make a failed maintenance step atomic; [mt_stale]/[mt_freeze]
+   publish the view into snapshots ([mt_freeze] returns [None] for a
+   stale view — snapshot readers then fall back to the fixpoint). *)
 type maintainer = {
   mt_name : string;
   mt_depends : string list; (* base relations the view reads *)
@@ -40,8 +43,17 @@ type maintainer = {
       (* (relation, net added, net removed) per base relation *)
   mt_invalidate : unit -> unit;
   mt_snapshot : unit -> unit -> unit;
+  mt_stale : unit -> bool;
+  mt_freeze : unit -> Snapshot.frozen_serve option;
 }
 
+(* The database is a versioned store: [published] is the latest committed
+   snapshot (immutable, shared by reference with any number of reader
+   threads), while the [rels]/[selectors]/[constructors] maps are the
+   single writer's private working set.  Every mutation funnels through
+   {!commit}, which journals the working set, runs the mutation plus view
+   maintenance, passes the one [ivm.commit] failpoint, and atomically
+   publishes the successor snapshot. *)
 type t = {
   mutable rels : Relation.t SM.t;
   mutable selectors : Defs.selector_def SM.t;
@@ -55,7 +67,29 @@ type t = {
   mutable maintain : bool;
       (* SET MAINTAIN ON|OFF: when off, updates invalidate maintained
          views instead of propagating deltas into them *)
+  mutable published : Snapshot.t;
+  mutable prewarm_paths : (string * int list) list;
+      (* declared hot access paths, rebuilt (or carried forward by
+         reference) into every published snapshot's frozen index cache *)
+  mutable in_commit : bool;
+      (* re-entrancy guard: composite operations that call other
+         committing operations join the outermost commit *)
 }
+
+let frozen_empty_cache () = Index_cache.freeze (Index_cache.create ~cap:1 ())
+
+let initial_snapshot ~strategy ~max_rounds ~limits =
+  {
+    Snapshot.version = 0;
+    rels = SM.empty;
+    selectors = SM.empty;
+    constructors = SM.empty;
+    strategy;
+    max_rounds;
+    limits;
+    views = [];
+    icache = frozen_empty_cache ();
+  }
 
 let create ?(strategy = Fixpoint.Seminaive) ?(check_positivity = true)
     ?(max_rounds = Fixpoint.default_max_rounds) ?(limits = Guard.no_limits) () =
@@ -70,12 +104,136 @@ let create ?(strategy = Fixpoint.Seminaive) ?(check_positivity = true)
     last_stats = None;
     maintainers = [];
     maintain = true;
+    published = initial_snapshot ~strategy ~max_rounds ~limits;
+    prewarm_paths = [];
+    in_commit = false;
   }
 
-let set_strategy db s = db.strategy <- s
+(* ------------------------------------------------------------------ *)
+(* Publication *)
+
+(* Build and install the successor snapshot from the current working
+   set.  The maps are persistent (pointer shares), each Live maintained
+   view contributes a frozen serve closure over a frozen copy of its
+   store, and declared prewarm paths carry their index forward by
+   reference when the relation binding didn't change.  The final
+   [db.published <- snap] is a single word write of an immutable record:
+   reader threads always observe either the old or the new snapshot,
+   never a mixture. *)
+let publish db =
+  let version = db.published.Snapshot.version + 1 in
+  let views =
+    List.map
+      (fun m ->
+        {
+          Snapshot.fv_name = m.mt_name;
+          fv_stale = m.mt_stale ();
+          fv_serve = m.mt_freeze ();
+        })
+      db.maintainers
+  in
+  let icache =
+    if db.prewarm_paths = [] then frozen_empty_cache ()
+    else begin
+      let c =
+        Index_cache.create ~cap:(max 64 (List.length db.prewarm_paths)) ()
+      in
+      List.iter
+        (fun (name, positions) ->
+          match SM.find_opt name db.rels with
+          | None -> ()
+          | Some rel ->
+            let idx =
+              match
+                Index_cache.frozen_get db.published.Snapshot.icache positions
+                  rel
+              with
+              | Some idx -> idx (* binding unchanged: share by reference *)
+              | None -> Index.build positions rel
+            in
+            Index_cache.put c positions rel idx)
+        db.prewarm_paths;
+      Index_cache.freeze c
+    end
+  in
+  db.published <-
+    {
+      Snapshot.version;
+      rels = db.rels;
+      selectors = db.selectors;
+      constructors = db.constructors;
+      strategy = db.strategy;
+      max_rounds = db.max_rounds;
+      limits = db.limits;
+      views;
+      icache;
+    }
+
+let snapshot db = db.published
+let version db = db.published.Snapshot.version
+
+let prewarm db name positions =
+  if
+    not
+      (List.exists
+         (fun (n, p) -> String.equal n name && p = positions)
+         db.prewarm_paths)
+  then begin
+    db.prewarm_paths <- (name, positions) :: db.prewarm_paths;
+    publish db
+  end
+
+(* The single commit point.  Journals the working maps, snapshots every
+   maintainer that reads a touched relation, runs the mutation (which
+   may propagate deltas into views), passes the [ivm.commit] failpoint
+   (data commits only), and publishes the successor snapshot.  On any
+   exception the working set and every touched view roll back to the
+   pre-commit state and nothing is published. *)
+let commit ?(failpoint = false) ?(touches = []) db mutate =
+  if db.in_commit then mutate ()
+  else begin
+    db.in_commit <- true;
+    let saved_rels = db.rels
+    and saved_selectors = db.selectors
+    and saved_constructors = db.constructors in
+    let relevant =
+      List.filter
+        (fun m -> List.exists (fun n -> List.mem n m.mt_depends) touches)
+        db.maintainers
+    in
+    let restores = List.map (fun m -> m.mt_snapshot ()) relevant in
+    match
+      let r = mutate () in
+      if failpoint && !Guard.Failpoint.armed then
+        Guard.Failpoint.hit "ivm.commit";
+      r
+    with
+    | r ->
+      db.in_commit <- false;
+      publish db;
+      r
+    | exception e ->
+      db.rels <- saved_rels;
+      db.selectors <- saved_selectors;
+      db.constructors <- saved_constructors;
+      List.iter (fun restore -> restore ()) restores;
+      db.in_commit <- false;
+      raise e
+  end
+
+(* Configuration changes republish so statement snapshots taken after
+   them evaluate under the new settings. *)
+let set_strategy db s =
+  db.strategy <- s;
+  publish db
+
 let strategy db = db.strategy
 let set_check_positivity db b = db.check_positivity <- b
-let set_limits db l = db.limits <- l
+
+let set_limits db l =
+  db.limits <- l;
+  publish db
+
 let limits db = db.limits
 let last_stats db = db.last_stats
 let reset_last_stats db = db.last_stats <- None
@@ -86,34 +244,35 @@ let reset_last_stats db = db.last_stats <- None
 let register_maintainer db m =
   (* latest registration for a name wins (re-MATERIALIZE replaces) *)
   db.maintainers <-
-    m :: List.filter (fun m' -> not (String.equal m'.mt_name m.mt_name)) db.maintainers
+    m :: List.filter (fun m' -> not (String.equal m'.mt_name m.mt_name)) db.maintainers;
+  publish db
 
 let unregister_maintainer db name =
   db.maintainers <-
-    List.filter (fun m -> not (String.equal m.mt_name name)) db.maintainers
+    List.filter (fun m -> not (String.equal m.mt_name name)) db.maintainers;
+  publish db
 
 let maintainer_names db = List.map (fun m -> m.mt_name) db.maintainers
-let set_maintain db b = db.maintain <- b
+
+let set_maintain db b =
+  db.maintain <- b;
+  publish db
+
 let maintain db = db.maintain
 
-(* Route one applied base-relation update to the maintainers that read it.
-   With maintenance on, every relevant view either absorbs the delta or —
-   if the propagation fails (guard exhaustion, injected fault) — is rolled
-   back to its pre-update state via the snapshot thunks; with maintenance
-   off the views are merely marked stale. *)
+(* Route one applied base-relation update to the maintainers that read
+   it: with maintenance on every relevant view absorbs the delta, with
+   maintenance off the views are merely marked stale.  Rollback on
+   failure is {!commit}'s job — it snapshotted every view a touched
+   relation can reach before the mutation started. *)
 let notify_update db name ~added ~removed =
   if added <> [] || removed <> [] then begin
     let relevant =
       List.filter (fun m -> List.mem name m.mt_depends) db.maintainers
     in
     if relevant <> [] then
-      if db.maintain then begin
-        let restores = List.map (fun m -> m.mt_snapshot ()) relevant in
-        try List.iter (fun m -> m.mt_update [ (name, added, removed) ]) relevant
-        with e ->
-          List.iter (fun restore -> restore ()) restores;
-          raise e
-      end
+      if db.maintain then
+        List.iter (fun m -> m.mt_update [ (name, added, removed) ]) relevant
       else List.iter (fun m -> m.mt_invalidate ()) relevant
   end
 
@@ -127,7 +286,7 @@ let invalidate_dependents db name =
 
 let declare db name schema =
   if SM.mem name db.rels then error "relation %s already declared" name;
-  db.rels <- SM.add name (Relation.empty schema) db.rels
+  commit db (fun () -> db.rels <- SM.add name (Relation.empty schema) db.rels)
 
 let get db name =
   match SM.find_opt name db.rels with
@@ -135,29 +294,31 @@ let get db name =
   | None -> error "unknown relation %s" name
 
 (* Wholesale reassignment: no usable delta, so dependent maintained views
-   go stale and refresh on their next serve. *)
+   go stale and refresh on their next serve.  Like every data mutation
+   this is one journaled commit — an injected [ivm.commit] fault rolls
+   both the binding and the staleness marks back. *)
 let set db name rel =
-  (match SM.find_opt name db.rels with
-  | None -> db.rels <- SM.add name rel db.rels
-  | Some old ->
-    if not (Schema.compatible (Relation.schema old) (Relation.schema rel)) then
-      error "assignment to %s: incompatible relation type" name;
-    db.rels <- SM.add name rel db.rels);
-  invalidate_dependents db name
+  commit db ~failpoint:true ~touches:[ name ] (fun () ->
+      (match SM.find_opt name db.rels with
+      | None -> db.rels <- SM.add name rel db.rels
+      | Some old ->
+        if
+          not (Schema.compatible (Relation.schema old) (Relation.schema rel))
+        then error "assignment to %s: incompatible relation type" name;
+        db.rels <- SM.add name rel db.rels);
+      invalidate_dependents db name)
 
 let relation_names db = List.map fst (SM.bindings db.rels)
 
 (* Point updates are transactional against maintained views: the binding
-   is updated first (so maintainers read post-update base relations), the
-   net delta is propagated, and if propagation fails both the binding and
-   every touched view roll back to the pre-update snapshot. *)
+   is updated first (so maintainers read post-update base relations) and
+   the net delta is propagated, all inside one {!commit} — a failed
+   propagation rolls both the binding and every touched view back to the
+   pre-update snapshot, and nothing is published. *)
 let apply_update db name updated ~added ~removed =
-  let saved = db.rels in
-  db.rels <- SM.add name updated db.rels;
-  try notify_update db name ~added ~removed
-  with e ->
-    db.rels <- saved;
-    raise e
+  commit db ~failpoint:true ~touches:[ name ] (fun () ->
+      db.rels <- SM.add name updated db.rels;
+      notify_update db name ~added ~removed)
 
 let insert db name tuple =
   let old = get db name in
@@ -181,6 +342,47 @@ let delete db name tuple =
   if Relation.mem tuple old then
     apply_update db name (Relation.remove tuple old) ~added:[]
       ~removed:[ tuple ]
+
+(* Apply a multi-relation batch of point updates as ONE commit: a single
+   version is published covering the whole batch, maintainers see the
+   batch in one [mt_update] call, and a mid-batch failure rolls the
+   entire batch back.  This is the writer thread's unit of work. *)
+let update_batch db changes =
+  let touches = List.map (fun (n, _, _) -> n) changes in
+  commit db ~failpoint:true ~touches (fun () ->
+      let applied =
+        List.map
+          (fun (name, adds, rems) ->
+            let old = get db name in
+            let after_rem, removed_rev =
+              List.fold_left
+                (fun (r, acc) t ->
+                  if Relation.mem t r then (Relation.remove t r, t :: acc)
+                  else (r, acc))
+                (old, []) rems
+            in
+            let updated, added_rev =
+              List.fold_left
+                (fun (r, acc) t ->
+                  if Relation.mem t r then (r, acc)
+                  else (Relation.add t r, t :: acc))
+                (after_rem, []) adds
+            in
+            db.rels <- SM.add name updated db.rels;
+            (name, List.rev added_rev, List.rev removed_rev))
+          changes
+      in
+      let real = List.filter (fun (_, a, r) -> a <> [] || r <> []) applied in
+      if real <> [] then
+        if db.maintain then
+          List.iter
+            (fun m ->
+              let mine =
+                List.filter (fun (n, _, _) -> List.mem n m.mt_depends) real
+              in
+              if mine <> [] then m.mt_update mine)
+            db.maintainers
+        else List.iter (fun (n, _, _) -> invalidate_dependents db n) real)
 
 (* ------------------------------------------------------------------ *)
 (* Static environments *)
@@ -234,33 +436,32 @@ let eval_env ?trace ?guard db =
 let define_selector db (def : Defs.selector_def) =
   (try Typecheck.check_selector_def (typecheck_env db) def
    with Typecheck.Error msg -> error "selector %s: %s" def.sel_name msg);
-  db.selectors <- SM.add def.sel_name def db.selectors
+  commit db (fun () -> db.selectors <- SM.add def.sel_name def db.selectors)
 
 (* Constructors may be mutually recursive, so groups are registered
    atomically: all signatures become visible, then every body is checked,
-   then the §3.3 positivity check runs over the whole program. *)
+   then the §3.3 positivity check runs over the whole program.  The
+   group rides on {!commit}'s catalog journal: on failure nothing is
+   registered and nothing is published. *)
 let define_constructors db (defs : Defs.constructor_def list) =
-  let saved = db.constructors in
-  db.constructors <-
-    List.fold_left
-      (fun m (d : Defs.constructor_def) -> SM.add d.con_name d m)
-      db.constructors defs;
-  try
-    List.iter
-      (fun (d : Defs.constructor_def) ->
-        try Typecheck.check_constructor_def (typecheck_env db) d
-        with Typecheck.Error msg -> error "constructor %s: %s" d.con_name msg)
-      defs;
-    if db.check_positivity then begin
-      let all = List.map snd (SM.bindings db.constructors) in
-      match Positivity.check_program all with
-      | Ok () -> ()
-      | Error (v :: _) -> error "%a" Positivity.pp_violation v
-      | Error [] -> assert false
-    end
-  with e ->
-    db.constructors <- saved;
-    raise e
+  commit db (fun () ->
+      db.constructors <-
+        List.fold_left
+          (fun m (d : Defs.constructor_def) -> SM.add d.con_name d m)
+          db.constructors defs;
+      List.iter
+        (fun (d : Defs.constructor_def) ->
+          try Typecheck.check_constructor_def (typecheck_env db) d
+          with Typecheck.Error msg ->
+            error "constructor %s: %s" d.con_name msg)
+        defs;
+      if db.check_positivity then begin
+        let all = List.map snd (SM.bindings db.constructors) in
+        match Positivity.check_program all with
+        | Ok () -> ()
+        | Error (v :: _) -> error "%a" Positivity.pp_violation v
+        | Error [] -> assert false
+      end)
 
 let define_constructor db def = define_constructors db [ def ]
 

@@ -63,6 +63,34 @@ val insert : t -> string -> Tuple.t -> unit
 val insert_all : t -> string -> Tuple.t list -> unit
 val delete : t -> string -> Tuple.t -> unit
 
+val update_batch : t -> (string * Tuple.t list * Tuple.t list) list -> unit
+(** [update_batch db [(rel, adds, removes); ...]] applies a
+    multi-relation batch of point updates as {e one} commit: removals
+    then additions per relation, net deltas propagated to maintainers in
+    a single call each, exactly one published version covering the whole
+    batch, and full rollback (bindings and views) if anything fails
+    mid-batch.  This is a serving writer thread's unit of work. *)
+
+(** {1 Snapshots}
+
+    The database is a versioned store: every committed mutation
+    publishes an immutable {!Snapshot.t} with a monotone version.
+    Reader threads grab {!snapshot} (a single field read of an immutable
+    record — no locking) and evaluate against it while the writer moves
+    on. *)
+
+val snapshot : t -> Snapshot.t
+(** The latest published state. *)
+
+val version : t -> int
+(** Version of the latest published snapshot (0 = freshly created). *)
+
+val prewarm : t -> string -> int list -> unit
+(** Declare a hot access path: every published snapshot's frozen index
+    cache will contain an index on [positions] of relation [name],
+    carried forward by reference across commits that don't change the
+    relation.  Reader sessions borrow these instead of rebuilding. *)
+
 (** {1 Maintained views}
 
     The incremental-maintenance subsystem ([Dc_ivm], a higher layer)
@@ -85,6 +113,10 @@ type maintainer = {
   mt_invalidate : unit -> unit;  (** mark stale; refresh on next serve *)
   mt_snapshot : unit -> unit -> unit;
       (** capture state, returning the restore thunk (rollback) *)
+  mt_stale : unit -> bool;  (** is the view currently stale? *)
+  mt_freeze : unit -> Snapshot.frozen_serve option;
+      (** publish-time capture: a thread-safe serve closure over a
+          frozen copy of the extent, or [None] when the view is stale *)
 }
 
 val register_maintainer : t -> maintainer -> unit

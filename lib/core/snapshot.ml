@@ -1,0 +1,108 @@
+(* An immutable, published database state.
+
+   A snapshot is what a reader session holds: the persistent relation
+   bindings, the catalog (selectors/constructors), the evaluation
+   configuration, one frozen serve closure per Live maintained view, and
+   a frozen index cache of prewarmed access paths.  Everything inside is
+   either persistent data (relations, maps) or a frozen structure that is
+   never mutated after publication, so snapshots are safe to query from
+   any number of threads concurrently while the writer publishes
+   successors.
+
+   Capture and publication live in {!Database}; this module owns the
+   type and the read-only operations (queries against the snapshot). *)
+
+open Dc_relation
+open Dc_calculus
+module Guard = Dc_guard.Guard
+module SM = Map.Make (String)
+
+(* A Live maintained view, frozen at publish time: the closure answers a
+   constructor application from the view's frozen extent when the
+   application matches what was materialized, and declines otherwise. *)
+type frozen_serve =
+  Defs.constructor_def -> Relation.t -> Eval.arg_value list -> Relation.t option
+
+type frozen_view = {
+  fv_name : string;
+  fv_stale : bool;
+  fv_serve : frozen_serve option; (* [None] iff the view was stale *)
+}
+
+type t = {
+  version : int; (* monotone: one publication per commit *)
+  rels : Relation.t SM.t;
+  selectors : Defs.selector_def SM.t;
+  constructors : Defs.constructor_def SM.t;
+  strategy : Fixpoint.strategy;
+  max_rounds : int;
+  limits : Guard.limits;
+  views : frozen_view list;
+  icache : Index_cache.t; (* frozen; prewarmed access paths *)
+}
+
+let version s = s.version
+let relation_count s = SM.cardinal s.rels
+let relation_names s = List.map fst (SM.bindings s.rels)
+
+let get s name = SM.find_opt name s.rels
+
+let view_names s = List.map (fun v -> v.fv_name) s.views
+let stale_views s =
+  List.filter_map (fun v -> if v.fv_stale then Some v.fv_name else None) s.views
+
+(* ------------------------------------------------------------------ *)
+(* Read-only evaluation against the frozen state *)
+
+let typecheck_env s =
+  Typecheck.env
+    ~selectors:(List.map snd (SM.bindings s.selectors))
+    ~constructors:(List.map snd (SM.bindings s.constructors))
+    (List.map (fun (n, r) -> (n, Relation.schema r)) (SM.bindings s.rels))
+
+(* Like {!Database.eval_env}, but every lookup resolves inside the
+   snapshot: constructor applications are served from frozen view extents
+   when one matches, and otherwise run a fixpoint whose inputs are all
+   snapshot values.  The per-evaluation index cache borrows the
+   snapshot's frozen prewarmed indexes as a read-only fallback. *)
+let eval_env ?guard s =
+  let guard =
+    match guard with Some g -> g | None -> Guard.of_limits s.limits
+  in
+  let hooks =
+    {
+      Eval.selector_def = (fun n -> SM.find_opt n s.selectors);
+      Eval.constructor_def = (fun n -> SM.find_opt n s.constructors);
+      Eval.on_select =
+        (fun env base def args -> Selector.apply env def base args);
+      Eval.on_construct =
+        (fun env base def args ->
+          match
+            List.find_map
+              (fun v -> Option.bind v.fv_serve (fun serve -> serve def base args))
+              s.views
+          with
+          | Some value -> value
+          | None ->
+            Fixpoint.apply ~strategy:s.strategy ~max_rounds:s.max_rounds env
+              def base args);
+    }
+  in
+  let icache = Index_cache.create ~shared:s.icache () in
+  Eval.make_env ~hooks ~guard ~icache (SM.bindings s.rels)
+
+let check_query s range = Typecheck.check_query (typecheck_env s) range
+
+let query ?guard s range =
+  check_query s range;
+  Eval.eval_range (eval_env ?guard s) range
+
+let pp_summary ppf s =
+  Fmt.pf ppf "version %d: %d relation%s, %d view%s%s" s.version
+    (relation_count s)
+    (if relation_count s = 1 then "" else "s")
+    (List.length s.views)
+    (if List.length s.views = 1 then "" else "s")
+    (match stale_views s with
+    | [] -> ""
+    | stale -> Fmt.str " (stale: %s)" (String.concat ", " stale))

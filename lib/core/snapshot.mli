@@ -1,0 +1,68 @@
+(** An immutable, published database state.
+
+    A snapshot is what a reader session holds: persistent relation
+    bindings, the catalog, the evaluation configuration, one frozen
+    serve closure per Live maintained view, and a frozen index cache of
+    prewarmed access paths.  Snapshots are safe to query concurrently
+    from any number of threads while the writer publishes successors;
+    {!Database.snapshot} returns the latest published one. *)
+
+open Dc_relation
+open Dc_calculus
+module SM : Map.S with type key = string
+
+type frozen_serve =
+  Defs.constructor_def -> Relation.t -> Eval.arg_value list -> Relation.t option
+(** Answer a constructor application from a frozen view extent, or
+    decline with [None]. *)
+
+type frozen_view = {
+  fv_name : string;
+  fv_stale : bool;
+  fv_serve : frozen_serve option;  (** [None] iff the view was stale *)
+}
+
+type t = {
+  version : int;  (** monotone: one publication per commit *)
+  rels : Relation.t SM.t;
+  selectors : Defs.selector_def SM.t;
+  constructors : Defs.constructor_def SM.t;
+  strategy : Fixpoint.strategy;
+  max_rounds : int;
+  limits : Dc_guard.Guard.limits;
+  views : frozen_view list;
+  icache : Index_cache.t;  (** frozen; prewarmed access paths *)
+}
+
+val version : t -> int
+val relation_count : t -> int
+val relation_names : t -> string list
+val get : t -> string -> Relation.t option
+val view_names : t -> string list
+
+val stale_views : t -> string list
+(** Maintained views that were stale at publication: a reader querying
+    them re-runs the fixpoint against snapshot relations instead of
+    being served from a frozen extent (correct, slower). *)
+
+val typecheck_env : t -> Typecheck.env
+
+val eval_env : ?guard:Dc_guard.Guard.t -> t -> Eval.env
+(** Evaluation environment resolving entirely inside the snapshot:
+    constructor applications are served from frozen view extents when
+    one matches and otherwise run a fixpoint over snapshot values; the
+    per-evaluation index cache borrows the snapshot's frozen prewarmed
+    indexes read-only.  [guard] defaults to a fresh guard over the
+    snapshot's limits. *)
+
+val check_query : t -> Ast.range -> unit
+
+val query : ?guard:Dc_guard.Guard.t -> t -> Ast.range -> Relation.t
+(** Typecheck and evaluate against the frozen state.  Thread-safe:
+    concurrent [query] calls on one snapshot share only immutable or
+    frozen structure.
+    @raise Dc_guard.Guard.Exhausted when a limit trips. *)
+
+val pp_summary : t Fmt.t
+(** One-line [version/relations/views/staleness] summary (SHOW
+    SNAPSHOT). *)

@@ -31,19 +31,23 @@ type t = {
   tuples : TS.t SM.t;
   version : int;
   mutable cache : cache;
+  frozen : bool;
+      (* a frozen store may be read by several threads at once: index
+         lookups build private throwaway indexes instead of installing a
+         cache that concurrent readers would then mutate together *)
 }
 
-let new_version =
-  let counter = ref 0 in
-  fun () ->
-    incr counter;
-    !counter
+(* Atomic: snapshot readers freeze stores and writer threads advance the
+   live chain concurrently, and versions must stay globally unique. *)
+let version_counter = Atomic.make 0
+
+let new_version () = Atomic.fetch_and_add version_counter 1 + 1
 
 let fresh_cache version = { owner = version; tables = Hashtbl.create 16 }
 
 let empty () =
   let version = new_version () in
-  { tuples = SM.empty; version; cache = fresh_cache version }
+  { tuples = SM.empty; version; cache = fresh_cache version; frozen = false }
 
 let find store pred =
   Option.value (SM.find_opt pred store.tuples) ~default:TS.empty
@@ -82,9 +86,9 @@ let add store pred tuple =
       let cache = store.cache in
       extend_cached cache pred (TS.singleton tuple);
       cache.owner <- version;
-      { tuples; version; cache }
+      { tuples; version; cache; frozen = false }
     end
-    else { tuples; version; cache = fresh_cache version }
+    else { tuples; version; cache = fresh_cache version; frozen = false }
 
 let add_set store pred set =
   if TS.is_empty set then store
@@ -98,9 +102,9 @@ let add_set store pred set =
          lists, so re-adding a known tuple would duplicate lookup rows. *)
       extend_cached cache pred (TS.diff set old);
       cache.owner <- version;
-      { tuples; version; cache }
+      { tuples; version; cache; frozen = false }
     end
-    else { tuples; version; cache = fresh_cache version }
+    else { tuples; version; cache = fresh_cache version; frozen = false }
 
 let remove_set store pred set =
   let old = find store pred in
@@ -117,9 +121,9 @@ let remove_set store pred set =
       let cache = store.cache in
       shrink_cached cache pred gone;
       cache.owner <- version;
-      { tuples; version; cache }
+      { tuples; version; cache; frozen = false }
     end
-    else { tuples; version; cache = fresh_cache version }
+    else { tuples; version; cache = fresh_cache version; frozen = false }
 
 let remove store pred tuple = remove_set store pred (TS.singleton tuple)
 
@@ -138,26 +142,36 @@ let equal a b = SM.equal TS.equal a.tuples b.tuples
    [positions = []] degenerates to one bucket under the empty key image,
    i.e. the full extent — cached like any other access path instead of
    re-materializing [TS.elements] per call. *)
+let build_index store pred positions =
+  let set = find store pred in
+  let idx = Index.create ~size:(max 16 (TS.cardinal set)) positions in
+  TS.iter (Index.add idx) set;
+  idx
+
 let ensure_index store pred positions =
-  let cache =
-    if owns store then store.cache
-    else begin
-      (* this snapshot was branched away from the cache's owning chain;
-         rebuild into a private cache so stale readers stay correct *)
-      let c = fresh_cache store.version in
-      store.cache <- c;
-      c
-    end
-  in
-  let cache_key = (pred, positions) in
-  match Hashtbl.find_opt cache.tables cache_key with
-  | Some idx -> idx
-  | None ->
-    let set = find store pred in
-    let idx = Index.create ~size:(max 16 (TS.cardinal set)) positions in
-    TS.iter (Index.add idx) set;
-    Hashtbl.replace cache.tables cache_key idx;
-    idx
+  if store.frozen then
+    (* never install a cache on a frozen store: concurrent readers would
+       share (and race on) the same hashtable.  Rare path — frozen-view
+       serving goes through [to_relation], not keyed lookups. *)
+    build_index store pred positions
+  else
+    let cache =
+      if owns store then store.cache
+      else begin
+        (* this snapshot was branched away from the cache's owning chain;
+           rebuild into a private cache so stale readers stay correct *)
+        let c = fresh_cache store.version in
+        store.cache <- c;
+        c
+      end
+    in
+    let cache_key = (pred, positions) in
+    match Hashtbl.find_opt cache.tables cache_key with
+    | Some idx -> idx
+    | None ->
+      let idx = build_index store pred positions in
+      Hashtbl.replace cache.tables cache_key idx;
+      idx
 
 let lookup store pred positions key =
   Index.lookup (ensure_index store pred positions) key
@@ -201,9 +215,22 @@ let partition ~shards store =
     Array.map
       (fun m ->
         let version = new_version () in
-        { tuples = !m; version; cache = fresh_cache version })
+        { tuples = !m; version; cache = fresh_cache version; frozen = false })
       out
   end
+
+(* Publish an immutable view of the store for snapshot readers.  The
+   tuple map is persistent, so this is O(1); the frozen store never
+   installs an index cache (see [ensure_index]), so concurrent readers
+   share only immutable structure and never touch the writer's live
+   ownership chain. *)
+let freeze store =
+  { tuples = store.tuples;
+    version = new_version ();
+    cache = { owner = 0; tables = Hashtbl.create 1 };
+    frozen = true }
+
+let is_frozen store = store.frozen
 
 (* Conversions to/from {!Dc_relation.Relation}. *)
 let to_relation schema store pred =

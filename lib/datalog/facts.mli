@@ -54,6 +54,14 @@ val partition : shards:int -> t -> t array
 (** Partition every predicate of a store with {!partition_set}; each
     shard is a private store with a private index cache. *)
 
+val freeze : t -> t
+(** An immutable published view of the store (O(1): the tuple map is
+    persistent).  A frozen store may be read from several threads at
+    once: it never installs an index cache and never touches the live
+    ownership chain it was frozen from. *)
+
+val is_frozen : t -> bool
+
 val to_relation : Schema.t -> t -> string -> Relation.t
 val of_relation : string -> Relation.t -> t -> t
 

@@ -943,7 +943,8 @@ let incremental_update view sccs updates =
       | Dred { d_variants; d_copies; d_probes; d_probe_copies } ->
         dred_scc st s d_variants d_copies d_probes d_probe_copies)
     sccs;
-  if !Guard.Failpoint.armed then Guard.Failpoint.hit ~guard "ivm.commit";
+  (* the [ivm.commit] failpoint moved to [Database.commit] — the single
+     commit point that covers this update's publication *)
   rp.rp_plus <- Facts.cardinal st.dplus view.query_pred;
   rp.rp_minus <- Facts.cardinal st.dminus view.query_pred;
   view.store <- st.post;
@@ -1063,6 +1064,57 @@ let maintainer_of view =
           view.store <- store;
           view.status <- status;
           restore_supports ());
+    mt_stale = (fun () -> view.status = Stale);
+    mt_freeze =
+      (fun () ->
+        (* Publish-time capture for snapshot readers.  A stale view has
+           no trustworthy extent and must not refresh here (freezing
+           happens inside the commit path), so it declines and readers
+           fall back to the fixpoint.  For a Live view, resolve the
+           base/argument relation values NOW — [matches]-style name
+           lookups at serve time would race with later commits — and
+           serve pure comparisons over a frozen store copy. *)
+        match view.status with
+        | Stale -> None
+        | Live -> (
+          let resolve name =
+            match Database.get view.db name with
+            | rel -> Some rel
+            | exception Database.Error _ -> None
+          in
+          let arg_vals =
+            List.map
+              (function
+                | Ast.Arg_scalar (Ast.Const c) -> Some (Eval.V_scalar c)
+                | Ast.Arg_range (Ast.Rel n) ->
+                  Option.map (fun r -> Eval.V_rel r) (resolve n)
+                | _ -> None)
+              view.args
+          in
+          match (resolve view.base, List.for_all Option.is_some arg_vals) with
+          | Some base_rel, true ->
+            let arg_vals = List.map Option.get arg_vals in
+            let store = Facts.freeze view.store in
+            let con = view.con
+            and result_schema = view.def.Defs.con_result
+            and query_pred = view.query_pred in
+            Some
+              (fun (def : Defs.constructor_def) base args ->
+                if
+                  String.equal def.Defs.con_name con
+                  && Relation.compare_tuples base_rel base = 0
+                  && List.length args = List.length arg_vals
+                  && List.for_all2
+                       (fun v w ->
+                         match (v, w) with
+                         | Eval.V_scalar a, Eval.V_scalar b -> Value.equal a b
+                         | Eval.V_rel a, Eval.V_rel b ->
+                           Relation.compare_tuples a b = 0
+                         | _ -> false)
+                       arg_vals args
+                then Some (Facts.to_relation result_schema store query_pred)
+                else None)
+          | _ -> None));
   }
 
 let materialize db ~constructor ~base ~args =

@@ -23,12 +23,39 @@ type env = {
   mutable scalar_types : (string * (Value.ty * Schema.refinement)) list;
   mutable relation_types : (string * Schema.t) list;
   buffer : Buffer.t; (* QUERY/PRINT/EXPLAIN output *)
+  mutable pinned : Snapshot.t option;
+      (* BEGIN ... COMMIT read-only transaction: while pinned, every
+         QUERY/PRINT observes this one published version *)
 }
 
 let create db =
-  { db; scalar_types = []; relation_types = []; buffer = Buffer.create 256 }
+  {
+    db;
+    scalar_types = [];
+    relation_types = [];
+    buffer = Buffer.create 256;
+    pinned = None;
+  }
 
 let output env fmt = Fmt.kstr (fun s -> Buffer.add_string env.buffer s) fmt
+let pinned env = env.pinned
+
+(* Return and clear the accumulated output, so each [run] (or each
+   server-session statement) yields only its own QUERY/EXPLAIN text. *)
+let drain_output env =
+  let out = Buffer.contents env.buffer in
+  Buffer.clear env.buffer;
+  out
+
+(* Per-statement snapshot isolation for server sessions: pin [snap] for
+   the duration of [f] unless an explicit BEGIN already pinned one (the
+   open transaction wins). *)
+let with_snapshot env snap f =
+  match env.pinned with
+  | Some _ -> f ()
+  | None ->
+    env.pinned <- Some snap;
+    Fun.protect ~finally:(fun () -> env.pinned <- None) f
 
 (* ------------------------------------------------------------------ *)
 (* Types *)
@@ -191,7 +218,27 @@ let lower_constructor env
     con_body = List.map (lower_branch env scope) c_body;
   }
 
-let execute_decl env = function
+(* Statements allowed inside a BEGIN ... COMMIT read-only transaction:
+   everything that doesn't mutate the shared database.  (EXPLAIN runs
+   against the live planner but only reads.) *)
+let read_only = function
+  | D_query _ | D_print _ | D_explain _ | D_explain_analyze _
+  | D_show_metrics | D_show_snapshot | D_begin | D_commit | D_type _
+  | D_parallel _ ->
+    true
+  | D_var _ | D_selector _ | D_constructor _ | D_insert _ | D_delete _
+  | D_assign _ | D_limit _ | D_materialize _ | D_maintain _
+  | D_explain_update _ ->
+    false
+
+let execute_decl env decl =
+  (match (env.pinned, read_only decl) with
+  | Some _, false ->
+    elab_error
+      "statement not allowed inside BEGIN ... COMMIT (read-only snapshot \
+       transaction)"
+  | _ -> ());
+  match decl with
   | D_type (name, ty) -> elaborate_type env name ty
   | D_var (name, tyname) ->
     Database.declare env.db name (resolve_relation_type env tyname)
@@ -243,21 +290,34 @@ let execute_decl env = function
     Database.set_limits env.db limits
   | D_query r | D_print r -> (
     let range = lower_range env empty_scope r in
-    (* under metrics, queries run traced so the registry accumulates
-       per-operator row totals even without EXPLAIN *)
-    let trace =
-      if Obs.on () then Some (Dc_exec.Ir.Trace.create ()) else None
-    in
-    match Database.query ?trace env.db range with
-    | result ->
-      Option.iter Dc_exec.Ir.Trace.register_metrics trace;
-      output env "QUERY %s@\n%a@\n@\n"
-        (Ast.range_to_string range)
-        Relation.pp_table result
-    | exception Guard.Exhausted (reason, progress) ->
-      output env "QUERY %s@\n%a@\n@\n"
-        (Ast.range_to_string range)
-        Guard.pp_report (reason, progress))
+    match env.pinned with
+    | Some snap -> (
+      (* pinned transaction: evaluate against the frozen snapshot *)
+      match Snapshot.query snap range with
+      | result ->
+        output env "QUERY %s@\n%a@\n@\n"
+          (Ast.range_to_string range)
+          Relation.pp_table result
+      | exception Guard.Exhausted (reason, progress) ->
+        output env "QUERY %s@\n%a@\n@\n"
+          (Ast.range_to_string range)
+          Guard.pp_report (reason, progress))
+    | None -> (
+      (* under metrics, queries run traced so the registry accumulates
+         per-operator row totals even without EXPLAIN *)
+      let trace =
+        if Obs.on () then Some (Dc_exec.Ir.Trace.create ()) else None
+      in
+      match Database.query ?trace env.db range with
+      | result ->
+        Option.iter Dc_exec.Ir.Trace.register_metrics trace;
+        output env "QUERY %s@\n%a@\n@\n"
+          (Ast.range_to_string range)
+          Relation.pp_table result
+      | exception Guard.Exhausted (reason, progress) ->
+        output env "QUERY %s@\n%a@\n@\n"
+          (Ast.range_to_string range)
+          Guard.pp_report (reason, progress)))
   | D_explain r -> (
     let range = lower_range env empty_scope r in
     let decision = Dc_compile.Planner.plan env.db range in
@@ -381,6 +441,31 @@ let execute_decl env = function
       output env "%a@\n@\n" Guard.pp_report (reason, progress))
   | D_show_metrics ->
     output env "SHOW METRICS@\n%s@\n" (Obs.to_prometheus ())
+  | D_show_snapshot ->
+    (* inside a transaction this describes the pinned version, otherwise
+       the latest published one *)
+    let snap =
+      match env.pinned with
+      | Some s -> s
+      | None -> Database.snapshot env.db
+    in
+    output env "SHOW SNAPSHOT@\n%a@\n@\n" Snapshot.pp_summary snap
+  | D_begin ->
+    let snap =
+      match env.pinned with
+      | Some _ -> elab_error "BEGIN: a transaction is already open"
+      | None -> Database.snapshot env.db
+    in
+    env.pinned <- Some snap;
+    output env "BEGIN@\npinned snapshot version %d@\n@\n"
+      (Snapshot.version snap)
+  | D_commit -> (
+    match env.pinned with
+    | None -> elab_error "COMMIT without BEGIN"
+    | Some snap ->
+      env.pinned <- None;
+      output env "COMMIT@\nreleased snapshot version %d@\n@\n"
+        (Snapshot.version snap))
 
 (* Run a whole surface program; returns accumulated QUERY/EXPLAIN output.
    Consecutive CONSTRUCTOR declarations are defined as one group, so
@@ -405,6 +490,10 @@ let run env (p : program) =
     match pending with
     | [] -> ()
     | group ->
+      if env.pinned <> None then
+        elab_error
+          "statement not allowed inside BEGIN ... COMMIT (read-only \
+           snapshot transaction)";
       Database.define_constructors env.db
         (List.rev_map (lower_constructor env) group)
   in
@@ -420,7 +509,7 @@ let run env (p : program) =
       [] p
   in
   flush pending;
-  Buffer.contents env.buffer
+  drain_output env
 
 (* Lower a standalone query range (no definition parameters in scope). *)
 let lower_query env r = lower_range env empty_scope r

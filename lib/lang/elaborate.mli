@@ -13,6 +13,16 @@ type env
 
 val create : Database.t -> env
 
+val pinned : env -> Snapshot.t option
+(** The snapshot pinned by an open [BEGIN ... COMMIT] read-only
+    transaction, if any: while pinned, every QUERY/PRINT observes that
+    one published version and mutating statements are rejected. *)
+
+val read_only : decl -> bool
+(** Statements that never mutate the shared database — allowed inside a
+    read-only transaction, and servable from a snapshot without going
+    through a serializing writer. *)
+
 val lower_constructor : env -> constructor_decl -> Dc_calculus.Defs.constructor_def
 (** Lower one constructor declaration (types resolved, body lowered). *)
 
@@ -20,11 +30,22 @@ val execute_decl : env -> decl -> unit
 (** Execute one declaration/statement.  Note: [D_constructor] is defined
     individually here; use {!run} for programs with mutual recursion. *)
 
+val with_snapshot : env -> Snapshot.t -> (unit -> 'a) -> 'a
+(** Pin [snap] for the duration of the callback unless an explicit
+    [BEGIN] already pinned one (the open transaction wins) — the
+    per-statement snapshot isolation used by server sessions. *)
+
+val drain_output : env -> string
+(** Return and clear the accumulated QUERY/PRINT/EXPLAIN output, so a
+    session executing statement by statement (via {!execute_decl}) gets
+    each statement's own text. *)
+
 val run : env -> program -> string
 (** Execute a whole program; consecutive CONSTRUCTOR declarations are
     defined as one group (so mutually recursive constructors typecheck —
-    write them adjacently, as the paper's listings do).  Returns the
-    accumulated QUERY/PRINT/EXPLAIN output. *)
+    write them adjacently, as the paper's listings do).  Returns this
+    run's QUERY/PRINT/EXPLAIN output (the buffer is drained, so repeated
+    [run]s on one env each return only their own output). *)
 
 val lower_query : env -> Surface.range -> Dc_calculus.Ast.range
 (** Lower a standalone query range (no definition parameters in scope). *)

@@ -521,11 +521,27 @@ let decl st =
     let r = range st in
     eat st Token.Semi;
     D_materialize r
-  | Token.Kw_show ->
+  | Token.Kw_show -> (
     advance st;
-    eat st Token.Kw_metrics;
+    match peek st with
+    | Token.Kw_snapshot ->
+      advance st;
+      eat st Token.Semi;
+      D_show_snapshot
+    | _ ->
+      eat st Token.Kw_metrics;
+      eat st Token.Semi;
+      D_show_metrics)
+  | Token.Kw_begin when peek2 st = Token.Semi ->
+    (* BEGIN; — a read-only snapshot transaction (BEGIN inside
+       selector/constructor declarations is always followed by more) *)
+    advance st;
     eat st Token.Semi;
-    D_show_metrics
+    D_begin
+  | Token.Kw_commit ->
+    advance st;
+    eat st Token.Semi;
+    D_commit
   | Token.Kw_set when peek2 st = Token.Ident "MAINTAIN" ->
     (* SET MAINTAIN ON | OFF *)
     advance st;

@@ -120,5 +120,12 @@ type decl =
     }
       (** [EXPLAIN [ANALYZE] INSERT/DELETE Rel VALUES (..);] — perform
           the update and print the maintenance pipeline's report *)
+  | D_show_snapshot
+      (** [SHOW SNAPSHOT;] — current published version, relation count,
+          and maintained-view staleness *)
+  | D_begin
+      (** [BEGIN;] — pin the session to the current published snapshot:
+          all reads until [COMMIT;] observe that one version *)
+  | D_commit  (** [COMMIT;] — release the pinned snapshot *)
 
 type program = decl list

@@ -51,6 +51,8 @@ type t =
   | Kw_show
   | Kw_metrics
   | Kw_materialize
+  | Kw_commit
+  | Kw_snapshot
   (* punctuation and operators *)
   | Semi
   | Colon
@@ -113,6 +115,8 @@ let keywords =
     ("SHOW", Kw_show);
     ("METRICS", Kw_metrics);
     ("MATERIALIZE", Kw_materialize);
+    ("COMMIT", Kw_commit);
+    ("SNAPSHOT", Kw_snapshot);
   ]
 
 let to_string = function

@@ -43,6 +43,8 @@ type t =
   | Kw_show
   | Kw_metrics
   | Kw_materialize
+  | Kw_commit
+  | Kw_snapshot
   | Semi
   | Colon
   | Comma

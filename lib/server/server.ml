@@ -1,0 +1,322 @@
+(* Multi-session serving layer over one versioned database.
+
+   Concurrency model (single-writer / multi-reader, MVCC-lite):
+
+   - Read statements (QUERY/PRINT/SHOW SNAPSHOT/BEGIN/COMMIT) execute on
+     the calling session's own thread against an immutable published
+     {!Dc_core.Snapshot}: per statement the session grabs the latest
+     snapshot, or inside an explicit BEGIN ... COMMIT transaction it
+     keeps one snapshot pinned across statements.  Snapshots are frozen,
+     so any number of sessions read in parallel with zero locking —
+     including fixpoint evaluation, which still fans out on the domain
+     pool (session threads live on the main domain, where [Par.map]
+     engages).
+
+   - Write statements (INSERT/DELETE/assignment/MATERIALIZE/DDL) are
+     serialized through one writer thread: the session enqueues the
+     statement and blocks until the writer has run it through the
+     database's single commit point and published the next snapshot.
+     One writer means no write-write races and no locking inside the
+     storage spine itself.
+
+   - Admission control: a bounded session count, plus per-session
+     {!Dc_guard.Guard.limits} under which every statement of that
+     session evaluates (the server-level defaults apply when a session
+     doesn't bring its own).
+
+   Observability: [dc_server_sessions], [dc_server_queue_depth],
+   [dc_server_commits_total], [dc_server_statements_total{kind}] and the
+   [dc_server_statement_ms{kind}] latency histograms. *)
+
+open Dc_core
+module Guard = Dc_guard.Guard
+module Obs = Dc_obs.Obs
+
+exception Error of string
+
+let error fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Instruments *)
+
+let g_sessions = lazy (Obs.Gauge.make "dc_server_sessions")
+let g_queue = lazy (Obs.Gauge.make "dc_server_queue_depth")
+let c_commits = lazy (Obs.Counter.make "dc_server_commits_total")
+
+let c_statements kind =
+  Obs.Counter.make ~labels:[ ("kind", kind) ] "dc_server_statements_total"
+
+let h_latency kind =
+  Obs.Histogram.make ~labels:[ ("kind", kind) ] "dc_server_statement_ms"
+
+let c_reads = lazy (c_statements "read")
+let c_writes = lazy (c_statements "write")
+let h_read_ms = lazy (h_latency "read")
+let h_write_ms = lazy (h_latency "write")
+
+(* ------------------------------------------------------------------ *)
+(* Writer thread and job queue *)
+
+type job = unit -> unit
+
+type t = {
+  db : Database.t;
+  max_sessions : int;
+  default_limits : Guard.limits;
+  m : Mutex.t; (* guards queue, session count, shutdown flag *)
+  job_ready : Condition.t;
+  queue : job Queue.t;
+  mutable session_count : int;
+  mutable next_session : int;
+  mutable stopping : bool;
+  mutable writer : Thread.t option;
+  mutable writer_id : int;
+}
+
+(* Run one enqueued job; the job itself transports its result/exception
+   back to the submitting session, so the writer loop never dies. *)
+let writer_loop srv () =
+  let rec loop () =
+    Mutex.lock srv.m;
+    while Queue.is_empty srv.queue && not srv.stopping do
+      Condition.wait srv.job_ready srv.m
+    done;
+    if Queue.is_empty srv.queue && srv.stopping then Mutex.unlock srv.m
+    else begin
+      let job = Queue.pop srv.queue in
+      if Obs.on () then
+        Obs.Gauge.set (Lazy.force g_queue)
+          (float_of_int (Queue.length srv.queue));
+      Mutex.unlock srv.m;
+      job ();
+      loop ()
+    end
+  in
+  loop ()
+
+let create ?(max_sessions = 64) ?(limits = Guard.no_limits) db =
+  let srv =
+    {
+      db;
+      max_sessions;
+      default_limits = limits;
+      m = Mutex.create ();
+      job_ready = Condition.create ();
+      queue = Queue.create ();
+      session_count = 0;
+      next_session = 1;
+      stopping = false;
+      writer = None;
+      writer_id = -1;
+    }
+  in
+  let th = Thread.create (writer_loop srv) () in
+  srv.writer <- Some th;
+  srv.writer_id <- Thread.id th;
+  srv
+
+let db srv = srv.db
+let session_count srv = Mutex.protect srv.m (fun () -> srv.session_count)
+
+let queue_depth srv = Mutex.protect srv.m (fun () -> Queue.length srv.queue)
+
+(* Serialize [f] through the writer thread and wait for its result.
+   Called from the writer thread itself (a job spawning sub-work), run
+   inline — blocking would deadlock the only writer. *)
+let submit (srv : t) (f : unit -> 'a) : 'a =
+  if Thread.id (Thread.self ()) = srv.writer_id then f ()
+  else begin
+    let m = Mutex.create () in
+    let done_ = Condition.create () in
+    let result : ('a, exn) Result.t option ref = ref None in
+    let job () =
+      let r = match f () with v -> Ok v | exception e -> Result.Error e in
+      Mutex.protect m (fun () -> result := Some r);
+      Condition.signal done_
+    in
+    Mutex.lock srv.m;
+    if srv.stopping then begin
+      Mutex.unlock srv.m;
+      error "server is shut down"
+    end;
+    Queue.add job srv.queue;
+    if Obs.on () then
+      Obs.Gauge.set (Lazy.force g_queue)
+        (float_of_int (Queue.length srv.queue));
+    Condition.signal srv.job_ready;
+    Mutex.unlock srv.m;
+    Mutex.lock m;
+    while Option.is_none !result do
+      Condition.wait done_ m
+    done;
+    Mutex.unlock m;
+    match !result with
+    | Some (Ok v) -> v
+    | Some (Error e) -> raise e
+    | None -> assert false
+  end
+
+let shutdown srv =
+  Mutex.lock srv.m;
+  srv.stopping <- true;
+  Condition.signal srv.job_ready;
+  Mutex.unlock srv.m;
+  match srv.writer with
+  | Some th ->
+    Thread.join th;
+    srv.writer <- None
+  | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Sessions *)
+
+type session = {
+  server : t;
+  id : int;
+  env : Dc_lang.Elaborate.env;
+      (* private elaboration state: output buffer, pinned transaction
+         snapshot, session-local type aliases.  Only ever touched by the
+         session's own statement — reads on the session thread, writes
+         inside the writer job while the session blocks — so it is never
+         accessed from two threads at once. *)
+  limits : Guard.limits;
+  mutable open_ : bool;
+}
+
+let open_session ?limits srv =
+  Mutex.lock srv.m;
+  if srv.stopping then begin
+    Mutex.unlock srv.m;
+    error "server is shut down"
+  end;
+  if srv.session_count >= srv.max_sessions then begin
+    let n = srv.session_count in
+    Mutex.unlock srv.m;
+    error "too many sessions (%d open, max %d)" n srv.max_sessions
+  end;
+  srv.session_count <- srv.session_count + 1;
+  let id = srv.next_session in
+  srv.next_session <- id + 1;
+  Mutex.unlock srv.m;
+  if Obs.on () then Obs.Gauge.add (Lazy.force g_sessions) 1.;
+  {
+    server = srv;
+    id;
+    env = Dc_lang.Elaborate.create srv.db;
+    limits = Option.value limits ~default:srv.default_limits;
+    open_ = true;
+  }
+
+let close_session s =
+  if s.open_ then begin
+    s.open_ <- false;
+    Mutex.protect s.server.m (fun () ->
+        s.server.session_count <- s.server.session_count - 1);
+    if Obs.on () then Obs.Gauge.add (Lazy.force g_sessions) (-1.)
+  end
+
+let session_id s = s.id
+
+(* A statement the session thread can serve from a snapshot without the
+   writer: everything {!Dc_lang.Elaborate.read_only} except EXPLAIN
+   (diagnostics of the live planner state) and SET PARALLEL (global
+   configuration) — those serialize with the writes. *)
+let session_local (d : Dc_lang.Surface.decl) =
+  match d with
+  | D_query _ | D_print _ | D_show_snapshot | D_begin | D_commit
+  | D_show_metrics | D_type _ ->
+    true
+  | _ -> false
+
+(* Statements that observe data through a snapshot and therefore want
+   per-statement pinning when no transaction is open. *)
+let wants_snapshot (d : Dc_lang.Surface.decl) =
+  match d with D_query _ | D_print _ | D_show_snapshot -> true | _ -> false
+
+(* The statement snapshot carries the session's admission-control
+   limits, so snapshot reads evaluate under the per-session guard. *)
+let session_snapshot s =
+  let snap = Database.snapshot s.server.db in
+  if s.limits = Guard.no_limits then snap
+  else { snap with Snapshot.limits = s.limits }
+
+let execute_decl s (d : Dc_lang.Surface.decl) =
+  if not s.open_ then error "session %d is closed" s.id;
+  let t0 = if Obs.on () then Obs.now_ms () else 0. in
+  let read = session_local d in
+  (try
+     if read then
+       if wants_snapshot d then
+         Dc_lang.Elaborate.with_snapshot s.env (session_snapshot s) (fun () ->
+             Dc_lang.Elaborate.execute_decl s.env d)
+       else Dc_lang.Elaborate.execute_decl s.env d
+     else
+       submit s.server (fun () ->
+           Dc_lang.Elaborate.execute_decl s.env d;
+           if Obs.on () then Obs.Counter.inc (Lazy.force c_commits))
+   with e ->
+     (* keep the session clean: a failed statement must not leak its
+        partial output into the next statement's result *)
+     ignore (Dc_lang.Elaborate.drain_output s.env);
+     raise e);
+  if Obs.on () then begin
+    let ms = Obs.now_ms () -. t0 in
+    if read then begin
+      Obs.Counter.inc (Lazy.force c_reads);
+      Obs.Histogram.observe (Lazy.force h_read_ms) ms
+    end
+    else begin
+      Obs.Counter.inc (Lazy.force c_writes);
+      Obs.Histogram.observe (Lazy.force h_write_ms) ms
+    end
+  end;
+  Dc_lang.Elaborate.drain_output s.env
+
+(* Execute a parsed program statement by statement.  Unlike
+   {!Dc_lang.Elaborate.run} there is no whole-program constructor
+   grouping across other statements, but consecutive CONSTRUCTOR
+   declarations are still registered as one (mutually recursive) group —
+   through the writer, like any DDL. *)
+let execute_program s (p : Dc_lang.Surface.program) =
+  if not s.open_ then error "session %d is closed" s.id;
+  let buf = Buffer.create 256 in
+  let flush_group pending =
+    match pending with
+    | [] -> ()
+    | group ->
+      let defs =
+        List.rev_map (Dc_lang.Elaborate.lower_constructor s.env) group
+      in
+      submit s.server (fun () ->
+          Database.define_constructors s.server.db defs;
+          if Obs.on () then Obs.Counter.inc (Lazy.force c_commits))
+  in
+  let pending =
+    List.fold_left
+      (fun pending (d : Dc_lang.Surface.decl) ->
+        match d with
+        | D_constructor c -> c :: pending
+        | d ->
+          flush_group pending;
+          Buffer.add_string buf (execute_decl s d);
+          [])
+      [] p
+  in
+  flush_group pending;
+  Buffer.contents buf
+
+let execute s src = execute_program s (Dc_lang.Parser.parse src)
+
+(* Run session work under the session's guard limits: a fresh guard per
+   statement, like [Database.query]'s default, but from the session's
+   admission-control budgets. *)
+let session_guard s = Guard.of_limits s.limits
+
+let query s range =
+  if not s.open_ then error "session %d is closed" s.id;
+  let snap =
+    match Dc_lang.Elaborate.pinned s.env with
+    | Some snap -> snap
+    | None -> Database.snapshot s.server.db
+  in
+  (Snapshot.query ~guard:(session_guard s) snap range, Snapshot.version snap)

@@ -1,0 +1,71 @@
+(** Multi-session serving layer over one versioned {!Dc_core.Database}
+    (single-writer / multi-reader snapshot isolation).
+
+    Reads execute on the calling thread against an immutable published
+    {!Dc_core.Snapshot} — one per statement, or one pinned across an
+    explicit [BEGIN ... COMMIT] read-only transaction.  Writes serialize
+    through one writer thread that runs the database's single commit
+    point and publishes the next snapshot.  Sessions are bounded
+    (admission control) and each evaluates under its own
+    {!Dc_guard.Guard.limits}.
+
+    Instruments (when metrics are on): [dc_server_sessions],
+    [dc_server_queue_depth], [dc_server_commits_total],
+    [dc_server_statements_total{kind}], [dc_server_statement_ms{kind}]. *)
+
+open Dc_core
+
+exception Error of string
+
+type t
+(** A running server: one database, one writer thread, many sessions. *)
+
+val create :
+  ?max_sessions:int -> ?limits:Dc_guard.Guard.limits -> Database.t -> t
+(** Start a server (and its writer thread) over [db].  [max_sessions]
+    (default 64) bounds concurrently open sessions; [limits] is the
+    default per-session guard budget. *)
+
+val db : t -> Database.t
+val session_count : t -> int
+val queue_depth : t -> int
+(** Writer-queue depth at this instant (pending write statements). *)
+
+val submit : t -> (unit -> 'a) -> 'a
+(** Serialize a closure through the writer thread and wait for its
+    result (exceptions re-raised in the caller).  Runs inline when
+    called from the writer thread itself. *)
+
+val shutdown : t -> unit
+(** Stop accepting work, drain the queue, and join the writer thread. *)
+
+(** {1 Sessions} *)
+
+type session
+
+val open_session : ?limits:Dc_guard.Guard.limits -> t -> session
+(** @raise Error when the server is shut down or at [max_sessions]. *)
+
+val close_session : session -> unit
+val session_id : session -> int
+
+val execute : session -> string -> string
+(** Parse and execute DBPL statements, returning their printed output.
+    Read statements run on the calling thread against a snapshot (the
+    pinned one inside [BEGIN ... COMMIT], else the latest published
+    version per statement); write statements block until the writer has
+    committed and published them. *)
+
+val execute_decl : session -> Dc_lang.Surface.decl -> string
+(** Execute one parsed statement (see {!execute}). *)
+
+val execute_program : session -> Dc_lang.Surface.program -> string
+(** Execute a parsed program statement by statement; consecutive
+    CONSTRUCTOR declarations still register as one mutually recursive
+    group. *)
+
+val query : session -> Dc_calculus.Ast.range -> Dc_relation.Relation.t * int
+(** Library-level read: evaluate a calculus range against the session's
+    current snapshot (pinned or latest) under the session's guard
+    limits, returning the result and the snapshot version it observed.
+    Never touches the writer. *)

@@ -1,0 +1,513 @@
+(* Snapshot-isolated serving: the versioned store and the multi-session
+   front end (lib/server).
+
+   The centerpiece is a seeded stress test: one writer thread pushes 200
+   randomized INSERT/DELETE batches through the server's writer queue
+   while four reader sessions issue 800 snapshot queries (base extent
+   and a live maintained transitive closure) concurrently — 1000 mixed
+   statements over one database.  Every read returns the snapshot
+   version it observed, and its result must equal, tuple for tuple, the
+   sequential replay oracle's precomputed state for exactly that
+   version: a read that mixed two versions cannot match any oracle
+   entry.  Versions must also be observed monotonically per session.
+   Every failure message carries the seed.
+
+   Around it: freeze discipline units for the kernel (Index_cache
+   freeze/share/put, Facts.freeze), snapshot immutability and version
+   monotonicity, rollback through the single commit point (the
+   [ivm.commit] failpoint must leave the published snapshot untouched),
+   writer serialization and submit re-entrancy, admission control,
+   per-session guard limits, BEGIN/COMMIT pinning through a session, and
+   the SHOW SNAPSHOT golden output. *)
+
+open Dc_relation
+open Dc_datalog
+module Ast = Dc_calculus.Ast
+module Database = Dc_core.Database
+module Snapshot = Dc_core.Snapshot
+module Ivm = Dc_ivm.Ivm
+module Guard = Dc_guard.Guard
+module Server = Dc_server.Server
+module Rng = Dc_workload.Rng
+module Graph_gen = Dc_workload.Graph_gen
+module TS = Facts.TS
+
+let ts_of_relation rel = Relation.fold TS.add rel TS.empty
+let rel_testable = Alcotest.testable Relation.pp Relation.equal
+
+(* ------------------------------------------------------------------ *)
+(* Kernel freeze discipline *)
+
+let pair a b = Tuple.of_list [ Graph_gen.node a; Graph_gen.node b ]
+
+let small_rel =
+  Relation.of_list Graph_gen.edge_schema [ pair 1 2; pair 2 3; pair 3 4 ]
+
+let test_index_cache_freeze () =
+  let c = Index_cache.create () in
+  let idx = Index_cache.get c [ 0 ] small_rel in
+  let f = Index_cache.freeze c in
+  Alcotest.(check bool) "frozen" true (Index_cache.is_frozen f);
+  Alcotest.(check bool) "original not frozen" false (Index_cache.is_frozen c);
+  (* pure lookup on the frozen cache returns the same physical index *)
+  (match Index_cache.frozen_get f [ 0 ] small_rel with
+  | Some i -> Alcotest.(check bool) "shared by reference" true (i == idx)
+  | None -> Alcotest.fail "frozen_get missed a carried entry");
+  Alcotest.(check (option reject))
+    "frozen_get miss is None" None
+    (Index_cache.frozen_get f [ 1 ] small_rel);
+  (* a miss through get on a frozen cache builds without inserting *)
+  ignore (Index_cache.get f [ 1 ] small_rel);
+  Alcotest.(check int) "frozen cache unchanged" 1 (Index_cache.length f)
+
+let test_index_cache_shared_fallback () =
+  let base = Index_cache.create () in
+  let idx = Index_cache.get base [ 0 ] small_rel in
+  let f = Index_cache.freeze base in
+  let c = Index_cache.create ~shared:f () in
+  (* the shared hit is borrowed, not adopted *)
+  let got = Index_cache.get c [ 0 ] small_rel in
+  Alcotest.(check bool) "borrowed from shared" true (got == idx);
+  Alcotest.(check int) "nothing adopted" 0 (Index_cache.length c);
+  (* a genuine miss still builds locally *)
+  ignore (Index_cache.get c [ 1 ] small_rel);
+  Alcotest.(check int) "local build cached" 1 (Index_cache.length c);
+  Alcotest.(check int) "shared cache untouched" 1 (Index_cache.length f)
+
+let test_index_cache_put () =
+  let c = Index_cache.create () in
+  let idx = Index.build [ 0 ] small_rel in
+  Index_cache.put c [ 0 ] small_rel idx;
+  Alcotest.(check bool)
+    "put entry served" true
+    (Index_cache.get c [ 0 ] small_rel == idx)
+
+let test_facts_freeze () =
+  let store = Facts.of_relation "e" small_rel (Facts.empty ()) in
+  let f = Facts.freeze store in
+  Alcotest.(check bool) "frozen" true (Facts.is_frozen f);
+  Alcotest.(check int) "extent carried" 3 (Facts.cardinal f "e");
+  (* concurrent lookups on a frozen store are pure: hammer it from
+     systhreads and compare against the sequential answer *)
+  let expected = Facts.cardinal f "e" in
+  let results = Array.make 8 (-1) in
+  let threads =
+    Array.init 8 (fun i ->
+        Thread.create
+          (fun () ->
+            let n = ref 0 in
+            for _ = 1 to 50 do
+              n := Facts.cardinal f "e"
+            done;
+            results.(i) <- !n)
+          ())
+  in
+  Array.iter Thread.join threads;
+  Array.iter (fun n -> Alcotest.(check int) "pure reads" expected n) results
+
+(* ------------------------------------------------------------------ *)
+(* Versioned store *)
+
+let test_snapshot_immutable () =
+  let db = Database.create () in
+  Database.declare db "Edge" Graph_gen.edge_schema;
+  Database.insert db "Edge" (pair 1 2);
+  let s1 = Database.snapshot db in
+  let v1 = Snapshot.version s1 in
+  Database.insert db "Edge" (pair 2 3);
+  let s2 = Database.snapshot db in
+  Alcotest.(check int) "monotone version" (v1 + 1) (Snapshot.version s2);
+  Alcotest.(check (option rel_testable))
+    "old snapshot unchanged"
+    (Some (Relation.of_list Graph_gen.edge_schema [ pair 1 2 ]))
+    (Snapshot.get s1 "Edge");
+  Alcotest.(check (option rel_testable))
+    "new snapshot sees the write"
+    (Some (Relation.of_list Graph_gen.edge_schema [ pair 1 2; pair 2 3 ]))
+    (Snapshot.get s2 "Edge");
+  (* old snapshots keep answering queries *)
+  Alcotest.(check int) "query old version" 1
+    (Relation.cardinal (Snapshot.query s1 (Ast.Rel "Edge")))
+
+let test_update_batch_one_version () =
+  let db = Database.create () in
+  Database.declare db "Edge" Graph_gen.edge_schema;
+  Database.insert db "Edge" (pair 1 2);
+  let v = Database.version db in
+  Database.update_batch db
+    [ ("Edge", [ pair 2 3; pair 3 4 ], [ pair 1 2 ]) ];
+  Alcotest.(check int) "one version per batch" (v + 1) (Database.version db);
+  Alcotest.(check rel_testable) "net effect"
+    (Relation.of_list Graph_gen.edge_schema [ pair 2 3; pair 3 4 ])
+    (Database.get db "Edge")
+
+(* rollback must go through the single commit point: an injected fault
+   leaves the version and the published snapshot untouched *)
+let test_commit_rollback_publishes_nothing () =
+  let db = Database.create () in
+  Database.declare db "Edge" Graph_gen.edge_schema;
+  Database.insert db "Edge" (pair 1 2);
+  let before = Database.snapshot db in
+  Guard.Failpoint.arm "ivm.commit" 1;
+  (match Database.insert db "Edge" (pair 2 3) with
+  | () -> Alcotest.fail "failpoint never hit"
+  | exception Guard.Exhausted (Guard.Fault_injected "ivm.commit", _) -> ()
+  | exception e ->
+    Guard.Failpoint.reset ();
+    raise e);
+  Guard.Failpoint.reset ();
+  Alcotest.(check bool)
+    "published snapshot is still the old one" true
+    (Database.snapshot db == before);
+  Alcotest.(check int) "version unchanged" (Snapshot.version before)
+    (Database.version db);
+  Alcotest.(check rel_testable) "binding rolled back"
+    (Relation.of_list Graph_gen.edge_schema [ pair 1 2 ])
+    (Database.get db "Edge")
+
+(* ------------------------------------------------------------------ *)
+(* Server basics *)
+
+let test_submit_serializes () =
+  let db = Database.create () in
+  let srv = Server.create db in
+  let counter = ref 0 in
+  let threads =
+    Array.init 8 (fun _ ->
+        Thread.create
+          (fun () ->
+            for _ = 1 to 100 do
+              Server.submit srv (fun () -> incr counter)
+            done)
+          ())
+  in
+  Array.iter Thread.join threads;
+  Alcotest.(check int) "all jobs ran exactly once" 800 !counter;
+  (* re-entrant submit runs inline on the writer thread, no deadlock *)
+  let nested =
+    Server.submit srv (fun () -> Server.submit srv (fun () -> 41) + 1)
+  in
+  Alcotest.(check int) "nested submit" 42 nested;
+  (* exceptions propagate to the submitter, writer survives *)
+  (match Server.submit srv (fun () -> failwith "boom") with
+  | () -> Alcotest.fail "exception swallowed"
+  | exception Failure msg -> Alcotest.(check string) "payload" "boom" msg);
+  Alcotest.(check int) "writer alive" 7 (Server.submit srv (fun () -> 7));
+  Server.shutdown srv;
+  (match Server.submit srv (fun () -> ()) with
+  | () -> Alcotest.fail "accepted after shutdown"
+  | exception Server.Error _ -> ())
+
+let test_admission_control () =
+  let db = Database.create () in
+  let srv = Server.create ~max_sessions:2 db in
+  let s1 = Server.open_session srv in
+  let s2 = Server.open_session srv in
+  Alcotest.(check int) "two open" 2 (Server.session_count srv);
+  (match Server.open_session srv with
+  | _ -> Alcotest.fail "admission control did not trip"
+  | exception Server.Error _ -> ());
+  Server.close_session s1;
+  let s3 = Server.open_session srv in
+  Server.close_session s2;
+  Server.close_session s3;
+  (* closing twice is a no-op *)
+  Server.close_session s3;
+  Alcotest.(check int) "all closed" 0 (Server.session_count srv);
+  Server.shutdown srv
+
+let test_session_limits () =
+  let db = Database.create () in
+  Database.declare db "Edge" Graph_gen.edge_schema;
+  Database.set db "Edge"
+    (Graph_gen.random_graph ~seed:7 ~nodes:20 ~edges:60);
+  let srv = Server.create db in
+  (* a scan that actually ticks the row guard: EACH e IN Edge: TRUE *)
+  let scan =
+    Ast.Comp [ { Ast.binders = [ ("e", Ast.Rel "Edge") ]; target = []; where = Ast.True } ]
+  in
+  let tight = Server.open_session ~limits:(Guard.limits ~rows:3 ()) srv in
+  (match Server.query tight scan with
+  | _ -> Alcotest.fail "tight session guard never tripped"
+  | exception Guard.Exhausted (Guard.Rows_exhausted _, _) -> ());
+  let roomy = Server.open_session srv in
+  let rel, _ = Server.query roomy scan in
+  Alcotest.(check int) "default session unaffected" 60 (Relation.cardinal rel);
+  Server.close_session tight;
+  Server.close_session roomy;
+  Server.shutdown srv
+
+let contains_s s sub =
+  let n = String.length s and m = String.length sub in
+  let rec loop i = i + m <= n && (String.sub s i m = sub || loop (i + 1)) in
+  m = 0 || loop 0
+
+let test_session_pinning () =
+  let db = Database.create () in
+  Database.declare db "Edge" Graph_gen.edge_schema;
+  Database.insert db "Edge" (pair 1 2);
+  let srv = Server.create db in
+  let reader = Server.open_session srv in
+  let writer = Server.open_session srv in
+  let out = Server.execute reader "BEGIN;" in
+  Alcotest.(check bool) "pinned" true (contains_s out "pinned snapshot");
+  let _, v1 = Server.query reader (Ast.Rel "Edge") in
+  ignore (Server.execute writer {|INSERT Edge VALUES ("n3", "n4");|});
+  (* the pinned reader still sees the old version... *)
+  let rel, v2 = Server.query reader (Ast.Rel "Edge") in
+  Alcotest.(check int) "same pinned version" v1 v2;
+  Alcotest.(check int) "old extent" 1 (Relation.cardinal rel);
+  (* ...and writes inside the transaction are rejected *)
+  (match Server.execute reader {|INSERT Edge VALUES ("n5", "n6");|} with
+  | _ -> Alcotest.fail "write allowed inside read-only transaction"
+  | exception Dc_lang.Elaborate.Elab_error msg ->
+    Alcotest.(check bool) "reason" true (contains_s msg "BEGIN"));
+  let out = Server.execute reader "COMMIT;" in
+  Alcotest.(check bool) "released" true (contains_s out "released");
+  let rel, v3 = Server.query reader (Ast.Rel "Edge") in
+  Alcotest.(check bool) "unpinned reader advances" true (v3 > v1);
+  Alcotest.(check int) "new extent" 2 (Relation.cardinal rel);
+  Server.close_session reader;
+  Server.close_session writer;
+  Server.shutdown srv
+
+(* ------------------------------------------------------------------ *)
+(* SHOW SNAPSHOT golden *)
+
+let snapshot_surface =
+  {|
+TYPE node = STRING;
+TYPE edgerel = RELATION a, b OF RECORD a, b: node END;
+VAR Edge: edgerel;
+VAR Other: edgerel;
+CONSTRUCTOR tc FOR Rel: edgerel (): edgerel;
+BEGIN EACH e IN Rel: TRUE,
+      <e.a, p.b> OF EACH e IN Rel, EACH p IN Rel{tc()}: e.b = p.a
+END tc;
+INSERT Edge VALUES ("a", "b"), ("b", "c");
+MATERIALIZE Edge{tc()};
+SHOW SNAPSHOT;
+SET MAINTAIN OFF;
+INSERT Edge VALUES ("c", "d");
+SHOW SNAPSHOT;
+|}
+
+let test_show_snapshot_golden () =
+  let _db, out = Dc_lang.Elaborate.run_string snapshot_surface in
+  let golden =
+    "SHOW SNAPSHOT\n\
+     version 5: 2 relations, 1 view\n\
+     \n\
+     SHOW SNAPSHOT\n\
+     version 7: 2 relations, 1 view (stale: tc__Edge)\n\
+     \n"
+  in
+  (* keep only the SHOW SNAPSHOT sections: MATERIALIZE also prints *)
+  let shown =
+    let lines = String.split_on_char '\n' out in
+    let rec keep acc = function
+      | [] -> List.rev acc
+      | l :: rest when contains_s l "SHOW SNAPSHOT" -> (
+        match rest with
+        | v :: rest -> keep (("" :: v :: [ l ]) @ acc) rest
+        | [] -> keep (l :: acc) [])
+      | _ :: rest -> keep acc rest
+    in
+    String.concat "\n" (List.concat_map Fun.id [ keep [] lines ]) ^ "\n"
+  in
+  Alcotest.(check string) "golden" golden shown
+
+(* ------------------------------------------------------------------ *)
+(* The stress test: 1 writer, N readers, sequential replay oracle *)
+
+let nodes = 10
+let writer_batches = 200
+let readers = 4
+let reads_per_reader = 200
+
+(* one randomized batch against the current pure extent: deletions of
+   existing tuples, insertions of absent ones, disjoint, never empty *)
+let gen_batch rng rel =
+  let ops = 1 + Rng.int rng 4 in
+  let dels = ref [] and adds = ref [] in
+  let current = ref rel in
+  for _ = 1 to ops do
+    let card = Relation.cardinal !current in
+    if card > 0 && Rng.bool rng 0.45 then begin
+      let ts = Relation.to_list !current in
+      let t = List.nth ts (Rng.int rng (List.length ts)) in
+      current := Relation.remove t !current;
+      dels := t :: !dels
+    end
+    else begin
+      let t = pair (Rng.int rng nodes) (Rng.int rng nodes) in
+      if not (Relation.mem t rel) && not (List.exists (Tuple.equal t) !adds)
+      then begin
+        current := Relation.add t !current;
+        adds := t :: !adds
+      end
+    end
+  done;
+  if !adds = [] && !dels = [] then begin
+    (* guarantee progress: delete one existing or add a fresh tuple *)
+    match Relation.to_list !current with
+    | t :: _ -> dels := [ t ]
+    | [] -> adds := [ pair 0 1 ]
+  end;
+  (!adds, !dels, !current)
+
+let test_stress seed () =
+  let rng = Rng.create seed in
+  let init =
+    Graph_gen.random_graph ~seed:(Rng.int rng 1_000_000) ~nodes
+      ~edges:(2 * nodes)
+  in
+  (* sequential replay oracle: expected extent and expected transitive
+     closure after each batch, indexed by batches-applied *)
+  let expected_edge = Array.make (writer_batches + 1) init in
+  let batches = Array.make writer_batches ([], []) in
+  let cur = ref init in
+  for i = 0 to writer_batches - 1 do
+    let adds, dels, next = gen_batch rng !cur in
+    batches.(i) <- (adds, dels);
+    cur := next;
+    expected_edge.(i + 1) <- next
+  done;
+  let expected_path =
+    Array.map
+      (fun rel ->
+        Seminaive.query Oracle.tc_nonlinear
+          (Facts.of_relation "edge" rel (Facts.empty ()))
+          "path")
+      expected_edge
+  in
+  (* live database: edge + a maintained transitive closure view *)
+  let db = Database.create () in
+  Database.declare db "edge" Graph_gen.edge_schema;
+  Database.set db "edge" init;
+  let schema_of _ = Graph_gen.edge_schema in
+  let defs, bottoms = Translate.to_constructors schema_of Oracle.tc_nonlinear in
+  List.iter (fun (n, s) -> Database.declare db n s) bottoms;
+  Database.define_constructors db defs;
+  let view =
+    Ivm.materialize db ~constructor:"path" ~base:"__bottom_path" ~args:[]
+  in
+  ignore view;
+  let srv = Server.create db in
+  let v0 = Database.version db in
+  let path_range = Ast.Construct (Ast.Rel "__bottom_path", "path", []) in
+  let failures = ref [] in
+  let fail_m = Mutex.create () in
+  let record fmt =
+    Fmt.kstr
+      (fun msg -> Mutex.protect fail_m (fun () -> failures := msg :: !failures))
+      fmt
+  in
+  let writer () =
+    Array.iter
+      (fun (adds, dels) ->
+        Server.submit srv (fun () ->
+            Database.update_batch db [ ("edge", adds, dels) ]))
+      batches
+  in
+  let reader r () =
+    let s = Server.open_session srv in
+    let last_v = ref (-1) in
+    for i = 1 to reads_per_reader do
+      let want_path = (i + r) mod 2 = 0 in
+      let rel, v =
+        Server.query s (if want_path then path_range else Ast.Rel "edge")
+      in
+      let idx = v - v0 in
+      if idx < 0 || idx > writer_batches then
+        record "seed %d reader %d read %d: version %d outside [%d, %d]" seed r
+          i v v0 (v0 + writer_batches)
+      else if v < !last_v then
+        record "seed %d reader %d read %d: version went backwards (%d after %d)"
+          seed r i v !last_v
+      else begin
+        last_v := v;
+        if want_path then begin
+          let got = ts_of_relation rel in
+          if not (TS.equal expected_path.(idx) got) then
+            record
+              "seed %d reader %d read %d: path at version %d diverged from \
+               oracle (%d vs %d tuples)"
+              seed r i v (TS.cardinal got)
+              (TS.cardinal expected_path.(idx))
+        end
+        else if not (Relation.equal expected_edge.(idx) rel) then
+          record
+            "seed %d reader %d read %d: edge at version %d diverged from \
+             oracle (%d vs %d tuples)"
+            seed r i v (Relation.cardinal rel)
+            (Relation.cardinal expected_edge.(idx))
+      end
+    done;
+    Server.close_session s
+  in
+  let wt = Thread.create writer () in
+  let rts = Array.init readers (fun r -> Thread.create (reader r) ()) in
+  Thread.join wt;
+  Array.iter Thread.join rts;
+  Alcotest.(check int)
+    (Fmt.str "seed %d: one version per batch" seed)
+    (v0 + writer_batches) (Database.version db);
+  (* final state converged to the oracle's *)
+  Alcotest.check rel_testable
+    (Fmt.str "seed %d: final edge extent" seed)
+    expected_edge.(writer_batches)
+    (Database.get db "edge");
+  let got = ts_of_relation (Database.query db path_range) in
+  if not (TS.equal expected_path.(writer_batches) got) then
+    Alcotest.failf "seed %d: final path extent diverged (%d vs %d tuples)" seed
+      (TS.cardinal got)
+      (TS.cardinal expected_path.(writer_batches));
+  Server.shutdown srv;
+  match !failures with
+  | [] -> ()
+  | msgs ->
+    Alcotest.failf "%d isolation violations, first: %s" (List.length msgs)
+      (List.hd (List.rev msgs))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "dc_server"
+    [
+      ( "freeze discipline",
+        [
+          Alcotest.test_case "index cache freeze" `Quick test_index_cache_freeze;
+          Alcotest.test_case "shared fallback" `Quick
+            test_index_cache_shared_fallback;
+          Alcotest.test_case "put prewarmed" `Quick test_index_cache_put;
+          Alcotest.test_case "facts freeze" `Quick test_facts_freeze;
+        ] );
+      ( "versioned store",
+        [
+          Alcotest.test_case "snapshot immutability" `Quick
+            test_snapshot_immutable;
+          Alcotest.test_case "update_batch is one version" `Quick
+            test_update_batch_one_version;
+          Alcotest.test_case "rollback publishes nothing" `Quick
+            test_commit_rollback_publishes_nothing;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "writer serialization" `Quick
+            test_submit_serializes;
+          Alcotest.test_case "admission control" `Quick test_admission_control;
+          Alcotest.test_case "per-session limits" `Quick test_session_limits;
+          Alcotest.test_case "BEGIN/COMMIT pinning" `Quick test_session_pinning;
+        ] );
+      ( "surface",
+        [
+          Alcotest.test_case "SHOW SNAPSHOT golden" `Quick
+            test_show_snapshot_golden;
+        ] );
+      ( "stress",
+        [
+          Alcotest.test_case "1 writer + 4 readers vs oracle" `Slow
+            (test_stress 0xC0FFEE);
+        ] );
+    ]
