@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-smoke bench-ivm bench-par bench-serve examples doc clean outputs
+.PHONY: all build test bench bench-smoke bench-ivm bench-par bench-serve bench-wal examples doc clean outputs
 
 all: build
 
@@ -30,6 +30,11 @@ bench-par:
 # simulated client sessions (snapshot reads + serialized writes).
 bench-serve:
 	dune exec bench/main.exe -- serve
+
+# Durable commit throughput (WAL fsync vs in-memory vs CSV-rewrite
+# baseline) and recovery time (checkpoint + replay vs CSV reload).
+bench-wal:
+	dune exec bench/main.exe -- wal
 
 examples:
 	dune exec examples/quickstart.exe

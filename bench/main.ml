@@ -1475,6 +1475,169 @@ let print_serving records =
 
 let run_serve () = print_serving (serve_records ())
 
+(* ------------------------------------------------------------------ *)
+(* Durability: sustained update throughput with the WAL on the commit
+   path (one fsynced record per commit) against the in-memory store and
+   against the pre-WAL baseline — rewriting the whole CSV directory
+   after every commit — plus recovery time: checkpoint + log-suffix
+   replay versus reloading the CSV image from scratch. *)
+
+type wal_record = {
+  wr_name : string;
+  wr_updates : int;
+  wr_wall_ms : float;
+  wr_per_s : float;
+}
+
+type recovery_record = {
+  rr_name : string;
+  rr_replayed : int;
+  rr_wall_ms : float;
+}
+
+let rec bench_rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter
+      (fun e -> bench_rm_rf (Filename.concat path e))
+      (Sys.readdir path);
+    Unix.rmdir path
+  | _ -> Unix.unlink path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let bench_dir tag =
+  let d =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Fmt.str "dc_bench_wal_%d_%s" (Unix.getpid ()) tag)
+  in
+  bench_rm_rf d;
+  bench_rm_rf (d ^ ".old");
+  bench_rm_rf (d ^ ".tmp");
+  d
+
+let wal_nodes = 64
+let wal_updates = 500
+
+(* the same seeded single-relation update stream for every variant *)
+let wal_stream () =
+  let rng = Rng.create 0xD0_0D in
+  List.init wal_updates (fun _ ->
+      let a = Rng.int rng wal_nodes and b = Rng.int rng wal_nodes in
+      let t =
+        Tuple.of_list [ Graph_gen.node a; Graph_gen.node b ]
+      in
+      if Rng.bool rng 0.8 then ([ t ], []) else ([], [ t ]))
+
+let wal_base_db () =
+  let db = Database.create () in
+  Database.declare db "edge" Graph_gen.edge_schema;
+  Database.set db "edge" (Graph_gen.chain wal_nodes);
+  db
+
+let wal_throughput () =
+  let module Durable = Dc_wal.Durable in
+  let stream = wal_stream () in
+  let drive db =
+    List.iter
+      (fun (adds, dels) -> Database.update_batch db [ ("edge", adds, dels) ])
+      stream
+  in
+  let record name f =
+    let (), wall = time f in
+    {
+      wr_name = name;
+      wr_updates = wal_updates;
+      wr_wall_ms = wall;
+      wr_per_s = float_of_int wal_updates /. wall *. 1000.;
+    }
+  in
+  let in_memory = record "update_in_memory" (fun () -> drive (wal_base_db ())) in
+  let with_wal every name =
+    let dir = bench_dir name in
+    let db = wal_base_db () in
+    let dur = Durable.open_dir ~db ~checkpoint_every:every dir in
+    let r = record name (fun () -> drive db) in
+    Durable.close dur;
+    bench_rm_rf dir;
+    r
+  in
+  let wal_only = with_wal 1_000_000 "update_wal_fsync" in
+  let wal_ckpt = with_wal 64 "update_wal_ckpt64" in
+  let csv =
+    let dir = bench_dir "csv_rewrite" in
+    let db = wal_base_db () in
+    let r =
+      record "update_csv_rewrite" (fun () ->
+          List.iter
+            (fun (adds, dels) ->
+              Database.update_batch db [ ("edge", adds, dels) ];
+              Dc_lang.Storage.save db dir)
+            (wal_stream ()))
+    in
+    bench_rm_rf dir;
+    r
+  in
+  [ in_memory; wal_only; wal_ckpt; csv ]
+
+let wal_recovery () =
+  let module Durable = Dc_wal.Durable in
+  let stream = wal_stream () in
+  let drive db =
+    List.iter
+      (fun (adds, dels) -> Database.update_batch db [ ("edge", adds, dels) ])
+      stream
+  in
+  (* a directory whose whole stream sits in the log after one early
+     checkpoint: recovery replays every record through the commit path
+     (the handle is abandoned, not closed — closing would checkpoint) *)
+  let replay_dir = bench_dir "recover_replay" in
+  let db = wal_base_db () in
+  let _abandoned =
+    Durable.open_dir ~db ~checkpoint_every:1_000_000 replay_dir
+  in
+  drive db;
+  (* the same state checkpointed: recovery is one image load, no replay *)
+  let ckpt_dir = bench_dir "recover_ckpt" in
+  let db2 = wal_base_db () in
+  let dur2 = Durable.open_dir ~db:db2 ~checkpoint_every:1_000_000 ckpt_dir in
+  drive db2;
+  Durable.close dur2;
+  (* the CSV baseline of the same final state *)
+  let csv_dir = bench_dir "recover_csv" in
+  Dc_lang.Storage.save db2 csv_dir;
+  let recover name dir =
+    let dur, wall = time (fun () -> Durable.open_dir dir) in
+    let r =
+      { rr_name = name; rr_replayed = Durable.replayed dur; rr_wall_ms = wall }
+    in
+    Durable.close dur;
+    r
+  in
+  let from_log = recover "recover_replay_log" replay_dir in
+  let from_ckpt = recover "recover_checkpoint" ckpt_dir in
+  let from_csv =
+    let _, wall = time (fun () -> Dc_lang.Storage.load csv_dir) in
+    { rr_name = "load_csv_image"; rr_replayed = 0; rr_wall_ms = wall }
+  in
+  List.iter bench_rm_rf [ replay_dir; ckpt_dir; csv_dir ];
+  [ from_log; from_ckpt; from_csv ]
+
+let print_wal (updates, recovery) =
+  List.iter
+    (fun r ->
+      Fmt.pr "%-24s %5d updates %10.2f ms  %8.0f commits/s@." r.wr_name
+        r.wr_updates r.wr_wall_ms r.wr_per_s)
+    updates;
+  List.iter
+    (fun r ->
+      Fmt.pr "%-24s replayed=%-5d %10.2f ms@." r.rr_name r.rr_replayed
+        r.rr_wall_ms)
+    recovery
+
+let wal_records () = (wal_throughput (), wal_recovery ())
+let run_wal () = print_wal (wal_records ())
+
 let run_json path =
   (* Experiments run with metrics enabled so the snapshot embeds per-phase
      breakdowns (span histograms, per-round fixpoint/Datalog series). *)
@@ -1487,6 +1650,7 @@ let run_json path =
   let ivm = ivm_records () in
   let parallel = par_records () in
   let serving = serve_records () in
+  let durability = wal_records () in
   let oc = open_out path in
   let field_sep = ref "" in
   output_string oc "{\n  \"experiments\": [\n";
@@ -1545,6 +1709,27 @@ let run_json path =
       field_sep := ",\n")
     serving;
   output_string oc "\n  ],\n";
+  let updates, recovery = durability in
+  output_string oc "  \"durability\": {\n    \"updates\": [\n";
+  field_sep := "";
+  List.iter
+    (fun r ->
+      Printf.fprintf oc
+        "%s      { \"name\": %S, \"updates\": %d, \"wall_ms\": %.3f, \
+         \"commits_per_s\": %.0f }"
+        !field_sep r.wr_name r.wr_updates r.wr_wall_ms r.wr_per_s;
+      field_sep := ",\n")
+    updates;
+  output_string oc "\n    ],\n    \"recovery\": [\n";
+  field_sep := "";
+  List.iter
+    (fun r ->
+      Printf.fprintf oc
+        "%s      { \"name\": %S, \"replayed\": %d, \"wall_ms\": %.3f }"
+        !field_sep r.rr_name r.rr_replayed r.rr_wall_ms;
+      field_sep := ",\n")
+    recovery;
+  output_string oc "\n    ]\n  },\n";
   Printf.fprintf oc "  \"metrics\": %s\n}\n" metrics_json;
   close_out oc;
   print_records records;
@@ -1552,6 +1737,7 @@ let run_json path =
   print_ivm ivm;
   print_parallel parallel;
   print_serving serving;
+  print_wal durability;
   Fmt.pr "wrote %s@." path
 
 (* ------------------------------------------------------------------ *)
@@ -1638,6 +1824,7 @@ let () =
   | [ "ivm" ] -> run_ivm ()
   | [ "parallel" ] -> run_parallel ()
   | [ "serve" ] -> run_serve ()
+  | [ "wal" ] -> run_wal ()
   | [ "guard-overhead" ] -> run_guard_overhead ()
   | [ "obs-overhead" ] -> run_obs_overhead ()
   | names ->

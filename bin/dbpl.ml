@@ -127,7 +127,17 @@ let run_cmd =
              after the run — JSON when $(docv) ends in .json, Prometheus \
              text otherwise")
   in
-  let run file strategy unchecked limits () load save metrics_out =
+  let data_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "data" ] ~docv:"DIR"
+          ~doc:
+            "Durable database directory: recover $(docv) (checkpoint + \
+             write-ahead log) before the program runs, log every commit, \
+             and checkpoint on exit")
+  in
+  let run file strategy unchecked limits () load save metrics_out data =
     handle_errors @@ fun () ->
     if Option.is_some metrics_out then Dc_obs.Obs.set_enabled true;
     let db =
@@ -137,8 +147,10 @@ let run_cmd =
     (match load with
     | Some dir -> ignore (Dc_lang.Storage.load ~db dir)
     | None -> ());
+    let durable = Option.map (Dc_wal.Durable.open_dir ~db) data in
     let _, out = Dc_lang.Elaborate.run_string ~db (read_file file) in
     print_string out;
+    Option.iter Dc_wal.Durable.close durable;
     (match metrics_out with
     | Some path ->
       let body =
@@ -156,7 +168,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Execute a DBPL program")
     Term.(
       const run $ file $ strategy $ unchecked $ limit_flags $ domains_flag
-      $ load_dir $ save_dir $ metrics_out)
+      $ load_dir $ save_dir $ metrics_out $ data_dir)
 
 let check_cmd =
   let file =
@@ -306,13 +318,36 @@ let serve_cmd =
       & info [ "max-sessions" ] ~docv:"N"
           ~doc:"Admission control: at most $(docv) concurrently open sessions")
   in
-  let serve files init load max_sessions limits () =
+  let data_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "data" ] ~docv:"DIR"
+          ~doc:
+            "Durable database directory: recover $(docv) on startup, log \
+             every commit, checkpoint on shutdown (including SIGINT and \
+             SIGTERM)")
+  in
+  let serve files init load max_sessions limits () data =
     handle_errors @@ fun () ->
     let db = Dc_core.Database.create ~limits () in
     (match load with
     | Some dir -> ignore (Dc_lang.Storage.load ~db dir)
     | None -> ());
-    let srv = Dc_server.Server.create ~max_sessions ~limits db in
+    let wal = Option.map (Dc_wal.Durable.open_dir ~db) data in
+    let srv = Dc_server.Server.create ~max_sessions ~limits ?wal db in
+    (* graceful shutdown: stop admitting, let the writer drain its queue
+       (no commit dies mid-flight), take a final checkpoint, exit *)
+    let graceful signame =
+      Sys.Signal_handle
+        (fun _ ->
+          Fmt.epr "@.%s: draining writer and checkpointing...@." signame;
+          (try Dc_server.Server.shutdown srv
+           with e -> Fmt.epr "shutdown failed: %s@." (Printexc.to_string e));
+          exit 0)
+    in
+    Sys.set_signal Sys.sigint (graceful "SIGINT");
+    Sys.set_signal Sys.sigterm (graceful "SIGTERM");
     let run_session src =
       let s = Dc_server.Server.open_session srv in
       Fun.protect
@@ -401,7 +436,7 @@ let serve_cmd =
           interactive console)")
     Term.(
       const serve $ files $ init_file $ load_dir $ max_sessions $ limit_flags
-      $ domains_flag)
+      $ domains_flag $ data_dir)
 
 let () =
   let doc = "DBPL with data constructors (Jarke, Linnemann & Schmidt, VLDB 1985)" in

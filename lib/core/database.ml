@@ -31,6 +31,25 @@ let error fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
    used to make a failed maintenance step atomic; [mt_stale]/[mt_freeze]
    publish the view into snapshots ([mt_freeze] returns [None] for a
    stale view — snapshot readers then fall back to the fixpoint). *)
+(* Durability hooks (the WAL subsystem lives in a higher layer and plugs
+   in through closures, like maintainers do).  [wh_append] runs inside
+   the commit, after the mutation and maintenance succeeded but BEFORE
+   the snapshot is published: it must make the commit durable (append a
+   log record for a data commit, or cut a full checkpoint for a catalog
+   commit) and may raise to abort — the commit then rolls back and
+   nothing is published, so an acknowledged commit is always on stable
+   storage.  [wh_published] runs after publication (periodic
+   checkpointing); an exception there propagates to the committer but
+   the commit stands. *)
+type wal_hooks = {
+  wh_append :
+    version:int ->
+    catalog:bool ->
+    changes:(string * Tuple.t list * Tuple.t list) list ->
+    unit;
+  wh_published : version:int -> unit;
+}
+
 type maintainer = {
   mt_name : string;
   mt_depends : string list; (* base relations the view reads *)
@@ -74,6 +93,14 @@ type t = {
   mutable in_commit : bool;
       (* re-entrancy guard: composite operations that call other
          committing operations join the outermost commit *)
+  mutable wal : wal_hooks option;
+  mutable pending_changes : (string * Tuple.t list * Tuple.t list) list;
+      (* net point-update deltas accumulated by the commit in progress,
+         in application order — what [wh_append] logs *)
+  mutable pending_catalog : bool;
+      (* the commit in progress changed the catalog / wholesale-assigned
+         a relation: no replayable delta, [wh_append] must checkpoint *)
+  mutable durable_lsn : int; (* 0 = nothing durable / no WAL attached *)
 }
 
 let frozen_empty_cache () = Index_cache.freeze (Index_cache.create ~cap:1 ())
@@ -89,6 +116,7 @@ let initial_snapshot ~strategy ~max_rounds ~limits =
     limits;
     views = [];
     icache = frozen_empty_cache ();
+    durable = None;
   }
 
 let create ?(strategy = Fixpoint.Seminaive) ?(check_positivity = true)
@@ -107,6 +135,10 @@ let create ?(strategy = Fixpoint.Seminaive) ?(check_positivity = true)
     published = initial_snapshot ~strategy ~max_rounds ~limits;
     prewarm_paths = [];
     in_commit = false;
+    wal = None;
+    pending_changes = [];
+    pending_catalog = false;
+    durable_lsn = 0;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -167,10 +199,40 @@ let publish db =
       limits = db.limits;
       views;
       icache;
+      durable = (if db.durable_lsn = 0 then None else Some db.durable_lsn);
     }
 
 let snapshot db = db.published
 let version db = db.published.Snapshot.version
+
+(* ------------------------------------------------------------------ *)
+(* Durability plumbing (driven by the WAL layer, Dc_wal) *)
+
+let set_wal_hooks db hooks = db.wal <- hooks
+let durable_lsn db = db.durable_lsn
+
+let set_durable_lsn db lsn =
+  db.durable_lsn <- lsn;
+  (* refresh the published snapshot's watermark without a version bump:
+     recovery and checkpointing adjust it outside any commit *)
+  db.published <-
+    {
+      db.published with
+      Snapshot.durable = (if lsn = 0 then None else Some lsn);
+    }
+
+(* Recovery only: rewind/forward the published version counter so a
+   replayed commit republishes at exactly the version the log recorded.
+   Never call this on a live (serving) database. *)
+let restore_version db v =
+  db.published <- { db.published with Snapshot.version = v }
+
+(* Record the net delta of a point update for [wh_append]; kept empty
+   when no WAL is attached so the non-durable path stays allocation-free. *)
+let log_changes db changes =
+  if db.wal <> None then db.pending_changes <- db.pending_changes @ changes
+
+let mark_catalog db = if db.wal <> None then db.pending_catalog <- true
 
 let prewarm db name positions =
   if
@@ -186,16 +248,21 @@ let prewarm db name positions =
 (* The single commit point.  Journals the working maps, snapshots every
    maintainer that reads a touched relation, runs the mutation (which
    may propagate deltas into views), passes the [ivm.commit] failpoint
-   (data commits only), and publishes the successor snapshot.  On any
-   exception the working set and every touched view roll back to the
+   (data commits only), makes the commit durable when a WAL is attached
+   ([wh_append] — append-before-publish), and publishes the successor
+   snapshot.  On any exception — including a failed or fault-injected
+   log append — the working set and every touched view roll back to the
    pre-commit state and nothing is published. *)
 let commit ?(failpoint = false) ?(touches = []) db mutate =
   if db.in_commit then mutate ()
   else begin
     db.in_commit <- true;
+    db.pending_changes <- [];
+    db.pending_catalog <- false;
     let saved_rels = db.rels
     and saved_selectors = db.selectors
-    and saved_constructors = db.constructors in
+    and saved_constructors = db.constructors
+    and saved_maintainers = db.maintainers in
     let relevant =
       List.filter
         (fun m -> List.exists (fun n -> List.mem n m.mt_depends) touches)
@@ -206,17 +273,31 @@ let commit ?(failpoint = false) ?(touches = []) db mutate =
       let r = mutate () in
       if failpoint && !Guard.Failpoint.armed then
         Guard.Failpoint.hit "ivm.commit";
+      (match db.wal with
+      | Some h ->
+        h.wh_append
+          ~version:(db.published.Snapshot.version + 1)
+          ~catalog:db.pending_catalog ~changes:db.pending_changes
+      | None -> ());
       r
     with
     | r ->
+      db.pending_changes <- [];
+      db.pending_catalog <- false;
       db.in_commit <- false;
       publish db;
+      (match db.wal with
+      | Some h -> h.wh_published ~version:db.published.Snapshot.version
+      | None -> ());
       r
     | exception e ->
       db.rels <- saved_rels;
       db.selectors <- saved_selectors;
       db.constructors <- saved_constructors;
+      db.maintainers <- saved_maintainers;
       List.iter (fun restore -> restore ()) restores;
+      db.pending_changes <- [];
+      db.pending_catalog <- false;
       db.in_commit <- false;
       raise e
   end
@@ -241,16 +322,25 @@ let reset_last_stats db = db.last_stats <- None
 (* ------------------------------------------------------------------ *)
 (* Maintained views *)
 
+(* (Un)registration changes what future snapshots serve and, under a
+   WAL, what recovery must rebuild — so both ride through {!commit} like
+   any DDL: the maintainer list is journaled, and the durable layer cuts
+   a checkpoint capturing the registry's new shape. *)
 let register_maintainer db m =
-  (* latest registration for a name wins (re-MATERIALIZE replaces) *)
-  db.maintainers <-
-    m :: List.filter (fun m' -> not (String.equal m'.mt_name m.mt_name)) db.maintainers;
-  publish db
+  commit db (fun () ->
+      (* latest registration for a name wins (re-MATERIALIZE replaces) *)
+      db.maintainers <-
+        m
+        :: List.filter
+             (fun m' -> not (String.equal m'.mt_name m.mt_name))
+             db.maintainers;
+      mark_catalog db)
 
 let unregister_maintainer db name =
-  db.maintainers <-
-    List.filter (fun m -> not (String.equal m.mt_name name)) db.maintainers;
-  publish db
+  commit db (fun () ->
+      db.maintainers <-
+        List.filter (fun m -> not (String.equal m.mt_name name)) db.maintainers;
+      mark_catalog db)
 
 let maintainer_names db = List.map (fun m -> m.mt_name) db.maintainers
 
@@ -286,7 +376,9 @@ let invalidate_dependents db name =
 
 let declare db name schema =
   if SM.mem name db.rels then error "relation %s already declared" name;
-  commit db (fun () -> db.rels <- SM.add name (Relation.empty schema) db.rels)
+  commit db (fun () ->
+      db.rels <- SM.add name (Relation.empty schema) db.rels;
+      mark_catalog db)
 
 let get db name =
   match SM.find_opt name db.rels with
@@ -306,7 +398,10 @@ let set db name rel =
           not (Schema.compatible (Relation.schema old) (Relation.schema rel))
         then error "assignment to %s: incompatible relation type" name;
         db.rels <- SM.add name rel db.rels);
-      invalidate_dependents db name)
+      invalidate_dependents db name;
+      (* wholesale assignment has no replayable point delta; the durable
+         layer checkpoints instead of logging *)
+      mark_catalog db)
 
 let relation_names db = List.map fst (SM.bindings db.rels)
 
@@ -318,6 +413,7 @@ let relation_names db = List.map fst (SM.bindings db.rels)
 let apply_update db name updated ~added ~removed =
   commit db ~failpoint:true ~touches:[ name ] (fun () ->
       db.rels <- SM.add name updated db.rels;
+      log_changes db [ (name, added, removed) ];
       notify_update db name ~added ~removed)
 
 let insert db name tuple =
@@ -372,6 +468,7 @@ let update_batch db changes =
             (name, List.rev added_rev, List.rev removed_rev))
           changes
       in
+      log_changes db applied;
       let real = List.filter (fun (_, a, r) -> a <> [] || r <> []) applied in
       if real <> [] then
         if db.maintain then
@@ -436,7 +533,9 @@ let eval_env ?trace ?guard db =
 let define_selector db (def : Defs.selector_def) =
   (try Typecheck.check_selector_def (typecheck_env db) def
    with Typecheck.Error msg -> error "selector %s: %s" def.sel_name msg);
-  commit db (fun () -> db.selectors <- SM.add def.sel_name def db.selectors)
+  commit db (fun () ->
+      db.selectors <- SM.add def.sel_name def db.selectors;
+      mark_catalog db)
 
 (* Constructors may be mutually recursive, so groups are registered
    atomically: all signatures become visible, then every body is checked,
@@ -461,7 +560,8 @@ let define_constructors db (defs : Defs.constructor_def list) =
         | Ok () -> ()
         | Error (v :: _) -> error "%a" Positivity.pp_violation v
         | Error [] -> assert false
-      end)
+      end;
+      mark_catalog db)
 
 let define_constructor db def = define_constructors db [ def ]
 

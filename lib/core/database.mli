@@ -91,6 +91,43 @@ val prewarm : t -> string -> int list -> unit
     carried forward by reference across commits that don't change the
     relation.  Reader sessions borrow these instead of rebuilding. *)
 
+(** {1 Durability}
+
+    The write-ahead-log subsystem ([Dc_wal], a higher layer) plugs into
+    the commit point through closures, exactly like maintainers do. *)
+
+type wal_hooks = {
+  wh_append :
+    version:int ->
+    catalog:bool ->
+    changes:(string * Tuple.t list * Tuple.t list) list ->
+    unit;
+      (** called inside the commit, after mutation and maintenance
+          succeeded but {e before} the snapshot publishes: make the
+          commit durable ([changes] is the net point-update delta in
+          application order; [catalog] marks commits with no replayable
+          delta — DDL, wholesale assignment, view (un)registration —
+          which need a checkpoint instead).  Raising aborts the commit:
+          full rollback, nothing published. *)
+  wh_published : version:int -> unit;
+      (** called after publication (periodic checkpointing); an
+          exception propagates to the committer but the commit stands *)
+}
+
+val set_wal_hooks : t -> wal_hooks option -> unit
+
+val durable_lsn : t -> int
+(** LSN of the last durable record/checkpoint (0 = none / no WAL). *)
+
+val set_durable_lsn : t -> int -> unit
+(** Advance the durability watermark (also refreshed into the published
+    snapshot, without a version bump). Called by the WAL layer. *)
+
+val restore_version : t -> int -> unit
+(** Recovery only: force the published version counter so a replayed
+    commit republishes at exactly the logged version.  Never call this
+    on a live (serving) database. *)
+
 (** {1 Maintained views}
 
     The incremental-maintenance subsystem ([Dc_ivm], a higher layer)

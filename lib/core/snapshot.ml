@@ -39,9 +39,13 @@ type t = {
   limits : Guard.limits;
   views : frozen_view list;
   icache : Index_cache.t; (* frozen; prewarmed access paths *)
+  durable : int option;
+      (* LSN of the last durable WAL record / checkpoint covering this
+         state; [None] when the database has no write-ahead log attached *)
 }
 
 let version s = s.version
+let durable_lsn s = s.durable
 let relation_count s = SM.cardinal s.rels
 let relation_names s = List.map fst (SM.bindings s.rels)
 
@@ -98,7 +102,7 @@ let query ?guard s range =
   Eval.eval_range (eval_env ?guard s) range
 
 let pp_summary ppf s =
-  Fmt.pf ppf "version %d: %d relation%s, %d view%s%s" s.version
+  Fmt.pf ppf "version %d: %d relation%s, %d view%s%s%s" s.version
     (relation_count s)
     (if relation_count s = 1 then "" else "s")
     (List.length s.views)
@@ -106,3 +110,6 @@ let pp_summary ppf s =
     (match stale_views s with
     | [] -> ""
     | stale -> Fmt.str " (stale: %s)" (String.concat ", " stale))
+    (match s.durable with
+    | None -> ""
+    | Some lsn -> Fmt.str ", durable lsn %d" lsn)

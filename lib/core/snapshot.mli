@@ -32,9 +32,16 @@ type t = {
   limits : Dc_guard.Guard.limits;
   views : frozen_view list;
   icache : Index_cache.t;  (** frozen; prewarmed access paths *)
+  durable : int option;
+      (** LSN of the last durable WAL record / checkpoint covering this
+          state; [None] without an attached write-ahead log *)
 }
 
 val version : t -> int
+
+val durable_lsn : t -> int option
+(** Durability watermark at publication ([None] = no WAL attached). *)
+
 val relation_count : t -> int
 val relation_names : t -> string list
 val get : t -> string -> Relation.t option

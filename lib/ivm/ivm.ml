@@ -220,6 +220,35 @@ let constructor v = v.con
 let depends v = v.depends
 let is_stale v = v.status = Stale
 
+(* ------------------------------------------------------------------ *)
+(* Per-database view registry
+
+   [Database] only knows maintainers as opaque closures; the durability
+   layer needs the concrete views back (to checkpoint their stores and
+   derivation counts), so materialization keeps a side registry keyed by
+   physical database identity.  Single-writer discipline: mutated only on
+   the committing thread, like everything else behind the commit point. *)
+
+let registry : (Database.t * t list ref) list ref = ref []
+
+let registry_entry db =
+  match List.find_opt (fun (d, _) -> d == db) !registry with
+  | Some (_, e) -> e
+  | None ->
+    let e = ref [] in
+    registry := (db, e) :: !registry;
+    e
+
+let track view =
+  let e = registry_entry view.db in
+  e := view :: List.filter (fun v -> not (String.equal v.name view.name)) !e
+
+let untrack view =
+  let e = registry_entry view.db in
+  e := List.filter (fun v -> not (String.equal v.name view.name)) !e
+
+let views db = List.rev !(registry_entry db)
+
 let plan_kind v =
   match v.plan with
   | Incremental sccs ->
@@ -1151,12 +1180,101 @@ let materialize db ~constructor ~base ~args =
     }
   in
   refresh view;
-  Database.register_maintainer db (maintainer_of view);
+  (* track before registering: registration commits, and a durability
+     hook checkpointing inside that commit must already see the view *)
+  track view;
+  (try Database.register_maintainer db (maintainer_of view)
+   with e ->
+     untrack view;
+     raise e);
   if Obs.on () then Obs.Gauge.add (Lazy.force g_views) 1.;
   view
 
 let unregister view =
-  Database.unregister_maintainer view.db view.name;
+  (* untrack first, same reason: the unregistration commit's checkpoint
+     must no longer include the view *)
+  untrack view;
+  (try Database.unregister_maintainer view.db view.name
+   with e ->
+     track view;
+     raise e);
   if Obs.on () then Obs.Gauge.add (Lazy.force g_views) (-1.)
 
 let cardinal view = Facts.cardinal view.store view.query_pred
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint dump / restore (the durability layer's view of a view) *)
+
+type dump = {
+  dp_con : string;
+  dp_base : string;
+  dp_args : Ast.arg list;
+  dp_stale : bool;
+  dp_store : (string * Tuple.t list) list;
+  dp_supports : (string * (Tuple.t * int) list) list;
+}
+
+let support_counts view = Support.dump view.supports
+
+let dump view =
+  {
+    dp_con = view.con;
+    dp_base = view.base;
+    dp_args = view.args;
+    dp_stale = (view.status = Stale);
+    dp_store =
+      List.map
+        (fun p -> (p, TS.elements (Facts.find view.store p)))
+        (List.sort String.compare (Facts.preds view.store));
+    dp_supports = Support.dump view.supports;
+  }
+
+(* Rebuild a view from its checkpointed state: recompile the plan from
+   the catalog (the definitions must already be restored into [db]), then
+   adopt the dumped store, derivation counts, and staleness verbatim —
+   no refresh, no refixpoint.  The WAL replay that follows drives the
+   normal maintainer path, so recovery exercises exactly the machinery a
+   live update stream does. *)
+let restore db d =
+  let def =
+    match Database.constructor db d.dp_con with
+    | Some def -> def
+    | None -> error "restore: unknown constructor %s" d.dp_con
+  in
+  let range = Ast.Construct (Ast.Rel d.dp_base, d.dp_con, d.dp_args) in
+  let program, query_pred =
+    try Translate.of_application (translate_ctx db) range
+    with Translate.Unsupported msg ->
+      error "restore %s: not translatable (%s)" d.dp_con msg
+  in
+  let view =
+    {
+      db;
+      name = query_pred;
+      con = d.dp_con;
+      base = d.dp_base;
+      args = d.dp_args;
+      def;
+      program;
+      query_pred;
+      depends = SS.elements (Syntax.edb_preds program);
+      plan = compile_plan program;
+      supports = Support.create ();
+      store =
+        List.fold_left
+          (fun acc (p, ts) -> Facts.add_set acc p (TS.of_list ts))
+          (Facts.empty ()) d.dp_store;
+      status = (if d.dp_stale then Stale else Live);
+    }
+  in
+  List.iter
+    (fun (pred, rows) ->
+      List.iter (fun (t, n) -> Support.set view.supports pred t n) rows)
+    d.dp_supports;
+  track view;
+  (try Database.register_maintainer db (maintainer_of view)
+   with e ->
+     untrack view;
+     raise e);
+  if Obs.on () then Obs.Gauge.add (Lazy.force g_views) 1.;
+  view

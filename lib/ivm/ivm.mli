@@ -57,6 +57,38 @@ val cardinal : t -> int
 val refresh : t -> unit
 (** From-scratch resynchronization (also rebuilds derivation counts). *)
 
+(** {1 Checkpoint dump / restore}
+
+    The durability layer ([Dc_wal]) checkpoints each materialized view's
+    fact store and derivation counts alongside the base relations, so
+    recovery re-registers maintainers without refixpointing; the WAL
+    replay that follows drives the normal incremental path. *)
+
+val views : Database.t -> t list
+(** The views currently materialized over [db] (registration order). *)
+
+type dump = {
+  dp_con : string;
+  dp_base : string;
+  dp_args : Ast.arg list;
+  dp_stale : bool;
+  dp_store : (string * Tuple.t list) list;  (** per predicate, sorted *)
+  dp_supports : (string * (Tuple.t * int) list) list;
+      (** derivation counts of the counting predicates, sorted *)
+}
+
+val dump : t -> dump
+(** Deterministic full capture of the view's maintained state. *)
+
+val restore : Database.t -> dump -> t
+(** Recompile the maintenance plan from the (already restored) catalog
+    and adopt the dumped store/counts/staleness verbatim — no
+    refixpoint.  Registers the maintainer.  @raise Error if the dump's
+    constructor is unknown or no longer translatable. *)
+
+val support_counts : t -> (string * (Tuple.t * int) list) list
+(** Current derivation counts, sorted (differential-test hook). *)
+
 (** {1 Maintenance reports}
 
     Every update appends a report; [EXPLAIN ANALYZE] on an INSERT/DELETE

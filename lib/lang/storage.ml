@@ -7,11 +7,18 @@
 
    Layout:
      <dir>/catalog.dbpl      declarations, parser-compatible
-     <dir>/<relation>.csv    one file per relation variable            *)
+     <dir>/<relation>.csv    one file per relation variable
+
+   Saving is atomic at the directory level: everything is written into
+   <dir>.tmp, which is renamed into place only once complete — the old
+   state survives as <dir>.old for the instant of the swap, and [load]
+   falls back to it, so a crash at any point leaves a loadable database
+   (the [storage.save] failpoint drives the regression test). *)
 
 open Dc_relation
 open Dc_core
 open Dc_calculus
+module Failpoint = Dc_guard.Guard.Failpoint
 
 exception Storage_error of string
 
@@ -101,24 +108,17 @@ let render_constructor table buf (d : Defs.constructor_def) =
        d.con_name)
 
 (* ------------------------------------------------------------------ *)
-(* Save *)
+(* Catalog rendering / replay (also the WAL checkpoint's catalog image) *)
 
-let save db dir =
-  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
-  else if not (Sys.is_directory dir) then
-    storage_error "%s exists and is not a directory" dir;
+let render_catalog db =
   let table = { types = []; counter = 0 } in
-  let decls = Buffer.create 1024 in
-  (* relation variables (and their CSV payloads) *)
   let vars = Buffer.create 256 in
   List.iter
     (fun name ->
       let rel = Database.get db name in
       let tname = type_name_of table (Relation.schema rel) in
-      Buffer.add_string vars (Fmt.str "VAR %s: %s;\n" name tname);
-      Csv.save rel (Filename.concat dir (name ^ ".csv")))
+      Buffer.add_string vars (Fmt.str "VAR %s: %s;\n" name tname))
     (Database.relation_names db);
-  (* definitions (type names for their schemas registered on the fly) *)
   let defs = Buffer.create 256 in
   List.iter
     (fun name ->
@@ -135,25 +135,64 @@ let save db dir =
     (fun component -> List.iter (render_constructor table defs) component)
     (Positivity.sccs all_constructors);
   (* types first (collected while rendering), then vars, then defs *)
+  let decls = Buffer.create 1024 in
   List.iter (fun (n, s) -> render_type decls n s) table.types;
   Buffer.add_buffer decls vars;
   Buffer.add_buffer decls defs;
-  Out_channel.with_open_text (Filename.concat dir "catalog.dbpl") (fun oc ->
-      Out_channel.output_string oc (Buffer.contents decls))
+  Buffer.contents decls
+
+let load_catalog ?(db = Database.create ()) source =
+  let env = Elaborate.create db in
+  ignore (Elaborate.run env (Parser.parse source));
+  db
+
+(* ------------------------------------------------------------------ *)
+(* Save *)
+
+let rec rm_rf path =
+  match Sys.is_directory path with
+  | true ->
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Sys.rmdir path
+  | false -> Sys.remove path
+  | exception Sys_error _ -> ()
+
+let save db dir =
+  if Sys.file_exists dir && not (Sys.is_directory dir) then
+    storage_error "%s exists and is not a directory" dir;
+  let catalog = render_catalog db in
+  let tmp = dir ^ ".tmp" and old = dir ^ ".old" in
+  rm_rf tmp;
+  Sys.mkdir tmp 0o755;
+  List.iter
+    (fun name ->
+      Csv.save (Database.get db name) (Filename.concat tmp (name ^ ".csv"));
+      Failpoint.hit "storage.save")
+    (Database.relation_names db);
+  Out_channel.with_open_bin (Filename.concat tmp "catalog.dbpl") (fun oc ->
+      Out_channel.output_string oc catalog);
+  (* the swap: the previous state survives as <dir>.old for the one
+     unavoidable instant where <dir> itself does not exist *)
+  rm_rf old;
+  if Sys.file_exists dir then Sys.rename dir old;
+  Sys.rename tmp dir;
+  rm_rf old
 
 (* ------------------------------------------------------------------ *)
 (* Load *)
 
 let load ?(db = Database.create ()) dir =
-  let catalog = Filename.concat dir "catalog.dbpl" in
-  if not (Sys.file_exists catalog) then
-    storage_error "%s: no catalog.dbpl" dir;
-  let source = In_channel.with_open_text catalog In_channel.input_all in
-  let env = Elaborate.create db in
-  ignore (Elaborate.run env (Parser.parse source));
+  let catalog_in d = Filename.concat d "catalog.dbpl" in
+  let src =
+    if Sys.file_exists (catalog_in dir) then dir
+    else if Sys.file_exists (catalog_in (dir ^ ".old")) then dir ^ ".old"
+    else storage_error "%s: no catalog.dbpl" dir
+  in
+  let source = In_channel.with_open_text (catalog_in src) In_channel.input_all in
+  let db = load_catalog ~db source in
   List.iter
     (fun name ->
-      let path = Filename.concat dir (name ^ ".csv") in
+      let path = Filename.concat src (name ^ ".csv") in
       if Sys.file_exists path then begin
         let schema = Relation.schema (Database.get db name) in
         Database.set db name (Csv.load schema path)

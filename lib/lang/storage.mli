@@ -8,12 +8,22 @@ open Dc_core
 exception Storage_error of string
 
 val save : Database.t -> string -> unit
-(** [save db dir] writes [dir/catalog.dbpl] and [dir/<relation>.csv] files
-    (the directory is created if missing).  Mutually recursive
-    constructors are emitted adjacently, in dependency order.
-    @raise Storage_error *)
+(** [save db dir] writes [dir/catalog.dbpl] and [dir/<relation>.csv]
+    files, atomically at the directory level: everything lands in
+    [dir.tmp] which is renamed into place only once complete, so a crash
+    mid-save (the [storage.save] failpoint) leaves the previous state
+    loadable.  Mutually recursive constructors are emitted adjacently, in
+    dependency order.  @raise Storage_error *)
 
 val load : ?db:Database.t -> string -> Database.t
-(** Replay a saved database into a fresh (or given) database.
+(** Replay a saved database into a fresh (or given) database; falls back
+    to [dir.old] when [dir] lacks a catalog (a save crashed mid-swap).
     @raise Storage_error / parser / typechecking / positivity errors as
     the catalog is re-elaborated. *)
+
+val render_catalog : Database.t -> string
+(** The catalog as parser-compatible DBPL source — also the catalog image
+    a WAL checkpoint embeds. *)
+
+val load_catalog : ?db:Database.t -> string -> Database.t
+(** Elaborate catalog source into a fresh (or given) database (no CSVs). *)

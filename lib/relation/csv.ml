@@ -1,37 +1,68 @@
-(* Minimal CSV reader/writer for loading example data sets.
+(* CSV reader/writer for relation payloads.
 
-   Understands double-quoted fields with doubled-quote escapes, which is
-   all the bundled examples need.  Values are parsed against an expected
-   schema so load errors surface as type mismatches, not silent strings. *)
+   The reader is a whole-content character scanner, not line-based:
+   double-quoted fields may contain commas, doubled-quote escapes, and
+   raw newlines (so any string value round-trips), and rows may be
+   separated by LF or CRLF.  Values are parsed against an expected schema
+   so load errors surface as type mismatches, not silent strings.
+
+   Writer discipline: a field is quoted exactly when it trims to empty
+   or contains a comma, quote, CR, or LF — an unquoted empty field is
+   how a blank line is recognized (and skipped), so empty and
+   whitespace-only strings must be quoted to survive the trip in a
+   single-column relation. *)
 
 exception Parse_error of string
 
 let parse_error fmt = Fmt.kstr (fun s -> raise (Parse_error s)) fmt
 
-let split_line line =
+(* Whole-content scan into rows of raw field strings.  A row consisting
+   of a single unquoted all-whitespace field is a blank line and is
+   dropped; a quoted empty field ([""]) is data and survives. *)
+let parse_rows content =
+  let n = String.length content in
   let buf = Buffer.create 16 in
   let fields = ref [] in
-  let flush () =
+  let rows = ref [] in
+  let saw_quote = ref false in
+  let flush_field () =
     fields := Buffer.contents buf :: !fields;
     Buffer.clear buf
   in
-  let n = String.length line in
+  let flush_row () =
+    flush_field ();
+    (match (List.rev !fields, !saw_quote) with
+    | [ f ], false when String.trim f = "" -> () (* blank line *)
+    | row, _ -> rows := row :: !rows);
+    fields := [];
+    saw_quote := false
+  in
   let rec plain i =
-    if i >= n then flush ()
+    if i >= n then begin
+      if Buffer.length buf > 0 || !fields <> [] || !saw_quote then flush_row ()
+    end
     else
-      match line.[i] with
+      match content.[i] with
       | ',' ->
-        flush ();
+        flush_field ();
         plain (i + 1)
-      | '"' when Buffer.length buf = 0 -> quoted (i + 1)
+      | '\r' when i + 1 < n && content.[i + 1] = '\n' ->
+        flush_row ();
+        plain (i + 2)
+      | '\n' ->
+        flush_row ();
+        plain (i + 1)
+      | '"' when Buffer.length buf = 0 ->
+        saw_quote := true;
+        quoted (i + 1)
       | c ->
         Buffer.add_char buf c;
         plain (i + 1)
   and quoted i =
-    if i >= n then parse_error "unterminated quoted field: %s" line
+    if i >= n then parse_error "unterminated quoted field"
     else
-      match line.[i] with
-      | '"' when i + 1 < n && line.[i + 1] = '"' ->
+      match content.[i] with
+      | '"' when i + 1 < n && content.[i + 1] = '"' ->
         Buffer.add_char buf '"';
         quoted (i + 2)
       | '"' -> plain (i + 1)
@@ -40,7 +71,7 @@ let split_line line =
         quoted (i + 1)
   in
   plain 0;
-  List.rev !fields
+  List.rev !rows
 
 let parse_value ty s =
   match (ty : Value.ty) with
@@ -66,31 +97,24 @@ let parse_row schema fields =
       (List.length fields);
   Tuple.of_list (List.map2 parse_value types fields)
 
-let of_lines ?(header = true) schema lines =
-  let lines = if header then List.tl lines else lines in
+let of_string ?(header = true) schema content =
+  let rows = parse_rows content in
   let rows =
-    List.filter_map
-      (fun line ->
-        if String.trim line = "" then None
-        else Some (parse_row schema (split_line line)))
-      lines
+    if header then match rows with [] -> [] | _ :: tl -> tl else rows
   in
-  Relation.of_list schema rows
+  Relation.of_list schema (List.map (parse_row schema) rows)
+
+let of_lines ?header schema lines =
+  of_string ?header schema (String.concat "\n" lines)
 
 let load ?header schema path =
-  let ic = open_in path in
-  let rec read acc =
-    match In_channel.input_line ic with
-    | Some l -> read (l :: acc)
-    | None -> List.rev acc
-  in
-  let lines = read [] in
-  close_in ic;
-  of_lines ?header schema lines
+  of_string ?header schema (In_channel.with_open_bin path In_channel.input_all)
 
 let escape s =
-  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
-    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  if
+    String.equal (String.trim s) ""
+    || String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+  then "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
   else s
 
 let cell = function
@@ -100,10 +124,12 @@ let cell = function
   | Value.Float f -> string_of_float f
 
 let save ?(header = true) rel path =
-  let oc = open_out path in
+  let oc = open_out_bin path in
   if header then
     output_string oc
-      (String.concat "," (Schema.attr_names (Relation.schema rel)) ^ "\n");
+      (String.concat ","
+         (List.map escape (Schema.attr_names (Relation.schema rel)))
+      ^ "\n");
   Relation.iter
     (fun t ->
       output_string oc

@@ -1,19 +1,27 @@
-(** Minimal CSV I/O for relations, typed against a schema. *)
+(** CSV I/O for relations, typed against a schema.
+
+    Full value round-tripping: quoted fields may contain commas, doubled
+    quotes, and raw newlines; the writer quotes exactly the fields that
+    need it (including the empty string, which would otherwise read back
+    as a blank line). *)
 
 exception Parse_error of string
 
-val split_line : string -> string list
-(** Split one CSV line; supports double-quoted fields with doubled-quote
-    escapes. *)
+val parse_rows : string -> string list list
+(** Scan CSV content into rows of raw field strings (LF or CRLF row
+    separators; blank lines dropped; a quoted empty field survives).
+    @raise Parse_error on an unterminated quote. *)
 
 val parse_value : Value.ty -> string -> Value.t
 (** @raise Parse_error if the text does not parse at the expected type. *)
 
 val parse_row : Schema.t -> string list -> Tuple.t
 
+val of_string : ?header:bool -> Schema.t -> string -> Relation.t
+(** Build a relation from CSV content; [header] (default true) drops the
+    first row. *)
+
 val of_lines : ?header:bool -> Schema.t -> string list -> Relation.t
-(** Build a relation from CSV lines; [header] (default true) drops the
-    first line. *)
 
 val load : ?header:bool -> Schema.t -> string -> Relation.t
 (** Load a CSV file. *)

@@ -67,6 +67,17 @@ let snapshot (s : t) =
     Hashtbl.reset s;
     List.iter (fun (pred, tbl) -> Hashtbl.replace s pred tbl) saved
 
+(* Deterministic full dump — the checkpoint writer's view of the counts.
+   Sorted by predicate name, tuples by [Tuple.compare], so equal states
+   serialize identically. *)
+let dump (s : t) =
+  Hashtbl.fold
+    (fun pred tbl acc ->
+      let rows = HT.fold (fun t n acc -> (t, n) :: acc) tbl [] in
+      (pred, List.sort (fun (a, _) (b, _) -> Tuple.compare a b) rows) :: acc)
+    s []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
 let pp ppf (s : t) =
   Hashtbl.iter
     (fun pred tbl ->

@@ -31,4 +31,8 @@ val snapshot : t -> unit -> unit
 (** Capture the full state; the returned thunk restores it (rollback to
     the pre-update snapshot on a failed maintenance step). *)
 
+val dump : t -> (string * (Tuple.t * int) list) list
+(** Deterministic full dump, sorted by predicate then tuple — what a
+    checkpoint writes and recovery restores via {!set}. *)
+
 val pp : t Fmt.t

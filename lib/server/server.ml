@@ -31,6 +31,7 @@
 open Dc_core
 module Guard = Dc_guard.Guard
 module Obs = Dc_obs.Obs
+module Durable = Dc_wal.Durable
 
 exception Error of string
 
@@ -61,6 +62,7 @@ type job = unit -> unit
 
 type t = {
   db : Database.t;
+  wal : Durable.t option; (* durability: closed (final checkpoint) on shutdown *)
   max_sessions : int;
   default_limits : Guard.limits;
   m : Mutex.t; (* guards queue, session count, shutdown flag *)
@@ -94,10 +96,11 @@ let writer_loop srv () =
   in
   loop ()
 
-let create ?(max_sessions = 64) ?(limits = Guard.no_limits) db =
+let create ?(max_sessions = 64) ?(limits = Guard.no_limits) ?wal db =
   let srv =
     {
       db;
+      wal;
       max_sessions;
       default_limits = limits;
       m = Mutex.create ();
@@ -163,9 +166,23 @@ let shutdown srv =
   Mutex.unlock srv.m;
   match srv.writer with
   | Some th ->
+    (* the writer drains every queued job before exiting, so no commit is
+       cut off mid-flight; only then is the WAL checkpointed and closed *)
     Thread.join th;
-    srv.writer <- None
+    srv.writer <- None;
+    Option.iter Durable.close srv.wal
   | None -> ()
+
+(* Durability-first constructor: recover [dir] (creating it when new) and
+   serve the recovered database; [shutdown] then closes with a final
+   checkpoint. *)
+let open_durable ?max_sessions ?(limits = Guard.no_limits) ?checkpoint_every
+    dir =
+  let db = Database.create ~limits () in
+  let wal = Durable.open_dir ~db ?checkpoint_every dir in
+  create ?max_sessions ~limits ~wal db
+
+let durable srv = srv.wal
 
 (* ------------------------------------------------------------------ *)
 (* Sessions *)

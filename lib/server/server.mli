@@ -21,12 +21,29 @@ type t
 (** A running server: one database, one writer thread, many sessions. *)
 
 val create :
-  ?max_sessions:int -> ?limits:Dc_guard.Guard.limits -> Database.t -> t
+  ?max_sessions:int ->
+  ?limits:Dc_guard.Guard.limits ->
+  ?wal:Dc_wal.Durable.t ->
+  Database.t ->
+  t
 (** Start a server (and its writer thread) over [db].  [max_sessions]
     (default 64) bounds concurrently open sessions; [limits] is the
-    default per-session guard budget. *)
+    default per-session guard budget.  [wal] (which must be attached to
+    the same [db]) is closed — final checkpoint included — by
+    {!shutdown}. *)
+
+val open_durable :
+  ?max_sessions:int ->
+  ?limits:Dc_guard.Guard.limits ->
+  ?checkpoint_every:int ->
+  string ->
+  t
+(** Recover the data directory (creating it when new) and serve the
+    recovered database; {!shutdown} drains, checkpoints, and closes it. *)
 
 val db : t -> Database.t
+
+val durable : t -> Dc_wal.Durable.t option
 val session_count : t -> int
 val queue_depth : t -> int
 (** Writer-queue depth at this instant (pending write statements). *)
@@ -37,7 +54,8 @@ val submit : t -> (unit -> 'a) -> 'a
     called from the writer thread itself. *)
 
 val shutdown : t -> unit
-(** Stop accepting work, drain the queue, and join the writer thread. *)
+(** Stop accepting work, drain the queue, join the writer thread, and —
+    when serving durably — take a final checkpoint and close the WAL. *)
 
 (** {1 Sessions} *)
 

@@ -1,0 +1,45 @@
+(** Durability for the versioned store: a data directory holding a
+    checkpoint image plus a write-ahead log, wired into
+    {!Dc_core.Database}'s commit hooks.
+
+    Every data commit appends one CRC-framed, fsynced WAL record before
+    its snapshot publishes; catalog-shaped commits (DDL, wholesale
+    assignment, view (un)registration) write a full checkpoint instead;
+    periodic checkpoints bound the replay suffix.  A checkpoint captures
+    the catalog (as DBPL source), paged relation extents, and every
+    materialized view's fact store and derivation counts.
+
+    Recovery ([open_dir] on a non-empty directory) applies the
+    checkpoint, truncates any torn WAL tail, and replays the remaining
+    records through [Database.update_batch] — the ordinary commit path,
+    driving incremental view maintenance — arriving at exactly the last
+    durable version. *)
+
+open Dc_core
+
+exception Recovery_error of string
+
+type t
+
+val open_dir : ?db:Database.t -> ?checkpoint_every:int -> string -> t
+(** Open (creating if needed) a data directory and recover from it.
+    [db] supplies the database to recover into (default: a fresh one;
+    must not have conflicting declarations).  If [db] already has
+    committed state and the directory is empty, an initial checkpoint
+    roots it.  [checkpoint_every] (default 1024) is the number of logged
+    records between periodic checkpoints.
+    @raise Recovery_error on a corrupt checkpoint (torn WAL tails are
+    truncated silently — they are expected after a crash). *)
+
+val db : t -> Database.t
+(** The recovered, hook-attached database: commits on it are durable. *)
+
+val checkpoint : t -> unit
+(** Take a checkpoint now (graceful-shutdown path). *)
+
+val close : t -> unit
+(** Final checkpoint (unless redundant), detach hooks, close the log. *)
+
+val durable_lsn : t -> int
+val replayed : t -> int
+(** Number of WAL records replayed by [open_dir] (0 = clean start). *)

@@ -1,0 +1,168 @@
+(* The append-only write-ahead log.
+
+   One frame per committed version: the record carries its LSN, the
+   version it makes durable, and the net per-relation insert/delete
+   batches of that commit, in application order.  [append] writes the
+   frame and fsyncs before returning — the caller publishes the snapshot
+   only after the append returns, so an acknowledged commit is on disk.
+
+   Recovery ([load]) scans frames from the start; the first short,
+   CRC-corrupt, or undecodable frame marks a torn tail from a crash
+   mid-append, which is truncated away and never trusted — everything
+   before it is intact by construction (frames are written strictly
+   sequentially and fsynced in order).
+
+   Failpoint sites, arming the crash-matrix test:
+     wal.append    between the two halves of a frame write (torn record)
+     wal.fsync     after the full write, before the fsync
+     wal.truncate  in [reset], before the post-checkpoint truncation *)
+
+module Guard = Dc_guard.Guard
+module Failpoint = Guard.Failpoint
+module Obs = Dc_obs.Obs
+open Dc_relation
+
+type record = {
+  r_lsn : int;
+  r_version : int;
+  r_changes : (string * Tuple.t list * Tuple.t list) list;
+      (* (relation, inserted, deleted) in application order *)
+}
+
+type t = {
+  path : string;
+  fd : Unix.file_descr;
+  mutable pos : int; (* end of the last durable frame *)
+  mutable next_lsn : int;
+}
+
+let m_appends = lazy (Obs.Counter.make "dc_wal_appends_total")
+let m_fsync_ms = lazy (Obs.Histogram.make "dc_wal_fsync_ms")
+
+(* ------------------------------------------------------------------ *)
+(* Record payloads *)
+
+let encode_record r =
+  let buf = Buffer.create 256 in
+  Codec.varint buf r.r_lsn;
+  Codec.varint buf r.r_version;
+  Codec.varint buf (List.length r.r_changes);
+  List.iter
+    (fun (rel, added, removed) ->
+      Codec.string_ buf rel;
+      Codec.tuples buf added;
+      Codec.tuples buf removed)
+    r.r_changes;
+  Buffer.contents buf
+
+let decode_record payload =
+  let c = Codec.cursor payload in
+  let r_lsn = Codec.read_varint c in
+  let r_version = Codec.read_varint c in
+  let n = Codec.read_varint c in
+  let r_changes =
+    List.init n (fun _ ->
+        let rel = Codec.read_string c in
+        let added = Codec.read_tuples c in
+        let removed = Codec.read_tuples c in
+        (rel, added, removed))
+  in
+  if not (Codec.at_end c) then
+    raise (Codec.Corrupt "trailing bytes in wal record");
+  { r_lsn; r_version; r_changes }
+
+(* ------------------------------------------------------------------ *)
+(* File operations *)
+
+let write_all fd s pos len =
+  let written = ref 0 in
+  while !written < len do
+    written :=
+      !written + Unix.write_substring fd s (pos + !written) (len - !written)
+  done
+
+let truncate_to t pos =
+  Unix.ftruncate t.fd pos;
+  ignore (Unix.lseek t.fd pos Unix.SEEK_SET);
+  t.pos <- pos
+
+(* Scan [data] frame by frame; a bad frame is the torn tail.  Returns the
+   decoded records and the clean length. *)
+let scan data =
+  let records = ref [] in
+  let pos = ref 0 in
+  (try
+     while !pos < String.length data do
+       let payload, next = Codec.read_frame data !pos in
+       records := decode_record payload :: !records;
+       pos := next
+     done
+   with Codec.Corrupt _ -> ());
+  (List.rev !records, !pos)
+
+let load path =
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+  let size = (Unix.fstat fd).Unix.st_size in
+  let data =
+    if size = 0 then ""
+    else begin
+      let b = Bytes.create size in
+      let read = ref 0 in
+      while !read < size do
+        let n = Unix.read fd b !read (size - !read) in
+        if n = 0 then raise (Codec.Corrupt "wal shrank while reading");
+        read := !read + n
+      done;
+      Bytes.unsafe_to_string b
+    end
+  in
+  let records, clean = scan data in
+  let t = { path; fd; pos = clean; next_lsn = 1 } in
+  (* truncate the torn tail so the next append lands on a clean frame
+     boundary *)
+  if clean < size then truncate_to t clean else ignore (Unix.lseek fd clean Unix.SEEK_SET);
+  List.iter (fun r -> t.next_lsn <- max t.next_lsn (r.r_lsn + 1)) records;
+  (t, records)
+
+let append t ~version ~changes =
+  let lsn = t.next_lsn in
+  let frame =
+    Codec.frame_string
+      (encode_record { r_lsn = lsn; r_version = version; r_changes = changes })
+  in
+  let len = String.length frame in
+  (try
+     (* two-part write with the failpoint in between: an injected crash
+        here leaves exactly the torn record recovery must discard *)
+     let half = len / 2 in
+     write_all t.fd frame 0 half;
+     Failpoint.hit "wal.append";
+     write_all t.fd frame half (len - half);
+     Failpoint.hit "wal.fsync";
+     let t0 = if Obs.on () then Obs.now_ms () else 0. in
+     Unix.fsync t.fd;
+     if Obs.on () then begin
+       Obs.Histogram.observe (Lazy.force m_fsync_ms) (Obs.now_ms () -. t0);
+       Obs.Counter.inc (Lazy.force m_appends)
+     end
+   with
+  | Guard.Exhausted (Guard.Fault_injected _, _) as e ->
+    (* simulated crash: leave the torn bytes on disk, like a real kill *)
+    raise e
+  | e ->
+    (* real I/O failure mid-append: restore the clean boundary so the
+       commit's rollback leaves the log exactly as before *)
+    (try truncate_to t t.pos with _ -> ());
+    raise e);
+  t.pos <- t.pos + len;
+  t.next_lsn <- lsn + 1;
+  lsn
+
+let reset t =
+  Failpoint.hit "wal.truncate";
+  truncate_to t 0;
+  Unix.fsync t.fd
+
+let set_next_lsn t lsn = t.next_lsn <- max t.next_lsn lsn
+let next_lsn t = t.next_lsn
+let close t = Unix.close t.fd

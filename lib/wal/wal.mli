@@ -1,0 +1,37 @@
+(** The append-only write-ahead log: one CRC-framed record per committed
+    version, fsynced before the commit's snapshot publishes.  Recovery
+    scans from the start and truncates the first torn or corrupt frame —
+    a crash mid-append loses only the unacknowledged commit. *)
+
+open Dc_relation
+
+type record = {
+  r_lsn : int;
+  r_version : int;
+  r_changes : (string * Tuple.t list * Tuple.t list) list;
+      (** (relation, inserted, deleted), in application order *)
+}
+
+type t
+
+val load : string -> t * record list
+(** Open (creating if absent) and scan the log: the intact records in
+    order, with any torn tail truncated away.  The handle is positioned
+    for appending. *)
+
+val append : t -> version:int -> changes:(string * Tuple.t list * Tuple.t list) list -> int
+(** Append one record and fsync; returns its LSN.  On an injected fault
+    ([wal.append]/[wal.fsync]) the torn bytes stay on disk, like a real
+    crash; on a real I/O error the clean boundary is restored.
+    @raise Dc_guard.Guard.Exhausted / [Unix.Unix_error] *)
+
+val reset : t -> unit
+(** Truncate to empty (after a checkpoint made the log redundant); the
+    [wal.truncate] failpoint fires first. *)
+
+val set_next_lsn : t -> int -> unit
+(** Raise the next LSN to at least [lsn] (checkpoint LSNs share the
+    sequence). *)
+
+val next_lsn : t -> int
+val close : t -> unit

@@ -1,0 +1,215 @@
+(* Persistence: CSV value round-tripping and the atomic directory-level
+   save (lib/relation/csv, lib/lang/storage).
+
+   A qcheck property drives randomized string relations — arbitrary
+   bytes, so commas, quotes, CR/LF, empty and whitespace-only fields all
+   occur — through [Csv.save]/[Csv.load] and demands extent equality;
+   deterministic units pin the named edge cases and the mixed-type
+   column formats.  The storage units crash a [Storage.save] halfway
+   through its relation files (the [storage.save] failpoint) and require
+   the previous directory generation to remain loadable — the atomicity
+   contract the WAL checkpoint writer also relies on. *)
+
+open Dc_relation
+module Database = Dc_core.Database
+module Storage = Dc_lang.Storage
+module Guard = Dc_guard.Guard
+
+let rel_testable = Alcotest.testable Relation.pp Relation.equal
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Unix.rmdir path
+  | _ -> Unix.unlink path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let counter = ref 0
+
+let fresh_path tag =
+  incr counter;
+  let p =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Fmt.str "dc_storage_test_%d_%s_%d" (Unix.getpid ()) tag !counter)
+  in
+  rm_rf p;
+  rm_rf (p ^ ".old");
+  rm_rf (p ^ ".tmp");
+  p
+
+(* ------------------------------------------------------------------ *)
+(* CSV round-trips *)
+
+let pair_schema = Schema.make [ ("a", Value.TStr); ("b", Value.TStr) ]
+let single_schema = Schema.make [ ("a", Value.TStr) ]
+
+let roundtrip schema rel =
+  let path = fresh_path "csv" ^ ".csv" in
+  Csv.save rel path;
+  let back = Csv.load schema path in
+  Sys.remove path;
+  back
+
+let test_csv_edge_cases () =
+  let nasty =
+    [
+      ("plain", "field");
+      ("comma, inside", "and another, one");
+      ("a \"quoted\" field", "\"\"");
+      ("line\nbreak", "crlf\r\nbreak");
+      ("", "empty left");
+      ("   ", "\t");
+      ("trailing space ", " leading");
+      ("unicode: héllo…", "bytes \xff\x00ok");
+    ]
+  in
+  let rel =
+    Relation.of_list pair_schema
+      (List.map
+         (fun (a, b) -> Tuple.of_list [ Value.str a; Value.str b ])
+         nasty)
+  in
+  Alcotest.check rel_testable "nasty pairs survive" rel
+    (roundtrip pair_schema rel);
+  (* single column: empty and whitespace-only fields must not read back
+     as skippable blank lines *)
+  let rel1 =
+    Relation.of_list single_schema
+      (List.map
+         (fun s -> Tuple.of_list [ Value.str s ])
+         [ ""; " "; "\t"; "x" ])
+  in
+  Alcotest.check rel_testable "blank-ish singletons survive" rel1
+    (roundtrip single_schema rel1)
+
+let test_csv_mixed_types () =
+  let schema =
+    Schema.make
+      [
+        ("i", Value.TInt);
+        ("s", Value.TStr);
+        ("b", Value.TBool);
+        ("f", Value.TFloat);
+      ]
+  in
+  let row i s b f =
+    Tuple.of_list [ Value.Int i; Value.str s; Value.Bool b; Value.Float f ]
+  in
+  let rel =
+    Relation.of_list schema
+      [
+        row 0 "zero" true 0.;
+        row (-42) "neg, comma" false (-1.5);
+        row max_int "max" true 0.25;
+        row min_int "min" false 1e9;
+      ]
+  in
+  Alcotest.check rel_testable "mixed types survive" rel (roundtrip schema rel)
+
+let test_csv_crlf_and_blanks () =
+  let content = "a,b\r\nx,y\r\n\r\n\nu,v\n   \n" in
+  let rel = Csv.of_string pair_schema content in
+  let want =
+    Relation.of_list pair_schema
+      [
+        Tuple.of_list [ Value.str "x"; Value.str "y" ];
+        Tuple.of_list [ Value.str "u"; Value.str "v" ];
+      ]
+  in
+  Alcotest.check rel_testable "crlf rows, blank lines skipped" want rel
+
+let prop_csv_roundtrip =
+  let field = QCheck.string_of QCheck.Gen.char in
+  let arb =
+    QCheck.list_of_size (QCheck.Gen.int_bound 30) (QCheck.pair field field)
+  in
+  QCheck.Test.make ~name:"csv save/load round-trips arbitrary byte strings"
+    ~count:200 arb (fun pairs ->
+      let rel =
+        Relation.of_list pair_schema
+          (List.map
+             (fun (a, b) -> Tuple.of_list [ Value.str a; Value.str b ])
+             pairs)
+      in
+      Relation.equal rel (roundtrip pair_schema rel))
+
+(* ------------------------------------------------------------------ *)
+(* Atomic directory-level save *)
+
+let chain_rel n =
+  Dc_workload.Graph_gen.chain n
+
+let build_db () =
+  let db = Database.create () in
+  Database.declare db "edge" Dc_workload.Graph_gen.edge_schema;
+  Database.declare db "other" Dc_workload.Graph_gen.edge_schema;
+  Database.set db "edge" (chain_rel 4);
+  Database.set db "other" (chain_rel 2);
+  db
+
+let check_loaded msg dir ~edge ~other =
+  let back = Storage.load dir in
+  Alcotest.check rel_testable (msg ^ ": edge") edge (Database.get back "edge");
+  Alcotest.check rel_testable
+    (msg ^ ": other")
+    other
+    (Database.get back "other")
+
+let test_atomic_save_crash () =
+  Guard.Failpoint.reset ();
+  Fun.protect ~finally:Guard.Failpoint.reset @@ fun () ->
+  let dir = fresh_path "atomic" in
+  let db = build_db () in
+  Storage.save db dir;
+  check_loaded "first save" dir ~edge:(chain_rel 4) ~other:(chain_rel 2);
+  (* mutate, then crash the next save after its first relation file:
+     the directory must still load the previous generation *)
+  Database.update_batch db [ ("edge", [], Relation.to_list (chain_rel 4)) ];
+  Database.set db "edge" (chain_rel 6);
+  Guard.Failpoint.arm "storage.save" 1;
+  (match Storage.save db dir with
+  | () -> Alcotest.fail "armed storage.save did not crash"
+  | exception Guard.Exhausted (Guard.Fault_injected "storage.save", _) -> ());
+  check_loaded "after crashed save" dir ~edge:(chain_rel 4)
+    ~other:(chain_rel 2);
+  (* and a later save recovers cleanly over the leftover temp dir *)
+  Storage.save db dir;
+  check_loaded "save after crash" dir ~edge:(chain_rel 6)
+    ~other:(chain_rel 2);
+  rm_rf dir
+
+let test_save_overwrites_previous () =
+  let dir = fresh_path "overwrite" in
+  let db = build_db () in
+  Storage.save db dir;
+  Database.set db "other" (chain_rel 5);
+  Storage.save db dir;
+  check_loaded "second generation" dir ~edge:(chain_rel 4)
+    ~other:(chain_rel 5);
+  rm_rf dir
+
+(* ------------------------------------------------------------------ *)
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "dc_storage"
+    [
+      ( "csv",
+        [
+          Alcotest.test_case "edge cases" `Quick test_csv_edge_cases;
+          Alcotest.test_case "mixed types" `Quick test_csv_mixed_types;
+          Alcotest.test_case "crlf and blank lines" `Quick
+            test_csv_crlf_and_blanks;
+        ]
+        @ qcheck [ prop_csv_roundtrip ] );
+      ( "storage",
+        [
+          Alcotest.test_case "atomic save survives a crash" `Quick
+            test_atomic_save_crash;
+          Alcotest.test_case "save replaces the previous generation" `Quick
+            test_save_overwrites_previous;
+        ] );
+    ]
