@@ -26,8 +26,9 @@ bench-ivm:
 bench-par:
 	dune exec bench/main.exe -- parallel
 
-# Mixed read/write throughput through the serving layer at 1-64
-# simulated client sessions (snapshot reads + serialized writes).
+# Mixed read/write throughput through the serving layer: in-process
+# sessions at 1-64 clients, real socket clients over the wire protocol
+# at 1-16, and group-commit throughput under a 16-client write burst.
 bench-serve:
 	dune exec bench/main.exe -- serve
 

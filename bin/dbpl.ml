@@ -328,7 +328,18 @@ let serve_cmd =
              every commit, checkpoint on shutdown (including SIGINT and \
              SIGTERM)")
   in
-  let serve files init load max_sessions limits () data =
+  let listen_addrs =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "listen" ] ~docv:"ADDR"
+          ~doc:
+            "Serve the wire protocol on $(docv): unix:/path, /path, \
+             tcp:host:port, host:port, or a bare port (binds 127.0.0.1; \
+             port 0 picks an ephemeral port).  Repeatable.  The process \
+             then serves until SIGINT/SIGTERM")
+  in
+  let serve files init load max_sessions limits () data listen_addrs =
     handle_errors @@ fun () ->
     let db = Dc_core.Database.create ~limits () in
     (match load with
@@ -336,12 +347,24 @@ let serve_cmd =
     | None -> ());
     let wal = Option.map (Dc_wal.Durable.open_dir ~db) data in
     let srv = Dc_server.Server.create ~max_sessions ~limits ?wal db in
-    (* graceful shutdown: stop admitting, let the writer drain its queue
-       (no commit dies mid-flight), take a final checkpoint, exit *)
+    let listeners =
+      List.map
+        (fun a ->
+          match Dc_net.Net.addr_of_string a with
+          | Some addr -> Dc_net.Net.listen srv addr
+          | None ->
+            Fmt.epr "invalid --listen address: %s@." a;
+            exit 1)
+        listen_addrs
+    in
+    (* graceful shutdown: stop admitting, disconnect network clients, let
+       the writer drain its queue (no commit dies mid-flight), take a
+       final checkpoint, exit *)
     let graceful signame =
       Sys.Signal_handle
         (fun _ ->
           Fmt.epr "@.%s: draining writer and checkpointing...@." signame;
+          List.iter Dc_net.Net.stop listeners;
           (try Dc_server.Server.shutdown srv
            with e -> Fmt.epr "shutdown failed: %s@." (Printexc.to_string e));
           exit 0)
@@ -358,6 +381,7 @@ let serve_cmd =
     | Some f -> print_string (run_session (read_file f))
     | None -> ());
     (match files with
+    | [] when listeners <> [] -> ()
     | [] ->
       (* interactive single-session console over the server *)
       let s = Dc_server.Server.open_session srv in
@@ -427,7 +451,21 @@ let serve_cmd =
           | Ok out -> print_string out
           | Error e -> Fmt.pr "session failed: %s@." (Printexc.to_string e))
         results);
-    Dc_server.Server.shutdown srv
+    match listeners with
+    | [] -> Dc_server.Server.shutdown srv
+    | listeners ->
+      List.iter
+        (fun l ->
+          match Dc_net.Net.bound_addr l with
+          | Unix.ADDR_UNIX path -> Fmt.pr "listening on unix:%s@." path
+          | Unix.ADDR_INET (a, p) ->
+            Fmt.pr "listening on tcp:%s:%d@." (Unix.string_of_inet_addr a) p)
+        listeners;
+      Format.pp_print_flush Format.std_formatter ();
+      (* serve until a signal; the handlers above exit the process *)
+      while true do
+        Thread.delay 3600.
+      done
   in
   Cmd.v
     (Cmd.info "serve"
@@ -436,11 +474,89 @@ let serve_cmd =
           interactive console)")
     Term.(
       const serve $ files $ init_file $ load_dir $ max_sessions $ limit_flags
-      $ domains_flag $ data_dir)
+      $ domains_flag $ data_dir $ listen_addrs)
+
+(* Wire-protocol client: run -e statements (or an interactive console)
+   against a remote [dbpl serve --listen]. *)
+let connect_cmd =
+  let addr =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"ADDR"
+          ~doc:"Server address: unix:/path, /path, tcp:host:port, or host:port")
+  in
+  let stmts =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "e"; "execute" ] ~docv:"STMT"
+          ~doc:"Execute $(docv) and print its output (repeatable); without \
+                $(opt), statements are read interactively")
+  in
+  let connect addr stmts =
+    let a =
+      match Dc_net.Net.addr_of_string addr with
+      | Some a -> a
+      | None ->
+        Fmt.epr "invalid address: %s@." addr;
+        exit 1
+    in
+    let c =
+      try Dc_net.Net.Client.connect a
+      with
+      | Unix.Unix_error (e, _, _) ->
+        Fmt.epr "cannot connect to %a: %s@." Dc_net.Net.pp_addr a
+          (Unix.error_message e);
+        exit 1
+      | Dc_net.Wire.Protocol_error msg ->
+        Fmt.epr "handshake with %a failed: %s@." Dc_net.Net.pp_addr a msg;
+        exit 1
+    in
+    let run src =
+      try print_string (Dc_net.Net.Client.exec c src) with
+      | Dc_net.Net.Client.Remote (code, msg) ->
+        Fmt.pr "%a error: %s@." Dc_net.Wire.pp_error_code code msg
+      | Dc_net.Net.Timeout -> Fmt.pr "request timed out@."
+    in
+    (match stmts with
+    | _ :: _ -> List.iter run stmts
+    | [] ->
+      Fmt.pr "dbpl connect — %a.  End statements with ';'; Ctrl-D exits.@."
+        Dc_net.Net.pp_addr a;
+      let buffer = Buffer.create 256 in
+      let rec loop () =
+        Fmt.pr (if Buffer.length buffer = 0 then "dbpl> " else "  ... ");
+        Format.pp_print_flush Format.std_formatter ();
+        match In_channel.input_line stdin with
+        | None -> Fmt.pr "@."
+        | Some line ->
+          Buffer.add_string buffer line;
+          Buffer.add_char buffer '\n';
+          let text = Buffer.contents buffer in
+          let trimmed = String.trim text in
+          if trimmed = "" then begin
+            Buffer.clear buffer;
+            loop ()
+          end
+          else if trimmed.[String.length trimmed - 1] = ';' then begin
+            Buffer.clear buffer;
+            run text;
+            loop ()
+          end
+          else loop ()
+      in
+      loop ());
+    Dc_net.Net.Client.close c
+  in
+  Cmd.v
+    (Cmd.info "connect"
+       ~doc:"Connect to a serving dbpl over the wire protocol")
+    Term.(const connect $ addr $ stmts)
 
 let () =
   let doc = "DBPL with data constructors (Jarke, Linnemann & Schmidt, VLDB 1985)" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "dbpl" ~doc)
-          [ run_cmd; check_cmd; repl_cmd; serve_cmd ]))
+          [ run_cmd; check_cmd; repl_cmd; serve_cmd; connect_cmd ]))

@@ -1,0 +1,566 @@
+(* The network front end: a Unix-socket/TCP listener serving the wire
+   protocol over Server sessions, and the client used by tests, bench,
+   and [dbpl connect].
+
+   Thread model: one accept thread per listener, one thread per
+   connection.  Connection threads spend their lives blocked in
+   [Unix.select]/[read]/[write] (releasing the runtime lock) or inside
+   [Server] calls — reads evaluate on pool worker domains, writes block
+   on the writer's group commit.  The writer thread itself never touches
+   a socket, so a slow, stalled, or hostile peer can only ever wedge its
+   own connection thread:
+
+   - the length prefix of an incoming frame is validated against this
+     side's [max_frame] before one body byte is read or allocated, so a
+     hostile peer cannot balloon memory;
+   - every read and write of an in-flight frame runs under [io_timeout];
+     a peer that stalls mid-frame is disconnected — only *waiting for a
+     new request* (the idle gap between statements) is exempt;
+   - any protocol violation (bad CRC, unknown tag, oversized claim)
+     earns a best-effort [Err Protocol] response and a closed
+     connection, never a crash.
+
+   Instruments: dc_net_connections (gauge), dc_net_connections_total,
+   dc_net_frames_total{dir}, dc_net_bytes_total{dir},
+   dc_net_protocol_errors_total, dc_net_requests_total{kind}. *)
+
+open Dc_relation
+open Dc_core
+module Codec = Dc_wal.Codec
+module Guard = Dc_guard.Guard
+module Obs = Dc_obs.Obs
+module Server = Dc_server.Server
+
+exception Timeout
+
+(* a peer closing mid-write must surface as EPIPE on the offending
+   connection, not kill the whole process *)
+let ignore_sigpipe =
+  lazy (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with _ -> ())
+
+type addr = Unix_sock of string | Tcp of string * int
+
+let pp_addr ppf = function
+  | Unix_sock path -> Fmt.pf ppf "unix:%s" path
+  | Tcp (host, port) -> Fmt.pf ppf "tcp:%s:%d" host port
+
+(* "unix:/path", "/path", "tcp:host:port", "host:port", ":port", "port" *)
+let addr_of_string s =
+  let s = String.trim s in
+  let tcp rest =
+    match String.rindex_opt rest ':' with
+    | Some i ->
+      let host = String.sub rest 0 i in
+      let port = String.sub rest (i + 1) (String.length rest - i - 1) in
+      let host = if host = "" then "127.0.0.1" else host in
+      (match int_of_string_opt port with
+      | Some p when p >= 0 && p < 65536 -> Some (Tcp (host, p))
+      | _ -> None)
+    | None -> (
+      match int_of_string_opt rest with
+      | Some p when p >= 0 && p < 65536 -> Some (Tcp ("127.0.0.1", p))
+      | _ -> None)
+  in
+  if s = "" then None
+  else if String.length s >= 5 && String.sub s 0 5 = "unix:" then
+    Some (Unix_sock (String.sub s 5 (String.length s - 5)))
+  else if String.length s >= 4 && String.sub s 0 4 = "tcp:" then
+    tcp (String.sub s 4 (String.length s - 4))
+  else if s.[0] = '/' || s.[0] = '.' then Some (Unix_sock s)
+  else tcp s
+
+(* ------------------------------------------------------------------ *)
+(* Instruments *)
+
+let g_conns = lazy (Obs.Gauge.make "dc_net_connections")
+let c_conns = lazy (Obs.Counter.make "dc_net_connections_total")
+let c_proto_errors = lazy (Obs.Counter.make "dc_net_protocol_errors_total")
+
+let dir_counter name dir = Obs.Counter.make ~labels:[ ("dir", dir) ] name
+let c_frames_in = lazy (dir_counter "dc_net_frames_total" "in")
+let c_frames_out = lazy (dir_counter "dc_net_frames_total" "out")
+let c_bytes_in = lazy (dir_counter "dc_net_bytes_total" "in")
+let c_bytes_out = lazy (dir_counter "dc_net_bytes_total" "out")
+
+let c_requests kind =
+  Obs.Counter.make ~labels:[ ("kind", kind) ] "dc_net_requests_total"
+
+let c_req_stmt = lazy (c_requests "stmt")
+let c_req_query = lazy (c_requests "query")
+let c_req_other = lazy (c_requests "other")
+
+(* ------------------------------------------------------------------ *)
+(* Timed frame I/O over a file descriptor *)
+
+(* [timeout < 0.] means wait forever. *)
+let wait_io ~read fd timeout =
+  let r, w = if read then ([ fd ], []) else ([], [ fd ]) in
+  let rec wait () =
+    match Unix.select r w [] timeout with
+    | [], [], [] -> raise Timeout
+    | _ -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
+  in
+  wait ()
+
+(* Read exactly [len] bytes under [timeout] per chunk.  [eof_ok] permits
+   a clean end-of-stream before the first byte (returns [None]). *)
+let read_exact ?(eof_ok = false) fd ~timeout len =
+  let buf = Bytes.create len in
+  let got = ref 0 in
+  let eof = ref false in
+  while !got < len && not !eof do
+    wait_io ~read:true fd timeout;
+    match Unix.read fd buf !got (len - !got) with
+    | 0 ->
+      if eof_ok && !got = 0 then eof := true
+      else raise (Wire.Protocol_error "connection closed mid-frame")
+    | n -> got := !got + n
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+  done;
+  if !eof then None else Some (Bytes.unsafe_to_string buf)
+
+let write_all fd ~timeout s =
+  let len = String.length s in
+  let sent = ref 0 in
+  while !sent < len do
+    wait_io ~read:false fd timeout;
+    match Unix.write_substring fd s !sent (len - !sent) with
+    | n -> sent := !sent + n
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+  done;
+  if Obs.on () then Obs.Counter.add (Lazy.force c_bytes_out) len
+
+(* Receive one frame payload.  The 8-byte header is read first and its
+   declared length checked against [max_frame] before any body byte is
+   read — an oversized claim never allocates.  [idle] bounds the wait
+   for the first header byte (the between-requests gap); [timeout]
+   bounds every subsequent chunk. *)
+let recv_frame ?(idle = -1.) fd ~timeout ~max_frame =
+  wait_io ~read:true fd idle;
+  match read_exact ~eof_ok:true fd ~timeout 8 with
+  | None -> None
+  | Some header ->
+    let c = Codec.cursor header in
+    let len = Codec.read_u32 c in
+    let crc = Codec.read_u32 c in
+    if len > max_frame then
+      raise
+        (Wire.Protocol_error
+           (Fmt.str "frame of %d bytes exceeds max_frame %d" len max_frame));
+    let payload =
+      match read_exact fd ~timeout len with
+      | Some p -> p
+      | None -> assert false (* eof_ok is false *)
+    in
+    if Codec.crc32 payload <> crc then
+      raise (Wire.Protocol_error "frame CRC mismatch");
+    if Obs.on () then begin
+      Obs.Counter.inc (Lazy.force c_frames_in);
+      Obs.Counter.add (Lazy.force c_bytes_in) (len + 8)
+    end;
+    Some payload
+
+let send_frame fd ~timeout payload =
+  write_all fd ~timeout (Codec.frame_string payload);
+  if Obs.on () then Obs.Counter.inc (Lazy.force c_frames_out)
+
+(* ------------------------------------------------------------------ *)
+(* Error taxonomy *)
+
+let classify_exn : exn -> Wire.error_code * string = function
+  | Dc_lang.Lexer.Lex_error m | Dc_lang.Parser.Parse_error m -> (Wire.Parse, m)
+  | Dc_calculus.Typecheck.Error m -> (Wire.Type, m)
+  | Dc_lang.Elaborate.Elab_error m
+  | Dc_lang.Storage.Storage_error m
+  | Database.Error m
+  | Dc_ivm.Ivm.Error m
+  | Dc_calculus.Eval.Runtime_error m
+  | Fixpoint.Divergence m
+  | Relation.Key_violation m
+  | Selector.Selector_violation m ->
+    (Wire.Semantic, m)
+  | Guard.Exhausted (reason, progress) ->
+    (Wire.Limit, Fmt.str "%a" Guard.pp_report (reason, progress))
+  | Server.Error m -> (Wire.Server, m)
+  | Wire.Protocol_error m | Codec.Corrupt m -> (Wire.Protocol, m)
+  | e -> (Wire.Internal, Printexc.to_string e)
+
+(* ------------------------------------------------------------------ *)
+(* Listener *)
+
+type conn = { c_fd : Unix.file_descr; mutable c_thread : Thread.t option }
+
+type listener = {
+  srv : Server.t;
+  addr : addr;
+  lfd : Unix.file_descr;
+  sockaddr : Unix.sockaddr;
+  max_frame : int;
+  io_timeout : float;
+  idle_timeout : float;
+  m : Mutex.t;
+  mutable conns : conn list;
+  mutable accept_thread : Thread.t option;
+  mutable stopping : bool;
+}
+
+let bound_addr l = Unix.getsockname l.lfd
+
+let bound_port l =
+  match bound_addr l with
+  | Unix.ADDR_INET (_, port) -> port
+  | Unix.ADDR_UNIX _ -> invalid_arg "Net.bound_port: unix socket"
+
+let connection_count l = Mutex.protect l.m (fun () -> List.length l.conns)
+
+let handle_request l session = function
+  | Wire.Stmt src ->
+    if Obs.on () then Obs.Counter.inc (Lazy.force c_req_stmt);
+    Wire.Output (Server.execute session src)
+  | Wire.Query src ->
+    if Obs.on () then Obs.Counter.inc (Lazy.force c_req_query);
+    let rel, version = Server.query_string session src in
+    Wire.Rows
+      {
+        version;
+        columns = Schema.attr_names (Relation.schema rel);
+        tuples = Relation.to_list rel;
+      }
+  | Wire.Snapshot ->
+    if Obs.on () then Obs.Counter.inc (Lazy.force c_req_other);
+    let snap = Database.snapshot (Server.db l.srv) in
+    Wire.Snap
+      {
+        version = Snapshot.version snap;
+        durable_lsn = Snapshot.durable_lsn snap;
+        relations = Snapshot.relation_count snap;
+        views = List.length (Snapshot.view_names snap);
+        summary = Fmt.str "%a" Snapshot.pp_summary snap;
+      }
+  | Wire.Metrics fmt ->
+    if Obs.on () then Obs.Counter.inc (Lazy.force c_req_other);
+    Wire.Metrics_body
+      (match fmt with `Text -> Obs.to_prometheus () | `Json -> Obs.to_json ())
+  | Wire.Bye ->
+    if Obs.on () then Obs.Counter.inc (Lazy.force c_req_other);
+    Wire.Bye_ok
+
+let send_response l fd resp =
+  let payload = Wire.encode_response resp in
+  send_frame fd ~timeout:l.io_timeout payload
+
+(* Serve one connection to completion.  Raises nothing: every exit path
+   is a normal return; the caller closes the socket. *)
+let serve_conn l fd =
+  (* handshake: the client preamble must arrive within io_timeout — an
+     endpoint that connects and says nothing is not yet a session *)
+  match
+    match read_exact ~eof_ok:true fd ~timeout:l.io_timeout Wire.preamble_length with
+    | None -> None
+    | Some pre -> Some (Wire.decode_preamble pre)
+  with
+  | None -> ()
+  | exception e ->
+    if Obs.on () then Obs.Counter.inc (Lazy.force c_proto_errors);
+    let code, message = classify_exn e in
+    (try send_response l fd (Wire.Err { code; message }) with _ -> ())
+  | Some peer_max -> (
+    match write_all fd ~timeout:l.io_timeout
+            (Wire.encode_preamble ~max_frame:l.max_frame)
+    with
+    | exception _ -> ()
+    | () -> (
+      match Server.open_session l.srv with
+      | exception e ->
+        let code, message = classify_exn e in
+        (try send_response l fd (Wire.Err { code; message }) with _ -> ())
+      | session ->
+        let send resp =
+          let payload = Wire.encode_response resp in
+          let payload =
+            if String.length payload > peer_max then
+              Wire.encode_response
+                (Wire.Err
+                   {
+                     code = Wire.Server;
+                     message =
+                       Fmt.str "response of %d bytes exceeds peer max_frame %d"
+                         (String.length payload) peer_max;
+                   })
+            else payload
+          in
+          send_frame fd ~timeout:l.io_timeout payload
+        in
+        let rec loop () =
+          match
+            recv_frame ~idle:l.idle_timeout fd ~timeout:l.io_timeout
+              ~max_frame:l.max_frame
+          with
+          | None -> () (* clean EOF between requests *)
+          | Some payload -> (
+            match Wire.decode_request payload with
+            | exception e ->
+              if Obs.on () then Obs.Counter.inc (Lazy.force c_proto_errors);
+              let code, message = classify_exn e in
+              (try send (Wire.Err { code; message }) with _ -> ())
+            | Wire.Bye -> ( try send Wire.Bye_ok with _ -> ())
+            | req ->
+              let resp =
+                try handle_request l session req
+                with e ->
+                  let code, message = classify_exn e in
+                  Wire.Err { code; message }
+              in
+              send resp;
+              loop ())
+          | exception Timeout -> ()
+          | exception e ->
+            (* transport-level violation: oversized claim, CRC mismatch,
+               torn frame — answer if the pipe still works, then drop *)
+            if Obs.on () then Obs.Counter.inc (Lazy.force c_proto_errors);
+            let code, message = classify_exn e in
+            (try send (Wire.Err { code; message }) with _ -> ())
+        in
+        let finally () = Server.close_session session in
+        Fun.protect ~finally (fun () -> try loop () with _ -> ())))
+
+let conn_thread l conn () =
+  (try serve_conn l conn.c_fd with _ -> ());
+  (try Unix.close conn.c_fd with _ -> ());
+  Mutex.protect l.m (fun () ->
+      l.conns <- List.filter (fun c -> c != conn) l.conns);
+  if Obs.on () then Obs.Gauge.add (Lazy.force g_conns) (-1.)
+
+let accept_loop l () =
+  let continue = ref true in
+  while !continue do
+    (* poll so [stop] is noticed: closing an fd does not wake a thread
+       blocked in accept(2) *)
+    if Mutex.protect l.m (fun () -> l.stopping) then continue := false
+    else
+      match wait_io ~read:true l.lfd 0.25 with
+      | exception Timeout -> ()
+      | exception _ -> continue := false
+      | () -> (
+        match Unix.accept ~cloexec:true l.lfd with
+    | fd, _peer ->
+      (try Unix.setsockopt fd Unix.TCP_NODELAY true
+       with Unix.Unix_error _ -> () (* unix-domain sockets *));
+      let conn = { c_fd = fd; c_thread = None } in
+      let admitted =
+        Mutex.protect l.m (fun () ->
+            if l.stopping then false
+            else begin
+              l.conns <- conn :: l.conns;
+              true
+            end)
+      in
+      if admitted then begin
+        if Obs.on () then begin
+          Obs.Gauge.add (Lazy.force g_conns) 1.;
+          Obs.Counter.inc (Lazy.force c_conns)
+        end;
+        conn.c_thread <- Some (Thread.create (conn_thread l conn) ())
+      end
+          else (try Unix.close fd with _ -> ())
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        | exception _ ->
+          (* the listening socket was closed by [stop] *)
+          continue := false)
+  done
+
+let listen ?(max_frame = Wire.default_max_frame) ?(io_timeout = 30.)
+    ?(idle_timeout = -1.) srv addr =
+  if max_frame < Wire.min_max_frame then
+    invalid_arg "Net.listen: max_frame below Wire.min_max_frame";
+  Lazy.force ignore_sigpipe;
+  let domain, sockaddr =
+    match addr with
+    | Unix_sock path ->
+      (* a stale socket file from a dead process blocks bind *)
+      (match (Unix.stat path).Unix.st_kind with
+      | Unix.S_SOCK -> ( try Unix.unlink path with _ -> ())
+      | _ -> ()
+      | exception Unix.Unix_error _ -> ());
+      (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+    | Tcp (host, port) ->
+      let inet =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (
+          match Unix.gethostbyname host with
+          | { Unix.h_addr_list = [||]; _ } ->
+            invalid_arg (Fmt.str "Net.listen: cannot resolve %s" host)
+          | { Unix.h_addr_list; _ } -> h_addr_list.(0)
+          | exception Not_found ->
+            invalid_arg (Fmt.str "Net.listen: cannot resolve %s" host))
+      in
+      (Unix.PF_INET, Unix.ADDR_INET (inet, port))
+  in
+  let lfd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
+  (try
+     (match addr with
+     | Tcp _ -> Unix.setsockopt lfd Unix.SO_REUSEADDR true
+     | Unix_sock _ -> ());
+     Unix.bind lfd sockaddr;
+     Unix.listen lfd 64
+   with e ->
+     (try Unix.close lfd with _ -> ());
+     raise e);
+  let l =
+    {
+      srv;
+      addr;
+      lfd;
+      sockaddr;
+      max_frame;
+      io_timeout;
+      idle_timeout;
+      m = Mutex.create ();
+      conns = [];
+      accept_thread = None;
+      stopping = false;
+    }
+  in
+  l.accept_thread <- Some (Thread.create (accept_loop l) ());
+  l
+
+let stop l =
+  let first =
+    Mutex.protect l.m (fun () ->
+        if l.stopping then false
+        else begin
+          l.stopping <- true;
+          true
+        end)
+  in
+  if first then begin
+    (* the accept loop polls [stopping]; join it before closing its fd *)
+    (match l.accept_thread with
+    | Some th ->
+      Thread.join th;
+      l.accept_thread <- None
+    | None -> ());
+    (try Unix.close l.lfd with _ -> ());
+    (* shut live connections down (threads close the fds themselves) *)
+    let conns = Mutex.protect l.m (fun () -> l.conns) in
+    List.iter
+      (fun c -> try Unix.shutdown c.c_fd Unix.SHUTDOWN_ALL with _ -> ())
+      conns;
+    List.iter (fun c -> Option.iter Thread.join c.c_thread) conns;
+    match l.addr with
+    | Unix_sock path -> ( try Unix.unlink path with _ -> ())
+    | Tcp _ -> ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Client *)
+
+module Client = struct
+  exception Remote of Wire.error_code * string
+
+  type t = {
+    fd : Unix.file_descr;
+    max_frame : int; (* bound on incoming frames *)
+    peer_max : int; (* the server's advertised bound *)
+    timeout : float;
+    m : Mutex.t; (* one in-flight request per client *)
+    mutable closed : bool;
+  }
+
+  let connect ?(max_frame = Wire.default_max_frame) ?(timeout = 30.) addr =
+    Lazy.force ignore_sigpipe;
+    let domain, sockaddr =
+      match addr with
+      | Unix_sock path -> (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+      | Tcp (host, port) ->
+        let inet =
+          try Unix.inet_addr_of_string host
+          with Failure _ -> (
+            match Unix.gethostbyname host with
+            | { Unix.h_addr_list = [||]; _ } -> raise Not_found
+            | { Unix.h_addr_list; _ } -> h_addr_list.(0))
+        in
+        (Unix.PF_INET, Unix.ADDR_INET (inet, port))
+    in
+    let fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
+    try
+      Unix.connect fd sockaddr;
+      (try Unix.setsockopt fd Unix.TCP_NODELAY true
+       with Unix.Unix_error _ -> ());
+      write_all fd ~timeout (Wire.encode_preamble ~max_frame);
+      let peer_max =
+        match read_exact fd ~timeout Wire.preamble_length with
+        | Some pre -> Wire.decode_preamble pre
+        | None -> assert false
+      in
+      { fd; max_frame; peer_max; timeout; m = Mutex.create (); closed = false }
+    with e ->
+      (try Unix.close fd with _ -> ());
+      raise e
+
+  let close c =
+    if not c.closed then begin
+      c.closed <- true;
+      (* best-effort goodbye so the server logs a clean disconnect *)
+      (try
+         send_frame c.fd ~timeout:c.timeout (Wire.encode_request Wire.Bye);
+         ignore
+           (recv_frame ~idle:c.timeout c.fd ~timeout:c.timeout
+              ~max_frame:c.max_frame)
+       with _ -> ());
+      try Unix.close c.fd with _ -> ()
+    end
+
+  let roundtrip c req =
+    Mutex.protect c.m (fun () ->
+        if c.closed then raise (Remote (Wire.Server, "client is closed"));
+        let payload = Wire.encode_request req in
+        if String.length payload > c.peer_max then
+          raise
+            (Remote
+               ( Wire.Protocol,
+                 Fmt.str "request of %d bytes exceeds server max_frame %d"
+                   (String.length payload) c.peer_max ));
+        send_frame c.fd ~timeout:c.timeout payload;
+        match
+          recv_frame ~idle:c.timeout c.fd ~timeout:c.timeout
+            ~max_frame:c.max_frame
+        with
+        | None ->
+          c.closed <- true;
+          (try Unix.close c.fd with _ -> ());
+          raise (Remote (Wire.Server, "server closed the connection"))
+        | Some resp -> (
+          match Wire.decode_response resp with
+          | Wire.Err { code; message } -> raise (Remote (code, message))
+          | resp -> resp))
+
+  let exec c src =
+    match roundtrip c (Wire.Stmt src) with
+    | Wire.Output out -> out
+    | r ->
+      raise
+        (Remote (Wire.Protocol, Fmt.str "unexpected reply %a" Wire.pp_response r))
+
+  let query c src =
+    match roundtrip c (Wire.Query src) with
+    | Wire.Rows { version; columns; tuples } -> (version, columns, tuples)
+    | r ->
+      raise
+        (Remote (Wire.Protocol, Fmt.str "unexpected reply %a" Wire.pp_response r))
+
+  let snapshot c =
+    match roundtrip c Wire.Snapshot with
+    | Wire.Snap s -> (s.version, s.durable_lsn, s.relations, s.views, s.summary)
+    | r ->
+      raise
+        (Remote (Wire.Protocol, Fmt.str "unexpected reply %a" Wire.pp_response r))
+
+  let metrics c fmt =
+    match roundtrip c (Wire.Metrics fmt) with
+    | Wire.Metrics_body body -> body
+    | r ->
+      raise
+        (Remote (Wire.Protocol, Fmt.str "unexpected reply %a" Wire.pp_response r))
+end

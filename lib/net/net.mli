@@ -1,0 +1,82 @@
+(** The network front end: a Unix-socket / TCP listener serving the
+    {!Wire} protocol over {!Dc_server.Server} sessions, plus the client
+    used by tests, bench, and [dbpl connect].
+
+    One accept thread per listener and one thread per connection; the
+    writer thread never touches a socket, so a hostile or stalled peer
+    can only ever cost its own connection: incoming frame lengths are
+    validated against [max_frame] before the body is read, every
+    in-flight read/write runs under [io_timeout], and any protocol
+    violation earns an [Err Protocol] response and a closed connection. *)
+
+open Dc_relation
+
+exception Timeout
+(** An in-flight frame read/write exceeded its timeout. *)
+
+type addr = Unix_sock of string | Tcp of string * int
+
+val pp_addr : addr Fmt.t
+
+val addr_of_string : string -> addr option
+(** Parse ["unix:/path"], ["/path"], ["tcp:host:port"], ["host:port"],
+    [":port"], or ["port"] (bare ports bind 127.0.0.1). *)
+
+(** {1 Listener} *)
+
+type listener
+
+val listen :
+  ?max_frame:int ->
+  ?io_timeout:float ->
+  ?idle_timeout:float ->
+  Dc_server.Server.t ->
+  addr ->
+  listener
+(** Bind [addr] and serve connections over [srv]'s sessions (one session
+    per connection, opened after the handshake).  [max_frame] (default
+    {!Wire.default_max_frame}) bounds incoming frame payloads;
+    [io_timeout] (default 30s) bounds each in-flight frame read/write;
+    [idle_timeout] (default negative = forever) bounds the wait for a
+    new request between statements.  TCP port [0] binds an ephemeral
+    port — recover it with {!bound_port}. *)
+
+val stop : listener -> unit
+(** Close the listening socket, disconnect every live connection, and
+    join all threads.  Idempotent.  Unix socket files are unlinked. *)
+
+val bound_addr : listener -> Unix.sockaddr
+val bound_port : listener -> int
+(** The actual TCP port (after ephemeral binding).
+    @raise Invalid_argument on a unix-socket listener. *)
+
+val connection_count : listener -> int
+
+(** {1 Client} *)
+
+module Client : sig
+  exception Remote of Wire.error_code * string
+  (** The server answered with an [Err] frame (or broke protocol). *)
+
+  type t
+
+  val connect : ?max_frame:int -> ?timeout:float -> addr -> t
+  (** Connect and handshake.  [timeout] (default 30s) bounds every
+      subsequent request round trip. *)
+
+  val exec : t -> string -> string
+  (** Execute DBPL statements, returning their printed output. *)
+
+  val query : t -> string -> int * string list * Tuple.t list
+  (** Evaluate one [QUERY ...;] statement: observed snapshot version,
+      column names, and result tuples. *)
+
+  val snapshot : t -> int * int option * int * int * string
+  (** [SHOW SNAPSHOT] structured: version, durable LSN, relation count,
+      view count, and the rendered summary. *)
+
+  val metrics : t -> [ `Text | `Json ] -> string
+
+  val close : t -> unit
+  (** Send [Bye] (best effort) and close the socket.  Idempotent. *)
+end

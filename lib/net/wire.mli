@@ -1,0 +1,95 @@
+(** The DBPL wire protocol: frame grammar and payload codecs, pure
+    bytes-in/bytes-out (no sockets — the protocol fuzzer drives these
+    decoders directly).
+
+    Connections open with a fixed 9-byte preamble (magic ["DCNP"], one
+    version byte, a little-endian u32 advertising the largest frame
+    payload the sender accepts), client first, server answering with its
+    own.  Every subsequent message is one CRC-framed payload in the
+    WAL's {!Dc_wal.Codec} convention — [\[u32 len\]\[u32 crc\]\[payload\]]
+    — whose first byte is the message tag.  One request frame yields
+    exactly one response frame. *)
+
+open Dc_relation
+
+exception Protocol_error of string
+(** A peer violated the protocol (bad preamble, oversized frame claim,
+    CRC mismatch at the transport layer).  Distinct from
+    {!Dc_wal.Codec.Corrupt}, which the payload decoders raise on
+    malformed message bodies; the listener maps both to an [Err]
+    response with the [Protocol] code and closes the connection. *)
+
+val magic : string
+val version : int
+
+val default_max_frame : int
+(** Default bound on incoming frame payloads (8 MiB). *)
+
+val min_max_frame : int
+(** Smallest advertisable bound (4 KiB) — a peer claiming less is
+    rejected at the handshake. *)
+
+val preamble_length : int
+
+(** {1 Messages} *)
+
+type error_code =
+  | Parse
+  | Type
+  | Semantic
+  | Limit
+  | Server
+  | Protocol
+  | Internal
+
+type request =
+  | Stmt of string  (** execute statements; replied with [Output] *)
+  | Query of string  (** exactly one QUERY; replied with [Rows] *)
+  | Snapshot  (** replied with [Snap] *)
+  | Metrics of [ `Text | `Json ]  (** replied with [Metrics_body] *)
+  | Bye  (** replied with [Bye_ok]; the connection then closes *)
+
+type response =
+  | Output of string
+  | Rows of { version : int; columns : string list; tuples : Tuple.t list }
+      (** query result with the snapshot version it observed *)
+  | Snap of {
+      version : int;
+      durable_lsn : int option;
+      relations : int;
+      views : int;
+      summary : string;
+    }
+  | Metrics_body of string
+  | Bye_ok
+  | Err of { code : error_code; message : string }
+
+(** {1 Handshake} *)
+
+val encode_preamble : max_frame:int -> string
+
+val decode_preamble : string -> int
+(** Validate a peer preamble and return its advertised [max_frame].
+    @raise Protocol_error on bad magic, version, or bound. *)
+
+(** {1 Payload codecs}
+
+    Encoders produce the unframed payload (frame it with
+    {!Dc_wal.Codec.frame_string}); decoders are strict — an unknown tag,
+    a malformed body, or trailing bytes raise {!Dc_wal.Codec.Corrupt},
+    and nothing else. *)
+
+val encode_request : request -> string
+val decode_request : string -> request
+val encode_response : response -> string
+val decode_response : string -> response
+
+(** {1 Comparison and printing (tests)} *)
+
+val error_code_to_int : error_code -> int
+val error_code_of_int : int -> error_code
+val pp_error_code : error_code Fmt.t
+val equal_request : request -> request -> bool
+val equal_response : response -> response -> bool
+val pp_request : request Fmt.t
+val pp_response : response Fmt.t

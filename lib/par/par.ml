@@ -184,6 +184,50 @@ let map ?(on_first_error = fun (_ : exn) -> ()) ?(prefer = fun (_ : exn) -> true
       results
   end
 
+(* ------------------------------------------------------------------ *)
+(* Task submission *)
+
+(* One closure on one worker, caller blocks.  Unlike [map] the caller
+   does no inline work — the whole point is to move [f] onto a worker
+   domain so that concurrent [run]s from different systhreads execute
+   truly in parallel instead of interleaving on the main domain's
+   runtime lock.  With degree P we keep P-1 workers, matching [map]'s
+   sizing; degree 1 (or a call from a worker domain, which must never
+   block on its own pool) degrades to calling [f] inline. *)
+let run f =
+  let p = domains () in
+  if p <= 1 || not (Domain.is_main_domain ()) then f ()
+  else begin
+    let m = Mutex.create () in
+    let cv = Condition.create () in
+    let slot = ref None in
+    let job () =
+      let r =
+        match f () with
+        | v -> Ok v
+        | exception e -> Error (e, Printexc.get_raw_backtrace ())
+      in
+      Mutex.lock m;
+      slot := Some r;
+      Condition.signal cv;
+      Mutex.unlock m
+    in
+    Mutex.lock pool.m;
+    ensure_workers_locked (p - 1);
+    Queue.add job pool.jobs;
+    Condition.broadcast pool.cv;
+    Mutex.unlock pool.m;
+    Mutex.lock m;
+    while Option.is_none !slot do
+      Condition.wait cv m
+    done;
+    Mutex.unlock m;
+    match !slot with
+    | Some (Ok v) -> v
+    | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+    | None -> assert false
+  end
+
 let map_reduce ?on_first_error ?prefer ~shards ~map:f ~reduce ~init () =
   Array.fold_left reduce init (map ?on_first_error ?prefer ~shards f)
 

@@ -63,6 +63,19 @@ val map :
     are still running — engines use it to [Guard.cancel] the shared
     guard so sibling shards trip out quickly. *)
 
+val run : (unit -> 'a) -> 'a
+(** [run f] executes [f] on a pool worker domain and blocks the calling
+    thread until it finishes (exceptions re-raised with their original
+    backtrace).  This is task submission, not a sharded barrier: any
+    number of threads can [run] closures concurrently and they execute
+    in parallel on distinct workers — the serving layer uses it to take
+    read-statement evaluation off the main domain, where systhreads
+    interleave, onto truly parallel domains over frozen snapshots.
+
+    Degrades to calling [f] inline when the degree is 1 (no workers
+    configured) or when called from a non-main domain (a worker must
+    never block on its own pool). *)
+
 val map_reduce :
   ?on_first_error:(exn -> unit) ->
   ?prefer:(exn -> bool) ->

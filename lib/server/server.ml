@@ -2,15 +2,16 @@
 
    Concurrency model (single-writer / multi-reader, MVCC-lite):
 
-   - Read statements (QUERY/PRINT/SHOW SNAPSHOT/BEGIN/COMMIT) execute on
-     the calling session's own thread against an immutable published
-     {!Dc_core.Snapshot}: per statement the session grabs the latest
-     snapshot, or inside an explicit BEGIN ... COMMIT transaction it
-     keeps one snapshot pinned across statements.  Snapshots are frozen,
-     so any number of sessions read in parallel with zero locking —
-     including fixpoint evaluation, which still fans out on the domain
-     pool (session threads live on the main domain, where [Par.map]
-     engages).
+   - Read statements (QUERY/PRINT/SHOW SNAPSHOT/BEGIN/COMMIT) pin an
+     immutable published {!Dc_core.Snapshot} — the latest per statement,
+     or one held across an explicit BEGIN ... COMMIT transaction — and
+     evaluate it on a pool worker domain via [Par.run].  Session threads
+     are systhreads sharing the main domain's runtime lock, so reads
+     that stayed on them would interleave, not parallelize; shipping the
+     closure to a domain makes N sessions' reads truly concurrent over
+     the frozen snapshot.  (Inside the shipped closure the fixpoint's
+     own [Par.map] degrades inline — parallelism is spent across
+     readers, not within one read.)
 
    - Write statements (INSERT/DELETE/assignment/MATERIALIZE/DDL) are
      serialized through one writer thread: the session enqueues the
@@ -18,6 +19,15 @@
      database's single commit point and published the next snapshot.
      One writer means no write-write races and no locking inside the
      storage spine itself.
+
+   - Group commit: when serving durably, the writer drains its queue
+     into a batch and runs the whole batch under [Durable.group] — every
+     commit's WAL record is buffered and one [Wal.append_batch] fsync
+     makes them all durable.  A session is released ([ack]) only after
+     that shared fsync, so the per-client durability contract is
+     unchanged while the fsync cost is amortized across the batch.  If
+     the batch flush truly fails, each job whose statement had
+     "succeeded" in memory is poisoned with the flush error instead.
 
    - Admission control: a bounded session count, plus per-session
      {!Dc_guard.Guard.limits} under which every statement of that
@@ -58,7 +68,18 @@ let h_write_ms = lazy (h_latency "write")
 (* ------------------------------------------------------------------ *)
 (* Writer thread and job queue *)
 
-type job = unit -> unit
+type job = {
+  run : unit -> unit;
+      (* execute the statement, capturing result or exception into the
+         submitter's slot; never raises *)
+  ack : unit -> unit;
+      (* release the blocked submitter — called only after the batch's
+         shared fsync (or immediately when not durable) *)
+  poison : exn -> unit;
+      (* batch flush failed: a captured in-memory success is not durable,
+         replace it with the flush error (captured failures keep their
+         own exception — their commit rolled back and logged nothing) *)
+}
 
 type t = {
   db : Database.t;
@@ -75,8 +96,15 @@ type t = {
   mutable writer_id : int;
 }
 
-(* Run one enqueued job; the job itself transports its result/exception
-   back to the submitting session, so the writer loop never dies. *)
+(* Bound on jobs drained into one group: keeps worst-case ack latency
+   for the first job in a batch proportional to the batch, not to an
+   unboundedly deep queue. *)
+let max_group = 128
+
+(* Drain a batch of enqueued jobs, run them all (as one group commit
+   when durable), then ack every submitter.  Jobs transport their own
+   result/exception back to the submitting session, so the writer loop
+   never dies. *)
 let writer_loop srv () =
   let rec loop () =
     Mutex.lock srv.m;
@@ -85,12 +113,27 @@ let writer_loop srv () =
     done;
     if Queue.is_empty srv.queue && srv.stopping then Mutex.unlock srv.m
     else begin
-      let job = Queue.pop srv.queue in
+      let batch = ref [] in
+      let n = ref 0 in
+      while !n < max_group && not (Queue.is_empty srv.queue) do
+        batch := Queue.pop srv.queue :: !batch;
+        incr n
+      done;
+      let batch = List.rev !batch in
       if Obs.on () then
         Obs.Gauge.set (Lazy.force g_queue)
           (float_of_int (Queue.length srv.queue));
       Mutex.unlock srv.m;
-      job ();
+      (try
+         match srv.wal with
+         | Some d ->
+           Durable.group d (fun () -> List.iter (fun j -> j.run ()) batch)
+         | None -> List.iter (fun j -> j.run ()) batch
+       with e ->
+         (* only the group flush can raise — every [run] captures its
+            own exceptions *)
+         List.iter (fun j -> j.poison e) batch);
+      List.iter (fun j -> j.ack ()) batch;
       loop ()
     end
   in
@@ -127,15 +170,35 @@ let queue_depth srv = Mutex.protect srv.m (fun () -> Queue.length srv.queue)
    Called from the writer thread itself (a job spawning sub-work), run
    inline — blocking would deadlock the only writer. *)
 let submit (srv : t) (f : unit -> 'a) : 'a =
-  if Thread.id (Thread.self ()) = srv.writer_id then f ()
+  if Thread.id (Thread.self ()) = srv.writer_id then
+    (* a job spawning sub-work runs inline (blocking would deadlock the
+       only writer); it joins the currently open commit group, and the
+       enclosing job's ack still waits for the shared fsync *)
+    f ()
   else begin
     let m = Mutex.create () in
     let done_ = Condition.create () in
     let result : ('a, exn) Result.t option ref = ref None in
-    let job () =
-      let r = match f () with v -> Ok v | exception e -> Result.Error e in
-      Mutex.protect m (fun () -> result := Some r);
-      Condition.signal done_
+    let acked = ref false in
+    let job =
+      {
+        run =
+          (fun () ->
+            let r =
+              match f () with v -> Ok v | exception e -> Result.Error e
+            in
+            Mutex.protect m (fun () -> result := Some r));
+        poison =
+          (fun e ->
+            Mutex.protect m (fun () ->
+                match !result with
+                | Some (Result.Error _) -> ()
+                | Some (Ok _) | None -> result := Some (Result.Error e)));
+        ack =
+          (fun () ->
+            Mutex.protect m (fun () -> acked := true);
+            Condition.signal done_);
+      }
     in
     Mutex.lock srv.m;
     if srv.stopping then begin
@@ -149,14 +212,14 @@ let submit (srv : t) (f : unit -> 'a) : 'a =
     Condition.signal srv.job_ready;
     Mutex.unlock srv.m;
     Mutex.lock m;
-    while Option.is_none !result do
+    while not !acked do
       Condition.wait done_ m
     done;
     Mutex.unlock m;
     match !result with
     | Some (Ok v) -> v
-    | Some (Error e) -> raise e
-    | None -> assert false
+    | Some (Result.Error e) -> raise e
+    | None -> error "writer dropped the job"
   end
 
 let shutdown srv =
@@ -263,9 +326,18 @@ let execute_decl s (d : Dc_lang.Surface.decl) =
   let read = session_local d in
   (try
      if read then
-       if wants_snapshot d then
-         Dc_lang.Elaborate.with_snapshot s.env (session_snapshot s) (fun () ->
-             Dc_lang.Elaborate.execute_decl s.env d)
+       if wants_snapshot d then begin
+         (* pin the snapshot on the session thread (so "latest" means
+            latest at submission), then evaluate on a pool worker domain:
+            snapshot reads from N sessions run truly in parallel instead
+            of interleaving on the main domain's runtime lock.  An open
+            BEGIN's pinned snapshot takes precedence inside
+            [with_snapshot]. *)
+         let snap = session_snapshot s in
+         Dc_par.Par.run (fun () ->
+             Dc_lang.Elaborate.with_snapshot s.env snap (fun () ->
+                 Dc_lang.Elaborate.execute_decl s.env d))
+       end
        else Dc_lang.Elaborate.execute_decl s.env d
      else
        submit s.server (fun () ->
@@ -336,4 +408,12 @@ let query s range =
     | Some snap -> snap
     | None -> Database.snapshot s.server.db
   in
-  (Snapshot.query ~guard:(session_guard s) snap range, Snapshot.version snap)
+  Dc_par.Par.run (fun () ->
+      (Snapshot.query ~guard:(session_guard s) snap range, Snapshot.version snap))
+
+let query_string s src =
+  if not s.open_ then error "session %d is closed" s.id;
+  match Dc_lang.Parser.parse src with
+  | [ Dc_lang.Surface.D_query r ] ->
+    query s (Dc_lang.Elaborate.lower_query s.env r)
+  | _ -> error "expected exactly one QUERY statement"

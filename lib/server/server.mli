@@ -1,13 +1,17 @@
 (** Multi-session serving layer over one versioned {!Dc_core.Database}
     (single-writer / multi-reader snapshot isolation).
 
-    Reads execute on the calling thread against an immutable published
-    {!Dc_core.Snapshot} — one per statement, or one pinned across an
-    explicit [BEGIN ... COMMIT] read-only transaction.  Writes serialize
-    through one writer thread that runs the database's single commit
-    point and publishes the next snapshot.  Sessions are bounded
-    (admission control) and each evaluates under its own
-    {!Dc_guard.Guard.limits}.
+    Reads pin an immutable published {!Dc_core.Snapshot} — one per
+    statement, or one held across an explicit [BEGIN ... COMMIT]
+    read-only transaction — and evaluate on a pool worker domain
+    ({!Dc_par.Par.run}), so concurrent sessions' reads run truly in
+    parallel rather than interleaving on the main domain.  Writes
+    serialize through one writer thread that runs the database's single
+    commit point and publishes the next snapshot; when serving durably
+    the writer drains its queue into group commits — one shared WAL
+    fsync per batch, each session released only after that fsync.
+    Sessions are bounded (admission control) and each evaluates under
+    its own {!Dc_guard.Guard.limits}.
 
     Instruments (when metrics are on): [dc_server_sessions],
     [dc_server_queue_depth], [dc_server_commits_total],
@@ -86,4 +90,9 @@ val query : session -> Dc_calculus.Ast.range -> Dc_relation.Relation.t * int
 (** Library-level read: evaluate a calculus range against the session's
     current snapshot (pinned or latest) under the session's guard
     limits, returning the result and the snapshot version it observed.
-    Never touches the writer. *)
+    Never touches the writer; evaluates on a pool worker domain. *)
+
+val query_string : session -> string -> Dc_relation.Relation.t * int
+(** Parse a single [QUERY ...;] statement and evaluate it as {!query} —
+    the wire protocol's row-returning read path.
+    @raise Error when [src] is not exactly one QUERY statement. *)

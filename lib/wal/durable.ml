@@ -61,6 +61,10 @@ type t = {
   mutable since_checkpoint : int;
   mutable lsn : int; (* last durable LSN *)
   mutable replayed : int; (* records replayed at open *)
+  mutable group :
+    (int * (string * Tuple.t list * Tuple.t list) list) list ref option;
+      (* when [Some pending], commits buffer their records (newest first)
+         instead of appending; [group] flushes them in one fsynced batch *)
 }
 
 let db t = t.db
@@ -268,6 +272,9 @@ let write_checkpoint t ~version =
   t.lsn <- ck_lsn;
   t.since_checkpoint <- 0;
   Database.set_durable_lsn t.db ck_lsn;
+  (* records still buffered by an active group are at or below the image's
+     version, so the image subsumes them; replay would skip them anyway *)
+  (match t.group with Some pending -> pending := [] | None -> ());
   if Obs.on () then
     Obs.Histogram.observe (Lazy.force m_checkpoint_ms) (Obs.now_ms () -. t0)
 
@@ -285,16 +292,69 @@ let hooks t =
              not yet published) state at the version about to publish *)
           write_checkpoint t ~version
         else begin
-          let lsn = Wal.append t.wal ~version ~changes in
-          t.lsn <- lsn;
-          t.since_checkpoint <- t.since_checkpoint + 1;
-          Database.set_durable_lsn t.db lsn
+          match t.group with
+          | Some pending ->
+            (* group mode: buffer the record; [flush_group] appends the
+               whole batch and fsyncs once.  The durable LSN does not
+               advance until that shared fsync. *)
+            pending := (version, changes) :: !pending
+          | None ->
+            let lsn = Wal.append t.wal ~version ~changes in
+            t.lsn <- lsn;
+            t.since_checkpoint <- t.since_checkpoint + 1;
+            Database.set_durable_lsn t.db lsn
         end);
     wh_published =
       (fun ~version ->
         if t.since_checkpoint >= t.checkpoint_every then
           write_checkpoint t ~version);
   }
+
+(* ------------------------------------------------------------------ *)
+(* Group commit *)
+
+let flush_group t records =
+  match records with
+  | [] -> ()
+  | records -> (
+    match Wal.append_batch t.wal records with
+    | lsns ->
+      let last = List.fold_left max t.lsn lsns in
+      t.lsn <- last;
+      t.since_checkpoint <- t.since_checkpoint + List.length records;
+      Database.set_durable_lsn t.db last;
+      (* buffered records bypassed wh_published's periodic check, so the
+         replay-suffix bound is enforced here instead *)
+      if t.since_checkpoint >= t.checkpoint_every then
+        write_checkpoint t ~version:(Database.version t.db)
+    | exception (Guard.Exhausted (Guard.Fault_injected _, _) as e) ->
+      (* simulated crash: propagate raw, disk state stays as the "kill"
+         left it *)
+      raise e
+    | exception _ ->
+      (* real I/O failure mid-batch: the commits are already published
+         in memory and the log was restored to the pre-batch boundary —
+         re-root durability in a full checkpoint instead *)
+      write_checkpoint t ~version:(Database.version t.db))
+
+let group t f =
+  match t.group with
+  | Some _ -> f () (* nested: the outer group owns the flush *)
+  | None ->
+    let pending = ref [] in
+    t.group <- Some pending;
+    let r =
+      match f () with
+      | v -> Ok v
+      | exception e -> Error (e, Printexc.get_raw_backtrace ())
+    in
+    t.group <- None;
+    (* flush even when [f] raised: commits that did succeed inside the
+       group are published and their callers will be acknowledged *)
+    flush_group t (List.rev !pending);
+    (match r with
+    | Ok v -> v
+    | Error (e, bt) -> Printexc.raise_with_backtrace e bt)
 
 (* ------------------------------------------------------------------ *)
 (* Open / recover *)
@@ -322,7 +382,8 @@ let open_dir ?db ?(checkpoint_every = 1024) dir =
   in
   let wal, records = Wal.load (wal_path dir) in
   let t =
-    { dir; db; wal; checkpoint_every; since_checkpoint = 0; lsn; replayed = 0 }
+    { dir; db; wal; checkpoint_every; since_checkpoint = 0; lsn; replayed = 0;
+      group = None }
   in
   (* replay the suffix: records at or below the checkpoint version are
      from the wal.truncate crash window and already in the image *)

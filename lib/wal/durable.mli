@@ -37,6 +37,20 @@ val db : t -> Database.t
 val checkpoint : t -> unit
 (** Take a checkpoint now (graceful-shutdown path). *)
 
+val group : t -> (unit -> 'a) -> 'a
+(** [group t f] runs [f] in group-commit mode: data commits performed
+    inside [f] buffer their WAL records instead of paying a per-commit
+    fsync, and when [f] returns the whole batch is appended and fsynced
+    once ({!Dc_wal.Wal.append_batch}).  Callers must treat a commit as
+    acknowledged only after [group] returns — inside [f] the commit is
+    published in memory but not yet durable.  Catalog commits inside the
+    group still checkpoint immediately (the image subsumes the buffered
+    records, which are dropped).  On a real I/O failure during the batch
+    flush, durability is re-rooted in a full checkpoint.  Single-caller
+    discipline: only the serving writer thread may call this; nested
+    calls join the outer group.  An exception from [f] still flushes the
+    records of the commits that succeeded before propagating. *)
+
 val close : t -> unit
 (** Final checkpoint (unless redundant), detach hooks, close the log. *)
 

@@ -25,6 +25,19 @@ val append : t -> version:int -> changes:(string * Tuple.t list * Tuple.t list) 
     crash; on a real I/O error the clean boundary is restored.
     @raise Dc_guard.Guard.Exhausted / [Unix.Unix_error] *)
 
+val append_batch :
+  t -> (int * (string * Tuple.t list * Tuple.t list) list) list -> int list
+(** [append_batch t [(version, changes); ...]] is the group-commit
+    append: every record's frame is written back to back, then a single
+    fsync makes the whole batch durable.  Returns the LSNs in order.
+    Frames stay strictly per-commit, so a crash mid-batch (the
+    [wal.group] failpoint fires between consecutive frames, [wal.append]
+    inside each) keeps a prefix of complete frames and recovery lands on
+    an exact commit boundary.  On an injected fault the bytes written so
+    far stay on disk; on a real I/O error the pre-batch boundary is
+    restored so the caller can re-root durability in a checkpoint.
+    Batch sizes feed the {e dc_wal_group_size} histogram. *)
+
 val reset : t -> unit
 (** Truncate to empty (after a checkpoint made the log redundant); the
     [wal.truncate] failpoint fires first. *)

@@ -1,0 +1,512 @@
+(* The wire protocol (lib/net), fuzzed and attacked.
+
+   Pure layer: qcheck round-trips of every frame type over arbitrary
+   payload bytes, and a decoder fuzz — arbitrary byte strings must
+   either decode or raise [Codec.Corrupt], never anything else.  Framed
+   transport: every strict prefix of a valid frame is a torn frame, and
+   every single-byte corruption of one must be rejected by the CRC.
+
+   Live layer: a real TCP listener over a served database.  The client
+   round-trips statements, queries, snapshot info, metrics, and the
+   error taxonomy; adversarial peers (garbage preamble, oversized
+   length claim, truncated frame, CRC corruption, mid-frame stall,
+   random byte blobs) must each earn a structured [Err]/disconnect
+   while the server keeps serving well-formed clients — in particular a
+   stalled hostile connection must not delay the writer thread. *)
+
+open Dc_relation
+module Codec = Dc_wal.Codec
+module Wire = Dc_net.Wire
+module Net = Dc_net.Net
+module Database = Dc_core.Database
+module Server = Dc_server.Server
+module Guard = Dc_guard.Guard
+
+let contains_s s sub =
+  let n = String.length s and m = String.length sub in
+  let rec loop i = i + m <= n && (String.sub s i m = sub || loop (i + 1)) in
+  m = 0 || loop 0
+
+(* ------------------------------------------------------------------ *)
+(* Generators *)
+
+let value_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun i -> Value.Int i) small_signed_int;
+        map (fun s -> Value.Str s) (string_size (int_bound 12));
+        map (fun b -> Value.Bool b) bool;
+        (* finite floats only: NaN breaks structural equality, which is
+           a property of equality, not of the codec *)
+        map (fun f -> Value.Float f) (float_bound_inclusive 1e9);
+      ])
+
+let tuple_gen = QCheck.Gen.(map Tuple.of_list (list_size (int_bound 4) value_gen))
+let bytes_gen = QCheck.Gen.(string_size ~gen:char (int_bound 200))
+
+let request_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun s -> Wire.Stmt s) bytes_gen;
+        map (fun s -> Wire.Query s) bytes_gen;
+        return Wire.Snapshot;
+        map (fun b -> Wire.Metrics (if b then `Text else `Json)) bool;
+        return Wire.Bye;
+      ])
+
+let error_code_gen =
+  QCheck.Gen.oneofl
+    [
+      Wire.Parse; Wire.Type; Wire.Semantic; Wire.Limit; Wire.Server;
+      Wire.Protocol; Wire.Internal;
+    ]
+
+let response_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun s -> Wire.Output s) bytes_gen;
+        map3
+          (fun version columns tuples -> Wire.Rows { version; columns; tuples })
+          small_nat
+          (list_size (int_bound 4) (string_size (int_bound 8)))
+          (list_size (int_bound 8) tuple_gen);
+        map3
+          (fun version lsn (relations, views, summary) ->
+            Wire.Snap
+              {
+                version;
+                durable_lsn = (if lsn = 0 then None else Some lsn);
+                relations;
+                views;
+                summary;
+              })
+          small_nat small_nat
+          (triple small_nat small_nat bytes_gen);
+        map (fun s -> Wire.Metrics_body s) bytes_gen;
+        return Wire.Bye_ok;
+        map2
+          (fun code message -> Wire.Err { code; message })
+          error_code_gen bytes_gen;
+      ])
+
+let request_arb =
+  QCheck.make ~print:(Fmt.str "%a" Wire.pp_request) request_gen
+
+let response_arb =
+  QCheck.make ~print:(Fmt.str "%a" Wire.pp_response) response_gen
+
+(* ------------------------------------------------------------------ *)
+(* Pure codec properties *)
+
+let prop_request_roundtrip =
+  QCheck.Test.make ~name:"request round-trips (payload and frame)" ~count:500
+    request_arb (fun req ->
+      let payload = Wire.encode_request req in
+      let framed = Codec.frame_string payload in
+      let payload', next = Codec.read_frame framed 0 in
+      next = String.length framed
+      && Wire.equal_request req (Wire.decode_request payload'))
+
+let prop_response_roundtrip =
+  QCheck.Test.make ~name:"response round-trips (payload and frame)" ~count:500
+    response_arb (fun resp ->
+      let payload = Wire.encode_response resp in
+      let framed = Codec.frame_string payload in
+      let payload', next = Codec.read_frame framed 0 in
+      next = String.length framed
+      && Wire.equal_response resp (Wire.decode_response payload'))
+
+(* arbitrary bytes must decode or raise [Codec.Corrupt] — any other
+   exception (or a crash) fails the property *)
+let prop_decoder_total =
+  QCheck.Test.make ~name:"decoders are total over arbitrary bytes" ~count:1000
+    (QCheck.make QCheck.Gen.(string_size ~gen:char (int_bound 300)))
+    (fun blob ->
+      let probe f = match f blob with _ -> true | exception Codec.Corrupt _ -> true in
+      let probe_frame () =
+        match Codec.read_frame blob 0 with
+        | _ -> true
+        | exception Codec.Corrupt _ -> true
+      in
+      probe Wire.decode_request && probe Wire.decode_response && probe_frame ())
+
+let test_torn_frames () =
+  let framed =
+    Codec.frame_string (Wire.encode_request (Wire.Stmt "INSERT Edge;"))
+  in
+  for len = 0 to String.length framed - 1 do
+    match Codec.read_frame (String.sub framed 0 len) 0 with
+    | _ -> Alcotest.failf "accepted a torn frame of %d/%d bytes" len
+              (String.length framed)
+    | exception Codec.Corrupt _ -> ()
+  done
+
+let test_bitflips_rejected () =
+  let framed = Codec.frame_string (Wire.encode_response (Wire.Output "ok")) in
+  for i = 0 to String.length framed - 1 do
+    let b = Bytes.of_string framed in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x41));
+    match Codec.read_frame (Bytes.to_string b) 0 with
+    | payload, _ ->
+      (* the only way a flip survives framing is inside the length word
+         making the frame short — decode must then reject the payload *)
+      (match Wire.decode_response payload with
+      | _ -> Alcotest.failf "byte flip at %d went unnoticed" i
+      | exception Codec.Corrupt _ -> ())
+    | exception Codec.Corrupt _ -> ()
+  done
+
+let test_preamble () =
+  let pre = Wire.encode_preamble ~max_frame:Wire.default_max_frame in
+  Alcotest.(check int) "length" Wire.preamble_length (String.length pre);
+  Alcotest.(check int) "round-trips" Wire.default_max_frame
+    (Wire.decode_preamble pre);
+  let reject s msg =
+    match Wire.decode_preamble s with
+    | _ -> Alcotest.failf "accepted %s" msg
+    | exception Wire.Protocol_error _ -> ()
+  in
+  reject "DCNQ\001\000\000\128\000" "bad magic";
+  reject "DCNP\002\000\000\128\000" "wrong version";
+  reject (Wire.encode_preamble ~max_frame:16) "max_frame below floor";
+  reject "DCNP" "short preamble"
+
+(* ------------------------------------------------------------------ *)
+(* Live server fixture *)
+
+let setup_src =
+  {|
+TYPE node = STRING;
+TYPE edgerel = RELATION a, b OF RECORD a, b: node END;
+VAR Edge: edgerel;
+INSERT Edge VALUES ("a", "b"), ("b", "c");
+|}
+
+let with_server ?(io_timeout = 5.) f =
+  let db = Database.create () in
+  let srv = Server.create db in
+  let s = Server.open_session srv in
+  ignore (Server.execute s setup_src);
+  Server.close_session s;
+  let listener = Net.listen ~io_timeout srv (Net.Tcp ("127.0.0.1", 0)) in
+  let port = Net.bound_port listener in
+  Fun.protect
+    ~finally:(fun () ->
+      Net.stop listener;
+      Server.shutdown srv)
+    (fun () -> f srv port)
+
+let connect port = Net.Client.connect (Net.Tcp ("127.0.0.1", port))
+
+(* raw socket for adversarial bytes *)
+let raw_connect port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  fd
+
+let send_raw fd s =
+  let rec go pos =
+    if pos < String.length s then
+      go (pos + Unix.write_substring fd s pos (String.length s - pos))
+  in
+  try go 0 with Unix.Unix_error _ -> ()
+
+(* drain until the peer closes (or 10s cap); returns everything read *)
+let recv_until_close fd =
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 4096 in
+  let deadline = Unix.gettimeofday () +. 10. in
+  let rec go () =
+    let remaining = deadline -. Unix.gettimeofday () in
+    if remaining > 0. then
+      match Unix.select [ fd ] [] [] remaining with
+      | [], _, _ -> ()
+      | _ -> (
+        match Unix.read fd chunk 0 4096 with
+        | 0 -> ()
+        | n ->
+          Buffer.add_subbytes buf chunk 0 n;
+          go ()
+        | exception Unix.Unix_error _ -> ())
+  in
+  go ();
+  Buffer.contents buf
+
+let client_preamble = Wire.encode_preamble ~max_frame:Wire.default_max_frame
+
+(* parse the server's reply stream after our preamble: its preamble,
+   then any [Err] frame it managed to send *)
+let decode_reply_stream data =
+  if String.length data < Wire.preamble_length then None
+  else begin
+    ignore (Wire.decode_preamble (String.sub data 0 Wire.preamble_length));
+    match Codec.read_frame data Wire.preamble_length with
+    | payload, _ -> Some (Wire.decode_response payload)
+    | exception Codec.Corrupt _ -> None
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Well-formed client over the live server *)
+
+let test_client_roundtrip () =
+  with_server @@ fun _srv port ->
+  let c = connect port in
+  let out = Net.Client.exec c "QUERY Edge;" in
+  Alcotest.(check bool) "query output rendered" true (contains_s out "2 tuples");
+  ignore (Net.Client.exec c {|INSERT Edge VALUES ("c", "d");|});
+  let v1, cols, tuples = Net.Client.query c "QUERY Edge;" in
+  Alcotest.(check (list string)) "columns" [ "a"; "b" ] cols;
+  Alcotest.(check int) "rows" 3 (List.length tuples);
+  let version, _lsn, relations, views, summary = Net.Client.snapshot c in
+  Alcotest.(check int) "snapshot version matches query" v1 version;
+  Alcotest.(check int) "one relation" 1 relations;
+  Alcotest.(check int) "no views" 0 views;
+  Alcotest.(check bool) "summary rendered" true (contains_s summary "version");
+  (* reads scale through a second concurrent client *)
+  let c2 = connect port in
+  let v2, _, tuples2 = Net.Client.query c2 "QUERY Edge;" in
+  Alcotest.(check int) "same version from second client" v1 v2;
+  Alcotest.(check int) "same rows" 3 (List.length tuples2);
+  Net.Client.close c2;
+  Net.Client.close c
+
+let test_error_taxonomy () =
+  with_server @@ fun _srv port ->
+  let c = connect port in
+  let expect code src =
+    match Net.Client.exec c src with
+    | _ -> Alcotest.failf "no error for %s" src
+    | exception Net.Client.Remote (got, _) ->
+      Alcotest.(check int)
+        (Fmt.str "code for %s" src)
+        (Wire.error_code_to_int code)
+        (Wire.error_code_to_int got)
+  in
+  expect Wire.Parse "INSERT;";
+  expect Wire.Type "QUERY NoSuchRel;";
+  expect Wire.Semantic "COMMIT;";
+  (* the session survives every failed statement *)
+  let v, _, _ = Net.Client.query c "QUERY Edge;" in
+  Alcotest.(check bool) "session still serves" true (v > 0);
+  (match Net.Client.query c "QUERY Edge; QUERY Edge;" with
+  | _ -> Alcotest.fail "multi-statement Query accepted"
+  | exception Net.Client.Remote (Wire.Server, _) -> ()
+  | exception Net.Client.Remote (code, m) ->
+    Alcotest.failf "unexpected code %a: %s" Wire.pp_error_code code m);
+  Net.Client.close c
+
+let test_metrics_over_wire () =
+  Dc_obs.Obs.set_enabled true;
+  Fun.protect ~finally:(fun () -> Dc_obs.Obs.set_enabled false)
+  @@ fun () ->
+  with_server @@ fun _srv port ->
+  let c = connect port in
+  ignore (Net.Client.query c "QUERY Edge;");
+  let text = Net.Client.metrics c `Text in
+  Alcotest.(check bool)
+    "net instruments present" true
+    (contains_s text "dc_net_connections");
+  let json = Net.Client.metrics c `Json in
+  Alcotest.(check bool) "json body" true (contains_s json "\"metrics\"");
+  Net.Client.close c
+
+let test_unix_socket () =
+  let dir = Filename.temp_file "dc_net" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  let path = Filename.concat dir "dbpl.sock" in
+  let db = Database.create () in
+  let srv = Server.create db in
+  let s = Server.open_session srv in
+  ignore (Server.execute s setup_src);
+  Server.close_session s;
+  let listener = Net.listen srv (Net.Unix_sock path) in
+  Fun.protect
+    ~finally:(fun () ->
+      Net.stop listener;
+      Server.shutdown srv)
+    (fun () ->
+      let c = Net.Client.connect (Net.Unix_sock path) in
+      let _, _, tuples = Net.Client.query c "QUERY Edge;" in
+      Alcotest.(check int) "rows over unix socket" 2 (List.length tuples);
+      Net.Client.close c);
+  Alcotest.(check bool) "socket file unlinked" false (Sys.file_exists path)
+
+(* ------------------------------------------------------------------ *)
+(* Adversarial peers *)
+
+(* after each attack the server must still serve a fresh client *)
+let check_still_serving port =
+  let c = connect port in
+  let _, _, tuples = Net.Client.query c "QUERY Edge;" in
+  Alcotest.(check bool) "server still serving" true (List.length tuples >= 2);
+  Net.Client.close c
+
+let test_garbage_preamble () =
+  with_server ~io_timeout:2. @@ fun _srv port ->
+  let fd = raw_connect port in
+  send_raw fd "GET / HTTP/1.1\r\nHost: x\r\n\r\n";
+  let reply = recv_until_close fd in
+  Unix.close fd;
+  (* the server may answer with a framed protocol error before closing,
+     but it must not echo a preamble to a non-peer *)
+  Alcotest.(check bool)
+    "closed without completing a handshake" true
+    (String.length reply = 0
+    ||
+    match Wire.decode_preamble (String.sub reply 0 Wire.preamble_length) with
+    | _ -> false
+    | exception _ -> true);
+  check_still_serving port
+
+let test_oversized_claim () =
+  with_server ~io_timeout:2. @@ fun _srv port ->
+  let fd = raw_connect port in
+  send_raw fd client_preamble;
+  (* header claiming a 1 GiB payload: must be rejected from the header
+     alone — a structured Err, then disconnect, and no 1 GiB allocation *)
+  let buf = Buffer.create 8 in
+  Codec.u32 buf (1 lsl 30);
+  Codec.u32 buf 0;
+  send_raw fd (Buffer.contents buf);
+  let reply = recv_until_close fd in
+  Unix.close fd;
+  (match decode_reply_stream reply with
+  | Some (Wire.Err { code = Wire.Protocol; message }) ->
+    Alcotest.(check bool) "names max_frame" true (contains_s message "max_frame")
+  | Some r -> Alcotest.failf "unexpected reply %a" Wire.pp_response r
+  | None -> Alcotest.fail "no structured error before close");
+  check_still_serving port
+
+let test_truncated_frame () =
+  with_server ~io_timeout:2. @@ fun _srv port ->
+  let fd = raw_connect port in
+  send_raw fd client_preamble;
+  let framed = Codec.frame_string (Wire.encode_request (Wire.Stmt "QUERY Edge;")) in
+  send_raw fd (String.sub framed 0 (String.length framed - 3));
+  Unix.shutdown fd Unix.SHUTDOWN_SEND;
+  let reply = recv_until_close fd in
+  Unix.close fd;
+  (* the torn frame earns a protocol error (or a silent close) — never a
+     successful execution *)
+  (match decode_reply_stream reply with
+  | Some (Wire.Err { code = Wire.Protocol; _ }) | None -> ()
+  | Some r -> Alcotest.failf "unexpected reply %a" Wire.pp_response r);
+  check_still_serving port
+
+let test_crc_corruption () =
+  with_server ~io_timeout:2. @@ fun _srv port ->
+  let fd = raw_connect port in
+  send_raw fd client_preamble;
+  let framed =
+    Bytes.of_string
+      (Codec.frame_string (Wire.encode_request (Wire.Stmt "QUERY Edge;")))
+  in
+  let i = Bytes.length framed - 1 in
+  Bytes.set framed i (Char.chr (Char.code (Bytes.get framed i) lxor 0xff));
+  send_raw fd (Bytes.to_string framed);
+  let reply = recv_until_close fd in
+  Unix.close fd;
+  (match decode_reply_stream reply with
+  | Some (Wire.Err { code = Wire.Protocol; message }) ->
+    Alcotest.(check bool) "names the CRC" true (contains_s message "CRC")
+  | Some r -> Alcotest.failf "unexpected reply %a" Wire.pp_response r
+  | None -> Alcotest.fail "no structured error before close");
+  check_still_serving port
+
+(* a hostile peer stalling mid-frame must not delay anyone else — in
+   particular not the writer thread *)
+let test_stalled_peer_does_not_wedge_writer () =
+  with_server ~io_timeout:8. @@ fun _srv port ->
+  let fd = raw_connect port in
+  send_raw fd client_preamble;
+  let framed = Codec.frame_string (Wire.encode_request (Wire.Stmt "QUERY Edge;")) in
+  (* half a frame, then silence: the connection thread is now parked in
+     its io_timeout window *)
+  send_raw fd (String.sub framed 0 6);
+  let t0 = Unix.gettimeofday () in
+  let c = connect port in
+  ignore (Net.Client.exec c {|INSERT Edge VALUES ("w", "x");|});
+  let v, _, tuples = Net.Client.query c "QUERY Edge;" in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Net.Client.close c;
+  Unix.close fd;
+  Alcotest.(check bool) "write committed" true (v > 0);
+  Alcotest.(check int) "write visible" 3 (List.length tuples);
+  Alcotest.(check bool)
+    (Fmt.str "writer answered while peer stalled (%.1fs)" elapsed)
+    true (elapsed < 5.)
+
+let test_random_blob_fuzz () =
+  with_server ~io_timeout:1. @@ fun _srv port ->
+  let rng = Dc_workload.Rng.create 0xF00D in
+  for _ = 1 to 25 do
+    let len = Dc_workload.Rng.int rng 64 in
+    let blob =
+      String.init len (fun _ -> Char.chr (Dc_workload.Rng.int rng 256))
+    in
+    let fd = raw_connect port in
+    send_raw fd blob;
+    (try Unix.shutdown fd Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ());
+    ignore (recv_until_close fd);
+    Unix.close fd
+  done;
+  check_still_serving port
+
+let test_idle_timeout_enforced () =
+  with_server ~io_timeout:1. @@ fun _srv port ->
+  (* a peer that completes the handshake then stalls mid-header is
+     disconnected once io_timeout elapses *)
+  let fd = raw_connect port in
+  send_raw fd client_preamble;
+  send_raw fd "\001\002\003";
+  let t0 = Unix.gettimeofday () in
+  let reply = recv_until_close fd in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Unix.close fd;
+  ignore reply;
+  Alcotest.(check bool)
+    (Fmt.str "disconnected after io_timeout (%.1fs)" elapsed)
+    true
+    (elapsed < 8.);
+  check_still_serving port
+
+(* ------------------------------------------------------------------ *)
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "dc_net"
+    [
+      ( "wire codec",
+        qcheck [ prop_request_roundtrip; prop_response_roundtrip; prop_decoder_total ]
+        @ [
+            Alcotest.test_case "torn frames rejected" `Quick test_torn_frames;
+            Alcotest.test_case "bit flips rejected" `Quick test_bitflips_rejected;
+            Alcotest.test_case "preamble" `Quick test_preamble;
+          ] );
+      ( "client",
+        [
+          Alcotest.test_case "round trip" `Quick test_client_roundtrip;
+          Alcotest.test_case "error taxonomy" `Quick test_error_taxonomy;
+          Alcotest.test_case "metrics over the wire" `Quick
+            test_metrics_over_wire;
+          Alcotest.test_case "unix socket" `Quick test_unix_socket;
+        ] );
+      ( "adversarial",
+        [
+          Alcotest.test_case "garbage preamble" `Quick test_garbage_preamble;
+          Alcotest.test_case "oversized length claim" `Quick
+            test_oversized_claim;
+          Alcotest.test_case "truncated frame" `Quick test_truncated_frame;
+          Alcotest.test_case "crc corruption" `Quick test_crc_corruption;
+          Alcotest.test_case "stalled peer vs writer" `Quick
+            test_stalled_peer_does_not_wedge_writer;
+          Alcotest.test_case "random blobs" `Quick test_random_blob_fuzz;
+          Alcotest.test_case "mid-frame stall times out" `Quick
+            test_idle_timeout_enforced;
+        ] );
+    ]

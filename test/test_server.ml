@@ -326,16 +326,20 @@ let readers = 4
 let reads_per_reader = 200
 
 (* one randomized batch against the current pure extent: deletions of
-   existing tuples, insertions of absent ones, disjoint, never empty *)
+   existing tuples, insertions of absent ones, disjoint, never empty.
+   Deletions come only from the pre-batch extent — [update_batch]
+   applies removals before additions, so deleting a same-batch insert
+   would not round-trip *)
 let gen_batch rng rel =
   let ops = 1 + Rng.int rng 4 in
   let dels = ref [] and adds = ref [] in
   let current = ref rel in
   for _ = 1 to ops do
-    let card = Relation.cardinal !current in
-    if card > 0 && Rng.bool rng 0.45 then begin
-      let ts = Relation.to_list !current in
-      let t = List.nth ts (Rng.int rng (List.length ts)) in
+    let deletable =
+      List.filter (fun t -> Relation.mem t rel) (Relation.to_list !current)
+    in
+    if deletable <> [] && Rng.bool rng 0.45 then begin
+      let t = List.nth deletable (Rng.int rng (List.length deletable)) in
       current := Relation.remove t !current;
       dels := t :: !dels
     end
@@ -351,19 +355,19 @@ let gen_batch rng rel =
   if !adds = [] && !dels = [] then begin
     (* guarantee progress: delete one existing or add a fresh tuple *)
     match Relation.to_list !current with
-    | t :: _ -> dels := [ t ]
-    | [] -> adds := [ pair 0 1 ]
+    | t :: _ ->
+      dels := [ t ];
+      current := Relation.remove t !current
+    | [] ->
+      adds := [ pair 0 1 ];
+      current := Relation.add (pair 0 1) !current
   end;
   (!adds, !dels, !current)
 
-let test_stress seed () =
-  let rng = Rng.create seed in
-  let init =
-    Graph_gen.random_graph ~seed:(Rng.int rng 1_000_000) ~nodes
-      ~edges:(2 * nodes)
-  in
-  (* sequential replay oracle: expected extent and expected transitive
-     closure after each batch, indexed by batches-applied *)
+(* sequential replay oracle: randomized batches plus the expected extent
+   and expected transitive closure after each, indexed by
+   batches-applied *)
+let build_oracle rng init =
   let expected_edge = Array.make (writer_batches + 1) init in
   let batches = Array.make writer_batches ([], []) in
   let cur = ref init in
@@ -381,6 +385,15 @@ let test_stress seed () =
           "path")
       expected_edge
   in
+  (batches, expected_edge, expected_path)
+
+let test_stress seed () =
+  let rng = Rng.create seed in
+  let init =
+    Graph_gen.random_graph ~seed:(Rng.int rng 1_000_000) ~nodes
+      ~edges:(2 * nodes)
+  in
+  let batches, expected_edge, expected_path = build_oracle rng init in
   (* live database: edge + a maintained transitive closure view *)
   let db = Database.create () in
   Database.declare db "edge" Graph_gen.edge_schema;
@@ -471,6 +484,128 @@ let test_stress seed () =
       (List.hd (List.rev msgs))
 
 (* ------------------------------------------------------------------ *)
+(* The same contract over the wire: 1 writer, N TCP reader clients *)
+
+module Net = Dc_net.Net
+
+let socket_setup =
+  {|
+TYPE node = STRING;
+TYPE edgerel = RELATION a, b OF RECORD a, b: node END;
+VAR Edge: edgerel;
+CONSTRUCTOR tc FOR Rel: edgerel (): edgerel;
+BEGIN EACH e IN Rel: TRUE,
+      <e.a, p.b> OF EACH e IN Rel, EACH p IN Rel{tc()}: e.b = p.a
+END tc;
+|}
+
+let ts_of_tuples tuples =
+  List.fold_left (fun acc t -> TS.add t acc) TS.empty tuples
+
+(* the in-process stress proves snapshot isolation; this one proves the
+   whole network stack preserves it — every read crosses the wire
+   protocol, a connection thread, and the domain pool, and must still
+   match the sequential replay oracle at exactly its observed version *)
+let test_socket_stress seed () =
+  let rng = Rng.create seed in
+  (* the surface [edgerel] names its columns a/b, so rebase the
+     generated graph onto that schema *)
+  let surface_schema =
+    Dc_core.Constructor.binary_schema ~a:"a" ~b:"b" Value.TStr
+  in
+  let init =
+    Relation.of_list surface_schema
+      (Relation.to_list
+         (Graph_gen.random_graph ~seed:(Rng.int rng 1_000_000) ~nodes
+            ~edges:(2 * nodes)))
+  in
+  let batches, expected_edge, expected_path = build_oracle rng init in
+  let expected_edge_ts = Array.map ts_of_relation expected_edge in
+  let db = Database.create () in
+  let srv = Server.create db in
+  let s = Server.open_session srv in
+  ignore (Server.execute s socket_setup);
+  Server.close_session s;
+  Server.submit srv (fun () -> Database.set db "Edge" init);
+  let listener = Net.listen srv (Net.Tcp ("127.0.0.1", 0)) in
+  let port = Net.bound_port listener in
+  let v0 = Database.version db in
+  let failures = ref [] in
+  let fail_m = Mutex.create () in
+  let record fmt =
+    Fmt.kstr
+      (fun msg -> Mutex.protect fail_m (fun () -> failures := msg :: !failures))
+      fmt
+  in
+  let writer () =
+    Array.iter
+      (fun (adds, dels) ->
+        Server.submit srv (fun () ->
+            Database.update_batch db [ ("Edge", adds, dels) ]))
+      batches
+  in
+  let reader r () =
+    let c = Net.Client.connect (Net.Tcp ("127.0.0.1", port)) in
+    let last_v = ref (-1) in
+    (try
+       for i = 1 to reads_per_reader do
+         let want_path = (i + r) mod 2 = 0 in
+         let v, _cols, tuples =
+           Net.Client.query c
+             (if want_path then "QUERY Edge{tc()};" else "QUERY Edge;")
+         in
+         let idx = v - v0 in
+         if idx < 0 || idx > writer_batches then
+           record "seed %d client %d read %d: version %d outside [%d, %d]"
+             seed r i v v0 (v0 + writer_batches)
+         else if v < !last_v then
+           record
+             "seed %d client %d read %d: version went backwards (%d after %d)"
+             seed r i v !last_v
+         else begin
+           last_v := v;
+           let got = ts_of_tuples tuples in
+           let expected =
+             if want_path then expected_path.(idx) else expected_edge_ts.(idx)
+           in
+           if not (TS.equal expected got) then
+             record
+               "seed %d client %d read %d: %s at version %d diverged from \
+                oracle (%d vs %d tuples)"
+               seed r i
+               (if want_path then "tc" else "edge")
+               v (TS.cardinal got) (TS.cardinal expected)
+         end
+       done
+     with e -> record "seed %d client %d died: %s" seed r (Printexc.to_string e));
+    Net.Client.close c
+  in
+  let wt = Thread.create writer () in
+  let rts = Array.init readers (fun r -> Thread.create (reader r) ()) in
+  Thread.join wt;
+  Array.iter Thread.join rts;
+  (* convergence, observed through a fresh client *)
+  let c = Net.Client.connect (Net.Tcp ("127.0.0.1", port)) in
+  let v, _, tuples = Net.Client.query c "QUERY Edge;" in
+  Alcotest.(check int)
+    (Fmt.str "seed %d: one version per batch" seed)
+    (v0 + writer_batches) v;
+  if not (TS.equal expected_edge_ts.(writer_batches) (ts_of_tuples tuples)) then
+    Alcotest.failf "seed %d: final edge extent diverged over the wire" seed;
+  let _, _, path_tuples = Net.Client.query c "QUERY Edge{tc()};" in
+  if not (TS.equal expected_path.(writer_batches) (ts_of_tuples path_tuples))
+  then Alcotest.failf "seed %d: final tc extent diverged over the wire" seed;
+  Net.Client.close c;
+  Net.stop listener;
+  Server.shutdown srv;
+  match !failures with
+  | [] -> ()
+  | msgs ->
+    Alcotest.failf "%d isolation violations over the wire, first: %s"
+      (List.length msgs)
+      (List.hd (List.rev msgs))
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "dc_server"
@@ -509,5 +644,7 @@ let () =
         [
           Alcotest.test_case "1 writer + 4 readers vs oracle" `Slow
             (test_stress 0xC0FFEE);
+          Alcotest.test_case "1 writer + 4 socket readers vs oracle" `Slow
+            (test_socket_stress 0xBEEF);
         ] );
     ]

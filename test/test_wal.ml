@@ -128,8 +128,12 @@ let gen_batch rng rel =
   done;
   if !adds = [] && !dels = [] then begin
     match Relation.to_list !current with
-    | t :: _ -> dels := [ t ]
-    | [] -> adds := [ pair 0 1 ]
+    | t :: _ ->
+      dels := [ t ];
+      current := Relation.remove t !current
+    | [] ->
+      adds := [ pair 0 1 ];
+      current := Relation.add (pair 0 1) !current
   end;
   (!adds, !dels, !current)
 
@@ -374,6 +378,117 @@ let crash_matrix site seed () =
   Durable.close r2
 
 (* ------------------------------------------------------------------ *)
+(* Group commit: several commits buffered into one [Wal.append_batch]
+   fsync.  The non-crash test proves the batched records replay; the
+   [wal.group] crash test proves the recovery contract — the kill fires
+   between the frames of the shared flush, so recovery lands on every
+   fully-acknowledged group plus a prefix of the crashed one, at a
+   per-commit boundary either way. *)
+
+let test_group_commit_durability () =
+  Guard.Failpoint.reset ();
+  let dir = fresh_dir "group_ok" in
+  let db = Database.create () in
+  let dur = Durable.open_dir ~db dir in
+  Database.declare db "edge" Graph_gen.edge_schema;
+  Database.set db "edge" (Graph_gen.chain 3);
+  let v = Database.version db in
+  let lsn0 = Durable.durable_lsn dur in
+  Durable.group dur (fun () ->
+      Database.update_batch db [ ("edge", [ pair 7 8 ], []) ];
+      Database.update_batch db [ ("edge", [ pair 8 9 ], []) ];
+      Database.update_batch db [ ("edge", [], [ pair 7 8 ]) ]);
+  Alcotest.(check int)
+    "three versions in one group" (v + 3) (Database.version db);
+  Alcotest.(check bool)
+    "lsn advanced by the shared flush" true
+    (Durable.durable_lsn dur >= lsn0 + 3);
+  (* an empty group flushes nothing *)
+  Durable.group dur (fun () -> ());
+  Alcotest.(check int) "empty group" (v + 3) (Database.version db);
+  (* a nested group joins the outer one *)
+  Durable.group dur (fun () ->
+      Durable.group dur (fun () ->
+          Database.update_batch db [ ("edge", [ pair 6 7 ], []) ]));
+  let vf = Database.version db in
+  let extent = Database.get db "edge" in
+  Alcotest.(check int) "nested group committed" (v + 4) vf;
+  (* abandon the handle: recovery must replay the batched records from
+     the log, not pick them up from a close-time checkpoint *)
+  let r = Durable.open_dir dir in
+  Alcotest.(check int) "exact version" vf (Database.version (Durable.db r));
+  Alcotest.check rel_testable "extent" extent
+    (Database.get (Durable.db r) "edge");
+  Durable.close r
+
+let crash_group seed () =
+  Guard.Failpoint.reset ();
+  Fun.protect ~finally:Guard.Failpoint.reset @@ fun () ->
+  let rng = Rng.create seed in
+  let init =
+    Graph_gen.random_graph ~seed:(Rng.int rng 1_000_000) ~nodes
+      ~edges:(2 * nodes)
+  in
+  let dir = fresh_dir "group_crash" in
+  let ddb = Database.create () in
+  let dur = Durable.open_dir ~db:ddb ~checkpoint_every:25 dir in
+  ignore (setup ddb init);
+  let v0 = Database.version ddb in
+  (* [wal.group] ticks between the frames of one batched flush, so the
+     kill lands inside some multi-commit group's shared fsync *)
+  let n = 1 + Rng.int rng 150 in
+  Guard.Failpoint.arm "wal.group" n;
+  let cur = ref init in
+  let committed = ref [] in (* every batch, in commit order *)
+  let acked = ref 0 in (* batches inside fully-flushed groups *)
+  let crashed_group = ref 0 in
+  (try
+     for _ = 1 to 120 do
+       let size = 1 + Rng.int rng 4 in
+       let group =
+         List.init size (fun _ ->
+             let adds, dels, next = gen_batch rng !cur in
+             cur := next;
+             (adds, dels))
+       in
+       committed := !committed @ group;
+       match
+         Durable.group dur (fun () ->
+             List.iter
+               (fun (adds, dels) ->
+                 Database.update_batch ddb [ ("edge", adds, dels) ])
+               group)
+       with
+       | () -> acked := !acked + size
+       | exception Guard.Exhausted (Guard.Fault_injected "wal.group", _) ->
+         crashed_group := size;
+         raise Exit
+     done;
+     Alcotest.failf "wal.group armed at %d never fired (seed %d)" n seed
+   with Exit -> ());
+  (* recover the directory into a fresh process image: every
+     acknowledged group must be there in full; of the crashed group only
+     a prefix of complete records may survive *)
+  let r = Durable.open_dir dir in
+  let recovered = Database.version (Durable.db r) - v0 in
+  let total = List.length !committed in
+  if recovered < !acked || recovered > total then
+    Alcotest.failf
+      "seed %d: recovered %d batches outside [acked %d, acked + crashed \
+       group %d]"
+      seed recovered !acked total;
+  (* replaying exactly [recovered] batches on a fresh oracle reproduces
+     the recovered state — recovery stopped at a commit boundary *)
+  let odb = Database.create () in
+  ignore (setup odb init);
+  List.iteri
+    (fun i (adds, dels) ->
+      if i < recovered then Database.update_batch odb [ ("edge", adds, dels) ])
+    !committed;
+  check_same_state ~msg:(Fmt.str "wal.group (seed %d)" seed) odb (Durable.db r);
+  Durable.close r
+
+(* ------------------------------------------------------------------ *)
 (* PR 5 x PR 7 interplay: a maintained DRed view and a pinned BEGIN
    reader on a server recovered from a crash *)
 
@@ -453,7 +568,15 @@ let test_recovered_server_pinned_reader () =
 (* ------------------------------------------------------------------ *)
 
 let () =
-  let sites = [ "wal.append"; "wal.fsync"; "wal.checkpoint"; "wal.truncate" ] in
+  let sites =
+    [ "wal.append"; "wal.fsync"; "wal.checkpoint"; "wal.truncate"; "wal.group" ]
+  in
+  (* [wal.group] only ticks inside a batched flush, so its kills run the
+     group-commit workload; the other sites share the per-commit one *)
+  let case site seed =
+    if String.equal site "wal.group" then crash_group seed
+    else crash_matrix site seed
+  in
   (* The CI crash-matrix axis: DC_FAILPOINT="wal.<site>=<far future>"
      (Guard arms the ambient schedule itself; each crash test resets it
      and arms its own seeded count).  Naming a wal site narrows the
@@ -475,7 +598,7 @@ let () =
       List.map
         (fun seed ->
           Alcotest.test_case (Fmt.str "%s seed %d" site seed) `Quick
-            (crash_matrix site seed))
+            (case site seed))
         [ 1; 2; 3; 4; 5 ]
     | _ ->
       List.concat_map
@@ -484,7 +607,7 @@ let () =
             (fun seed ->
               Alcotest.test_case
                 (Fmt.str "%s seed %d" site seed)
-                `Quick (crash_matrix site seed))
+                `Quick (case site seed))
             [ 1; 2 ])
         sites
   in
@@ -503,6 +626,11 @@ let () =
             test_empty_delta_versions;
         ] );
       ("crash matrix", matrix);
+      ( "group commit",
+        [
+          Alcotest.test_case "batched records replay" `Quick
+            test_group_commit_durability;
+        ] );
       ( "serving",
         [
           Alcotest.test_case "recovered server, pinned reader" `Quick
