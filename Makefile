@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-smoke bench-ivm bench-par bench-serve bench-wal examples doc clean outputs
+.PHONY: all build test bench bench-smoke bench-ivm bench-agg bench-par bench-serve bench-wal examples doc clean outputs
 
 all: build
 
@@ -20,6 +20,11 @@ bench-smoke:
 # Maintained views vs recompute-per-update on the same update stream.
 bench-ivm:
 	dune exec bench/main.exe -- ivm
+
+# Aggregates: recursive MIN with per-group bounds vs the unaggregated
+# naive recompute, and a maintained SUM view vs recompute-per-update.
+bench-agg:
+	dune exec bench/main.exe -- agg
 
 # Parallel fixpoint scaling curve (P = 1, 2, 4, recommended; degrees
 # above the core count are dropped, so single-core runners report P=1).

@@ -1328,6 +1328,224 @@ let print_ivm records =
 let run_ivm () = print_ivm (ivm_records ())
 
 (* ------------------------------------------------------------------ *)
+(* Aggregates (PR 10).  Two claims the BENCH "aggregates" section tracks:
+
+   (a) premappability pays: recursive MIN evaluated semi-naively WITH
+       per-group bounds (one accumulator per (src, dst), worse paths
+       subsumed inside the fixpoint) vs the naive recompute that runs
+       the same recursion unaggregated — accumulating every distinct
+       path weight — and aggregates once at the end.  A weighted layered
+       DAG keeps the unaggregated variant finite while giving it a wide
+       weight lattice to enumerate.
+
+   (b) incremental aggregate maintenance pays: a maintained SUM view
+       (counting plan over raw contributions + per-group adjustment)
+       vs a from-scratch recompute after every base update. *)
+
+module Agg = Dc_agg.Agg
+
+type agg_min_record = {
+  am_name : string;
+  am_bounded_ms : float;
+  am_naive_ms : float;
+  am_groups : int; (* result tuples: one bound per group *)
+  am_raw : int; (* distinct path-weight tuples the bounds never enumerate *)
+}
+
+let am_speedup r = r.am_naive_ms /. r.am_bounded_ms
+
+let sp_agg_program =
+  Dc_datalog.Syntax.
+    [
+      rule
+        (atom "sp" [ var "S"; var "D"; var "W" ])
+        [ Pos (atom "edge" [ var "S"; var "D"; var "W" ]) ];
+      rule
+        (atom "sp" [ var "S"; var "D"; Binop (Ast.Add, var "W1", var "W2") ])
+        [
+          Pos (atom "sp" [ var "S"; var "M"; var "W1" ]);
+          Pos (atom "edge" [ var "M"; var "D"; var "W2" ]);
+        ];
+    ]
+
+let sp_spec = { Agg.group = [ 0; 1 ]; value = 2; op = Agg.Min }
+
+(* complete bipartite between adjacent layers, uniform weights 1..max_w *)
+let weighted_layered ~seed ~layers ~width ~max_w =
+  let rng = Rng.create seed in
+  let tuples = ref [] in
+  for l = 0 to layers - 2 do
+    for a = 0 to width - 1 do
+      for b = 0 to width - 1 do
+        tuples :=
+          Tuple.of_list
+            [
+              Graph_gen.node ((l * width) + a);
+              Graph_gen.node (((l + 1) * width) + b);
+              Value.Int (1 + Rng.int rng max_w);
+            ]
+          :: !tuples
+      done
+    done
+  done;
+  Relation.of_list Graph_gen.weighted_edge_schema !tuples
+
+let agg_min_records () =
+  let module TS = Dc_datalog.Facts.TS in
+  let run name rel =
+    let edb = edb_of rel in
+    let aggs = [ ("sp", sp_spec) ] in
+    let bounded, bounded_ms =
+      time (fun () -> Dc_datalog.Seminaive.query ~aggs sp_agg_program edb "sp")
+    in
+    let raw, naive_ms =
+      time (fun () -> Dc_datalog.Seminaive.query sp_agg_program edb "sp")
+    in
+    let reference =
+      List.fold_left
+        (fun acc t -> TS.add t acc)
+        TS.empty
+        (Agg.aggregate sp_spec (TS.elements raw))
+    in
+    if not (TS.equal bounded reference) then
+      Fmt.failwith
+        "agg bench %s: bounded result (%d) <> aggregate of naive recompute \
+         (%d)"
+        name (TS.cardinal bounded) (TS.cardinal reference);
+    {
+      am_name = name;
+      am_bounded_ms = bounded_ms;
+      am_naive_ms = naive_ms;
+      am_groups = TS.cardinal bounded;
+      am_raw = TS.cardinal raw;
+    }
+  in
+  (* DAGs only: the unaggregated arm must terminate, and on a cycle the
+     path-weight lattice is unbounded (exactly what the bounds fix — but
+     no baseline to compare against) *)
+  let random_weighted_dag ~seed ~nodes ~edges ~max_w =
+    let rng = Rng.create seed in
+    let seen = Hashtbl.create (2 * edges) in
+    let tuples = ref [] in
+    let guard = ref (100 * edges) in
+    while Hashtbl.length seen < edges && !guard > 0 do
+      decr guard;
+      let a = Rng.int rng nodes and b = Rng.int rng nodes in
+      let a, b = (min a b, max a b) in
+      if a <> b && not (Hashtbl.mem seen (a, b)) then begin
+        Hashtbl.replace seen (a, b) ();
+        tuples :=
+          Tuple.of_list
+            [
+              Graph_gen.node a; Graph_gen.node b;
+              Value.Int (1 + Rng.int rng max_w);
+            ]
+          :: !tuples
+      end
+    done;
+    Relation.of_list Graph_gen.weighted_edge_schema !tuples
+  in
+  [
+    run "agg_min_layered_6x4"
+      (weighted_layered ~seed:11 ~layers:6 ~width:4 ~max_w:30);
+    run "agg_min_dag_48_192"
+      (random_weighted_dag ~seed:12 ~nodes:48 ~edges:192 ~max_w:9);
+  ]
+
+(* (b): SUM per source over a weighted edge relation, dst discriminating *)
+let agg_view_src =
+  {|TYPE wedge  = RELATION src, dst OF RECORD src, dst: STRING; w: INTEGER END;
+    TYPE persrc = RELATION src OF RECORD src: STRING; v: INTEGER END;
+    VAR E: wedge;
+    CONSTRUCTOR total FOR Rel: wedge (): persrc;
+    BEGIN <e.src, e.dst, SUM e.w> OF EACH e IN Rel: TRUE GROUP BY e.src
+    END total;|}
+
+let agg_view_query = Ast.(Construct (Rel "E", "total", []))
+
+(* step [i]: toggle one deterministic pseudo-random weighted edge *)
+let agg_view_step db i nodes =
+  let s = Graph_gen.node (i mod nodes)
+  and d = Graph_gen.node (((i * 7) + 3) mod nodes) in
+  let existing =
+    Relation.fold
+      (fun t acc ->
+        if Value.equal (Tuple.get t 0) s && Value.equal (Tuple.get t 1) d then
+          Some t
+        else acc)
+      (Database.get db "E") None
+  in
+  match existing with
+  | Some t -> Database.delete db "E" t
+  | None ->
+    Database.insert db "E" (Tuple.of_list [ s; d; Value.Int (1 + (i mod 9)) ])
+
+let agg_view_db ~nodes ~edges =
+  let db, _ = Dc_lang.Elaborate.run_string agg_view_src in
+  Database.set db "E"
+    (Graph_gen.random_weighted_graph ~seed:13 ~nodes ~edges ~max_w:9);
+  db
+
+let agg_view_records () =
+  let module Ivm = Dc_ivm.Ivm in
+  let run name ~nodes ~edges ~updates =
+    let maintained () =
+      let db = agg_view_db ~nodes ~edges in
+      let view = Ivm.materialize db ~constructor:"total" ~base:"E" ~args:[] in
+      let (), t =
+        time (fun () ->
+            for i = 0 to updates - 1 do
+              agg_view_step db i nodes;
+              ignore (Ivm.cardinal view)
+            done)
+      in
+      (Ivm.cardinal view, t)
+    in
+    let recompute () =
+      let db = agg_view_db ~nodes ~edges in
+      let card = ref 0 in
+      let (), t =
+        time (fun () ->
+            for i = 0 to updates - 1 do
+              agg_view_step db i nodes;
+              card := Relation.cardinal (Database.query db agg_view_query)
+            done)
+      in
+      (!card, t)
+    in
+    let mc, mt = maintained () in
+    let rc, rt = recompute () in
+    if mc <> rc then
+      Fmt.failwith "agg view bench %s: maintained extent %d <> recomputed %d"
+        name mc rc;
+    {
+      ir_name = name;
+      ir_updates = updates;
+      ir_maintained_ms = mt;
+      ir_recompute_ms = rt;
+    }
+  in
+  [
+    run "agg_sum_view_96_384" ~nodes:96 ~edges:384 ~updates:256;
+    run "agg_sum_view_192_768" ~nodes:192 ~edges:768 ~updates:256;
+  ]
+
+let print_agg (mins, views) =
+  List.iter
+    (fun r ->
+      Fmt.pr
+        "%-24s bounded=%sms naive-recompute=%sms speedup=%.1fx (%d groups vs \
+         %d raw tuples)@."
+        r.am_name (ms r.am_bounded_ms) (ms r.am_naive_ms) (am_speedup r)
+        r.am_groups r.am_raw)
+    mins;
+  print_ivm views
+
+let agg_records () = (agg_min_records (), agg_view_records ())
+
+let run_agg () = print_agg (agg_records ())
+
+(* ------------------------------------------------------------------ *)
 (* Parallel scaling: the heaviest two recursive workloads plus one
    maintained-view update stream, each run at P = 1, 2, 4 and the
    machine's recommended degree.  Degrees above the recommendation are
@@ -1802,6 +2020,7 @@ let run_json path =
   Dc_obs.Obs.set_enabled false;
   let overhead = obs_overhead_records () in
   let ivm = ivm_records () in
+  let (agg_mins, agg_views) = agg_records () in
   let parallel = par_records () in
   let serving = serve_records () in
   let socket_serving = socket_records () in
@@ -1841,6 +2060,29 @@ let run_json path =
       field_sep := ",\n")
     ivm;
   output_string oc "\n  ],\n";
+  output_string oc "  \"aggregates\": {\n    \"recursive_min\": [\n";
+  field_sep := "";
+  List.iter
+    (fun r ->
+      Printf.fprintf oc
+        "%s      { \"name\": %S, \"bounded_ms\": %.3f, \"naive_ms\": %.3f, \
+         \"speedup\": %.2f, \"groups\": %d, \"raw_tuples\": %d }"
+        !field_sep r.am_name r.am_bounded_ms r.am_naive_ms (am_speedup r)
+        r.am_groups r.am_raw;
+      field_sep := ",\n")
+    agg_mins;
+  output_string oc "\n    ],\n    \"maintained_view\": [\n";
+  field_sep := "";
+  List.iter
+    (fun r ->
+      Printf.fprintf oc
+        "%s      { \"name\": %S, \"updates\": %d, \"maintained_ms\": %.3f, \
+         \"recompute_per_update_ms\": %.3f, \"speedup\": %.2f }"
+        !field_sep r.ir_name r.ir_updates r.ir_maintained_ms r.ir_recompute_ms
+        (ir_speedup r);
+      field_sep := ",\n")
+    agg_views;
+  output_string oc "\n    ]\n  },\n";
   Printf.fprintf oc "  \"parallel\": {\n    \"degrees\": [%s],\n    \"cells\": [\n"
     (String.concat ", " (List.map string_of_int (par_degrees ())));
   field_sep := "";
@@ -1903,6 +2145,7 @@ let run_json path =
   print_records records;
   print_obs_overhead overhead;
   print_ivm ivm;
+  print_agg (agg_mins, agg_views);
   print_parallel parallel;
   print_serving ~label:"serve(inproc)" serving;
   print_serving ~label:"serve(socket)" socket_serving;
@@ -1993,6 +2236,7 @@ let () =
   | [ "json"; path ] -> run_json path
   | [ "smoke" ] -> run_smoke ()
   | [ "ivm" ] -> run_ivm ()
+  | [ "agg" ] -> run_agg ()
   | [ "parallel" ] -> run_parallel ()
   | [ "serve" ] -> run_serve ()
   | [ "wal" ] -> run_wal ()

@@ -80,6 +80,12 @@ let handle_errors f =
   | Dc_calculus.Typecheck.Error msg ->
     Fmt.epr "type error: %s@." msg;
     exit 1
+  | Dc_agg.Agg.Inadmissible v ->
+    Fmt.epr "aggregate error: %a@." Dc_agg.Agg.pp_violation v;
+    exit 1
+  | Dc_datalog.Stratify.Not_stratifiable msg ->
+    Fmt.epr "stratification error: %s@." msg;
+    exit 1
   | Dc_core.Fixpoint.Divergence msg ->
     Fmt.epr "divergence: %s@." msg;
     exit 1
@@ -270,6 +276,10 @@ let repl_cmd =
             Fmt.pr "elaboration error: %s@." msg
           | Dc_core.Database.Error msg -> Fmt.pr "error: %s@." msg
           | Dc_calculus.Typecheck.Error msg -> Fmt.pr "type error: %s@." msg
+          | Dc_agg.Agg.Inadmissible v ->
+            Fmt.pr "aggregate error: %a@." Dc_agg.Agg.pp_violation v
+          | Dc_datalog.Stratify.Not_stratifiable msg ->
+            Fmt.pr "stratification error: %s@." msg
           | Dc_calculus.Eval.Runtime_error msg ->
             Fmt.pr "runtime error: %s@." msg
           | Dc_core.Selector.Selector_violation msg ->

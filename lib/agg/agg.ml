@@ -1,0 +1,268 @@
+(* Grouped aggregates for rule heads (ROADMAP item 2).
+
+   The design follows Zaniolo et al., "Fixpoint Semantics and Optimization
+   of Recursive Datalog Programs with Aggregates" (and LDL++ before it):
+
+   - MIN and MAX are {e premappable}: they commute with monotone rule
+     bodies, so they may be applied {e inside} the fixpoint.  A recursive
+     MIN-aggregated predicate keeps one current bound per group instead of
+     the full extent of derived values; a newly derived tuple either
+     improves the bound (and displaces the old one) or is subsumed.
+   - COUNT and SUM are not premappable: a partial count is not a count.
+     They are admitted only in {e stratified} positions — every predicate
+     an aggregation reads must be complete before the aggregate stratum
+     runs (the stratification rules live in [Dc_datalog.Stratify]).
+
+   Aggregation is over the {e distinct set} of raw tuples derived for the
+   predicate (LDL++'s count<Y> convention): duplicate derivations of the
+   same raw tuple contribute once.  Programs that need per-witness
+   contributions carry discriminator columns in the raw tuple and project
+   them away through the group. *)
+
+open Dc_relation
+
+type op =
+  | Min
+  | Max
+  | Count
+  | Sum
+
+(* Which raw-tuple columns survive into the result, and which one is
+   aggregated.  A result tuple is the [group] projection (in order)
+   followed by the accumulated value; any remaining raw columns are
+   discriminators — they make contributions distinct, then vanish. *)
+type spec = {
+  group : int list;
+  value : int;
+  op : op;
+}
+
+let op_name = function
+  | Min -> "MIN"
+  | Max -> "MAX"
+  | Count -> "COUNT"
+  | Sum -> "SUM"
+
+let op_of_name = function
+  | "MIN" -> Some Min
+  | "MAX" -> Some Max
+  | "COUNT" -> Some Count
+  | "SUM" -> Some Sum
+  | _ -> None
+
+let pp_op ppf o = Fmt.string ppf (op_name o)
+
+(* MIN/MAX commute with monotone bodies; COUNT/SUM do not. *)
+let premappable = function
+  | Min | Max -> true
+  | Count | Sum -> false
+
+let result_ty op (raw : Value.ty) =
+  match op with
+  | Count -> Value.TInt
+  | Min | Max | Sum -> raw
+
+let value_admissible op (ty : Value.ty) =
+  match op, ty with
+  | Count, _ -> true
+  | (Min | Max | Sum), (Value.TInt | Value.TFloat) -> true
+  | (Min | Max | Sum), _ -> false
+
+(* [better op candidate incumbent]: does the candidate strictly improve a
+   MIN/MAX bound? *)
+let better op a b =
+  match op with
+  | Min -> Value.compare a b < 0
+  | Max -> Value.compare a b > 0
+  | Count | Sum -> invalid_arg "Agg.better: not a bound aggregate"
+
+type violation = {
+  agg_con : string; (* offending constructor / predicate *)
+  agg_reason : string;
+}
+
+exception Inadmissible of violation
+
+let pp_violation ppf v =
+  Fmt.pf ppf "aggregate in %s not admissible: %s" v.agg_con v.agg_reason
+
+let inadmissible con fmt =
+  Fmt.kstr (fun s -> raise (Inadmissible { agg_con = con; agg_reason = s })) fmt
+
+let () =
+  Printexc.register_printer (function
+    | Inadmissible v -> Some (Fmt.str "%a" pp_violation v)
+    | _ -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Reference semantics: aggregate a raw extent from scratch.  The oracle
+   tests difference the incremental paths against this, and the IVM
+   bound-violation path rescans one group through it. *)
+
+let result_of_raw spec raw =
+  Tuple.of_list
+    (List.map (Tuple.get raw) spec.group @ [ Tuple.get raw spec.value ])
+
+let accumulate spec acc v =
+  match spec.op, acc with
+  | _, None -> (
+    match spec.op with
+    | Count -> Some (Value.Int 1)
+    | Min | Max | Sum -> Some v)
+  | Count, Some (Value.Int n) -> Some (Value.Int (n + 1))
+  | Count, Some _ -> invalid_arg "Agg.accumulate: count accumulator"
+  | Sum, Some a -> Some (Value.add a v)
+  | (Min | Max), Some a -> if better spec.op v a then Some v else Some a
+
+(* Full recompute of the distinct-set aggregate over [raws]. *)
+let aggregate spec (raws : Tuple.t list) : Tuple.t list =
+  let module TM = Map.Make (Tuple) in
+  let seen = Hashtbl.create 64 in
+  let groups =
+    List.fold_left
+      (fun m raw ->
+        if Hashtbl.mem seen raw then m
+        else begin
+          Hashtbl.replace seen raw ();
+          let key = Tuple.project raw spec.group in
+          let v = Tuple.get raw spec.value in
+          TM.update key (fun acc -> accumulate spec acc v) m
+        end)
+      TM.empty raws
+  in
+  TM.fold
+    (fun key acc out -> Tuple.of_list (Tuple.to_list key @ [ acc ]) :: out)
+    groups []
+
+(* ------------------------------------------------------------------ *)
+(* The grouped accumulator behind the IR's Group operator.
+
+   One table lives for the duration of one stratum's fixpoint (or one
+   maintained view).  [offer] feeds it a raw tuple; when the group's
+   result changes, the new result tuple is returned and the old one is
+   queued as displaced.  The evaluator's round loop treats emissions as
+   the delta and removes drained displacements from the store — per-group
+   bounds instead of full extents. *)
+
+module Group_table = struct
+  type entry = {
+    mutable acc : Value.t;
+    mutable result : Tuple.t;
+  }
+
+  type t = {
+    t_spec : spec;
+    groups : (Tuple.t, entry) Hashtbl.t;
+    seen : (Tuple.t, unit) Hashtbl.t; (* raw distinct-set (COUNT/SUM only) *)
+    mutable displaced : Tuple.t list;
+  }
+
+  let create spec =
+    {
+      t_spec = spec;
+      groups = Hashtbl.create 64;
+      seen = Hashtbl.create 64;
+      displaced = [];
+    }
+
+  let spec t = t.t_spec
+  let group_count t = Hashtbl.length t.groups
+
+  let result_tuple key acc = Tuple.of_list (Tuple.to_list key @ [ acc ])
+
+  let offer t raw =
+    let spec = t.t_spec in
+    let distinct = not (premappable spec.op) in
+    if distinct && Hashtbl.mem t.seen raw then None
+    else begin
+      if distinct then Hashtbl.replace t.seen raw ();
+      let key = Tuple.project raw spec.group in
+      let v = Tuple.get raw spec.value in
+      match Hashtbl.find_opt t.groups key with
+      | None ->
+        let acc =
+          match accumulate spec None v with
+          | Some a -> a
+          | None -> assert false
+        in
+        let result = result_tuple key acc in
+        Hashtbl.replace t.groups key { acc; result };
+        Some result
+      | Some e -> (
+        match accumulate spec (Some e.acc) v with
+        | Some acc when not (Value.equal acc e.acc) ->
+          t.displaced <- e.result :: t.displaced;
+          let result = result_tuple key acc in
+          e.acc <- acc;
+          e.result <- result;
+          Some result
+        | _ -> None)
+    end
+
+  (* Install an existing result tuple without emitting (restore paths). *)
+  let seed t result =
+    let n = Tuple.arity result - 1 in
+    let key = Tuple.project result (List.init n Fun.id) in
+    let acc = Tuple.get result n in
+    Hashtbl.replace t.groups key { acc; result }
+
+  let drain_displaced t =
+    let d = t.displaced in
+    t.displaced <- [];
+    d
+
+  (* IVM retraction for COUNT/SUM: remove one raw contribution.  Returns
+     [(old_result, new_result_opt)] when the group's result changes;
+     [new_result_opt = None] means the group became empty. *)
+  let retract t raw =
+    let spec = t.t_spec in
+    if premappable spec.op then
+      invalid_arg "Agg.Group_table.retract: MIN/MAX retract by group rescan";
+    if not (Hashtbl.mem t.seen raw) then None
+    else begin
+      Hashtbl.remove t.seen raw;
+      let key = Tuple.project raw spec.group in
+      let v = Tuple.get raw spec.value in
+      match Hashtbl.find_opt t.groups key with
+      | None -> None
+      | Some e ->
+        let old = e.result in
+        let acc' =
+          match spec.op, e.acc with
+          | Count, Value.Int n -> Value.Int (n - 1)
+          | Count, _ -> invalid_arg "Agg.retract: count accumulator"
+          | Sum, a -> Value.sub a v
+          | (Min | Max), _ -> assert false
+        in
+        let emptied =
+          match spec.op, acc' with
+          | Count, Value.Int 0 -> true
+          | Sum, _ ->
+            not
+              (Hashtbl.fold
+                 (fun r () found ->
+                   found || Tuple.equal (Tuple.project r spec.group) key)
+                 t.seen false)
+          | _ -> false
+        in
+        if emptied then begin
+          Hashtbl.remove t.groups key;
+          Some (old, None)
+        end
+        else begin
+          let result = result_tuple key acc' in
+          e.acc <- acc';
+          e.result <- result;
+          Some (old, Some result)
+        end
+    end
+
+  (* Drop a group entirely (MIN/MAX bound violation: the caller rescans
+     the surviving raw tuples and re-offers them). *)
+  let forget_group t key = Hashtbl.remove t.groups key
+
+  let current t key =
+    Option.map (fun e -> e.result) (Hashtbl.find_opt t.groups key)
+
+  let iter_results f t = Hashtbl.iter (fun _ e -> f e.result) t.groups
+end

@@ -1,0 +1,91 @@
+(** Grouped aggregates for rule heads: MIN/MAX premapped into the
+    fixpoint with one bound per group (Zaniolo et al.), COUNT/SUM
+    stratified.  Aggregation is over the distinct set of raw tuples
+    (LDL++'s count<Y> convention). *)
+
+open Dc_relation
+
+type op =
+  | Min
+  | Max
+  | Count
+  | Sum
+
+type spec = {
+  group : int list;  (** raw positions copied into the result, in order *)
+  value : int;  (** raw position of the aggregated value *)
+  op : op;
+}
+
+val op_name : op -> string
+val op_of_name : string -> op option
+val pp_op : op Fmt.t
+
+val premappable : op -> bool
+(** May the operator be applied inside a recursive fixpoint?  True for
+    MIN/MAX (bounds only improve), false for COUNT/SUM (a partial count
+    is not a count — they must be stratified). *)
+
+val result_ty : op -> Value.ty -> Value.ty
+(** Type of the accumulated column given the raw value column's type. *)
+
+val value_admissible : op -> Value.ty -> bool
+(** COUNT accepts any value type; MIN/MAX/SUM need INTEGER or REAL. *)
+
+val better : op -> Value.t -> Value.t -> bool
+(** [better op a b]: does [a] strictly improve bound [b]?  MIN/MAX only. *)
+
+type violation = {
+  agg_con : string;
+  agg_reason : string;
+}
+
+exception Inadmissible of violation
+(** The typed admission error: COUNT/SUM in a recursive cycle,
+    non-monotone use of a recursive bound, mismatched branch specs, ... *)
+
+val pp_violation : violation Fmt.t
+val inadmissible : string -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+val result_of_raw : spec -> Tuple.t -> Tuple.t
+(** Group projection of a raw tuple followed by its (unaccumulated)
+    value — the shape a result tuple takes. *)
+
+val accumulate : spec -> Value.t option -> Value.t -> Value.t option
+
+val aggregate : spec -> Tuple.t list -> Tuple.t list
+(** From-scratch reference: group the distinct raw tuples and fold each
+    group.  The differential oracle and the IVM per-group rescan use
+    this. *)
+
+(** The grouped accumulator behind the IR's Group operator: one current
+    result per group; offers either improve it (displacing the previous
+    result) or are subsumed. *)
+module Group_table : sig
+  type t
+
+  val create : spec -> t
+  val spec : t -> spec
+  val group_count : t -> int
+
+  val offer : t -> Tuple.t -> Tuple.t option
+  (** Feed one raw tuple; returns the group's new result tuple when it
+      changed (the displaced predecessor is queued). *)
+
+  val seed : t -> Tuple.t -> unit
+  (** Install an existing result tuple without emitting (restore). *)
+
+  val drain_displaced : t -> Tuple.t list
+  (** Result tuples invalidated since the last drain. *)
+
+  val retract : t -> Tuple.t -> (Tuple.t * Tuple.t option) option
+  (** COUNT/SUM maintenance: remove one raw contribution.  Returns
+      [(old_result, new_result)] when the group changed; a [None] new
+      result means the group emptied. *)
+
+  val forget_group : t -> Tuple.t -> unit
+  (** Drop a group (MIN/MAX bound violation: caller rescans raws). *)
+
+  val current : t -> Tuple.t -> Tuple.t option
+  val iter_results : (Tuple.t -> unit) -> t -> unit
+end

@@ -33,6 +33,9 @@ type constructor_def = {
   con_formal_schema : Schema.t;
   con_params : param list;
   con_result : Schema.t;
+  con_agg : Dc_agg.Agg.spec option;
+      (* aggregate applied to the branches' raw emissions (all branches
+         share the spec); [con_result] is the aggregated schema *)
   con_body : Ast.branch list;
 }
 

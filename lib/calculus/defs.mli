@@ -32,6 +32,10 @@ type constructor_def = {
   con_formal_schema : Schema.t;
   con_params : param list;
   con_result : Schema.t;
+  con_agg : Dc_agg.Agg.spec option;
+      (** aggregate applied to the branches' raw emissions (every branch
+          shares the spec); [con_result] is the aggregated schema:
+          group attributes followed by the accumulated value *)
   con_body : Ast.branch list;
 }
 

@@ -180,6 +180,149 @@ let sccs (defs : Defs.constructor_def list) =
     defs;
   List.rev !components
 
+(* ------------------------------------------------------------------ *)
+(* Aggregate admission (define time).
+
+   COUNT/SUM are only exact at fixpoint — a partial count is not a count —
+   so they are admitted only outside recursive components.  MIN/MAX may
+   run inside a recursive fixpoint (one refinable bound per group) under
+   the premappability condition [Zaniolo et al.]: every use of a
+   recursive component's accumulated value must tolerate overestimates,
+   i.e. the aggregated target term is monotone non-decreasing in each
+   recursive value field, no group/discriminator target depends on one,
+   and where-clause tests on one are closed under improvement (downward
+   for MIN, upward for MAX).  Violations raise the typed
+   {!Dc_agg.Agg.Inadmissible} error. *)
+
+module Agg = Dc_agg.Agg
+
+let check_aggregates (defs : Defs.constructor_def list) =
+  List.iter
+    (fun (comp : Defs.constructor_def list) ->
+      let in_comp c = List.exists (fun d -> d.Defs.con_name = c) comp in
+      let recursive =
+        match comp with
+        | [ d ] -> List.mem d.Defs.con_name (dependencies d)
+        | _ -> true
+      in
+      let find c = List.find_opt (fun d -> d.Defs.con_name = c) defs in
+      List.iter
+        (fun (d : Defs.constructor_def) ->
+          match d.con_agg with
+          | None -> ()
+          | Some spec ->
+            if not recursive then ()
+            else if not (Agg.premappable spec.op) then
+              Agg.inadmissible d.con_name
+                "recursive through its own %s aggregate — a partial %s is \
+                 not a %s; break the cycle or use MIN/MAX"
+                (Agg.op_name spec.op) (Agg.op_name spec.op)
+                (Agg.op_name spec.op)
+            else
+              (* premappability: per branch, locate binders ranging over
+                 this component and the attribute carrying their
+                 accumulated value *)
+              List.iter
+                (fun (b : Ast.branch) ->
+                  let rec_value_fields =
+                    List.filter_map
+                      (fun (v, r) ->
+                        match r with
+                        | Ast.Construct (_, c, _) when in_comp c -> (
+                          match find c with
+                          | Some dc ->
+                            let res = dc.Defs.con_result in
+                            Some
+                              (v,
+                               Dc_relation.Schema.attr_name res
+                                 (Dc_relation.Schema.arity res - 1))
+                          | None -> None)
+                        | _ -> None)
+                      b.binders
+                  in
+                  if rec_value_fields <> [] then begin
+                    let is_rv v a =
+                      List.exists
+                        (fun (v', a') -> v = v' && a = a')
+                        rec_value_fields
+                    in
+                    let rec mentions = function
+                      | Ast.Field (v, a) -> is_rv v a
+                      | Ast.Const _ | Ast.Param _ -> false
+                      | Ast.Binop (_, x, y) -> mentions x || mentions y
+                    in
+                    (* monotone non-decreasing in the recursive values *)
+                    let rec monotone = function
+                      | Ast.Field _ | Ast.Const _ | Ast.Param _ -> true
+                      | Ast.Binop (Ast.Add, x, y) -> monotone x && monotone y
+                      | Ast.Binop (Ast.Sub, x, y) ->
+                        monotone x && not (mentions y)
+                      | Ast.Binop (Ast.Mul, x, y) ->
+                        not (mentions x) && not (mentions y)
+                    in
+                    List.iteri
+                      (fun i t ->
+                        if i = spec.value then begin
+                          if not (monotone t) then
+                            Agg.inadmissible d.con_name
+                              "the %s target %a is not monotone in the \
+                               recursive bound (improvements could not \
+                               propagate)"
+                              (Agg.op_name spec.op) Ast.pp_term t
+                        end
+                        else if mentions t then
+                          Agg.inadmissible d.con_name
+                            "target %a places a recursive bound outside \
+                             the aggregated column"
+                            Ast.pp_term t)
+                      b.target;
+                    let ok_cmp op =
+                      match (spec.op, (op : Ast.cmpop)) with
+                      | Agg.Min, (Ast.Lt | Ast.Le) -> true
+                      | Agg.Max, (Ast.Gt | Ast.Ge) -> true
+                      | _ -> false
+                    in
+                    let flip = function
+                      | Ast.Lt -> Ast.Gt
+                      | Ast.Le -> Ast.Ge
+                      | Ast.Gt -> Ast.Lt
+                      | Ast.Ge -> Ast.Le
+                      | (Ast.Eq | Ast.Ne) as o -> o
+                    in
+                    let rec formula_mentions = function
+                      | Ast.True | Ast.False -> false
+                      | Ast.Cmp (_, x, y) -> mentions x || mentions y
+                      | Ast.Not f -> formula_mentions f
+                      | Ast.And (x, y) | Ast.Or (x, y) ->
+                        formula_mentions x || formula_mentions y
+                      | Ast.Some_in (_, _, f) | Ast.All_in (_, _, f) ->
+                        formula_mentions f
+                      | Ast.In_rel _ -> false
+                      | Ast.Member (ts, _) -> List.exists mentions ts
+                    in
+                    List.iter
+                      (fun conj ->
+                        if formula_mentions conj then
+                          match conj with
+                          | Ast.Cmp (op, x, y)
+                            when mentions x && not (mentions y)
+                                 && ok_cmp op ->
+                            ()
+                          | Ast.Cmp (op, x, y)
+                            when mentions y && not (mentions x)
+                                 && ok_cmp (flip op) ->
+                            ()
+                          | conj ->
+                            Agg.inadmissible d.con_name
+                              "condition %a tests a recursive %s bound in \
+                               a way not closed under improvement"
+                              Ast.pp_formula conj (Agg.op_name spec.op))
+                      (Ast.conjuncts b.where)
+                  end)
+                d.con_body)
+        comp)
+    (sccs defs)
+
 (* Per-SCC positivity for a whole program of constructor definitions. *)
 let check_program defs =
   let violations =

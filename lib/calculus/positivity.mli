@@ -54,3 +54,13 @@ val check_program :
   Defs.constructor_def list -> (unit, violation list) result
 (** Per-SCC positivity for a whole program: non-recursive uses of other,
     independently computable constructors under NOT/ALL remain legal. *)
+
+val check_aggregates : Defs.constructor_def list -> unit
+(** Aggregate admission, per SCC: COUNT/SUM definitions may not sit in a
+    recursive component (a partial count is not a count), while MIN/MAX
+    definitions in a recursive component must satisfy the premappability
+    condition — the aggregated target monotone non-decreasing in every
+    recursive bound, group/discriminator targets independent of the
+    bounds, and where-clause tests on a bound closed under improvement
+    (downward for MIN, upward for MAX).
+    @raise Dc_agg.Agg.Inadmissible describing the violating definition *)

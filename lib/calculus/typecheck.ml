@@ -235,13 +235,42 @@ let check_selector_def env (def : Defs.selector_def) =
     [ (def.sel_var, def.sel_formal_schema) ]
     def.sel_pred
 
+(* The schema an aggregated constructor's results take: the raw emissions
+   of the branches are grouped on [spec.group] and folded on [spec.value]
+   (remaining raw attributes are discriminators that make contributions
+   distinct and then vanish). *)
+let aggregated_schema ~who (spec : Dc_agg.Agg.spec) raw =
+  let arity = Schema.arity raw in
+  let check_pos i =
+    if i < 0 || i >= arity then
+      error "constructor %s: aggregate position %d outside the raw tuple of %d attributes"
+        who i arity
+  in
+  List.iter check_pos spec.group;
+  check_pos spec.value;
+  let vty = Schema.attr_ty raw spec.value in
+  if not (Dc_agg.Agg.value_admissible spec.op vty) then
+    error "constructor %s: %s cannot aggregate values of type %s" who
+      (Dc_agg.Agg.op_name spec.op) (Value.type_name vty);
+  Schema.make
+    (List.map (fun i -> (Schema.attr_name raw i, Schema.attr_ty raw i)) spec.group
+    @ [ (Schema.attr_name raw spec.value, Dc_agg.Agg.result_ty spec.op vty) ])
+
 let check_constructor_def env (def : Defs.constructor_def) =
   let env = def_params_env env def.con_params in
   let env = with_rel env def.con_formal def.con_formal_schema in
-  let schema = infer_branches env [] def.con_body in
-  if not (Schema.compatible schema def.con_result) then
-    error "constructor %s: body has type %a but result type is %a" def.con_name
-      Schema.pp schema Schema.pp def.con_result
+  let raw = infer_branches env [] def.con_body in
+  match def.con_agg with
+  | None ->
+    if not (Schema.compatible raw def.con_result) then
+      error "constructor %s: body has type %a but result type is %a"
+        def.con_name Schema.pp raw Schema.pp def.con_result
+  | Some spec ->
+    let result = aggregated_schema ~who:def.con_name spec raw in
+    if not (Schema.compatible result def.con_result) then
+      error
+        "constructor %s: aggregated body has type %a but result type is %a"
+        def.con_name Schema.pp result Schema.pp def.con_result
 
 let check_query env range = ignore (infer_range env [] range)
 

@@ -57,8 +57,20 @@ val check_args :
   env -> ctx -> string -> Defs.param list -> Ast.arg list -> unit
 (** Arguments against formal parameters (arity, kind, type). *)
 
+val aggregated_schema :
+  who:string -> Dc_agg.Agg.spec -> Schema.t -> Schema.t
+(** Result schema of an aggregated constructor given its branches' raw
+    schema: group attributes (in spec order) followed by the accumulated
+    value ({!Dc_agg.Agg.result_ty}); remaining raw attributes are
+    discriminators and vanish.
+    @raise Error on out-of-range positions or an inadmissible value type *)
+
 val check_selector_def : env -> Defs.selector_def -> unit
+
 val check_constructor_def : env -> Defs.constructor_def -> unit
+(** For an aggregated constructor ([con_agg]), the branches' inferred raw
+    schema is grouped/folded through {!aggregated_schema} before the
+    [con_result] comparison. *)
 
 val check_query : env -> Ast.range -> unit
 

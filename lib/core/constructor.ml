@@ -54,6 +54,7 @@ let transitive_closure ?(name = "tc") ?(src = "src") ?(dst = "dst")
     con_formal_schema = schema;
     con_params = [];
     con_result = schema;
+    con_agg = None;
     con_body = [ identity_branch (Rel "Rel"); step ];
   }
 
@@ -88,6 +89,7 @@ let ahead_n ?(prefix = "ahead") ?(ty = Value.TStr) n : Defs.constructor_def list
       con_formal_schema = schema;
       con_params = [];
       con_result = result;
+      con_agg = None;
       con_body = body;
     }
   in
@@ -129,6 +131,7 @@ let ahead_above ?(ty = Value.TStr) () :
       con_formal_schema = infront;
       con_params = [ Defs.Rel_param ("Ontop", ontop) ];
       con_result = aheadrel;
+      con_agg = None;
       con_body =
         [
           identity_branch (Rel "Rel");
@@ -158,6 +161,7 @@ let ahead_above ?(ty = Value.TStr) () :
       con_formal_schema = ontop;
       con_params = [ Defs.Rel_param ("Infront", infront) ];
       con_result = aboverel;
+      con_agg = None;
       con_body =
         [
           identity_branch (Rel "Rel");
@@ -195,6 +199,7 @@ let ahead_2 ?(ty = Value.TStr) () : Defs.constructor_def =
     con_formal_schema = infront;
     con_params = [];
     con_result = aheadrel;
+    con_agg = None;
     con_body =
       [
         identity_branch (Rel "Rel");
@@ -222,6 +227,7 @@ let nonsense ?(ty = Value.TStr) () : Defs.constructor_def =
     con_formal_schema = schema;
     con_params = [];
     con_result = schema;
+    con_agg = None;
     con_body =
       [
         branch
@@ -239,6 +245,7 @@ let strange () : Defs.constructor_def =
     con_formal_schema = schema;
     con_params = [];
     con_result = schema;
+    con_agg = None;
     con_body =
       [
         branch
@@ -271,6 +278,7 @@ let same_generation ?(ty = Value.TStr) () : Defs.constructor_def =
     con_formal_schema = edge;
     con_params = [ Defs.Rel_param ("Flat", edge); Defs.Rel_param ("Down", edge) ];
     con_result = edge;
+    con_agg = None;
     con_body =
       [
         identity_branch (Rel "Flat");

@@ -101,6 +101,14 @@ type t = {
       (* the commit in progress changed the catalog / wholesale-assigned
          a relation: no replayable delta, [wh_append] must checkpoint *)
   mutable durable_lsn : int; (* 0 = nothing durable / no WAL attached *)
+  mutable agg_eval :
+    (t -> Defs.constructor_def -> Relation.t -> Eval.arg_value list ->
+     Relation.t)
+      option;
+      (* evaluator for constructor systems containing aggregates: the
+         fixpoint with per-group bounds lives in the compiled (datalog)
+         pipeline, which this core module cannot see — the front end
+         installs the bridge ([Dc_compile.Agg_eval] via [Elaborate]) *)
 }
 
 let frozen_empty_cache () = Index_cache.freeze (Index_cache.create ~cap:1 ())
@@ -139,7 +147,10 @@ let create ?(strategy = Fixpoint.Seminaive) ?(check_positivity = true)
     pending_changes = [];
     pending_catalog = false;
     durable_lsn = 0;
+    agg_eval = None;
   }
+
+let set_agg_eval db f = db.agg_eval <- Some f
 
 (* ------------------------------------------------------------------ *)
 (* Publication *)
@@ -490,6 +501,27 @@ let typecheck_env db =
     ~constructors:(List.map snd (SM.bindings db.constructors))
     (List.map (fun (n, r) -> (n, Relation.schema r)) (SM.bindings db.rels))
 
+(* Does the constructor system reachable from [def] contain an aggregated
+   definition?  Such applications must run through the compiled datalog
+   pipeline (grouped accumulators, per-group-bound semi-naive rounds) —
+   the naive branch-at-a-time fixpoint would re-emit displaced bounds. *)
+let system_has_agg db (def : Defs.constructor_def) =
+  let seen = Hashtbl.create 8 in
+  let rec walk (d : Defs.constructor_def) =
+    if Hashtbl.mem seen d.con_name then false
+    else begin
+      Hashtbl.replace seen d.con_name ();
+      d.con_agg <> None
+      || List.exists
+           (fun c ->
+             match SM.find_opt c db.constructors with
+             | Some dc -> walk dc
+             | None -> false)
+           (Positivity.dependencies d)
+    end
+  in
+  walk def
+
 (* Evaluation environment with the full constructor/selector semantics.
    [trace], when given, records every physical pipeline the evaluation
    lowers and runs (EXPLAIN).  [guard] defaults to a fresh guard over the
@@ -516,13 +548,24 @@ let eval_env ?trace ?guard db =
           with
           | Some value -> value
           | None ->
-            let stats = Fixpoint.fresh_stats () in
-            let value =
-              Fixpoint.apply ~strategy:db.strategy ~max_rounds:db.max_rounds
-                ~stats env def base args
-            in
-            db.last_stats <- Some stats;
-            value);
+            if system_has_agg db def then (
+              match db.agg_eval with
+              | Some f -> f db def base args
+              | None ->
+                error
+                  "constructor %s: aggregated constructor systems need \
+                   the compiled front end (no aggregate evaluator is \
+                   installed on this database)"
+                  def.con_name)
+            else begin
+              let stats = Fixpoint.fresh_stats () in
+              let value =
+                Fixpoint.apply ~strategy:db.strategy
+                  ~max_rounds:db.max_rounds ~stats env def base args
+              in
+              db.last_stats <- Some stats;
+              value
+            end);
     }
   in
   Eval.make_env ~hooks ?trace ~guard (SM.bindings db.rels)
@@ -556,10 +599,14 @@ let define_constructors db (defs : Defs.constructor_def list) =
         defs;
       if db.check_positivity then begin
         let all = List.map snd (SM.bindings db.constructors) in
-        match Positivity.check_program all with
+        (match Positivity.check_program all with
         | Ok () -> ()
         | Error (v :: _) -> error "%a" Positivity.pp_violation v
-        | Error [] -> assert false
+        | Error [] -> assert false);
+        (* aggregate admission: COUNT/SUM must sit outside recursion,
+           recursive MIN/MAX must be premappable — the typed
+           [Dc_agg.Agg.Inadmissible] propagates to the caller *)
+        Positivity.check_aggregates all
       end;
       mark_catalog db)
 

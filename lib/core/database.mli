@@ -25,6 +25,22 @@ val set_strategy : t -> Fixpoint.strategy -> unit
 val strategy : t -> Fixpoint.strategy
 val set_check_positivity : t -> bool -> unit
 
+val set_agg_eval :
+  t ->
+  (t -> Defs.constructor_def -> Relation.t -> Eval.arg_value list ->
+   Relation.t) ->
+  unit
+(** Install the evaluator for constructor systems containing aggregates
+    (MIN/MAX/COUNT/SUM heads).  Applications of such systems are routed
+    here instead of the naive fixpoint — the front end wires in the
+    compiled datalog pipeline (grouped accumulators, per-group-bound
+    semi-naive rounds).  Without an installed evaluator such
+    applications raise {!Error}. *)
+
+val system_has_agg : t -> Defs.constructor_def -> bool
+(** Does the constructor system reachable from the definition contain an
+    aggregated constructor? *)
+
 val set_limits : t -> Dc_guard.Guard.limits -> unit
 (** Declarative resource limits (the surface language's [SET LIMIT]):
     every subsequent evaluation runs under a fresh guard over these. *)

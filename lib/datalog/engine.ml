@@ -190,7 +190,8 @@ let compile_rule ?(reorder = true) ?(card = fun _ _ -> None) ?(bound = [])
                      (List.filter
                         (function
                           | Const _ -> true
-                          | Var v -> SS.mem v bnd)
+                          | Var v -> SS.mem v bnd
+                          | Binop _ -> false (* rejected below *))
                         positives.(i).args));
              }))
     end
@@ -213,11 +214,22 @@ let compile_rule ?(reorder = true) ?(card = fun _ _ -> None) ?(bound = [])
     | None -> error Unbound_variable "compile_rule: unbound variable %s" v
   in
   List.iter (fun v -> ignore (alloc v)) bound;
-  let getter = function
+  let rec getter = function
     | Const c -> fun (_ : row) -> c
     | Var v ->
       let s = slot v in
       fun row -> row.(s)
+    | Binop (op, a, b) ->
+      (* computed term (premapped-aggregate heads, tests): evaluated per
+         row from the getters of its operands *)
+      let ga = getter a and gb = getter b in
+      let f =
+        match (op : Dc_calculus.Ast.binop) with
+        | Add -> Value.add
+        | Sub -> Value.sub
+        | Mul -> Value.mul
+      in
+      fun row -> f (ga row) (gb row)
   in
   (* Negations and tests attach at the earliest prefix where they are
      ground (safety guarantees they eventually are). *)
@@ -262,6 +274,10 @@ let compile_rule ?(reorder = true) ?(card = fun _ _ -> None) ?(bound = [])
             ( p,
               match arg with
               | Const c -> Key_const c
+              | Binop _ ->
+                error Unsupported
+                  "compile_rule: computed term in body atom argument: %a"
+                  pp_atom a
               | Var v ->
                 if SS.mem v !bound_now then Key_slot (slot v)
                 else (
@@ -300,6 +316,10 @@ let compile_rule ?(reorder = true) ?(card = fun _ _ -> None) ?(bound = [])
             (fun arg ->
               match arg with
               | Const c -> fun (_ : row) -> Const c
+              | Binop _ ->
+                error Unsupported
+                  "compile_rule: computed term in body atom argument: %a"
+                  pp_atom a
               | Var v ->
                 if SS.mem v !bound_now then begin
                   let s = slot v in

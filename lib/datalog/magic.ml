@@ -29,11 +29,17 @@ let magic_name p ad = Fmt.str "m_%s__%s" p (adornment_string ad)
 let bound_args (a : atom) (ad : adornment) =
   List.filteri (fun i _ -> List.nth ad i) a.args
 
+(* Computed (Binop) terms belong to the aggregate extension, which only
+   the semi-naive engine evaluates. *)
+let no_binop () =
+  invalid_arg "Magic: computed (Binop) terms require the semi-naive engine"
+
 let atom_adornment bound_vars (a : atom) : adornment =
   List.map
     (function
       | Const _ -> true
-      | Var v -> SS.mem v bound_vars)
+      | Var v -> SS.mem v bound_vars
+      | Binop _ -> no_binop ())
     a.args
 
 (* Transform [program] for [query]; returns the transformed program, the
@@ -54,7 +60,8 @@ let transform (program : program) (query : atom) =
     List.map
       (function
         | Const _ -> true
-        | Var _ -> false)
+        | Var _ -> false
+        | Binop _ -> no_binop ())
       query.args
   in
   let out = ref [] in
@@ -75,7 +82,8 @@ let transform (program : program) (query : atom) =
         (fun s arg b ->
           match arg with
           | Var v when b -> SS.add v s
-          | Var _ | Const _ -> s)
+          | Var _ | Const _ -> s
+          | Binop _ -> no_binop ())
         SS.empty rule.head.args ad
     in
     let magic_head_atom =
@@ -147,6 +155,7 @@ let answer ?guard ?stats ?trace (program : program) (edb : Facts.t)
         (fun arg v ->
           match arg with
           | Const c -> Dc_relation.Value.equal c v
-          | Var _ -> true)
+          | Var _ -> true
+          | Binop _ -> no_binop ())
         query.args (Dc_relation.Tuple.to_list t))
     matching

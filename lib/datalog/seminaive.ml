@@ -62,8 +62,8 @@ let prefer_real = function
   | Guard.Exhausted (Guard.Cancelled, _) -> false
   | _ -> true
 
-let run ?(guard = Guard.none) ?stats ?trace ?domains (program : program)
-    (edb : Facts.t) =
+let run ?(guard = Guard.none) ?stats ?trace ?domains ?(aggs = [])
+    (program : program) (edb : Facts.t) =
   check_safe program;
   let domains =
     match domains with Some d -> max 1 d | None -> Par.domains ()
@@ -74,6 +74,30 @@ let run ?(guard = Guard.none) ?stats ?trace ?domains (program : program)
     incr stratum;
     let layer_preds =
       List.fold_left (fun s r -> SS.add r.head.pred s) SS.empty layer
+    in
+    (* Aggregated head predicates of this layer share one mutable group
+       table between the round-1 and delta pipelines: per-group bounds
+       (MIN/MAX) and running COUNT/SUM accumulators persist across
+       rounds, so a recursive MIN refines one bound per group instead of
+       accumulating every derived cost.  Results the table displaces are
+       drained at round end and withdrawn from the full store (they can
+       have no same-stratum consumers besides other premappable
+       aggregates, which tolerate the stale overestimate until the fresh
+       bound displaces their own). *)
+    let layer_aggs =
+      List.filter (fun (p, _) -> SS.mem p layer_preds) aggs
+    in
+    let agg_tables = Hashtbl.create 4 in
+    let table_for pred spec =
+      match Hashtbl.find_opt agg_tables pred with
+      | Some t -> t
+      | None ->
+        let t = Dc_agg.Agg.Group_table.create spec in
+        TS.iter
+          (fun r -> Dc_agg.Agg.Group_table.seed t r)
+          (Facts.find store pred);
+        Hashtbl.replace agg_tables pred t;
+        t
     in
     let compile ?card ~source r =
       (Engine.compile_rule ?card ~source
@@ -86,7 +110,13 @@ let run ?(guard = Guard.none) ?stats ?trace ?domains (program : program)
       List.map
         (fun (pred, bodies) ->
           let u = Ir.union ~label:(lazy pred) bodies in
-          (pred, Ir.diff ~label:(lazy pred) ~except:(Ir.Named pred) u, u))
+          let top =
+            match List.assoc_opt pred layer_aggs with
+            | Some spec ->
+              Ir.group ~label:(lazy pred) ~table:(table_for pred spec) u
+            | None -> Ir.diff ~label:(lazy pred) ~except:(Ir.Named pred) u
+          in
+          (pred, top, u))
         groups
     in
     let round1 =
@@ -135,11 +165,24 @@ let run ?(guard = Guard.none) ?stats ?trace ?domains (program : program)
           (pred, !fresh, u.Ir.tc.Ir.rows - before))
         pipes
     in
+    (* Settle a round's results: fold derivation counts, and for
+       aggregated predicates drain the tuples the group table displaced
+       this round — [fresh \ displaced] becomes the delta, and the
+       displaced set is withdrawn from the stores. *)
     let collect_round results =
       List.map
         (fun (pred, fresh, derived) ->
           stats.derivations <- stats.derivations + derived;
-          (pred, fresh))
+          match Hashtbl.find_opt agg_tables pred with
+          | None -> (pred, fresh, TS.empty)
+          | Some tbl ->
+            let displaced =
+              List.fold_left
+                (fun s t -> TS.add t s)
+                TS.empty
+                (Dc_agg.Agg.Group_table.drain_displaced tbl)
+            in
+            (pred, TS.diff fresh displaced, displaced))
         results
     in
     (* Parallel-round machinery, built lazily: a sequential run (P = 1,
@@ -201,7 +244,9 @@ let run ?(guard = Guard.none) ?stats ?trace ?domains (program : program)
                 (TS.empty, 0) results
             in
             stats.derivations <- stats.derivations + derived;
-            (pred, fresh))
+            (* parallel rounds are gated off for aggregated strata, so
+               there is never a displaced set to withdraw here *)
+            (pred, fresh, TS.empty))
           deltas
       in
       if Obs.on () then
@@ -211,11 +256,20 @@ let run ?(guard = Guard.none) ?stats ?trace ?domains (program : program)
       merged
     in
     let apply news st =
-      List.fold_left (fun st (pred, set) -> Facts.add_set st pred set) st news
+      List.fold_left
+        (fun st (pred, fresh, displaced) ->
+          let st =
+            if TS.is_empty displaced then st
+            else Facts.remove_set st pred displaced
+          in
+          Facts.add_set st pred fresh)
+        st news
     in
-    let nonempty news = List.exists (fun (_, s) -> not (TS.is_empty s)) news in
+    let nonempty news =
+      List.exists (fun (_, s, _) -> not (TS.is_empty s)) news
+    in
     let new_count news =
-      List.fold_left (fun n (_, s) -> n + TS.cardinal s) 0 news
+      List.fold_left (fun n (_, s, _) -> n + TS.cardinal s) 0 news
     in
     let full = ref store in
     (* Round 1: all rules against the full store. *)
@@ -240,6 +294,9 @@ let run ?(guard = Guard.none) ?stats ?trace ?domains (program : program)
       let news =
         if
           domains > 1
+          && layer_aggs = []
+             (* group tables are mutable and shared across pipelines:
+                aggregated strata stay sequential *)
           && (not !Ir.profiling)
           && Domain.is_main_domain ()
           && Facts.total !delta >= Par.seq_cutoff ()
@@ -280,7 +337,7 @@ let run ?(guard = Guard.none) ?stats ?trace ?domains (program : program)
       trace;
     !full
   in
-  List.fold_left eval_layer edb (Stratify.layers program)
+  List.fold_left eval_layer edb (Stratify.layers ~aggs program)
 
-let query ?guard ?stats ?trace ?domains program edb pred =
-  Facts.find (run ?guard ?stats ?trace ?domains program edb) pred
+let query ?guard ?stats ?trace ?domains ?aggs program edb pred =
+  Facts.find (run ?guard ?stats ?trace ?domains ?aggs program edb) pred

@@ -18,6 +18,7 @@ val run :
   ?stats:stats ->
   ?trace:Dc_exec.Ir.trace ->
   ?domains:int ->
+  ?aggs:(string * Dc_agg.Agg.spec) list ->
   Syntax.program ->
   Facts.t ->
   Facts.t
@@ -28,7 +29,12 @@ val run :
     each delta round across that many domains by tuple hash, each shard
     evaluated against frozen full-store indexes with results merged at
     the round barrier; deltas under {!Dc_par.Par.seq_cutoff} stay
-    sequential.
+    sequential.  [aggs] maps aggregated IDB predicates to their
+    aggregate: rule emissions for such a predicate pass through a
+    per-stratum group table keeping one accumulator per group
+    (semi-naive with per-group bounds — a recursive MIN subsumes rather
+    than accumulates); displaced results are withdrawn from the store at
+    round end, and aggregated strata always evaluate sequentially.
     @raise Syntax.Unsafe_rule / Stratify.Not_stratifiable
     @raise Dc_guard.Guard.Exhausted when the guard trips *)
 
@@ -37,6 +43,7 @@ val query :
   ?stats:stats ->
   ?trace:Dc_exec.Ir.trace ->
   ?domains:int ->
+  ?aggs:(string * Dc_agg.Agg.spec) list ->
   Syntax.program ->
   Facts.t ->
   string ->

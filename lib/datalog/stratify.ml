@@ -14,9 +14,36 @@ module SS = Syntax.SS
 
 exception Not_stratifiable of string
 
+(* Aggregate-aware stratification.  [aggs] maps an IDB predicate to the
+   aggregate applied to its rule emissions.  The bump discipline extends
+   Ullman's relaxation:
+
+   - COUNT/SUM results are only meaningful once their defining stratum has
+     reached fixpoint (a partial count is not a count), so any consumer
+     sits strictly above — which also makes recursion through COUNT/SUM
+     diverge into [Not_stratifiable], the desired rejection;
+   - MIN/MAX under the premappability condition tolerate overestimates
+     (every improvement propagates and displaces stale bounds by
+     subsumption), so MIN/MAX heads may consume MIN/MAX predicates in the
+     same stratum — recursive shortest-path stays in one layer — while
+     non-aggregated consumers still wait for the final bounds above. *)
+
 (* stratum of each IDB predicate, by iterated relaxation (Ullman's
    algorithm); raises if a stratum exceeds the predicate count. *)
-let strata (program : program) =
+let strata ?(aggs = []) (program : program) =
+  let agg_of p = List.assoc_opt p aggs in
+  let is_exact p =
+    (* aggregated, and only exact at fixpoint (not premappable) *)
+    match agg_of p with
+    | Some (s : Dc_agg.Agg.spec) -> not (Dc_agg.Agg.premappable s.op)
+    | None -> false
+  in
+  let is_bound p =
+    (* aggregated with a refinable per-group bound (MIN/MAX) *)
+    match agg_of p with
+    | Some (s : Dc_agg.Agg.spec) -> Dc_agg.Agg.premappable s.op
+    | None -> false
+  in
   let idb = idb_preds program in
   let npreds = SS.cardinal idb in
   let stratum = ref (SS.fold (fun p m -> SM.add p 0 m) idb SM.empty) in
@@ -29,22 +56,38 @@ let strata (program : program) =
         let h = rule.head.pred in
         List.iter
           (fun lit ->
-            let bump target =
+            let bump ~why target =
               if get h < target then begin
                 if target > npreds then
                   raise
                     (Not_stratifiable
-                       (Fmt.str
-                          "predicate %s depends negatively on itself \
-                           (through a cycle)"
-                          h));
+                       (Fmt.str "predicate %s depends %s (through a cycle)" h
+                          why));
                 stratum := SM.add h target !stratum;
                 changed := true
               end
             in
             match lit with
-            | Pos a when SS.mem a.pred idb -> bump (get a.pred)
-            | Neg a when SS.mem a.pred idb -> bump (get a.pred + 1)
+            | Pos a when SS.mem a.pred idb ->
+              if is_exact a.pred then
+                bump
+                  ~why:
+                    (Fmt.str
+                       "on the %s aggregate %s, which is only exact at \
+                        fixpoint"
+                       (match agg_of a.pred with
+                       | Some s -> Dc_agg.Agg.op_name s.op
+                       | None -> assert false)
+                       a.pred)
+                  (get a.pred + 1)
+              else if is_bound a.pred && not (is_bound h) then
+                bump
+                  ~why:
+                    (Fmt.str "on the final bounds of the aggregate %s" a.pred)
+                  (get a.pred + 1)
+              else bump ~why:"positively on itself" (get a.pred)
+            | Neg a when SS.mem a.pred idb ->
+              bump ~why:"negatively on itself" (get a.pred + 1)
             | Pos _ | Neg _ | Test _ -> ())
           rule.body)
       program
@@ -52,8 +95,8 @@ let strata (program : program) =
   !stratum
 
 (* Rules grouped by the stratum of their head predicate, lowest first. *)
-let layers program =
-  let strata = strata program in
+let layers ?aggs program =
+  let strata = strata ?aggs program in
   let get p = Option.value (SM.find_opt p strata) ~default:0 in
   let max_stratum = SM.fold (fun _ s acc -> max s acc) strata 0 in
   List.init (max_stratum + 1) (fun i ->

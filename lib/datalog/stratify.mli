@@ -8,10 +8,19 @@ module SM : Map.S with type key = string
 
 exception Not_stratifiable of string
 
-val strata : Syntax.program -> int SM.t
-(** Stratum of each IDB predicate. @raise Not_stratifiable *)
+val strata :
+  ?aggs:(string * Dc_agg.Agg.spec) list -> Syntax.program -> int SM.t
+(** Stratum of each IDB predicate.  [aggs] maps aggregated IDB predicates
+    to their aggregate spec: consumers of COUNT/SUM predicates (only exact
+    at fixpoint) are bumped strictly above, as are non-MIN/MAX consumers
+    of MIN/MAX predicates — while MIN/MAX heads may share a stratum with
+    the MIN/MAX predicates they consume (premappable recursion, e.g.
+    shortest paths).  Recursion through COUNT/SUM diverges and raises.
+    @raise Not_stratifiable *)
 
-val layers : Syntax.program -> Syntax.program list
+val layers :
+  ?aggs:(string * Dc_agg.Agg.spec) list -> Syntax.program ->
+  Syntax.program list
 (** Rules grouped by head stratum, lowest first (empty layers dropped). *)
 
 val is_stratifiable : Syntax.program -> bool

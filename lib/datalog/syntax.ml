@@ -8,9 +8,15 @@
 
 open Dc_relation
 
+type binop = Dc_calculus.Ast.binop
+
 type term =
   | Var of string
   | Const of Value.t
+  | Binop of binop * term * term
+      (* computed value — admitted in rule heads and tests only (the
+         premapped-aggregate rules need [D1 + W2] in the head); engines
+         reject it in body atom argument positions *)
 
 type cmpop = Dc_calculus.Ast.cmpop
 
@@ -44,9 +50,10 @@ let fact pred values = { head = atom pred (List.map const values); body = [] }
 
 (* ------------------------------------------------------------------ *)
 
-let term_vars = function
+let rec term_vars = function
   | Var v -> [ v ]
   | Const _ -> []
+  | Binop (_, a, b) -> term_vars a @ term_vars b
 
 let atom_vars a = List.concat_map term_vars a.args
 
@@ -56,7 +63,8 @@ let lit_vars = function
 
 let rule_vars r = atom_vars r.head @ List.concat_map lit_vars r.body
 
-let is_ground_atom a = List.for_all (function Const _ -> true | Var _ -> false) a.args
+let is_ground_atom a =
+  List.for_all (fun t -> term_vars t = [] && match t with Const _ -> true | _ -> false) a.args
 
 (* Range restriction (safety): every variable of the head, of a negated
    atom, and of a built-in test must occur in some positive body atom. *)
@@ -112,9 +120,11 @@ let edb_preds program =
 
 (* ------------------------------------------------------------------ *)
 
-let pp_term ppf = function
+let rec pp_term ppf = function
   | Var v -> Fmt.string ppf v
   | Const c -> Value.pp ppf c
+  | Binop (op, a, b) ->
+    Fmt.pf ppf "(%a %a %a)" pp_term a Dc_calculus.Ast.pp_binop op pp_term b
 
 let pp_atom ppf a =
   Fmt.pf ppf "%s(%a)" a.pred Fmt.(list ~sep:(any ", ") pp_term) a.args

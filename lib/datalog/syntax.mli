@@ -4,9 +4,14 @@
 
 open Dc_relation
 
+type binop = Dc_calculus.Ast.binop
+
 type term =
   | Var of string
   | Const of Value.t
+  | Binop of binop * term * term
+      (** computed value: rule heads and tests only; engines reject it in
+          body atom argument positions *)
 
 type cmpop = Dc_calculus.Ast.cmpop
 

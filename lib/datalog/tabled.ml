@@ -60,11 +60,18 @@ type call = {
   c_args : term list;
 }
 
+(* Computed (Binop) head terms belong to the aggregate extension, which
+   only the semi-naive engine evaluates; a goal-directed engine meeting
+   one is a caller error. *)
+let no_binop () =
+  invalid_arg "Tabled: computed (Binop) terms require the semi-naive engine"
+
 let canonicalize (pred : string) (args : term list) =
   let mapping = Hashtbl.create 4 in
   let c_args =
     List.map
       (function
+        | Binop _ -> no_binop ()
         | Const _ as t -> t
         | Var v -> (
           match Hashtbl.find_opt mapping v with
@@ -85,7 +92,8 @@ let adornment (call : call) =
     (List.map
        (function
          | Const _ -> "b"
-         | Var _ -> "f")
+         | Var _ -> "f"
+         | Binop _ -> no_binop ())
        call.c_args)
 
 type state = {
@@ -172,6 +180,7 @@ let evaluate_call st (call : call) =
         List.iter2
           (fun head_arg call_arg ->
             match head_arg, call_arg with
+            | Binop _, _ | _, Binop _ -> no_binop ()
             | _, Var _ -> ()
             | Const c', Const c -> if not (Value.equal c c') then ok := false
             | Var v, Const c -> (
@@ -268,6 +277,7 @@ let solve ?guard ?stats ?trace ?(max_rounds = default_max_rounds)
     List.for_all2
       (fun arg v ->
         match arg with
+        | Binop _ -> no_binop ()
         | Const c -> Value.equal c v
         | Var x -> (
           match Hashtbl.find_opt seen x with

@@ -31,6 +31,11 @@ let fresh_stats () = { resolution_steps = 0; solutions = 0; max_goal_depth = 0 }
 (* ------------------------------------------------------------------ *)
 (* Unification (function-free: terms are variables or constants) *)
 
+(* Computed (Binop) terms belong to the aggregate extension, which only
+   the semi-naive engine evaluates. *)
+let no_binop () =
+  invalid_arg "Topdown: computed (Binop) terms require the semi-naive engine"
+
 let rec walk subst t =
   match t with
   | Var v -> (
@@ -38,10 +43,12 @@ let rec walk subst t =
     | Some t' -> walk subst t'
     | None -> t)
   | Const _ -> t
+  | Binop _ -> no_binop ()
 
 let unify_term subst a b =
   let a = walk subst a and b = walk subst b in
   match a, b with
+  | Binop _, _ | _, Binop _ -> no_binop ()
   | Const x, Const y -> if Value.equal x y then Some subst else None
   | Var v, t | t, Var v -> Some (Subst.add v t subst)
 
@@ -67,6 +74,7 @@ let rename_rule (r : rule) =
   let rn = function
     | Var v -> Var (v ^ suffix)
     | Const _ as t -> t
+    | Binop _ -> no_binop ()
   in
   let rn_atom a = { a with args = List.map rn a.args } in
   {
@@ -140,7 +148,8 @@ let solve ?(budget = default_budget) ?(guard = Guard.none) ?stats
           (fun (i, arg) (ps, vs) ->
             match walk subst arg with
             | Const v -> (i :: ps, v :: vs)
-            | Var _ -> (ps, vs))
+            | Var _ -> (ps, vs)
+            | Binop _ -> no_binop ())
           (List.mapi (fun i t -> (i, t)) a.args)
           ([], [])
       in
@@ -174,7 +183,8 @@ let solve ?(budget = default_budget) ?(guard = Guard.none) ?stats
           (fun t ->
             match walk subst t with
             | Const v -> v
-            | Var _ -> Engine.error Internal "topdown: non-ground answer")
+            | Var _ -> Engine.error Internal "topdown: non-ground answer"
+            | Binop _ -> no_binop ())
           goal.args
       in
       stats.solutions <- stats.solutions + 1;

@@ -65,7 +65,7 @@ module Uf = struct
     if ra <> rb then Hashtbl.replace parent ra rb
 end
 
-let rec translate_instance ctx ~emit_rule ~seen inst =
+let rec translate_instance ctx ~emit_rule ~emit_agg ~seen inst =
   if Hashtbl.mem seen inst then ()
   else begin
     Hashtbl.replace seen inst ();
@@ -74,6 +74,9 @@ let rec translate_instance ctx ~emit_rule ~seen inst =
       | Some d -> d
       | None -> unsupported "unknown constructor %s" inst.inst_con
     in
+    (match def.con_agg with
+    | Some spec -> emit_agg (instance_pred inst, spec)
+    | None -> ());
     (* name environment: formal -> actual global name; params -> args *)
     let rel_env =
       (def.con_formal, inst.inst_base)
@@ -142,7 +145,7 @@ let rec translate_instance ctx ~emit_rule ~seen inst =
                 args;
           }
         in
-        translate_instance ctx ~emit_rule ~seen inst';
+        translate_instance ctx ~emit_rule ~emit_agg ~seen inst';
         instance_pred inst'
       | r -> unsupported "untranslatable range %a" Ast.pp_range r
     in
@@ -170,11 +173,11 @@ let rec translate_instance ctx ~emit_rule ~seen inst =
         let const_bind = Hashtbl.create 8 in
         let tests = ref [] in
         let negs = ref [] in
-        let term_of = function
+        let rec term_of = function
           | Ast.Const v -> Const v
           | Ast.Param p -> Const (List.assoc p scalar_env)
           | Ast.Field (v, a) -> Var (field_var v a)
-          | t -> unsupported "untranslatable term %a" Ast.pp_term t
+          | Ast.Binop (op, a, b) -> Binop (op, term_of a, term_of b)
         in
         List.iter
           (fun conj ->
@@ -186,7 +189,7 @@ let rec translate_instance ctx ~emit_rule ~seen inst =
             | Ast.Cmp (Ast.Eq, t, Ast.Field (v, a)) -> (
               match term_of t with
               | Const c -> Hashtbl.replace const_bind (field_var v a) c
-              | Var _ as tv ->
+              | (Var _ | Binop _) as tv ->
                 tests := Test (Ast.Eq, Var (field_var v a), tv) :: !tests)
             | Ast.Cmp (op, t1, t2) ->
               tests := Test (op, term_of t1, term_of t2) :: !tests
@@ -234,9 +237,10 @@ let rec translate_instance ctx ~emit_rule ~seen inst =
                 })
             b.binders
         in
-        let resolve_term = function
+        let rec resolve_term = function
           | Var v -> resolve_var v
           | Const _ as c -> c
+          | Binop (op, a, b) -> Binop (op, resolve_term a, resolve_term b)
         in
         let resolve_test = function
           | Test (op, a, b) -> Test (op, resolve_term a, resolve_term b)
@@ -257,13 +261,7 @@ let rec translate_instance ctx ~emit_rule ~seen inst =
               List.init (Schema.arity schema) (fun i ->
                   resolve_var (var_name v i))
             | _ -> unsupported "identity branch with several binders")
-          | ts ->
-            List.map
-              (fun t ->
-                match t with
-                | Ast.Field (v, a) -> resolve_var (field_var v a)
-                | t -> term_of t)
-              ts
+          | ts -> List.map (fun t -> resolve_term (term_of t)) ts
         in
         emit_rule
           {
@@ -274,8 +272,10 @@ let rec translate_instance ctx ~emit_rule ~seen inst =
   end
 
 (* Translate the application  Base{c(args)}  (all names global).  Returns
-   the program and the query predicate name. *)
-let of_application ctx (range : Ast.range) =
+   the program, the query predicate name, and the aggregate spec of every
+   aggregated instance (the [?aggs] argument for [Seminaive.run] /
+   [Stratify]). *)
+let of_application_full ctx (range : Ast.range) =
   match range with
   | Ast.Construct (Ast.Rel base, c, args) ->
     let inst =
@@ -292,10 +292,25 @@ let of_application ctx (range : Ast.range) =
       }
     in
     let rules = ref [] in
+    let aggs = ref [] in
     let seen = Hashtbl.create 8 in
-    translate_instance ctx ~emit_rule:(fun r -> rules := r :: !rules) ~seen inst;
-    (List.rev !rules, instance_pred inst)
+    translate_instance ctx
+      ~emit_rule:(fun r -> rules := r :: !rules)
+      ~emit_agg:(fun pa -> aggs := pa :: !aggs)
+      ~seen inst;
+    (List.rev !rules, instance_pred inst, List.rev !aggs)
   | r -> unsupported "not a constructor application: %a" Ast.pp_range r
+
+(* Aggregate-free legacy entry point: engines other than the aggregate-
+   aware semi-naive path must not silently evaluate aggregated systems as
+   plain Horn clauses. *)
+let of_application ctx range =
+  match of_application_full ctx range with
+  | program, pred, [] -> (program, pred)
+  | _ ->
+    unsupported
+      "aggregated constructor system: only the aggregate-aware semi-naive \
+       path evaluates it"
 
 (* ------------------------------------------------------------------ *)
 (* Datalog -> constructors *)
@@ -350,14 +365,17 @@ let to_constructors (schema_of : string -> Schema.t) (program : program) =
             let here = Ast.Field (bv, Schema.attr_name schema i) in
             match arg with
             | Const c -> constraints := Ast.eq here (Ast.Const c) :: !constraints
+            | Binop _ ->
+              unsupported "computed term in body atom argument of %a" pp_atom a
             | Var v -> (
               match Hashtbl.find_opt binding v with
               | None -> Hashtbl.replace binding v here
               | Some t -> constraints := Ast.eq here t :: !constraints))
           a.args)
       binders;
-    let term_of = function
+    let rec term_of = function
       | Const c -> Ast.Const c
+      | Binop (op, a, b) -> Ast.Binop (op, term_of a, term_of b)
       | Var v -> (
         match Hashtbl.find_opt binding v with
         | Some t -> t
@@ -391,6 +409,7 @@ let to_constructors (schema_of : string -> Schema.t) (program : program) =
           con_formal_schema = schema;
           con_params = [];
           con_result = schema;
+          con_agg = None;
           con_body = branches;
         })
       (SS.elements idb)

@@ -30,10 +30,22 @@ and inst_arg =
 val instance_pred : instance -> string
 (** Predicate name of an instance, e.g. ["ahead__Infront__Ontop"]. *)
 
-val of_application : context -> Ast.range -> Syntax.program * string
+val of_application_full :
+  context ->
+  Ast.range ->
+  Syntax.program * string * (string * Dc_agg.Agg.spec) list
 (** Translate an application [Base{c(args)}] over named relations: one IDB
     predicate per reachable instance, one rule per branch.  Returns the
-    program and the query predicate. @raise Unsupported *)
+    program, the query predicate, and the aggregate spec of every
+    aggregated instance — feed the latter to [Seminaive.run ?aggs].
+    Aggregated branch targets may carry computed ([Binop]) head terms.
+    @raise Unsupported *)
+
+val of_application : context -> Ast.range -> Syntax.program * string
+(** Aggregate-free variant of {!of_application_full} for the engines that
+    cannot evaluate aggregates; an aggregated system raises [Unsupported]
+    instead of being silently evaluated as plain Horn clauses.
+    @raise Unsupported *)
 
 val to_constructors :
   (string -> Schema.t) ->

@@ -190,6 +190,13 @@ and top =
       d_except : source;  (* drop tuples present in the source *)
     }
   | Distinct of t  (* emit each tuple once per run *)
+  | Group of {
+      g_input : t;  (* raw tuples *)
+      g_table : Dc_agg.Agg.Group_table.t;
+          (* grouped accumulator: emits a result tuple when a group's
+             aggregate changes; the displaced predecessor queues in the
+             table for the evaluator's round loop to drain *)
+    }
 
 let project ~label ~init ~tuple input =
   { top = Project { p_input = input; p_init = init; p_tuple = tuple };
@@ -203,6 +210,10 @@ let diff ~label ~except t =
 
 let distinct ~label t =
   { top = Distinct t; tlabel = label; tc = fresh_counters () }
+
+let group ~label ~table t =
+  { top = Group { g_input = t; g_table = table }; tlabel = label;
+    tc = fresh_counters () }
 
 (* ------------------------------------------------------------------ *)
 (* Execution.  Push-based internally: each operator folds its input and
@@ -331,6 +342,16 @@ let rec run ?(guard = Guard.none) (ctx : ctx) (t : t) (k : Tuple.t -> unit) =
           prof_tick c;
           k tuple
         end)
+  | Group g ->
+    run ~guard ctx g.g_input (fun raw ->
+        c.probes <- c.probes + 1;
+        match Dc_agg.Agg.Group_table.offer g.g_table raw with
+        | None -> () (* subsumed by the group's current bound *)
+        | Some result ->
+          c.rows <- c.rows + 1;
+          Guard.tick guard label;
+          prof_tick c;
+          k result)
 
 (* Early-exit probe: does the pipeline emit at least one tuple?  The
    incremental-maintenance rederivation step asks this per candidate
@@ -379,6 +400,7 @@ let top_name = function
   | Union _ -> "union"
   | Diff _ -> "diff"
   | Distinct _ -> "distinct"
+  | Group _ -> "group"
 
 let rec pp_node_gen : type row. bool -> row node Fmt.t =
  fun times ppf node ->
@@ -421,6 +443,11 @@ let rec pp_gen times ppf (t : t) =
   | Distinct sub ->
     Fmt.pf ppf "@[<v2>%s %s %a@,%a@]" (top_name t.top) (Lazy.force t.tlabel)
       pp_counters t.tc (pp_gen times) sub
+  | Group g ->
+    let spec = Dc_agg.Agg.Group_table.spec g.g_table in
+    Fmt.pf ppf "@[<v2>%s (%s) %s %a@,%a@]" (top_name t.top)
+      (Dc_agg.Agg.op_name spec.Dc_agg.Agg.op)
+      (Lazy.force t.tlabel) pp_counters t.tc (pp_gen times) g.g_input
 
 let pp ppf t = pp_gen false ppf t
 let pp_analyze ppf t = pp_gen true ppf t
@@ -493,6 +520,7 @@ module Trace = struct
       List.iter2 merge ss fs
     | Diff s, Diff f -> merge s.d_input f.d_input
     | Distinct s, Distinct f -> merge s f
+    | Group s, Group f -> merge s.g_input f.g_input
     | _ -> raise Shape_mismatch
 
   (* Register a pipeline (before or after running it: counters are read
@@ -561,6 +589,7 @@ module Trace = struct
       | Union ts -> List.iter (walk entry) ts
       | Diff d -> walk entry d.d_input
       | Distinct s -> walk entry s
+      | Group g -> walk entry g.g_input
     in
     List.iter (fun e -> walk e.e_label e.e_pipeline) (entries tr);
     List.rev !acc
@@ -633,6 +662,7 @@ let keyed_sources (t : t) =
     | Union ts -> List.iter walk ts
     | Diff d -> walk d.d_input
     | Distinct s -> walk s
+    | Group g -> walk g.g_input
   in
   walk t;
   List.sort_uniq compare !acc

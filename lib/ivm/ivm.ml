@@ -28,10 +28,22 @@
      a cycle can keep a tuple's count positive through derivations that
      depend on the deleted tuple itself.
 
-   Programs with stratified negation fall back to a full recompute per
-   update (still through the maintained store, so reads stay consistent);
-   updates arriving while maintenance is off just mark the view stale and
-   the next serve refreshes it.
+   - non-recursive aggregated predicates (MIN/MAX/COUNT/SUM heads) keep
+     derivation counts over the *raw* contributions — the tuples the
+     rules emit before the group projection — and maintain one result row
+     per group from the raw deltas: COUNT adjusts the count, SUM adds on
+     pure insertions, MIN/MAX fold insertions into the current bound.  A
+     deletion that hits the bound (or any SUM deletion) is a bound
+     violation: the group is recomputed from its surviving raw
+     contributions ([Agg.aggregate] over the support table).  The net
+     result-row delta then propagates to downstream components exactly
+     like any other predicate's.
+
+   Programs with stratified negation or recursive (premapped MIN/MAX)
+   aggregates fall back to a full recompute per update (still through the
+   maintained store, so reads stay consistent); updates arriving while
+   maintenance is off just mark the view stale and the next serve
+   refreshes it.
 
    All phases run under the database's resource governor; the driver in
    [Database] snapshots each view before propagating and rolls back on
@@ -46,6 +58,7 @@ module Ir = Dc_exec.Ir
 module Guard = Dc_guard.Guard
 module Obs = Dc_obs.Obs
 module Par = Dc_par.Par
+module Agg = Dc_agg.Agg
 module TS = Facts.TS
 module SS = Syntax.SS
 
@@ -184,6 +197,13 @@ type scc_kind =
       d_probes : (string * probe list) list; (* per component predicate *)
       d_probe_copies : (string * probe list) list copies;
     }
+  | Agg_counting of {
+      a_spec : Agg.spec;
+      a_init : Ir.t list;
+          (* plain pipelines whose emissions are the raw contributions *)
+      a_variants : variant list;
+      a_copies : variant list copies;
+    }
 
 type scc = {
   s_preds : string list;
@@ -207,6 +227,7 @@ type t = {
   args : Ast.arg list;
   def : Defs.constructor_def;
   program : Syntax.program;
+  aggs : (string * Agg.spec) list; (* aggregated instance predicates *)
   query_pred : string;
   depends : string list; (* EDB relations the translated program reads *)
   plan : plan;
@@ -260,7 +281,9 @@ let plan_kind v =
                 (String.concat "," s.s_preds)
                 (match s.s_kind with
                 | Counting _ -> "counting"
-                | Dred _ -> "dred"))
+                | Dred _ -> "dred"
+                | Agg_counting { a_spec; _ } ->
+                  Fmt.str "agg-counting %a" Agg.pp_op a_spec.op))
             sccs))
   | Recompute why -> Fmt.str "recompute (%s)" why
 
@@ -301,7 +324,10 @@ let compile_probe (rule : Syntax.rule) =
       (fun (acc, seen) t ->
         match t with
         | Syntax.Var v when not (SS.mem v seen) -> (v :: acc, SS.add v seen)
-        | Syntax.Var _ | Syntax.Const _ -> (acc, seen))
+        | Syntax.Var _ | Syntax.Const _ -> (acc, seen)
+        | Syntax.Binop _ ->
+          (* computed heads are routed to Recompute by [compile_plan] *)
+          raise (Error "probe compilation: computed (Binop) head term"))
       ([], SS.empty) head
   in
   let bound = List.rev bound in
@@ -317,6 +343,8 @@ let compile_probe (rule : Syntax.rule) =
       (fun i t ->
         match t with
         | Syntax.Const c -> `Check_const c
+        | Syntax.Binop _ ->
+          raise (Error "probe compilation: computed (Binop) head term")
         | Syntax.Var v -> (
           match Hashtbl.find_opt seen v with
           | Some j -> `Check_eq j
@@ -351,7 +379,7 @@ let compile_probe (rule : Syntax.rule) =
   in
   { p_compiled = compiled; p_match }
 
-let compile_plan (program : Syntax.program) =
+let compile_plan ?(aggs = []) (program : Syntax.program) =
   let has_neg =
     List.exists
       (fun (r : Syntax.rule) ->
@@ -362,7 +390,35 @@ let compile_plan (program : Syntax.program) =
           r.body)
       program
   in
+  let rec term_has_binop = function
+    | Syntax.Binop _ -> true
+    | Syntax.Var _ | Syntax.Const _ -> false
+  and lit_has_binop = function
+    | Syntax.Pos a | Syntax.Neg a -> List.exists term_has_binop a.Syntax.args
+    | Syntax.Test (_, a, b) -> term_has_binop a || term_has_binop b
+  in
+  (* computed terms are fine inside an aggregated predicate's rules (the
+     counting pipelines just evaluate them); anywhere else the DRed
+     probes cannot match them against a candidate head *)
+  let has_binop =
+    List.exists
+      (fun (r : Syntax.rule) ->
+        (not (List.mem_assoc r.head.pred aggs))
+        && (List.exists term_has_binop r.head.args
+           || List.exists lit_has_binop r.body))
+      program
+  in
+  let sccs = Stratify.sccs program in
+  let recursive_agg =
+    List.exists
+      (fun preds ->
+        Stratify.recursive program preds
+        && List.exists (fun p -> List.mem_assoc p aggs) preds)
+      sccs
+  in
   if has_neg then Recompute "stratified negation"
+  else if recursive_agg then Recompute "recursive aggregate (per-group bounds)"
+  else if has_binop then Recompute "computed head terms"
   else
     Incremental
       (List.map
@@ -374,6 +430,33 @@ let compile_plan (program : Syntax.program) =
                program
            in
            let s_kind =
+             match preds with
+             | [ p ] when List.mem_assoc p aggs ->
+               (* non-recursive aggregated predicate: counting over the
+                  raw contributions plus a per-group aggregate layer *)
+               let make_variants () =
+                 List.concat_map
+                   (variants_of ~names:(fun dpos i (a : Syntax.atom) ->
+                        if i < dpos then Engine.post_name a.pred
+                        else if i = dpos then Engine.delta_name a.pred
+                        else a.pred))
+                   rules
+               in
+               Agg_counting
+                 {
+                   a_spec = List.assoc p aggs;
+                   a_init =
+                     List.map
+                       (fun (r : Syntax.rule) ->
+                         (Engine.compile_variant
+                            ~names:(fun _ (a : Syntax.atom) -> a.pred)
+                            ~label:(rule_label r) r)
+                           .Engine.pipeline)
+                       rules;
+                   a_variants = make_variants ();
+                   a_copies = copies make_variants;
+                 }
+             | _ ->
              if Stratify.recursive program preds then begin
                let make_variants () =
                  List.concat_map
@@ -428,7 +511,7 @@ let compile_plan (program : Syntax.program) =
              end
            in
            { s_preds = preds; s_set; s_kind })
-         (Stratify.sccs program))
+         sccs)
 
 (* ------------------------------------------------------------------ *)
 (* Refresh (from-scratch synchronization) *)
@@ -438,6 +521,10 @@ let fresh_edb view =
     (fun p acc -> Facts.of_relation p (Database.get view.db p) acc)
     (Syntax.edb_preds view.program)
     (Facts.empty ())
+
+(* The support-table name of an aggregated predicate's raw contributions
+   — disjoint from every real predicate ('!' cannot appear in one). *)
+let raw_name pred = pred ^ "!raw"
 
 let init_supports view =
   Support.reset view.supports;
@@ -453,12 +540,20 @@ let init_supports view =
             (fun (head, pipe) ->
               Ir.run (Engine.store_ctx view.store) pipe (fun t ->
                   ignore (Support.add view.supports head t 1)))
-            c_init)
+            c_init
+        | Agg_counting { a_init; _ } ->
+          let rawp = raw_name (List.hd s.s_preds) in
+          List.iter
+            (fun pipe ->
+              Ir.run (Engine.store_ctx view.store) pipe (fun t ->
+                  ignore (Support.add view.supports rawp t 1)))
+            a_init)
       sccs
 
 let refresh view =
   let guard = Guard.of_limits (Database.limits view.db) in
-  view.store <- Seminaive.run ~guard view.program (fresh_edb view);
+  view.store <-
+    Seminaive.run ~guard ~aggs:view.aggs view.program (fresh_edb view);
   init_supports view;
   view.status <- Live;
   if Obs.on () then Obs.Counter.inc (Lazy.force m_refresh)
@@ -625,6 +720,158 @@ let counting_scc view st s c_variants c_copies =
       in
       commit_pred st pred ~net_plus ~net_minus)
     s.s_preds
+
+(* Aggregate pass over one non-recursive aggregated predicate: the same
+   telescoped counting run, but over the *raw* contributions (what the
+   rules emit before the group projection), then a per-group maintenance
+   layer turns raw deltas into result-row deltas.  COUNT adjusts the
+   stored count; SUM adds on pure insertions; MIN/MAX fold insertions
+   into the current bound.  A deletion that witnessed the bound (or any
+   SUM deletion, where group emptiness is otherwise unknowable) recomputes
+   the group from its surviving raw contributions. *)
+let agg_scc view st s (spec : Agg.spec) a_variants a_copies =
+  round st;
+  let pred = List.hd s.s_preds in
+  let rawp = raw_name pred in
+  let adjust : (Tuple.t, int) Hashtbl.t = Hashtbl.create 64 in
+  let record sign (_ : string) t =
+    Hashtbl.replace adjust t
+      (sign + Option.value (Hashtbl.find_opt adjust t) ~default:0)
+  in
+  timed st.rp (Fmt.str "agg count %s" pred) (fun () ->
+      let signed sign delta =
+        match par_domains (Facts.total delta) with
+        | 1 ->
+          run_variants st
+            ~ctx:(Engine.tri_ctx ~pre:st.pre ~post:st.post ~delta)
+            ~delta a_variants (record sign)
+        | domains ->
+          par_variants st ~domains ~variants:a_variants ~copies:a_copies
+            ~ctx_of:(fun shard ->
+              Engine.tri_ctx ~pre:st.pre ~post:st.post ~delta:shard)
+            ~resolve:(fun name ->
+              match Engine.split_post name with
+              | Some p -> (st.post, p)
+              | None -> (st.pre, name))
+            ~delta
+            ~fold:(fun () h t -> record sign h t)
+            ~init:()
+      in
+      signed 1 st.dplus;
+      signed (-1) st.dminus;
+      Hashtbl.length adjust);
+  (* zero-crossings of the raw derivation counts: the distinct raw set *)
+  let raw_plus = ref TS.empty and raw_minus = ref TS.empty in
+  Hashtbl.iter
+    (fun t d ->
+      if d <> 0 then begin
+        let old_c, now = Support.add view.supports rawp t d in
+        if now < 0 then
+          error "negative raw derivation count for %s%a (ivm bug)" pred
+            Tuple.pp t;
+        if old_c > 0 && now = 0 then raw_minus := TS.add t !raw_minus
+        else if old_c = 0 && now > 0 then raw_plus := TS.add t !raw_plus
+      end)
+    adjust;
+  (* group layer: raw deltas -> result-row deltas *)
+  timed st.rp (Fmt.str "agg groups %s" pred) (fun () ->
+      let ngroup = List.length spec.group in
+      let gkey_raw t = List.map (Tuple.get t) spec.group in
+      let gkey_row r = List.init ngroup (Tuple.get r) in
+      let old_rows = Hashtbl.create 16 in
+      TS.iter
+        (fun r -> Hashtbl.replace old_rows (gkey_row r) r)
+        (Facts.find st.pre pred);
+      let touched : (Value.t list, Tuple.t list ref * Tuple.t list ref) Hashtbl.t
+          =
+        Hashtbl.create 16
+      in
+      let touch k =
+        match Hashtbl.find_opt touched k with
+        | Some e -> e
+        | None ->
+          let e = (ref [], ref []) in
+          Hashtbl.replace touched k e;
+          e
+      in
+      TS.iter (fun t -> let p, _ = touch (gkey_raw t) in p := t :: !p) !raw_plus;
+      TS.iter (fun t -> let _, m = touch (gkey_raw t) in m := t :: !m) !raw_minus;
+      let rescan : (Value.t list, unit) Hashtbl.t = Hashtbl.create 8 in
+      let net_plus = ref TS.empty and net_minus = ref TS.empty in
+      let replace old_row new_row =
+        match (old_row, new_row) with
+        | None, None -> ()
+        | Some o, Some n when Tuple.equal o n -> ()
+        | o, n ->
+          Option.iter (fun r -> net_minus := TS.add r !net_minus) o;
+          Option.iter (fun r -> net_plus := TS.add r !net_plus) n
+      in
+      let one_row = function
+        | [ row ] -> Some row
+        | [] -> None
+        | _ -> error "several result rows for one group of %s (ivm bug)" pred
+      in
+      let vals ts = List.map (fun t -> Tuple.get t spec.value) ts in
+      Hashtbl.iter
+        (fun key (plus, minus) ->
+          let old_row = Hashtbl.find_opt old_rows key in
+          let plus = !plus and minus = !minus in
+          match (old_row, spec.op) with
+          | None, _ ->
+            (* new group: the insertions are its whole raw content *)
+            if minus <> [] then
+              error "deletion from an absent group of %s (ivm bug)" pred;
+            replace None (one_row (Agg.aggregate spec plus))
+          | Some o, Agg.Count ->
+            let n =
+              match Tuple.get o ngroup with
+              | Value.Int n -> n
+              | v ->
+                error "non-integer COUNT %a in %s (ivm bug)" Value.pp v pred
+            in
+            let n' = n + List.length plus - List.length minus in
+            if n' < 0 then error "negative COUNT in %s (ivm bug)" pred;
+            replace old_row
+              (if n' = 0 then None
+               else Some (Tuple.of_list (key @ [ Value.Int n' ])))
+          | Some o, Agg.Sum ->
+            if minus = [] then
+              let s = List.fold_left Value.add (Tuple.get o ngroup) (vals plus) in
+              replace old_row (Some (Tuple.of_list (key @ [ s ])))
+            else Hashtbl.replace rescan key ()
+          | Some o, (Agg.Min | Agg.Max) ->
+            let bound = Tuple.get o ngroup in
+            if List.exists (fun v -> Value.equal v bound) (vals minus) then
+              (* bound violation: a deleted contribution witnessed it *)
+              Hashtbl.replace rescan key ()
+            else
+              let bound' =
+                List.fold_left
+                  (fun b v -> if Agg.better spec.op v b then v else b)
+                  bound (vals plus)
+              in
+              replace old_row (Some (Tuple.of_list (key @ [ bound' ]))))
+        touched;
+      if Hashtbl.length rescan > 0 then begin
+        (* one pass over the surviving raw contributions, bucketed by
+           violated group, then a from-scratch fold per group *)
+        let buckets = Hashtbl.create 8 in
+        Support.iter_pred view.supports rawp (fun t _ ->
+            let k = gkey_raw t in
+            if Hashtbl.mem rescan k then
+              Hashtbl.replace buckets k
+                (t :: Option.value (Hashtbl.find_opt buckets k) ~default:[]));
+        Hashtbl.iter
+          (fun key () ->
+            let raws =
+              Option.value (Hashtbl.find_opt buckets key) ~default:[]
+            in
+            replace (Hashtbl.find_opt old_rows key)
+              (one_row (Agg.aggregate spec raws)))
+          rescan
+      end;
+      commit_pred st pred ~net_plus:!net_plus ~net_minus:!net_minus;
+      TS.cardinal !net_plus + TS.cardinal !net_minus)
 
 (* DRed over one recursive component. *)
 let dred_scc st s d_variants d_copies d_probes d_probe_copies =
@@ -970,7 +1217,9 @@ let incremental_update view sccs updates =
       | Counting { c_variants; c_copies; _ } ->
         counting_scc view st s c_variants c_copies
       | Dred { d_variants; d_copies; d_probes; d_probe_copies } ->
-        dred_scc st s d_variants d_copies d_probes d_probe_copies)
+        dred_scc st s d_variants d_copies d_probes d_probe_copies
+      | Agg_counting { a_spec; a_variants; a_copies; _ } ->
+        agg_scc view st s a_spec a_variants a_copies)
     sccs;
   (* the [ivm.commit] failpoint moved to [Database.commit] — the single
      commit point that covers this update's publication *)
@@ -1155,8 +1404,8 @@ let materialize db ~constructor ~base ~args =
   let range = Ast.Construct (Ast.Rel base, constructor, args) in
   (try Database.check_query db range with
   | Database.Error msg | Typecheck.Error msg -> error "MATERIALIZE: %s" msg);
-  let program, query_pred =
-    try Translate.of_application (translate_ctx db) range
+  let program, query_pred, aggs =
+    try Translate.of_application_full (translate_ctx db) range
     with Translate.Unsupported msg ->
       error "MATERIALIZE %s: not translatable to the Horn fragment (%s)"
         constructor msg
@@ -1171,9 +1420,10 @@ let materialize db ~constructor ~base ~args =
       args;
       def;
       program;
+      aggs;
       query_pred;
       depends;
-      plan = compile_plan program;
+      plan = compile_plan ~aggs program;
       supports = Support.create ();
       store = Facts.empty ();
       status = Stale;
@@ -1242,8 +1492,8 @@ let restore db d =
     | None -> error "restore: unknown constructor %s" d.dp_con
   in
   let range = Ast.Construct (Ast.Rel d.dp_base, d.dp_con, d.dp_args) in
-  let program, query_pred =
-    try Translate.of_application (translate_ctx db) range
+  let program, query_pred, aggs =
+    try Translate.of_application_full (translate_ctx db) range
     with Translate.Unsupported msg ->
       error "restore %s: not translatable (%s)" d.dp_con msg
   in
@@ -1256,9 +1506,10 @@ let restore db d =
       args = d.dp_args;
       def;
       program;
+      aggs;
       query_pred;
       depends = SS.elements (Syntax.edb_preds program);
-      plan = compile_plan program;
+      plan = compile_plan ~aggs program;
       supports = Support.create ();
       store =
         List.fold_left

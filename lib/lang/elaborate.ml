@@ -29,6 +29,10 @@ type env = {
 }
 
 let create db =
+  (* aggregated constructor systems evaluate through the compiled
+     datalog pipeline; every database driven by this front end gets the
+     bridge (covers dbpl run/serve, catalog reload, WAL recovery) *)
+  Dc_compile.Agg_eval.install db;
   {
     db;
     scalar_types = [];
@@ -150,7 +154,15 @@ and lower_range env scope = function
     Ast.Select (lower_range env scope r, s, List.map (lower_arg env scope) args)
   | R_construct (r, c, args) ->
     Ast.Construct (lower_range env scope r, c, List.map (lower_arg env scope) args)
-  | R_comp bs -> Ast.Comp (List.map (lower_branch env scope) bs)
+  | R_comp bs ->
+    List.iter
+      (fun (b : branch) ->
+        if b.b_agg <> None then
+          elab_error
+            "aggregates (MIN/MAX/COUNT/SUM) are only allowed in constructor \
+             branches, not in a comprehension")
+      bs;
+    Ast.Comp (List.map (lower_branch env scope) bs)
 
 and lower_arg env scope = function
   | A_term t -> Ast.Arg_scalar (lower_term env scope t)
@@ -201,6 +213,76 @@ let row env ts = Tuple.of_list (List.map (constant env) ts)
 (* ------------------------------------------------------------------ *)
 (* Declaration execution *)
 
+(* A surface term rendered for error messages. *)
+let rec surface_term_to_string = function
+  | T_int i -> string_of_int i
+  | T_float f -> string_of_float f
+  | T_string s -> Fmt.str "%S" s
+  | T_field (v, a) -> v ^ "." ^ a
+  | T_name n -> n
+  | T_binop (op, a, b) ->
+    Fmt.str "(%s %a %s)" (surface_term_to_string a) Ast.pp_binop op
+      (surface_term_to_string b)
+
+(* The aggregate spec a constructor's branches declare: every targeted
+   branch must carry the same operator, the same aggregated position, and
+   the same grouping; the GROUP BY terms must be target terms.  Identity
+   branches pass raw tuples through and are always allowed.  Positions
+   index the raw target tuple — [Typecheck.aggregated_schema] turns them
+   into the result schema, [Seminaive] into per-group accumulators. *)
+let spec_of_branches c_name (body : branch list) =
+  let spec_of (b : branch) =
+    match b.b_agg with
+    | None ->
+      if b.b_group <> [] then
+        elab_error "constructor %s: GROUP BY needs an aggregated target" c_name;
+      None
+    | Some (op, value) ->
+      let position t =
+        let rec find i = function
+          | [] ->
+            elab_error
+              "constructor %s: GROUP BY term %s is not one of the branch's \
+               target terms"
+              c_name (surface_term_to_string t)
+          | t' :: rest -> if t' = t then i else find (i + 1) rest
+        in
+        find 0 b.b_target
+      in
+      let group =
+        match b.b_group with
+        | [] ->
+          (* default grouping: every non-aggregated target, in order *)
+          List.filteri (fun i _ -> i <> value) b.b_target
+          |> List.mapi (fun i _ -> if i < value then i else i + 1)
+        | g -> List.map position g
+      in
+      if List.mem value group then
+        elab_error
+          "constructor %s: the aggregated term cannot also be grouped on"
+          c_name;
+      Some { Dc_agg.Agg.group; value; op }
+  in
+  let specs = List.filter_map spec_of body in
+  match specs with
+  | [] -> None
+  | s :: rest ->
+    if not (List.for_all (( = ) s) rest) then
+      elab_error
+        "constructor %s: every aggregated branch must use the same operator, \
+         aggregated position, and grouping"
+        c_name;
+    List.iter
+      (fun (b : branch) ->
+        if b.b_agg = None && b.b_target <> [] then
+          elab_error
+            "constructor %s: mixes aggregated and plain targeted branches \
+             (mark the target with %s or drop the aggregate)"
+            c_name
+            (Dc_agg.Agg.op_name s.Dc_agg.Agg.op))
+      body;
+    Some s
+
 let lower_constructor env
     ({ c_name; c_formal; c_formal_type; c_params; c_result_type; c_body } :
       constructor_decl) =
@@ -215,6 +297,7 @@ let lower_constructor env
     con_formal_schema = resolve_relation_type env c_formal_type;
     con_params = params;
     con_result = resolve_relation_type env c_result_type;
+    con_agg = spec_of_branches c_name c_body;
     con_body = List.map (lower_branch env scope) c_body;
   }
 

@@ -362,14 +362,35 @@ and formula_atom st =
 (* Branches *)
 
 and branch st =
+  (* MIN/MAX/COUNT/SUM are contextual keywords: they prefix a target term
+     only when followed by something that starts a term (so [MIN.w] is
+     still a field of a variable named MIN, and [<MIN>] a bare name). *)
+  let agg = ref None in
+  let starts_term = function
+    | Token.Ident _ | Token.Int_lit _ | Token.Float_lit _
+    | Token.String_lit _ | Token.Lparen | Token.Minus ->
+      true
+    | _ -> false
+  in
   let target =
     if peek st = Token.Lt then begin
       advance st;
-      let rec terms acc =
+      let rec terms i acc =
+        (match peek st with
+        | Token.Ident s when starts_term (peek2 st) -> (
+          match Dc_agg.Agg.op_of_name s with
+          | Some op ->
+            if !agg <> None then
+              error st "at most one aggregated target term per branch";
+            advance st;
+            agg := Some (op, i)
+          | None -> ())
+        | _ -> ());
         let t = term st in
-        if accept st Token.Comma then terms (t :: acc) else List.rev (t :: acc)
+        if accept st Token.Comma then terms (i + 1) (t :: acc)
+        else List.rev (t :: acc)
       in
-      let ts = terms [] in
+      let ts = terms 0 [] in
       eat st Token.Gt;
       eat st Token.Kw_of;
       ts
@@ -391,7 +412,29 @@ and branch st =
   let bs = binders [] in
   eat st Token.Colon;
   let where = formula st in
-  { b_target = target; b_binders = bs; b_where = where }
+  (* GROUP BY t1, t2 — the term list stops at a comma that begins the
+     next branch (EACH ... or <...> OF ...). *)
+  let group =
+    match (peek st, peek2 st) with
+    | Token.Ident "GROUP", Token.Ident "BY" ->
+      advance st;
+      advance st;
+      let rec terms acc =
+        let t = term st in
+        let acc = t :: acc in
+        match (peek st, peek2 st) with
+        | Token.Comma, (Token.Kw_each | Token.Lt) -> List.rev acc
+        | Token.Comma, _ ->
+          advance st;
+          terms acc
+        | _ -> List.rev acc
+      in
+      terms []
+    | _ -> []
+  in
+  if !agg = None && group <> [] then
+    error st "GROUP BY needs an aggregated (MIN/MAX/COUNT/SUM) target term";
+  { b_target = target; b_agg = !agg; b_group = group; b_binders = bs; b_where = where }
 
 and branches st =
   let rec loop acc =

@@ -95,7 +95,42 @@ let render_selector table buf (d : Defs.selector_def) =
        (Ast.formula_to_string d.sel_pred)
        d.sel_name)
 
-let render_branch (b : Ast.branch) = Fmt.str "%a" Ast.pp_branch b
+(* An aggregated branch re-renders its MIN/MAX/COUNT/SUM prefix and an
+   explicit GROUP BY, so the catalog round-trips through the parser to
+   the same [con_agg] spec.  Identity branches have no target to mark. *)
+let render_branch agg (b : Ast.branch) =
+  match (agg, b.Ast.target) with
+  | None, _ | _, [] -> Fmt.str "%a" Ast.pp_branch b
+  | Some (spec : Dc_agg.Agg.spec), ts ->
+    let target =
+      String.concat ", "
+        (List.mapi
+           (fun i t ->
+             if i = spec.value then
+               Fmt.str "%s %s" (Dc_agg.Agg.op_name spec.op)
+                 (Ast.term_to_string t)
+             else Ast.term_to_string t)
+           ts)
+    in
+    let binders =
+      String.concat ", "
+        (List.map
+           (fun (v, r) -> Fmt.str "EACH %s IN %s" v (Ast.range_to_string r))
+           b.Ast.binders)
+    in
+    let group =
+      (* an empty group (global aggregate) only arises from a
+         single-term target, where the parser's default reproduces it *)
+      match spec.group with
+      | [] -> ""
+      | g ->
+        Fmt.str " GROUP BY %s"
+          (String.concat ", "
+             (List.map (fun i -> Ast.term_to_string (List.nth ts i)) g))
+    in
+    Fmt.str "<%s> OF %s: %s%s" target binders
+      (Ast.formula_to_string b.Ast.where)
+      group
 
 let render_constructor table buf (d : Defs.constructor_def) =
   Buffer.add_string buf
@@ -104,7 +139,7 @@ let render_constructor table buf (d : Defs.constructor_def) =
        (type_name_of table d.con_formal_schema)
        (render_params table d.con_params)
        (type_name_of table d.con_result)
-       (String.concat ",\n      " (List.map render_branch d.con_body))
+       (String.concat ",\n      " (List.map (render_branch d.con_agg) d.con_body))
        d.con_name)
 
 (* ------------------------------------------------------------------ *)

@@ -57,6 +57,9 @@ and arg =
 
 and branch = {
   b_target : term list; (* [] = identity *)
+  b_agg : (Dc_agg.Agg.op * int) option;
+    (* MIN/MAX/COUNT/SUM prefix on the target term at this index *)
+  b_group : term list; (* GROUP BY terms; [] = all non-aggregated targets *)
   b_binders : (string * range) list;
   b_where : formula;
 }

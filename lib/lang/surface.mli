@@ -56,6 +56,12 @@ and arg =
 
 and branch = {
   b_target : term list;  (** [[]] = identity *)
+  b_agg : (Dc_agg.Agg.op * int) option;
+      (** [MIN]/[MAX]/[COUNT]/[SUM] prefix on the target term at this
+          index — at most one per branch *)
+  b_group : term list;
+      (** [GROUP BY] terms after the where formula; [[]] defaults to
+          every non-aggregated target term *)
   b_binders : (string * range) list;
   b_where : formula;
 }

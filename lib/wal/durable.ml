@@ -15,8 +15,10 @@
    - a catalog-marked commit (DDL, wholesale assignment, MATERIALIZE /
      DROP of a view) has no replayable delta: it writes a full
      checkpoint instead, also pre-publication.
-   - after publication, a checkpoint is taken every [checkpoint_every]
-     logged records to bound the replay suffix.
+   - after publication, a checkpoint is taken when the [checkpoint_policy]
+     says the replay suffix has grown too expensive: too many logged
+     records, too many WAL bytes ([Wal.size]), or too much wall time
+     since the last checkpoint — whichever criterion trips first.
 
    A checkpoint is a consistent image of the whole committed state:
    catalog source (re-elaborated through the front end on recovery),
@@ -53,12 +55,30 @@ let page_tuples = 256
 let m_checkpoint_ms = lazy (Obs.Histogram.make "dc_wal_checkpoint_ms")
 let m_recovered = lazy (Obs.Counter.make "dc_wal_recovered_records")
 
+(* When to take a periodic checkpoint: after [cp_records] logged
+   records, after the WAL grows past [cp_bytes], or after [cp_seconds]
+   of wall time since the last one — whichever trips first; [None]
+   disables a criterion.  Record counts mis-size replay cost when
+   commits vary wildly in width (one record can carry a million-tuple
+   assignment delta), so the byte criterion bounds the actual suffix the
+   next recovery must read, and the time criterion bounds staleness on
+   slow-trickle streams. *)
+type checkpoint_policy = {
+  cp_records : int option;
+  cp_bytes : int option;
+  cp_seconds : float option;
+}
+
+let default_policy =
+  { cp_records = Some 1024; cp_bytes = Some (4 * 1024 * 1024); cp_seconds = None }
+
 type t = {
   dir : string;
   db : Database.t;
   wal : Wal.t;
-  checkpoint_every : int;
+  policy : checkpoint_policy;
   mutable since_checkpoint : int;
+  mutable last_checkpoint_at : float; (* Unix.gettimeofday at the last one *)
   mutable lsn : int; (* last durable LSN *)
   mutable replayed : int; (* records replayed at open *)
   mutable group :
@@ -271,6 +291,7 @@ let write_checkpoint t ~version =
   Wal.set_next_lsn t.wal (ck_lsn + 1);
   t.lsn <- ck_lsn;
   t.since_checkpoint <- 0;
+  t.last_checkpoint_at <- Unix.gettimeofday ();
   Database.set_durable_lsn t.db ck_lsn;
   (* records still buffered by an active group are at or below the image's
      version, so the image subsumes them; replay would skip them anyway *)
@@ -279,6 +300,21 @@ let write_checkpoint t ~version =
     Obs.Histogram.observe (Lazy.force m_checkpoint_ms) (Obs.now_ms () -. t0)
 
 let checkpoint t = write_checkpoint t ~version:(Database.version t.db)
+
+(* First criterion to trip wins; everything [None] means periodic
+   checkpoints are off (catalog commits and [close] still write them). *)
+let checkpoint_due t =
+  (match t.policy.cp_records with
+  | Some n -> t.since_checkpoint >= n
+  | None -> false)
+  || (match t.policy.cp_bytes with
+     | Some n -> t.since_checkpoint > 0 && Wal.size t.wal >= n
+     | None -> false)
+  ||
+  match t.policy.cp_seconds with
+  | Some s ->
+    t.since_checkpoint > 0 && Unix.gettimeofday () -. t.last_checkpoint_at >= s
+  | None -> false
 
 (* ------------------------------------------------------------------ *)
 (* Hooks *)
@@ -305,9 +341,7 @@ let hooks t =
             Database.set_durable_lsn t.db lsn
         end);
     wh_published =
-      (fun ~version ->
-        if t.since_checkpoint >= t.checkpoint_every then
-          write_checkpoint t ~version);
+      (fun ~version -> if checkpoint_due t then write_checkpoint t ~version);
   }
 
 (* ------------------------------------------------------------------ *)
@@ -325,7 +359,7 @@ let flush_group t records =
       Database.set_durable_lsn t.db last;
       (* buffered records bypassed wh_published's periodic check, so the
          replay-suffix bound is enforced here instead *)
-      if t.since_checkpoint >= t.checkpoint_every then
+      if checkpoint_due t then
         write_checkpoint t ~version:(Database.version t.db)
     | exception (Guard.Exhausted (Guard.Fault_injected _, _) as e) ->
       (* simulated crash: propagate raw, disk state stays as the "kill"
@@ -362,8 +396,26 @@ let group t f =
 let read_file path =
   In_channel.with_open_bin path In_channel.input_all
 
-let open_dir ?db ?(checkpoint_every = 1024) dir =
-  if checkpoint_every < 1 then invalid_arg "Durable.open_dir: checkpoint_every";
+let open_dir ?db ?checkpoint_every ?policy dir =
+  let policy =
+    match (policy, checkpoint_every) with
+    | Some _, Some _ ->
+      invalid_arg "Durable.open_dir: pass checkpoint_every or policy, not both"
+    | Some p, None -> p
+    | None, Some n ->
+      (* legacy knob: a pure record-count policy *)
+      { cp_records = Some n; cp_bytes = None; cp_seconds = None }
+    | None, None -> default_policy
+  in
+  (match policy.cp_records with
+  | Some n when n < 1 -> invalid_arg "Durable.open_dir: cp_records"
+  | _ -> ());
+  (match policy.cp_bytes with
+  | Some n when n < 1 -> invalid_arg "Durable.open_dir: cp_bytes"
+  | _ -> ());
+  (match policy.cp_seconds with
+  | Some s when s <= 0. -> invalid_arg "Durable.open_dir: cp_seconds"
+  | _ -> ());
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
   else if not (Sys.is_directory dir) then
     recovery_error "%s exists and is not a directory" dir;
@@ -382,7 +434,8 @@ let open_dir ?db ?(checkpoint_every = 1024) dir =
   in
   let wal, records = Wal.load (wal_path dir) in
   let t =
-    { dir; db; wal; checkpoint_every; since_checkpoint = 0; lsn; replayed = 0;
+    { dir; db; wal; policy; since_checkpoint = 0;
+      last_checkpoint_at = Unix.gettimeofday (); lsn; replayed = 0;
       group = None }
   in
   (* replay the suffix: records at or below the checkpoint version are

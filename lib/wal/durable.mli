@@ -19,15 +19,37 @@ open Dc_core
 
 exception Recovery_error of string
 
+type checkpoint_policy = {
+  cp_records : int option;  (** checkpoint after this many logged records *)
+  cp_bytes : int option;  (** … or once the WAL holds this many bytes *)
+  cp_seconds : float option;
+      (** … or this long after the previous checkpoint, measured at the
+          next commit (no timer thread — an idle database never
+          checkpoints spontaneously) *)
+}
+(** When to take a periodic checkpoint; the first criterion to trip
+    wins, [None] disables one.  Record counts mis-size replay cost when
+    commit widths vary (one record can carry a million-tuple assignment
+    delta), so [cp_bytes] bounds the actual suffix a recovery must read
+    and [cp_seconds] bounds staleness on slow-trickle streams.  All
+    three [None] turns periodic checkpoints off entirely — catalog
+    commits and {!close} still write them. *)
+
+val default_policy : checkpoint_policy
+(** 1024 records or 4 MiB of WAL, whichever comes first; no time bound. *)
+
 type t
 
-val open_dir : ?db:Database.t -> ?checkpoint_every:int -> string -> t
+val open_dir :
+  ?db:Database.t -> ?checkpoint_every:int -> ?policy:checkpoint_policy ->
+  string -> t
 (** Open (creating if needed) a data directory and recover from it.
     [db] supplies the database to recover into (default: a fresh one;
     must not have conflicting declarations).  If [db] already has
     committed state and the directory is empty, an initial checkpoint
-    roots it.  [checkpoint_every] (default 1024) is the number of logged
-    records between periodic checkpoints.
+    roots it.  [policy] (default {!default_policy}) schedules periodic
+    checkpoints; [checkpoint_every] is the legacy record-count-only
+    spelling of the same and may not be combined with [policy].
     @raise Recovery_error on a corrupt checkpoint (torn WAL tails are
     truncated silently — they are expected after a crash). *)
 

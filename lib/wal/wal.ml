@@ -224,4 +224,5 @@ let reset t =
 
 let set_next_lsn t lsn = t.next_lsn <- max t.next_lsn lsn
 let next_lsn t = t.next_lsn
+let size t = t.pos
 let close t = Unix.close t.fd

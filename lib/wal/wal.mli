@@ -47,4 +47,10 @@ val set_next_lsn : t -> int -> unit
     sequence). *)
 
 val next_lsn : t -> int
+
+val size : t -> int
+(** Bytes of durable (complete, CRC-framed) records currently in the
+    log — the replay suffix a recovery would read.  Drops to 0 on
+    {!reset}.  Size-based checkpoint scheduling reads this. *)
+
 val close : t -> unit

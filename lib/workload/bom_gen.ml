@@ -55,6 +55,7 @@ let explode_constructor () : Defs.constructor_def =
     con_formal_schema = contains_schema;
     con_params = [];
     con_result = contains_schema;
+    con_agg = None;
     con_body =
       Ast.
         [

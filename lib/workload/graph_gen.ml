@@ -38,6 +38,32 @@ let binary_tree depth =
   in
   of_pairs (edges 0 [])
 
+let weighted_edge_schema =
+  Schema.make ~key:[ "src"; "dst" ]
+    [ ("src", Value.TStr); ("dst", Value.TStr); ("w", Value.TInt) ]
+
+(* G(n, m) with integer weights 1..max_w — distinct (src, dst) pairs, so
+   the pair is a valid key; the aggregate experiments (shortest paths)
+   group on it.  Positive weights keep recursive MIN terminating on the
+   cycles these graphs contain. *)
+let random_weighted_graph ~seed ~nodes ~edges ~max_w =
+  let rng = Rng.create seed in
+  let seen = Hashtbl.create (2 * edges) in
+  let rec draw acc k guard =
+    if k = 0 || guard = 0 then acc
+    else
+      let a = Rng.int rng nodes and b = Rng.int rng nodes in
+      if a = b || Hashtbl.mem seen (a, b) then draw acc k (guard - 1)
+      else begin
+        Hashtbl.replace seen (a, b) ();
+        draw ((a, b, 1 + Rng.int rng max_w) :: acc) (k - 1) (guard - 1)
+      end
+  in
+  Relation.of_list weighted_edge_schema
+    (List.map
+       (fun (a, b, w) -> Tuple.of_list [ node a; node b; Value.Int w ])
+       (draw [] edges (100 * edges)))
+
 (* G(n, m): m distinct directed edges drawn uniformly (no self loops). *)
 let random_graph ~seed ~nodes ~edges =
   let rng = Rng.create seed in

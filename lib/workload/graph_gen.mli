@@ -23,6 +23,15 @@ val binary_tree : int -> Relation.t
 val random_graph : seed:int -> nodes:int -> edges:int -> Relation.t
 (** G(n, m): distinct uniform directed edges, no self loops. *)
 
+val weighted_edge_schema : Schema.t
+(** (src: STRING, dst: STRING, w: INTEGER), keyed on (src, dst). *)
+
+val random_weighted_graph :
+  seed:int -> nodes:int -> edges:int -> max_w:int -> Relation.t
+(** [random_graph] with a uniform integer weight in 1..[max_w] per edge —
+    the shortest-path aggregate workloads.  Distinct (src, dst) pairs;
+    strictly positive weights, so recursive MIN terminates on cycles. *)
+
 val layered : layers:int -> width:int -> Relation.t
 (** Complete bipartite between adjacent layers — exponential path
     multiplicity, the duplicated-subproof regime of experiment E2. *)

@@ -287,3 +287,280 @@ let check_seed seed =
       check_bound_goal_engines ~msg c.case_program c.case_edb c.case_pred
         (Tuple.get t 0) reference
     | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Aggregate and negation workloads (PR 10): the engine's grouped
+   accumulators and stratified NOT against independent brute-force
+   recomputes in plain OCaml.  Aggregates fold the DISTINCT set of raw
+   head tuples (the LDL++ convention), and each oracle mirrors exactly
+   that set semantics — so a divergence means the engine, not the
+   convention.  Seeds ride in every message. *)
+
+module Agg = Dc_agg.Agg
+
+let int_of = function Value.Int n -> n | v -> Alcotest.failf "not an int: %a" Value.pp v
+
+let weighted_edges rel =
+  Relation.fold
+    (fun t acc -> (Tuple.get t 0, Tuple.get t 1, int_of (Tuple.get t 2)) :: acc)
+    rel []
+
+(* sp(S,D,W) :- edge(S,D,W).
+   sp(S,D,W1+W2) :- sp(S,M,W1), edge(M,D,W2).      [MIN over (S,D)] *)
+let sp_agg_program =
+  [
+    rule
+      (atom "sp" [ var "S"; var "D"; var "W" ])
+      [ Pos (atom "edge" [ var "S"; var "D"; var "W" ]) ];
+    rule
+      (atom "sp"
+         [ var "S"; var "D"; Binop (Dc_calculus.Ast.Add, var "W1", var "W2") ])
+      [
+        Pos (atom "sp" [ var "S"; var "M"; var "W1" ]);
+        Pos (atom "edge" [ var "M"; var "D"; var "W2" ]);
+      ];
+  ]
+
+let sp_aggs = [ ("sp", { Agg.group = [ 0; 1 ]; value = 2; op = Agg.Min }) ]
+
+(* Bellman-Ford-style relaxation to a fixpoint; nothing shared with the
+   semi-naive per-group-bound machinery under test. *)
+let shortest_paths_oracle edges =
+  let dist = Hashtbl.create 64 in
+  let better k w =
+    match Hashtbl.find_opt dist k with
+    | Some w' when w' <= w -> false
+    | _ ->
+      Hashtbl.replace dist k w;
+      true
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter (fun (s, d, w) -> if better (s, d) w then changed := true) edges;
+    Hashtbl.iter
+      (fun (s, m) w ->
+        List.iter
+          (fun (m', d, w2) ->
+            if Value.equal m m' && better (s, d) (w + w2) then changed := true)
+          edges)
+      (Hashtbl.copy dist)
+  done;
+  Hashtbl.fold
+    (fun (s, d) w acc -> TS.add (Tuple.of_list [ s; d; Value.Int w ]) acc)
+    dist TS.empty
+
+let check_shortest_path_seed seed =
+  let rng = Rng.create seed in
+  let gseed = Rng.int rng 1_000_000 in
+  let nodes = 4 + Rng.int rng 13 in
+  let edges = nodes + Rng.int rng 41 in
+  let rel = Graph_gen.random_weighted_graph ~seed:gseed ~nodes ~edges ~max_w:9 in
+  let msg =
+    Fmt.str "seed %d: shortest(graph seed=%d nodes=%d edges=%d)" seed gseed
+      nodes edges
+  in
+  let expected = shortest_paths_oracle (weighted_edges rel) in
+  let edb = edb_of_relation "edge" rel in
+  Alcotest.check facts_testable (msg ^ ": seminaive MIN = Bellman-Ford")
+    expected
+    (Seminaive.query ~aggs:sp_aggs sp_agg_program edb "sp");
+  (* the parallel driver must fall back to the sequential path for
+     aggregated strata and still agree *)
+  Alcotest.check facts_testable (msg ^ ": parallel(P=4) = Bellman-Ford")
+    expected
+    (Dc_par.Par.with_seq_cutoff 1 (fun () ->
+         Seminaive.query ~domains:4 ~aggs:sp_aggs sp_agg_program edb "sp"))
+
+(* expand(A,C,Q)     :- contains(A,C,Q).
+   expand(A,C,Q1*Q2) :- expand(A,B,Q1), contains(B,C,Q2).
+   total(A,C,Q*P)    :- expand(A,C,Q), price(C,P).   [SUM over (A), C discriminates] *)
+let bom_agg_program =
+  [
+    rule
+      (atom "expand" [ var "A"; var "C"; var "Q" ])
+      [ Pos (atom "contains" [ var "A"; var "C"; var "Q" ]) ];
+    rule
+      (atom "expand"
+         [ var "A"; var "C"; Binop (Dc_calculus.Ast.Mul, var "Q1", var "Q2") ])
+      [
+        Pos (atom "expand" [ var "A"; var "B"; var "Q1" ]);
+        Pos (atom "contains" [ var "B"; var "C"; var "Q2" ]);
+      ];
+    rule
+      (atom "total"
+         [ var "A"; var "C"; Binop (Dc_calculus.Ast.Mul, var "Q", var "P") ])
+      [
+        Pos (atom "expand" [ var "A"; var "C"; var "Q" ]);
+        Pos (atom "price" [ var "C"; var "P" ]);
+      ];
+  ]
+
+let bom_aggs = [ ("total", { Agg.group = [ 0 ]; value = 2; op = Agg.Sum }) ]
+
+(* The brute force mirrors the engine's set semantics stage by stage:
+   the expansion closure is a SET of (assembly, part, path-quantity)
+   triples (equal quantities along different paths collapse), and the
+   rollup sums the DISTINCT (assembly, part, quantity * price) raws. *)
+let bom_rollup_oracle contains prices =
+  let triples = Hashtbl.create 256 in
+  List.iter (fun t -> Hashtbl.replace triples t ()) contains;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Hashtbl.iter
+      (fun (a, b, q1) () ->
+        List.iter
+          (fun (b', c, q2) ->
+            let t = (a, c, q1 * q2) in
+            if Value.equal b b' && not (Hashtbl.mem triples t) then begin
+              Hashtbl.replace triples t ();
+              changed := true
+            end)
+          contains)
+      (Hashtbl.copy triples)
+  done;
+  let raws = Hashtbl.create 256 in
+  Hashtbl.iter
+    (fun (a, c, q) () ->
+      match List.assoc_opt c prices with
+      | Some p -> Hashtbl.replace raws (a, c, q * p) ()
+      | None -> ())
+    triples;
+  let sums = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun (a, _, v) () ->
+      Hashtbl.replace sums a
+        (v + Option.value ~default:0 (Hashtbl.find_opt sums a)))
+    raws;
+  Hashtbl.fold
+    (fun a s acc -> TS.add (Tuple.of_list [ a; Value.Int s ]) acc)
+    sums TS.empty
+
+let check_bom_rollup_seed seed =
+  let rng = Rng.create seed in
+  let gseed = Rng.int rng 1_000_000 in
+  let levels = 2 + Rng.int rng 3 in
+  let width = 2 + Rng.int rng 4 in
+  let uses = 1 + Rng.int rng width in
+  let contains_rel = Bom_gen.hierarchy ~seed:gseed ~levels ~width ~uses in
+  let contains = weighted_edges contains_rel in
+  (* every part gets a deterministic unit price *)
+  let parts =
+    List.sort_uniq compare
+      (List.concat_map (fun (a, c, _) -> [ a; c ]) contains)
+  in
+  let prices = List.map (fun p -> (p, 1 + Rng.int rng 9)) parts in
+  let msg =
+    Fmt.str "seed %d: rollup(bom seed=%d levels=%d width=%d uses=%d)" seed
+      gseed levels width uses
+  in
+  let expected = bom_rollup_oracle contains prices in
+  let edb =
+    Facts.add_set
+      (edb_of_relation "contains" contains_rel)
+      "price"
+      (List.fold_left
+         (fun acc (p, c) -> TS.add (Tuple.of_list [ p; Value.Int c ]) acc)
+         TS.empty prices)
+  in
+  Alcotest.check facts_testable (msg ^ ": seminaive SUM = brute force")
+    expected
+    (Seminaive.query ~aggs:bom_aggs bom_agg_program edb "total")
+
+(* path = transitive closure; unreach = the complement over the node
+   domain, through stratified NOT; lonely counts each node's unreachable
+   peers — an aggregate stratum ABOVE the negation stratum. *)
+let negation_program =
+  tc_linear
+  @ [
+      rule
+        (atom "unreach" [ var "X"; var "Y" ])
+        [
+          Pos (atom "node" [ var "X" ]);
+          Pos (atom "node" [ var "Y" ]);
+          Neg (atom "path" [ var "X"; var "Y" ]);
+        ];
+      rule
+        (atom "lonely" [ var "X"; var "Y" ])
+        [ Pos (atom "unreach" [ var "X"; var "Y" ]) ];
+    ]
+
+let negation_aggs =
+  [ ("lonely", { Agg.group = [ 0 ]; value = 1; op = Agg.Count }) ]
+
+let check_negation_seed seed =
+  let rng = Rng.create seed in
+  let gseed = Rng.int rng 1_000_000 in
+  let nodes = 4 + Rng.int rng 9 in
+  let edges = nodes + Rng.int rng 21 in
+  let rel = Graph_gen.random_graph ~seed:gseed ~nodes ~edges in
+  let msg =
+    Fmt.str "seed %d: negation(graph seed=%d nodes=%d edges=%d)" seed gseed
+      nodes edges
+  in
+  (* reachability by iterating the edge list; complement over the nodes *)
+  let reach = Hashtbl.create 64 in
+  let pairs = ref [] in
+  Relation.iter
+    (fun t -> pairs := (Tuple.get t 0, Tuple.get t 1) :: !pairs)
+    rel;
+  List.iter (fun p -> Hashtbl.replace reach p ()) !pairs;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Hashtbl.iter
+      (fun (a, b) () ->
+        List.iter
+          (fun (b', c) ->
+            if Value.equal b b' && not (Hashtbl.mem reach (a, c)) then begin
+              Hashtbl.replace reach (a, c) ();
+              changed := true
+            end)
+          !pairs)
+      (Hashtbl.copy reach)
+  done;
+  let node_vals = List.init nodes Graph_gen.node in
+  let unreach_expected =
+    List.fold_left
+      (fun acc x ->
+        List.fold_left
+          (fun acc y ->
+            if Hashtbl.mem reach (x, y) then acc
+            else TS.add (Tuple.of_list [ x; y ]) acc)
+          acc node_vals)
+      TS.empty node_vals
+  in
+  let lonely_expected =
+    List.fold_left
+      (fun acc x ->
+        let n =
+          List.length
+            (List.filter
+               (fun y -> not (Hashtbl.mem reach (x, y)))
+               node_vals)
+        in
+        if n = 0 then acc else TS.add (Tuple.of_list [ x; Value.Int n ]) acc)
+      TS.empty node_vals
+  in
+  let edb =
+    Facts.add_set
+      (edb_of_relation "edge" rel)
+      "node"
+      (List.fold_left
+         (fun acc v -> TS.add (Tuple.make1 v) acc)
+         TS.empty node_vals)
+  in
+  Alcotest.check facts_testable (msg ^ ": stratified NOT = complement")
+    unreach_expected
+    (Seminaive.query ~aggs:negation_aggs negation_program edb "unreach");
+  Alcotest.check facts_testable (msg ^ ": COUNT above NOT = brute force")
+    lonely_expected
+    (Seminaive.query ~aggs:negation_aggs negation_program edb "lonely")
+
+(* One seeded pass over all three; the CI aggregate-oracle step runs
+   this under DC_DOMAINS=4. *)
+let check_agg_seed seed =
+  check_shortest_path_seed seed;
+  check_bom_rollup_seed seed;
+  check_negation_seed seed

@@ -484,6 +484,7 @@ let test_typecheck_constructor_result () =
       con_formal_schema = bin;
       con_params = [];
       con_result = Schema.make [ ("only", Value.TInt) ];
+      con_agg = None;
       con_body = [ identity_branch (Rel "Rel") ];
     }
   in

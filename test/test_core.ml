@@ -259,6 +259,7 @@ let reach_from_def =
     con_formal_schema = edge_schema;
     con_params = [ Defs.Scalar_param ("Obj", Value.TStr) ];
     con_result = edge_schema;
+    con_agg = None;
     con_body =
       Ast.
         [
@@ -312,6 +313,7 @@ let test_stratified_negation_over_constructor () =
       con_formal_schema = edge_schema;
       con_params = [];
       con_result = edge_schema;
+      con_agg = None;
       con_body =
         Ast.
           [
@@ -342,6 +344,7 @@ let test_negative_self_recursion_rejected () =
       con_formal_schema = edge_schema;
       con_params = [];
       con_result = edge_schema;
+      con_agg = None;
       con_body =
         Ast.
           [

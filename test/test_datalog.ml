@@ -275,6 +275,7 @@ let test_stratified_constructor_to_datalog () =
       con_formal_schema = schema;
       con_params = [];
       con_result = schema;
+      con_agg = None;
       con_body =
         Dc_calculus.Ast.
           [

@@ -1,0 +1,81 @@
+(* Golden tests over the shipped example programs (examples/*.dbpl).
+
+   Each positive example runs through the full front end
+   ([Elaborate.run_string], the same path `dbpl run` takes) and its
+   output is compared byte for byte against a checked-in .expected
+   transcript — so surface syntax, admission, evaluation, and the
+   printer all have to agree with what the documentation shows.  The
+   aggregate examples (PR 10) cover the admissible shapes: recursive
+   MIN with per-group bounds, recursion-below-SUM stratification, an
+   aggregate stratum feeding positive recursion, and stratified COUNT
+   with a discriminator column.
+
+   nonmonotone.dbpl is the negative example: it must be REJECTED at
+   declaration with the positivity error the file's header documents. *)
+
+module Database = Dc_core.Database
+
+let find base =
+  let candidates =
+    [
+      Filename.concat "../examples" base;
+      Filename.concat "examples" base;
+      Filename.concat "../../examples" base;
+      Filename.concat "../../../examples" base;
+      Filename.concat "/root/repo/examples" base;
+    ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some p -> p
+  | None -> Alcotest.failf "%s not found" base
+
+let find_expected base =
+  let candidates =
+    [ base; Filename.concat "test" base; Filename.concat "../test" base ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some p -> p
+  | None -> Alcotest.failf "%s not found" base
+
+let read path = In_channel.with_open_text path In_channel.input_all
+
+let contains s sub =
+  let n = String.length sub in
+  let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let golden example () =
+  let src = read (find (example ^ ".dbpl")) in
+  let expected = read (find_expected ("example_" ^ example ^ ".expected")) in
+  let _, out = Dc_lang.Elaborate.run_string src in
+  Alcotest.(check string) (example ^ ".dbpl transcript") expected out
+
+let test_nonmonotone_rejected () =
+  let src = read (find "nonmonotone.dbpl") in
+  match Dc_lang.Elaborate.run_string src with
+  | _ -> Alcotest.fail "nonmonotone.dbpl was admitted"
+  | exception Database.Error msg ->
+    Alcotest.(check bool)
+      "positivity error names the odd NOT depth" true
+      (contains msg "NOT/ALL" && contains msg "nonsense")
+
+let () =
+  Alcotest.run "dc_examples"
+    [
+      ( "golden",
+        [
+          Alcotest.test_case "shortest_path (recursive MIN)" `Quick
+            (golden "shortest_path");
+          Alcotest.test_case "bom_rollup (stratified SUM)" `Quick
+            (golden "bom_rollup");
+          Alcotest.test_case "company_control (SUM below recursion)" `Quick
+            (golden "company_control");
+          Alcotest.test_case "frequent_paths (COUNT + discriminator)" `Quick
+            (golden "frequent_paths");
+        ] );
+      ( "rejection",
+        [
+          Alcotest.test_case "nonmonotone.dbpl rejected" `Quick
+            test_nonmonotone_rejected;
+        ] );
+    ]

@@ -378,6 +378,85 @@ let crash_matrix site seed () =
   Durable.close r2
 
 (* ------------------------------------------------------------------ *)
+(* Checkpoint policy: byte- and time-based scheduling bound the replay
+   suffix where a record count cannot *)
+
+let wal_bytes dir =
+  match Unix.stat (Filename.concat dir "wal.log") with
+  | { Unix.st_size; _ } -> st_size
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> 0
+
+let test_checkpoint_policy () =
+  Guard.Failpoint.reset ();
+  (* bytes: a 1-byte budget checkpoints after every data commit, so the
+     log never holds a replay suffix *)
+  let dir = fresh_dir "policy_bytes" in
+  let db = Database.create () in
+  let dur =
+    Durable.open_dir ~db
+      ~policy:{ Durable.cp_records = None; cp_bytes = Some 1; cp_seconds = None }
+      dir
+  in
+  Database.declare db "edge" Graph_gen.edge_schema;
+  Database.set db "edge" (Graph_gen.chain 3);
+  for i = 10 to 14 do
+    Database.update_batch db [ ("edge", [ pair i (i + 1) ], []) ];
+    Alcotest.(check int)
+      (Fmt.str "wal empty after commit %d" i)
+      0 (wal_bytes dir)
+  done;
+  let v = Database.version db in
+  Durable.close dur;
+  let r = Durable.open_dir dir in
+  Alcotest.(check int) "recovered from checkpoint alone" 0 (Durable.replayed r);
+  Alcotest.(check int) "exact version" v (Database.version (Durable.db r));
+  Durable.close r;
+  (* a roomy byte budget does not checkpoint prematurely: the records
+     accumulate in the log *)
+  let dir = fresh_dir "policy_roomy" in
+  let db = Database.create () in
+  let dur =
+    Durable.open_dir ~db
+      ~policy:
+        {
+          Durable.cp_records = None;
+          cp_bytes = Some (1024 * 1024);
+          cp_seconds = None;
+        }
+      dir
+  in
+  Database.declare db "edge" Graph_gen.edge_schema;
+  Database.set db "edge" (Graph_gen.chain 3);
+  for i = 10 to 14 do
+    Database.update_batch db [ ("edge", [ pair i (i + 1) ], []) ]
+  done;
+  Alcotest.(check bool) "records accumulate" true (wal_bytes dir > 0);
+  Durable.close dur;
+  (* time: a commit past the deadline checkpoints (measured at the
+     commit, no timer thread) *)
+  let dir = fresh_dir "policy_time" in
+  let db = Database.create () in
+  let dur =
+    Durable.open_dir ~db
+      ~policy:
+        { Durable.cp_records = None; cp_bytes = None; cp_seconds = Some 0.05 }
+      dir
+  in
+  Database.declare db "edge" Graph_gen.edge_schema;
+  Database.set db "edge" (Graph_gen.chain 3);
+  Unix.sleepf 0.06;
+  Database.update_batch db [ ("edge", [ pair 10 11 ], []) ];
+  Alcotest.(check int) "deadline commit checkpointed" 0 (wal_bytes dir);
+  Durable.close dur;
+  (* both knobs at once is ambiguous *)
+  Alcotest.check_raises "policy + checkpoint_every rejected"
+    (Invalid_argument
+       "Durable.open_dir: pass checkpoint_every or policy, not both") (fun () ->
+      ignore
+        (Durable.open_dir ~checkpoint_every:5 ~policy:Durable.default_policy
+           (fresh_dir "policy_both")))
+
+(* ------------------------------------------------------------------ *)
 (* Group commit: several commits buffered into one [Wal.append_batch]
    fsync.  The non-crash test proves the batched records replay; the
    [wal.group] crash test proves the recovery contract — the kill fires
@@ -626,6 +705,11 @@ let () =
             test_empty_delta_versions;
         ] );
       ("crash matrix", matrix);
+      ( "checkpoint policy",
+        [
+          Alcotest.test_case "bytes and time criteria" `Quick
+            test_checkpoint_policy;
+        ] );
       ( "group commit",
         [
           Alcotest.test_case "batched records replay" `Quick
